@@ -1,0 +1,47 @@
+//! Ablation: generalized covers on/off.
+//!
+//! §6.3 notes GDL picked a generalized cover "always (with our cost
+//! model)" — this ablation runs GDL with and without the enlarge move and
+//! compares the evaluation time of the covers each finds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_core::{gdl, GdlConfig, QueryAnalysis};
+use obda_query::FolQuery;
+use obda_rdbms::{EngineProfile, LayoutKind};
+
+fn bench_gcov_ablation(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(20_000);
+    let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+    let ext = engine.ext_cost_model();
+    let wl = dataset.workload();
+
+    let mut group = c.benchmark_group("ablation-gcov");
+    group.sample_size(10);
+    for name in ["Q1", "Q8"] {
+        let q = wl.iter().find(|q| q.name == name).unwrap();
+        let analysis = QueryAnalysis::new(&q.cq, &dataset.deps);
+        let with = gdl(&q.cq, &dataset.onto.tbox, &analysis, &ext, &GdlConfig::default());
+        let without = gdl(
+            &q.cq,
+            &dataset.onto.tbox,
+            &analysis,
+            &ext,
+            &GdlConfig { explore_generalized: false, ..Default::default() },
+        );
+        let with_q = FolQuery::Jucq(with.jucq);
+        let without_q = FolQuery::Jucq(without.jucq);
+        group.bench_function(format!("{name}/with-gcov"), |b| {
+            b.iter(|| black_box(engine.evaluate(&with_q).unwrap().rows.len()))
+        });
+        group.bench_function(format!("{name}/lq-only"), |b| {
+            b.iter(|| black_box(engine.evaluate(&without_q).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcov_ablation);
+criterion_main!(benches);

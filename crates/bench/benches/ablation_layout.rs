@@ -1,0 +1,38 @@
+//! Ablation: storage layouts under an identical query.
+//!
+//! Simple per-predicate tables vs the clustered triple table vs the
+//! DB2RDF-like DPH entity layout — the §6.3 finding that entity layouts
+//! are a poor fit for reformulated workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_query::{Atom, FolQuery, Term, VarId, CQ};
+use obda_rdbms::{Engine, EngineProfile, LayoutKind};
+
+fn bench_layouts(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(20_000);
+    let onto = &dataset.onto;
+    let q = FolQuery::Cq(CQ::with_var_head(
+        vec![VarId(0)],
+        vec![
+            Atom::Concept(onto.graduate_student, Term::Var(VarId(0))),
+            Atom::Role(onto.advisor, Term::Var(VarId(0)), Term::Var(VarId(1))),
+            Atom::Role(onto.teacher_of, Term::Var(VarId(1)), Term::Var(VarId(2))),
+        ],
+    ));
+
+    let mut group = c.benchmark_group("ablation-layout");
+    group.sample_size(10);
+    for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+        let engine = Engine::load(&dataset.abox, &onto.voc, layout, EngineProfile::pg_like());
+        group.bench_function(layout.name(), |b| {
+            b.iter(|| black_box(engine.evaluate(&q).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

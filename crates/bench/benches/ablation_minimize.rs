@@ -1,0 +1,40 @@
+//! Ablation: does minimizing the UCQ before shipping it matter?
+//!
+//! §2.3: "minimal UCQ reformulations can be obviously processed more
+//! efficiently [but] they still repeat some computations". This ablation
+//! measures evaluation of the raw (output-subsumed) UCQ vs its minimal
+//! form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_query::{minimize_ucq, FolQuery};
+use obda_rdbms::{EngineProfile, LayoutKind};
+use obda_reform::perfect_ref_pruned;
+
+fn bench_minimize_ablation(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(20_000);
+    let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+    let wl = dataset.workload();
+
+    let mut group = c.benchmark_group("ablation-minimize");
+    group.sample_size(10);
+    for name in ["Q5", "Q11"] {
+        let q = wl.iter().find(|q| q.name == name).unwrap();
+        let raw = perfect_ref_pruned(&q.cq, &dataset.onto.tbox);
+        let minimal = minimize_ucq(&raw);
+        let raw_q = FolQuery::Ucq(raw);
+        let min_q = FolQuery::Ucq(minimal);
+        group.bench_function(format!("{name}/raw"), |b| {
+            b.iter(|| black_box(engine.evaluate(&raw_q).unwrap().rows.len()))
+        });
+        group.bench_function(format!("{name}/minimized"), |b| {
+            b.iter(|| black_box(engine.evaluate(&min_q).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize_ablation);
+criterion_main!(benches);

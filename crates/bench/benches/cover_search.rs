@@ -1,0 +1,57 @@
+//! Benchmarks of the cover-search algorithms: GDL (greedy, Algorithm 1)
+//! vs EDL (exhaustive) on the A3–A5 star queries, plus the time-limited
+//! GDL variant of §6.4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_core::{edl, gdl, GdlConfig, QueryAnalysis, StructuralEstimator};
+use obda_lubm::star_query;
+
+fn bench_cover_search(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(2_000);
+    let tbox = &dataset.onto.tbox;
+
+    let mut group = c.benchmark_group("cover-search");
+    group.sample_size(10);
+    for arity in 3..=5usize {
+        let q = star_query(&dataset.onto, arity);
+        let analysis = QueryAnalysis::new(&q, &dataset.deps);
+        group.bench_function(format!("gdl/A{arity}"), |b| {
+            b.iter(|| {
+                black_box(gdl(
+                    &q,
+                    tbox,
+                    &analysis,
+                    &StructuralEstimator,
+                    &GdlConfig::default(),
+                ))
+            })
+        });
+        // EDL only for the small spaces (A5 has thousands of covers).
+        if arity <= 4 {
+            group.bench_function(format!("edl/A{arity}"), |b| {
+                b.iter(|| {
+                    black_box(edl(&q, tbox, &analysis, &StructuralEstimator, 20_000, true))
+                })
+            });
+        }
+    }
+    // Time-limited GDL (§6.4).
+    let q = star_query(&dataset.onto, 5);
+    let analysis = QueryAnalysis::new(&q, &dataset.deps);
+    let limited = GdlConfig {
+        time_budget: Some(Duration::from_millis(20)),
+        ..Default::default()
+    };
+    group.bench_function("gdl-20ms/A5", |b| {
+        b.iter(|| black_box(gdl(&q, tbox, &analysis, &StructuralEstimator, &limited)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover_search);
+criterion_main!(benches);

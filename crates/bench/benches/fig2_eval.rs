@@ -1,0 +1,40 @@
+//! Criterion version of Figure 2's core comparison: evaluation time of the
+//! UCQ vs Croot vs GDL reformulations on the pg-like engine (simple
+//! layout), for a fast and a heavy workload query.
+//!
+//! Reformulations are prepared once outside the measurement loop — the
+//! figure measures *evaluation* time, like the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::{choose, Dataset, EstimatorKind};
+use obda_core::Strategy;
+use obda_rdbms::{EngineProfile, LayoutKind};
+
+fn bench_fig2(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(20_000);
+    let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+    let wl = dataset.workload();
+
+    let mut group = c.benchmark_group("fig2-eval");
+    group.sample_size(10);
+    for name in ["Q4", "Q11"] {
+        let q = wl.iter().find(|q| q.name == name).unwrap();
+        for (label, strategy, est) in [
+            ("ucq", Strategy::Ucq, EstimatorKind::Ext),
+            ("croot", Strategy::CrootJucq, EstimatorKind::Ext),
+            ("gdl-ext", Strategy::Gdl { time_budget: None }, EstimatorKind::Ext),
+            ("gdl-rdbms", Strategy::Gdl { time_budget: None }, EstimatorKind::Rdbms),
+        ] {
+            let chosen = choose(&dataset, &engine, &q.cq, &strategy, est);
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| black_box(engine.evaluate(&chosen.fol).unwrap().rows.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion version of Figure 3's core comparison: the same reformulation
+//! evaluated on the DB2-like engine over the simple layout vs the
+//! DB2RDF-like DPH layout (the paper's finding: the entity layout is
+//! unsuited to reformulated workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::{choose, Dataset, EstimatorKind};
+use obda_core::Strategy;
+use obda_rdbms::{EngineProfile, LayoutKind};
+
+fn bench_fig3(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(20_000);
+    let simple = dataset.engine(LayoutKind::Simple, EngineProfile::db2_like());
+    let rdf = dataset.engine(LayoutKind::Dph, EngineProfile::db2_like());
+    let wl = dataset.workload();
+    let q = wl.iter().find(|q| q.name == "Q12").unwrap();
+
+    let chosen = choose(&dataset, &simple, &q.cq, &Strategy::Ucq, EstimatorKind::Ext);
+    let mut group = c.benchmark_group("fig3-eval");
+    group.sample_size(10);
+    group.bench_function("Q12/ucq/simple", |b| {
+        b.iter(|| black_box(simple.evaluate(&chosen.fol).unwrap().rows.len()))
+    });
+    group.bench_function("Q12/ucq/rdf-dph", |b| {
+        b.iter(|| black_box(rdf.evaluate(&chosen.fol).unwrap().rows.len()))
+    });
+    let gdl = choose(
+        &dataset,
+        &simple,
+        &q.cq,
+        &Strategy::Gdl { time_budget: None },
+        EstimatorKind::Rdbms,
+    );
+    group.bench_function("Q12/gdl/simple", |b| {
+        b.iter(|| black_box(simple.evaluate(&gdl.fol).unwrap().rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

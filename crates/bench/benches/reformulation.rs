@@ -1,0 +1,45 @@
+//! Microbenchmarks of the reformulation pipeline: PerfectRef (exhaustive
+//! and output-subsumed), UCQ minimization, and USCQ factorization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_query::minimize_ucq;
+use obda_reform::{factorize_ucq, perfect_ref, perfect_ref_pruned};
+
+fn bench_reformulation(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(2_000);
+    let wl = dataset.workload();
+    let tbox = &dataset.onto.tbox;
+
+    let mut group = c.benchmark_group("perfectref");
+    group.sample_size(10);
+    for name in ["Q3", "Q5", "Q12"] {
+        let q = wl.iter().find(|q| q.name == name).unwrap();
+        group.bench_function(format!("pruned/{name}"), |b| {
+            b.iter(|| black_box(perfect_ref_pruned(&q.cq, tbox)))
+        });
+    }
+    // Exhaustive only on the small query (the raw fixpoint is the slow
+    // baseline by design).
+    let q3 = wl.iter().find(|q| q.name == "Q3").unwrap();
+    group.bench_function("exhaustive/Q3", |b| {
+        b.iter(|| black_box(perfect_ref(&q3.cq, tbox)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("post-processing");
+    group.sample_size(10);
+    let q5 = wl.iter().find(|q| q.name == "Q5").unwrap();
+    let ucq = perfect_ref_pruned(&q5.cq, tbox);
+    group.bench_function("minimize/Q5", |b| b.iter(|| black_box(minimize_ucq(&ucq))));
+    let minimal = minimize_ucq(&ucq);
+    group.bench_function("factorize/Q5", |b| {
+        b.iter(|| black_box(factorize_ucq(&minimal)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reformulation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the Table-6 search-space machinery: safe-cover lattice
+//! enumeration (`Lq`) and generalized-cover enumeration (`Gq`) on the
+//! A3–A5 star queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_core::{enumerate_generalized_covers, enumerate_safe_covers, QueryAnalysis};
+use obda_lubm::star_query;
+
+fn bench_spaces(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(2_000);
+    let mut group = c.benchmark_group("search-spaces");
+    group.sample_size(10);
+    for arity in 3..=5usize {
+        let q = star_query(&dataset.onto, arity);
+        let analysis = QueryAnalysis::new(&q, &dataset.deps);
+        group.bench_function(format!("Lq/A{arity}"), |b| {
+            b.iter(|| black_box(enumerate_safe_covers(&analysis, 0).len()))
+        });
+        group.bench_function(format!("Gq/A{arity}"), |b| {
+            b.iter(|| black_box(enumerate_generalized_covers(&analysis, 20_000).covers.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spaces);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Cost-model accuracy: estimated cost vs measured work for the candidate
+//! reformulations GDL actually compares (§6.5: "our cost estimation helped
+//! w.r.t. Postgres' explain; … DB2's estimation more accurate overall").
+//!
+//! For each query we take the strategies' chosen reformulations and rank
+//! them twice — by estimated cost (both estimators) and by measured work
+//! units — and report rank agreement.
+
+use obda_bench::{choose, Dataset, EstimatorKind, Scale};
+use obda_core::Strategy;
+use obda_query::FolQuery;
+use obda_rdbms::{EngineProfile, LayoutKind};
+
+fn main() {
+    std::env::set_var(
+        "OBDA_SCALE_SMALL",
+        std::env::var("OBDA_SCALE_SMALL").unwrap_or_else(|_| "40000".into()),
+    );
+    let dataset = Dataset::build(Scale::Small);
+    let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+    let ext = engine.ext_cost_model();
+
+    println!("# cost-model accuracy (pg-like, simple layout, {} facts)", dataset.facts);
+    println!(
+        "{:<6} {:<10} {:>14} {:>14} {:>14}",
+        "query", "variant", "ext_est", "rdbms_est", "measured_wu"
+    );
+    let mut ext_agree = 0usize;
+    let mut rdbms_agree = 0usize;
+    let mut comparisons = 0usize;
+    for q in dataset.workload() {
+        // Candidate reformulations: the strategy endpoints.
+        let variants: Vec<(&str, FolQuery)> = vec![
+            (
+                "ucq",
+                choose(&dataset, &engine, &q.cq, &Strategy::Ucq, EstimatorKind::Ext).fol,
+            ),
+            (
+                "croot",
+                choose(&dataset, &engine, &q.cq, &Strategy::CrootJucq, EstimatorKind::Ext).fol,
+            ),
+            (
+                "gdl",
+                choose(
+                    &dataset,
+                    &engine,
+                    &q.cq,
+                    &Strategy::Gdl { time_budget: None },
+                    EstimatorKind::Ext,
+                )
+                .fol,
+            ),
+        ];
+        let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
+        for (name, fol) in &variants {
+            let ext_est = ext.estimate_fol(fol);
+            let rdbms_est = engine.explain(fol);
+            let measured = engine
+                .evaluate(fol)
+                .map(|o| o.metrics.work_units())
+                .unwrap_or(f64::INFINITY);
+            println!(
+                "{:<6} {:<10} {:>14.0} {:>14.0} {:>14.0}",
+                q.name, name, ext_est, rdbms_est, measured
+            );
+            rows.push((name, ext_est, rdbms_est, measured));
+        }
+        // Pairwise rank agreement with the measured ordering.
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                let truth = rows[i].3 < rows[j].3;
+                comparisons += 1;
+                if (rows[i].1 < rows[j].1) == truth {
+                    ext_agree += 1;
+                }
+                if (rows[i].2 < rows[j].2) == truth {
+                    rdbms_agree += 1;
+                }
+            }
+        }
+    }
+    println!();
+    println!(
+        "rank agreement with measured work: ext {}/{}  rdbms {}/{}",
+        ext_agree, comparisons, rdbms_agree, comparisons
+    );
+}

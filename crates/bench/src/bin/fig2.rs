@@ -1,0 +1,90 @@
+//! Figure 2: evaluation time on the PostgreSQL-like engine, simple layout,
+//! of four reformulations per query — the standard UCQ, the Croot JUCQ,
+//! GDL with the engine's cost model (GDL/RDBMS) and GDL with the external
+//! cost model (GDL/ext) — at two dataset scales.
+//!
+//! Paper findings to reproduce in shape: the UCQ is poor (up to ~10×
+//! slower); Croot is sometimes far worse than the UCQ; GDL-selected covers
+//! win almost everywhere; on the largest reformulations (Q9–Q11) GDL/ext
+//! beats GDL/RDBMS because the engine's estimator takes shortcuts on huge
+//! unions.
+
+use obda_bench::{render_table, run_cell, Cell, Dataset, EstimatorKind, Scale};
+use obda_core::Strategy;
+use obda_rdbms::{EngineProfile, LayoutKind};
+
+fn main() {
+    for scale in [Scale::Small, Scale::Large] {
+        let dataset = Dataset::build(scale);
+        let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+        println!(
+            "# Figure 2 — pg-like engine, simple layout, {} ({} facts)",
+            scale.label(),
+            dataset.facts
+        );
+        let mut cells: Vec<Cell> = Vec::new();
+        for q in dataset.workload() {
+            cells.push(run_cell(&dataset, &engine, &q, &Strategy::Ucq, EstimatorKind::Ext, "UCQ"));
+            cells.push(run_cell(
+                &dataset,
+                &engine,
+                &q,
+                &Strategy::CrootJucq,
+                EstimatorKind::Ext,
+                "Croot",
+            ));
+            cells.push(run_cell(
+                &dataset,
+                &engine,
+                &q,
+                &Strategy::Gdl { time_budget: None },
+                EstimatorKind::Rdbms,
+                "GDL/RDBMS",
+            ));
+            cells.push(run_cell(
+                &dataset,
+                &engine,
+                &q,
+                &Strategy::Gdl { time_budget: None },
+                EstimatorKind::Ext,
+                "GDL/ext",
+            ));
+        }
+        println!("{}", render_table("Figure 2", &cells));
+        summarize(&cells);
+        println!();
+    }
+}
+
+/// Per-query winner summary plus the UCQ/GDL speedup factors.
+fn summarize(cells: &[Cell]) {
+    let queries: Vec<String> = {
+        let mut v: Vec<String> = cells.iter().map(|c| c.query.clone()).collect();
+        v.dedup();
+        v
+    };
+    println!("-- speedups (UCQ wall / strategy wall) --");
+    for q in queries {
+        let of = |s: &str| {
+            cells
+                .iter()
+                .find(|c| c.query == q && c.strategy == s)
+                .and_then(|c| c.wall)
+        };
+        let (Some(ucq), croot, rdbms, ext) =
+            (of("UCQ"), of("Croot"), of("GDL/RDBMS"), of("GDL/ext"))
+        else {
+            continue;
+        };
+        let f = |d: Option<std::time::Duration>| {
+            d.map(|d| format!("{:.2}x", ucq.as_secs_f64() / d.as_secs_f64().max(1e-9)))
+                .unwrap_or_else(|| "fail".into())
+        };
+        println!(
+            "{q:<6} croot {:<8} gdl/rdbms {:<8} gdl/ext {:<8}",
+            f(croot),
+            f(rdbms),
+            f(ext)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Set-partition enumeration and Bell numbers.
+//!
+//! §5.1: the safe-cover lattice is bounded by the Bell number `Bn` of the
+//! query's atom count. Partitions are enumerated via restricted-growth
+//! strings (RGS): a sequence `s` with `s\[0\] = 0` and
+//! `s[i] ≤ 1 + max(s[0..i])`, each encoding one partition.
+
+/// The n-th Bell number (number of partitions of an n-set), via the Bell
+/// triangle. Saturates at `u64::MAX` (n ≤ 25 is exact).
+pub fn bell_number(n: usize) -> u64 {
+    if n == 0 {
+        return 1;
+    }
+    let mut row: Vec<u64> = vec![1];
+    for _ in 1..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("nonempty"));
+        for &x in &row {
+            let prev = *next.last().expect("nonempty");
+            next.push(prev.saturating_add(x));
+        }
+        row = next;
+    }
+    row[0]
+}
+
+/// Iterate all partitions of `0..n` as block-index assignments
+/// (restricted-growth strings). Yields `Vec<usize>` of length `n` where
+/// `v[i]` is the block of element `i`.
+pub struct Partitions {
+    n: usize,
+    rgs: Vec<usize>,
+    maxes: Vec<usize>,
+    done: bool,
+}
+
+impl Partitions {
+    pub fn new(n: usize) -> Self {
+        Partitions { n, rgs: vec![0; n.max(1)], maxes: vec![0; n.max(1)], done: n == 0 }
+    }
+}
+
+impl Iterator for Partitions {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.rgs.clone();
+        // Advance to the next RGS.
+        let n = self.n;
+        let mut i = n;
+        loop {
+            if i == 1 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            // maxes[i] = max(rgs[0..i]); rgs[i] can rise to maxes[i] + 1.
+            if self.rgs[i] <= self.maxes[i] {
+                self.rgs[i] += 1;
+                // Reset the suffix.
+                for j in (i + 1)..n {
+                    self.rgs[j] = 0;
+                    self.maxes[j] = self.maxes[j - 1].max(self.rgs[j - 1]);
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Group element indices by block id: `[0,1,0]` → `[[0,2],\[1\]]`.
+pub fn blocks_of(assignment: &[usize]) -> Vec<Vec<usize>> {
+    let nblocks = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut blocks = vec![Vec::new(); nblocks];
+    for (i, &b) in assignment.iter().enumerate() {
+        blocks[b].push(i);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_numbers_match_oeis() {
+        // A000110: 1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975.
+        let expect = [1u64, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
+        for (n, &e) in expect.iter().enumerate() {
+            assert_eq!(bell_number(n), e, "B({n})");
+        }
+    }
+
+    #[test]
+    fn partition_count_equals_bell() {
+        for n in 1..=8 {
+            let count = Partitions::new(n).count() as u64;
+            assert_eq!(count, bell_number(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn partitions_are_distinct_and_valid() {
+        let all: Vec<Vec<usize>> = Partitions::new(4).collect();
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len(), "no duplicates");
+        for rgs in &all {
+            assert_eq!(rgs[0], 0, "RGS starts at 0");
+            let mut max = 0;
+            for &x in rgs {
+                assert!(x <= max + 1, "restricted growth violated: {rgs:?}");
+                max = max.max(x);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_roundtrip() {
+        let blocks = blocks_of(&[0, 1, 0, 2]);
+        assert_eq!(blocks, vec![vec![0, 2], vec![1], vec![3]]);
+        assert_eq!(blocks_of(&[]), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn single_element_partition() {
+        let all: Vec<Vec<usize>> = Partitions::new(1).collect();
+        assert_eq!(all, vec![vec![0]]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Query covers (Definition 1) and generalized covers (§5.2), represented
+//! as atom bitmasks for fast enumeration.
+//!
+//! A cover of a query with atoms `{a1 … an}` is a set of fragments — atom
+//! subsets — such that (i) the fragments cover all atoms, (ii) no fragment
+//! is included in another, and (iii) each fragment is join-connected. A
+//! generalized cover pairs each fragment `f` with an exported core `g ⊆ f`
+//! (`f‖g`): the `f \ g` atoms act as semijoin reducers.
+
+use obda_query::{connected_subset, CQ};
+use obda_reform::FragmentSpec;
+
+/// A set of atoms of a query, as a bitmask (queries have ≤ 64 atoms; in
+/// practice ≤ ~12).
+pub type AtomMask = u64;
+
+/// Mask with the lowest `n` bits set.
+pub fn full_mask(n: usize) -> AtomMask {
+    debug_assert!(n <= 64);
+    if n == 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Iterate the atom indices of a mask.
+pub fn mask_indices(mask: AtomMask) -> impl Iterator<Item = usize> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(i)
+        }
+    })
+}
+
+/// Number of atoms in a mask.
+pub fn mask_len(mask: AtomMask) -> usize {
+    mask.count_ones() as usize
+}
+
+/// One generalized fragment `f‖g`. Simple fragments have `f == g`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Fragment {
+    pub f: AtomMask,
+    pub g: AtomMask,
+}
+
+impl Fragment {
+    pub fn simple(mask: AtomMask) -> Self {
+        Fragment { f: mask, g: mask }
+    }
+
+    pub fn generalized(f: AtomMask, g: AtomMask) -> Self {
+        debug_assert_eq!(g & !f, 0, "g ⊆ f violated");
+        Fragment { f, g }
+    }
+
+    pub fn is_simple(&self) -> bool {
+        self.f == self.g
+    }
+
+    /// Convert to the reformulation crate's index-based spec.
+    pub fn to_spec(&self) -> FragmentSpec {
+        FragmentSpec::generalized(
+            mask_indices(self.f).collect(),
+            mask_indices(self.g).collect(),
+        )
+    }
+}
+
+/// A (generalized) cover: a set of fragments. Kept sorted for canonical
+/// comparison/deduplication during enumeration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cover {
+    fragments: Vec<Fragment>,
+}
+
+impl Cover {
+    pub fn new(mut fragments: Vec<Fragment>) -> Self {
+        fragments.sort_unstable();
+        fragments.dedup();
+        Cover { fragments }
+    }
+
+    /// The single-fragment cover of the whole query.
+    pub fn trivial(num_atoms: usize) -> Self {
+        Cover::new(vec![Fragment::simple(full_mask(num_atoms))])
+    }
+
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    pub fn num_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Do the `f`-parts satisfy Definition 1 (i): cover all atoms?
+    pub fn covers_all(&self, num_atoms: usize) -> bool {
+        let mut m: AtomMask = 0;
+        for fr in &self.fragments {
+            m |= fr.f;
+        }
+        m == full_mask(num_atoms)
+    }
+
+    /// Definition 1 (ii) / §5.2: no fragment's `f` included in another's.
+    pub fn no_inclusion(&self) -> bool {
+        for (i, a) in self.fragments.iter().enumerate() {
+            for (j, b) in self.fragments.iter().enumerate() {
+                if i != j && a.f & b.f == a.f {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Are the `g`-parts a partition of the atoms? (Required for safe
+    /// covers, Definition 5.)
+    pub fn g_is_partition(&self, num_atoms: usize) -> bool {
+        let mut seen: AtomMask = 0;
+        for fr in &self.fragments {
+            if fr.g & seen != 0 {
+                return false;
+            }
+            seen |= fr.g;
+        }
+        seen == full_mask(num_atoms)
+    }
+
+    /// Definition 1 (iii) / §5.2: every fragment's `f`-atoms form a
+    /// connected subquery.
+    pub fn fragments_connected(&self, q: &CQ) -> bool {
+        self.fragments.iter().all(|fr| {
+            let idx: Vec<usize> = mask_indices(fr.f).collect();
+            connected_subset(q.atoms(), &idx)
+        })
+    }
+
+    /// Full validity check for a generalized cover of `q`.
+    pub fn is_valid(&self, q: &CQ) -> bool {
+        !self.fragments.is_empty()
+            && self.covers_all(q.num_atoms())
+            && self.no_inclusion()
+            && self.fragments_connected(q)
+    }
+
+    /// Convert to reformulation specs (sorted fragment order).
+    pub fn to_specs(&self) -> Vec<FragmentSpec> {
+        self.fragments.iter().map(Fragment::to_spec).collect()
+    }
+
+    /// Is every fragment simple (`f == g`)?
+    pub fn is_simple(&self) -> bool {
+        self.fragments.iter().all(Fragment::is_simple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{ConceptId, RoleId};
+    use obda_query::{Atom, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn chain3() -> CQ {
+        // A(x) ∧ r(x, y) ∧ B(y): atoms 0–2, a chain.
+        CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Concept(ConceptId(1), v(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(0), 0);
+        assert_eq!(mask_indices(0b101).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(mask_len(0b1011), 3);
+    }
+
+    #[test]
+    fn trivial_cover_is_valid() {
+        let q = chain3();
+        let c = Cover::trivial(q.num_atoms());
+        assert!(c.is_valid(&q));
+        assert!(c.is_simple());
+        assert!(c.g_is_partition(3));
+    }
+
+    #[test]
+    fn partition_covers_are_valid_when_connected() {
+        let q = chain3();
+        // {A(x), r(x,y)} + {B(y)}: both connected.
+        let c = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b100)]);
+        assert!(c.is_valid(&q));
+        // {A(x), B(y)} + {r(x,y)}: first block disconnected.
+        let c2 = Cover::new(vec![Fragment::simple(0b101), Fragment::simple(0b010)]);
+        assert!(!c2.is_valid(&q));
+        assert!(c2.covers_all(3) && c2.no_inclusion());
+        assert!(!c2.fragments_connected(&q));
+    }
+
+    #[test]
+    fn inclusion_between_fragments_is_rejected() {
+        let q = chain3();
+        let c = Cover::new(vec![Fragment::simple(0b111), Fragment::simple(0b001)]);
+        assert!(!c.no_inclusion());
+        assert!(!c.is_valid(&q));
+    }
+
+    #[test]
+    fn overlapping_covers_are_allowed() {
+        let q = chain3();
+        // {A, r} and {r, B} overlap on atom 1 — valid cover, g not a
+        // partition.
+        let c = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b110)]);
+        assert!(c.is_valid(&q));
+        assert!(!c.g_is_partition(3));
+    }
+
+    #[test]
+    fn generalized_fragment_invariants() {
+        let fr = Fragment::generalized(0b111, 0b001);
+        assert!(!fr.is_simple());
+        let spec = fr.to_spec();
+        assert_eq!(spec.f, vec![0, 1, 2]);
+        assert_eq!(spec.g, vec![0]);
+    }
+
+    #[test]
+    fn cover_ordering_is_canonical() {
+        let a = Cover::new(vec![Fragment::simple(0b100), Fragment::simple(0b011)]);
+        let b = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b100)]);
+        assert_eq!(a, b);
+    }
+}

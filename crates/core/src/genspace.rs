@@ -1,0 +1,238 @@
+//! The generalized-cover space `Gq` — §5.2.
+//!
+//! A generalized cover `{f1‖g1 … fm‖gm}` is in `Gq` iff `{g1 … gm}` is a
+//! safe cover (an element of `Lq`) and each `fi` is a connected atom set
+//! containing `gi`, with no `fi` included in another. Enlarging `f` with
+//! reducer atoms emulates semijoin reducers (Theorem 3 keeps the
+//! reformulation equivalent).
+//!
+//! `|Gq|` explodes combinatorially (upper bound `Bn · n · 2^{n-1}`; the
+//! paper stopped counting A6 at 20 003 covers), so enumeration takes a hard
+//! cap and reports whether it was hit.
+
+use crate::cover::{mask_len, AtomMask, Cover, Fragment};
+use crate::lattice::enumerate_safe_covers;
+use crate::safety::QueryAnalysis;
+
+/// Result of (possibly capped) `Gq` enumeration.
+#[derive(Debug, Clone)]
+pub struct GenSpace {
+    pub covers: Vec<Cover>,
+    /// True if the cap stopped enumeration (the true size is larger).
+    pub truncated: bool,
+}
+
+/// Enumerate generalized covers. `cap` bounds the output size (0 =
+/// unlimited — beware, exponential).
+pub fn enumerate_generalized_covers(analysis: &QueryAnalysis, cap: usize) -> GenSpace {
+    let mut out: Vec<Cover> = Vec::new();
+    let mut truncated = false;
+    let safe = enumerate_safe_covers(analysis, 0);
+    'outer: for base in &safe {
+        // For each fragment g, compute all connected supersets f ⊇ g.
+        let growths: Vec<Vec<AtomMask>> = base
+            .fragments()
+            .iter()
+            .map(|fr| connected_supersets(analysis, fr.g))
+            .collect();
+        // Cartesian product of per-fragment growth choices.
+        let mut choice = vec![0usize; growths.len()];
+        loop {
+            let fragments: Vec<Fragment> = base
+                .fragments()
+                .iter()
+                .zip(&choice)
+                .zip(&growths)
+                .map(|((fr, &c), g)| Fragment::generalized(g[c], fr.g))
+                .collect();
+            let cover = Cover::new(fragments);
+            if cover.no_inclusion() {
+                out.push(cover);
+                if cap > 0 && out.len() >= cap {
+                    truncated = true;
+                    break 'outer;
+                }
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    break;
+                }
+                choice[i] += 1;
+                if choice[i] < growths[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+            if i == choice.len() {
+                break;
+            }
+        }
+    }
+    GenSpace { covers: out, truncated }
+}
+
+/// All connected atom sets `f` with `g ⊆ f` (including `g` itself when
+/// connected; if `g` is disconnected, only supersets that connect it are
+/// produced — plus `g` itself, which is always admitted as the simple
+/// fragment).
+pub fn connected_supersets(analysis: &QueryAnalysis, g: AtomMask) -> Vec<AtomMask> {
+    let mut seen: std::collections::HashSet<AtomMask> = std::collections::HashSet::new();
+    let mut stack = vec![g];
+    seen.insert(g);
+    while let Some(cur) = stack.pop() {
+        let candidates = analysis.neighbors(cur);
+        for i in crate::cover::mask_indices(candidates) {
+            let next = cur | (1 << i);
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    let mut v: Vec<AtomMask> = seen
+        .into_iter()
+        .filter(|&m| m == g || analysis.is_connected(m))
+        .collect();
+    // Deterministic order: by size then value (g first).
+    v.sort_unstable_by_key(|&m| (mask_len(m), m));
+    v
+}
+
+/// Count `|Gq|` up to `cap`.
+pub fn genspace_size(analysis: &QueryAnalysis, cap: usize) -> (usize, bool) {
+    let gs = enumerate_generalized_covers(analysis, cap);
+    (gs.covers.len(), gs.truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::is_safe;
+    use obda_dllite::{example7_tbox, Dependencies, TBox, Vocabulary};
+    use obda_query::{Atom, Term, VarId, CQ};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn example7_analysis() -> QueryAnalysis {
+        let (voc, tbox) = example7_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(0), v(1)),
+                Atom::Role(sup, v(2), v(1)),
+            ],
+        );
+        QueryAnalysis::new(&q, &deps)
+    }
+
+    #[test]
+    fn gq_contains_lq() {
+        let analysis = example7_analysis();
+        let gq = enumerate_generalized_covers(&analysis, 0);
+        assert!(!gq.truncated);
+        let lq = enumerate_safe_covers(&analysis, 0);
+        for c in &lq {
+            assert!(gq.covers.contains(c), "Lq ⊆ Gq: missing {c:?}");
+        }
+        assert!(gq.covers.len() > lq.len(), "Gq strictly larger here");
+    }
+
+    #[test]
+    fn example11_cover_is_enumerated() {
+        // C3 = {f1‖f1, f2‖f0} with f0 = {0}, f1 = {1,2}, f2 = {0,1}.
+        let analysis = example7_analysis();
+        let gq = enumerate_generalized_covers(&analysis, 0);
+        let c3 = Cover::new(vec![
+            Fragment::generalized(0b110, 0b110),
+            Fragment::generalized(0b011, 0b001),
+        ]);
+        assert!(gq.covers.contains(&c3), "Example 11's generalized cover");
+    }
+
+    #[test]
+    fn g_parts_of_generalized_covers_are_safe() {
+        let analysis = example7_analysis();
+        for c in enumerate_generalized_covers(&analysis, 0).covers {
+            let base = Cover::new(
+                c.fragments()
+                    .iter()
+                    .map(|fr| Fragment::simple(fr.g))
+                    .collect(),
+            );
+            assert!(is_safe(&analysis, &base), "g-part must be safe: {c:?}");
+            assert!(c.no_inclusion());
+        }
+    }
+
+    #[test]
+    fn enlarged_fragments_are_connected() {
+        let analysis = example7_analysis();
+        for c in enumerate_generalized_covers(&analysis, 0).covers {
+            for fr in c.fragments() {
+                assert!(
+                    analysis.is_connected(fr.f) || fr.f == fr.g,
+                    "enlarged fragment must be connected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut voc = Vocabulary::new();
+        for i in 0..6 {
+            voc.role(&format!("r{i}"));
+        }
+        let deps = Dependencies::compute(&voc, &TBox::new());
+        let atoms: Vec<Atom> = (0..6)
+            .map(|i| Atom::Role(obda_dllite::RoleId(i as u32), v(0), v(i as u32 + 1)))
+            .collect();
+        let q = CQ::with_var_head(vec![VarId(0)], atoms);
+        let analysis = QueryAnalysis::new(&q, &deps);
+        let (n, truncated) = genspace_size(&analysis, 1000);
+        assert_eq!(n, 1000);
+        assert!(truncated, "6-atom star exceeds 1000 generalized covers");
+    }
+
+    #[test]
+    fn connected_supersets_of_singleton() {
+        let analysis = example7_analysis();
+        // Supersets of {PhDStudent(x)}: {0}, {0,1}, {0,1,2} (atom 2 is not
+        // adjacent to atom 0 directly but reachable through 1).
+        let sup = connected_supersets(&analysis, 0b001);
+        assert_eq!(sup, vec![0b001, 0b011, 0b111]);
+    }
+
+    #[test]
+    fn gq_growth_is_superlinear_in_atoms() {
+        // Star queries with independent predicates: |Gq| explodes (cf.
+        // Table 6's 4 / 67 / 5674 progression).
+        let mut voc = Vocabulary::new();
+        for i in 0..5 {
+            voc.role(&format!("r{i}"));
+        }
+        let deps = Dependencies::compute(&voc, &TBox::new());
+        let mut sizes = Vec::new();
+        for n in 2..=4usize {
+            let atoms: Vec<Atom> = (0..n)
+                .map(|i| Atom::Role(obda_dllite::RoleId(i as u32), v(0), v(i as u32 + 1)))
+                .collect();
+            let q = CQ::with_var_head(vec![VarId(0)], atoms);
+            let analysis = QueryAnalysis::new(&q, &deps);
+            let (size, truncated) = genspace_size(&analysis, 100_000);
+            assert!(!truncated);
+            sizes.push(size);
+        }
+        assert!(sizes[1] > 4 * sizes[0], "superlinear growth: {sizes:?}");
+        assert!(sizes[2] > 4 * sizes[1], "superlinear growth: {sizes:?}");
+    }
+}

@@ -1,0 +1,212 @@
+//! The safe-cover lattice `Lq` — §5.1.
+//!
+//! Theorem 2: every fragment of a safe cover is a union of root-cover
+//! fragments, so `Lq` is exactly the set of partitions of the root
+//! fragments (bounded by the Bell number of the root-fragment count),
+//! additionally filtered for Definition 1 (iii) join-connectivity of each
+//! block. Root fragments themselves are always admitted as blocks even if
+//! internally disconnected (they are forced by safety); unions of root
+//! fragments must be connected at the fragment level.
+
+use crate::bell::{blocks_of, Partitions};
+use crate::cover::{AtomMask, Cover, Fragment};
+use crate::safety::{root_cover, QueryAnalysis};
+
+/// Enumerate the safe-cover lattice of a query. Returns all safe covers,
+/// from the root cover (finest) down to the single-fragment cover
+/// (coarsest). `limit` caps the enumeration (0 = unlimited).
+pub fn enumerate_safe_covers(analysis: &QueryAnalysis, limit: usize) -> Vec<Cover> {
+    let croot = root_cover(analysis);
+    let units: Vec<AtomMask> = croot.fragments().iter().map(|f| f.f).collect();
+    let k = units.len();
+    let mut out = Vec::new();
+    for assignment in Partitions::new(k) {
+        let blocks = blocks_of(&assignment);
+        let mut fragments = Vec::with_capacity(blocks.len());
+        let mut ok = true;
+        for block in &blocks {
+            let mask: AtomMask = block.iter().map(|&u| units[u]).fold(0, |a, b| a | b);
+            // Def 1 (iii): blocks made of several root fragments must be
+            // connected; single root fragments are always admitted.
+            if block.len() > 1 && !unit_connected(analysis, &units, block) {
+                ok = false;
+                break;
+            }
+            fragments.push(Fragment::simple(mask));
+        }
+        if ok {
+            out.push(Cover::new(fragments));
+            if limit > 0 && out.len() >= limit {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Size of `Lq` (with the connectivity filter), up to `limit` (0 =
+/// unlimited).
+pub fn lattice_size(analysis: &QueryAnalysis, limit: usize) -> usize {
+    enumerate_safe_covers(analysis, limit).len()
+}
+
+/// Is the union of the given root-fragment units connected, treating each
+/// unit as a super-node (units are internally inseparable regardless of
+/// their own connectivity)?
+fn unit_connected(analysis: &QueryAnalysis, units: &[AtomMask], block: &[usize]) -> bool {
+    let m = block.len();
+    if m <= 1 {
+        return true;
+    }
+    let mut reached = vec![false; m];
+    reached[0] = true;
+    let mut frontier = vec![0usize];
+    while let Some(i) = frontier.pop() {
+        let ui = units[block[i]];
+        let neigh = analysis.neighbors(ui) | ui;
+        for (j, r) in reached.iter_mut().enumerate() {
+            if !*r && units[block[j]] & neigh != 0 {
+                *r = true;
+                frontier.push(j);
+            }
+        }
+    }
+    reached.into_iter().all(|r| r)
+}
+
+/// The precedence relation of the lattice: `c1 ≺ c2` iff each fragment of
+/// `c2` is a union of fragments of `c1` (c1 is finer).
+pub fn precedes(c1: &Cover, c2: &Cover) -> bool {
+    c2.fragments().iter().all(|f2| {
+        // f2 must be exactly the union of the c1-fragments it contains.
+        let mut union: AtomMask = 0;
+        for f1 in c1.fragments() {
+            if f1.f & f2.f == f1.f {
+                union |= f1.f;
+            } else if f1.f & f2.f != 0 {
+                return false; // partial overlap — not a union of c1 blocks
+            }
+        }
+        union == f2.f
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::bell_number;
+    use obda_dllite::{example7_tbox, Dependencies, TBox, Vocabulary};
+    use obda_query::{Atom, Term, VarId, CQ};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn example7_analysis() -> QueryAnalysis {
+        let (voc, tbox) = example7_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(0), v(1)),
+                Atom::Role(sup, v(2), v(1)),
+            ],
+        );
+        QueryAnalysis::new(&q, &deps)
+    }
+
+    #[test]
+    fn example7_lattice_has_two_covers() {
+        // Croot has 2 fragments → Bell(2) = 2 partitions, both connected:
+        // Croot itself and the single-fragment cover.
+        let analysis = example7_analysis();
+        let covers = enumerate_safe_covers(&analysis, 0);
+        assert_eq!(covers.len(), 2);
+        assert!(covers.iter().any(|c| c.num_fragments() == 2));
+        assert!(covers.iter().any(|c| c.num_fragments() == 1));
+    }
+
+    #[test]
+    fn all_enumerated_covers_are_safe() {
+        let analysis = example7_analysis();
+        for c in enumerate_safe_covers(&analysis, 0) {
+            assert!(crate::safety::is_safe(&analysis, &c), "{c:?}");
+        }
+    }
+
+    /// With no dependencies between star-query atoms, |Lq| = Bell(n)
+    /// (§5.1: "the bound occurs when there is no dependency between the
+    /// atom predicates"). Star queries keep every block connected.
+    #[test]
+    fn independent_star_query_reaches_bell_bound() {
+        let mut voc = Vocabulary::new();
+        for i in 0..5 {
+            voc.role(&format!("r{i}"));
+        }
+        let tbox = TBox::new();
+        let deps = Dependencies::compute(&voc, &tbox);
+        for n in 2..=5usize {
+            let atoms: Vec<Atom> = (0..n)
+                .map(|i| Atom::Role(obda_dllite::RoleId(i as u32), v(0), v(i as u32 + 1)))
+                .collect();
+            let q = CQ::with_var_head(vec![VarId(0)], atoms);
+            let analysis = QueryAnalysis::new(&q, &deps);
+            assert_eq!(
+                lattice_size(&analysis, 0) as u64,
+                bell_number(n),
+                "star query with {n} independent atoms"
+            );
+        }
+    }
+
+    /// Chain query: connectivity prunes partitions with disconnected
+    /// blocks, so |Lq| < Bell(n).
+    #[test]
+    fn chain_query_is_pruned_by_connectivity() {
+        let mut voc = Vocabulary::new();
+        for i in 0..4 {
+            voc.role(&format!("r{i}"));
+        }
+        let deps = Dependencies::compute(&voc, &TBox::new());
+        // r0(x0,x1) ∧ r1(x1,x2) ∧ r2(x2,x3): the partition
+        // {{0,2},{1}} has a disconnected block.
+        let atoms: Vec<Atom> = (0..3)
+            .map(|i| Atom::Role(obda_dllite::RoleId(i as u32), v(i as u32), v(i as u32 + 1)))
+            .collect();
+        let q = CQ::with_var_head(vec![VarId(0)], atoms);
+        let analysis = QueryAnalysis::new(&q, &deps);
+        let size = lattice_size(&analysis, 0);
+        assert!(size < bell_number(3) as usize, "pruned: {size} < 5");
+        assert_eq!(size, 4, "all partitions of a 3-chain except {{0,2}},{{1}}");
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let mut voc = Vocabulary::new();
+        for i in 0..6 {
+            voc.role(&format!("r{i}"));
+        }
+        let deps = Dependencies::compute(&voc, &TBox::new());
+        let atoms: Vec<Atom> = (0..6)
+            .map(|i| Atom::Role(obda_dllite::RoleId(i as u32), v(0), v(i as u32 + 1)))
+            .collect();
+        let q = CQ::with_var_head(vec![VarId(0)], atoms);
+        let analysis = QueryAnalysis::new(&q, &deps);
+        assert_eq!(enumerate_safe_covers(&analysis, 10).len(), 10);
+    }
+
+    #[test]
+    fn precedence_relation() {
+        let analysis = example7_analysis();
+        let covers = enumerate_safe_covers(&analysis, 0);
+        let croot = covers.iter().find(|c| c.num_fragments() == 2).unwrap();
+        let bottom = covers.iter().find(|c| c.num_fragments() == 1).unwrap();
+        assert!(precedes(croot, bottom), "Croot is the top, bottom is coarsest");
+        assert!(precedes(croot, croot), "reflexive");
+        assert!(!precedes(bottom, croot));
+    }
+}

@@ -1,0 +1,132 @@
+//! Memoized fragment reformulation.
+//!
+//! EDL and GDL evaluate many covers sharing fragments; reformulating a
+//! fragment (PerfectRef + minimization) depends only on its atom set and
+//! its exported head, so results are cached across candidate covers. This
+//! is the practical trick that keeps cover search cheap relative to cost
+//! estimation (§6.4).
+
+use std::collections::HashMap;
+
+use obda_dllite::TBox;
+use obda_query::{minimize_ucq, Term, CQ, JUCQ, UCQ};
+use obda_reform::{fragment_query, perfect_ref_pruned};
+
+use crate::cover::{AtomMask, Cover};
+
+/// Cache of fragment-UCQ reformulations for one (query, TBox) pair.
+pub struct ReformCache<'a> {
+    q: &'a CQ,
+    tbox: &'a TBox,
+    /// Minimize each fragment UCQ before assembly (what a production
+    /// rewriter like RAPID emits).
+    pub minimize: bool,
+    cache: HashMap<(AtomMask, Vec<Term>), UCQ>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'a> ReformCache<'a> {
+    pub fn new(q: &'a CQ, tbox: &'a TBox, minimize: bool) -> Self {
+        ReformCache { q, tbox, minimize, cache: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Build the JUCQ reformulation of `cover` (Definition 3 / §5.2),
+    /// reusing cached fragment reformulations.
+    pub fn jucq_for(&mut self, cover: &Cover) -> JUCQ {
+        let specs = cover.to_specs();
+        let components: Vec<UCQ> = cover
+            .fragments()
+            .iter()
+            .zip(&specs)
+            .map(|(fr, spec)| {
+                let fq = fragment_query(self.q, spec, &specs);
+                let key = (fr.f, fq.head().to_vec());
+                if let Some(u) = self.cache.get(&key) {
+                    self.hits += 1;
+                    return u.clone();
+                }
+                self.misses += 1;
+                let mut ucq = perfect_ref_pruned(&fq, self.tbox);
+                if self.minimize {
+                    ucq = minimize_ucq(&ucq);
+                }
+                self.cache.insert(key, ucq.clone());
+                ucq
+            })
+            .collect();
+        JUCQ::new(self.q.head().to_vec(), components)
+    }
+
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Fragment;
+    use obda_dllite::example7_tbox;
+    use obda_query::{Atom, VarId};
+
+    fn setup() -> (CQ, obda_dllite::TBox) {
+        let (voc, tbox) = example7_tbox();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, Term::Var(VarId(0))),
+                Atom::Role(works, Term::Var(VarId(0)), Term::Var(VarId(1))),
+                Atom::Role(sup, Term::Var(VarId(2)), Term::Var(VarId(1))),
+            ],
+        );
+        (q, tbox)
+    }
+
+    #[test]
+    fn repeated_covers_hit_the_cache() {
+        let (q, tbox) = setup();
+        let mut cache = ReformCache::new(&q, &tbox, true);
+        let cover = Cover::new(vec![Fragment::simple(0b001), Fragment::simple(0b110)]);
+        let j1 = cache.jucq_for(&cover);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        let j2 = cache.jucq_for(&cover);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn shared_fragments_are_reused_across_covers() {
+        let (q, tbox) = setup();
+        let mut cache = ReformCache::new(&q, &tbox, true);
+        let c1 = Cover::new(vec![Fragment::simple(0b001), Fragment::simple(0b110)]);
+        let c2 = Cover::new(vec![
+            Fragment::simple(0b001),
+            Fragment::generalized(0b111, 0b110),
+        ]);
+        cache.jucq_for(&c1);
+        let misses_before = cache.misses();
+        cache.jucq_for(&c2);
+        // Fragment {0} exports the same head in both covers — cached.
+        assert_eq!(cache.misses(), misses_before + 1);
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn minimized_components_are_no_larger() {
+        let (q, tbox) = setup();
+        let cover = Cover::trivial(q.num_atoms());
+        let raw = ReformCache::new(&q, &tbox, false).jucq_for(&cover);
+        let min = ReformCache::new(&q, &tbox, true).jucq_for(&cover);
+        assert!(min.total_cqs() <= raw.total_cqs());
+    }
+}

@@ -1,0 +1,246 @@
+//! Cover safety (Definition 5) and the root cover (Definition 6).
+//!
+//! Two atoms whose predicates depend on a common concept or role name
+//! w.r.t. the TBox (Definition 4) may beget unifications during CQ-to-UCQ
+//! reformulation; separating them across fragments can lose answers
+//! (Example 7). A *safe* cover is a partition keeping all such atom pairs
+//! together. The *root cover* is the finest safe cover: the connected
+//! components of the "shares a dependency" relation. Proposition 1: every
+//! safe cover's fragments are unions of root-cover fragments (Theorem 2).
+
+use obda_dllite::Dependencies;
+use obda_query::CQ;
+
+use crate::cover::{mask_indices, AtomMask, Cover, Fragment};
+
+/// Pairwise atom relations of a query w.r.t. a TBox, precomputed once per
+/// (query, TBox) pair and consulted throughout enumeration and search.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// `adj[i]` = atoms sharing a variable with atom `i` (join graph).
+    pub adjacency: Vec<AtomMask>,
+    /// `insep[i]` = atoms whose predicate shares a dependency with atom
+    /// `i`'s predicate (the Definition-5 relation).
+    pub inseparable: Vec<AtomMask>,
+    num_atoms: usize,
+}
+
+impl QueryAnalysis {
+    pub fn new(q: &CQ, deps: &Dependencies) -> Self {
+        let n = q.num_atoms();
+        assert!(n <= 64, "queries are limited to 64 atoms");
+        let mut adjacency = vec![0u64; n];
+        let mut inseparable = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (ai, aj) = (&q.atoms()[i], &q.atoms()[j]);
+                if ai.shares_var(aj) {
+                    adjacency[i] |= 1 << j;
+                }
+                if deps.share_dependency(ai.pred(), aj.pred()) {
+                    inseparable[i] |= 1 << j;
+                }
+            }
+        }
+        QueryAnalysis { adjacency, inseparable, num_atoms: n }
+    }
+
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
+    }
+
+    /// Is the atom set `mask` join-connected (each fragment requirement of
+    /// Definition 1 (iii))? Empty and singleton sets are connected.
+    pub fn is_connected(&self, mask: AtomMask) -> bool {
+        if mask == 0 {
+            return true;
+        }
+        let start = mask.trailing_zeros() as usize;
+        let mut reached: AtomMask = 1 << start;
+        loop {
+            let mut next = reached;
+            for i in mask_indices(reached) {
+                next |= self.adjacency[i] & mask;
+            }
+            if next == reached {
+                break;
+            }
+            reached = next;
+        }
+        reached == mask
+    }
+
+    /// Atoms adjacent to the set `mask` (candidates for the GDL `enlarge`
+    /// move and for generalized-fragment growth).
+    pub fn neighbors(&self, mask: AtomMask) -> AtomMask {
+        let mut out = 0;
+        for i in mask_indices(mask) {
+            out |= self.adjacency[i];
+        }
+        out & !mask
+    }
+}
+
+/// Compute the root cover `Croot` (Definition 6): union-find over the
+/// inseparability relation.
+pub fn root_cover(analysis: &QueryAnalysis) -> Cover {
+    let n = analysis.num_atoms();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for j in mask_indices(analysis.inseparable[i]) {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, AtomMask> = std::collections::HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        *groups.entry(r).or_insert(0) |= 1 << i;
+    }
+    Cover::new(groups.into_values().map(Fragment::simple).collect())
+}
+
+/// Is `cover` safe for query answering (Definition 5)? It must be a
+/// partition of the atoms whose blocks keep inseparable atoms together.
+pub fn is_safe(analysis: &QueryAnalysis, cover: &Cover) -> bool {
+    if !cover.g_is_partition(analysis.num_atoms()) {
+        return false;
+    }
+    for fr in cover.fragments() {
+        for i in mask_indices(fr.g) {
+            // All atoms inseparable from i must be inside the same g.
+            if analysis.inseparable[i] & !fr.g != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{example7_tbox, Dependencies};
+    use obda_query::{Atom, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Example 10: on Example 7's query and TBox the root cover is
+    /// C2 = {{PhDStudent(x)}, {worksWith(x,y), supervisedBy(z,y)}}.
+    fn example7_analysis() -> (QueryAnalysis, CQ) {
+        let (voc, tbox) = example7_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(0), v(1)),
+                Atom::Role(sup, v(2), v(1)),
+            ],
+        );
+        (QueryAnalysis::new(&q, &deps), q)
+    }
+
+    #[test]
+    fn example10_root_cover() {
+        let (analysis, _) = example7_analysis();
+        let croot = root_cover(&analysis);
+        // {PhDStudent(x)} alone; worksWith + supervisedBy together
+        // (worksWith depends on supervisedBy, Example 8).
+        assert_eq!(croot.num_fragments(), 2);
+        let masks: Vec<AtomMask> = croot.fragments().iter().map(|f| f.f).collect();
+        assert!(masks.contains(&0b001), "PhDStudent alone");
+        assert!(masks.contains(&0b110), "worksWith+supervisedBy merged");
+    }
+
+    #[test]
+    fn croot_is_safe_and_unsafe_cover_detected() {
+        let (analysis, _) = example7_analysis();
+        let croot = root_cover(&analysis);
+        assert!(is_safe(&analysis, &croot));
+        // Example 7's C1 = {{PhDStudent, worksWith}, {supervisedBy}} is
+        // NOT safe: it separates worksWith from supervisedBy.
+        let c1 = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b100)]);
+        assert!(!is_safe(&analysis, &c1));
+    }
+
+    #[test]
+    fn single_fragment_cover_is_always_safe() {
+        let (analysis, q) = example7_analysis();
+        let c = Cover::trivial(q.num_atoms());
+        assert!(is_safe(&analysis, &c));
+    }
+
+    #[test]
+    fn overlapping_cover_is_never_safe() {
+        let (analysis, _) = example7_analysis();
+        let c = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b110)]);
+        assert!(!is_safe(&analysis, &c), "Definition 5 requires a partition");
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let (analysis, _) = example7_analysis();
+        // PhDStudent(x) and worksWith(x,y) share x.
+        assert!(analysis.is_connected(0b011));
+        // PhDStudent(x) and supervisedBy(z,y) share nothing.
+        assert!(!analysis.is_connected(0b101));
+        assert!(analysis.is_connected(0b111));
+        assert!(analysis.is_connected(0b100));
+        assert!(analysis.is_connected(0));
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let (analysis, _) = example7_analysis();
+        // Neighbors of {PhDStudent(x)}: worksWith(x,y) only.
+        assert_eq!(analysis.neighbors(0b001), 0b010);
+        // Neighbors of {worksWith}: both others.
+        assert_eq!(analysis.neighbors(0b010), 0b101);
+    }
+
+    /// Proposition 1: any two atoms together in Croot are together in
+    /// every safe cover — verified by enumerating all partitions of the
+    /// 3-atom example.
+    #[test]
+    fn proposition1_croot_minimality() {
+        let (analysis, _) = example7_analysis();
+        let croot = root_cover(&analysis);
+        // All partitions of 3 atoms.
+        let partitions: Vec<Vec<AtomMask>> = vec![
+            vec![0b111],
+            vec![0b001, 0b110],
+            vec![0b010, 0b101],
+            vec![0b100, 0b011],
+            vec![0b001, 0b010, 0b100],
+        ];
+        for p in partitions {
+            let cover = Cover::new(p.into_iter().map(Fragment::simple).collect());
+            if is_safe(&analysis, &cover) {
+                for rf in croot.fragments() {
+                    assert!(
+                        cover.fragments().iter().any(|f| f.g & rf.g == rf.g),
+                        "safe cover must not split root fragment {rf:?}"
+                    );
+                }
+            }
+        }
+    }
+}

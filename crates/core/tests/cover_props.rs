@@ -1,0 +1,90 @@
+//! Property tests of the cover machinery: root-cover minimality
+//! (Proposition 1), lattice structure (Theorem 2), Gq invariants, and GDL
+//! termination/monotonicity.
+
+use proptest::prelude::*;
+
+use obda_core::{
+    bell_number, enumerate_generalized_covers, enumerate_safe_covers, gdl, is_safe, precedes,
+    root_cover, Cover, Fragment, GdlConfig, QueryAnalysis, StructuralEstimator,
+};
+use obda_dllite::Dependencies;
+use obda_query::testkit::{random_connected_cq, random_tbox, KbShape, Rng};
+
+fn fixture(seed: u64, atoms: usize) -> (obda_dllite::TBox, QueryAnalysis, obda_query::CQ) {
+    let mut rng = Rng::new(seed);
+    let (voc, tbox) = random_tbox(&mut rng, &KbShape::default());
+    let cq = random_connected_cq(&mut rng, &voc, atoms, 2);
+    let deps = Dependencies::compute(&voc, &tbox);
+    let analysis = QueryAnalysis::new(&cq, &deps);
+    (tbox, analysis, cq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The root cover is always safe, and its fragment count bounds the
+    /// lattice by the Bell number.
+    #[test]
+    fn root_cover_is_safe_and_bounds_lattice(seed in 0u64..5_000, atoms in 1usize..5) {
+        let (_tbox, analysis, _cq) = fixture(seed, atoms);
+        let croot = root_cover(&analysis);
+        prop_assert!(is_safe(&analysis, &croot));
+        let lq = enumerate_safe_covers(&analysis, 0);
+        prop_assert!(!lq.is_empty());
+        prop_assert!((lq.len() as u64) <= bell_number(croot.num_fragments()));
+        // Croot is in the lattice, and precedes every safe cover
+        // (Proposition 1 / Theorem 2).
+        prop_assert!(lq.contains(&croot));
+        for c in &lq {
+            prop_assert!(is_safe(&analysis, c));
+            prop_assert!(precedes(&croot, c), "Croot is the finest cover");
+        }
+    }
+
+    /// Every generalized cover's g-part is safe and f-parts are valid.
+    #[test]
+    fn gq_invariants(seed in 0u64..5_000, atoms in 2usize..5) {
+        let (_tbox, analysis, cq) = fixture(seed, atoms);
+        let gq = enumerate_generalized_covers(&analysis, 50);
+        for cover in &gq.covers {
+            prop_assert!(cover.covers_all(cq.num_atoms()));
+            prop_assert!(cover.no_inclusion());
+            let base = Cover::new(
+                cover.fragments().iter().map(|fr| Fragment::simple(fr.g)).collect(),
+            );
+            prop_assert!(is_safe(&analysis, &base));
+        }
+    }
+
+    /// GDL terminates, returns a finite cost, and never returns an unsafe
+    /// g-part.
+    #[test]
+    fn gdl_terminates_with_safe_cover(seed in 0u64..5_000, atoms in 1usize..5) {
+        let (tbox, analysis, cq) = fixture(seed, atoms);
+        let out = gdl(&cq, &tbox, &analysis, &StructuralEstimator, &GdlConfig::default());
+        prop_assert!(out.cost.is_finite());
+        let base = Cover::new(
+            out.cover.fragments().iter().map(|fr| Fragment::simple(fr.g)).collect(),
+        );
+        prop_assert!(is_safe(&analysis, &base));
+        prop_assert!(out.cover.covers_all(cq.num_atoms()));
+        // The search visited at least the root cover.
+        prop_assert!(out.explored_simple + out.explored_generalized >= 1);
+    }
+
+    /// The GDL result never costs more than the root cover (greedy descent
+    /// only moves on improvement).
+    #[test]
+    fn gdl_never_worse_than_start(seed in 0u64..5_000, atoms in 1usize..5) {
+        let (tbox, analysis, cq) = fixture(seed, atoms);
+        let mut cache = obda_core::ReformCache::new(&cq, &tbox, true);
+        let croot = root_cover(&analysis);
+        let start = obda_core::CostEstimator::estimate(
+            &StructuralEstimator,
+            &obda_query::FolQuery::Jucq(cache.jucq_for(&croot)),
+        );
+        let out = gdl(&cq, &tbox, &analysis, &StructuralEstimator, &GdlConfig::default());
+        prop_assert!(out.cost <= start + 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! The ABox: the database of explicit facts.
+//!
+//! Concept assertions `A(a)` and role assertions `R(a, b)` over
+//! dictionary-encoded individuals (§2.1). The ABox is a *set*: duplicate
+//! assertions are ignored, in keeping with the set semantics of query
+//! answering (§2.2).
+
+use std::collections::HashSet;
+
+use crate::ids::{ConceptId, IndividualId, RoleId};
+use crate::vocab::Vocabulary;
+
+/// A database of facts.
+#[derive(Debug, Default, Clone)]
+pub struct ABox {
+    concept_assertions: Vec<(ConceptId, IndividualId)>,
+    role_assertions: Vec<(RoleId, IndividualId, IndividualId)>,
+    seen_concept: HashSet<(ConceptId, IndividualId)>,
+    seen_role: HashSet<(RoleId, IndividualId, IndividualId)>,
+}
+
+impl ABox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assert `A(a)`. Returns `true` if the fact is new.
+    pub fn assert_concept(&mut self, concept: ConceptId, ind: IndividualId) -> bool {
+        if self.seen_concept.insert((concept, ind)) {
+            self.concept_assertions.push((concept, ind));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Assert `R(a, b)`. Returns `true` if the fact is new.
+    pub fn assert_role(&mut self, role: RoleId, a: IndividualId, b: IndividualId) -> bool {
+        if self.seen_role.insert((role, a, b)) {
+            self.role_assertions.push((role, a, b));
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn has_concept(&self, concept: ConceptId, ind: IndividualId) -> bool {
+        self.seen_concept.contains(&(concept, ind))
+    }
+
+    pub fn has_role(&self, role: RoleId, a: IndividualId, b: IndividualId) -> bool {
+        self.seen_role.contains(&(role, a, b))
+    }
+
+    pub fn concept_assertions(&self) -> &[(ConceptId, IndividualId)] {
+        &self.concept_assertions
+    }
+
+    pub fn role_assertions(&self) -> &[(RoleId, IndividualId, IndividualId)] {
+        &self.role_assertions
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.concept_assertions.len() + self.role_assertions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Members of concept `A` (explicit only — no reasoning).
+    pub fn concept_members(&self, concept: ConceptId) -> impl Iterator<Item = IndividualId> + '_ {
+        self.concept_assertions
+            .iter()
+            .filter(move |(c, _)| *c == concept)
+            .map(|&(_, i)| i)
+    }
+
+    /// Pairs of role `R` (explicit only — no reasoning).
+    pub fn role_pairs(
+        &self,
+        role: RoleId,
+    ) -> impl Iterator<Item = (IndividualId, IndividualId)> + '_ {
+        self.role_assertions
+            .iter()
+            .filter(move |(r, _, _)| *r == role)
+            .map(|&(_, a, b)| (a, b))
+    }
+
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl std::fmt::Display + 'a {
+        struct D<'a>(&'a ABox, &'a Vocabulary);
+        impl std::fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                for &(c, i) in &self.0.concept_assertions {
+                    writeln!(f, "{}({})", self.1.concept_name(c), self.1.individual_name(i))?;
+                }
+                for &(r, a, b) in &self.0.role_assertions {
+                    writeln!(
+                        f,
+                        "{}({}, {})",
+                        self.1.role_name(r),
+                        self.1.individual_name(a),
+                        self.1.individual_name(b)
+                    )?;
+                }
+                Ok(())
+            }
+        }
+        D(self, voc)
+    }
+}
+
+/// Build the sample ABox of paper Example 1 over an existing vocabulary
+/// (must contain the Example-1 names).
+pub fn example1_abox(voc: &mut Vocabulary) -> ABox {
+    let works = voc.role("worksWith");
+    let sup = voc.role("supervisedBy");
+    let ioana = voc.individual("Ioana");
+    let francois = voc.individual("Francois");
+    let damian = voc.individual("Damian");
+    let mut abox = ABox::new();
+    abox.assert_role(works, ioana, francois); // (A1)
+    abox.assert_role(sup, damian, ioana); // (A2)
+    abox.assert_role(sup, damian, francois); // (A3)
+    abox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assertions_deduplicate() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        assert!(abox.assert_concept(a, x));
+        assert!(!abox.assert_concept(a, x));
+        assert_eq!(abox.len(), 1);
+    }
+
+    #[test]
+    fn role_assertions_are_ordered_pairs() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        assert!(abox.assert_role(r, x, y));
+        assert!(abox.assert_role(r, y, x), "(y,x) is a distinct fact from (x,y)");
+        assert!(abox.has_role(r, x, y));
+        assert!(abox.has_role(r, y, x));
+        assert_eq!(abox.len(), 2);
+    }
+
+    #[test]
+    fn example1_abox_shape() {
+        let (mut voc, _) = crate::tbox::example1_tbox();
+        let abox = example1_abox(&mut voc);
+        assert_eq!(abox.len(), 3);
+        assert_eq!(abox.concept_assertions().len(), 0);
+        let sup = voc.find_role("supervisedBy").unwrap();
+        assert_eq!(abox.role_pairs(sup).count(), 2);
+    }
+
+    #[test]
+    fn concept_members_filters_by_concept() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_concept(b, y);
+        let members: Vec<_> = abox.concept_members(a).collect();
+        assert_eq!(members, vec![x]);
+    }
+}

@@ -1,0 +1,177 @@
+//! DL-LiteR TBox axioms.
+//!
+//! Per §2.1 a DL-LiteR TBox constraint is either
+//!
+//! * a concept inclusion `C1 ⊑ C2` or `C1 ⊑ ¬C2` with `C1`, `C2` basic
+//!   concepts (atomic or `∃R`, `R ∈ N±R`), or
+//! * a role inclusion `R1 ⊑ R2` or `R1 ⊑ ¬R2` with `R1, R2 ∈ N±R`.
+//!
+//! Negation may appear only on the right-hand side; negative inclusions
+//! (disjointness constraints) never participate in query reformulation but
+//! are checked by [`crate::consistency`].
+
+use std::fmt;
+
+use crate::expr::{BasicConcept, Role};
+use crate::vocab::Vocabulary;
+
+/// Positive or negative concept inclusion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConceptInclusion {
+    pub lhs: BasicConcept,
+    pub rhs: BasicConcept,
+    /// `true` for `lhs ⊑ ¬rhs` (disjointness).
+    pub negated: bool,
+}
+
+/// Positive or negative role inclusion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RoleInclusion {
+    pub lhs: Role,
+    pub rhs: Role,
+    /// `true` for `lhs ⊑ ¬rhs` (role disjointness).
+    pub negated: bool,
+}
+
+/// A DL-LiteR TBox axiom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Axiom {
+    Concept(ConceptInclusion),
+    Role(RoleInclusion),
+}
+
+impl Axiom {
+    /// Positive concept inclusion `lhs ⊑ rhs`.
+    pub fn concept(lhs: BasicConcept, rhs: BasicConcept) -> Self {
+        Axiom::Concept(ConceptInclusion { lhs, rhs, negated: false })
+    }
+
+    /// Negative concept inclusion `lhs ⊑ ¬rhs`.
+    pub fn concept_neg(lhs: BasicConcept, rhs: BasicConcept) -> Self {
+        Axiom::Concept(ConceptInclusion { lhs, rhs, negated: true })
+    }
+
+    /// Positive role inclusion `lhs ⊑ rhs`.
+    pub fn role(lhs: Role, rhs: Role) -> Self {
+        Axiom::Role(RoleInclusion { lhs, rhs, negated: false })
+    }
+
+    /// Negative role inclusion `lhs ⊑ ¬rhs`.
+    pub fn role_neg(lhs: Role, rhs: Role) -> Self {
+        Axiom::Role(RoleInclusion { lhs, rhs, negated: true })
+    }
+
+    pub fn is_negative(&self) -> bool {
+        match self {
+            Axiom::Concept(ci) => ci.negated,
+            Axiom::Role(ri) => ri.negated,
+        }
+    }
+
+    pub fn is_positive(&self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Does the axiom's RHS introduce an existential witness when read as a
+    /// forward rule — i.e. is it of FOL form 2/3/6/7/8/9 of Table 3?
+    pub fn is_existential(&self) -> bool {
+        matches!(
+            self,
+            Axiom::Concept(ConceptInclusion { rhs: BasicConcept::Exists(_), negated: false, .. })
+        )
+    }
+
+    /// Normalize a role inclusion so that the right-hand side is a direct
+    /// (non-inverse) role: `R⁻ ⊑ S⁻` is the same constraint as `R ⊑ S`
+    /// (Table 3, rows 10–11). Concept inclusions are returned unchanged.
+    ///
+    /// Normalization makes syntactic deduplication in
+    /// [`crate::tbox::TBox::add`] and axiom-applicability indexing simpler:
+    /// every role inclusion is stored with `rhs.inverse == false`.
+    pub fn normalized(self) -> Self {
+        match self {
+            Axiom::Role(ri) if ri.rhs.inverse => Axiom::Role(RoleInclusion {
+                lhs: ri.lhs.inverted(),
+                rhs: ri.rhs.inverted(),
+                negated: ri.negated,
+            }),
+            other => other,
+        }
+    }
+
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Axiom, &'a Vocabulary);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Axiom::Concept(ci) => {
+                        write!(f, "{} <= ", ci.lhs.display(self.1))?;
+                        if ci.negated {
+                            write!(f, "not ")?;
+                        }
+                        write!(f, "{}", ci.rhs.display(self.1))
+                    }
+                    Axiom::Role(ri) => {
+                        write!(f, "{} <= ", ri.lhs.display(self.1))?;
+                        if ri.negated {
+                            write!(f, "not ")?;
+                        }
+                        write!(f, "{}", ri.rhs.display(self.1))
+                    }
+                }
+            }
+        }
+        D(self, voc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConceptId, RoleId};
+
+    fn a() -> BasicConcept {
+        BasicConcept::Atomic(ConceptId(0))
+    }
+    fn r() -> Role {
+        Role::direct(RoleId(0))
+    }
+    fn s() -> Role {
+        Role::direct(RoleId(1))
+    }
+
+    #[test]
+    fn polarity_flags() {
+        assert!(Axiom::concept(a(), a()).is_positive());
+        assert!(Axiom::concept_neg(a(), a()).is_negative());
+        assert!(Axiom::role(r(), s()).is_positive());
+        assert!(Axiom::role_neg(r(), s()).is_negative());
+    }
+
+    #[test]
+    fn existential_detection() {
+        assert!(Axiom::concept(a(), BasicConcept::Exists(r())).is_existential());
+        assert!(!Axiom::concept(BasicConcept::Exists(r()), a()).is_existential());
+        assert!(!Axiom::concept_neg(a(), BasicConcept::Exists(r())).is_existential());
+        assert!(!Axiom::role(r(), s()).is_existential());
+    }
+
+    #[test]
+    fn role_inclusion_normalization() {
+        // R⁻ ⊑ S⁻ normalizes to R ⊑ S (Table 3 row 11 lists them as equal).
+        let ax = Axiom::role(r().inverted(), s().inverted()).normalized();
+        assert_eq!(ax, Axiom::role(r(), s()));
+        // R ⊑ S⁻ normalizes to R⁻ ⊑ S (row 10).
+        let ax = Axiom::role(r(), s().inverted()).normalized();
+        assert_eq!(ax, Axiom::role(r().inverted(), s()));
+        // Already-normal axioms are unchanged.
+        let ax = Axiom::role(r().inverted(), s());
+        assert_eq!(ax.normalized(), ax);
+    }
+
+    #[test]
+    fn concept_axioms_unchanged_by_normalization() {
+        let ax = Axiom::concept(a(), BasicConcept::Exists(r().inverted()));
+        assert_eq!(ax.normalized(), ax);
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal fixed-width bitset used for predicate-dependency sets.
+//!
+//! Dependency sets (`dep(N)`, Definition 4) are subsets of the predicate
+//! name space `NC ∪ NR`; for TBoxes of a few hundred predicates a flat
+//! `Vec<u64>` beats hash sets by a wide margin and makes the frequent
+//! "common dependency?" intersection test (Definition 5) a few AND-words.
+
+/// Fixed-capacity bitset over `0..nbits`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Empty set over a universe of `nbits` elements.
+    pub fn new(nbits: usize) -> Self {
+        BitSet { words: vec![0; nbits.div_ceil(64)], nbits }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Insert `i`; returns `true` if newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        newly
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Does `self ∩ other ≠ ∅`? The safety test of Definition 5.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert reports no change");
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "out of range is simply absent");
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(3);
+        b.insert(70);
+        assert!(!a.intersects(&b));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.contains(70));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let mut s = BitSet::new(200);
+        for i in [150, 3, 64, 65, 0] {
+            s.insert(i);
+        }
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

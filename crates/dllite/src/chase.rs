@@ -1,0 +1,402 @@
+//! A bounded restricted chase for DL-LiteR.
+//!
+//! The chase materializes the consequences of the positive TBox axioms over
+//! an ABox, inventing *labeled nulls* as witnesses of existential axioms
+//! (`A ⊑ ∃R`). For DL-LiteR the restricted chase (fire an existential rule
+//! only when its conclusion is not yet satisfied) yields a universal model;
+//! evaluating a CQ over it and keeping the all-constant answer tuples gives
+//! exactly the certain answers.
+//!
+//! The chase of a DL-LiteR KB can be infinite (cyclic existential axioms
+//! such as `∃R⁻ ⊑ ∃R`), so we bound the *generation depth* of nulls. By the
+//! locality of canonical models, a CQ with `n` atoms can only "see" nulls at
+//! distance ≤ `n` from the ABox individuals, hence depth `n + 1` suffices
+//! for certain-answer computation — this is what the certain-answer
+//! evaluator in `obda-query` relies on.
+//!
+//! This module is the *testing oracle* of the workspace: reformulation-based
+//! query answering (the paper's route) is validated against it in property
+//! tests. It is not meant to scale; the RDBMS substrate is the scalable
+//! path.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::abox::ABox;
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, Role};
+use crate::ids::{ConceptId, IndividualId, RoleId};
+use crate::tbox::TBox;
+
+/// A term of the chased instance: a database constant or a labeled null.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum ChaseTerm {
+    Const(IndividualId),
+    Null(u32),
+}
+
+impl ChaseTerm {
+    pub fn is_const(self) -> bool {
+        matches!(self, ChaseTerm::Const(_))
+    }
+}
+
+/// A fact of the chased instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ChaseFact {
+    Concept(ConceptId, ChaseTerm),
+    Role(RoleId, ChaseTerm, ChaseTerm),
+}
+
+/// Result of chasing an ABox: the saturated fact set with lookup indexes.
+#[derive(Debug, Default)]
+pub struct ChaseInstance {
+    facts: HashSet<ChaseFact>,
+    by_concept: HashMap<ConceptId, Vec<ChaseTerm>>,
+    by_role: HashMap<RoleId, Vec<(ChaseTerm, ChaseTerm)>>,
+    /// Generation depth of each null (constants are depth 0).
+    null_depth: Vec<u32>,
+    /// True if the depth bound stopped at least one existential rule, i.e.
+    /// the returned instance is a truncation of the full (infinite) chase.
+    truncated: bool,
+}
+
+impl ChaseInstance {
+    fn add(&mut self, fact: ChaseFact) -> bool {
+        if !self.facts.insert(fact) {
+            return false;
+        }
+        match fact {
+            ChaseFact::Concept(c, t) => self.by_concept.entry(c).or_default().push(t),
+            ChaseFact::Role(r, a, b) => self.by_role.entry(r).or_default().push((a, b)),
+        }
+        true
+    }
+
+    pub fn contains(&self, fact: &ChaseFact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn num_nulls(&self) -> usize {
+        self.null_depth.len()
+    }
+
+    /// Whether the depth bound truncated the chase.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    pub fn concept_members(&self, c: ConceptId) -> &[ChaseTerm] {
+        self.by_concept.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn role_pairs(&self, r: RoleId) -> &[(ChaseTerm, ChaseTerm)] {
+        self.by_role.get(&r).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Members of a basic concept (`A`, `∃R`, or `∃R⁻`) in this instance.
+    pub fn basic_concept_members(&self, b: BasicConcept) -> Vec<ChaseTerm> {
+        match b {
+            BasicConcept::Atomic(c) => self.concept_members(c).to_vec(),
+            BasicConcept::Exists(role) => {
+                let pairs = self.role_pairs(role.name);
+                let mut v: Vec<ChaseTerm> = if role.inverse {
+                    pairs.iter().map(|&(_, b)| b).collect()
+                } else {
+                    pairs.iter().map(|&(a, _)| a).collect()
+                };
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// Pairs of a role expression (`R` or `R⁻`) in this instance.
+    pub fn role_expr_pairs(&self, role: Role) -> Vec<(ChaseTerm, ChaseTerm)> {
+        let pairs = self.role_pairs(role.name);
+        if role.inverse {
+            pairs.iter().map(|&(a, b)| (b, a)).collect()
+        } else {
+            pairs.to_vec()
+        }
+    }
+
+    fn depth(&self, t: ChaseTerm) -> u32 {
+        match t {
+            ChaseTerm::Const(_) => 0,
+            ChaseTerm::Null(n) => self.null_depth[n as usize],
+        }
+    }
+
+    fn fresh_null(&mut self, depth: u32) -> ChaseTerm {
+        let id = self.null_depth.len() as u32;
+        self.null_depth.push(depth);
+        ChaseTerm::Null(id)
+    }
+}
+
+/// Run the bounded restricted chase of `abox` under the positive axioms of
+/// `tbox`, inventing nulls up to generation depth `max_depth`.
+///
+/// `max_depth == 0` applies only null-free rules (plain saturation of the
+/// explicit facts).
+pub fn chase(tbox: &TBox, abox: &ABox, max_depth: u32) -> ChaseInstance {
+    let mut inst = ChaseInstance::default();
+    let mut agenda: Vec<ChaseFact> = Vec::new();
+    for &(c, i) in abox.concept_assertions() {
+        let f = ChaseFact::Concept(c, ChaseTerm::Const(i));
+        if inst.add(f) {
+            agenda.push(f);
+        }
+    }
+    for &(r, a, b) in abox.role_assertions() {
+        let f = ChaseFact::Role(r, ChaseTerm::Const(a), ChaseTerm::Const(b));
+        if inst.add(f) {
+            agenda.push(f);
+        }
+    }
+
+    // Group positive axioms by the name of their LHS so each new fact only
+    // triggers the relevant rules.
+    let mut concept_rules: HashMap<ConceptId, Vec<&Axiom>> = HashMap::new();
+    let mut role_rules: HashMap<RoleId, Vec<&Axiom>> = HashMap::new();
+    for ax in tbox.positive_axioms() {
+        match ax {
+            Axiom::Concept(ci) => match ci.lhs {
+                BasicConcept::Atomic(c) => concept_rules.entry(c).or_default().push(ax),
+                BasicConcept::Exists(r) => role_rules.entry(r.name).or_default().push(ax),
+            },
+            Axiom::Role(ri) => role_rules.entry(ri.lhs.name).or_default().push(ax),
+        }
+    }
+
+    while let Some(fact) = agenda.pop() {
+        let rules: &[&Axiom] = match fact {
+            ChaseFact::Concept(c, _) => {
+                concept_rules.get(&c).map(Vec::as_slice).unwrap_or(&[])
+            }
+            ChaseFact::Role(r, _, _) => role_rules.get(&r).map(Vec::as_slice).unwrap_or(&[]),
+        };
+        // Collect conclusions first: rule firing may need &mut inst.
+        let mut new_facts: Vec<ChaseFact> = Vec::new();
+        for ax in rules {
+            apply_rule(ax, fact, &mut inst, max_depth, &mut new_facts);
+        }
+        for f in new_facts {
+            if inst.add(f) {
+                agenda.push(f);
+            }
+        }
+    }
+    inst
+}
+
+/// Fire one positive axiom on one trigger fact, pushing conclusions.
+fn apply_rule(
+    ax: &Axiom,
+    fact: ChaseFact,
+    inst: &mut ChaseInstance,
+    max_depth: u32,
+    out: &mut Vec<ChaseFact>,
+) {
+    // The frontier term(s) bound by the LHS.
+    let bound: Option<ChaseTerm> = match (ax, fact) {
+        (Axiom::Concept(ci), ChaseFact::Concept(c, t)) => match ci.lhs {
+            BasicConcept::Atomic(lc) if lc == c => Some(t),
+            _ => None,
+        },
+        (Axiom::Concept(ci), ChaseFact::Role(r, a, b)) => match ci.lhs {
+            BasicConcept::Exists(lr) if lr.name == r => {
+                Some(if lr.inverse { b } else { a })
+            }
+            _ => None,
+        },
+        (Axiom::Role(_), ChaseFact::Concept(..)) => None,
+        (Axiom::Role(ri), ChaseFact::Role(r, a, b)) => {
+            if ri.lhs.name == r {
+                // Handled below without the single-term shortcut.
+                let (x, y) = if ri.lhs.inverse { (b, a) } else { (a, b) };
+                // rhs is normalized direct.
+                let f = ChaseFact::Role(ri.rhs.name, x, y);
+                if !inst.contains(&f) {
+                    out.push(f);
+                }
+            }
+            return;
+        }
+    };
+    let Some(t) = bound else { return };
+    let Axiom::Concept(ci) = ax else { return };
+    match ci.rhs {
+        BasicConcept::Atomic(c) => {
+            let f = ChaseFact::Concept(c, t);
+            if !inst.contains(&f) {
+                out.push(f);
+            }
+        }
+        BasicConcept::Exists(role) => {
+            // Restricted chase: fire only if no witness exists yet.
+            let satisfied = if role.inverse {
+                inst.role_pairs(role.name).iter().any(|&(_, b)| b == t)
+            } else {
+                inst.role_pairs(role.name).iter().any(|&(a, _)| a == t)
+            };
+            if satisfied {
+                return;
+            }
+            let d = inst.depth(t);
+            if d >= max_depth {
+                inst.truncated = true;
+                return;
+            }
+            let null = inst.fresh_null(d + 1);
+            let f = if role.inverse {
+                ChaseFact::Role(role.name, null, t)
+            } else {
+                ChaseFact::Role(role.name, t, null)
+            };
+            out.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abox::example1_abox;
+    use crate::tbox::{example1_tbox, TBoxBuilder};
+
+    /// Example 2 of the paper: entailed assertions of the Example-1 KB.
+    #[test]
+    fn example2_entailed_assertions() {
+        let (mut voc, tbox) = example1_tbox();
+        let abox = example1_abox(&mut voc);
+        let inst = chase(&tbox, &abox, 3);
+
+        let works = voc.find_role("worksWith").unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let ioana = ChaseTerm::Const(voc.find_individual("Ioana").unwrap());
+        let francois = ChaseTerm::Const(voc.find_individual("Francois").unwrap());
+        let damian = ChaseTerm::Const(voc.find_individual("Damian").unwrap());
+
+        // K |= worksWith(Francois, Ioana), via (T4) + (A1).
+        assert!(inst.contains(&ChaseFact::Role(works, francois, ioana)));
+        // K |= PhDStudent(Damian), via (A2) + (T6).
+        assert!(inst.contains(&ChaseFact::Concept(phd, damian)));
+        // K |= worksWith(Francois, Damian), via (A3) + (T5) + (T4).
+        assert!(inst.contains(&ChaseFact::Role(works, francois, damian)));
+        // Also worksWith(Damian, Francois) via (A3) + (T5).
+        assert!(inst.contains(&ChaseFact::Role(works, damian, francois)));
+    }
+
+    #[test]
+    fn restricted_chase_reuses_witnesses() {
+        // A ⊑ ∃r plus explicit r(x, y): no null should be created for x.
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r");
+        let (mut voc, tbox) = b.finish();
+        let r = voc.find_role("r").unwrap();
+        let a = voc.find_concept("A").unwrap();
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_role(r, x, y);
+        abox.assert_concept(a, x);
+        let inst = chase(&tbox, &abox, 5);
+        assert_eq!(inst.num_nulls(), 0, "explicit witness satisfies the rule");
+        assert!(!inst.truncated());
+    }
+
+    #[test]
+    fn existential_rule_invents_null() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let r = voc.find_role("r").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        let inst = chase(&tbox, &abox, 5);
+        assert_eq!(inst.num_nulls(), 1);
+        let pairs = inst.role_pairs(r);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, ChaseTerm::Const(x));
+        assert!(!pairs[0].1.is_const());
+    }
+
+    #[test]
+    fn cyclic_existentials_truncate_at_depth() {
+        // A ⊑ ∃r, ∃r⁻ ⊑ A: infinite chase; bounded at depth d creates d
+        // nulls along the chain.
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r").sub("exists r-", "A");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        for depth in 1..5u32 {
+            let inst = chase(&tbox, &abox, depth);
+            assert_eq!(inst.num_nulls(), depth as usize);
+            assert!(inst.truncated(), "cycle must hit the bound");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_plain_saturation() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "B").sub("A", "exists r");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let bb = voc.find_concept("B").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        let inst = chase(&tbox, &abox, 0);
+        assert!(inst.contains(&ChaseFact::Concept(bb, ChaseTerm::Const(x))));
+        assert_eq!(inst.num_nulls(), 0);
+        assert!(inst.truncated(), "the suppressed existential is recorded");
+    }
+
+    #[test]
+    fn inverse_role_inclusion_swaps_pair() {
+        // r ⊑ s⁻ normalizes to r⁻ ⊑ s: r(x,y) ⟹ s(y,x).
+        let mut b = TBoxBuilder::new();
+        b.sub_role("r", "s-");
+        let (mut voc, tbox) = b.finish();
+        let r = voc.find_role("r").unwrap();
+        let s = voc.find_role("s").unwrap();
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_role(r, x, y);
+        let inst = chase(&tbox, &abox, 2);
+        assert!(inst.contains(&ChaseFact::Role(
+            s,
+            ChaseTerm::Const(y),
+            ChaseTerm::Const(x)
+        )));
+    }
+
+    #[test]
+    fn basic_concept_members_of_exists() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_role(r, x, y);
+        let inst = chase(&TBox::new(), &abox, 1);
+        let fwd = inst.basic_concept_members(BasicConcept::Exists(Role::direct(r)));
+        assert_eq!(fwd, vec![ChaseTerm::Const(x)]);
+        let bwd = inst.basic_concept_members(BasicConcept::Exists(Role::inv(r)));
+        assert_eq!(bwd, vec![ChaseTerm::Const(y)]);
+    }
+
+    use crate::vocab::Vocabulary;
+}

@@ -1,0 +1,201 @@
+//! KB consistency checking.
+//!
+//! A KB `K = ⟨T, A⟩` is consistent iff none of its explicit or inferred
+//! facts contradicts a constraint with negation (§2.1). Since the
+//! (restricted) chase is a universal model of the positive axioms,
+//! consistency reduces to checking every *asserted* negative constraint
+//! against the chased instance: `B1 ⊑ ¬B2` is violated iff some term is in
+//! both `B1` and `B2`; `R1 ⊑ ¬R2` iff some pair is in both.
+//!
+//! Nulls participate: a violation among invented witnesses still means no
+//! model exists. Because the chase is depth-bounded, an unbounded-depth
+//! violation could theoretically be missed; in DL-LiteR a violation is
+//! witnessed within one existential step of the ABox (null types are fixed
+//! by their generating axiom), so the default depth of 2 is exact.
+
+use std::collections::HashSet;
+
+use crate::abox::ABox;
+use crate::axiom::Axiom;
+use crate::chase::{chase, ChaseInstance};
+use crate::tbox::TBox;
+use crate::vocab::Vocabulary;
+
+/// Depth sufficient to expose any DL-LiteR disjointness violation.
+pub const CONSISTENCY_CHASE_DEPTH: u32 = 2;
+
+/// A witnessed violation of a negative constraint.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated axiom (always a negative inclusion).
+    pub axiom: Axiom,
+    /// Human-readable witness description.
+    pub witness: String,
+}
+
+/// Check `⟨tbox, abox⟩` for consistency; return all violations found.
+///
+/// An empty result means the ABox is `T`-consistent.
+pub fn check_consistency(voc: &Vocabulary, tbox: &TBox, abox: &ABox) -> Vec<Violation> {
+    let inst = chase(tbox, abox, CONSISTENCY_CHASE_DEPTH);
+    violations_in(voc, tbox, &inst)
+}
+
+/// Check an already-chased instance against the negative axioms of `tbox`.
+pub fn violations_in(voc: &Vocabulary, tbox: &TBox, inst: &ChaseInstance) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for ax in tbox.negative_axioms() {
+        match ax {
+            Axiom::Concept(ci) => {
+                let left: HashSet<_> = inst.basic_concept_members(ci.lhs).into_iter().collect();
+                if left.is_empty() {
+                    continue;
+                }
+                for t in inst.basic_concept_members(ci.rhs) {
+                    if left.contains(&t) {
+                        out.push(Violation {
+                            axiom: *ax,
+                            witness: format!(
+                                "{t:?} is in both {} and {}",
+                                ci.lhs.display(voc),
+                                ci.rhs.display(voc)
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            Axiom::Role(ri) => {
+                let left: HashSet<_> = inst.role_expr_pairs(ri.lhs).into_iter().collect();
+                if left.is_empty() {
+                    continue;
+                }
+                for p in inst.role_expr_pairs(ri.rhs) {
+                    if left.contains(&p) {
+                        out.push(Violation {
+                            axiom: *ax,
+                            witness: format!(
+                                "{p:?} is in both {} and {}",
+                                ri.lhs.display(voc),
+                                ri.rhs.display(voc)
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `true` iff the KB has a model.
+pub fn is_consistent(voc: &Vocabulary, tbox: &TBox, abox: &ABox) -> bool {
+    check_consistency(voc, tbox, abox).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abox::example1_abox;
+    use crate::tbox::{example1_tbox, TBoxBuilder};
+
+    /// Example 1 / end of Example 2: the sample ABox is T-consistent.
+    #[test]
+    fn example1_is_consistent() {
+        let (mut voc, tbox) = example1_tbox();
+        let abox = example1_abox(&mut voc);
+        assert!(is_consistent(&voc, &tbox, &abox));
+    }
+
+    /// Making Damian a supervisor violates (T7): PhD students cannot
+    /// supervise anyone (Damian is a PhD student via (T6) + (A2)).
+    #[test]
+    fn phd_student_supervising_is_inconsistent() {
+        let (mut voc, tbox) = example1_tbox();
+        let mut abox = example1_abox(&mut voc);
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let alice = voc.individual("Alice");
+        abox.assert_role(sup, alice, damian); // Damian supervises Alice.
+        let violations = check_consistency(&voc, &tbox, &abox);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].axiom.is_negative());
+    }
+
+    #[test]
+    fn negation_free_kb_is_always_consistent() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "B").sub("B", "exists r").sub("exists r-", "A");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        assert!(is_consistent(&voc, &tbox, &abox));
+    }
+
+    #[test]
+    fn direct_concept_disjointness_violation() {
+        let mut b = TBoxBuilder::new();
+        b.disjoint("A", "B");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let bb = voc.find_concept("B").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_concept(bb, x);
+        assert!(!is_consistent(&voc, &tbox, &abox));
+    }
+
+    #[test]
+    fn inferred_violation_through_hierarchy() {
+        // A ⊑ B, B ⊑ ¬C, A(x), C(x): inconsistent only through inference.
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "B").disjoint("B", "C");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let c = voc.find_concept("C").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_concept(c, x);
+        assert!(!is_consistent(&voc, &tbox, &abox));
+    }
+
+    #[test]
+    fn role_disjointness_violation() {
+        let mut b = TBoxBuilder::new();
+        b.disjoint_role("r", "s");
+        let (mut voc, tbox) = b.finish();
+        let r = voc.find_role("r").unwrap();
+        let s = voc.find_role("s").unwrap();
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_role(r, x, y);
+        abox.assert_role(s, x, y);
+        assert!(!is_consistent(&voc, &tbox, &abox));
+        // Different pair directions do not violate.
+        let mut abox2 = ABox::new();
+        abox2.assert_role(r, x, y);
+        abox2.assert_role(s, y, x);
+        assert!(is_consistent(&voc, &tbox, &abox2));
+    }
+
+    #[test]
+    fn violation_with_null_witness() {
+        // A ⊑ ∃r, ∃r⁻ ⊑ C, C ⊑ ¬D, D ⊑ ∃r⁻? Simpler: A ⊑ ∃r, ∃r ⊑ B,
+        // B ⊑ ¬A: then A(x) gives x ∈ ∃r (null witness), so x ∈ B,
+        // contradiction with A(x).
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r").sub("exists r", "B").disjoint("B", "A");
+        let (mut voc, tbox) = b.finish();
+        let a = voc.find_concept("A").unwrap();
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        assert!(!is_consistent(&voc, &tbox, &abox));
+    }
+}

@@ -1,0 +1,217 @@
+//! Concept and role dependencies w.r.t. a TBox — Definition 4.
+//!
+//! `dep(N)` is the set of concept/role names into which atoms over `N` may
+//! turn through backward constraint application and/or unification during
+//! CQ-to-UCQ reformulation. It is the fixpoint of
+//!
+//! ```text
+//! dep⁰(N) = {N}
+//! depⁿ(N) = depⁿ⁻¹(N) ∪ {cr(Y) | Y ⊑ X ∈ T and cr(X) ∈ depⁿ⁻¹(N)}
+//! ```
+//!
+//! where `cr(·)` strips a basic concept or role expression down to its
+//! underlying name. Only *positive* inclusions participate.
+//!
+//! Two query atoms are inseparable (must share a cover fragment,
+//! Definition 5) iff their predicates' dependency sets intersect; this
+//! module precomputes all dependency sets as bitsets so that the test is a
+//! handful of word ANDs.
+
+use crate::bitset::BitSet;
+use crate::ids::PredId;
+use crate::tbox::TBox;
+use crate::vocab::Vocabulary;
+
+/// Precomputed `dep(N)` for every predicate name of a vocabulary.
+#[derive(Debug, Clone)]
+pub struct Dependencies {
+    /// `sets[p.dense_index()]` = dep of predicate `p` as a bitset over dense
+    /// predicate indexes.
+    sets: Vec<BitSet>,
+    num_concepts: usize,
+}
+
+impl Dependencies {
+    /// Compute all dependency sets for `tbox` over `voc`.
+    ///
+    /// Implementation: build the reversed inclusion graph with an edge
+    /// `cr(X) → cr(Y)` for every positive inclusion `Y ⊑ X`, then saturate
+    /// each predicate's reachable set. Saturation is a simple worklist over
+    /// bitsets; TBoxes here are small (≤ a few hundred predicates).
+    pub fn compute(voc: &Vocabulary, tbox: &TBox) -> Self {
+        let n = voc.num_preds();
+        let nc = voc.num_concepts();
+
+        // adjacency: edges[cr(X)] ∋ cr(Y) for Y ⊑ X.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for ax in tbox.positive_axioms() {
+            let (from, to) = match ax {
+                crate::axiom::Axiom::Concept(ci) => {
+                    (ci.rhs.cr().dense_index(nc), ci.lhs.cr().dense_index(nc))
+                }
+                crate::axiom::Axiom::Role(ri) => {
+                    (ri.rhs.cr().dense_index(nc), ri.lhs.cr().dense_index(nc))
+                }
+            };
+            edges[from].push(to);
+        }
+        for adj in &mut edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
+        // dep(N) = reachability from N in `edges` (including N itself).
+        let mut sets = Vec::with_capacity(n);
+        let mut stack = Vec::new();
+        for start in 0..n {
+            let mut set = BitSet::new(n);
+            set.insert(start);
+            stack.clear();
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &w in &edges[v] {
+                    if set.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            sets.push(set);
+        }
+        Dependencies { sets, num_concepts: nc }
+    }
+
+    /// `dep(N)` as a bitset over dense predicate indexes.
+    pub fn dep(&self, pred: PredId) -> &BitSet {
+        &self.sets[pred.dense_index(self.num_concepts)]
+    }
+
+    /// `dep(N)` as explicit predicate ids (mostly for display/tests).
+    pub fn dep_preds(&self, pred: PredId) -> Vec<PredId> {
+        self.dep(pred)
+            .iter()
+            .map(|i| PredId::from_dense_index(i, self.num_concepts))
+            .collect()
+    }
+
+    /// Do two predicates depend on a common concept or role name?
+    ///
+    /// This is the binary relation inducing safe covers: atoms whose
+    /// predicates share a dependency must live in the same fragment
+    /// (Definition 5).
+    pub fn share_dependency(&self, p1: PredId, p2: PredId) -> bool {
+        self.dep(p1).intersects(self.dep(p2))
+    }
+
+    pub fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    pub fn num_preds(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PredId;
+    use crate::tbox::{example1_tbox, example7_tbox, TBoxBuilder};
+
+    /// Example 8 of the paper: dependencies in the Example-7 TBox.
+    #[test]
+    fn example8_dependencies() {
+        let (voc, tbox) = example7_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let phd = PredId::Concept(voc.find_concept("PhDStudent").unwrap());
+        let grad = PredId::Concept(voc.find_concept("Graduate").unwrap());
+        let works = PredId::Role(voc.find_role("worksWith").unwrap());
+        let sup = PredId::Role(voc.find_role("supervisedBy").unwrap());
+
+        assert_eq!(deps.dep_preds(phd), vec![phd]);
+        assert_eq!(deps.dep_preds(grad), vec![grad]);
+
+        let mut works_dep = deps.dep_preds(works);
+        works_dep.sort();
+        let mut expect = vec![works, sup, grad];
+        expect.sort();
+        assert_eq!(works_dep, expect, "worksWith depends on supervisedBy and Graduate");
+
+        let mut sup_dep = deps.dep_preds(sup);
+        sup_dep.sort();
+        let mut expect = vec![sup, grad];
+        expect.sort();
+        assert_eq!(sup_dep, expect, "supervisedBy depends on Graduate");
+    }
+
+    #[test]
+    fn share_dependency_is_reflexive_and_symmetric() {
+        let (voc, tbox) = example1_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let preds: Vec<PredId> = voc
+            .concept_ids()
+            .map(PredId::Concept)
+            .chain(voc.role_ids().map(PredId::Role))
+            .collect();
+        for &p in &preds {
+            assert!(deps.share_dependency(p, p));
+            for &q in &preds {
+                assert_eq!(deps.share_dependency(p, q), deps.share_dependency(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn example1_phdstudent_and_workswith_share_supervisedby() {
+        // In Example 1's TBox, (T6) ∃supervisedBy ⊑ PhDStudent makes
+        // PhDStudent depend on supervisedBy, and (T5) supervisedBy ⊑
+        // worksWith makes worksWith depend on supervisedBy, hence the two
+        // atoms of Example 3's query may unify after specialization.
+        let (voc, tbox) = example1_tbox();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let phd = PredId::Concept(voc.find_concept("PhDStudent").unwrap());
+        let works = PredId::Role(voc.find_role("worksWith").unwrap());
+        assert!(deps.share_dependency(phd, works));
+    }
+
+    #[test]
+    fn negative_axioms_do_not_contribute() {
+        let mut b = TBoxBuilder::new();
+        b.disjoint("A", "B");
+        let (voc, tbox) = b.finish();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let a = PredId::Concept(voc.find_concept("A").unwrap());
+        let bb = PredId::Concept(voc.find_concept("B").unwrap());
+        assert!(!deps.share_dependency(a, bb));
+        assert_eq!(deps.dep_preds(a), vec![a]);
+    }
+
+    #[test]
+    fn dependency_through_existentials() {
+        // A ⊑ ∃r and r ⊑ s gives dep(s) ⊇ {s, r, A}: an s-atom can turn
+        // into an r-atom (role inclusion) and then into an A-atom (backward
+        // existential).
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r").sub_role("r", "s");
+        let (voc, tbox) = b.finish();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let s = PredId::Role(voc.find_role("s").unwrap());
+        let r = PredId::Role(voc.find_role("r").unwrap());
+        let a = PredId::Concept(voc.find_concept("A").unwrap());
+        let dep = deps.dep(s);
+        assert!(dep.contains(s.dense_index(voc.num_concepts())));
+        assert!(dep.contains(r.dense_index(voc.num_concepts())));
+        assert!(dep.contains(a.dense_index(voc.num_concepts())));
+    }
+
+    #[test]
+    fn chains_are_transitive() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "B").sub("B", "C").sub("C", "D");
+        let (voc, tbox) = b.finish();
+        let deps = Dependencies::compute(&voc, &tbox);
+        let d = PredId::Concept(voc.find_concept("D").unwrap());
+        assert_eq!(deps.dep(d).len(), 4, "dep(D) = {{D, C, B, A}}");
+        let a = PredId::Concept(voc.find_concept("A").unwrap());
+        assert_eq!(deps.dep(a).len(), 1, "dep is directional: dep(A) = {{A}}");
+    }
+}

@@ -1,0 +1,141 @@
+//! DL-LiteR concept and role expressions.
+//!
+//! Following §2.1: given a role `R`, its inverse `R⁻` denotes
+//! `{(b, a) | R(a, b) ∈ A}`, and `N±R = NR ∪ {r⁻ | r ∈ NR}`. A basic concept
+//! is either an atomic concept from `NC` or an unqualified existential
+//! restriction `∃R` for `R ∈ N±R` (the projection on the first attribute of
+//! `R`).
+
+use std::fmt;
+
+use crate::ids::{ConceptId, PredId, RoleId};
+use crate::vocab::Vocabulary;
+
+/// A role or its inverse: an element of `N±R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Role {
+    pub name: RoleId,
+    /// `true` for `R⁻`, i.e. the set of pairs of `R` with attributes swapped.
+    pub inverse: bool,
+}
+
+impl Role {
+    pub fn direct(name: RoleId) -> Self {
+        Role { name, inverse: false }
+    }
+
+    pub fn inv(name: RoleId) -> Self {
+        Role { name, inverse: true }
+    }
+
+    /// The inverse of this role expression: `(R)⁻ = R⁻`, `(R⁻)⁻ = R`.
+    pub fn inverted(self) -> Self {
+        Role { name: self.name, inverse: !self.inverse }
+    }
+
+    /// `cr(·)` of Definition 4 applied to a role expression: the underlying
+    /// role *name*.
+    pub fn cr(self) -> PredId {
+        PredId::Role(self.name)
+    }
+
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Role, &'a Vocabulary);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.1.role_name(self.0.name))?;
+                if self.0.inverse {
+                    write!(f, "-")?;
+                }
+                Ok(())
+            }
+        }
+        D(self, voc)
+    }
+}
+
+/// A basic concept: `A ∈ NC`, or `∃R` for `R ∈ N±R`.
+///
+/// These are the only expressions allowed on either side of a DL-LiteR
+/// concept inclusion (negation, allowed on the right-hand side only, is
+/// carried by the axiom, not the expression — see [`crate::axiom`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BasicConcept {
+    /// An atomic concept `A`.
+    Atomic(ConceptId),
+    /// `∃R` — the set of constants occurring in the first position of `R`.
+    /// `∃R⁻` is represented as `Exists(Role { inverse: true, .. })`.
+    Exists(Role),
+}
+
+impl BasicConcept {
+    pub fn atomic(c: ConceptId) -> Self {
+        BasicConcept::Atomic(c)
+    }
+
+    pub fn exists(r: Role) -> Self {
+        BasicConcept::Exists(r)
+    }
+
+    /// `cr(·)` of Definition 4: the underlying concept or role *name*
+    /// (`cr(A) = A`, `cr(∃R) = cr(∃R⁻) = R`).
+    pub fn cr(self) -> PredId {
+        match self {
+            BasicConcept::Atomic(c) => PredId::Concept(c),
+            BasicConcept::Exists(r) => r.cr(),
+        }
+    }
+
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a BasicConcept, &'a Vocabulary);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    BasicConcept::Atomic(c) => write!(f, "{}", self.1.concept_name(*c)),
+                    BasicConcept::Exists(r) => write!(f, "exists {}", r.display(self.1)),
+                }
+            }
+        }
+        D(self, voc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_inversion_is_identity() {
+        let r = Role::direct(RoleId(3));
+        assert_eq!(r.inverted().inverted(), r);
+        assert_eq!(r.inverted(), Role::inv(RoleId(3)));
+    }
+
+    #[test]
+    fn cr_strips_structure() {
+        let r = Role::inv(RoleId(2));
+        assert_eq!(r.cr(), PredId::Role(RoleId(2)));
+        assert_eq!(
+            BasicConcept::Exists(r).cr(),
+            PredId::Role(RoleId(2)),
+            "cr(∃R⁻) is the role name R"
+        );
+        assert_eq!(
+            BasicConcept::Atomic(ConceptId(7)).cr(),
+            PredId::Concept(ConceptId(7))
+        );
+    }
+
+    #[test]
+    fn display_uses_vocabulary_names() {
+        let mut v = Vocabulary::new();
+        let sup = v.role("supervisedBy");
+        let phd = v.concept("PhDStudent");
+        assert_eq!(Role::inv(sup).display(&v).to_string(), "supervisedBy-");
+        assert_eq!(
+            BasicConcept::Exists(Role::direct(sup)).display(&v).to_string(),
+            "exists supervisedBy"
+        );
+        assert_eq!(BasicConcept::Atomic(phd).display(&v).to_string(), "PhDStudent");
+    }
+}

@@ -1,0 +1,140 @@
+//! Typed identifiers for the three DL-LiteR vocabularies.
+//!
+//! A knowledge base is built from a set `NC` of concept names (unary
+//! predicates), a set `NR` of role names (binary predicates) and a set `NI`
+//! of individuals (constants) — paper §2.1. All three are dictionary-encoded
+//! into dense `u32` ids so that downstream structures (ABoxes, query atoms,
+//! dependency bitsets, RDBMS tables) stay compact.
+
+use std::fmt;
+
+/// Identifier of a concept name (`A ∈ NC`), dense per [`crate::Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConceptId(pub u32);
+
+/// Identifier of a role name (`R ∈ NR`), dense per [`crate::Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RoleId(pub u32);
+
+/// Identifier of an individual (`a ∈ NI`), dense per [`crate::Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct IndividualId(pub u32);
+
+/// A predicate name: either a concept (unary) or a role (binary).
+///
+/// This is the notion of *name* used by the dependency analysis of
+/// Definition 4: `dep(N)` is a set of concept **and** role names, so the two
+/// id spaces need a common envelope.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PredId {
+    Concept(ConceptId),
+    Role(RoleId),
+}
+
+impl PredId {
+    /// Arity of the predicate: 1 for concepts, 2 for roles.
+    pub fn arity(self) -> usize {
+        match self {
+            PredId::Concept(_) => 1,
+            PredId::Role(_) => 2,
+        }
+    }
+
+    pub fn as_concept(self) -> Option<ConceptId> {
+        match self {
+            PredId::Concept(c) => Some(c),
+            PredId::Role(_) => None,
+        }
+    }
+
+    pub fn as_role(self) -> Option<RoleId> {
+        match self {
+            PredId::Role(r) => Some(r),
+            PredId::Concept(_) => None,
+        }
+    }
+
+    /// Dense index of this predicate in a unified space of
+    /// `num_concepts + num_roles` slots (concepts first). Used for the
+    /// dependency bitsets of [`crate::deps`].
+    pub fn dense_index(self, num_concepts: usize) -> usize {
+        match self {
+            PredId::Concept(c) => c.0 as usize,
+            PredId::Role(r) => num_concepts + r.0 as usize,
+        }
+    }
+
+    /// Inverse of [`PredId::dense_index`].
+    pub fn from_dense_index(idx: usize, num_concepts: usize) -> PredId {
+        if idx < num_concepts {
+            PredId::Concept(ConceptId(idx as u32))
+        } else {
+            PredId::Role(RoleId((idx - num_concepts) as u32))
+        }
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for RoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for IndividualId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredId::Concept(c) => write!(f, "{c}"),
+            PredId::Role(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_is_one_for_concepts_two_for_roles() {
+        assert_eq!(PredId::Concept(ConceptId(0)).arity(), 1);
+        assert_eq!(PredId::Role(RoleId(0)).arity(), 2);
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let nc = 5;
+        for idx in 0..12 {
+            let p = PredId::from_dense_index(idx, nc);
+            assert_eq!(p.dense_index(nc), idx);
+        }
+    }
+
+    #[test]
+    fn dense_index_orders_concepts_before_roles() {
+        assert_eq!(PredId::Concept(ConceptId(3)).dense_index(5), 3);
+        assert_eq!(PredId::Role(RoleId(0)).dense_index(5), 5);
+        assert_eq!(PredId::Role(RoleId(2)).dense_index(5), 7);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(
+            PredId::Concept(ConceptId(1)).as_concept(),
+            Some(ConceptId(1))
+        );
+        assert_eq!(PredId::Concept(ConceptId(1)).as_role(), None);
+        assert_eq!(PredId::Role(RoleId(2)).as_role(), Some(RoleId(2)));
+        assert_eq!(PredId::Role(RoleId(2)).as_concept(), None);
+    }
+}

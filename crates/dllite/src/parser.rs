@@ -1,0 +1,266 @@
+//! A small text format for DL-LiteR knowledge bases.
+//!
+//! Grammar (line oriented; `#` starts a comment; blank lines ignored):
+//!
+//! ```text
+//! # concept inclusions — sides are `Name`, `exists role`, `exists role-`
+//! PhDStudent <= Researcher
+//! exists supervisedBy <= PhDStudent
+//! PhDStudent <= not exists supervisedBy-
+//!
+//! # role inclusions — prefixed with `role`; sides are `name` or `name-`
+//! role supervisedBy <= worksWith
+//! role worksWith <= worksWith-
+//! role r <= not s
+//!
+//! # facts
+//! PhDStudent(Damian)
+//! worksWith(Ioana, Francois)
+//! ```
+//!
+//! The `role` keyword removes the ambiguity between `A <= B` as a concept
+//! vs role inclusion. Assertion arity decides concept vs role facts.
+
+use std::fmt;
+
+use crate::abox::ABox;
+use crate::axiom::Axiom;
+use crate::expr::{BasicConcept, Role};
+use crate::tbox::TBox;
+use crate::vocab::Vocabulary;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing a KB document.
+#[derive(Debug, Default)]
+pub struct ParsedKb {
+    pub voc: Vocabulary,
+    pub tbox: TBox,
+    pub abox: ABox,
+}
+
+/// Parse a whole KB document.
+pub fn parse_kb(input: &str) -> Result<ParsedKb, ParseError> {
+    let mut kb = ParsedKb::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, line_no, &mut kb)?;
+    }
+    Ok(kb)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_line(line: &str, line_no: usize, kb: &mut ParsedKb) -> Result<(), ParseError> {
+    let err = |message: String| ParseError { line: line_no, message };
+
+    if let Some(rest) = line.strip_prefix("role ") {
+        // Role inclusion.
+        let (lhs, rhs, negated) = split_inclusion(rest)
+            .ok_or_else(|| err(format!("expected `r <= s` after `role`, got `{rest}`")))?;
+        let l = parse_role_expr(lhs, &mut kb.voc)
+            .ok_or_else(|| err(format!("bad role expression `{lhs}`")))?;
+        let r = parse_role_expr(rhs, &mut kb.voc)
+            .ok_or_else(|| err(format!("bad role expression `{rhs}`")))?;
+        let ax = if negated { Axiom::role_neg(l, r) } else { Axiom::role(l, r) };
+        kb.tbox.add(ax);
+        return Ok(());
+    }
+
+    if line.contains("<=") {
+        // Concept inclusion.
+        let (lhs, rhs, negated) = split_inclusion(line)
+            .ok_or_else(|| err(format!("malformed inclusion `{line}`")))?;
+        let l = parse_basic_concept(lhs, &mut kb.voc)
+            .ok_or_else(|| err(format!("bad concept expression `{lhs}`")))?;
+        let r = parse_basic_concept(rhs, &mut kb.voc)
+            .ok_or_else(|| err(format!("bad concept expression `{rhs}`")))?;
+        let ax = if negated { Axiom::concept_neg(l, r) } else { Axiom::concept(l, r) };
+        kb.tbox.add(ax);
+        return Ok(());
+    }
+
+    // Otherwise: an assertion `Pred(args)`.
+    let open = line.find('(').ok_or_else(|| err(format!("unrecognized line `{line}`")))?;
+    if !line.ends_with(')') {
+        return Err(err(format!("assertion must end with `)`: `{line}`")));
+    }
+    let pred = line[..open].trim();
+    if pred.is_empty() || !is_identifier(pred) {
+        return Err(err(format!("bad predicate name `{pred}`")));
+    }
+    let args_str = &line[open + 1..line.len() - 1];
+    let args: Vec<&str> = args_str.split(',').map(str::trim).collect();
+    match args.as_slice() {
+        [a] if is_identifier(a) => {
+            let c = kb.voc.concept(pred);
+            let i = kb.voc.individual(a);
+            kb.abox.assert_concept(c, i);
+            Ok(())
+        }
+        [a, b] if is_identifier(a) && is_identifier(b) => {
+            let r = kb.voc.role(pred);
+            let ia = kb.voc.individual(a);
+            let ib = kb.voc.individual(b);
+            kb.abox.assert_role(r, ia, ib);
+            Ok(())
+        }
+        _ => Err(err(format!("bad assertion arguments `{args_str}`"))),
+    }
+}
+
+/// Split `lhs <= [not] rhs`; returns (lhs, rhs, negated).
+fn split_inclusion(s: &str) -> Option<(&str, &str, bool)> {
+    let (lhs, rhs) = s.split_once("<=")?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    if lhs.is_empty() || rhs.is_empty() {
+        return None;
+    }
+    match rhs.strip_prefix("not ") {
+        Some(r) => Some((lhs, r.trim(), true)),
+        None => Some((lhs, rhs, false)),
+    }
+}
+
+/// `name` or `name-`.
+fn parse_role_expr(s: &str, voc: &mut Vocabulary) -> Option<Role> {
+    let s = s.trim();
+    let (name, inverse) = match s.strip_suffix('-') {
+        Some(n) => (n, true),
+        None => (s, false),
+    };
+    if !is_identifier(name) {
+        return None;
+    }
+    let id = voc.role(name);
+    Some(Role { name: id, inverse })
+}
+
+/// `Name`, `exists role`, or `exists role-`.
+fn parse_basic_concept(s: &str, voc: &mut Vocabulary) -> Option<BasicConcept> {
+    let s = s.trim();
+    if let Some(role_part) = s.strip_prefix("exists ") {
+        return parse_role_expr(role_part, voc).map(BasicConcept::Exists);
+    }
+    if !is_identifier(s) {
+        return None;
+    }
+    Some(BasicConcept::Atomic(voc.concept(s)))
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tbox::example1_tbox;
+
+    const EXAMPLE1: &str = r#"
+# Table 2 of the paper
+PhDStudent <= Researcher                     # (T1)
+exists worksWith <= Researcher               # (T2)
+exists worksWith- <= Researcher              # (T3)
+role worksWith <= worksWith-                 # (T4)
+role supervisedBy <= worksWith               # (T5)
+exists supervisedBy <= PhDStudent            # (T6)
+PhDStudent <= not exists supervisedBy-       # (T7)
+
+worksWith(Ioana, Francois)                   # (A1)
+supervisedBy(Damian, Ioana)                  # (A2)
+supervisedBy(Damian, Francois)               # (A3)
+"#;
+
+    #[test]
+    fn parses_example1_document() {
+        let kb = parse_kb(EXAMPLE1).expect("parse");
+        assert_eq!(kb.tbox.len(), 7);
+        assert_eq!(kb.abox.len(), 3);
+        assert_eq!(kb.voc.num_concepts(), 2);
+        assert_eq!(kb.voc.num_roles(), 2);
+        assert_eq!(kb.voc.num_individuals(), 3);
+    }
+
+    #[test]
+    fn parsed_tbox_matches_builder_tbox() {
+        let kb = parse_kb(EXAMPLE1).expect("parse");
+        let (_, built) = example1_tbox();
+        // Same axiom multiset (both normalized, insertion order equal).
+        assert_eq!(kb.tbox.axioms().len(), built.axioms().len());
+        for ax in built.axioms() {
+            assert!(kb.tbox.contains(ax), "missing {ax:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "PhDStudent <=",
+            "<= Researcher",
+            "role r <=",
+            "worksWith(a, b",
+            "worksWith(a, b, c)",
+            "1Bad(a)",
+            "noise noise",
+            "A(a,)",
+        ] {
+            let res = parse_kb(bad);
+            assert!(res.is_err(), "expected failure on `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "A <= B\nbroken line here\n";
+        let err = parse_kb(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn negated_role_inclusion_parses() {
+        let kb = parse_kb("role r <= not s").unwrap();
+        assert_eq!(kb.tbox.num_negative(), 1);
+    }
+
+    #[test]
+    fn assertion_arity_disambiguates_namespaces() {
+        let kb = parse_kb("P(a)\nP(a, b)").unwrap();
+        // `P` is interned both as concept (arity 1) and role (arity 2).
+        assert!(kb.voc.find_concept("P").is_some());
+        assert!(kb.voc.find_role("P").is_some());
+        assert_eq!(kb.abox.concept_assertions().len(), 1);
+        assert_eq!(kb.abox.role_assertions().len(), 1);
+    }
+
+    #[test]
+    fn whitespace_and_comments_are_tolerated() {
+        let kb = parse_kb("   \n# only a comment\n  A <= B  # trailing\n").unwrap();
+        assert_eq!(kb.tbox.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! String interning for concept, role and individual names.
+//!
+//! The paper's experimental setting dictionary-encodes all facts into
+//! integers before storing them in the RDBMS (§6.1, "simple layout"); the
+//! [`Vocabulary`] is that dictionary, shared by the TBox, the ABox, queries
+//! and the storage engine.
+
+use std::collections::HashMap;
+
+use crate::ids::{ConceptId, IndividualId, PredId, RoleId};
+
+/// A bidirectional name ↔ dense-id map for one namespace.
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The three vocabularies `NC`, `NR`, `NI` of a knowledge base.
+///
+/// Interning is append-only: ids are dense, stable, and allocation order is
+/// deterministic given insertion order, which keeps data generation and test
+/// fixtures reproducible.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    concepts: Interner,
+    roles: Interner,
+    individuals: Interner,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a concept name, returning its id (existing or fresh).
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        ConceptId(self.concepts.intern(name))
+    }
+
+    /// Intern a role name, returning its id (existing or fresh).
+    pub fn role(&mut self, name: &str) -> RoleId {
+        RoleId(self.roles.intern(name))
+    }
+
+    /// Intern an individual name, returning its id (existing or fresh).
+    pub fn individual(&mut self, name: &str) -> IndividualId {
+        IndividualId(self.individuals.intern(name))
+    }
+
+    /// Look up an already-interned concept.
+    pub fn find_concept(&self, name: &str) -> Option<ConceptId> {
+        self.concepts.get(name).map(ConceptId)
+    }
+
+    /// Look up an already-interned role.
+    pub fn find_role(&self, name: &str) -> Option<RoleId> {
+        self.roles.get(name).map(RoleId)
+    }
+
+    /// Look up an already-interned individual.
+    pub fn find_individual(&self, name: &str) -> Option<IndividualId> {
+        self.individuals.get(name).map(IndividualId)
+    }
+
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        self.concepts.name(id.0).unwrap_or("<unknown-concept>")
+    }
+
+    pub fn role_name(&self, id: RoleId) -> &str {
+        self.roles.name(id.0).unwrap_or("<unknown-role>")
+    }
+
+    pub fn individual_name(&self, id: IndividualId) -> &str {
+        self.individuals.name(id.0).unwrap_or("<unknown-individual>")
+    }
+
+    pub fn pred_name(&self, id: PredId) -> &str {
+        match id {
+            PredId::Concept(c) => self.concept_name(c),
+            PredId::Role(r) => self.role_name(r),
+        }
+    }
+
+    pub fn num_concepts(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    pub fn num_individuals(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Total number of predicate names (`|NC| + |NR|`), the width of
+    /// dependency bitsets.
+    pub fn num_preds(&self) -> usize {
+        self.num_concepts() + self.num_roles()
+    }
+
+    /// Iterate over all concept ids in allocation order.
+    pub fn concept_ids(&self) -> impl Iterator<Item = ConceptId> {
+        (0..self.num_concepts() as u32).map(ConceptId)
+    }
+
+    /// Iterate over all role ids in allocation order.
+    pub fn role_ids(&self) -> impl Iterator<Item = RoleId> {
+        (0..self.num_roles() as u32).map(RoleId)
+    }
+
+    /// Iterate over all individual ids in allocation order.
+    pub fn individual_ids(&self) -> impl Iterator<Item = IndividualId> {
+        (0..self.num_individuals() as u32).map(IndividualId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.concept("Researcher");
+        let b = v.concept("Researcher");
+        assert_eq!(a, b);
+        assert_eq!(v.num_concepts(), 1);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let mut v = Vocabulary::new();
+        let c = v.concept("worksWith");
+        let r = v.role("worksWith");
+        // Same string, different namespaces, both id 0 in their own space.
+        assert_eq!(c.0, 0);
+        assert_eq!(r.0, 0);
+        assert_eq!(v.num_concepts(), 1);
+        assert_eq!(v.num_roles(), 1);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut v = Vocabulary::new();
+        let c = v.concept("PhDStudent");
+        let r = v.role("supervisedBy");
+        let i = v.individual("Damian");
+        assert_eq!(v.concept_name(c), "PhDStudent");
+        assert_eq!(v.role_name(r), "supervisedBy");
+        assert_eq!(v.individual_name(i), "Damian");
+        assert_eq!(v.find_concept("PhDStudent"), Some(c));
+        assert_eq!(v.find_role("supervisedBy"), Some(r));
+        assert_eq!(v.find_individual("Damian"), Some(i));
+        assert_eq!(v.find_concept("Nope"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<ConceptId> = ["A", "B", "C"].iter().map(|n| v.concept(n)).collect();
+        assert_eq!(ids, vec![ConceptId(0), ConceptId(1), ConceptId(2)]);
+        let all: Vec<ConceptId> = v.concept_ids().collect();
+        assert_eq!(all, ids);
+    }
+
+    #[test]
+    fn pred_name_dispatches() {
+        let mut v = Vocabulary::new();
+        let c = v.concept("A");
+        let r = v.role("r");
+        assert_eq!(v.pred_name(PredId::Concept(c)), "A");
+        assert_eq!(v.pred_name(PredId::Role(r)), "r");
+    }
+}

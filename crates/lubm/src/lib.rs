@@ -1,0 +1,16 @@
+//! # obda-lubm
+//!
+//! The benchmark substrate: a LUBM∃-style university ontology
+//! ([`UnivOntology`], ~128 concepts / ~34 roles / ~212 DL-LiteR
+//! constraints), an EUDG-like deterministic data generator producing
+//! deliberately *incomplete* ABoxes ([`generate`]), and the workload
+//! queries Q1–Q13 plus the A3–A6 star family of the paper's evaluation
+//! ([`workload`], [`star_query`]).
+
+pub mod generator;
+pub mod queries;
+pub mod tbox;
+
+pub use generator::{generate, GenConfig, GenReport};
+pub use queries::{q1, star_query, workload, WorkloadQuery};
+pub use tbox::{OntologyDimensions, UnivOntology, FIELDS};

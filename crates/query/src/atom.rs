@@ -1,0 +1,144 @@
+//! Query atoms: `A(t)` over a concept or `R(t, t')` over a role.
+
+use std::fmt;
+
+use obda_dllite::{ConceptId, PredId, RoleId, Vocabulary};
+
+use crate::term::{Subst, Term, VarId};
+
+/// An atom of a conjunctive query (§2.2): `A(t)` or `R(t, t')` where `t`,
+/// `t'` are variables or constants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Atom {
+    Concept(ConceptId, Term),
+    Role(RoleId, Term, Term),
+}
+
+impl Atom {
+    pub fn pred(&self) -> PredId {
+        match self {
+            Atom::Concept(c, _) => PredId::Concept(*c),
+            Atom::Role(r, _, _) => PredId::Role(*r),
+        }
+    }
+
+    /// Terms in position order.
+    pub fn terms(&self) -> impl Iterator<Item = Term> + '_ {
+        let (a, b) = match self {
+            Atom::Concept(_, t) => (*t, None),
+            Atom::Role(_, t1, t2) => (*t1, Some(*t2)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Variables (with repetition, in position order).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms().filter_map(Term::as_var)
+    }
+
+    /// Apply a substitution to all terms.
+    pub fn apply(&self, subst: &Subst) -> Atom {
+        match self {
+            Atom::Concept(c, t) => Atom::Concept(*c, subst.resolve(*t)),
+            Atom::Role(r, t1, t2) => Atom::Role(*r, subst.resolve(*t1), subst.resolve(*t2)),
+        }
+    }
+
+    /// Rewrite every variable through `f` (used for freshening/renaming).
+    pub fn map_vars(&self, mut f: impl FnMut(VarId) -> Term) -> Atom {
+        let map_term = |t: Term, f: &mut dyn FnMut(VarId) -> Term| match t {
+            Term::Var(v) => f(v),
+            c => c,
+        };
+        match self {
+            Atom::Concept(c, t) => Atom::Concept(*c, map_term(*t, &mut f)),
+            Atom::Role(r, t1, t2) => {
+                let a = map_term(*t1, &mut f);
+                let b = map_term(*t2, &mut f);
+                Atom::Role(*r, a, b)
+            }
+        }
+    }
+
+    /// Do the two atoms share a variable (i.e. join)?
+    pub fn shares_var(&self, other: &Atom) -> bool {
+        self.vars().any(|v| other.vars().any(|w| w == v))
+    }
+
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Atom, &'a Vocabulary);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Atom::Concept(c, t) => {
+                        write!(f, "{}({})", self.1.concept_name(*c), fmt_term(*t, self.1))
+                    }
+                    Atom::Role(r, t1, t2) => write!(
+                        f,
+                        "{}({}, {})",
+                        self.1.role_name(*r),
+                        fmt_term(*t1, self.1),
+                        fmt_term(*t2, self.1)
+                    ),
+                }
+            }
+        }
+        D(self, voc)
+    }
+}
+
+/// Render a term with individual names resolved.
+pub fn fmt_term(t: Term, voc: &Vocabulary) -> String {
+    match t {
+        Term::Var(v) => format!("?{}", v.0),
+        Term::Const(c) => voc.individual_name(c).to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::IndividualId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    #[test]
+    fn terms_and_vars() {
+        let a = Atom::Role(RoleId(0), v(0), Term::Const(IndividualId(5)));
+        assert_eq!(a.terms().count(), 2);
+        let vars: Vec<VarId> = a.vars().collect();
+        assert_eq!(vars, vec![VarId(0)]);
+        let c = Atom::Concept(ConceptId(0), v(3));
+        assert_eq!(c.terms().count(), 1);
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let mut s = Subst::new();
+        s.bind(VarId(0), v(1).as_var().map(Term::Var).unwrap());
+        let a = Atom::Role(RoleId(0), v(0), v(2));
+        assert_eq!(a.apply(&s), Atom::Role(RoleId(0), v(1), v(2)));
+    }
+
+    #[test]
+    fn shares_var_detects_joins() {
+        let a = Atom::Role(RoleId(0), v(0), v(1));
+        let b = Atom::Concept(ConceptId(0), v(1));
+        let c = Atom::Concept(ConceptId(0), v(2));
+        assert!(a.shares_var(&b));
+        assert!(!a.shares_var(&c));
+        // Constants never connect atoms.
+        let d = Atom::Concept(ConceptId(1), Term::Const(IndividualId(0)));
+        let e = Atom::Concept(ConceptId(2), Term::Const(IndividualId(0)));
+        assert!(!d.shares_var(&e));
+    }
+
+    #[test]
+    fn map_vars_renames() {
+        let a = Atom::Role(RoleId(0), v(0), v(1));
+        let renamed = a.map_vars(|var| Term::Var(VarId(var.0 + 10)));
+        assert_eq!(renamed, Atom::Role(RoleId(0), v(10), v(11)));
+    }
+}

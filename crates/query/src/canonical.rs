@@ -1,0 +1,374 @@
+//! Canonical forms of conjunctive queries.
+//!
+//! The PerfectRef fixpoint (and every set of CQs in this workspace) needs
+//! to deduplicate queries *modulo renaming of existential variables and
+//! reordering of body atoms*. Head terms are fixed — all CQs produced while
+//! reformulating one query share the same head — so only existential
+//! variables are relabeled.
+//!
+//! The canonical key is the lexicographically smallest encoding of the atom
+//! sequence over all atom orders, with existential variables numbered by
+//! first appearance. A branch-and-bound search keeps this exact; queries in
+//! this domain have ≤ ~12 atoms and very few ties, so the search is cheap.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::cq::CQ;
+use crate::term::{Term, VarId};
+
+/// Encoded term: orders constants < head vars < existential vars, with
+/// not-yet-numbered existentials comparing greatest (so chosen atoms prefer
+/// already-seen variables — a standard canonical-labeling refinement).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+enum Code {
+    Const(u32),
+    Head(u32),
+    Exist(u32),
+    Fresh,
+}
+
+/// Encoded atom: predicate tag/id then position codes.
+type AtomCode = (u8, u32, Code, Code);
+
+/// The canonical key of a CQ: head encoding plus minimal atom encoding.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CanonKey {
+    head: Vec<Code>,
+    atoms: Vec<AtomCode>,
+}
+
+/// Compute the canonical key of `cq`.
+pub fn canonical_key(cq: &CQ) -> CanonKey {
+    canonical_key_and_order(cq).0
+}
+
+/// Rewrite `cq` into its canonical form: atoms in canonical order,
+/// existential variables renumbered densely *after* the head variables.
+/// Two CQs are equal modulo renaming iff their canonical forms are
+/// structurally equal. Used by the USCQ factorizer to align disjuncts.
+pub fn canonicalize(cq: &CQ) -> CQ {
+    let (_, perm, exist_ids) = canonical_key_and_order(cq);
+    // Head variables keep their ids; existential variables are packed after
+    // the largest head id to avoid collisions.
+    let base = cq.head_vars().map(|v| v.0).max().map(|m| m + 1).unwrap_or(0);
+    let rename = |v: VarId| -> Term {
+        match exist_ids.get(&v) {
+            Some(&e) => Term::Var(VarId(base + e)),
+            None => Term::Var(v), // head var
+        }
+    };
+    let atoms = perm.iter().map(|&i| cq.atoms()[i].map_vars(rename)).collect();
+    CQ::new(cq.head().to_vec(), atoms)
+}
+
+fn canonical_key_and_order(cq: &CQ) -> (CanonKey, Vec<usize>, HashMap<VarId, u32>) {
+    // Head variables get stable numbers by first head occurrence.
+    let mut head_ids: HashMap<VarId, u32> = HashMap::new();
+    let mut head = Vec::with_capacity(cq.head().len());
+    for &t in cq.head() {
+        head.push(match t {
+            Term::Const(c) => Code::Const(c.0),
+            Term::Var(v) => {
+                let next = head_ids.len() as u32;
+                Code::Head(*head_ids.entry(v).or_insert(next))
+            }
+        });
+    }
+
+    let atoms = cq.atoms();
+    let n = atoms.len();
+    let mut best: Option<Vec<AtomCode>> = None;
+    let mut best_perm: Vec<usize> = Vec::new();
+    let mut best_exist: HashMap<VarId, u32> = HashMap::new();
+    let mut state = Search {
+        atoms,
+        head_ids: &head_ids,
+        used: vec![false; n],
+        exist_ids: HashMap::new(),
+        prefix: Vec::with_capacity(n),
+        perm: Vec::with_capacity(n),
+        best: &mut best,
+        best_perm: &mut best_perm,
+        best_exist: &mut best_exist,
+    };
+    state.run();
+    (
+        CanonKey { head, atoms: best.unwrap_or_default() },
+        best_perm,
+        best_exist,
+    )
+}
+
+/// Are two CQs identical up to existential-variable renaming and atom
+/// order?
+pub fn same_modulo_renaming(a: &CQ, b: &CQ) -> bool {
+    a.num_atoms() == b.num_atoms() && canonical_key(a) == canonical_key(b)
+}
+
+struct Search<'a> {
+    atoms: &'a [Atom],
+    head_ids: &'a HashMap<VarId, u32>,
+    used: Vec<bool>,
+    exist_ids: HashMap<VarId, u32>,
+    prefix: Vec<AtomCode>,
+    perm: Vec<usize>,
+    best: &'a mut Option<Vec<AtomCode>>,
+    best_perm: &'a mut Vec<usize>,
+    best_exist: &'a mut HashMap<VarId, u32>,
+}
+
+impl Search<'_> {
+    fn encode_term(&self, t: Term) -> Code {
+        match t {
+            Term::Const(c) => Code::Const(c.0),
+            Term::Var(v) => {
+                if let Some(&h) = self.head_ids.get(&v) {
+                    Code::Head(h)
+                } else if let Some(&e) = self.exist_ids.get(&v) {
+                    Code::Exist(e)
+                } else {
+                    Code::Fresh
+                }
+            }
+        }
+    }
+
+    fn encode_atom(&self, a: &Atom) -> AtomCode {
+        match a {
+            Atom::Concept(c, t) => (0, c.0, self.encode_term(*t), Code::Const(0)),
+            Atom::Role(r, t1, t2) => (1, r.0, self.encode_term(*t1), self.encode_term(*t2)),
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.atoms.len();
+        if self.prefix.len() == n {
+            let candidate = self.prefix.clone();
+            // Fresh codes in the final encoding would mean un-numbered vars,
+            // impossible: numbering happens as atoms are committed.
+            match self.best {
+                Some(b) if *b <= candidate => {}
+                _ => {
+                    *self.best = Some(candidate);
+                    *self.best_perm = self.perm.clone();
+                    *self.best_exist = self.exist_ids.clone();
+                }
+            }
+            return;
+        }
+        // Prune: if the current prefix already exceeds the best at this
+        // depth, stop. (Compare prefix against best's prefix.)
+        if let Some(b) = self.best.as_ref() {
+            let d = self.prefix.len();
+            if self.prefix.as_slice() > &b[..d] {
+                return;
+            }
+        }
+        // Find minimal encoding among unused atoms.
+        let mut min_code: Option<AtomCode> = None;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            let code = self.encode_atom(a);
+            if min_code.as_ref().is_none_or(|m| code < *m) {
+                min_code = Some(code);
+            }
+        }
+        let min_code = min_code.expect("at least one unused atom");
+        // Branch on every unused atom achieving the minimum.
+        for i in 0..self.atoms.len() {
+            if self.used[i] || self.encode_atom(&self.atoms[i]) != min_code {
+                continue;
+            }
+            // Commit: number fresh existential vars by position order.
+            let newly: Vec<VarId> = self.atoms[i]
+                .vars()
+                .filter(|v| !self.head_ids.contains_key(v) && !self.exist_ids.contains_key(v))
+                .collect();
+            for v in &newly {
+                let next = self.exist_ids.len() as u32;
+                self.exist_ids.entry(*v).or_insert(next);
+            }
+            // Re-encode with the numbering applied.
+            let committed = self.encode_atom(&self.atoms[i]);
+            self.used[i] = true;
+            self.prefix.push(committed);
+            self.perm.push(i);
+            self.run();
+            self.perm.pop();
+            self.prefix.pop();
+            self.used[i] = false;
+            for v in newly {
+                self.exist_ids.remove(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{ConceptId, IndividualId, RoleId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    #[test]
+    fn renamed_existentials_are_equal() {
+        // q(x) ← r(x, y) vs q(x) ← r(x, z).
+        let a = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(RoleId(0), v(0), v(1))]);
+        let b = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(RoleId(0), v(0), v(7))]);
+        assert!(same_modulo_renaming(&a, &b));
+    }
+
+    #[test]
+    fn atom_order_is_irrelevant() {
+        let a1 = Atom::Concept(ConceptId(0), v(0));
+        let a2 = Atom::Role(RoleId(0), v(1), v(0));
+        let q1 = CQ::with_var_head(vec![VarId(0)], vec![a1, a2]);
+        let q2 = CQ::with_var_head(vec![VarId(0)], vec![a2, a1]);
+        assert!(same_modulo_renaming(&q1, &q2));
+    }
+
+    #[test]
+    fn head_variables_are_rigid() {
+        // q(x) ← A(x) differs from q(y) ← A(x): the second has an
+        // existential body variable and a *different* head binding.
+        let qa = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]);
+        let qb = CQ::with_var_head(vec![VarId(1)], vec![Atom::Concept(ConceptId(0), v(0))]);
+        assert!(!same_modulo_renaming(&qa, &qb));
+    }
+
+    #[test]
+    fn distinct_structures_differ() {
+        // r(x, y) ∧ r(y, z) — a path — vs r(x, y) ∧ r(x, z) — a fork.
+        let path = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Role(RoleId(0), v(1), v(2)),
+            ],
+        );
+        let fork = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Role(RoleId(0), v(0), v(2)),
+            ],
+        );
+        assert!(!same_modulo_renaming(&path, &fork));
+    }
+
+    #[test]
+    fn shared_vs_distinct_existentials_differ() {
+        // r(x, y) ∧ s(z, y) — join on y — vs r(x, y) ∧ s(z, w).
+        let joined = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Role(RoleId(1), v(2), v(1)),
+            ],
+        );
+        let apart = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Role(RoleId(1), v(2), v(3)),
+            ],
+        );
+        assert!(!same_modulo_renaming(&joined, &apart));
+    }
+
+    #[test]
+    fn constants_are_rigid() {
+        let qa = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Role(RoleId(0), v(0), Term::Const(IndividualId(1)))],
+        );
+        let qb = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Role(RoleId(0), v(0), Term::Const(IndividualId(2)))],
+        );
+        assert!(!same_modulo_renaming(&qa, &qb));
+    }
+
+    #[test]
+    fn symmetric_queries_canonicalize_with_ties() {
+        // r(x, y) ∧ r(x, z) has an automorphism swapping y/z; both orders
+        // must produce the same key.
+        let q1 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Role(RoleId(0), v(0), v(2)),
+            ],
+        );
+        let q2 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(2)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        );
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn canonicalize_produces_equal_forms() {
+        let a = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(5)),
+                Atom::Concept(ConceptId(2), v(5)),
+            ],
+        );
+        let b = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(2), v(9)),
+                Atom::Role(RoleId(0), v(0), v(9)),
+            ],
+        );
+        let ca = super::canonicalize(&a);
+        let cb = super::canonicalize(&b);
+        assert_eq!(ca, cb, "canonical forms are structurally equal");
+        assert!(same_modulo_renaming(&ca, &a), "canonicalize preserves the query");
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let q = CQ::with_var_head(
+            vec![VarId(3)],
+            vec![
+                Atom::Role(RoleId(1), v(3), v(7)),
+                Atom::Role(RoleId(0), v(7), v(4)),
+                Atom::Concept(ConceptId(0), v(4)),
+            ],
+        );
+        let c1 = super::canonicalize(&q);
+        let c2 = super::canonicalize(&c1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Concept(ConceptId(2), v(1)),
+            ],
+        );
+        let shifted = CQ::with_var_head(
+            vec![VarId(10)],
+            vec![
+                Atom::Role(RoleId(0), v(10), v(11)),
+                Atom::Concept(ConceptId(2), v(11)),
+            ],
+        );
+        assert!(same_modulo_renaming(&q, &shifted));
+    }
+}

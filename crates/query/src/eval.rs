@@ -1,0 +1,446 @@
+//! Reference evaluation of FOL queries over chased instances.
+//!
+//! This is the workspace's *oracle*: query answering via
+//! `ans(q, ⟨T, A⟩) = q(chase(A, T))` restricted to all-constant tuples.
+//! Property tests validate the reformulation route (PerfectRef + covers +
+//! RDBMS) against it. It is a straightforward backtracking evaluator — not
+//! the scalable engine (that is `obda-rdbms`).
+
+use std::collections::{HashMap, HashSet};
+
+use obda_dllite::{chase, ABox, ChaseInstance, ChaseTerm, IndividualId, TBox};
+
+use crate::atom::Atom;
+use crate::cq::CQ;
+use crate::fol::FolQuery;
+use crate::jucq::{JUCQ, JUSCQ};
+use crate::scq::{Slot, SCQ, USCQ};
+use crate::term::{Term, VarId};
+use crate::ucq::UCQ;
+
+/// A result tuple over chase terms.
+pub type Row = Vec<ChaseTerm>;
+
+/// Evaluate a CQ over a chase instance; returns the set of head-tuples
+/// (which may contain nulls — callers filter for certain answers).
+pub fn eval_cq(inst: &ChaseInstance, cq: &CQ) -> HashSet<Row> {
+    let slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
+    eval_slots(inst, &slots, cq.head())
+}
+
+/// Evaluate a UCQ (union of disjunct results).
+pub fn eval_ucq(inst: &ChaseInstance, ucq: &UCQ) -> HashSet<Row> {
+    let mut out = HashSet::new();
+    for cq in ucq.cqs() {
+        out.extend(eval_cq(inst, cq));
+    }
+    out
+}
+
+/// Evaluate an SCQ by backtracking over slots, trying each slot atom.
+pub fn eval_scq(inst: &ChaseInstance, scq: &SCQ) -> HashSet<Row> {
+    eval_slots(inst, scq.slots(), scq.head())
+}
+
+/// Evaluate a USCQ (union of SCQ results).
+pub fn eval_uscq(inst: &ChaseInstance, uscq: &USCQ) -> HashSet<Row> {
+    let mut out = HashSet::new();
+    for scq in uscq.scqs() {
+        out.extend(eval_scq(inst, scq));
+    }
+    out
+}
+
+/// Evaluate a JUCQ: evaluate each component UCQ over its own head, then
+/// hash-join the component relations on shared variables and project the
+/// JUCQ head.
+pub fn eval_jucq(inst: &ChaseInstance, jucq: &JUCQ) -> HashSet<Row> {
+    let components: Vec<(Vec<Term>, HashSet<Row>)> = jucq
+        .components()
+        .iter()
+        .map(|c| (c.head().to_vec(), eval_ucq(inst, c)))
+        .collect();
+    join_components(components, jucq.head())
+}
+
+/// Evaluate a JUSCQ analogously.
+pub fn eval_juscq(inst: &ChaseInstance, juscq: &JUSCQ) -> HashSet<Row> {
+    let components: Vec<(Vec<Term>, HashSet<Row>)> = juscq
+        .components()
+        .iter()
+        .map(|c| (c.head().to_vec(), eval_uscq(inst, c)))
+        .collect();
+    join_components(components, juscq.head())
+}
+
+/// Evaluate any dialect.
+pub fn eval_fol(inst: &ChaseInstance, q: &FolQuery) -> HashSet<Row> {
+    match q {
+        FolQuery::Cq(q) => eval_cq(inst, q),
+        FolQuery::Ucq(q) => eval_ucq(inst, q),
+        FolQuery::Scq(q) => eval_scq(inst, q),
+        FolQuery::Uscq(q) => eval_uscq(inst, q),
+        FolQuery::Jucq(q) => eval_jucq(inst, q),
+        FolQuery::Juscq(q) => eval_juscq(inst, q),
+    }
+}
+
+/// Certain answers of a CQ against `⟨tbox, abox⟩`: evaluate over the chase
+/// bounded at depth `|q| + 1` (sufficient by canonical-model locality) and
+/// keep all-constant tuples.
+pub fn certain_answers(tbox: &TBox, abox: &ABox, cq: &CQ) -> HashSet<Vec<IndividualId>> {
+    let inst = chase(tbox, abox, cq.num_atoms() as u32 + 1);
+    constants_only(eval_cq(&inst, cq))
+}
+
+/// Evaluate a FOL query over the *plain* ABox (no TBox) and keep constant
+/// tuples — the right-hand side of the FOL-reducibility equation
+/// `ans(q, ⟨T, A⟩) = ans(qFOL, ⟨∅, A⟩)`.
+pub fn eval_over_abox(abox: &ABox, q: &FolQuery) -> HashSet<Vec<IndividualId>> {
+    let inst = chase(&TBox::new(), abox, 0);
+    constants_only(eval_fol(&inst, q))
+}
+
+/// Keep tuples made of constants only.
+pub fn constants_only(rows: HashSet<Row>) -> HashSet<Vec<IndividualId>> {
+    rows.into_iter()
+        .filter_map(|row| {
+            row.into_iter()
+                .map(|t| match t {
+                    ChaseTerm::Const(c) => Some(c),
+                    ChaseTerm::Null(_) => None,
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// internals
+// ---------------------------------------------------------------------
+
+type Assignment = HashMap<VarId, ChaseTerm>;
+
+/// Backtracking evaluation of a conjunction of disjunctive slots.
+fn eval_slots(inst: &ChaseInstance, slots: &[Slot], head: &[Term]) -> HashSet<Row> {
+    // Order slots by estimated candidate count (cheapest first).
+    let mut order: Vec<usize> = (0..slots.len()).collect();
+    order.sort_by_key(|&i| slot_cardinality(inst, &slots[i]));
+    let mut out = HashSet::new();
+    let mut assign = Assignment::new();
+    backtrack(inst, slots, &order, 0, &mut assign, head, &mut out);
+    out
+}
+
+fn slot_cardinality(inst: &ChaseInstance, slot: &Slot) -> usize {
+    slot.atoms()
+        .iter()
+        .map(|a| match a {
+            Atom::Concept(c, _) => inst.concept_members(*c).len(),
+            Atom::Role(r, _, _) => inst.role_pairs(*r).len(),
+        })
+        .sum()
+}
+
+fn backtrack(
+    inst: &ChaseInstance,
+    slots: &[Slot],
+    order: &[usize],
+    depth: usize,
+    assign: &mut Assignment,
+    head: &[Term],
+    out: &mut HashSet<Row>,
+) {
+    if depth == order.len() {
+        let row: Option<Row> = head
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(ChaseTerm::Const(*c)),
+                Term::Var(v) => assign.get(v).copied(),
+            })
+            .collect();
+        if let Some(row) = row {
+            out.insert(row);
+        }
+        return;
+    }
+    let slot = &slots[order[depth]];
+    for atom in slot.atoms() {
+        match atom {
+            Atom::Concept(c, t) => {
+                for &member in inst.concept_members(*c) {
+                    let mut trail = Vec::new();
+                    if bind(*t, member, assign, &mut trail) {
+                        backtrack(inst, slots, order, depth + 1, assign, head, out);
+                    }
+                    unwind(assign, trail);
+                }
+            }
+            Atom::Role(r, t1, t2) => {
+                for &(a, b) in inst.role_pairs(*r) {
+                    let mut trail = Vec::new();
+                    if bind(*t1, a, assign, &mut trail) && bind(*t2, b, assign, &mut trail) {
+                        backtrack(inst, slots, order, depth + 1, assign, head, out);
+                    }
+                    unwind(assign, trail);
+                }
+            }
+        }
+    }
+}
+
+fn bind(t: Term, value: ChaseTerm, assign: &mut Assignment, trail: &mut Vec<VarId>) -> bool {
+    match t {
+        Term::Const(c) => value == ChaseTerm::Const(c),
+        Term::Var(v) => match assign.get(&v) {
+            Some(&prev) => prev == value,
+            None => {
+                assign.insert(v, value);
+                trail.push(v);
+                true
+            }
+        },
+    }
+}
+
+fn unwind(assign: &mut Assignment, trail: Vec<VarId>) {
+    for v in trail {
+        assign.remove(&v);
+    }
+}
+
+/// Sequential hash-join of component relations, projecting `head`.
+fn join_components(components: Vec<(Vec<Term>, HashSet<Row>)>, head: &[Term]) -> HashSet<Row> {
+    // Accumulated relation: variable layout + rows.
+    let mut acc_vars: Vec<VarId> = Vec::new();
+    let mut acc_rows: Vec<Row> = vec![Vec::new()]; // one empty row = identity
+    for (comp_head, comp_rows) in components {
+        let comp_vars: Vec<VarId> = comp_head.iter().filter_map(|t| t.as_var()).collect();
+        // Positions of comp head terms to keep (vars not yet in acc).
+        let mut new_vars: Vec<(usize, VarId)> = Vec::new();
+        let mut join_pos: Vec<(usize, usize)> = Vec::new(); // (acc idx, comp idx)
+        for (ci, t) in comp_head.iter().enumerate() {
+            match t {
+                Term::Var(v) => match acc_vars.iter().position(|w| w == v) {
+                    Some(ai) => join_pos.push((ai, ci)),
+                    None => {
+                        if !new_vars.iter().any(|&(_, w)| w == *v) {
+                            new_vars.push((ci, *v));
+                        } else {
+                            // Repeated var within one component head: must
+                            // also match — treat as join against itself.
+                            let first = new_vars.iter().find(|&&(_, w)| w == *v).unwrap().0;
+                            join_pos.push((usize::MAX - first, ci)); // see below
+                        }
+                    }
+                },
+                Term::Const(_) => { /* constants don't join */ }
+            }
+        }
+        let _ = comp_vars;
+        // Constant head terms must equal the constant in every row — they
+        // are produced as such by evaluation, so no check needed.
+
+        // Filter comp rows for internal repeated-variable consistency.
+        let internal: Vec<(usize, usize)> = join_pos
+            .iter()
+            .filter(|&&(ai, _)| ai > usize::MAX / 2)
+            .map(|&(ai, ci)| (usize::MAX - ai, ci))
+            .collect();
+        let external: Vec<(usize, usize)> =
+            join_pos.iter().filter(|&&(ai, _)| ai <= usize::MAX / 2).copied().collect();
+        let comp_rows: Vec<Row> = comp_rows
+            .into_iter()
+            .filter(|row| internal.iter().all(|&(p1, p2)| row[p1] == row[p2]))
+            .collect();
+
+        // Hash the component rows by join key.
+        let mut index: HashMap<Vec<ChaseTerm>, Vec<&Row>> = HashMap::new();
+        for row in &comp_rows {
+            let key: Vec<ChaseTerm> = external.iter().map(|&(_, ci)| row[ci]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        let mut next_rows: Vec<Row> = Vec::new();
+        for arow in &acc_rows {
+            let key: Vec<ChaseTerm> = external.iter().map(|&(ai, _)| arow[ai]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut combined = arow.clone();
+                    for &(ci, _) in &new_vars {
+                        combined.push(m[ci]);
+                    }
+                    next_rows.push(combined);
+                }
+            }
+        }
+        acc_vars.extend(new_vars.iter().map(|&(_, v)| v));
+        acc_rows = next_rows;
+        if acc_rows.is_empty() {
+            break;
+        }
+    }
+    // Project the head.
+    let mut out = HashSet::new();
+    'rows: for row in acc_rows {
+        let mut projected = Vec::with_capacity(head.len());
+        for t in head {
+            match t {
+                Term::Const(c) => projected.push(ChaseTerm::Const(*c)),
+                Term::Var(v) => match acc_vars.iter().position(|w| w == v) {
+                    Some(i) => projected.push(row[i]),
+                    None => continue 'rows, // unexported head var: no answer
+                },
+            }
+        }
+        out.insert(projected);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{example1_abox, example1_tbox, ConceptId, Vocabulary};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Example 3: q(x) ← PhDStudent(x) ∧ worksWith(y, x) answers {Damian}.
+    #[test]
+    fn example3_certain_answers() {
+        let (mut voc, tbox) = example1_tbox();
+        let abox = example1_abox(&mut voc);
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(1), v(0)),
+            ],
+        );
+        let ans = certain_answers(&tbox, &abox, &q);
+        let damian = voc.find_individual("Damian").unwrap();
+        assert_eq!(ans, HashSet::from([vec![damian]]));
+        // Evaluating q against the ABox only yields no answer (paper
+        // Example 3, last remark).
+        let plain = eval_over_abox(&abox, &FolQuery::Cq(q));
+        assert!(plain.is_empty());
+    }
+
+    #[test]
+    fn ucq_unions_disjunct_answers() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_concept(b, y);
+        let qa = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(a, v(0))]);
+        let qb = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(b, v(0))]);
+        let u = UCQ::from_cqs(vec![v(0)], [qa, qb]);
+        let ans = eval_over_abox(&abox, &FolQuery::Ucq(u));
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn jucq_joins_components() {
+        // r(x, y) joined with A(y) through a 2-component JUCQ.
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let a = voc.concept("A");
+        let i1 = voc.individual("i1");
+        let i2 = voc.individual("i2");
+        let i3 = voc.individual("i3");
+        let mut abox = ABox::new();
+        abox.assert_role(r, i1, i2);
+        abox.assert_role(r, i1, i3);
+        abox.assert_concept(a, i2);
+        let c1 = UCQ::single(CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![Atom::Role(r, v(0), v(1))],
+        ));
+        let c2 = UCQ::single(CQ::with_var_head(vec![VarId(1)], vec![Atom::Concept(a, v(1))]));
+        let j = JUCQ::new(vec![v(0)], vec![c1, c2]);
+        let ans = eval_over_abox(&abox, &FolQuery::Jucq(j));
+        assert_eq!(ans, HashSet::from([vec![i1]]));
+    }
+
+    #[test]
+    fn scq_slot_disjunction() {
+        // (A(x) ∨ B(x)) as a single slot.
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_concept(b, y);
+        let slot = Slot::new(vec![Atom::Concept(a, v(0)), Atom::Concept(b, v(0))]);
+        let scq = SCQ::new(vec![v(0)], vec![slot]);
+        let ans = eval_over_abox(&abox, &FolQuery::Scq(scq));
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn boolean_query_yields_empty_tuple() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        let q = CQ::with_var_head(vec![], vec![Atom::Concept(a, v(0))]);
+        let ans = eval_over_abox(&abox, &FolQuery::Cq(q));
+        assert_eq!(ans, HashSet::from([vec![]]), "true is the empty tuple");
+        let q2 = CQ::with_var_head(vec![], vec![Atom::Concept(ConceptId(99), v(0))]);
+        let ans2 = eval_over_abox(&abox, &FolQuery::Cq(q2));
+        assert!(ans2.is_empty(), "false is the empty set");
+    }
+
+    #[test]
+    fn nulls_are_filtered_from_certain_answers() {
+        // A ⊑ ∃r: q(x, y) ← r(x, y) has no certain answer for y (the
+        // witness is a null), but q'(x) ← r(x, y) has x.
+        let kbtext = "A <= exists r\nA(a)";
+        let kb = obda_dllite::KnowledgeBase::parse(kbtext).unwrap();
+        let r = kb.voc().find_role("r").unwrap();
+        let q2 = CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![Atom::Role(r, v(0), v(1))],
+        );
+        let ans2 = certain_answers(kb.tbox(), kb.abox(), &q2);
+        assert!(ans2.is_empty());
+        let q1 = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(r, v(0), v(1))]);
+        let ans1 = certain_answers(kb.tbox(), kb.abox(), &q1);
+        assert_eq!(ans1.len(), 1);
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let i1 = voc.individual("i1");
+        let i2 = voc.individual("i2");
+        let mut abox = ABox::new();
+        abox.assert_role(r, i1, i2);
+        abox.assert_role(r, i2, i2);
+        let q = CQ::new(
+            vec![Term::Var(VarId(0))],
+            vec![Atom::Role(r, v(0), Term::Const(i2))],
+        );
+        let ans = eval_over_abox(&abox, &FolQuery::Cq(q));
+        assert_eq!(ans.len(), 2);
+        let q_fixed = CQ::new(
+            vec![Term::Var(VarId(0))],
+            vec![Atom::Role(r, Term::Const(i1), v(0))],
+        );
+        let ans = eval_over_abox(&abox, &FolQuery::Cq(q_fixed));
+        assert_eq!(ans, HashSet::from([vec![i2]]));
+    }
+
+    use obda_dllite::ABox;
+}

@@ -1,0 +1,142 @@
+//! The envelope type over all FOL query dialects of Table 4.
+
+use crate::cq::CQ;
+use crate::jucq::{JUCQ, JUSCQ};
+use crate::scq::{SCQ, USCQ};
+use crate::term::Term;
+use crate::ucq::UCQ;
+
+/// Any FOL query this workspace can evaluate or translate to SQL: the six
+/// dialects of Table 4.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FolQuery {
+    Cq(CQ),
+    Ucq(UCQ),
+    Scq(SCQ),
+    Uscq(USCQ),
+    Jucq(JUCQ),
+    Juscq(JUSCQ),
+}
+
+impl FolQuery {
+    pub fn head(&self) -> &[Term] {
+        match self {
+            FolQuery::Cq(q) => q.head(),
+            FolQuery::Ucq(q) => q.head(),
+            FolQuery::Scq(q) => q.head(),
+            FolQuery::Uscq(q) => q.head(),
+            FolQuery::Jucq(q) => q.head(),
+            FolQuery::Juscq(q) => q.head(),
+        }
+    }
+
+    /// Dialect name as in Table 4.
+    pub fn dialect(&self) -> &'static str {
+        match self {
+            FolQuery::Cq(_) => "CQ",
+            FolQuery::Ucq(_) => "UCQ",
+            FolQuery::Scq(_) => "SCQ",
+            FolQuery::Uscq(_) => "USCQ",
+            FolQuery::Jucq(_) => "JUCQ",
+            FolQuery::Juscq(_) => "JUSCQ",
+        }
+    }
+
+    /// Total number of atoms in the formula — a size measure that tracks
+    /// the length of the SQL translation.
+    pub fn total_atoms(&self) -> usize {
+        match self {
+            FolQuery::Cq(q) => q.num_atoms(),
+            FolQuery::Ucq(q) => q.total_atoms(),
+            FolQuery::Scq(q) => q.total_atoms(),
+            FolQuery::Uscq(q) => q.total_atoms(),
+            FolQuery::Jucq(q) => q.total_atoms(),
+            FolQuery::Juscq(q) => q.total_atoms(),
+        }
+    }
+
+    /// Number of union terms when flattened to a UCQ (the paper's
+    /// complexity proxy), without performing the flattening.
+    pub fn equivalent_cq_count(&self) -> usize {
+        match self {
+            FolQuery::Cq(_) => 1,
+            FolQuery::Ucq(q) => q.len(),
+            FolQuery::Scq(q) => q.equivalent_cq_count(),
+            FolQuery::Uscq(q) => q.equivalent_cq_count(),
+            FolQuery::Jucq(q) => q.components().iter().map(|c| c.len().max(1)).product(),
+            FolQuery::Juscq(q) => q
+                .components()
+                .iter()
+                .map(|c| c.equivalent_cq_count().max(1))
+                .product(),
+        }
+    }
+}
+
+impl From<CQ> for FolQuery {
+    fn from(q: CQ) -> Self {
+        FolQuery::Cq(q)
+    }
+}
+
+impl From<UCQ> for FolQuery {
+    fn from(q: UCQ) -> Self {
+        FolQuery::Ucq(q)
+    }
+}
+
+impl From<JUCQ> for FolQuery {
+    fn from(q: JUCQ) -> Self {
+        FolQuery::Jucq(q)
+    }
+}
+
+impl From<USCQ> for FolQuery {
+    fn from(q: USCQ) -> Self {
+        FolQuery::Uscq(q)
+    }
+}
+
+impl From<JUSCQ> for FolQuery {
+    fn from(q: JUSCQ) -> Self {
+        FolQuery::Juscq(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::VarId;
+    use obda_dllite::ConceptId;
+
+    #[test]
+    fn dialect_names_match_table4() {
+        let cq = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), Term::Var(VarId(0)))],
+        );
+        assert_eq!(FolQuery::from(cq.clone()).dialect(), "CQ");
+        assert_eq!(FolQuery::from(UCQ::single(cq.clone())).dialect(), "UCQ");
+        assert_eq!(
+            FolQuery::Jucq(JUCQ::new(vec![Term::Var(VarId(0))], vec![UCQ::single(cq)]))
+                .dialect(),
+            "JUCQ"
+        );
+    }
+
+    #[test]
+    fn equivalent_cq_count_multiplies_components() {
+        let c0 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), Term::Var(VarId(0)))],
+        );
+        let c1 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(1), Term::Var(VarId(0)))],
+        );
+        let u = UCQ::from_cqs(vec![Term::Var(VarId(0))], [c0, c1]);
+        let j = JUCQ::new(vec![Term::Var(VarId(0))], vec![u.clone(), u]);
+        assert_eq!(FolQuery::Jucq(j).equivalent_cq_count(), 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Terms and substitutions for FOL queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use obda_dllite::IndividualId;
+
+/// A query variable. Ids are local to a query; fresh variables are minted
+/// by incrementing past the query's maximum id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// A term: a variable or a constant (individual).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    Var(VarId),
+    Const(IndividualId),
+}
+
+impl Term {
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{}", v.0),
+            Term::Const(c) => write!(f, "{}", c),
+        }
+    }
+}
+
+/// A substitution `Var → Term` with transitive lookup (after composing
+/// unifiers a variable may map to another mapped variable).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Subst {
+    map: HashMap<VarId, Term>,
+}
+
+impl Subst {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `v := t`. Callers must ensure no cycles (`v` not reachable from
+    /// `t`); with variable-to-variable bindings oriented consistently this
+    /// holds by construction in the unifier.
+    pub fn bind(&mut self, v: VarId, t: Term) {
+        debug_assert!(Term::Var(v) != t, "self-binding");
+        self.map.insert(v, t);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Resolve a term through the substitution until a fixpoint.
+    pub fn resolve(&self, t: Term) -> Term {
+        let mut cur = t;
+        // Bounded walk to defend against accidental cycles in debug builds.
+        for _ in 0..=self.map.len() {
+            match cur {
+                Term::Var(v) => match self.map.get(&v) {
+                    Some(&next) => cur = next,
+                    None => return cur,
+                },
+                Term::Const(_) => return cur,
+            }
+        }
+        debug_assert!(false, "substitution cycle");
+        cur
+    }
+
+    /// Iterate over raw bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_follows_chains() {
+        let mut s = Subst::new();
+        s.bind(VarId(0), Term::Var(VarId(1)));
+        s.bind(VarId(1), Term::Const(IndividualId(7)));
+        assert_eq!(s.resolve(Term::Var(VarId(0))), Term::Const(IndividualId(7)));
+        assert_eq!(s.resolve(Term::Var(VarId(1))), Term::Const(IndividualId(7)));
+        assert_eq!(s.resolve(Term::Var(VarId(2))), Term::Var(VarId(2)));
+        assert_eq!(
+            s.resolve(Term::Const(IndividualId(3))),
+            Term::Const(IndividualId(3))
+        );
+    }
+
+    #[test]
+    fn term_accessors() {
+        assert!(Term::Var(VarId(0)).is_var());
+        assert!(Term::Const(IndividualId(0)).is_const());
+        assert_eq!(Term::Var(VarId(3)).as_var(), Some(VarId(3)));
+        assert_eq!(Term::Const(IndividualId(3)).as_var(), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! Seeded random generators for KBs, ABoxes and queries.
+//!
+//! Used by property tests across the workspace (reformulation soundness /
+//! completeness vs the chase oracle, cover equivalence, engine vs reference
+//! evaluator). Everything is driven by a simple SplitMix64 PRNG so that the
+//! crate needs no test-only dependencies and failures reproduce from a
+//! printed seed.
+
+use obda_dllite::{ABox, Axiom, BasicConcept, Role, TBox, Vocabulary};
+
+use crate::atom::Atom;
+use crate::cq::CQ;
+use crate::term::{Term, VarId};
+
+/// SplitMix64: tiny, high-quality, deterministic.
+#[derive(Clone, Debug)]
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Shape parameters for random KB generation.
+#[derive(Clone, Debug)]
+pub struct KbShape {
+    pub num_concepts: usize,
+    pub num_roles: usize,
+    pub num_axioms: usize,
+    pub num_individuals: usize,
+    pub num_facts: usize,
+    /// Probability that a generated axiom is existential on the RHS.
+    pub existential_bias: f64,
+}
+
+impl Default for KbShape {
+    fn default() -> Self {
+        KbShape {
+            num_concepts: 5,
+            num_roles: 3,
+            num_axioms: 8,
+            num_individuals: 8,
+            num_facts: 14,
+            existential_bias: 0.3,
+        }
+    }
+}
+
+/// Generate a random positive-only DL-LiteR TBox (negation-free KBs are
+/// always consistent, §2.1 — ideal for query-answering property tests).
+pub fn random_tbox(rng: &mut Rng, shape: &KbShape) -> (Vocabulary, TBox) {
+    let mut voc = Vocabulary::new();
+    for i in 0..shape.num_concepts {
+        voc.concept(&format!("C{i}"));
+    }
+    for i in 0..shape.num_roles {
+        voc.role(&format!("r{i}"));
+    }
+    let mut tbox = TBox::new();
+    for _ in 0..shape.num_axioms {
+        let ax = random_axiom(rng, &voc, shape.existential_bias);
+        tbox.add(ax);
+    }
+    (voc, tbox)
+}
+
+fn random_basic(rng: &mut Rng, voc: &Vocabulary) -> BasicConcept {
+    if voc.num_roles() > 0 && rng.chance(0.4) {
+        BasicConcept::Exists(random_role(rng, voc))
+    } else {
+        let c = rng.below(voc.num_concepts());
+        BasicConcept::Atomic(obda_dllite::ConceptId(c as u32))
+    }
+}
+
+fn random_role(rng: &mut Rng, voc: &Vocabulary) -> Role {
+    let r = obda_dllite::RoleId(rng.below(voc.num_roles()) as u32);
+    if rng.chance(0.3) {
+        Role::inv(r)
+    } else {
+        Role::direct(r)
+    }
+}
+
+fn random_axiom(rng: &mut Rng, voc: &Vocabulary, existential_bias: f64) -> Axiom {
+    if voc.num_roles() > 0 && rng.chance(0.25) {
+        // Role inclusion.
+        Axiom::role(random_role(rng, voc), random_role(rng, voc))
+    } else {
+        let lhs = random_basic(rng, voc);
+        let rhs = if voc.num_roles() > 0 && rng.chance(existential_bias) {
+            BasicConcept::Exists(random_role(rng, voc))
+        } else {
+            random_basic(rng, voc)
+        };
+        Axiom::concept(lhs, rhs)
+    }
+}
+
+/// Generate a random ABox over the vocabulary.
+pub fn random_abox(rng: &mut Rng, voc: &mut Vocabulary, shape: &KbShape) -> ABox {
+    for i in 0..shape.num_individuals {
+        voc.individual(&format!("i{i}"));
+    }
+    let mut abox = ABox::new();
+    for _ in 0..shape.num_facts {
+        if voc.num_roles() > 0 && rng.chance(0.5) {
+            let r = obda_dllite::RoleId(rng.below(voc.num_roles()) as u32);
+            let a = obda_dllite::IndividualId(rng.below(shape.num_individuals) as u32);
+            let b = obda_dllite::IndividualId(rng.below(shape.num_individuals) as u32);
+            abox.assert_role(r, a, b);
+        } else {
+            let c = obda_dllite::ConceptId(rng.below(voc.num_concepts()) as u32);
+            let a = obda_dllite::IndividualId(rng.below(shape.num_individuals) as u32);
+            abox.assert_concept(c, a);
+        }
+    }
+    abox
+}
+
+/// Generate a random *connected* CQ with `num_atoms` atoms and up to
+/// `max_head` head variables.
+pub fn random_connected_cq(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    num_atoms: usize,
+    max_head: usize,
+) -> CQ {
+    assert!(num_atoms >= 1);
+    let mut atoms: Vec<Atom> = Vec::with_capacity(num_atoms);
+    let mut next_var = 0u32;
+    let fresh = |next_var: &mut u32| {
+        let v = VarId(*next_var);
+        *next_var += 1;
+        v
+    };
+    // Seed atom.
+    let first_var = fresh(&mut next_var);
+    atoms.push(random_atom_with(rng, voc, first_var, &mut next_var));
+    // Each further atom reuses a variable from an existing atom, keeping
+    // the query connected. Duplicate atoms would be collapsed by `CQ::new`
+    // (set semantics), so retry until distinct.
+    while atoms.len() < num_atoms {
+        let existing: Vec<VarId> = atoms.iter().flat_map(|a| a.vars()).collect();
+        let anchor = existing[rng.below(existing.len())];
+        let atom = random_atom_with(rng, voc, anchor, &mut next_var);
+        if !atoms.contains(&atom) {
+            atoms.push(atom);
+        }
+    }
+    // Head: a nonempty subset of the variables (≤ max_head).
+    let mut vars: Vec<VarId> = atoms.iter().flat_map(|a| a.vars()).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let head_len = 1 + rng.below(max_head.min(vars.len()));
+    let mut head = Vec::with_capacity(head_len);
+    for _ in 0..head_len {
+        let v = vars[rng.below(vars.len())];
+        if !head.contains(&v) {
+            head.push(v);
+        }
+    }
+    CQ::with_var_head(head, atoms)
+}
+
+/// An atom guaranteed to use `anchor`; other positions may be fresh or
+/// anchor again.
+fn random_atom_with(rng: &mut Rng, voc: &Vocabulary, anchor: VarId, next_var: &mut u32) -> Atom {
+    if voc.num_roles() > 0 && rng.chance(0.6) {
+        let r = obda_dllite::RoleId(rng.below(voc.num_roles()) as u32);
+        let other = if rng.chance(0.8) {
+            let v = VarId(*next_var);
+            *next_var += 1;
+            v
+        } else {
+            anchor
+        };
+        if rng.chance(0.5) {
+            Atom::Role(r, Term::Var(anchor), Term::Var(other))
+        } else {
+            Atom::Role(r, Term::Var(other), Term::Var(anchor))
+        }
+    } else {
+        let c = obda_dllite::ConceptId(rng.below(voc.num_concepts()) as u32);
+        Atom::Concept(c, Term::Var(anchor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn generated_cqs_are_connected() {
+        let shape = KbShape::default();
+        for seed in 0..50 {
+            let mut rng = Rng::new(seed);
+            let (voc, _) = random_tbox(&mut rng, &shape);
+            for n in 1..=6 {
+                let cq = random_connected_cq(&mut rng, &voc, n, 2);
+                assert_eq!(cq.num_atoms(), n, "seed {seed}");
+                assert!(cq.is_connected(), "seed {seed}: {cq:?}");
+                assert!(!cq.head().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_tbox_is_positive_only() {
+        let mut rng = Rng::new(7);
+        let (_, tbox) = random_tbox(&mut rng, &KbShape::default());
+        assert_eq!(tbox.num_negative(), 0);
+    }
+
+    #[test]
+    fn generated_abox_respects_shape() {
+        let mut rng = Rng::new(9);
+        let shape = KbShape::default();
+        let (mut voc, _) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        assert!(abox.len() <= shape.num_facts);
+        assert!(abox.len() > 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The engine facade: storage + profile + SQL front end + explain.
+//!
+//! Plays the role of "PostgreSQL / DB2 storing the ABox" in the paper's
+//! architecture (Figure 1's right side): it receives a FOL reformulation,
+//! translates it to SQL (enforcing the profile's statement-size limit),
+//! evaluates it, and exposes a cost estimation (`explain`) that the
+//! cost-driven search algorithms can consult.
+
+use std::fmt;
+use std::time::Instant;
+
+use obda_dllite::{ABox, Vocabulary};
+use obda_query::FolQuery;
+
+use crate::cost_model::CostModel;
+use crate::executor::{execute, Row};
+use crate::layout::dph::DphStorage;
+use crate::layout::simple::SimpleStorage;
+use crate::layout::triple::TripleStorage;
+use crate::layout::{LayoutKind, Storage};
+use crate::meter::Meter;
+use crate::metrics::ExecMetrics;
+use crate::profile::EngineProfile;
+use crate::sql::{SqlGenerator, SqlNames};
+use crate::stats::CatalogStats;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The SQL translation exceeds the profile's statement-size limit —
+    /// DB2's "statement is too long or too complex" (§6.3).
+    StatementTooLong { size: usize, limit: usize },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::StatementTooLong { size, limit } => write!(
+                f,
+                "The statement is too long or too complex. Current SQL statement size is {size} (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of evaluating one statement.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub rows: Vec<Row>,
+    pub metrics: ExecMetrics,
+    /// Length of the SQL translation shipped to the engine.
+    pub sql_bytes: usize,
+    /// Simulated execution time under the engine profile (work units ×
+    /// profile scale) — comparable across profiles, unlike wall time.
+    pub simulated: std::time::Duration,
+}
+
+/// An RDBMS instance: one loaded ABox under one layout and profile.
+pub struct Engine {
+    storage: Box<dyn Storage>,
+    profile: EngineProfile,
+    sql: SqlGenerator,
+}
+
+impl Engine {
+    /// Load an ABox under the given layout and profile.
+    pub fn load(
+        abox: &ABox,
+        voc: &Vocabulary,
+        layout: LayoutKind,
+        profile: EngineProfile,
+    ) -> Self {
+        let storage: Box<dyn Storage> = match layout {
+            LayoutKind::Simple => Box::new(SimpleStorage::load(abox)),
+            LayoutKind::Triple => Box::new(TripleStorage::load(abox)),
+            LayoutKind::Dph => Box::new(DphStorage::load(abox)),
+        };
+        let sql = SqlGenerator::new(SqlNames::from_vocabulary(voc), layout);
+        Engine { storage, profile, sql }
+    }
+
+    pub fn layout(&self) -> LayoutKind {
+        self.storage.layout()
+    }
+
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    pub fn stats(&self) -> &CatalogStats {
+        self.storage.stats()
+    }
+
+    /// The SQL translation of a query under this engine's layout.
+    pub fn sql_for(&self, q: &FolQuery) -> String {
+        self.sql.generate(q)
+    }
+
+    /// Evaluate a FOL query end to end: SQL translation (with the
+    /// statement-size check), execution, metering.
+    pub fn evaluate(&self, q: &FolQuery) -> Result<QueryOutcome, EngineError> {
+        let sql = self.sql.generate(q);
+        if let Some(limit) = self.profile.max_statement_bytes {
+            if sql.len() > limit {
+                return Err(EngineError::StatementTooLong { size: sql.len(), limit });
+            }
+        }
+        let start = Instant::now();
+        let mut meter = Meter::new(&self.profile);
+        let rows = execute(self.storage.as_ref(), q, &mut meter);
+        let mut metrics = meter.metrics;
+        metrics.wall = start.elapsed();
+        let simulated = metrics.simulated(&self.profile);
+        Ok(QueryOutcome { rows, metrics, sql_bytes: sql.len(), simulated })
+    }
+
+    /// The engine's own cost estimation ("explain"). Statements over the
+    /// size limit estimate to infinity — they cannot run at all.
+    pub fn explain(&self, q: &FolQuery) -> f64 {
+        if let Some(limit) = self.profile.max_statement_bytes {
+            if self.sql.generate(q).len() > limit {
+                return f64::INFINITY;
+            }
+        }
+        self.rdbms_cost_model().estimate_fol(q)
+    }
+
+    /// The engine-side cost model (profile quirks included).
+    pub fn rdbms_cost_model(&self) -> CostModel {
+        CostModel::rdbms(self.storage.stats().clone(), self.storage.layout(), &self.profile)
+    }
+
+    /// The external (paper-side) cost model over this engine's statistics.
+    pub fn ext_cost_model(&self) -> CostModel {
+        CostModel::ext(self.storage.stats().clone(), self.storage.layout())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::testutil::small_abox;
+    use obda_dllite::{ConceptId, RoleId};
+    use obda_query::{Atom, Term, VarId, CQ, UCQ};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn engine(layout: LayoutKind, profile: EngineProfile) -> Engine {
+        let (voc, abox) = small_abox();
+        Engine::load(&abox, &voc, layout, profile)
+    }
+
+    #[test]
+    fn evaluate_returns_rows_and_metrics() {
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), v(0))],
+        ));
+        let out = e.evaluate(&q).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.metrics.work_units() > 0.0);
+        assert!(out.sql_bytes > 0);
+    }
+
+    #[test]
+    fn all_layouts_agree_on_answers() {
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        ));
+        let mut results = Vec::new();
+        for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+            let e = engine(layout, EngineProfile::pg_like());
+            let mut rows = e.evaluate(&q).unwrap().rows;
+            rows.sort();
+            results.push(rows);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn statement_size_limit_fires() {
+        let mut profile = EngineProfile::db2_like();
+        profile.max_statement_bytes = Some(200); // tiny limit for the test
+        let e = engine(LayoutKind::Dph, profile);
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            (0..3).map(|i| {
+                CQ::with_var_head(
+                    vec![VarId(0)],
+                    vec![Atom::Role(RoleId(i % 2), v(0), v(1))],
+                )
+            }),
+        );
+        let err = e.evaluate(&FolQuery::Ucq(u.clone())).unwrap_err();
+        match err {
+            EngineError::StatementTooLong { size, limit } => {
+                assert!(size > limit);
+            }
+        }
+        assert!(e.explain(&FolQuery::Ucq(u)).is_infinite());
+    }
+
+    #[test]
+    fn pg_profile_has_no_statement_limit() {
+        let e = engine(LayoutKind::Dph, EngineProfile::pg_like());
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            (0..20).map(|i| {
+                CQ::with_var_head(
+                    vec![VarId(0)],
+                    vec![Atom::Role(RoleId(i % 2), v(0), v(1))],
+                )
+            }),
+        );
+        assert!(e.evaluate(&FolQuery::Ucq(u)).is_ok());
+    }
+
+    #[test]
+    fn explain_is_finite_for_small_queries() {
+        let e = engine(LayoutKind::Simple, EngineProfile::db2_like());
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), v(0))],
+        ));
+        let cost = e.explain(&q);
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn simulated_time_is_positive() {
+        let e = engine(LayoutKind::Simple, EngineProfile::db2_like());
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Role(RoleId(0), v(0), v(1))],
+        ));
+        let out = e.evaluate(&q).unwrap();
+        assert!(out.simulated.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The DB2RDF-like entity layout \[9\]: DPH (direct primary hash) and RPH
+//! (reverse primary hash) tables.
+//!
+//! Each DPH row bundles one subject's `(predicate, value)` entries into
+//! `k` hashed column pairs; a subject with more predicates (or repeated
+//! predicates — multi-valued) *spills* into additional rows. The RPH table
+//! mirrors the structure keyed by object. The design shines for
+//! entity-centric lookups (bound subject → one hashed row fetch) and is
+//! poor for predicate-extension scans — every scan walks the whole wide
+//! table. §6.3 finds it "not the best alternative when evaluating queries
+//! issued from reformulation against an ontology"; this module reproduces
+//! both effects, and `crate::sql` reproduces the statement-size blowup of
+//! its SQL (per-atom CASE over candidate columns).
+
+use obda_dllite::{ABox, ConceptId, RoleId};
+
+use crate::fxhash::FxHashMap;
+use crate::layout::{LayoutKind, Storage};
+use crate::meter::{Meter, TK_DPH, TK_RPH};
+use crate::stats::CatalogStats;
+
+/// Number of (pred, val) column pairs per row — DB2RDF determines this
+/// from the data; we fix a typical value.
+pub const DPH_COLUMNS: usize = 8;
+
+/// Predicate code: concepts and roles share the column space.
+fn code_concept(c: u32) -> u32 {
+    c << 1
+}
+
+fn code_role(r: u32) -> u32 {
+    (r << 1) | 1
+}
+
+/// Marker value for concept membership entries (DB2RDF stores the type
+/// predicate like any other).
+const TYPE_MARKER: u32 = u32::MAX;
+
+/// One wide row: key plus up to [`DPH_COLUMNS`] (pred, val) entries.
+#[derive(Debug, Clone)]
+struct WideRow {
+    key: u32,
+    entries: Vec<(u32, u32)>, // (pred code, value)
+}
+
+/// Column position a predicate hashes to (its *primary* column; conflicts
+/// spill to the next free slot, which is why SQL must CASE over all
+/// candidate columns).
+pub fn primary_column(pred_code: u32) -> usize {
+    (pred_code as usize * 2654435761) % DPH_COLUMNS
+}
+
+/// Entity-layout storage: DPH + RPH.
+pub struct DphStorage {
+    dph: Vec<WideRow>,
+    rph: Vec<WideRow>,
+    dph_by_key: FxHashMap<u32, Vec<u32>>,
+    rph_by_key: FxHashMap<u32, Vec<u32>>,
+    stats: CatalogStats,
+}
+
+impl DphStorage {
+    pub fn load(abox: &ABox) -> Self {
+        // Gather per-subject and per-object entry lists.
+        let mut by_subject: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+        let mut by_object: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+        for &(c, i) in abox.concept_assertions() {
+            by_subject.entry(i.0).or_default().push((code_concept(c.0), TYPE_MARKER));
+        }
+        for &(r, a, b) in abox.role_assertions() {
+            by_subject.entry(a.0).or_default().push((code_role(r.0), b.0));
+            by_object.entry(b.0).or_default().push((code_role(r.0), a.0));
+        }
+        let (dph, dph_by_key) = pack_rows(by_subject);
+        let (rph, rph_by_key) = pack_rows(by_object);
+        DphStorage { dph, rph, dph_by_key, rph_by_key, stats: CatalogStats::from_abox(abox) }
+    }
+
+    /// Total DPH rows (spills included) — the cost of any predicate scan.
+    pub fn dph_rows(&self) -> usize {
+        self.dph.len()
+    }
+
+    pub fn rph_rows(&self) -> usize {
+        self.rph.len()
+    }
+}
+
+/// Pack entry lists into wide rows of at most [`DPH_COLUMNS`] entries,
+/// each predicate placed at (or probed after) its primary column; overflow
+/// spills into extra rows for the same key.
+fn pack_rows(
+    map: FxHashMap<u32, Vec<(u32, u32)>>,
+) -> (Vec<WideRow>, FxHashMap<u32, Vec<u32>>) {
+    let mut rows: Vec<WideRow> = Vec::new();
+    let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable(); // deterministic layout
+    for key in keys {
+        let entries = &map[&key];
+        for chunk in entries.chunks(DPH_COLUMNS) {
+            index.entry(key).or_default().push(rows.len() as u32);
+            rows.push(WideRow { key, entries: chunk.to_vec() });
+        }
+    }
+    (rows, index)
+}
+
+impl Storage for DphStorage {
+    fn layout(&self) -> LayoutKind {
+        LayoutKind::Dph
+    }
+
+    fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    fn for_each_concept(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        // Full DPH scan: every wide row is touched (the layout has no
+        // per-predicate extent).
+        let code = code_concept(c.0);
+        m.on_scan(TK_DPH, (self.dph.len() * 2) as u64);
+        for row in &self.dph {
+            if row.entries.iter().any(|&(p, _)| p == code) {
+                f(row.key);
+            }
+        }
+    }
+
+    fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32)) {
+        let code = code_role(r.0);
+        m.on_scan(TK_DPH, (self.dph.len() * 2) as u64);
+        for row in &self.dph {
+            for &(p, v) in &row.entries {
+                if p == code {
+                    f(row.key, v);
+                }
+            }
+        }
+    }
+
+    fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool {
+        m.on_probe(1);
+        let code = code_concept(c.0);
+        self.dph_by_key.get(&v).is_some_and(|rows| {
+            rows.iter().any(|&idx| {
+                self.dph[idx as usize]
+                    .entries
+                    .iter()
+                    .any(|&(p, _)| p == code)
+            })
+        })
+    }
+
+    fn role_objects(&self, r: RoleId, s: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        let code = code_role(r.0);
+        match self.dph_by_key.get(&s) {
+            Some(rows) => {
+                m.on_probe(rows.len() as u64);
+                for &idx in rows {
+                    for &(p, v) in &self.dph[idx as usize].entries {
+                        if p == code {
+                            f(v);
+                        }
+                    }
+                }
+            }
+            None => m.on_probe(0),
+        }
+    }
+
+    fn role_subjects(&self, r: RoleId, o: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        let code = code_role(r.0);
+        match self.rph_by_key.get(&o) {
+            Some(rows) => {
+                m.on_probe(rows.len() as u64);
+                for &idx in rows {
+                    for &(p, v) in &self.rph[idx as usize].entries {
+                        if p == code {
+                            f(v);
+                        }
+                    }
+                }
+            }
+            None => m.on_probe(0),
+        }
+    }
+
+    fn probe_role(&self, r: RoleId, s: u32, o: u32, m: &mut Meter) -> bool {
+        let code = code_role(r.0);
+        m.on_probe(1);
+        self.dph_by_key.get(&s).is_some_and(|rows| {
+            rows.iter().any(|&idx| {
+                self.dph[idx as usize]
+                    .entries
+                    .iter()
+                    .any(|&(p, v)| p == code && v == o)
+            })
+        })
+    }
+}
+
+// RPH scans account against TK_RPH when used; expose for tests.
+#[allow(dead_code)]
+fn rph_table_key() -> crate::meter::TableKey {
+    TK_RPH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::testutil::{check_storage_contract, small_abox};
+    use crate::profile::EngineProfile;
+    use obda_dllite::Vocabulary;
+
+    #[test]
+    fn contract() {
+        let (_, abox) = small_abox();
+        let storage = DphStorage::load(&abox);
+        check_storage_contract(&storage);
+        assert_eq!(storage.layout(), LayoutKind::Dph);
+    }
+
+    #[test]
+    fn spill_rows_for_wide_subjects() {
+        let mut voc = Vocabulary::new();
+        let s = voc.individual("hub");
+        let t = voc.individual("t");
+        let mut abox = ABox::new();
+        // One subject with 20 role assertions: must spill into ≥3 rows of
+        // 8 columns.
+        for i in 0..20 {
+            let r = voc.role(&format!("r{i}"));
+            abox.assert_role(r, s, t);
+        }
+        let storage = DphStorage::load(&abox);
+        assert!(storage.dph_rows() >= 3, "20 entries / 8 cols → ≥3 rows");
+        // All 20 still retrievable.
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        let mut count = 0;
+        for i in 0..20u32 {
+            storage.role_objects(obda_dllite::RoleId(i), s.0, &mut m, &mut |_| count += 1);
+        }
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn scans_are_much_costlier_than_simple() {
+        let (voc, abox) = small_abox();
+        let dph = DphStorage::load(&abox);
+        let simple = crate::layout::simple::SimpleStorage::load(&abox);
+        let profile = EngineProfile::pg_like();
+        let r = voc.find_role("s").unwrap(); // tiny table: 1 pair
+        let mut md = Meter::new(&profile);
+        dph.for_each_role(r, &mut md, &mut |_, _| {});
+        let mut ms = Meter::new(&profile);
+        simple.for_each_role(r, &mut ms, &mut |_, _| {});
+        // DPH scans the whole wide table even for a 1-pair predicate.
+        assert!(md.metrics.scanned > ms.metrics.scanned * 2.0);
+    }
+
+    #[test]
+    fn primary_column_is_stable_and_in_range() {
+        for code in 0..100 {
+            let col = primary_column(code);
+            assert!(col < DPH_COLUMNS);
+            assert_eq!(col, primary_column(code));
+        }
+    }
+
+    #[test]
+    fn multivalued_predicates_survive_packing() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let s = voc.individual("s");
+        let mut abox = ABox::new();
+        for i in 0..12 {
+            let o = voc.individual(&format!("o{i}"));
+            abox.assert_role(r, s, o);
+        }
+        let storage = DphStorage::load(&abox);
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        let mut objs = Vec::new();
+        storage.role_objects(r, s.0, &mut m, &mut |o| objs.push(o));
+        assert_eq!(objs.len(), 12, "multi-valued predicate spills correctly");
+    }
+}

@@ -1,0 +1,155 @@
+//! The *simple layout*: a unary table per concept, a binary table per
+//! role, with all one- and two-attribute indexes (§6.1). Facts are
+//! dictionary-encoded `u32`s (the `Vocabulary` is the dictionary).
+
+use obda_dllite::{ABox, ConceptId, RoleId};
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::layout::{LayoutKind, Storage};
+use crate::meter::{tk_concept, tk_role, Meter};
+use crate::stats::CatalogStats;
+
+/// A unary (concept) table: member vector plus membership index.
+#[derive(Debug, Default)]
+struct UnaryTable {
+    rows: Vec<u32>,
+    index: FxHashSet<u32>,
+}
+
+/// A binary (role) table: pair vector plus hash indexes on each attribute
+/// and on the pair.
+#[derive(Debug, Default)]
+struct BinaryTable {
+    rows: Vec<(u32, u32)>,
+    by_subject: FxHashMap<u32, Vec<u32>>,
+    by_object: FxHashMap<u32, Vec<u32>>,
+    pairs: FxHashSet<(u32, u32)>,
+}
+
+/// Simple-layout storage.
+pub struct SimpleStorage {
+    concepts: FxHashMap<u32, UnaryTable>,
+    roles: FxHashMap<u32, BinaryTable>,
+    stats: CatalogStats,
+}
+
+impl SimpleStorage {
+    pub fn load(abox: &ABox) -> Self {
+        let mut concepts: FxHashMap<u32, UnaryTable> = FxHashMap::default();
+        for &(c, i) in abox.concept_assertions() {
+            let t = concepts.entry(c.0).or_default();
+            if t.index.insert(i.0) {
+                t.rows.push(i.0);
+            }
+        }
+        let mut roles: FxHashMap<u32, BinaryTable> = FxHashMap::default();
+        for &(r, a, b) in abox.role_assertions() {
+            let t = roles.entry(r.0).or_default();
+            if t.pairs.insert((a.0, b.0)) {
+                t.rows.push((a.0, b.0));
+                t.by_subject.entry(a.0).or_default().push(b.0);
+                t.by_object.entry(b.0).or_default().push(a.0);
+            }
+        }
+        SimpleStorage { concepts, roles, stats: CatalogStats::from_abox(abox) }
+    }
+}
+
+impl Storage for SimpleStorage {
+    fn layout(&self) -> LayoutKind {
+        LayoutKind::Simple
+    }
+
+    fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    fn for_each_concept(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        if let Some(t) = self.concepts.get(&c.0) {
+            m.on_scan(tk_concept(c.0), t.rows.len() as u64);
+            for &v in &t.rows {
+                f(v);
+            }
+        }
+    }
+
+    fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32)) {
+        if let Some(t) = self.roles.get(&r.0) {
+            m.on_scan(tk_role(r.0), t.rows.len() as u64);
+            for &(a, b) in &t.rows {
+                f(a, b);
+            }
+        }
+    }
+
+    fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool {
+        m.on_probe(1);
+        self.concepts.get(&c.0).is_some_and(|t| t.index.contains(&v))
+    }
+
+    fn role_objects(&self, r: RoleId, s: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        if let Some(t) = self.roles.get(&r.0) {
+            if let Some(objs) = t.by_subject.get(&s) {
+                m.on_probe(objs.len() as u64);
+                for &o in objs {
+                    f(o);
+                }
+                return;
+            }
+        }
+        m.on_probe(0);
+    }
+
+    fn role_subjects(&self, r: RoleId, o: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
+        if let Some(t) = self.roles.get(&r.0) {
+            if let Some(subs) = t.by_object.get(&o) {
+                m.on_probe(subs.len() as u64);
+                for &s in subs {
+                    f(s);
+                }
+                return;
+            }
+        }
+        m.on_probe(0);
+    }
+
+    fn probe_role(&self, r: RoleId, s: u32, o: u32, m: &mut Meter) -> bool {
+        m.on_probe(1);
+        self.roles.get(&r.0).is_some_and(|t| t.pairs.contains(&(s, o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::testutil::{check_storage_contract, small_abox};
+
+    #[test]
+    fn contract() {
+        let (_, abox) = small_abox();
+        let storage = SimpleStorage::load(&abox);
+        check_storage_contract(&storage);
+        assert_eq!(storage.layout(), LayoutKind::Simple);
+    }
+
+    #[test]
+    fn duplicate_assertions_deduplicate() {
+        let (mut voc, _) = small_abox();
+        let a = voc.find_concept("A").unwrap();
+        let i0 = voc.find_individual("i0").unwrap();
+        let mut abox = ABox::new();
+        abox.assert_concept(a, i0);
+        abox.assert_concept(a, i0);
+        let storage = SimpleStorage::load(&abox);
+        assert_eq!(storage.stats().concept_card(a.0), 1);
+    }
+
+    #[test]
+    fn stats_match_content() {
+        let (voc, abox) = small_abox();
+        let storage = SimpleStorage::load(&abox);
+        let r = voc.find_role("r").unwrap();
+        assert_eq!(storage.stats().role_card(r.0), 3);
+        assert_eq!(storage.stats().role_distinct_subjects(r.0), 2);
+    }
+}

@@ -1,0 +1,450 @@
+//! SQL text generation for all dialects and layouts.
+//!
+//! The engine executes `FolQuery` values directly, but the SQL translation
+//! is still generated for every statement because its *size* is
+//! operationally significant: DB2 rejects statements beyond ~2 MB, which
+//! is exactly how the Figure-3 failures arise ("The statement is too long
+//! or too complex. Current SQL statement size is 2,247,118"). On the
+//! DB2RDF layout every atom compiles to a candidate-column `CASE` over the
+//! DPH/RPH tables (the layout hashes predicates into `k` column pairs), so
+//! reformulations multiply in length — §6.3's observation that the RDF
+//! layout plus ontology-based reformulation "yields queries too large for
+//! evaluation".
+//!
+//! JUCQs compile to the `WITH sqlN AS (…) SELECT DISTINCT …` shape of §3.
+
+use std::fmt::Write as _;
+
+use obda_dllite::Vocabulary;
+use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, UCQ, USCQ};
+
+use crate::layout::dph::DPH_COLUMNS;
+use crate::layout::LayoutKind;
+
+/// Name snapshot for SQL rendering (decouples the engine from the
+/// `Vocabulary`'s lifetime).
+#[derive(Debug, Clone, Default)]
+pub struct SqlNames {
+    concepts: Vec<String>,
+    roles: Vec<String>,
+}
+
+impl SqlNames {
+    pub fn from_vocabulary(voc: &Vocabulary) -> Self {
+        SqlNames {
+            concepts: voc.concept_ids().map(|c| voc.concept_name(c).to_owned()).collect(),
+            roles: voc.role_ids().map(|r| voc.role_name(r).to_owned()).collect(),
+        }
+    }
+
+    fn concept(&self, id: u32) -> String {
+        self.concepts
+            .get(id as usize)
+            .map(|n| format!("c_{n}"))
+            .unwrap_or_else(|| format!("c_{id}"))
+    }
+
+    fn role(&self, id: u32) -> String {
+        self.roles
+            .get(id as usize)
+            .map(|n| format!("r_{n}"))
+            .unwrap_or_else(|| format!("r_{id}"))
+    }
+}
+
+/// SQL generator for one layout.
+pub struct SqlGenerator {
+    names: SqlNames,
+    layout: LayoutKind,
+}
+
+impl SqlGenerator {
+    pub fn new(names: SqlNames, layout: LayoutKind) -> Self {
+        SqlGenerator { names, layout }
+    }
+
+    /// Render any dialect to SQL.
+    pub fn generate(&self, q: &FolQuery) -> String {
+        match q {
+            FolQuery::Cq(cq) => self.cq_sql(cq),
+            FolQuery::Ucq(ucq) => self.ucq_sql(ucq),
+            FolQuery::Scq(scq) => self.scq_sql(scq),
+            FolQuery::Uscq(uscq) => self.uscq_sql(uscq),
+            FolQuery::Jucq(jucq) => self.jucq_sql(jucq),
+            FolQuery::Juscq(juscq) => self.juscq_sql(juscq),
+        }
+    }
+
+    // -- leaf table expressions ----------------------------------------
+
+    /// The FROM-clause source of one atom: plain table (simple layout),
+    /// predicate-filtered triple table, or the DPH candidate-column CASE.
+    fn atom_source(&self, atom: &Atom, alias: &str) -> (String, String, Option<String>) {
+        // Returns (source text, subject column, object column).
+        match self.layout {
+            LayoutKind::Simple => match atom {
+                Atom::Concept(c, _) => {
+                    (format!("{} {alias}", self.names.concept(c.0)), "x".into(), None)
+                }
+                Atom::Role(r, _, _) => (
+                    format!("{} {alias}", self.names.role(r.0)),
+                    "s".into(),
+                    Some("o".into()),
+                ),
+            },
+            LayoutKind::Triple => match atom {
+                Atom::Concept(c, _) => (
+                    format!(
+                        "(SELECT subj AS x FROM triples WHERE pred = {}) {alias}",
+                        c.0 * 2
+                    ),
+                    "x".into(),
+                    None,
+                ),
+                Atom::Role(r, _, _) => (
+                    format!(
+                        "(SELECT subj AS s, obj AS o FROM triples WHERE pred = {}) {alias}",
+                        r.0 * 2 + 1
+                    ),
+                    "s".into(),
+                    Some("o".into()),
+                ),
+            },
+            LayoutKind::Dph => match atom {
+                Atom::Concept(c, _) => {
+                    (dph_concept_source(c.0, alias), "x".into(), None)
+                }
+                Atom::Role(r, _, _) => {
+                    (dph_role_source(r.0, alias), "s".into(), Some("o".into()))
+                }
+            },
+        }
+    }
+
+    // -- dialect renderers ----------------------------------------------
+
+    fn cq_sql(&self, cq: &CQ) -> String {
+        self.conjunction_sql(
+            &cq.atoms().iter().map(|a| Slot::single(*a)).collect::<Vec<_>>(),
+            cq.head(),
+        )
+    }
+
+    fn scq_sql(&self, scq: &SCQ) -> String {
+        self.conjunction_sql(scq.slots(), scq.head())
+    }
+
+    /// Conjunction of (possibly disjunctive) slots. Disjunctive slots are
+    /// inlined as UNION subqueries exposing canonical column names.
+    fn conjunction_sql(&self, slots: &[Slot], head: &[Term]) -> String {
+        let mut from: Vec<String> = Vec::new();
+        let mut wheres: Vec<String> = Vec::new();
+        // var → (alias, column) of first binding.
+        let mut var_site: Vec<(VarId, String)> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let alias = format!("t{i}");
+            let (source, subj_col, obj_col) = if slot.len() == 1 {
+                self.atom_source(&slot.atoms()[0], &alias)
+            } else {
+                (self.slot_union_source(slot, &alias), "s".into(), Some("o".into()))
+            };
+            from.push(source);
+            // Bind the atom's terms. For multi-atom slots all atoms share
+            // a variable set; we bind using the first atom's positions
+            // (the union source exposes aligned columns).
+            let atom = &slot.atoms()[0];
+            let cols: Vec<&str> = match atom {
+                Atom::Concept(..) => vec![subj_col.as_str()],
+                Atom::Role(..) => {
+                    vec![subj_col.as_str(), obj_col.as_deref().unwrap_or("o")]
+                }
+            };
+            for (t, col) in atom.terms().zip(cols) {
+                let site = format!("{alias}.{col}");
+                match t {
+                    Term::Const(k) => wheres.push(format!("{site} = {}", k.0)),
+                    Term::Var(v) => match var_site.iter().find(|(w, _)| *w == v) {
+                        Some((_, first)) => wheres.push(format!("{site} = {first}")),
+                        None => var_site.push((v, site)),
+                    },
+                }
+            }
+        }
+        let select: Vec<String> = head
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Const(k) => format!("{} AS h{i}", k.0),
+                Term::Var(v) => {
+                    let site = var_site
+                        .iter()
+                        .find(|(w, _)| w == v)
+                        .map(|(_, s)| s.clone())
+                        .unwrap_or_else(|| "NULL".into());
+                    format!("{site} AS h{i}")
+                }
+            })
+            .collect();
+        let mut sql = String::new();
+        let _ = write!(
+            sql,
+            "SELECT DISTINCT {} FROM {}",
+            if select.is_empty() { "1 AS t".to_owned() } else { select.join(", ") },
+            from.join(", ")
+        );
+        if !wheres.is_empty() {
+            let _ = write!(sql, " WHERE {}", wheres.join(" AND "));
+        }
+        sql
+    }
+
+    /// A disjunctive slot as an inline UNION exposing columns (s, o) or (x).
+    fn slot_union_source(&self, slot: &Slot, alias: &str) -> String {
+        let arms: Vec<String> = slot
+            .atoms()
+            .iter()
+            .map(|a| {
+                let (src, s, o) = self.atom_source(a, "u");
+                match o {
+                    Some(o) => format!("SELECT u.{s} AS s, u.{o} AS o FROM {src}"),
+                    None => format!("SELECT u.{s} AS s FROM {src}"),
+                }
+            })
+            .collect();
+        format!("({}) {alias}", arms.join(" UNION "))
+    }
+
+    fn ucq_sql(&self, ucq: &UCQ) -> String {
+        ucq.cqs()
+            .iter()
+            .map(|cq| self.cq_sql(cq))
+            .collect::<Vec<_>>()
+            .join("\nUNION\n")
+    }
+
+    fn uscq_sql(&self, uscq: &USCQ) -> String {
+        uscq.scqs()
+            .iter()
+            .map(|scq| self.scq_sql(scq))
+            .collect::<Vec<_>>()
+            .join("\nUNION\n")
+    }
+
+    /// The WITH … AS form of §3.
+    fn jucq_sql(&self, jucq: &JUCQ) -> String {
+        let heads: Vec<Vec<Term>> =
+            jucq.components().iter().map(|c| c.head().to_vec()).collect();
+        let bodies: Vec<String> =
+            jucq.components().iter().map(|c| self.ucq_sql(c)).collect();
+        self.with_join_sql(jucq.head(), &heads, &bodies)
+    }
+
+    fn juscq_sql(&self, juscq: &JUSCQ) -> String {
+        let heads: Vec<Vec<Term>> =
+            juscq.components().iter().map(|c| c.head().to_vec()).collect();
+        let bodies: Vec<String> =
+            juscq.components().iter().map(|c| self.uscq_sql(c)).collect();
+        self.with_join_sql(juscq.head(), &heads, &bodies)
+    }
+
+    fn with_join_sql(&self, head: &[Term], comp_heads: &[Vec<Term>], bodies: &[String]) -> String {
+        let mut sql = String::from("WITH ");
+        for (i, body) in bodies.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            let _ = write!(sql, "sql{i} AS (\n{body}\n)");
+        }
+        // Join conditions on shared head variables; projection of head.
+        let mut var_site: Vec<(VarId, String)> = Vec::new();
+        let mut conds: Vec<String> = Vec::new();
+        for (i, chead) in comp_heads.iter().enumerate() {
+            for (j, t) in chead.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    let site = format!("sql{i}.h{j}");
+                    match var_site.iter().find(|(w, _)| w == v) {
+                        Some((_, first)) => conds.push(format!("{site} = {first}")),
+                        None => var_site.push((*v, site)),
+                    }
+                }
+            }
+        }
+        let select: Vec<String> = head
+            .iter()
+            .map(|t| match t {
+                Term::Const(k) => format!("{}", k.0),
+                Term::Var(v) => var_site
+                    .iter()
+                    .find(|(w, _)| w == v)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_else(|| "NULL".into()),
+            })
+            .collect();
+        let from: Vec<String> = (0..bodies.len()).map(|i| format!("sql{i}")).collect();
+        let _ = write!(
+            sql,
+            "\nSELECT DISTINCT {} FROM {}",
+            if select.is_empty() { "1".to_owned() } else { select.join(", ") },
+            from.join(", ")
+        );
+        if !conds.is_empty() {
+            let _ = write!(sql, " WHERE {}", conds.join(" AND "));
+        }
+        sql
+    }
+}
+
+/// DPH source of a concept atom: CASE over all candidate (pred, val)
+/// columns checking the type marker.
+fn dph_concept_source(concept: u32, alias: &str) -> String {
+    let code = concept * 2;
+    let mut preds = Vec::with_capacity(DPH_COLUMNS);
+    for k in 0..DPH_COLUMNS {
+        preds.push(format!("pred{k} = {code}"));
+    }
+    format!(
+        "(SELECT entity AS x FROM dph WHERE {}) {alias}",
+        preds.join(" OR ")
+    )
+}
+
+/// DPH source of a role atom, following the DB2RDF translation shape \[9\]:
+/// per candidate column, resolve the value either inline or — when the
+/// column's multi-value flag is set — through the spill/VALUES-table
+/// indirection. This per-atom block is what multiplies reformulated SQL
+/// into the megabytes (§6.3's "statement too long" failures).
+fn dph_role_source(role: u32, alias: &str) -> String {
+    let code = role * 2 + 1;
+    let mut cases = Vec::with_capacity(DPH_COLUMNS);
+    let mut preds = Vec::with_capacity(DPH_COLUMNS);
+    for k in 0..DPH_COLUMNS {
+        cases.push(format!(
+            "WHEN pred{k} = {code} THEN CASE WHEN multi{k} = 1 THEN \
+             (SELECT mv.val FROM dph_values mv WHERE mv.key = dph.val{k} AND mv.pred = {code}) \
+             ELSE val{k} END"
+        ));
+        preds.push(format!("pred{k} = {code}"));
+    }
+    format!(
+        "(SELECT entity AS s, CASE {} ELSE NULL END AS o FROM dph WHERE {}) {alias}",
+        cases.join(" "),
+        preds.join(" OR ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{ConceptId, RoleId};
+
+    fn names() -> SqlNames {
+        let mut voc = Vocabulary::new();
+        voc.concept("PhDStudent");
+        voc.role("worksWith");
+        voc.role("supervisedBy");
+        SqlNames::from_vocabulary(&voc)
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn sample_cq() -> CQ {
+        CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn simple_layout_cq_sql() {
+        let g = SqlGenerator::new(names(), LayoutKind::Simple);
+        let sql = g.generate(&FolQuery::Cq(sample_cq()));
+        assert!(sql.starts_with("SELECT DISTINCT"));
+        assert!(sql.contains("c_PhDStudent t0"));
+        assert!(sql.contains("r_worksWith t1"));
+        assert!(sql.contains("t1.s = t0.x"), "join condition: {sql}");
+    }
+
+    #[test]
+    fn jucq_uses_with_clause() {
+        let g = SqlGenerator::new(names(), LayoutKind::Simple);
+        let comp1 = UCQ::single(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), v(0))],
+        ));
+        let comp2 = UCQ::single(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Role(RoleId(0), v(0), v(1))],
+        ));
+        let jucq = JUCQ::new(vec![v(0)], vec![comp1, comp2]);
+        let sql = g.generate(&FolQuery::Jucq(jucq));
+        assert!(sql.starts_with("WITH sql0 AS ("));
+        assert!(sql.contains("sql1 AS ("));
+        assert!(sql.contains("SELECT DISTINCT sql0.h0 FROM sql0, sql1"));
+        assert!(sql.contains("sql1.h0 = sql0.h0"));
+    }
+
+    #[test]
+    fn dph_sql_is_much_longer() {
+        let simple = SqlGenerator::new(names(), LayoutKind::Simple);
+        let dph = SqlGenerator::new(names(), LayoutKind::Dph);
+        let q = FolQuery::Cq(sample_cq());
+        let s1 = simple.generate(&q);
+        let s2 = dph.generate(&q);
+        assert!(
+            s2.len() > 4 * s1.len(),
+            "DPH CASE blowup: {} vs {}",
+            s2.len(),
+            s1.len()
+        );
+        assert!(s2.contains("CASE WHEN pred0"));
+    }
+
+    #[test]
+    fn ucq_arms_joined_by_union() {
+        let g = SqlGenerator::new(names(), LayoutKind::Simple);
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(RoleId(1), v(0), v(1))]),
+            ],
+        );
+        let sql = g.generate(&FolQuery::Ucq(u));
+        assert_eq!(sql.matches("\nUNION\n").count(), 1);
+    }
+
+    #[test]
+    fn constants_become_literals() {
+        let g = SqlGenerator::new(names(), LayoutKind::Simple);
+        let q = CQ::new(
+            vec![v(0)],
+            vec![Atom::Role(
+                RoleId(0),
+                v(0),
+                Term::Const(obda_dllite::IndividualId(42)),
+            )],
+        );
+        let sql = g.generate(&FolQuery::Cq(q));
+        assert!(sql.contains("t0.o = 42"));
+    }
+
+    #[test]
+    fn boolean_query_selects_marker() {
+        let g = SqlGenerator::new(names(), LayoutKind::Simple);
+        let q = CQ::with_var_head(vec![], vec![Atom::Concept(ConceptId(0), v(0))]);
+        let sql = g.generate(&FolQuery::Cq(q));
+        assert!(sql.contains("SELECT DISTINCT 1 AS t"));
+    }
+
+    #[test]
+    fn triple_layout_filters_by_pred() {
+        let g = SqlGenerator::new(names(), LayoutKind::Triple);
+        let sql = g.generate(&FolQuery::Cq(sample_cq()));
+        assert!(sql.contains("FROM triples WHERE pred ="));
+    }
+}

@@ -1,0 +1,140 @@
+//! Catalog statistics: per-table cardinalities and per-attribute distinct
+//! counts, the inputs of both cost models (§6.1: "statistics on the stored
+//! data (cardinality and number of distinct values in each stored table
+//! attribute)").
+
+use obda_dllite::ABox;
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+
+/// Statistics over the stored ABox, layout-independent.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogStats {
+    concept_rows: FxHashMap<u32, u64>,
+    role_rows: FxHashMap<u32, u64>,
+    role_distinct_s: FxHashMap<u32, u64>,
+    role_distinct_o: FxHashMap<u32, u64>,
+    pub num_individuals: u64,
+    pub total_facts: u64,
+}
+
+impl CatalogStats {
+    /// Compute statistics from an ABox.
+    pub fn from_abox(abox: &ABox) -> Self {
+        let mut stats = CatalogStats::default();
+        let mut individuals: FxHashSet<u32> = FxHashSet::default();
+        for &(c, i) in abox.concept_assertions() {
+            *stats.concept_rows.entry(c.0).or_insert(0) += 1;
+            individuals.insert(i.0);
+        }
+        let mut subj: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+        let mut obj: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+        for &(r, a, b) in abox.role_assertions() {
+            *stats.role_rows.entry(r.0).or_insert(0) += 1;
+            subj.entry(r.0).or_default().insert(a.0);
+            obj.entry(r.0).or_default().insert(b.0);
+            individuals.insert(a.0);
+            individuals.insert(b.0);
+        }
+        for (r, s) in subj {
+            stats.role_distinct_s.insert(r, s.len() as u64);
+        }
+        for (r, s) in obj {
+            stats.role_distinct_o.insert(r, s.len() as u64);
+        }
+        stats.num_individuals = individuals.len() as u64;
+        stats.total_facts = (abox.concept_assertions().len() + abox.role_assertions().len()) as u64;
+        stats
+    }
+
+    /// Rows in concept table `c` (0 if absent).
+    pub fn concept_card(&self, c: u32) -> u64 {
+        self.concept_rows.get(&c).copied().unwrap_or(0)
+    }
+
+    /// Rows in role table `r`.
+    pub fn role_card(&self, r: u32) -> u64 {
+        self.role_rows.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Distinct subjects of role `r`.
+    pub fn role_distinct_subjects(&self, r: u32) -> u64 {
+        self.role_distinct_s.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Distinct objects of role `r`.
+    pub fn role_distinct_objects(&self, r: u32) -> u64 {
+        self.role_distinct_o.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Average fan-out of role `r` from a bound subject (≥ 0).
+    pub fn role_fanout_s(&self, r: u32) -> f64 {
+        let d = self.role_distinct_subjects(r);
+        if d == 0 {
+            0.0
+        } else {
+            self.role_card(r) as f64 / d as f64
+        }
+    }
+
+    /// Average fan-in of role `r` from a bound object.
+    pub fn role_fanout_o(&self, r: u32) -> f64 {
+        let d = self.role_distinct_objects(r);
+        if d == 0 {
+            0.0
+        } else {
+            self.role_card(r) as f64 / d as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::Vocabulary;
+
+    fn sample() -> (Vocabulary, ABox) {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let r = voc.role("r");
+        let mut abox = ABox::new();
+        let i: Vec<_> = (0..5).map(|k| voc.individual(&format!("i{k}"))).collect();
+        abox.assert_concept(a, i[0]);
+        abox.assert_concept(a, i[1]);
+        abox.assert_role(r, i[0], i[1]);
+        abox.assert_role(r, i[0], i[2]);
+        abox.assert_role(r, i[3], i[2]);
+        (voc, abox)
+    }
+
+    #[test]
+    fn cardinalities() {
+        let (voc, abox) = sample();
+        let stats = CatalogStats::from_abox(&abox);
+        let a = voc.find_concept("A").unwrap();
+        let r = voc.find_role("r").unwrap();
+        assert_eq!(stats.concept_card(a.0), 2);
+        assert_eq!(stats.role_card(r.0), 3);
+        assert_eq!(stats.role_distinct_subjects(r.0), 2); // i0, i3
+        assert_eq!(stats.role_distinct_objects(r.0), 2); // i1, i2
+        assert_eq!(stats.num_individuals, 4); // i0..i3 (i4 unused)
+        assert_eq!(stats.total_facts, 5);
+    }
+
+    #[test]
+    fn fanouts() {
+        let (voc, abox) = sample();
+        let stats = CatalogStats::from_abox(&abox);
+        let r = voc.find_role("r").unwrap();
+        assert_eq!(stats.role_fanout_s(r.0), 1.5);
+        assert_eq!(stats.role_fanout_o(r.0), 1.5);
+        assert_eq!(stats.role_fanout_s(999), 0.0, "missing table");
+    }
+
+    #[test]
+    fn missing_tables_are_zero() {
+        let stats = CatalogStats::default();
+        assert_eq!(stats.concept_card(0), 0);
+        assert_eq!(stats.role_card(0), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Cover-based reformulation — Definition 3 (simple covers) and the
+//! generalized variant of §5.2.
+//!
+//! Given a CQ `q`, a TBox `T` and a set of (generalized) fragments, produce
+//! the JUCQ `qFOL(x̄) ← ∧ᵢ qFOL|fi` where each `qFOL|fi` is the PerfectRef
+//! UCQ reformulation of the fragment query. When the underlying cover is
+//! *safe* (Definition 5), this JUCQ is a FOL reformulation of `q`
+//! (Theorems 1 and 3); for unsafe covers it may lose answers (Example 7).
+
+use obda_dllite::TBox;
+use obda_query::{FolQuery, CQ, JUCQ, JUSCQ, UCQ};
+
+use crate::fragment::{fragment_query, FragmentSpec};
+use crate::perfectref::perfect_ref;
+use crate::uscq_factorize::factorize_ucq;
+
+/// Reformulate each fragment with PerfectRef and assemble the JUCQ.
+pub fn cover_reformulation(q: &CQ, tbox: &TBox, specs: &[FragmentSpec]) -> JUCQ {
+    let components: Vec<UCQ> = specs
+        .iter()
+        .map(|spec| {
+            let fq = fragment_query(q, spec, specs);
+            perfect_ref(&fq, tbox)
+        })
+        .collect();
+    JUCQ::new(q.head().to_vec(), components)
+}
+
+/// Same, but factorize each fragment UCQ into a USCQ, yielding a JUSCQ
+/// (the CQ-to-JUSCQ pipeline of §7 / \[33\]).
+pub fn cover_reformulation_juscq(q: &CQ, tbox: &TBox, specs: &[FragmentSpec]) -> JUSCQ {
+    let components = specs
+        .iter()
+        .map(|spec| {
+            let fq = fragment_query(q, spec, specs);
+            factorize_ucq(&perfect_ref(&fq, tbox))
+        })
+        .collect();
+    JUSCQ::new(q.head().to_vec(), components)
+}
+
+/// The single-fragment (trivial) cover reformulation: plain PerfectRef.
+/// With one fragment, the JUCQ degenerates to the UCQ of the literature.
+pub fn trivial_reformulation(q: &CQ, tbox: &TBox) -> FolQuery {
+    FolQuery::Ucq(perfect_ref(q, tbox))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{example7_tbox, ABox, KnowledgeBase};
+    use obda_query::{certain_answers, eval_over_abox, Atom, Term, VarId};
+    use std::collections::HashSet;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Build the Example-7 KB: TBox {Graduate ⊑ ∃supervisedBy,
+    /// supervisedBy ⊑ worksWith}, ABox {PhDStudent(Damian),
+    /// Graduate(Damian)}, query q(x) ← PhDStudent(x) ∧ worksWith(x, y) ∧
+    /// supervisedBy(z, y).
+    fn example7() -> (KnowledgeBase, CQ) {
+        let (mut voc, tbox) = example7_tbox();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let grad = voc.find_concept("Graduate").unwrap();
+        let damian = voc.individual("Damian");
+        let mut abox = ABox::new();
+        abox.assert_concept(phd, damian);
+        abox.assert_concept(grad, damian);
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(0), v(1)),
+                Atom::Role(sup, v(2), v(1)),
+            ],
+        );
+        (KnowledgeBase::new(voc, tbox, abox), q)
+    }
+
+    /// Example 7: the *unsafe* cover C1 = {{PhDStudent, worksWith},
+    /// {supervisedBy}} loses the answer Damian.
+    #[test]
+    fn example7_unsafe_cover_loses_answers() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::simple(vec![0, 1]),
+            FragmentSpec::simple(vec![2]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        let got = eval_over_abox(kb.abox(), &FolQuery::Jucq(jucq));
+        assert!(got.is_empty(), "C1 misses q3/q4, so no answer");
+        // …whereas the certain answer is {Damian}.
+        let truth = certain_answers(kb.tbox(), kb.abox(), &q);
+        assert_eq!(truth.len(), 1);
+    }
+
+    /// Example 9: the safe cover C2 = {{PhDStudent}, {worksWith,
+    /// supervisedBy}} computes exactly the certain answers.
+    #[test]
+    fn example9_safe_cover_is_correct() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::simple(vec![0]),
+            FragmentSpec::simple(vec![1, 2]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        assert_eq!(jucq.num_components(), 2);
+        let got = eval_over_abox(kb.abox(), &FolQuery::Jucq(jucq));
+        let damian = kb.voc().find_individual("Damian").unwrap();
+        assert_eq!(got, HashSet::from([vec![damian]]));
+    }
+
+    /// Example 9's component shapes: qUCQ1 has 1 disjunct (nothing rewrites
+    /// PhDStudent), qUCQ2 has 4 (worksWith∧supervisedBy, then
+    /// supervisedBy∧supervisedBy → supervisedBy → Graduate).
+    #[test]
+    fn example9_component_sizes() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::simple(vec![0]),
+            FragmentSpec::simple(vec![1, 2]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        assert_eq!(jucq.components()[0].len(), 1);
+        assert_eq!(jucq.components()[1].len(), 4);
+    }
+
+    /// Example 11: the generalized cover C3 = {f1‖f1, f2‖f0} also computes
+    /// {Damian}, with both components unary (semijoin reducers hide y).
+    #[test]
+    fn example11_generalized_cover_is_correct() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::generalized(vec![1, 2], vec![1, 2]),
+            FragmentSpec::generalized(vec![0, 1], vec![0]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        for c in jucq.components() {
+            assert_eq!(c.head().len(), 1, "both components export only x");
+        }
+        let got = eval_over_abox(kb.abox(), &FolQuery::Jucq(jucq));
+        let damian = kb.voc().find_individual("Damian").unwrap();
+        assert_eq!(got, HashSet::from([vec![damian]]));
+    }
+
+    /// Example 11 component shapes. The paper displays the *minimized*
+    /// reformulations: qFOL|f1‖f1 = (wW ∧ sB) ∨ sB ∨ Graduate (3
+    /// disjuncts; the raw fixpoint also carries the subsumed
+    /// sB(x,y) ∧ sB(z,y)), and qFOL|f2‖f0 = 3 disjuncts.
+    #[test]
+    fn example11_component_sizes() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::generalized(vec![1, 2], vec![1, 2]),
+            FragmentSpec::generalized(vec![0, 1], vec![0]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        assert_eq!(jucq.components()[0].len(), 4, "raw fixpoint");
+        assert_eq!(jucq.components()[1].len(), 3);
+        let minimized = obda_query::minimize_ucq(&jucq.components()[0]);
+        assert_eq!(minimized.len(), 3, "paper displays the minimal form");
+        let minimized1 = obda_query::minimize_ucq(&jucq.components()[1]);
+        assert_eq!(minimized1.len(), 3);
+    }
+
+    /// The trivial one-fragment cover coincides with plain PerfectRef and
+    /// is always correct.
+    #[test]
+    fn trivial_cover_matches_certain_answers() {
+        let (kb, q) = example7();
+        let specs = [FragmentSpec::simple(vec![0, 1, 2])];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        let got = eval_over_abox(kb.abox(), &FolQuery::Jucq(jucq));
+        let truth = certain_answers(kb.tbox(), kb.abox(), &q);
+        assert_eq!(got, truth);
+    }
+
+    /// JUSCQ route produces the same answers as the JUCQ route.
+    #[test]
+    fn juscq_equals_jucq_answers() {
+        let (kb, q) = example7();
+        let specs = [
+            FragmentSpec::simple(vec![0]),
+            FragmentSpec::simple(vec![1, 2]),
+        ];
+        let jucq = cover_reformulation(&q, kb.tbox(), &specs);
+        let juscq = cover_reformulation_juscq(&q, kb.tbox(), &specs);
+        let a1 = eval_over_abox(kb.abox(), &FolQuery::Jucq(jucq));
+        let a2 = eval_over_abox(kb.abox(), &FolQuery::Juscq(juscq));
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # obda-reform
+//!
+//! FOL reformulation for DL-LiteR:
+//!
+//! * [`perfect_ref`] — the CQ-to-UCQ technique of Calvanese et al. \[13\]
+//!   (backward axiom application + reduce/unification fixpoint);
+//! * [`factorize_ucq`] — UCQ → USCQ factorization standing in for the
+//!   CQ-to-USCQ technique of \[33\];
+//! * [`fragment_query`] / [`cover_reformulation`] — fragment queries
+//!   (Definitions 2 and 7) and cover-based JUCQ/JUSCQ reformulations
+//!   (Definition 3, §5.2);
+//! * [`violation_queries`] — consistency checking via reformulation;
+//! * [`rdfs_subset`] — the 4-rule RDFS fragment of \[10\], for ablations.
+
+pub mod applicability;
+pub mod cover_reform;
+pub mod fragment;
+pub mod perfectref;
+pub mod rdfs;
+pub mod uscq_factorize;
+pub mod violations;
+
+pub use applicability::{specializations, Specialization};
+pub use cover_reform::{cover_reformulation, cover_reformulation_juscq, trivial_reformulation};
+pub use fragment::{fragment_query, FragmentSpec};
+pub use perfectref::{perfect_ref, perfect_ref_pruned, perfect_ref_with_stats, ReformStats};
+pub use rdfs::{is_rdfs_axiom, is_rdfs_tbox, rdfs_subset};
+pub use uscq_factorize::factorize_ucq;
+pub use violations::{is_consistent_by_reformulation, violation_queries, violation_query};

@@ -1,0 +1,103 @@
+//! The RDF Schema fragment of DL-LiteR.
+//!
+//! The paper's predecessor work \[10\] handles only four of the twenty-two
+//! DL-LiteR constraint forms — the DL fragment of RDF Schema:
+//!
+//! * (1)  `A ⊑ A'`   (rdfs:subClassOf)
+//! * (4)  `∃R ⊑ A`   (rdfs:domain)
+//! * (5)  `∃R⁻ ⊑ A`  (rdfs:range)
+//! * (11) `R ⊑ R'`   (rdfs:subPropertyOf)
+//!
+//! Under RDFS-only TBoxes *every* cover is safe (\[10\], recalled in §7),
+//! because no constraint can introduce a role atom whose projected position
+//! joins elsewhere — unification opportunities never span fragments. This
+//! module extracts that fragment (for the ablation comparing the
+//! frameworks) and classifies TBoxes.
+
+use obda_dllite::{Axiom, BasicConcept, TBox};
+
+/// Is this axiom expressible in the RDFS fragment?
+pub fn is_rdfs_axiom(ax: &Axiom) -> bool {
+    match ax {
+        Axiom::Concept(ci) => {
+            !ci.negated
+                && matches!(ci.rhs, BasicConcept::Atomic(_))
+                && match ci.lhs {
+                    // A ⊑ A'
+                    BasicConcept::Atomic(_) => true,
+                    // ∃R ⊑ A or ∃R⁻ ⊑ A
+                    BasicConcept::Exists(_) => true,
+                }
+        }
+        Axiom::Role(ri) => {
+            // R ⊑ R' with both direct (after normalization an inverse pair
+            // appears as lhs.inverse == rhs.inverse == false or a flipped
+            // lhs — only the plain direct-direct form is RDFS).
+            !ri.negated && !ri.lhs.inverse && !ri.rhs.inverse
+        }
+    }
+}
+
+/// Keep only the RDFS-expressible axioms of a TBox.
+pub fn rdfs_subset(tbox: &TBox) -> TBox {
+    let mut out = TBox::new();
+    for ax in tbox.axioms() {
+        if is_rdfs_axiom(ax) {
+            out.add(*ax);
+        }
+    }
+    out
+}
+
+/// Is the whole TBox within the RDFS fragment? If so, every cover is safe
+/// and the framework of \[10\] coincides with this one.
+pub fn is_rdfs_tbox(tbox: &TBox) -> bool {
+    tbox.axioms().iter().all(is_rdfs_axiom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::TBoxBuilder;
+
+    #[test]
+    fn classifies_the_four_rdfs_forms() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "B") // form 1
+            .sub("exists r", "A") // form 4
+            .sub("exists r-", "A") // form 5
+            .sub_role("r", "s"); // form 11
+        let (_, tbox) = b.finish();
+        assert!(is_rdfs_tbox(&tbox));
+        assert_eq!(rdfs_subset(&tbox).len(), 4);
+    }
+
+    #[test]
+    fn rejects_existential_rhs() {
+        let mut b = TBoxBuilder::new();
+        b.sub("A", "exists r"); // form 2 — not RDFS
+        let (_, tbox) = b.finish();
+        assert!(!is_rdfs_tbox(&tbox));
+        assert!(rdfs_subset(&tbox).is_empty());
+    }
+
+    #[test]
+    fn rejects_inverse_role_inclusions_and_negation() {
+        let mut b = TBoxBuilder::new();
+        b.sub_role("r", "s-"); // form 10 — not RDFS
+        b.disjoint("A", "B");
+        let (_, tbox) = b.finish();
+        assert!(!is_rdfs_tbox(&tbox));
+        assert!(rdfs_subset(&tbox).is_empty());
+    }
+
+    #[test]
+    fn example1_is_not_rdfs() {
+        let (_, tbox) = obda_dllite::example1_tbox();
+        assert!(!is_rdfs_tbox(&tbox));
+        // T1, T2, T3 and T5 survive (T5 is a plain role inclusion); T4
+        // normalizes to worksWith⁻ ⊑ worksWith (inverse — dropped), T6 is
+        // ∃supervisedBy ⊑ PhDStudent (form 4 — kept), T7 is negative.
+        assert_eq!(rdfs_subset(&tbox).len(), 5);
+    }
+}

@@ -1,0 +1,224 @@
+//! Factorizing a UCQ into a USCQ.
+//!
+//! Stands in for the CQ-to-USCQ technique of Thomazo \[33\] (§2.2 item (ii)):
+//! union terms that differ in a single atom position — where the differing
+//! atoms bind the same variable set — are merged into one semi-conjunctive
+//! query with a disjunctive slot. `(A ∧ r1) ∨ (A ∧ r2)` becomes
+//! `A ∧ (r1 ∨ r2)`, sharing the scan of `A`.
+//!
+//! The factorization is purely structural and preserves equivalence: each
+//! SCQ expands back to exactly the CQs it absorbed.
+
+use std::collections::HashMap;
+
+use obda_query::{canonicalize, Atom, Slot, SCQ, UCQ, USCQ};
+
+/// Greedily factorize `ucq` into an equivalent USCQ.
+///
+/// Algorithm: canonicalize every disjunct (aligning variable names), lift
+/// each to a trivial SCQ, then repeatedly merge SCQ pairs that share all
+/// slots but one, where the differing slots have a common variable set.
+/// Terminates because every merge reduces the SCQ count by one.
+pub fn factorize_ucq(ucq: &UCQ) -> USCQ {
+    let mut scqs: Vec<SCQ> = ucq
+        .cqs()
+        .iter()
+        .map(|cq| SCQ::from_cq(&canonicalize(cq)))
+        .collect();
+
+    loop {
+        let mut merged: Option<(usize, usize, SCQ)> = None;
+        'outer: for i in 0..scqs.len() {
+            for j in (i + 1)..scqs.len() {
+                if let Some(m) = try_merge(&scqs[i], &scqs[j]) {
+                    merged = Some((i, j, m));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, m)) => {
+                scqs.remove(j);
+                scqs[i] = m;
+            }
+            None => break,
+        }
+    }
+    USCQ::new(ucq.head().to_vec(), scqs)
+}
+
+/// Merge two SCQs if they differ in exactly one slot and the differing
+/// slots share a variable set.
+fn try_merge(a: &SCQ, b: &SCQ) -> Option<SCQ> {
+    if a.num_slots() != b.num_slots() || a.head() != b.head() {
+        return None;
+    }
+    // Multiset-match slots: count each slot signature of `a`, then remove
+    // signatures found in `b`. Exactly one unmatched slot may remain on
+    // each side.
+    let mut counts: HashMap<Vec<Atom>, (usize, Vec<usize>)> = HashMap::new();
+    for (i, slot) in a.slots().iter().enumerate() {
+        let mut sig = slot.atoms().to_vec();
+        sig.sort_unstable();
+        let entry = counts.entry(sig).or_insert((0, Vec::new()));
+        entry.0 += 1;
+        entry.1.push(i);
+    }
+    let mut b_unmatched: Vec<usize> = Vec::new();
+    for (j, slot) in b.slots().iter().enumerate() {
+        let mut sig = slot.atoms().to_vec();
+        sig.sort_unstable();
+        match counts.get_mut(&sig) {
+            Some(entry) if entry.0 > 0 => {
+                entry.0 -= 1;
+            }
+            _ => b_unmatched.push(j),
+        }
+    }
+    if b_unmatched.len() != 1 {
+        return None;
+    }
+    let a_unmatched: Vec<usize> = counts
+        .values()
+        .flat_map(|(left, idxs)| idxs[idxs.len() - left..].iter().copied())
+        .collect();
+    if a_unmatched.len() != 1 {
+        return None;
+    }
+    let (ai, bj) = (a_unmatched[0], b_unmatched[0]);
+    let slot_a = &a.slots()[ai];
+    let slot_b = &b.slots()[bj];
+    if slot_a.vars() != slot_b.vars() {
+        return None;
+    }
+    // Build merged slot (dedup atoms).
+    let mut merged = slot_a.clone();
+    for atom in slot_b.atoms() {
+        merged.try_push(*atom);
+    }
+    let slots: Vec<Slot> = a
+        .slots()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| if i == ai { merged.clone() } else { s.clone() })
+        .collect();
+    Some(SCQ::new(a.head().to_vec(), slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{ConceptId, RoleId};
+    use obda_query::{Term, VarId, CQ};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    #[test]
+    fn factorizes_single_atom_difference() {
+        // (A(x) ∧ r1(x,y)) ∨ (A(x) ∧ r2(x,y)) → A(x) ∧ (r1 ∨ r2).
+        let a = ConceptId(0);
+        let cq1 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(a, v(0)), Atom::Role(RoleId(0), v(0), v(1))],
+        );
+        let cq2 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(a, v(0)), Atom::Role(RoleId(1), v(0), v(1))],
+        );
+        let ucq = UCQ::from_cqs(vec![v(0)], [cq1, cq2]);
+        let uscq = factorize_ucq(&ucq);
+        assert_eq!(uscq.len(), 1, "merged into one SCQ");
+        assert_eq!(uscq.equivalent_cq_count(), 2, "still covers both CQs");
+        assert_eq!(uscq.scqs()[0].num_slots(), 2);
+    }
+
+    #[test]
+    fn respects_variable_sets() {
+        // (A(x) ∧ r(x,y)) ∨ (A(x) ∧ B(x)): differing atoms have different
+        // var sets → no merge.
+        let cq1 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        );
+        let cq2 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Concept(ConceptId(1), v(0)),
+            ],
+        );
+        let ucq = UCQ::from_cqs(vec![v(0)], [cq1, cq2]);
+        let uscq = factorize_ucq(&ucq);
+        assert_eq!(uscq.len(), 2, "not mergeable");
+    }
+
+    #[test]
+    fn chains_multiple_merges() {
+        // Three CQs differing in the same slot collapse into one SCQ with a
+        // 3-atom slot.
+        let mk = |r: u32| {
+            CQ::with_var_head(
+                vec![VarId(0)],
+                vec![
+                    Atom::Concept(ConceptId(0), v(0)),
+                    Atom::Role(RoleId(r), v(0), v(1)),
+                ],
+            )
+        };
+        let ucq = UCQ::from_cqs(vec![v(0)], [mk(0), mk(1), mk(2)]);
+        let uscq = factorize_ucq(&ucq);
+        assert_eq!(uscq.len(), 1);
+        assert_eq!(uscq.equivalent_cq_count(), 3);
+        let widths: Vec<usize> =
+            uscq.scqs()[0].slots().iter().map(|s| s.len()).collect();
+        assert!(widths.contains(&3));
+    }
+
+    #[test]
+    fn canonicalization_aligns_variable_names() {
+        // Same structure, different existential names — still merges.
+        let cq1 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(9)),
+            ],
+        );
+        let cq2 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(1), v(0), v(4)),
+            ],
+        );
+        let ucq = UCQ::from_cqs(vec![v(0)], [cq1, cq2]);
+        assert_eq!(factorize_ucq(&ucq).len(), 1);
+    }
+
+    #[test]
+    fn single_cq_is_trivial_uscq() {
+        let cq = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]);
+        let uscq = factorize_ucq(&UCQ::single(cq));
+        assert_eq!(uscq.len(), 1);
+        assert_eq!(uscq.equivalent_cq_count(), 1);
+    }
+
+    #[test]
+    fn different_sizes_do_not_merge() {
+        let cq1 = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]);
+        let cq2 = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(1), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        );
+        let ucq = UCQ::from_cqs(vec![v(0)], [cq1, cq2]);
+        assert_eq!(factorize_ucq(&ucq).len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! A clinical-terminology flavored OBDA scenario (the paper's introduction
+//! motivates OBDA with SNOMED-CT-style medical ontologies).
+//!
+//! Shows: authoring a domain TBox with the builder API, consistency
+//! checking with disjointness constraints (an inconsistent update is
+//! rejected), and cover-based answering of a diagnosis query.
+//!
+//! Run with: `cargo run --release --example medical_kb`
+
+use obda::core::{choose_reformulation, Strategy, StructuralEstimator};
+use obda::dllite::Dependencies;
+use obda::prelude::*;
+
+fn main() {
+    let mut b = TBoxBuilder::new();
+    // A miniature clinical-terms ontology.
+    b.sub("BacterialInfection", "Infection")
+        .sub("ViralInfection", "Infection")
+        .sub("Pneumonia", "RespiratoryDisease")
+        .sub("BacterialPneumonia", "Pneumonia")
+        .sub("BacterialPneumonia", "BacterialInfection")
+        .sub("ViralPneumonia", "Pneumonia")
+        .sub("ViralPneumonia", "ViralInfection")
+        .sub("Infection", "Disease")
+        .sub("RespiratoryDisease", "Disease")
+        // Roles: diagnoses link patients to diseases; treatments to drugs.
+        .sub("exists diagnosedWith", "Patient")
+        .sub("exists diagnosedWith-", "Disease")
+        .sub("exists treatedWith", "Patient")
+        .sub("exists treatedWith-", "Drug")
+        .sub("exists prescribes", "Clinician")
+        // Every diagnosed patient receives some treatment (∃ axiom).
+        .sub("exists diagnosedWith", "exists treatedWith")
+        // Antibiotic treatments are treatments.
+        .sub_role("onAntibiotics", "treatedWith")
+        // Disjointness: a disease is not a drug; viral is not bacterial.
+        .disjoint("Disease", "Drug")
+        .disjoint("ViralInfection", "BacterialInfection");
+    let (voc, tbox) = b.finish();
+
+    // Facts: specific diagnoses only — the hierarchy is implicit.
+    let mut kb = KnowledgeBase::new(voc, tbox, ABox::new());
+    let bacterial_pneumonia = kb.voc_mut().concept("BacterialPneumonia");
+    let diagnosed = kb.voc_mut().role("diagnosedWith");
+    let on_antibiotics = kb.voc_mut().role("onAntibiotics");
+    let alice = kb.voc_mut().individual("alice");
+    let bob = kb.voc_mut().individual("bob");
+    let dx1 = kb.voc_mut().individual("dx_bact_pneumonia");
+    let amoxicillin = kb.voc_mut().individual("amoxicillin");
+    kb.abox_mut().assert_concept(bacterial_pneumonia, dx1);
+    kb.abox_mut().assert_role(diagnosed, alice, dx1);
+    kb.abox_mut().assert_role(on_antibiotics, bob, amoxicillin);
+    println!("consistent: {}", kb.is_consistent());
+
+    // Query: patients with an infection diagnosis — requires the
+    // BacterialPneumonia ⊑ BacterialInfection ⊑ Infection chain.
+    let infection = kb.voc().find_concept("Infection").unwrap();
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![
+            Atom::Role(diagnosed, Term::Var(VarId(0)), Term::Var(VarId(1))),
+            Atom::Concept(infection, Term::Var(VarId(1))),
+        ],
+    );
+    println!("query: {}", q.display(kb.voc()));
+
+    let deps = Dependencies::compute(kb.voc(), kb.tbox());
+    let chosen = choose_reformulation(
+        &q,
+        kb.tbox(),
+        &deps,
+        &StructuralEstimator,
+        &Strategy::Gdl { time_budget: None },
+    );
+    println!(
+        "chosen reformulation: {} with {} union terms",
+        chosen.fol.dialect(),
+        chosen.fol.equivalent_cq_count()
+    );
+    let answers = eval_over_abox(kb.abox(), &chosen.fol);
+    println!(
+        "patients with an infection: {:?}",
+        answers
+            .iter()
+            .map(|row| kb.voc().individual_name(row[0]))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(answers.len(), 1);
+
+    // Query 2: treated patients — alice qualifies only through the
+    // existential axiom ∃diagnosedWith ⊑ ∃treatedWith; bob through the
+    // antibiotic subrole.
+    let treated = kb.voc().find_role("treatedWith").unwrap();
+    let q2 = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![Atom::Role(treated, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+    );
+    let ucq = perfect_ref(&q2, kb.tbox());
+    let treated_patients = eval_over_abox(kb.abox(), &FolQuery::Ucq(ucq));
+    println!(
+        "treated patients: {:?}",
+        treated_patients
+            .iter()
+            .map(|row| kb.voc().individual_name(row[0]))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(treated_patients.len(), 2);
+
+    // An inconsistent update: the same diagnosis marked viral AND
+    // bacterial violates the disjointness constraint.
+    let viral = kb.voc().find_concept("ViralInfection").unwrap();
+    kb.abox_mut().assert_concept(viral, dx1);
+    println!("after conflicting update, consistent: {}", kb.is_consistent());
+    assert!(!kb.is_consistent());
+    for v in kb.consistency_violations() {
+        println!("  violation: {}", v.witness);
+    }
+}

@@ -1,0 +1,109 @@
+//! Failure-mode integration tests: statement-size rejection, inconsistent
+//! KBs, empty ABoxes, unsatisfiable queries, degenerate covers.
+
+use obda::core::{choose_reformulation, Strategy, StructuralEstimator};
+use obda::dllite::Dependencies;
+use obda::prelude::*;
+
+#[test]
+fn empty_abox_everything_is_empty_but_nothing_crashes() {
+    let kb = KnowledgeBase::parse("A <= B\nrole r <= s").unwrap();
+    assert!(kb.is_consistent());
+    let a = kb.voc().find_concept("B").unwrap();
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![Atom::Concept(a, Term::Var(VarId(0)))],
+    );
+    let deps = Dependencies::compute(kb.voc(), kb.tbox());
+    for strategy in [Strategy::Ucq, Strategy::CrootJucq, Strategy::Gdl { time_budget: None }] {
+        let chosen =
+            choose_reformulation(&q, kb.tbox(), &deps, &StructuralEstimator, &strategy);
+        for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+            let engine = Engine::load(kb.abox(), kb.voc(), layout, EngineProfile::pg_like());
+            assert!(engine.evaluate(&chosen.fol).unwrap().rows.is_empty());
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_query_predicate_not_in_data() {
+    let kb = KnowledgeBase::parse("A(x)\nr(x, y)").unwrap();
+    let mut kb = kb;
+    let ghost = kb.voc_mut().concept("Ghost");
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![Atom::Concept(ghost, Term::Var(VarId(0)))],
+    );
+    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, EngineProfile::pg_like());
+    assert!(engine.evaluate(&FolQuery::Cq(q)).unwrap().rows.is_empty());
+}
+
+#[test]
+fn statement_limit_is_exact_not_fuzzy() {
+    let kb = KnowledgeBase::parse("r(a, b)").unwrap();
+    let r = kb.voc().find_role("r").unwrap();
+    let q = FolQuery::Cq(CQ::with_var_head(
+        vec![VarId(0), VarId(1)],
+        vec![Atom::Role(r, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+    ));
+    let mut profile = EngineProfile::db2_like();
+    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, profile.clone());
+    let sql_len = engine.sql_for(&q).len();
+    // Exactly at the limit: accepted.
+    profile.max_statement_bytes = Some(sql_len);
+    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, profile.clone());
+    assert!(engine.evaluate(&q).is_ok());
+    // One byte below: rejected with the exact size in the error.
+    profile.max_statement_bytes = Some(sql_len - 1);
+    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, profile);
+    match engine.evaluate(&q) {
+        Err(obda::rdbms::EngineError::StatementTooLong { size, limit }) => {
+            assert_eq!(size, sql_len);
+            assert_eq!(limit, sql_len - 1);
+        }
+        other => panic!("expected StatementTooLong, got {other:?}"),
+    }
+}
+
+#[test]
+fn inconsistent_kb_is_reported_by_both_routes() {
+    // Negation-free part derives the clash through two axioms.
+    let kb = KnowledgeBase::parse(
+        "A <= B\nrole r <= s\nexists s <= C\nB <= not C\nA(x)\nr(x, y)",
+    )
+    .unwrap();
+    // x is B (from A) and C (from ∃s via r ⊑ s) — disjoint.
+    assert!(!kb.is_consistent());
+    assert!(!obda::reform::is_consistent_by_reformulation(kb.tbox(), kb.abox()));
+}
+
+#[test]
+fn gdl_with_zero_budget_still_answers_correctly() {
+    let kb = KnowledgeBase::parse("A <= B\nA(x)").unwrap();
+    let b = kb.voc().find_concept("B").unwrap();
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![Atom::Concept(b, Term::Var(VarId(0)))],
+    );
+    let deps = Dependencies::compute(kb.voc(), kb.tbox());
+    let chosen = choose_reformulation(
+        &q,
+        kb.tbox(),
+        &deps,
+        &StructuralEstimator,
+        &Strategy::Gdl { time_budget: Some(std::time::Duration::ZERO) },
+    );
+    let got = eval_over_abox(kb.abox(), &chosen.fol);
+    assert_eq!(got.len(), 1);
+}
+
+#[test]
+fn boolean_query_through_the_full_stack() {
+    let kb = KnowledgeBase::parse("PhD <= Res\nPhD(d)").unwrap();
+    let res = kb.voc().find_concept("Res").unwrap();
+    let q = CQ::with_var_head(vec![], vec![Atom::Concept(res, Term::Var(VarId(0)))]);
+    let ucq = perfect_ref(&q, kb.tbox());
+    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, EngineProfile::pg_like());
+    let out = engine.evaluate(&FolQuery::Ucq(ucq)).unwrap();
+    assert_eq!(out.rows, vec![Vec::<u32>::new()], "true = the empty tuple");
+}
