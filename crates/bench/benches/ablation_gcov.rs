@@ -23,13 +23,22 @@ fn bench_gcov_ablation(c: &mut Criterion) {
     for name in ["Q1", "Q8"] {
         let q = wl.iter().find(|q| q.name == name).unwrap();
         let analysis = QueryAnalysis::new(&q.cq, &dataset.deps);
-        let with = gdl(&q.cq, &dataset.onto.tbox, &analysis, &ext, &GdlConfig::default());
+        let with = gdl(
+            &q.cq,
+            &dataset.onto.tbox,
+            &analysis,
+            &ext,
+            &GdlConfig::default(),
+        );
         let without = gdl(
             &q.cq,
             &dataset.onto.tbox,
             &analysis,
             &ext,
-            &GdlConfig { explore_generalized: false, ..Default::default() },
+            &GdlConfig {
+                explore_generalized: false,
+                ..Default::default()
+            },
         );
         let with_q = FolQuery::Jucq(with.jucq);
         let without_q = FolQuery::Jucq(without.jucq);

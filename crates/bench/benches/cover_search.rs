@@ -34,9 +34,7 @@ fn bench_cover_search(c: &mut Criterion) {
         // EDL only for the small spaces (A5 has thousands of covers).
         if arity <= 4 {
             group.bench_function(format!("edl/A{arity}"), |b| {
-                b.iter(|| {
-                    black_box(edl(&q, tbox, &analysis, &StructuralEstimator, 20_000, true))
-                })
+                b.iter(|| black_box(edl(&q, tbox, &analysis, &StructuralEstimator, 20_000, true)))
             });
         }
     }

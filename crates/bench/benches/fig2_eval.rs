@@ -24,8 +24,16 @@ fn bench_fig2(c: &mut Criterion) {
         for (label, strategy, est) in [
             ("ucq", Strategy::Ucq, EstimatorKind::Ext),
             ("croot", Strategy::CrootJucq, EstimatorKind::Ext),
-            ("gdl-ext", Strategy::Gdl { time_budget: None }, EstimatorKind::Ext),
-            ("gdl-rdbms", Strategy::Gdl { time_budget: None }, EstimatorKind::Rdbms),
+            (
+                "gdl-ext",
+                Strategy::Gdl { time_budget: None },
+                EstimatorKind::Ext,
+            ),
+            (
+                "gdl-rdbms",
+                Strategy::Gdl { time_budget: None },
+                EstimatorKind::Rdbms,
+            ),
         ] {
             let chosen = choose(&dataset, &engine, &q.cq, &strategy, est);
             group.bench_function(format!("{name}/{label}"), |b| {

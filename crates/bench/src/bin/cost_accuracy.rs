@@ -20,7 +20,10 @@ fn main() {
     let engine = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
     let ext = engine.ext_cost_model();
 
-    println!("# cost-model accuracy (pg-like, simple layout, {} facts)", dataset.facts);
+    println!(
+        "# cost-model accuracy (pg-like, simple layout, {} facts)",
+        dataset.facts
+    );
     println!(
         "{:<6} {:<10} {:>14} {:>14} {:>14}",
         "query", "variant", "ext_est", "rdbms_est", "measured_wu"
@@ -37,7 +40,14 @@ fn main() {
             ),
             (
                 "croot",
-                choose(&dataset, &engine, &q.cq, &Strategy::CrootJucq, EstimatorKind::Ext).fol,
+                choose(
+                    &dataset,
+                    &engine,
+                    &q.cq,
+                    &Strategy::CrootJucq,
+                    EstimatorKind::Ext,
+                )
+                .fol,
             ),
             (
                 "gdl",

@@ -24,7 +24,14 @@ fn main() {
         );
         let mut cells: Vec<Cell> = Vec::new();
         for q in dataset.workload() {
-            cells.push(run_cell(&dataset, &engine, &q, &Strategy::Ucq, EstimatorKind::Ext, "UCQ"));
+            cells.push(run_cell(
+                &dataset,
+                &engine,
+                &q,
+                &Strategy::Ucq,
+                EstimatorKind::Ext,
+                "UCQ",
+            ));
             cells.push(run_cell(
                 &dataset,
                 &engine,

@@ -24,10 +24,20 @@ fn main() {
         let rdf = dataset.engine(LayoutKind::Dph, EngineProfile::db2_like());
         for q in dataset.workload() {
             cells.push(run_cell(
-                &dataset, &simple, &q, &Strategy::Ucq, EstimatorKind::Ext, "UCQ/simple",
+                &dataset,
+                &simple,
+                &q,
+                &Strategy::Ucq,
+                EstimatorKind::Ext,
+                "UCQ/simple",
             ));
             cells.push(run_cell(
-                &dataset, &rdf, &q, &Strategy::Ucq, EstimatorKind::Ext, "UCQ/rdf",
+                &dataset,
+                &rdf,
+                &q,
+                &Strategy::Ucq,
+                EstimatorKind::Ext,
+                "UCQ/rdf",
             ));
             cells.push(run_cell(
                 &dataset,

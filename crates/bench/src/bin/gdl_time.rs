@@ -59,7 +59,9 @@ fn main() {
             &dataset,
             &engine,
             &q,
-            &Strategy::Gdl { time_budget: Some(Duration::from_millis(20)) },
+            &Strategy::Gdl {
+                time_budget: Some(Duration::from_millis(20)),
+            },
             EstimatorKind::Ext,
             "20ms",
         );

@@ -7,9 +7,7 @@
 //! near-linear, making EDL impractical beyond very small queries.
 
 use obda_bench::{Dataset, Scale};
-use obda_core::{
-    gdl, genspace_size, lattice_size, GdlConfig, QueryAnalysis, StructuralEstimator,
-};
+use obda_core::{gdl, genspace_size, lattice_size, GdlConfig, QueryAnalysis, StructuralEstimator};
 use obda_lubm::star_query;
 
 const GQ_CAP: usize = 20_000;
@@ -47,7 +45,11 @@ fn main() {
             "{:<8} {:>8} {:>10} {:>14} {:>14} {:>12.1}",
             format!("A{arity}"),
             lq,
-            if truncated { format!(">{gq}") } else { format!("{gq}") },
+            if truncated {
+                format!(">{gq}")
+            } else {
+                format!("{gq}")
+            },
             out.explored_simple,
             out.explored_generalized,
             out.elapsed.as_secs_f64() * 1e3,
@@ -79,7 +81,11 @@ fn main() {
             e.explored_simple + e.explored_generalized,
             g.cost,
             g.explored_simple + g.explored_generalized,
-            if (e.cost - g.cost).abs() < 1e-9 { "coincide (cf. §6.2)" } else { "gdl suboptimal" }
+            if (e.cost - g.cost).abs() < 1e-9 {
+                "coincide (cf. §6.2)"
+            } else {
+                "gdl suboptimal"
+            }
         );
     }
 }

@@ -56,7 +56,11 @@ fn main() {
             minimal.len(),
             sql_simple.len(),
             sql_rdf.len(),
-            if sql_rdf.len() > db2_limit { "FAILS" } else { "ok" }
+            if sql_rdf.len() > db2_limit {
+                "FAILS"
+            } else {
+                "ok"
+            }
         );
     }
     println!(

@@ -60,10 +60,18 @@ impl Dataset {
     /// criterion benches, which want small fixed fixtures).
     pub fn build_with_facts(target_facts: usize) -> Self {
         let mut onto = UnivOntology::build();
-        let config = GenConfig { target_facts, ..Default::default() };
+        let config = GenConfig {
+            target_facts,
+            ..Default::default()
+        };
         let (abox, report) = generate(&mut onto, &config);
         let deps = Dependencies::compute(&onto.voc, &onto.tbox);
-        Dataset { onto, abox, deps, facts: report.facts }
+        Dataset {
+            onto,
+            abox,
+            deps,
+            facts: report.facts,
+        }
     }
 
     pub fn engine(&self, layout: LayoutKind, profile: EngineProfile) -> Engine {
@@ -158,12 +166,7 @@ pub fn choose(
     }
 }
 
-fn choose_with(
-    est: &dyn CostEstimator,
-    dataset: &Dataset,
-    cq: &CQ,
-    strategy: &Strategy,
-) -> Chosen {
+fn choose_with(est: &dyn CostEstimator, dataset: &Dataset, cq: &CQ, strategy: &Strategy) -> Chosen {
     choose_reformulation(cq, &dataset.onto.tbox, &dataset.deps, est, strategy)
 }
 

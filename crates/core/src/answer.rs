@@ -117,7 +117,10 @@ pub fn choose_reformulation(
         }
         Strategy::Gdl { time_budget } => {
             let analysis = QueryAnalysis::new(q, deps);
-            let config = GdlConfig { time_budget: *time_budget, ..Default::default() };
+            let config = GdlConfig {
+                time_budget: *time_budget,
+                ..Default::default()
+            };
             let out = gdl(q, tbox, &analysis, estimator, &config);
             Chosen {
                 fol: FolQuery::Jucq(out.jucq.clone()),
@@ -184,12 +187,13 @@ mod tests {
             Strategy::Uscq,
             Strategy::CrootJucq,
             Strategy::Gdl { time_budget: None },
-            Strategy::Gdl { time_budget: Some(Duration::from_millis(20)) },
+            Strategy::Gdl {
+                time_budget: Some(Duration::from_millis(20)),
+            },
             Strategy::Edl { cap: 0 },
         ];
         for s in &strategies {
-            let chosen =
-                choose_reformulation(&q, kb.tbox(), &deps, &StructuralEstimator, s);
+            let chosen = choose_reformulation(&q, kb.tbox(), &deps, &StructuralEstimator, s);
             let got = eval_over_abox(kb.abox(), &chosen.fol);
             assert_eq!(got, truth, "strategy {s:?}");
         }
@@ -211,8 +215,7 @@ mod tests {
         );
         let deps = Dependencies::compute(&voc, &tbox);
         let min = choose_reformulation(&q, &tbox, &deps, &StructuralEstimator, &Strategy::Ucq);
-        let raw =
-            choose_reformulation(&q, &tbox, &deps, &StructuralEstimator, &Strategy::RawUcq);
+        let raw = choose_reformulation(&q, &tbox, &deps, &StructuralEstimator, &Strategy::RawUcq);
         assert!(min.fol.equivalent_cq_count() <= raw.fol.equivalent_cq_count());
     }
 

@@ -36,7 +36,12 @@ pub struct Partitions {
 
 impl Partitions {
     pub fn new(n: usize) -> Self {
-        Partitions { n, rgs: vec![0; n.max(1)], maxes: vec![0; n.max(1)], done: n == 0 }
+        Partitions {
+            n,
+            rgs: vec![0; n.max(1)],
+            maxes: vec![0; n.max(1)],
+            done: n == 0,
+        }
     }
 }
 

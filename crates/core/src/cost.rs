@@ -34,7 +34,11 @@ pub struct InstrumentedEstimator<'a, E: CostEstimator + ?Sized> {
 
 impl<'a, E: CostEstimator + ?Sized> InstrumentedEstimator<'a, E> {
     pub fn new(inner: &'a E) -> Self {
-        InstrumentedEstimator { inner, calls: Cell::new(0), elapsed_nanos: Cell::new(0) }
+        InstrumentedEstimator {
+            inner,
+            calls: Cell::new(0),
+            elapsed_nanos: Cell::new(0),
+        }
     }
 
     pub fn calls(&self) -> usize {

@@ -106,7 +106,13 @@ mod tests {
         assert!(out.explored_simple >= 2, "Lq has 2 covers here");
         assert!(out.explored_generalized >= 1);
         // GDL (greedy) can never beat EDL (exhaustive).
-        let g = gdl(&q, &tbox, &analysis, &StructuralEstimator, &GdlConfig::default());
+        let g = gdl(
+            &q,
+            &tbox,
+            &analysis,
+            &StructuralEstimator,
+            &GdlConfig::default(),
+        );
         assert!(out.cost <= g.cost + 1e-9);
     }
 

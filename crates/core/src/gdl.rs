@@ -94,10 +94,10 @@ pub fn gdl(
     let mut explored_generalized = 0usize;
 
     let evaluate = |cover: &Cover,
-                        cache: &mut ReformCache,
-                        memo: &mut HashMap<Cover, f64>,
-                        simple: &mut usize,
-                        gen: &mut usize|
+                    cache: &mut ReformCache,
+                    memo: &mut HashMap<Cover, f64>,
+                    simple: &mut usize,
+                    gen: &mut usize|
      -> f64 {
         if let Some(&c) = memo.get(cover) {
             return c;
@@ -254,7 +254,13 @@ mod tests {
     #[test]
     fn gdl_terminates_and_reports() {
         let (q, tbox, analysis) = example7();
-        let out = gdl(&q, &tbox, &analysis, &StructuralEstimator, &GdlConfig::default());
+        let out = gdl(
+            &q,
+            &tbox,
+            &analysis,
+            &StructuralEstimator,
+            &GdlConfig::default(),
+        );
         assert!(out.cost.is_finite());
         assert!(out.explored_simple + out.explored_generalized >= 1);
         assert!(!out.budget_exhausted);
@@ -277,7 +283,10 @@ mod tests {
     #[test]
     fn disabling_generalized_stays_in_lq() {
         let (q, tbox, analysis) = example7();
-        let config = GdlConfig { explore_generalized: false, ..Default::default() };
+        let config = GdlConfig {
+            explore_generalized: false,
+            ..Default::default()
+        };
         let out = gdl(&q, &tbox, &analysis, &StructuralEstimator, &config);
         assert!(out.cover.is_simple());
         assert_eq!(out.explored_generalized, 0);
@@ -290,8 +299,16 @@ mod tests {
         let start = root_cover(&analysis);
         for m in moves_from(&start, &analysis, &config) {
             let fewer_fragments = m.num_fragments() < start.num_fragments();
-            let grew: usize = m.fragments().iter().map(|f| f.f.count_ones() as usize).sum();
-            let orig: usize = start.fragments().iter().map(|f| f.f.count_ones() as usize).sum();
+            let grew: usize = m
+                .fragments()
+                .iter()
+                .map(|f| f.f.count_ones() as usize)
+                .sum();
+            let orig: usize = start
+                .fragments()
+                .iter()
+                .map(|f| f.f.count_ones() as usize)
+                .sum();
             assert!(fewer_fragments || grew > orig, "move must be monotone");
         }
     }
@@ -312,7 +329,10 @@ mod tests {
     #[test]
     fn enlarge_moves_respect_connectivity() {
         let (_q, _tbox, analysis) = example7();
-        let config = GdlConfig { explore_unions: false, ..Default::default() };
+        let config = GdlConfig {
+            explore_unions: false,
+            ..Default::default()
+        };
         let start = root_cover(&analysis);
         for m in moves_from(&start, &analysis, &config) {
             for fr in m.fragments() {

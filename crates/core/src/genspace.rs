@@ -71,7 +71,10 @@ pub fn enumerate_generalized_covers(analysis: &QueryAnalysis, cap: usize) -> Gen
             }
         }
     }
-    GenSpace { covers: out, truncated }
+    GenSpace {
+        covers: out,
+        truncated,
+    }
 }
 
 /// All connected atom sets `f` with `g ⊆ f` (including `g` itself when

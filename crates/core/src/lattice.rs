@@ -205,7 +205,10 @@ mod tests {
         let covers = enumerate_safe_covers(&analysis, 0);
         let croot = covers.iter().find(|c| c.num_fragments() == 2).unwrap();
         let bottom = covers.iter().find(|c| c.num_fragments() == 1).unwrap();
-        assert!(precedes(croot, bottom), "Croot is the top, bottom is coarsest");
+        assert!(
+            precedes(croot, bottom),
+            "Croot is the top, bottom is coarsest"
+        );
         assert!(precedes(croot, croot), "reflexive");
         assert!(!precedes(bottom, croot));
     }

@@ -28,7 +28,14 @@ pub struct ReformCache<'a> {
 
 impl<'a> ReformCache<'a> {
     pub fn new(q: &'a CQ, tbox: &'a TBox, minimize: bool) -> Self {
-        ReformCache { q, tbox, minimize, cache: HashMap::new(), hits: 0, misses: 0 }
+        ReformCache {
+            q,
+            tbox,
+            minimize,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Build the JUCQ reformulation of `cover` (Definition 3 / §5.2),

@@ -45,7 +45,11 @@ impl QueryAnalysis {
                 }
             }
         }
-        QueryAnalysis { adjacency, inseparable, num_atoms: n }
+        QueryAnalysis {
+            adjacency,
+            inseparable,
+            num_atoms: n,
+        }
     }
 
     pub fn num_atoms(&self) -> usize {

@@ -93,7 +93,12 @@ impl ABox {
         impl std::fmt::Display for D<'_> {
             fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
                 for &(c, i) in &self.0.concept_assertions {
-                    writeln!(f, "{}({})", self.1.concept_name(c), self.1.individual_name(i))?;
+                    writeln!(
+                        f,
+                        "{}({})",
+                        self.1.concept_name(c),
+                        self.1.individual_name(i)
+                    )?;
                 }
                 for &(r, a, b) in &self.0.role_assertions {
                     writeln!(
@@ -149,7 +154,10 @@ mod tests {
         let y = voc.individual("y");
         let mut abox = ABox::new();
         assert!(abox.assert_role(r, x, y));
-        assert!(abox.assert_role(r, y, x), "(y,x) is a distinct fact from (x,y)");
+        assert!(
+            abox.assert_role(r, y, x),
+            "(y,x) is a distinct fact from (x,y)"
+        );
         assert!(abox.has_role(r, x, y));
         assert!(abox.has_role(r, y, x));
         assert_eq!(abox.len(), 2);

@@ -43,22 +43,38 @@ pub enum Axiom {
 impl Axiom {
     /// Positive concept inclusion `lhs ⊑ rhs`.
     pub fn concept(lhs: BasicConcept, rhs: BasicConcept) -> Self {
-        Axiom::Concept(ConceptInclusion { lhs, rhs, negated: false })
+        Axiom::Concept(ConceptInclusion {
+            lhs,
+            rhs,
+            negated: false,
+        })
     }
 
     /// Negative concept inclusion `lhs ⊑ ¬rhs`.
     pub fn concept_neg(lhs: BasicConcept, rhs: BasicConcept) -> Self {
-        Axiom::Concept(ConceptInclusion { lhs, rhs, negated: true })
+        Axiom::Concept(ConceptInclusion {
+            lhs,
+            rhs,
+            negated: true,
+        })
     }
 
     /// Positive role inclusion `lhs ⊑ rhs`.
     pub fn role(lhs: Role, rhs: Role) -> Self {
-        Axiom::Role(RoleInclusion { lhs, rhs, negated: false })
+        Axiom::Role(RoleInclusion {
+            lhs,
+            rhs,
+            negated: false,
+        })
     }
 
     /// Negative role inclusion `lhs ⊑ ¬rhs`.
     pub fn role_neg(lhs: Role, rhs: Role) -> Self {
-        Axiom::Role(RoleInclusion { lhs, rhs, negated: true })
+        Axiom::Role(RoleInclusion {
+            lhs,
+            rhs,
+            negated: true,
+        })
     }
 
     pub fn is_negative(&self) -> bool {
@@ -77,7 +93,11 @@ impl Axiom {
     pub fn is_existential(&self) -> bool {
         matches!(
             self,
-            Axiom::Concept(ConceptInclusion { rhs: BasicConcept::Exists(_), negated: false, .. })
+            Axiom::Concept(ConceptInclusion {
+                rhs: BasicConcept::Exists(_),
+                negated: false,
+                ..
+            })
         )
     }
 

@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// Empty set over a universe of `nbits` elements.
     pub fn new(nbits: usize) -> Self {
-        BitSet { words: vec![0; nbits.div_ceil(64)], nbits }
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
     }
 
     pub fn capacity(&self) -> usize {

@@ -176,9 +176,7 @@ pub fn chase(tbox: &TBox, abox: &ABox, max_depth: u32) -> ChaseInstance {
 
     while let Some(fact) = agenda.pop() {
         let rules: &[&Axiom] = match fact {
-            ChaseFact::Concept(c, _) => {
-                concept_rules.get(&c).map(Vec::as_slice).unwrap_or(&[])
-            }
+            ChaseFact::Concept(c, _) => concept_rules.get(&c).map(Vec::as_slice).unwrap_or(&[]),
             ChaseFact::Role(r, _, _) => role_rules.get(&r).map(Vec::as_slice).unwrap_or(&[]),
         };
         // Collect conclusions first: rule firing may need &mut inst.
@@ -210,9 +208,7 @@ fn apply_rule(
             _ => None,
         },
         (Axiom::Concept(ci), ChaseFact::Role(r, a, b)) => match ci.lhs {
-            BasicConcept::Exists(lr) if lr.name == r => {
-                Some(if lr.inverse { b } else { a })
-            }
+            BasicConcept::Exists(lr) if lr.name == r => Some(if lr.inverse { b } else { a }),
             _ => None,
         },
         (Axiom::Role(_), ChaseFact::Concept(..)) => None,

@@ -190,7 +190,9 @@ mod tests {
         // B ⊑ ¬A: then A(x) gives x ∈ ∃r (null witness), so x ∈ B,
         // contradiction with A(x).
         let mut b = TBoxBuilder::new();
-        b.sub("A", "exists r").sub("exists r", "B").disjoint("B", "A");
+        b.sub("A", "exists r")
+            .sub("exists r", "B")
+            .disjoint("B", "A");
         let (mut voc, tbox) = b.finish();
         let a = voc.find_concept("A").unwrap();
         let x = voc.individual("x");

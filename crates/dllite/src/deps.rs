@@ -77,7 +77,10 @@ impl Dependencies {
             }
             sets.push(set);
         }
-        Dependencies { sets, num_concepts: nc }
+        Dependencies {
+            sets,
+            num_concepts: nc,
+        }
     }
 
     /// `dep(N)` as a bitset over dense predicate indexes.
@@ -134,7 +137,10 @@ mod tests {
         works_dep.sort();
         let mut expect = vec![works, sup, grad];
         expect.sort();
-        assert_eq!(works_dep, expect, "worksWith depends on supervisedBy and Graduate");
+        assert_eq!(
+            works_dep, expect,
+            "worksWith depends on supervisedBy and Graduate"
+        );
 
         let mut sup_dep = deps.dep_preds(sup);
         sup_dep.sort();

@@ -21,16 +21,25 @@ pub struct Role {
 
 impl Role {
     pub fn direct(name: RoleId) -> Self {
-        Role { name, inverse: false }
+        Role {
+            name,
+            inverse: false,
+        }
     }
 
     pub fn inv(name: RoleId) -> Self {
-        Role { name, inverse: true }
+        Role {
+            name,
+            inverse: true,
+        }
     }
 
     /// The inverse of this role expression: `(R)⁻ = R⁻`, `(R⁻)⁻ = R`.
     pub fn inverted(self) -> Self {
-        Role { name: self.name, inverse: !self.inverse }
+        Role {
+            name: self.name,
+            inverse: !self.inverse,
+        }
     }
 
     /// `cr(·)` of Definition 4 applied to a role expression: the underlying
@@ -133,9 +142,14 @@ mod tests {
         let phd = v.concept("PhDStudent");
         assert_eq!(Role::inv(sup).display(&v).to_string(), "supervisedBy-");
         assert_eq!(
-            BasicConcept::Exists(Role::direct(sup)).display(&v).to_string(),
+            BasicConcept::Exists(Role::direct(sup))
+                .display(&v)
+                .to_string(),
             "exists supervisedBy"
         );
-        assert_eq!(BasicConcept::Atomic(phd).display(&v).to_string(), "PhDStudent");
+        assert_eq!(
+            BasicConcept::Atomic(phd).display(&v).to_string(),
+            "PhDStudent"
+        );
     }
 }

@@ -23,7 +23,12 @@ pub struct KnowledgeBase {
 
 impl KnowledgeBase {
     pub fn new(voc: Vocabulary, tbox: TBox, abox: ABox) -> Self {
-        KnowledgeBase { voc, tbox, abox, deps: None }
+        KnowledgeBase {
+            voc,
+            tbox,
+            abox,
+            deps: None,
+        }
     }
 
     /// Parse a KB from the textual format of [`crate::parser`].

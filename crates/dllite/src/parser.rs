@@ -74,7 +74,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn parse_line(line: &str, line_no: usize, kb: &mut ParsedKb) -> Result<(), ParseError> {
-    let err = |message: String| ParseError { line: line_no, message };
+    let err = |message: String| ParseError {
+        line: line_no,
+        message,
+    };
 
     if let Some(rest) = line.strip_prefix("role ") {
         // Role inclusion.
@@ -84,26 +87,36 @@ fn parse_line(line: &str, line_no: usize, kb: &mut ParsedKb) -> Result<(), Parse
             .ok_or_else(|| err(format!("bad role expression `{lhs}`")))?;
         let r = parse_role_expr(rhs, &mut kb.voc)
             .ok_or_else(|| err(format!("bad role expression `{rhs}`")))?;
-        let ax = if negated { Axiom::role_neg(l, r) } else { Axiom::role(l, r) };
+        let ax = if negated {
+            Axiom::role_neg(l, r)
+        } else {
+            Axiom::role(l, r)
+        };
         kb.tbox.add(ax);
         return Ok(());
     }
 
     if line.contains("<=") {
         // Concept inclusion.
-        let (lhs, rhs, negated) = split_inclusion(line)
-            .ok_or_else(|| err(format!("malformed inclusion `{line}`")))?;
+        let (lhs, rhs, negated) =
+            split_inclusion(line).ok_or_else(|| err(format!("malformed inclusion `{line}`")))?;
         let l = parse_basic_concept(lhs, &mut kb.voc)
             .ok_or_else(|| err(format!("bad concept expression `{lhs}`")))?;
         let r = parse_basic_concept(rhs, &mut kb.voc)
             .ok_or_else(|| err(format!("bad concept expression `{rhs}`")))?;
-        let ax = if negated { Axiom::concept_neg(l, r) } else { Axiom::concept(l, r) };
+        let ax = if negated {
+            Axiom::concept_neg(l, r)
+        } else {
+            Axiom::concept(l, r)
+        };
         kb.tbox.add(ax);
         return Ok(());
     }
 
     // Otherwise: an assertion `Pred(args)`.
-    let open = line.find('(').ok_or_else(|| err(format!("unrecognized line `{line}`")))?;
+    let open = line
+        .find('(')
+        .ok_or_else(|| err(format!("unrecognized line `{line}`")))?;
     if !line.ends_with(')') {
         return Err(err(format!("assertion must end with `)`: `{line}`")));
     }
@@ -173,8 +186,11 @@ fn parse_basic_concept(s: &str, voc: &mut Vocabulary) -> Option<BasicConcept> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
 #[cfg(test)]

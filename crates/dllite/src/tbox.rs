@@ -91,7 +91,10 @@ impl TBox {
     /// Backward application: an atom whose extension is `rhs` may hold
     /// *because* any of the returned `lhs` held.
     pub fn concept_inclusions_into(&self, rhs: BasicConcept) -> &[ConceptInclusion] {
-        self.by_concept_rhs.get(&rhs).map(Vec::as_slice).unwrap_or(&[])
+        self.by_concept_rhs
+            .get(&rhs)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Positive role inclusions whose right-hand side mentions the role name
@@ -277,13 +280,13 @@ mod tests {
         let phd = voc.find_concept("PhDStudent").unwrap();
         // T7 is PhDStudent ⊑ ¬∃supervisedBy⁻; it must not show up as a way
         // to derive ∃supervisedBy⁻.
-        let bucket =
-            tbox.concept_inclusions_into(BasicConcept::Exists(Role::inv(sup)));
+        let bucket = tbox.concept_inclusions_into(BasicConcept::Exists(Role::inv(sup)));
         assert!(bucket.iter().all(|ci| !ci.negated));
         assert!(bucket.is_empty());
         // ...but T6's bucket (into PhDStudent) exists.
         assert_eq!(
-            tbox.concept_inclusions_into(BasicConcept::Atomic(phd)).len(),
+            tbox.concept_inclusions_into(BasicConcept::Atomic(phd))
+                .len(),
             1
         );
     }

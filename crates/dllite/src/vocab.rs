@@ -96,7 +96,9 @@ impl Vocabulary {
     }
 
     pub fn individual_name(&self, id: IndividualId) -> &str {
-        self.individuals.name(id.0).unwrap_or("<unknown-individual>")
+        self.individuals
+            .name(id.0)
+            .unwrap_or("<unknown-individual>")
     }
 
     pub fn pred_name(&self, id: PredId) -> &str {

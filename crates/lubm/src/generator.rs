@@ -290,7 +290,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GenConfig { target_facts: 3000, ..Default::default() };
+        let cfg = GenConfig {
+            target_facts: 3000,
+            ..Default::default()
+        };
         let mut o1 = UnivOntology::build();
         let (a1, _) = generate(&mut o1, &cfg);
         let mut o2 = UnivOntology::build();
@@ -302,7 +305,10 @@ mod tests {
 
     #[test]
     fn reaches_target_scale() {
-        let cfg = GenConfig { target_facts: 5000, ..Default::default() };
+        let cfg = GenConfig {
+            target_facts: 5000,
+            ..Default::default()
+        };
         let mut onto = UnivOntology::build();
         let (abox, report) = generate(&mut onto, &cfg);
         assert!(abox.len() >= 5000);
@@ -312,7 +318,10 @@ mod tests {
 
     #[test]
     fn data_is_consistent_with_the_ontology() {
-        let cfg = GenConfig { target_facts: 4000, ..Default::default() };
+        let cfg = GenConfig {
+            target_facts: 4000,
+            ..Default::default()
+        };
         let mut onto = UnivOntology::build();
         let (abox, _) = generate(&mut onto, &cfg);
         assert!(obda_dllite::is_consistent(&onto.voc, &onto.tbox, &abox));
@@ -323,7 +332,10 @@ mod tests {
         // The generator must leave reasoning work on the table: some
         // FullProfessor has no explicit worksFor fact (implied via
         // Employee ⊑ ∃worksFor), and no Person facts are asserted at all.
-        let cfg = GenConfig { target_facts: 4000, ..Default::default() };
+        let cfg = GenConfig {
+            target_facts: 4000,
+            ..Default::default()
+        };
         let mut onto = UnivOntology::build();
         let (abox, _) = generate(&mut onto, &cfg);
         let persons = abox.concept_members(onto.person).count();
@@ -339,7 +351,10 @@ mod tests {
 
     #[test]
     fn authorship_is_split_across_orientations() {
-        let cfg = GenConfig { target_facts: 8000, ..Default::default() };
+        let cfg = GenConfig {
+            target_facts: 8000,
+            ..Default::default()
+        };
         let mut onto = UnivOntology::build();
         let (abox, _) = generate(&mut onto, &cfg);
         let fwd = abox.role_pairs(onto.publication_author).count();

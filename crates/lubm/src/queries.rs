@@ -47,16 +47,18 @@ pub fn q1(onto: &UnivOntology) -> CQ {
 pub fn star_query(onto: &UnivOntology, arity: usize) -> CQ {
     assert!((2..=6).contains(&arity));
     let full = q1(onto);
-    CQ::with_var_head(
-        vec![VarId(0)],
-        full.atoms()[..arity].to_vec(),
-    )
+    CQ::with_var_head(vec![VarId(0)], full.atoms()[..arity].to_vec())
 }
 
 /// The full workload Q1–Q13.
 pub fn workload(onto: &UnivOntology) -> Vec<WorkloadQuery> {
     let mut qs: Vec<WorkloadQuery> = Vec::with_capacity(13);
-    let mut push = |name: &str, cq: CQ| qs.push(WorkloadQuery { name: name.into(), cq });
+    let mut push = |name: &str, cq: CQ| {
+        qs.push(WorkloadQuery {
+            name: name.into(),
+            cq,
+        })
+    };
 
     push("Q1", q1(onto));
 
@@ -306,7 +308,10 @@ mod tests {
             }
         }
         let max = sizes.iter().max().copied().unwrap_or(0);
-        assert!(max >= 100, "Q5/Q11-style queries reformulate into 100s: {sizes:?}");
+        assert!(
+            max >= 100,
+            "Q5/Q11-style queries reformulate into 100s: {sizes:?}"
+        );
     }
 
     #[test]
@@ -316,6 +321,10 @@ mod tests {
         let q11 = qs.iter().find(|q| q.name == "Q11").unwrap();
         assert_eq!(q11.cq.num_atoms(), 2);
         let ucq = perfect_ref(&q11.cq, &onto.tbox);
-        assert!(ucq.len() > 200, "Q11 reformulation is the largest: {}", ucq.len());
+        assert!(
+            ucq.len() > 200,
+            "Q11 reformulation is the largest: {}",
+            ucq.len()
+        );
     }
 }

@@ -51,14 +51,22 @@ pub fn canonicalize(cq: &CQ) -> CQ {
     let (_, perm, exist_ids) = canonical_key_and_order(cq);
     // Head variables keep their ids; existential variables are packed after
     // the largest head id to avoid collisions.
-    let base = cq.head_vars().map(|v| v.0).max().map(|m| m + 1).unwrap_or(0);
+    let base = cq
+        .head_vars()
+        .map(|v| v.0)
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
     let rename = |v: VarId| -> Term {
         match exist_ids.get(&v) {
             Some(&e) => Term::Var(VarId(base + e)),
             None => Term::Var(v), // head var
         }
     };
-    let atoms = perm.iter().map(|&i| cq.atoms()[i].map_vars(rename)).collect();
+    let atoms = perm
+        .iter()
+        .map(|&i| cq.atoms()[i].map_vars(rename))
+        .collect();
     CQ::new(cq.head().to_vec(), atoms)
 }
 
@@ -94,7 +102,10 @@ fn canonical_key_and_order(cq: &CQ) -> (CanonKey, Vec<usize>, HashMap<VarId, u32
     };
     state.run();
     (
-        CanonKey { head, atoms: best.unwrap_or_default() },
+        CanonKey {
+            head,
+            atoms: best.unwrap_or_default(),
+        },
         best_perm,
         best_exist,
     )
@@ -335,7 +346,10 @@ mod tests {
         let ca = super::canonicalize(&a);
         let cb = super::canonicalize(&b);
         assert_eq!(ca, cb, "canonical forms are structurally equal");
-        assert!(same_modulo_renaming(&ca, &a), "canonicalize preserves the query");
+        assert!(
+            same_modulo_renaming(&ca, &a),
+            "canonicalize preserves the query"
+        );
     }
 
     #[test]

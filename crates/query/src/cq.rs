@@ -146,7 +146,10 @@ impl CQ {
     pub fn without_atom(&self, idx: usize) -> CQ {
         let mut atoms = self.atoms.clone();
         atoms.remove(idx);
-        CQ { head: self.head.clone(), atoms }
+        CQ {
+            head: self.head.clone(),
+            atoms,
+        }
     }
 
     pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
@@ -303,9 +306,10 @@ mod tests {
         s.bind(VarId(0), Term::Const(IndividualId(9)));
         let q2 = q.apply(&s);
         assert_eq!(q2.head(), &[Term::Const(IndividualId(9))]);
-        assert!(q2.atoms().iter().all(|a| a
-            .terms()
-            .all(|t| t != Term::Var(VarId(0)))));
+        assert!(q2
+            .atoms()
+            .iter()
+            .all(|a| a.terms().all(|t| t != Term::Var(VarId(0)))));
     }
 
     #[test]

@@ -247,8 +247,11 @@ fn join_components(components: Vec<(Vec<Term>, HashSet<Row>)>, head: &[Term]) ->
             .filter(|&&(ai, _)| ai > usize::MAX / 2)
             .map(|&(ai, ci)| (usize::MAX - ai, ci))
             .collect();
-        let external: Vec<(usize, usize)> =
-            join_pos.iter().filter(|&&(ai, _)| ai <= usize::MAX / 2).copied().collect();
+        let external: Vec<(usize, usize)> = join_pos
+            .iter()
+            .filter(|&&(ai, _)| ai <= usize::MAX / 2)
+            .copied()
+            .collect();
         let comp_rows: Vec<Row> = comp_rows
             .into_iter()
             .filter(|row| internal.iter().all(|&(p1, p2)| row[p1] == row[p2]))
@@ -315,10 +318,7 @@ mod tests {
         let works = voc.find_role("worksWith").unwrap();
         let q = CQ::with_var_head(
             vec![VarId(0)],
-            vec![
-                Atom::Concept(phd, v(0)),
-                Atom::Role(works, v(1), v(0)),
-            ],
+            vec![Atom::Concept(phd, v(0)), Atom::Role(works, v(1), v(0))],
         );
         let ans = certain_answers(&tbox, &abox, &q);
         let damian = voc.find_individual("Damian").unwrap();
@@ -363,7 +363,10 @@ mod tests {
             vec![VarId(0), VarId(1)],
             vec![Atom::Role(r, v(0), v(1))],
         ));
-        let c2 = UCQ::single(CQ::with_var_head(vec![VarId(1)], vec![Atom::Concept(a, v(1))]));
+        let c2 = UCQ::single(CQ::with_var_head(
+            vec![VarId(1)],
+            vec![Atom::Concept(a, v(1))],
+        ));
         let j = JUCQ::new(vec![v(0)], vec![c1, c2]);
         let ans = eval_over_abox(&abox, &FolQuery::Jucq(j));
         assert_eq!(ans, HashSet::from([vec![i1]]));
@@ -408,10 +411,7 @@ mod tests {
         let kbtext = "A <= exists r\nA(a)";
         let kb = obda_dllite::KnowledgeBase::parse(kbtext).unwrap();
         let r = kb.voc().find_role("r").unwrap();
-        let q2 = CQ::with_var_head(
-            vec![VarId(0), VarId(1)],
-            vec![Atom::Role(r, v(0), v(1))],
-        );
+        let q2 = CQ::with_var_head(vec![VarId(0), VarId(1)], vec![Atom::Role(r, v(0), v(1))]);
         let ans2 = certain_answers(kb.tbox(), kb.abox(), &q2);
         assert!(ans2.is_empty());
         let q1 = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(r, v(0), v(1))]);

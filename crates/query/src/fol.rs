@@ -119,8 +119,7 @@ mod tests {
         assert_eq!(FolQuery::from(cq.clone()).dialect(), "CQ");
         assert_eq!(FolQuery::from(UCQ::single(cq.clone())).dialect(), "UCQ");
         assert_eq!(
-            FolQuery::Jucq(JUCQ::new(vec![Term::Var(VarId(0))], vec![UCQ::single(cq)]))
-                .dialect(),
+            FolQuery::Jucq(JUCQ::new(vec![Term::Var(VarId(0))], vec![UCQ::single(cq)])).dialect(),
             "JUCQ"
         );
     }

@@ -86,7 +86,12 @@ fn search(from: &CQ, to: &CQ, order: &[usize], depth: usize, assign: &mut Assign
 /// Extend `assign` so that `atom` maps onto `target`; record new bindings
 /// in `trail` for backtracking. Returns false (with partial trail) on
 /// conflict.
-fn try_map_atom(atom: &Atom, target: &Atom, assign: &mut Assignment, trail: &mut Vec<VarId>) -> bool {
+fn try_map_atom(
+    atom: &Atom,
+    target: &Atom,
+    assign: &mut Assignment,
+    trail: &mut Vec<VarId>,
+) -> bool {
     let pairs: Vec<(Term, Term)> = match (atom, target) {
         (Atom::Concept(_, t), Atom::Concept(_, u)) => vec![(*t, *u)],
         (Atom::Role(_, t1, t2), Atom::Role(_, u1, u2)) => vec![(*t1, *u1), (*t2, *u2)],

@@ -58,8 +58,7 @@ impl JUCQ {
         let mut seen = BTreeSet::new();
         let mut joined = BTreeSet::new();
         for c in &self.components {
-            let vars: BTreeSet<VarId> =
-                c.head().iter().filter_map(|t| t.as_var()).collect();
+            let vars: BTreeSet<VarId> = c.head().iter().filter_map(|t| t.as_var()).collect();
             for v in vars {
                 if !seen.insert(v) {
                     joined.insert(v);

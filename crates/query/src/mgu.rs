@@ -170,7 +170,10 @@ mod tests {
         let a = Atom::Role(RoleId(0), Term::Var(x), Term::Var(y));
         let b = Atom::Role(RoleId(0), Term::Var(z), Term::Var(y));
         let s = mgu_preferring(&a, &b, &[x]).unwrap();
-        assert_eq!(a.apply(&s), Atom::Role(RoleId(0), Term::Var(x), Term::Var(y)));
+        assert_eq!(
+            a.apply(&s),
+            Atom::Role(RoleId(0), Term::Var(x), Term::Var(y))
+        );
         assert_eq!(s.resolve(Term::Var(z)), Term::Var(x));
     }
 

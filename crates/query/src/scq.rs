@@ -228,7 +228,16 @@ mod tests {
         let scq = SCQ::new(vec![v(0)], vec![slot1, slot2]);
         assert_eq!(scq.equivalent_cq_count(), 2);
         assert_eq!(scq.total_atoms(), 3);
-        let uscq = USCQ::new(vec![v(0)], vec![scq.clone(), SCQ::new(vec![v(0)], vec![Slot::single(Atom::Concept(ConceptId(1), v(0)))])]);
+        let uscq = USCQ::new(
+            vec![v(0)],
+            vec![
+                scq.clone(),
+                SCQ::new(
+                    vec![v(0)],
+                    vec![Slot::single(Atom::Concept(ConceptId(1), v(0)))],
+                ),
+            ],
+        );
         assert_eq!(uscq.equivalent_cq_count(), 3);
     }
 

@@ -61,11 +61,14 @@ impl Subst {
         Self::default()
     }
 
-    /// Bind `v := t`. Callers must ensure no cycles (`v` not reachable from
-    /// `t`); with variable-to-variable bindings oriented consistently this
-    /// holds by construction in the unifier.
+    /// Bind `v := t`. An identity binding (`v := v`) is a no-op — storing
+    /// it would make `resolve` cycle. Callers must ensure no longer cycles
+    /// (`v` not reachable from `t`); with variable-to-variable bindings
+    /// oriented consistently this holds by construction in the unifier.
     pub fn bind(&mut self, v: VarId, t: Term) {
-        debug_assert!(Term::Var(v) != t, "self-binding");
+        if Term::Var(v) == t {
+            return;
+        }
         self.map.insert(v, t);
     }
 

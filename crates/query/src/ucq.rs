@@ -22,7 +22,11 @@ pub struct UCQ {
 impl UCQ {
     /// An empty union with the given head (unsatisfiable query).
     pub fn empty(head: Vec<Term>) -> Self {
-        UCQ { head, cqs: Vec::new(), keys: HashSet::new() }
+        UCQ {
+            head,
+            cqs: Vec::new(),
+            keys: HashSet::new(),
+        }
     }
 
     /// Single-disjunct UCQ.

@@ -112,9 +112,7 @@ impl CostModel {
     }
 
     fn est_ucq(&self, ucq: &UCQ, scans: &mut ScanTracker) -> Estimate {
-        let degraded = self
-            .collapse_limit
-            .is_some_and(|limit| ucq.len() > limit);
+        let degraded = self.collapse_limit.is_some_and(|limit| ucq.len() > limit);
         let mut total = Estimate::default();
         for cq in ucq.cqs() {
             let e = self.est_cq(cq, scans, degraded);
@@ -198,7 +196,10 @@ impl CostModel {
         degraded: bool,
     ) -> Estimate {
         if slots.is_empty() {
-            return Estimate { cost: 0.0, card: 1.0 };
+            return Estimate {
+                cost: 0.0,
+                card: 1.0,
+            };
         }
         let order = order_slots(slots, &BTreeSet::new(), &self.stats, self.layout);
         let mut bound: BTreeSet<VarId> = BTreeSet::new();
@@ -295,8 +296,14 @@ mod tests {
         let two = FolQuery::Ucq(UCQ::from_cqs(
             vec![v(0)],
             [
-                CQ::with_var_head(vec![VarId(0)], vec![obda_query::Atom::Concept(ConceptId(0), v(0))]),
-                CQ::with_var_head(vec![VarId(0)], vec![obda_query::Atom::Concept(ConceptId(1), v(0))]),
+                CQ::with_var_head(
+                    vec![VarId(0)],
+                    vec![obda_query::Atom::Concept(ConceptId(0), v(0))],
+                ),
+                CQ::with_var_head(
+                    vec![VarId(0)],
+                    vec![obda_query::Atom::Concept(ConceptId(1), v(0))],
+                ),
             ],
         ));
         assert!(model.estimate_fol(&one) < model.estimate_fol(&two));
@@ -374,6 +381,9 @@ mod tests {
             CostModel::rdbms(stats(), LayoutKind::Simple, &pg).model_name(),
             "rdbms/pg-like"
         );
-        assert_eq!(CostModel::ext(stats(), LayoutKind::Simple).model_name(), "ext");
+        assert_eq!(
+            CostModel::ext(stats(), LayoutKind::Simple).model_name(),
+            "ext"
+        );
     }
 }

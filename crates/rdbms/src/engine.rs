@@ -66,19 +66,18 @@ pub struct Engine {
 
 impl Engine {
     /// Load an ABox under the given layout and profile.
-    pub fn load(
-        abox: &ABox,
-        voc: &Vocabulary,
-        layout: LayoutKind,
-        profile: EngineProfile,
-    ) -> Self {
+    pub fn load(abox: &ABox, voc: &Vocabulary, layout: LayoutKind, profile: EngineProfile) -> Self {
         let storage: Box<dyn Storage> = match layout {
             LayoutKind::Simple => Box::new(SimpleStorage::load(abox)),
             LayoutKind::Triple => Box::new(TripleStorage::load(abox)),
             LayoutKind::Dph => Box::new(DphStorage::load(abox)),
         };
         let sql = SqlGenerator::new(SqlNames::from_vocabulary(voc), layout);
-        Engine { storage, profile, sql }
+        Engine {
+            storage,
+            profile,
+            sql,
+        }
     }
 
     pub fn layout(&self) -> LayoutKind {
@@ -104,7 +103,10 @@ impl Engine {
         let sql = self.sql.generate(q);
         if let Some(limit) = self.profile.max_statement_bytes {
             if sql.len() > limit {
-                return Err(EngineError::StatementTooLong { size: sql.len(), limit });
+                return Err(EngineError::StatementTooLong {
+                    size: sql.len(),
+                    limit,
+                });
             }
         }
         let start = Instant::now();
@@ -113,7 +115,12 @@ impl Engine {
         let mut metrics = meter.metrics;
         metrics.wall = start.elapsed();
         let simulated = metrics.simulated(&self.profile);
-        Ok(QueryOutcome { rows, metrics, sql_bytes: sql.len(), simulated })
+        Ok(QueryOutcome {
+            rows,
+            metrics,
+            sql_bytes: sql.len(),
+            simulated,
+        })
     }
 
     /// The engine's own cost estimation ("explain"). Statements over the
@@ -129,7 +136,11 @@ impl Engine {
 
     /// The engine-side cost model (profile quirks included).
     pub fn rdbms_cost_model(&self) -> CostModel {
-        CostModel::rdbms(self.storage.stats().clone(), self.storage.layout(), &self.profile)
+        CostModel::rdbms(
+            self.storage.stats().clone(),
+            self.storage.layout(),
+            &self.profile,
+        )
     }
 
     /// The external (paper-side) cost model over this engine's statistics.
@@ -195,10 +206,7 @@ mod tests {
         let u = UCQ::from_cqs(
             vec![v(0)],
             (0..3).map(|i| {
-                CQ::with_var_head(
-                    vec![VarId(0)],
-                    vec![Atom::Role(RoleId(i % 2), v(0), v(1))],
-                )
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(RoleId(i % 2), v(0), v(1))])
             }),
         );
         let err = e.evaluate(&FolQuery::Ucq(u.clone())).unwrap_err();
@@ -216,10 +224,7 @@ mod tests {
         let u = UCQ::from_cqs(
             vec![v(0)],
             (0..20).map(|i| {
-                CQ::with_var_head(
-                    vec![VarId(0)],
-                    vec![Atom::Role(RoleId(i % 2), v(0), v(1))],
-                )
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(RoleId(i % 2), v(0), v(1))])
             }),
         );
         assert!(e.evaluate(&FolQuery::Ucq(u)).is_ok());

@@ -333,7 +333,11 @@ fn extend_row(
 
 /// Join materialized component relations on shared variables (smallest
 /// relation first) and project `head` with DISTINCT.
-fn join_relations(mut relations: Vec<Relation>, head: &[Term], meter: &mut Meter) -> FxHashSet<Row> {
+fn join_relations(
+    mut relations: Vec<Relation>,
+    head: &[Term],
+    meter: &mut Meter,
+) -> FxHashSet<Row> {
     relations.sort_by_key(|r| r.rows.len());
     let mut acc_vars: Vec<VarId> = Vec::new();
     let mut acc_rows: Vec<Row> = vec![Vec::new()];
@@ -488,7 +492,10 @@ mod tests {
         // q(x) ← r(x, i2): subjects {0, 3}.
         let (mut voc, _) = small_abox();
         let i2 = voc.individual("i2");
-        let q = CQ::new(vec![v(0)], vec![Atom::Role(RoleId(0), v(0), Term::Const(i2))]);
+        let q = CQ::new(
+            vec![v(0)],
+            vec![Atom::Role(RoleId(0), v(0), Term::Const(i2))],
+        );
         assert_eq!(run(FolQuery::Cq(q)), vec![vec![0], vec![3]]);
     }
 

@@ -65,15 +65,30 @@ impl DphStorage {
         let mut by_subject: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
         let mut by_object: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
         for &(c, i) in abox.concept_assertions() {
-            by_subject.entry(i.0).or_default().push((code_concept(c.0), TYPE_MARKER));
+            by_subject
+                .entry(i.0)
+                .or_default()
+                .push((code_concept(c.0), TYPE_MARKER));
         }
         for &(r, a, b) in abox.role_assertions() {
-            by_subject.entry(a.0).or_default().push((code_role(r.0), b.0));
-            by_object.entry(b.0).or_default().push((code_role(r.0), a.0));
+            by_subject
+                .entry(a.0)
+                .or_default()
+                .push((code_role(r.0), b.0));
+            by_object
+                .entry(b.0)
+                .or_default()
+                .push((code_role(r.0), a.0));
         }
         let (dph, dph_by_key) = pack_rows(by_subject);
         let (rph, rph_by_key) = pack_rows(by_object);
-        DphStorage { dph, rph, dph_by_key, rph_by_key, stats: CatalogStats::from_abox(abox) }
+        DphStorage {
+            dph,
+            rph,
+            dph_by_key,
+            rph_by_key,
+            stats: CatalogStats::from_abox(abox),
+        }
     }
 
     /// Total DPH rows (spills included) — the cost of any predicate scan.
@@ -89,9 +104,7 @@ impl DphStorage {
 /// Pack entry lists into wide rows of at most [`DPH_COLUMNS`] entries,
 /// each predicate placed at (or probed after) its primary column; overflow
 /// spills into extra rows for the same key.
-fn pack_rows(
-    map: FxHashMap<u32, Vec<(u32, u32)>>,
-) -> (Vec<WideRow>, FxHashMap<u32, Vec<u32>>) {
+fn pack_rows(map: FxHashMap<u32, Vec<(u32, u32)>>) -> (Vec<WideRow>, FxHashMap<u32, Vec<u32>>) {
     let mut rows: Vec<WideRow> = Vec::new();
     let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
     let mut keys: Vec<u32> = map.keys().copied().collect();
@@ -100,7 +113,10 @@ fn pack_rows(
         let entries = &map[&key];
         for chunk in entries.chunks(DPH_COLUMNS) {
             index.entry(key).or_default().push(rows.len() as u32);
-            rows.push(WideRow { key, entries: chunk.to_vec() });
+            rows.push(WideRow {
+                key,
+                entries: chunk.to_vec(),
+            });
         }
     }
     (rows, index)

@@ -108,7 +108,9 @@ pub(crate) mod testutil {
 
         // Role scan.
         let mut pairs = Vec::new();
-        storage.for_each_role(obda_dllite::RoleId(0), &mut m, &mut |s, o| pairs.push((s, o)));
+        storage.for_each_role(obda_dllite::RoleId(0), &mut m, &mut |s, o| {
+            pairs.push((s, o))
+        });
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (0, 2), (3, 2)]);
 

@@ -51,7 +51,11 @@ impl SimpleStorage {
                 t.by_object.entry(b.0).or_default().push(a.0);
             }
         }
-        SimpleStorage { concepts, roles, stats: CatalogStats::from_abox(abox) }
+        SimpleStorage {
+            concepts,
+            roles,
+            stats: CatalogStats::from_abox(abox),
+        }
     }
 }
 
@@ -84,7 +88,9 @@ impl Storage for SimpleStorage {
 
     fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool {
         m.on_probe(1);
-        self.concepts.get(&c.0).is_some_and(|t| t.index.contains(&v))
+        self.concepts
+            .get(&c.0)
+            .is_some_and(|t| t.index.contains(&v))
     }
 
     fn role_objects(&self, r: RoleId, s: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
@@ -115,7 +121,9 @@ impl Storage for SimpleStorage {
 
     fn probe_role(&self, r: RoleId, s: u32, o: u32, m: &mut Meter) -> bool {
         m.on_probe(1);
-        self.roles.get(&r.0).is_some_and(|t| t.pairs.contains(&(s, o)))
+        self.roles
+            .get(&r.0)
+            .is_some_and(|t| t.pairs.contains(&(s, o)))
     }
 }
 
@@ -134,7 +142,7 @@ mod tests {
 
     #[test]
     fn duplicate_assertions_deduplicate() {
-        let (mut voc, _) = small_abox();
+        let (voc, _) = small_abox();
         let a = voc.find_concept("A").unwrap();
         let i0 = voc.find_individual("i0").unwrap();
         let mut abox = ABox::new();

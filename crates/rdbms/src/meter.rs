@@ -32,7 +32,11 @@ pub struct Meter<'p> {
 
 impl<'p> Meter<'p> {
     pub fn new(profile: &'p EngineProfile) -> Self {
-        Meter { metrics: ExecMetrics::default(), profile, scan_counts: FxHashMap::default() }
+        Meter {
+            metrics: ExecMetrics::default(),
+            profile,
+            scan_counts: FxHashMap::default(),
+        }
     }
 
     /// Record a full (or filtered-full) scan of `table` touching `tuples`

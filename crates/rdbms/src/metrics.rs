@@ -35,7 +35,11 @@ impl ExecMetrics {
     /// same table was already scanned in this statement (the profile's
     /// rescan discount applies to repeats).
     pub fn add_scan(&mut self, tuples: u64, prior_scans: u32, profile: &EngineProfile) {
-        let factor = if prior_scans > 0 { profile.rescan_discount } else { 1.0 };
+        let factor = if prior_scans > 0 {
+            profile.rescan_discount
+        } else {
+            1.0
+        };
         self.scanned += tuples as f64 * factor;
     }
 
@@ -89,13 +93,20 @@ mod tests {
 
     #[test]
     fn work_units_are_weighted() {
-        let m = ExecMetrics { scanned: 10.0, index_probes: 5, ..Default::default() };
+        let m = ExecMetrics {
+            scanned: 10.0,
+            index_probes: 5,
+            ..Default::default()
+        };
         assert_eq!(m.work_units(), 10.0 + 10.0);
     }
 
     #[test]
     fn simulated_time_scales_with_profile() {
-        let m = ExecMetrics { scanned: 1_000_000.0, ..Default::default() };
+        let m = ExecMetrics {
+            scanned: 1_000_000.0,
+            ..Default::default()
+        };
         let pg = EngineProfile::pg_like();
         let t = m.simulated(&pg);
         assert!(t > Duration::from_millis(1));
@@ -103,8 +114,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ExecMetrics { scanned: 1.0, output: 2, ..Default::default() };
-        let b = ExecMetrics { scanned: 3.0, hash_probe: 4, ..Default::default() };
+        let mut a = ExecMetrics {
+            scanned: 1.0,
+            output: 2,
+            ..Default::default()
+        };
+        let b = ExecMetrics {
+            scanned: 3.0,
+            hash_probe: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.scanned, 4.0);
         assert_eq!(a.hash_probe, 4);

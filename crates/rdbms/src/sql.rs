@@ -32,8 +32,14 @@ pub struct SqlNames {
 impl SqlNames {
     pub fn from_vocabulary(voc: &Vocabulary) -> Self {
         SqlNames {
-            concepts: voc.concept_ids().map(|c| voc.concept_name(c).to_owned()).collect(),
-            roles: voc.role_ids().map(|r| voc.role_name(r).to_owned()).collect(),
+            concepts: voc
+                .concept_ids()
+                .map(|c| voc.concept_name(c).to_owned())
+                .collect(),
+            roles: voc
+                .role_ids()
+                .map(|r| voc.role_name(r).to_owned())
+                .collect(),
         }
     }
 
@@ -83,9 +89,11 @@ impl SqlGenerator {
         // Returns (source text, subject column, object column).
         match self.layout {
             LayoutKind::Simple => match atom {
-                Atom::Concept(c, _) => {
-                    (format!("{} {alias}", self.names.concept(c.0)), "x".into(), None)
-                }
+                Atom::Concept(c, _) => (
+                    format!("{} {alias}", self.names.concept(c.0)),
+                    "x".into(),
+                    None,
+                ),
                 Atom::Role(r, _, _) => (
                     format!("{} {alias}", self.names.role(r.0)),
                     "s".into(),
@@ -111,12 +119,8 @@ impl SqlGenerator {
                 ),
             },
             LayoutKind::Dph => match atom {
-                Atom::Concept(c, _) => {
-                    (dph_concept_source(c.0, alias), "x".into(), None)
-                }
-                Atom::Role(r, _, _) => {
-                    (dph_role_source(r.0, alias), "s".into(), Some("o".into()))
-                }
+                Atom::Concept(c, _) => (dph_concept_source(c.0, alias), "x".into(), None),
+                Atom::Role(r, _, _) => (dph_role_source(r.0, alias), "s".into(), Some("o".into())),
             },
         }
     }
@@ -125,7 +129,10 @@ impl SqlGenerator {
 
     fn cq_sql(&self, cq: &CQ) -> String {
         self.conjunction_sql(
-            &cq.atoms().iter().map(|a| Slot::single(*a)).collect::<Vec<_>>(),
+            &cq.atoms()
+                .iter()
+                .map(|a| Slot::single(*a))
+                .collect::<Vec<_>>(),
             cq.head(),
         )
     }
@@ -146,7 +153,11 @@ impl SqlGenerator {
             let (source, subj_col, obj_col) = if slot.len() == 1 {
                 self.atom_source(&slot.atoms()[0], &alias)
             } else {
-                (self.slot_union_source(slot, &alias), "s".into(), Some("o".into()))
+                (
+                    self.slot_union_source(slot, &alias),
+                    "s".into(),
+                    Some("o".into()),
+                )
             };
             from.push(source);
             // Bind the atom's terms. For multi-atom slots all atoms share
@@ -189,7 +200,11 @@ impl SqlGenerator {
         let _ = write!(
             sql,
             "SELECT DISTINCT {} FROM {}",
-            if select.is_empty() { "1 AS t".to_owned() } else { select.join(", ") },
+            if select.is_empty() {
+                "1 AS t".to_owned()
+            } else {
+                select.join(", ")
+            },
             from.join(", ")
         );
         if !wheres.is_empty() {
@@ -232,18 +247,26 @@ impl SqlGenerator {
 
     /// The WITH … AS form of §3.
     fn jucq_sql(&self, jucq: &JUCQ) -> String {
-        let heads: Vec<Vec<Term>> =
-            jucq.components().iter().map(|c| c.head().to_vec()).collect();
-        let bodies: Vec<String> =
-            jucq.components().iter().map(|c| self.ucq_sql(c)).collect();
+        let heads: Vec<Vec<Term>> = jucq
+            .components()
+            .iter()
+            .map(|c| c.head().to_vec())
+            .collect();
+        let bodies: Vec<String> = jucq.components().iter().map(|c| self.ucq_sql(c)).collect();
         self.with_join_sql(jucq.head(), &heads, &bodies)
     }
 
     fn juscq_sql(&self, juscq: &JUSCQ) -> String {
-        let heads: Vec<Vec<Term>> =
-            juscq.components().iter().map(|c| c.head().to_vec()).collect();
-        let bodies: Vec<String> =
-            juscq.components().iter().map(|c| self.uscq_sql(c)).collect();
+        let heads: Vec<Vec<Term>> = juscq
+            .components()
+            .iter()
+            .map(|c| c.head().to_vec())
+            .collect();
+        let bodies: Vec<String> = juscq
+            .components()
+            .iter()
+            .map(|c| self.uscq_sql(c))
+            .collect();
         self.with_join_sql(juscq.head(), &heads, &bodies)
     }
 
@@ -284,7 +307,11 @@ impl SqlGenerator {
         let _ = write!(
             sql,
             "\nSELECT DISTINCT {} FROM {}",
-            if select.is_empty() { "1".to_owned() } else { select.join(", ") },
+            if select.is_empty() {
+                "1".to_owned()
+            } else {
+                select.join(", ")
+            },
             from.join(", ")
         );
         if !conds.is_empty() {

@@ -29,9 +29,7 @@ pub fn specializations(q: &CQ, tbox: &TBox, fresh: VarId) -> Vec<Specialization>
     for (idx, atom) in q.atoms().iter().enumerate() {
         match *atom {
             Atom::Concept(c, t) => concept_atom_specs(tbox, idx, c, t, fresh, &mut out),
-            Atom::Role(r, t1, t2) => {
-                role_atom_specs(q, tbox, idx, r, t1, t2, fresh, &mut out)
-            }
+            Atom::Role(r, t1, t2) => role_atom_specs(q, tbox, idx, r, t1, t2, fresh, &mut out),
         }
     }
     out
@@ -254,10 +252,7 @@ mod tests {
         let (voc, tbox) = b.finish();
         let r = voc.find_role("r").unwrap();
         let s = voc.find_role("s").unwrap();
-        let q = CQ::with_var_head(
-            vec![VarId(0), VarId(1)],
-            vec![Atom::Role(s, v(0), v(1))],
-        );
+        let q = CQ::with_var_head(vec![VarId(0), VarId(1)], vec![Atom::Role(s, v(0), v(1))]);
         let specs = specializations(&q, &tbox, q.fresh_var());
         assert_eq!(specs.len(), 1);
         assert_eq!(specs[0].replacement, Atom::Role(r, v(1), v(0)));

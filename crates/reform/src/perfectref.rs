@@ -15,7 +15,7 @@
 use std::collections::HashSet;
 
 use obda_dllite::TBox;
-use obda_query::{canonical_key, mgu_preferring, CanonKey, CQ, UCQ, VarId};
+use obda_query::{canonical_key, mgu_preferring, CanonKey, VarId, CQ, UCQ};
 
 use crate::applicability::specializations;
 
@@ -109,7 +109,12 @@ fn push_new(
     // Exploration always continues from the candidate — only the *output*
     // is filtered, which preserves completeness.
     frontier.push(candidate.clone());
-    if prune && ucq.cqs().iter().any(|d| obda_query::contained_in(&candidate, d)) {
+    if prune
+        && ucq
+            .cqs()
+            .iter()
+            .any(|d| obda_query::contained_in(&candidate, d))
+    {
         return;
     }
     ucq.push(candidate);

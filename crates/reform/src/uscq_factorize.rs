@@ -174,8 +174,7 @@ mod tests {
         let uscq = factorize_ucq(&ucq);
         assert_eq!(uscq.len(), 1);
         assert_eq!(uscq.equivalent_cq_count(), 3);
-        let widths: Vec<usize> =
-            uscq.scqs()[0].slots().iter().map(|s| s.len()).collect();
+        let widths: Vec<usize> = uscq.scqs()[0].slots().iter().map(|s| s.len()).collect();
         assert!(widths.contains(&3));
     }
 

@@ -58,7 +58,11 @@ fn main() {
     // The lattice Lq and the generalized space Gq.
     let lq = enumerate_safe_covers(&analysis, 0);
     let gq = enumerate_generalized_covers(&analysis, 0);
-    println!("\n|Lq| = {}, |Gq| = {} (Gq ⊇ Lq, §5)", lq.len(), gq.covers.len());
+    println!(
+        "\n|Lq| = {}, |Gq| = {} (Gq ⊇ Lq, §5)",
+        lq.len(),
+        gq.covers.len()
+    );
 
     // Example 11's generalized cover: both components become unary thanks
     // to the semijoin-reducer atoms.
@@ -79,13 +83,23 @@ fn main() {
     println!("  answers via C3: {} — correct (Theorem 3)", got.len());
 
     // GDL from Croot.
-    let out = gdl(&q, &tbox, &analysis, &StructuralEstimator, &GdlConfig::default());
+    let out = gdl(
+        &q,
+        &tbox,
+        &analysis,
+        &StructuralEstimator,
+        &GdlConfig::default(),
+    );
     println!(
         "\nGDL: explored {} simple + {} generalized covers, {} moves, cost {:.1}",
         out.explored_simple, out.explored_generalized, out.moves_applied, out.cost
     );
     println!(
         "  selected cover is {}",
-        if out.cover.is_simple() { "simple" } else { "generalized" }
+        if out.cover.is_simple() {
+            "simple"
+        } else {
+            "generalized"
+        }
     );
 }

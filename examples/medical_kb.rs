@@ -93,7 +93,11 @@ fn main() {
     let treated = kb.voc().find_role("treatedWith").unwrap();
     let q2 = CQ::with_var_head(
         vec![VarId(0)],
-        vec![Atom::Role(treated, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+        vec![Atom::Role(
+            treated,
+            Term::Var(VarId(0)),
+            Term::Var(VarId(1)),
+        )],
     );
     let ucq = perfect_ref(&q2, kb.tbox());
     let treated_patients = eval_over_abox(kb.abox(), &FolQuery::Ucq(ucq));
@@ -110,7 +114,10 @@ fn main() {
     // bacterial violates the disjointness constraint.
     let viral = kb.voc().find_concept("ViralInfection").unwrap();
     kb.abox_mut().assert_concept(viral, dx1);
-    println!("after conflicting update, consistent: {}", kb.is_consistent());
+    println!(
+        "after conflicting update, consistent: {}",
+        kb.is_consistent()
+    );
     assert!(!kb.is_consistent());
     for v in kb.consistency_violations() {
         println!("  violation: {}", v.witness);

@@ -50,7 +50,10 @@ supervisedBy(Damian, Francois)               # (A3)
 
     // PerfectRef: Table 5's ten disjuncts.
     let ucq = perfect_ref(&q, kb.tbox());
-    println!("UCQ reformulation: {} disjuncts (Table 5 lists q1..q10)", ucq.len());
+    println!(
+        "UCQ reformulation: {} disjuncts (Table 5 lists q1..q10)",
+        ucq.len()
+    );
     let minimal = minimize_ucq(&ucq);
     println!("minimal UCQ: {} disjuncts", minimal.len());
     for cq in minimal.cqs() {

@@ -15,7 +15,10 @@ use obda::prelude::*;
 fn main() {
     // Build ontology + data (deterministic).
     let mut onto = UnivOntology::build();
-    let config = GenConfig { target_facts: 30_000, ..Default::default() };
+    let config = GenConfig {
+        target_facts: 30_000,
+        ..Default::default()
+    };
     let (abox, report) = generate(&mut onto, &config);
     println!(
         "generated {} facts: {} universities, {} departments, {} faculty, {} students",
@@ -28,7 +31,12 @@ fn main() {
     );
 
     let deps = obda::dllite::Dependencies::compute(&onto.voc, &onto.tbox);
-    let engine = Engine::load(&abox, &onto.voc, LayoutKind::Simple, EngineProfile::pg_like());
+    let engine = Engine::load(
+        &abox,
+        &onto.voc,
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
 
     let strategies: [(&str, Strategy); 3] = [
         ("UCQ", Strategy::Ucq),

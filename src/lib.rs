@@ -75,3 +75,36 @@ pub mod prelude {
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
     };
 }
+
+#[cfg(test)]
+mod tests {
+    /// The four root integration suites rely on cargo's `tests/`
+    /// autodiscovery. Guard against someone disabling it or renaming a
+    /// suite file: each must exist, and the manifest must not opt out.
+    #[test]
+    fn integration_suites_are_registered() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        for suite in [
+            "end_to_end",
+            "paper_examples",
+            "failure_injection",
+            "equivalence_props",
+        ] {
+            let path = root.join("tests").join(format!("{suite}.rs"));
+            assert!(
+                path.is_file(),
+                "integration suite missing: {}",
+                path.display()
+            );
+        }
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        let disables_autotests = manifest
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or("").replace([' ', '\t'], ""))
+            .any(|l| l.starts_with("autotests=false"));
+        assert!(
+            !disables_autotests,
+            "tests/ autodiscovery must stay enabled so all four suites are test targets"
+        );
+    }
+}

@@ -10,7 +10,10 @@ use obda::prelude::*;
 
 fn small_dataset() -> (UnivOntology, ABox, Dependencies) {
     let mut onto = UnivOntology::build();
-    let config = GenConfig { target_facts: 3_000, ..Default::default() };
+    let config = GenConfig {
+        target_facts: 3_000,
+        ..Default::default()
+    };
     let (abox, _) = generate(&mut onto, &config);
     let deps = Dependencies::compute(&onto.voc, &onto.tbox);
     (onto, abox, deps)
@@ -45,16 +48,11 @@ fn strategies_layouts_profiles_agree_with_oracle() {
                     Strategy::Gdl { time_budget: None },
                 ] {
                     let est = engine.ext_cost_model();
-                    let chosen =
-                        choose_reformulation(&q.cq, &onto.tbox, &deps, &est, &strategy);
+                    let chosen = choose_reformulation(&q.cq, &onto.tbox, &deps, &est, &strategy);
                     match engine.evaluate(&chosen.fol) {
                         Ok(out) => {
                             let got: HashSet<Vec<u32>> = out.rows.into_iter().collect();
-                            assert_eq!(
-                                got, truth,
-                                "{} under {strategy:?} on {layout:?}",
-                                q.name
-                            );
+                            assert_eq!(got, truth, "{} under {strategy:?} on {layout:?}", q.name);
                         }
                         Err(e) => {
                             // Only the DPH layout under the DB2 profile may
@@ -73,7 +71,12 @@ fn strategies_layouts_profiles_agree_with_oracle() {
 #[test]
 fn cost_models_are_sane_on_real_data() {
     let (onto, abox, _) = small_dataset();
-    let engine = Engine::load(&abox, &onto.voc, LayoutKind::Simple, EngineProfile::pg_like());
+    let engine = Engine::load(
+        &abox,
+        &onto.voc,
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
     let wl = workload(&onto);
     let q5 = wl.iter().find(|q| q.name == "Q5").unwrap();
     let full = obda::reform::perfect_ref_pruned(&q5.cq, &onto.tbox);

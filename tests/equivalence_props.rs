@@ -10,9 +10,7 @@
 
 use proptest::prelude::*;
 
-use obda::core::{
-    enumerate_generalized_covers, enumerate_safe_covers, QueryAnalysis,
-};
+use obda::core::{enumerate_generalized_covers, enumerate_safe_covers, QueryAnalysis};
 use obda::dllite::Dependencies;
 use obda::prelude::*;
 use obda::query::testkit::{random_abox, random_connected_cq, random_tbox, KbShape, Rng};

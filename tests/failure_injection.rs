@@ -10,14 +10,14 @@ fn empty_abox_everything_is_empty_but_nothing_crashes() {
     let kb = KnowledgeBase::parse("A <= B\nrole r <= s").unwrap();
     assert!(kb.is_consistent());
     let a = kb.voc().find_concept("B").unwrap();
-    let q = CQ::with_var_head(
-        vec![VarId(0)],
-        vec![Atom::Concept(a, Term::Var(VarId(0)))],
-    );
+    let q = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(a, Term::Var(VarId(0)))]);
     let deps = Dependencies::compute(kb.voc(), kb.tbox());
-    for strategy in [Strategy::Ucq, Strategy::CrootJucq, Strategy::Gdl { time_budget: None }] {
-        let chosen =
-            choose_reformulation(&q, kb.tbox(), &deps, &StructuralEstimator, &strategy);
+    for strategy in [
+        Strategy::Ucq,
+        Strategy::CrootJucq,
+        Strategy::Gdl { time_budget: None },
+    ] {
+        let chosen = choose_reformulation(&q, kb.tbox(), &deps, &StructuralEstimator, &strategy);
         for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
             let engine = Engine::load(kb.abox(), kb.voc(), layout, EngineProfile::pg_like());
             assert!(engine.evaluate(&chosen.fol).unwrap().rows.is_empty());
@@ -34,7 +34,12 @@ fn unsatisfiable_query_predicate_not_in_data() {
         vec![VarId(0)],
         vec![Atom::Concept(ghost, Term::Var(VarId(0)))],
     );
-    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, EngineProfile::pg_like());
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
     assert!(engine.evaluate(&FolQuery::Cq(q)).unwrap().rows.is_empty());
 }
 
@@ -68,30 +73,30 @@ fn statement_limit_is_exact_not_fuzzy() {
 #[test]
 fn inconsistent_kb_is_reported_by_both_routes() {
     // Negation-free part derives the clash through two axioms.
-    let kb = KnowledgeBase::parse(
-        "A <= B\nrole r <= s\nexists s <= C\nB <= not C\nA(x)\nr(x, y)",
-    )
-    .unwrap();
+    let kb = KnowledgeBase::parse("A <= B\nrole r <= s\nexists s <= C\nB <= not C\nA(x)\nr(x, y)")
+        .unwrap();
     // x is B (from A) and C (from ∃s via r ⊑ s) — disjoint.
     assert!(!kb.is_consistent());
-    assert!(!obda::reform::is_consistent_by_reformulation(kb.tbox(), kb.abox()));
+    assert!(!obda::reform::is_consistent_by_reformulation(
+        kb.tbox(),
+        kb.abox()
+    ));
 }
 
 #[test]
 fn gdl_with_zero_budget_still_answers_correctly() {
     let kb = KnowledgeBase::parse("A <= B\nA(x)").unwrap();
     let b = kb.voc().find_concept("B").unwrap();
-    let q = CQ::with_var_head(
-        vec![VarId(0)],
-        vec![Atom::Concept(b, Term::Var(VarId(0)))],
-    );
+    let q = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(b, Term::Var(VarId(0)))]);
     let deps = Dependencies::compute(kb.voc(), kb.tbox());
     let chosen = choose_reformulation(
         &q,
         kb.tbox(),
         &deps,
         &StructuralEstimator,
-        &Strategy::Gdl { time_budget: Some(std::time::Duration::ZERO) },
+        &Strategy::Gdl {
+            time_budget: Some(std::time::Duration::ZERO),
+        },
     );
     let got = eval_over_abox(kb.abox(), &chosen.fol);
     assert_eq!(got.len(), 1);
@@ -103,7 +108,12 @@ fn boolean_query_through_the_full_stack() {
     let res = kb.voc().find_concept("Res").unwrap();
     let q = CQ::with_var_head(vec![], vec![Atom::Concept(res, Term::Var(VarId(0)))]);
     let ucq = perfect_ref(&q, kb.tbox());
-    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, EngineProfile::pg_like());
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
     let out = engine.evaluate(&FolQuery::Ucq(ucq)).unwrap();
     assert_eq!(out.rows, vec![Vec::<u32>::new()], "true = the empty tuple");
 }

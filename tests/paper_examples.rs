@@ -123,14 +123,23 @@ fn examples7_to_11_covers_through_engine() {
     );
     let deps = Dependencies::compute(kb.voc(), kb.tbox());
     let analysis = QueryAnalysis::new(&q, &deps);
-    let engine = Engine::load(kb.abox(), kb.voc(), LayoutKind::Simple, EngineProfile::pg_like());
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
     let damian = kb.voc().find_individual("Damian").unwrap();
 
     // Unsafe C1 (Example 7).
     let c1 = Cover::new(vec![Fragment::simple(0b011), Fragment::simple(0b100)]);
     assert!(!is_safe(&analysis, &c1));
     let jucq = cover_reformulation(&q, kb.tbox(), &c1.to_specs());
-    assert!(engine.evaluate(&FolQuery::Jucq(jucq)).unwrap().rows.is_empty());
+    assert!(engine
+        .evaluate(&FolQuery::Jucq(jucq))
+        .unwrap()
+        .rows
+        .is_empty());
 
     // Root cover C2 (Examples 9/10).
     let croot = root_cover(&analysis);
@@ -157,10 +166,12 @@ fn examples7_to_11_covers_through_engine() {
 /// checked through both the chase and reformulation routes.
 #[test]
 fn example1_inconsistency_injection() {
-    let kb = KnowledgeBase::parse(&format!("{EXAMPLE1_KB}\nsupervisedBy(Alice, Damian)"))
-        .unwrap();
+    let kb = KnowledgeBase::parse(&format!("{EXAMPLE1_KB}\nsupervisedBy(Alice, Damian)")).unwrap();
     assert!(!kb.is_consistent());
-    assert!(!obda::reform::is_consistent_by_reformulation(kb.tbox(), kb.abox()));
+    assert!(!obda::reform::is_consistent_by_reformulation(
+        kb.tbox(),
+        kb.abox()
+    ));
     let violations = kb.consistency_violations();
     assert_eq!(violations.len(), 1);
 }

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the slice of the criterion API the workspace's nine bench
+//! targets use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is simple wall-clock sampling
+//! (per-sample mean over an adaptively chosen iteration count) rather
+//! than criterion's full statistical pipeline — good enough for relative
+//! comparisons, and it keeps `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered bench function.
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    default_sample_size: usize,
+    matched: std::cell::Cell<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            default_sample_size: 20,
+            matched: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // A filter that matches nothing would otherwise look like a clean,
+        // instant run.
+        if let Some(filter) = &self.filter {
+            if self.matched.get() == 0 {
+                eprintln!("criterion stub: filter {filter:?} matched no benchmarks");
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the arguments cargo passes to a `harness = false` bench
+    /// binary (`--bench`, plus an optional positional filter). Unknown
+    /// flags are warned about and ignored — never silently folded into
+    /// the filter — so future cargo versions don't break the run.
+    pub fn configure_from_args(self) -> Self {
+        self.configure_from(std::env::args().skip(1).collect())
+    }
+
+    fn configure_from(mut self, args: Vec<String>) -> Self {
+        let mut i = 0;
+        while i < args.len() {
+            // Accept both `--flag value` and `--flag=value` forms.
+            let (flag, joined) = match args[i].split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f, Some(v.to_owned())),
+                _ => (args[i].as_str(), None),
+            };
+            // The flag's operand: the joined value, else the next token.
+            let mut take_value = |i: &mut usize| {
+                joined.clone().or_else(|| {
+                    *i += 1;
+                    args.get(*i).cloned()
+                })
+            };
+            match flag {
+                "--bench" | "--test" | "--quiet" | "--verbose" | "--exact" | "--nocapture" => {}
+                "--sample-size" => {
+                    if let Some(n) = take_value(&mut i).and_then(|v| v.parse().ok()) {
+                        self.default_sample_size = n;
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time" => {
+                    let _ = take_value(&mut i);
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip it, and treat a following
+                    // non-flag token as its operand rather than a filter.
+                    eprintln!("criterion stub: ignoring unknown flag {s}");
+                    if joined.is_none() && args.get(i + 1).is_some_and(|a| !a.starts_with('-')) {
+                        i += 1;
+                    }
+                }
+                filter => self.filter = Some(filter.to_owned()),
+            }
+            i += 1;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.matched.set(self.matched.get() + 1);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+    }
+}
+
+/// Grouped benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.group, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(id, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each `bench_function` closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call sizes the per-sample iteration
+    /// count so each sample takes roughly 10ms, then `sample_size`
+    /// samples are recorded.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<40} (no measurement)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {id:<40} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Mirror of criterion's `black_box`, for benches importing it from here.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("accumulate", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default();
+        c.filter = Some("nomatch".into());
+        c.default_sample_size = 3;
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        assert_eq!(c.matched.get(), 0);
+    }
+
+    #[test]
+    fn arg_parsing_never_mistakes_operands_for_filters() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        let c = Criterion::default().configure_from(to_args(&["--bench", "--warm-up-time", "3"]));
+        assert_eq!(c.filter, None);
+        let c = Criterion::default().configure_from(to_args(&["--sample-size=7"]));
+        assert_eq!(c.default_sample_size, 7);
+        let c = Criterion::default().configure_from(to_args(&["--unknown-flag", "3", "gdl"]));
+        assert_eq!(c.filter.as_deref(), Some("gdl"));
+        let mut c = Criterion::default().configure_from(to_args(&["--bench", "gdl"]));
+        assert_eq!(c.filter.as_deref(), Some("gdl"));
+        c.matched.set(1); // silence the drop-time no-match warning
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}
