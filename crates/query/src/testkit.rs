@@ -10,7 +10,11 @@ use obda_dllite::{ABox, Axiom, BasicConcept, Role, TBox, Vocabulary};
 
 use crate::atom::Atom;
 use crate::cq::CQ;
+use crate::fol::FolQuery;
+use crate::jucq::{JUCQ, JUSCQ};
+use crate::scq::{Slot, SCQ, USCQ};
 use crate::term::{Term, VarId};
+use crate::ucq::UCQ;
 
 /// SplitMix64: tiny, high-quality, deterministic.
 #[derive(Clone, Debug)]
@@ -182,22 +186,195 @@ pub fn random_connected_cq(
     CQ::with_var_head(head, atoms)
 }
 
-/// An atom guaranteed to use `anchor`; other positions may be fresh or
-/// anchor again.
+// ---------------------------------------------------------------------
+// Table-4 dialect generators (differential-harness inputs)
+// ---------------------------------------------------------------------
+
+/// Random connected CQ with an **exact** head arity — union arms must
+/// agree with the nominal head positionally, so the free-arity
+/// [`random_connected_cq`] doesn't fit there. Head variables may repeat
+/// (legal, and exercises the projection path).
+pub fn random_cq_with_head_arity(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    num_atoms: usize,
+    arity: usize,
+) -> CQ {
+    let base = random_connected_cq(rng, voc, num_atoms, arity.max(1));
+    let vars: Vec<VarId> = base.all_vars().into_iter().collect();
+    let head: Vec<VarId> = (0..arity).map(|_| vars[rng.below(vars.len())]).collect();
+    CQ::with_var_head(head, base.atoms().to_vec())
+}
+
+/// Random UCQ: `1..=max_arms` connected CQs sharing one head arity.
+pub fn random_ucq(rng: &mut Rng, voc: &Vocabulary, max_arms: usize, max_atoms: usize) -> UCQ {
+    let arity = 1 + rng.below(2);
+    let arms = 1 + rng.below(max_arms);
+    let cqs: Vec<CQ> = (0..arms)
+        .map(|_| {
+            let atoms = 1 + rng.below(max_atoms);
+            random_cq_with_head_arity(rng, voc, atoms, arity)
+        })
+        .collect();
+    UCQ::from_cqs(cqs[0].head().to_vec(), cqs)
+}
+
+/// Widen a CQ's singleton slots into random disjunctions (same variable
+/// set per slot, as `Slot` requires).
+fn widen_slots(rng: &mut Rng, voc: &Vocabulary, cq: &CQ) -> Vec<Slot> {
+    let mut slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
+    for slot in &mut slots {
+        while rng.chance(0.4) {
+            let variant = variant_atom(rng, voc, &slot.atoms()[0]);
+            slot.try_push(variant); // may reject duplicates — fine
+        }
+    }
+    slots
+}
+
+/// An atom over the same variable set as `proto` but a fresh predicate
+/// (and possibly flipped role positions).
+fn variant_atom(rng: &mut Rng, voc: &Vocabulary, proto: &Atom) -> Atom {
+    match proto {
+        Atom::Concept(_, t) => Atom::Concept(
+            obda_dllite::ConceptId(rng.below(voc.num_concepts()) as u32),
+            *t,
+        ),
+        Atom::Role(_, t1, t2) => {
+            let r = obda_dllite::RoleId(rng.below(voc.num_roles()) as u32);
+            if rng.chance(0.5) {
+                Atom::Role(r, *t1, *t2)
+            } else {
+                Atom::Role(r, *t2, *t1)
+            }
+        }
+    }
+}
+
+/// Random SCQ with an exact head arity: a connected CQ whose slots are
+/// widened into disjunctions.
+pub fn random_scq_with_head_arity(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    num_atoms: usize,
+    arity: usize,
+) -> SCQ {
+    let cq = random_cq_with_head_arity(rng, voc, num_atoms, arity);
+    let slots = widen_slots(rng, voc, &cq);
+    SCQ::new(cq.head().to_vec(), slots)
+}
+
+/// Random SCQ (free head arity 1–2).
+pub fn random_scq(rng: &mut Rng, voc: &Vocabulary, num_atoms: usize) -> SCQ {
+    let arity = 1 + rng.below(2);
+    random_scq_with_head_arity(rng, voc, num_atoms, arity)
+}
+
+/// Random USCQ: `1..=max_arms` SCQs sharing one head arity.
+pub fn random_uscq(rng: &mut Rng, voc: &Vocabulary, max_arms: usize, max_atoms: usize) -> USCQ {
+    let arity = 1 + rng.below(2);
+    let arms = 1 + rng.below(max_arms);
+    let scqs: Vec<SCQ> = (0..arms)
+        .map(|_| {
+            let atoms = 1 + rng.below(max_atoms);
+            random_scq_with_head_arity(rng, voc, atoms, arity)
+        })
+        .collect();
+    USCQ::new(scqs[0].head().to_vec(), scqs)
+}
+
+/// Random JUCQ: components are UCQs whose arms all contain `VarId(0)`
+/// (the generator's seed variable), joined on it.
+pub fn random_jucq(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    max_components: usize,
+    max_atoms: usize,
+) -> JUCQ {
+    let head = vec![Term::Var(VarId(0))];
+    let n = 1 + rng.below(max_components);
+    let components: Vec<UCQ> = (0..n)
+        .map(|_| {
+            let arms = 1 + rng.below(2);
+            let cqs: Vec<CQ> = (0..arms)
+                .map(|_| {
+                    let atoms = 1 + rng.below(max_atoms);
+                    let base = random_connected_cq(rng, voc, atoms, 1);
+                    // Re-head on the seed variable, present in every base.
+                    CQ::with_var_head(vec![VarId(0)], base.atoms().to_vec())
+                })
+                .collect();
+            UCQ::from_cqs(head.clone(), cqs)
+        })
+        .collect();
+    JUCQ::new(head, components)
+}
+
+/// Random JUSCQ: like [`random_jucq`] with widened (disjunctive) slots.
+pub fn random_juscq(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    max_components: usize,
+    max_atoms: usize,
+) -> JUSCQ {
+    let head = vec![Term::Var(VarId(0))];
+    let n = 1 + rng.below(max_components);
+    let components: Vec<USCQ> = (0..n)
+        .map(|_| {
+            let arms = 1 + rng.below(2);
+            let scqs: Vec<SCQ> = (0..arms)
+                .map(|_| {
+                    let atoms = 1 + rng.below(max_atoms);
+                    let base = random_connected_cq(rng, voc, atoms, 1);
+                    let cq = CQ::with_var_head(vec![VarId(0)], base.atoms().to_vec());
+                    let slots = widen_slots(rng, voc, &cq);
+                    SCQ::new(cq.head().to_vec(), slots)
+                })
+                .collect();
+            USCQ::new(head.clone(), scqs)
+        })
+        .collect();
+    JUSCQ::new(head, components)
+}
+
+/// A random query in **any** Table-4 dialect — the input shape of the
+/// executor differential harness.
+pub fn random_fol_query(rng: &mut Rng, voc: &Vocabulary, max_atoms: usize) -> FolQuery {
+    let dialect = rng.below(6);
+    let atoms = 1 + rng.below(max_atoms);
+    match dialect {
+        0 => FolQuery::Cq(random_connected_cq(rng, voc, atoms, 2)),
+        1 => FolQuery::Ucq(random_ucq(rng, voc, 3, max_atoms)),
+        2 => FolQuery::Scq(random_scq(rng, voc, atoms)),
+        3 => FolQuery::Uscq(random_uscq(rng, voc, 2, max_atoms)),
+        4 => FolQuery::Jucq(random_jucq(rng, voc, 2, max_atoms)),
+        _ => FolQuery::Juscq(random_juscq(rng, voc, 2, max_atoms)),
+    }
+}
+
+/// An atom guaranteed to use `anchor`; role atoms' other position may be
+/// a fresh variable, the anchor again, or — when the vocabulary already
+/// has individuals — a **constant** (real query loads mix constants in,
+/// and constant-keyed access paths have their own planner/executor code
+/// paths that differential tests must reach).
 fn random_atom_with(rng: &mut Rng, voc: &Vocabulary, anchor: VarId, next_var: &mut u32) -> Atom {
     if voc.num_roles() > 0 && rng.chance(0.6) {
         let r = obda_dllite::RoleId(rng.below(voc.num_roles()) as u32);
-        let other = if rng.chance(0.8) {
+        let other = if voc.num_individuals() > 0 && rng.chance(0.15) {
+            Term::Const(obda_dllite::IndividualId(
+                rng.below(voc.num_individuals()) as u32
+            ))
+        } else if rng.chance(0.8) {
             let v = VarId(*next_var);
             *next_var += 1;
-            v
+            Term::Var(v)
         } else {
-            anchor
+            Term::Var(anchor)
         };
         if rng.chance(0.5) {
-            Atom::Role(r, Term::Var(anchor), Term::Var(other))
+            Atom::Role(r, Term::Var(anchor), other)
         } else {
-            Atom::Role(r, Term::Var(other), Term::Var(anchor))
+            Atom::Role(r, other, Term::Var(anchor))
         }
     } else {
         let c = obda_dllite::ConceptId(rng.below(voc.num_concepts()) as u32);
@@ -229,6 +406,43 @@ mod tests {
                 assert_eq!(cq.num_atoms(), n, "seed {seed}");
                 assert!(cq.is_connected(), "seed {seed}: {cq:?}");
                 assert!(!cq.head().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_dialects_are_well_formed() {
+        let shape = KbShape::default();
+        for seed in 0..30u64 {
+            let mut rng = Rng::new(seed);
+            let (voc, _) = random_tbox(&mut rng, &shape);
+            for _ in 0..6 {
+                match random_fol_query(&mut rng, &voc, 3) {
+                    FolQuery::Cq(cq) => assert!(cq.num_atoms() >= 1),
+                    FolQuery::Ucq(u) => {
+                        assert!(!u.is_empty());
+                        for cq in u.cqs() {
+                            assert_eq!(cq.head().len(), u.head().len(), "seed {seed}");
+                        }
+                    }
+                    FolQuery::Scq(s) => {
+                        assert!(s.num_slots() >= 1);
+                        assert!(s.equivalent_cq_count() >= 1);
+                    }
+                    FolQuery::Uscq(u) => {
+                        assert!(!u.is_empty());
+                        for s in u.scqs() {
+                            assert_eq!(s.head().len(), u.head().len(), "seed {seed}");
+                        }
+                    }
+                    FolQuery::Jucq(j) => {
+                        assert!(j.num_components() >= 1);
+                        for c in j.components() {
+                            assert_eq!(c.head(), j.head(), "components join on the head");
+                        }
+                    }
+                    FolQuery::Juscq(j) => assert!(j.num_components() >= 1),
+                }
             }
         }
     }

@@ -16,24 +16,24 @@
 
 use std::collections::BTreeSet;
 
-use obda_query::{FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, UCQ, USCQ};
+use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, UCQ, USCQ};
 
 use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
-use crate::planner::{order_slots, slot_estimate};
+use crate::planner::{
+    plan_conjunction, scan_cost, slot_estimate, JoinStrategy, PhysicalOp, HASH_BUILD_WEIGHT,
+    HASH_PROBE_WEIGHT, INDEX_PROBE_WEIGHT, MATERIALIZE_WEIGHT,
+};
 use crate::profile::EngineProfile;
 use crate::stats::CatalogStats;
-
-/// Per-tuple cost constants (mirror [`crate::metrics::ExecMetrics`]'s
-/// work-unit weights so estimates and measurements share a unit).
-const MATERIALIZE_WEIGHT: f64 = 3.0;
-const HASH_BUILD_WEIGHT: f64 = 1.5;
-const HASH_PROBE_WEIGHT: f64 = 1.0;
 
 /// A configured cost model over one catalog.
 pub struct CostModel {
     stats: CatalogStats,
     layout: LayoutKind,
+    /// Which physical operators the priced plans may use. Must match the
+    /// executor's strategy for "explain prices the plan that runs".
+    strategy: JoinStrategy,
     /// Union arms beyond which default selectivities kick in (engine
     /// shortcut; `None` = always estimate properly).
     collapse_limit: Option<usize>,
@@ -48,6 +48,7 @@ impl CostModel {
         CostModel {
             stats,
             layout,
+            strategy: JoinStrategy::CostChosen,
             collapse_limit: profile.union_collapse_limit,
             rescan_discount: profile.rescan_discount,
             name: format!("rdbms/{}", profile.name()),
@@ -59,10 +60,18 @@ impl CostModel {
         CostModel {
             stats,
             layout,
+            strategy: JoinStrategy::CostChosen,
             collapse_limit: None,
             rescan_discount: 1.0,
             name: "ext".to_owned(),
         }
+    }
+
+    /// Price plans under an explicit operator strategy (the engine passes
+    /// its own, so forced modes explain what they run).
+    pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     pub fn model_name(&self) -> &str {
@@ -186,8 +195,10 @@ impl CostModel {
             .max(0.0)
     }
 
-    /// Cost a conjunction the way the executor runs it: greedy slot order,
-    /// per-slot access costs, multiplicative cardinality.
+    /// Cost a conjunction the way the executor runs it: the shared
+    /// [`plan_conjunction`] fixes slot order and per-step physical
+    /// operators; this prices each step, adding the model's engine quirks
+    /// (rescan discounts, degraded flat estimates).
     fn est_conjunction(
         &self,
         slots: &[Slot],
@@ -201,12 +212,18 @@ impl CostModel {
                 card: 1.0,
             };
         }
-        let order = order_slots(slots, &BTreeSet::new(), &self.stats, self.layout);
+        let plan = plan_conjunction(
+            slots,
+            &BTreeSet::new(),
+            &self.stats,
+            self.layout,
+            self.strategy,
+        );
         let mut bound: BTreeSet<VarId> = BTreeSet::new();
         let mut cost = 0.0;
         let mut card = 1.0f64;
-        for &idx in &order {
-            let slot = &slots[idx];
+        for step in &plan.steps {
+            let slot = &slots[step.slot];
             let (access, mult) = if degraded {
                 // Default-selectivity fallback: the engine shortcut.
                 // Every slot looks like a 100-row access with fan-out 1.
@@ -214,30 +231,52 @@ impl CostModel {
             } else {
                 slot_estimate(slot, &bound, &self.stats, self.layout)
             };
-            // Scans happen once per conjunction (prescan); probes happen
-            // per current row. Apply the rescan discount to scan work.
-            let is_scan_stage = bound.is_empty()
-                || slot
-                    .atoms()
-                    .iter()
-                    .all(|a| a.vars().all(|v| !bound.contains(&v)));
-            if is_scan_stage {
-                let mut scan_work = 0.0;
-                for atom in slot.atoms() {
-                    let key = match atom {
-                        obda_query::Atom::Concept(c, _) => (0u8, c.0),
-                        obda_query::Atom::Role(r, _, _) => (1u8, r.0),
-                    };
-                    let prior = scans.count(key);
-                    let factor = if prior > 0 { self.rescan_discount } else { 1.0 };
-                    scan_work += access / slot.len() as f64 * factor;
-                    scans.bump(key);
+            match step.op {
+                // The engine shortcut never reasons about operators — a
+                // degraded estimate prices every step as INL.
+                PhysicalOp::HashJoin { build_rows } if !degraded => {
+                    // Build: scan each extension once (rescan-discounted)
+                    // and insert every tuple; probe once per current row.
+                    let mut build_scan = 0.0;
+                    for atom in slot.atoms() {
+                        let (key, atom_card) = match atom {
+                            Atom::Concept(c, _) => ((0u8, c.0), self.stats.concept_card(c.0)),
+                            Atom::Role(r, _, _) => ((1u8, r.0), self.stats.role_card(r.0)),
+                        };
+                        let factor = if scans.count(key) > 0 {
+                            self.rescan_discount
+                        } else {
+                            1.0
+                        };
+                        build_scan +=
+                            scan_cost(atom_card as f64, &self.stats, self.layout) * factor;
+                        scans.bump(key);
+                    }
+                    cost += build_scan + HASH_BUILD_WEIGHT * build_rows + HASH_PROBE_WEIGHT * card;
+                    card *= mult.max(1e-9);
                 }
-                cost += scan_work;
-                card *= mult.max(1e-9);
-            } else {
-                cost += card * (2.0 * slot.len() as f64);
-                card *= mult.max(1e-9);
+                _ if step.scan_stage => {
+                    // Scans happen once per conjunction (prescan); apply
+                    // the rescan discount per table.
+                    let mut scan_work = 0.0;
+                    for atom in slot.atoms() {
+                        let key = match atom {
+                            Atom::Concept(c, _) => (0u8, c.0),
+                            Atom::Role(r, _, _) => (1u8, r.0),
+                        };
+                        let prior = scans.count(key);
+                        let factor = if prior > 0 { self.rescan_discount } else { 1.0 };
+                        scan_work += access / slot.len() as f64 * factor;
+                        scans.bump(key);
+                    }
+                    cost += scan_work;
+                    card *= mult.max(1e-9);
+                }
+                _ => {
+                    // Index-nested-loop: one probe per atom per row.
+                    cost += card * (INDEX_PROBE_WEIGHT * slot.len() as f64);
+                    card *= mult.max(1e-9);
+                }
             }
             for atom in slot.atoms() {
                 bound.extend(atom.vars());
@@ -372,6 +411,56 @@ mod tests {
         let jucq = FolQuery::Jucq(JUCQ::new(vec![v(0)], vec![comp.clone(), comp.clone()]));
         let flat = FolQuery::Ucq(comp);
         assert!(model.estimate_fol(&jucq) > model.estimate_fol(&flat));
+    }
+
+    #[test]
+    fn cost_chosen_estimate_never_exceeds_forced_inl() {
+        use obda_dllite::{ABox, Vocabulary};
+        // Chain data where a hash join pays off (cf. the planner tests):
+        // C(x) ∧ r1(x, y) ∧ r2(y, z) with |r1| = 100 × 100, |r2| = 1 000.
+        let mut voc = Vocabulary::new();
+        let c = voc.concept("C");
+        let r1 = voc.role("r1");
+        let r2 = voc.role("r2");
+        let mut abox = ABox::new();
+        let xs: Vec<_> = (0..100).map(|i| voc.individual(&format!("x{i}"))).collect();
+        let ys: Vec<_> = (0..100).map(|i| voc.individual(&format!("y{i}"))).collect();
+        for &x in &xs {
+            abox.assert_concept(c, x);
+            for &y in &ys {
+                abox.assert_role(r1, x, y);
+            }
+        }
+        for (yi, &y) in ys.iter().enumerate() {
+            for k in 0..10 {
+                let z = voc.individual(&format!("z{yi}_{k}"));
+                abox.assert_role(r2, y, z);
+            }
+        }
+        let st = CatalogStats::from_abox(&abox);
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                obda_query::Atom::Concept(c, v(0)),
+                obda_query::Atom::Role(r1, v(0), v(1)),
+                obda_query::Atom::Role(r2, v(1), v(2)),
+            ],
+        ));
+        let chosen = CostModel::ext(st.clone(), LayoutKind::Simple).estimate_fol(&q);
+        let inl = CostModel::ext(st.clone(), LayoutKind::Simple)
+            .with_strategy(JoinStrategy::ForcedInl)
+            .estimate_fol(&q);
+        let hash = CostModel::ext(st, LayoutKind::Simple)
+            .with_strategy(JoinStrategy::ForcedHash)
+            .estimate_fol(&q);
+        assert!(chosen <= inl, "chosen {chosen} vs inl {inl}");
+        assert!(chosen <= hash, "chosen {chosen} vs hash {hash}");
+        // Cost-chosen must strictly beat BOTH pure modes here: the r1
+        // expansion favours INL (200 work units vs hashing 10 000 build
+        // tuples), the r2 expansion favours hash (≈ 12 500 vs 20 000
+        // per-row probes) — only a per-step mix wins overall.
+        assert!(chosen < inl, "mix must strictly beat pure INL");
+        assert!(chosen < hash, "mix must strictly beat pure hash");
     }
 
     #[test]

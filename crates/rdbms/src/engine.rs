@@ -12,14 +12,19 @@ use std::time::Instant;
 use obda_dllite::{ABox, Vocabulary};
 use obda_query::FolQuery;
 
+use std::collections::BTreeSet;
+
+use obda_query::{Slot, CQ};
+
 use crate::cost_model::CostModel;
-use crate::executor::{execute, Row};
+use crate::executor::{execute_with, Row};
 use crate::layout::dph::DphStorage;
 use crate::layout::simple::SimpleStorage;
 use crate::layout::triple::TripleStorage;
 use crate::layout::{LayoutKind, Storage};
 use crate::meter::Meter;
 use crate::metrics::ExecMetrics;
+use crate::planner::{plan_conjunction, ConjunctionPlan, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sql::{SqlGenerator, SqlNames};
 use crate::stats::CatalogStats;
@@ -50,6 +55,10 @@ impl std::error::Error for EngineError {}
 pub struct QueryOutcome {
     pub rows: Vec<Row>,
     pub metrics: ExecMetrics,
+    /// Per-union-arm metric deltas (empty for non-union shapes). For a
+    /// top-level UCQ/USCQ these sum to `metrics` on every work counter —
+    /// the invariant the differential testkit asserts.
+    pub arm_metrics: Vec<ExecMetrics>,
     /// Length of the SQL translation shipped to the engine.
     pub sql_bytes: usize,
     /// Simulated execution time under the engine profile (work units ×
@@ -61,11 +70,13 @@ pub struct QueryOutcome {
 pub struct Engine {
     storage: Box<dyn Storage>,
     profile: EngineProfile,
+    join_strategy: JoinStrategy,
     sql: SqlGenerator,
 }
 
 impl Engine {
-    /// Load an ABox under the given layout and profile.
+    /// Load an ABox under the given layout and profile. Physical operator
+    /// choice defaults to [`JoinStrategy::CostChosen`].
     pub fn load(abox: &ABox, voc: &Vocabulary, layout: LayoutKind, profile: EngineProfile) -> Self {
         let storage: Box<dyn Storage> = match layout {
             LayoutKind::Simple => Box::new(SimpleStorage::load(abox)),
@@ -76,8 +87,20 @@ impl Engine {
         Engine {
             storage,
             profile,
+            join_strategy: JoinStrategy::CostChosen,
             sql,
         }
+    }
+
+    /// Pin the physical operator strategy (forced modes drive the
+    /// differential harness and the benchmarks).
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
+        self
+    }
+
+    pub fn join_strategy(&self) -> JoinStrategy {
+        self.join_strategy
     }
 
     pub fn layout(&self) -> LayoutKind {
@@ -98,8 +121,19 @@ impl Engine {
     }
 
     /// Evaluate a FOL query end to end: SQL translation (with the
-    /// statement-size check), execution, metering.
+    /// statement-size check), execution, metering — under the engine's
+    /// configured join strategy.
     pub fn evaluate(&self, q: &FolQuery) -> Result<QueryOutcome, EngineError> {
+        self.evaluate_with(q, self.join_strategy)
+    }
+
+    /// Evaluate under an explicit [`JoinStrategy`], regardless of the
+    /// engine's configured one.
+    pub fn evaluate_with(
+        &self,
+        q: &FolQuery,
+        strategy: JoinStrategy,
+    ) -> Result<QueryOutcome, EngineError> {
         let sql = self.sql.generate(q);
         if let Some(limit) = self.profile.max_statement_bytes {
             if sql.len() > limit {
@@ -111,13 +145,14 @@ impl Engine {
         }
         let start = Instant::now();
         let mut meter = Meter::new(&self.profile);
-        let rows = execute(self.storage.as_ref(), q, &mut meter);
+        let rows = execute_with(self.storage.as_ref(), q, &mut meter, strategy);
         let mut metrics = meter.metrics;
         metrics.wall = start.elapsed();
         let simulated = metrics.simulated(&self.profile);
         Ok(QueryOutcome {
             rows,
             metrics,
+            arm_metrics: meter.arm_metrics,
             sql_bytes: sql.len(),
             simulated,
         })
@@ -134,18 +169,122 @@ impl Engine {
         self.rdbms_cost_model().estimate_fol(q)
     }
 
-    /// The engine-side cost model (profile quirks included).
+    /// The structured explain: per conjunction (CQ, SCQ, union arm, JUCQ
+    /// component arm), the slot order and the physical operator chosen
+    /// for each step, with per-step cost and row estimates — the same
+    /// [`plan_conjunction`] the executor will follow, so the printed plan
+    /// is the plan that runs.
+    pub fn explain_plan(&self, q: &FolQuery) -> ExplainPlan {
+        let mut arms = Vec::new();
+        let mut add_cq = |label: String, cq: &CQ| {
+            let slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
+            arms.push(self.arm_plan(label, &slots));
+        };
+        match q {
+            FolQuery::Cq(cq) => add_cq("cq".into(), cq),
+            FolQuery::Ucq(ucq) => {
+                for (i, cq) in ucq.cqs().iter().enumerate() {
+                    add_cq(format!("arm{i}"), cq);
+                }
+            }
+            FolQuery::Scq(scq) => arms.push(self.arm_plan("scq".into(), scq.slots())),
+            FolQuery::Uscq(uscq) => {
+                for (i, scq) in uscq.scqs().iter().enumerate() {
+                    arms.push(self.arm_plan(format!("arm{i}"), scq.slots()));
+                }
+            }
+            FolQuery::Jucq(jucq) => {
+                for (ci, comp) in jucq.components().iter().enumerate() {
+                    for (i, cq) in comp.cqs().iter().enumerate() {
+                        add_cq(format!("c{ci}.arm{i}"), cq);
+                    }
+                }
+            }
+            FolQuery::Juscq(juscq) => {
+                for (ci, comp) in juscq.components().iter().enumerate() {
+                    for (i, scq) in comp.scqs().iter().enumerate() {
+                        arms.push(self.arm_plan(format!("c{ci}.arm{i}"), scq.slots()));
+                    }
+                }
+            }
+        }
+        ExplainPlan {
+            strategy: self.join_strategy,
+            total_cost: self.explain(q),
+            arms,
+        }
+    }
+
+    fn arm_plan(&self, label: String, slots: &[Slot]) -> ArmPlan {
+        let plan = plan_conjunction(
+            slots,
+            &BTreeSet::new(),
+            self.storage.stats(),
+            self.storage.layout(),
+            self.join_strategy,
+        );
+        ArmPlan { label, plan }
+    }
+
+    /// The engine-side cost model (profile quirks included), pricing
+    /// under the engine's join strategy.
     pub fn rdbms_cost_model(&self) -> CostModel {
         CostModel::rdbms(
             self.storage.stats().clone(),
             self.storage.layout(),
             &self.profile,
         )
+        .with_strategy(self.join_strategy)
     }
 
     /// The external (paper-side) cost model over this engine's statistics.
     pub fn ext_cost_model(&self) -> CostModel {
         CostModel::ext(self.storage.stats().clone(), self.storage.layout())
+            .with_strategy(self.join_strategy)
+    }
+}
+
+/// One conjunction's plan inside an [`ExplainPlan`].
+#[derive(Debug, Clone)]
+pub struct ArmPlan {
+    pub label: String,
+    pub plan: ConjunctionPlan,
+}
+
+/// Structured explain output: the operator-annotated plan of every
+/// conjunction in the statement.
+#[derive(Debug, Clone)]
+pub struct ExplainPlan {
+    pub strategy: JoinStrategy,
+    /// The scalar `explain` estimate for the whole statement (profile
+    /// quirks included) — what cost-driven search compares.
+    pub total_cost: f64,
+    pub arms: Vec<ArmPlan>,
+}
+
+impl fmt::Display for ExplainPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "strategy={} cost={:.1}",
+            self.strategy.name(),
+            self.total_cost
+        )?;
+        for arm in &self.arms {
+            write!(f, "{}:", arm.label)?;
+            for step in &arm.plan.steps {
+                write!(
+                    f,
+                    " [slot{} {} cost={:.1} rows={:.1}]",
+                    step.slot,
+                    step.op.name(),
+                    step.est_cost,
+                    step.est_rows
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
@@ -239,6 +378,74 @@ mod tests {
         ));
         let cost = e.explain(&q);
         assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn evaluate_with_agrees_across_strategies_and_explain_shows_ops() {
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+                Atom::Concept(ConceptId(1), v(1)),
+            ],
+        ));
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let mut base: Option<Vec<crate::executor::Row>> = None;
+        for strategy in [
+            JoinStrategy::ForcedInl,
+            JoinStrategy::ForcedHash,
+            JoinStrategy::CostChosen,
+        ] {
+            let mut rows = e.evaluate_with(&q, strategy).unwrap().rows;
+            rows.sort();
+            match &base {
+                None => base = Some(rows),
+                Some(b) => assert_eq!(b, &rows, "{strategy:?}"),
+            }
+        }
+        // Explain output names the strategy and one operator per step.
+        let (voc, abox) = small_abox();
+        let forced = Engine::load(&abox, &voc, LayoutKind::Simple, EngineProfile::pg_like())
+            .with_join_strategy(JoinStrategy::ForcedHash);
+        let plan = forced.explain_plan(&q);
+        assert_eq!(plan.strategy, JoinStrategy::ForcedHash);
+        assert_eq!(plan.arms.len(), 1);
+        assert_eq!(plan.arms[0].plan.steps.len(), 3);
+        let text = plan.to_string();
+        assert!(text.contains("strategy=forced-hash"), "{text}");
+        assert!(text.contains("hash"), "{text}");
+        // The scalar explain prices the same strategy the engine runs.
+        assert!(forced.explain(&q).is_finite());
+    }
+
+    #[test]
+    fn explain_plan_covers_union_arms() {
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            (0..3).map(|i| {
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(i), v(0))])
+            }),
+        );
+        let plan = e.explain_plan(&FolQuery::Ucq(u));
+        assert_eq!(plan.arms.len(), 3);
+        assert!(plan.arms.iter().all(|a| a.plan.steps.len() == 1));
+    }
+
+    #[test]
+    fn outcome_reports_arm_metrics_for_unions() {
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            (0..2).map(|i| {
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(i), v(0))])
+            }),
+        );
+        let out = e.evaluate(&FolQuery::Ucq(u)).unwrap();
+        assert_eq!(out.arm_metrics.len(), 2);
+        let scanned: f64 = out.arm_metrics.iter().map(|m| m.scanned).sum();
+        assert_eq!(scanned, out.metrics.scanned);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! Execution strategy mirrors what the paper's SQL translations make the
 //! RDBMS do:
 //!
-//! * each CQ (or SCQ) runs as a left-deep pipeline of index-nested-loop
-//!   steps, ordered by the greedy planner;
+//! * each CQ (or SCQ) runs as a left-deep pipeline whose steps are either
+//!   **index-nested-loop** probes or **hash joins** (build the slot's
+//!   extension once, probe per intermediate row), as chosen per step by
+//!   the planner's [`JoinStrategy`];
 //! * each UCQ/USCQ arm runs **independently** — no common-subexpression
 //!   sharing across union terms (§2.3: no major engine does MQO/CSE); the
 //!   only cross-arm effect is the profile's repeated-scan discount;
@@ -19,7 +21,7 @@ use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, USCQ};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::layout::Storage;
 use crate::meter::Meter;
-use crate::planner::order_slots;
+use crate::planner::{plan_conjunction, JoinStrategy, PhysicalOp};
 
 /// A result tuple of dictionary-encoded values.
 pub type Row = Vec<u32>;
@@ -31,68 +33,145 @@ pub struct Relation {
     pub rows: Vec<Row>,
 }
 
-/// Evaluate any FOL query, returning the deduplicated result rows (one per
-/// head tuple).
+/// Evaluate any FOL query under the default cost-chosen operator mix,
+/// returning the deduplicated result rows (one per head tuple).
 pub fn execute(storage: &dyn Storage, q: &FolQuery, meter: &mut Meter) -> Vec<Row> {
+    execute_with(storage, q, meter, JoinStrategy::CostChosen)
+}
+
+/// Evaluate any FOL query under an explicit [`JoinStrategy`] (forced
+/// modes exist for the differential test harness and benchmarks).
+pub fn execute_with(
+    storage: &dyn Storage,
+    q: &FolQuery,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> Vec<Row> {
     let set = match q {
-        FolQuery::Cq(cq) => eval_cq_set(storage, cq, meter),
-        FolQuery::Ucq(ucq) => eval_ucq_set(storage, ucq, meter),
-        FolQuery::Scq(scq) => eval_scq_set(storage, scq, meter),
-        FolQuery::Uscq(uscq) => eval_uscq_set(storage, uscq, meter),
-        FolQuery::Jucq(jucq) => eval_jucq_set(storage, jucq, meter),
-        FolQuery::Juscq(juscq) => eval_juscq_set(storage, juscq, meter),
+        FolQuery::Cq(cq) => eval_cq_set(storage, cq, meter, strategy),
+        FolQuery::Ucq(ucq) => eval_ucq_set(storage, ucq, meter, strategy),
+        FolQuery::Scq(scq) => eval_scq_set(storage, scq, meter, strategy),
+        FolQuery::Uscq(uscq) => eval_uscq_set(storage, uscq, meter, strategy),
+        FolQuery::Jucq(jucq) => eval_jucq_set(storage, jucq, meter, strategy),
+        FolQuery::Juscq(juscq) => eval_juscq_set(storage, juscq, meter, strategy),
     };
     meter.metrics.output = set.len() as u64;
     set.into_iter().collect()
 }
 
-fn eval_cq_set(storage: &dyn Storage, cq: &CQ, meter: &mut Meter) -> FxHashSet<Row> {
+fn eval_cq_set(
+    storage: &dyn Storage,
+    cq: &CQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
     let slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
-    eval_conjunction(storage, &slots, cq.head(), meter)
+    eval_conjunction(storage, &slots, cq.head(), meter, strategy)
 }
 
-fn eval_ucq_set(storage: &dyn Storage, ucq: &obda_query::UCQ, meter: &mut Meter) -> FxHashSet<Row> {
+fn eval_ucq_set(
+    storage: &dyn Storage,
+    ucq: &obda_query::UCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
+    eval_ucq_set_inner(storage, ucq, meter, strategy, true)
+}
+
+/// `track_arms` is false when the union is a JUCQ component: arm metrics
+/// are a top-level-union contract (their deltas sum to the statement
+/// totals), and component work interleaves with materialize/join work
+/// that belongs to no arm.
+fn eval_ucq_set_inner(
+    storage: &dyn Storage,
+    ucq: &obda_query::UCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+    track_arms: bool,
+) -> FxHashSet<Row> {
     let mut out = FxHashSet::default();
     for cq in ucq.cqs() {
-        let rows = eval_cq_set(storage, cq, meter);
+        if track_arms {
+            meter.begin_arm();
+        }
+        let rows = eval_cq_set(storage, cq, meter, strategy);
         meter.on_hash_build(rows.len() as u64);
+        if track_arms {
+            meter.end_arm(rows.len() as u64);
+        }
         out.extend(rows);
     }
     out
 }
 
-fn eval_scq_set(storage: &dyn Storage, scq: &SCQ, meter: &mut Meter) -> FxHashSet<Row> {
-    eval_conjunction(storage, scq.slots(), scq.head(), meter)
+fn eval_scq_set(
+    storage: &dyn Storage,
+    scq: &SCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
+    eval_conjunction(storage, scq.slots(), scq.head(), meter, strategy)
 }
 
-fn eval_uscq_set(storage: &dyn Storage, uscq: &USCQ, meter: &mut Meter) -> FxHashSet<Row> {
+fn eval_uscq_set(
+    storage: &dyn Storage,
+    uscq: &USCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
+    eval_uscq_set_inner(storage, uscq, meter, strategy, true)
+}
+
+fn eval_uscq_set_inner(
+    storage: &dyn Storage,
+    uscq: &USCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+    track_arms: bool,
+) -> FxHashSet<Row> {
     let mut out = FxHashSet::default();
     for scq in uscq.scqs() {
-        let rows = eval_scq_set(storage, scq, meter);
+        if track_arms {
+            meter.begin_arm();
+        }
+        let rows = eval_scq_set(storage, scq, meter, strategy);
         meter.on_hash_build(rows.len() as u64);
+        if track_arms {
+            meter.end_arm(rows.len() as u64);
+        }
         out.extend(rows);
     }
     out
 }
 
-fn eval_jucq_set(storage: &dyn Storage, jucq: &JUCQ, meter: &mut Meter) -> FxHashSet<Row> {
+fn eval_jucq_set(
+    storage: &dyn Storage,
+    jucq: &JUCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
     let relations: Vec<Relation> = jucq
         .components()
         .iter()
         .map(|c| {
-            let set = eval_ucq_set(storage, c, meter);
+            let set = eval_ucq_set_inner(storage, c, meter, strategy, false);
             materialize(c.head(), set, meter)
         })
         .collect();
     join_relations(relations, jucq.head(), meter)
 }
 
-fn eval_juscq_set(storage: &dyn Storage, juscq: &JUSCQ, meter: &mut Meter) -> FxHashSet<Row> {
+fn eval_juscq_set(
+    storage: &dyn Storage,
+    juscq: &JUSCQ,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+) -> FxHashSet<Row> {
     let relations: Vec<Relation> = juscq
         .components()
         .iter()
         .map(|c| {
-            let set = eval_uscq_set(storage, c, meter);
+            let set = eval_uscq_set_inner(storage, c, meter, strategy, false);
             materialize(c.head(), set, meter)
         })
         .collect();
@@ -113,12 +192,14 @@ fn materialize(head: &[Term], set: FxHashSet<Row>, meter: &mut Meter) -> Relatio
 // conjunction pipeline
 // ---------------------------------------------------------------------
 
-/// Evaluate a conjunction of disjunctive slots, projecting `head`.
+/// Evaluate a conjunction of disjunctive slots, projecting `head`. Each
+/// step runs the physical operator the planner chose under `strategy`.
 fn eval_conjunction(
     storage: &dyn Storage,
     slots: &[Slot],
     head: &[Term],
     meter: &mut Meter,
+    strategy: JoinStrategy,
 ) -> FxHashSet<Row> {
     if slots.is_empty() {
         // Empty body: true, the empty tuple (constants in head allowed).
@@ -131,18 +212,25 @@ fn eval_conjunction(
             .collect();
         let mut out = FxHashSet::default();
         if let Some(r) = row {
+            meter.on_hash_build(1);
             out.insert(r);
         }
         return out;
     }
 
-    let order = order_slots(slots, &BTreeSet::new(), storage.stats(), storage.layout());
+    let plan = plan_conjunction(
+        slots,
+        &BTreeSet::new(),
+        storage.stats(),
+        storage.layout(),
+        strategy,
+    );
 
     // Bound-variable layout grows as slots execute.
     let mut var_pos: FxHashMap<VarId, usize> = FxHashMap::default();
     let mut rows: Vec<Row> = vec![Vec::new()];
-    for &slot_idx in &order {
-        let slot = &slots[slot_idx];
+    for step in &plan.steps {
+        let slot = &slots[step.slot];
         // Canonical order in which this slot's new variables are appended
         // to rows. Slot atoms share one variable *set* but may list it in
         // different positional orders (e.g. r(x,y) ∨ r2(y,x)), so
@@ -153,27 +241,14 @@ fn eval_conjunction(
                 new_var_order.push(v);
             }
         }
-        // Pre-scan unbound atoms once (shared across current rows).
-        let prescans: Vec<Option<Prescan>> = slot
-            .atoms()
-            .iter()
-            .map(|a| prescan_if_unbound(storage, a, &var_pos, meter))
-            .collect();
-        let mut next: Vec<Row> = Vec::new();
-        for row in &rows {
-            for (atom, prescan) in slot.atoms().iter().zip(&prescans) {
-                extend_row(
-                    storage,
-                    atom,
-                    prescan.as_ref(),
-                    row,
-                    &var_pos,
-                    &new_var_order,
-                    meter,
-                    &mut next,
-                );
+        let next = match step.op {
+            PhysicalOp::HashJoin { .. } => {
+                hash_join_step(storage, slot, &rows, &var_pos, &new_var_order, meter)
             }
-        }
+            PhysicalOp::IndexNestedLoop(_) => {
+                inl_step(storage, slot, &rows, &var_pos, &new_var_order, meter)
+            }
+        };
         for v in new_var_order {
             let len = var_pos.len();
             var_pos.insert(v, len);
@@ -201,6 +276,118 @@ fn eval_conjunction(
         out.insert(tuple);
     }
     out
+}
+
+/// One index-nested-loop step: per current row, probe/extend through each
+/// atom of the slot (unbound atoms share one prescan).
+fn inl_step(
+    storage: &dyn Storage,
+    slot: &Slot,
+    rows: &[Row],
+    var_pos: &FxHashMap<VarId, usize>,
+    new_var_order: &[VarId],
+    meter: &mut Meter,
+) -> Vec<Row> {
+    // Pre-scan unbound atoms once (shared across current rows).
+    let prescans: Vec<Option<Prescan>> = slot
+        .atoms()
+        .iter()
+        .map(|a| prescan_if_unbound(storage, a, var_pos, meter))
+        .collect();
+    let mut next: Vec<Row> = Vec::new();
+    for row in rows {
+        for (atom, prescan) in slot.atoms().iter().zip(&prescans) {
+            extend_row(
+                storage,
+                atom,
+                prescan.as_ref(),
+                row,
+                var_pos,
+                new_var_order,
+                meter,
+                &mut next,
+            );
+        }
+    }
+    next
+}
+
+/// The build side of one hash-join step. A slot has at most two
+/// variables, so keys pack into one `u64` and at most one variable is
+/// newly bound — both cases stay allocation-free per tuple (hash joins
+/// must beat INL in wall time where the cost model says they do, not
+/// just in work units).
+/// One hash-join step: scan each atom's extension once into a hash table
+/// keyed on the already-bound slot variable, then probe every current
+/// row. Equivalent to [`inl_step`] up to intermediate-row order (the
+/// final result is a set, so order never shows).
+///
+/// The planner only emits hash joins for keyed *expansion* steps (≥ 1
+/// bound variable AND ≥ 1 new variable — see `plan_conjunction`).
+/// Because slot atoms share one variable set and an atom has at most
+/// two positions, every hash-eligible slot consists of exactly
+/// two-distinct-variable role atoms: one bound key variable, one new
+/// variable, no constants. The build therefore inserts `u32 → u32`
+/// straight from the scan callbacks, allocation-free per tuple — hash
+/// joins must beat INL in wall time where the cost model says they do,
+/// not just in work units.
+fn hash_join_step(
+    storage: &dyn Storage,
+    slot: &Slot,
+    rows: &[Row],
+    var_pos: &FxHashMap<VarId, usize>,
+    new_var_order: &[VarId],
+    meter: &mut Meter,
+) -> Vec<Row> {
+    let key_vars: Vec<VarId> = slot
+        .vars()
+        .into_iter()
+        .filter(|v| var_pos.contains_key(v))
+        .collect();
+    assert_eq!(key_vars.len(), 1, "hash join keys on one bound variable");
+    assert_eq!(
+        new_var_order.len(),
+        1,
+        "hash join steps bind exactly one new variable"
+    );
+    let key_var = key_vars[0];
+
+    // Build side: key value → new-variable values, straight from the
+    // scan callbacks. Atoms may list the shared variable set in either
+    // positional order (r(x, y) ∨ r2(y, x)); both feed one table.
+    let mut table: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut inserted: u64 = 0;
+    for atom in slot.atoms() {
+        let Atom::Role(r, Term::Var(v1), Term::Var(v2)) = atom else {
+            unreachable!("hash-eligible slots contain only two-variable role atoms")
+        };
+        let key_on_subject = *v1 == key_var;
+        debug_assert!(
+            key_on_subject || *v2 == key_var,
+            "slot atom must use the key variable"
+        );
+        storage.for_each_role(*r, meter, &mut |s, o| {
+            let (key, val) = if key_on_subject { (s, o) } else { (o, s) };
+            inserted += 1;
+            table.entry(key).or_default().push(val);
+        });
+    }
+    meter.on_join_build(inserted);
+
+    // Probe side: one lookup per current row.
+    let key_pos = var_pos[&key_var];
+    let mut next: Vec<Row> = Vec::new();
+    for row in rows {
+        meter.on_join_probe(1);
+        if let Some(vals) = table.get(&row[key_pos]) {
+            for &val in vals {
+                let mut rr = row.clone();
+                rr.push(val);
+                next.push(rr);
+            }
+        }
+    }
+    next
 }
 
 /// A materialized scan of an atom whose variables are all unbound.
@@ -411,11 +598,15 @@ mod tests {
     }
 
     fn run(q: FolQuery) -> Vec<Row> {
+        run_with(q, JoinStrategy::CostChosen)
+    }
+
+    fn run_with(q: FolQuery, strategy: JoinStrategy) -> Vec<Row> {
         let (_, abox) = small_abox();
         let storage = SimpleStorage::load(&abox);
         let profile = EngineProfile::pg_like();
         let mut meter = Meter::new(&profile);
-        let mut rows = execute(&storage, &q, &mut meter);
+        let mut rows = execute_with(&storage, &q, &mut meter, strategy);
         rows.sort();
         rows
     }
@@ -517,6 +708,122 @@ mod tests {
         ]);
         let scq = SCQ::new(vec![v(0)], vec![slot]);
         assert_eq!(run(FolQuery::Scq(scq)), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    /// Every fixture query answers identically under forced-INL,
+    /// forced-hash, and cost-chosen execution (the per-crate smoke
+    /// version of the workspace differential harness).
+    #[test]
+    fn physical_strategies_agree_on_fixture_queries() {
+        use obda_query::{Slot, SCQ};
+        let queries: Vec<FolQuery> = vec![
+            FolQuery::Cq(CQ::with_var_head(
+                vec![VarId(0), VarId(2)],
+                vec![
+                    Atom::Role(RoleId(0), v(0), v(1)),
+                    Atom::Role(RoleId(1), v(1), v(2)),
+                ],
+            )),
+            FolQuery::Cq(CQ::with_var_head(
+                vec![VarId(0)],
+                vec![
+                    Atom::Concept(ConceptId(0), v(0)),
+                    Atom::Role(RoleId(0), v(0), v(1)),
+                ],
+            )),
+            FolQuery::Cq(CQ::with_var_head(
+                vec![VarId(0)],
+                vec![Atom::Role(RoleId(0), v(0), v(0))],
+            )),
+            FolQuery::Ucq(UCQ::from_cqs(
+                vec![v(0)],
+                [
+                    CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]),
+                    CQ::with_var_head(
+                        vec![VarId(0)],
+                        vec![
+                            Atom::Role(RoleId(0), v(0), v(1)),
+                            Atom::Concept(ConceptId(1), v(1)),
+                        ],
+                    ),
+                ],
+            )),
+            FolQuery::Scq(SCQ::new(
+                vec![v(0)],
+                vec![
+                    Slot::new(vec![
+                        Atom::Role(RoleId(0), v(0), v(1)),
+                        Atom::Role(RoleId(1), v(1), v(0)),
+                    ]),
+                    Slot::single(Atom::Concept(ConceptId(0), v(0))),
+                ],
+            )),
+            // Constant-keyed atoms: a constant makes a slot non-scan-stage
+            // while giving a hash table nothing to key on — these must
+            // plan (and run) as INL under every strategy, never panic
+            // (regression: forced-hash used to hit unreachable!()).
+            FolQuery::Cq(CQ::new(
+                vec![v(1)],
+                vec![Atom::Role(
+                    RoleId(0),
+                    Term::Const(obda_dllite::IndividualId(0)),
+                    v(1),
+                )],
+            )),
+            FolQuery::Cq(CQ::new(
+                vec![v(0)],
+                vec![
+                    Atom::Concept(ConceptId(0), v(0)),
+                    Atom::Role(RoleId(0), v(0), Term::Const(obda_dllite::IndividualId(2))),
+                ],
+            )),
+        ];
+        for q in queries {
+            let inl = run_with(q.clone(), JoinStrategy::ForcedInl);
+            let hash = run_with(q.clone(), JoinStrategy::ForcedHash);
+            let chosen = run_with(q.clone(), JoinStrategy::CostChosen);
+            assert_eq!(inl, hash, "INL vs hash on {q:?}");
+            assert_eq!(inl, chosen, "INL vs cost-chosen on {q:?}");
+        }
+    }
+
+    /// Forced-hash execution records join_build/join_probe work, and the
+    /// per-arm deltas of a UCQ sum to the statement totals.
+    #[test]
+    fn hash_execution_is_metered_per_arm() {
+        let (_, abox) = small_abox();
+        let storage = SimpleStorage::load(&abox);
+        let profile = EngineProfile::pg_like();
+        let q = FolQuery::Ucq(UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(
+                    vec![VarId(0)],
+                    vec![
+                        Atom::Concept(ConceptId(0), v(0)),
+                        Atom::Role(RoleId(0), v(0), v(1)),
+                    ],
+                ),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(1), v(0))]),
+            ],
+        ));
+        let mut meter = Meter::new(&profile);
+        execute_with(&storage, &q, &mut meter, JoinStrategy::ForcedHash);
+        assert!(
+            meter.metrics.join_build > 0 && meter.metrics.join_probe > 0,
+            "hash ops metered: {:?}",
+            meter.metrics
+        );
+        assert_eq!(meter.arm_metrics.len(), 2);
+        let mut sum = crate::metrics::ExecMetrics::default();
+        for a in &meter.arm_metrics {
+            sum.merge(a);
+        }
+        assert_eq!(sum.scanned, meter.metrics.scanned);
+        assert_eq!(sum.index_probes, meter.metrics.index_probes);
+        assert_eq!(sum.hash_build, meter.metrics.hash_build);
+        assert_eq!(sum.join_build, meter.metrics.join_build);
+        assert_eq!(sum.join_probe, meter.metrics.join_probe);
     }
 
     /// Cross-validation: the engine agrees with the reference evaluator on

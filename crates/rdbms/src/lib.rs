@@ -7,9 +7,20 @@
 //! * three storage layouts over dictionary-encoded facts — per-predicate
 //!   tables (*simple*), a clustered triple table, and the DB2RDF-like
 //!   DPH/RPH entity layout \[9\] (`layout`);
-//! * a greedy index-nested-loop planner and a metered executor for every
-//!   Table-4 dialect, with no cross-union-arm sharing (the §2.3 RDBMS
-//!   behaviour) (`planner`, `executor`);
+//! * a greedy planner with **two physical join operators** — per-row
+//!   index-nested-loop probes and build/probe **hash joins** (the slot's
+//!   extension is scanned once into a hash table keyed on the bound
+//!   variables, then probed per intermediate row). The planner fixes one
+//!   slot order for all strategies and picks the operator per step:
+//!   [`planner::JoinStrategy::CostChosen`] (the default) takes whichever
+//!   the cost model prices cheaper — INL wins when few selective rows
+//!   probe a large table, hash wins when a wide intermediate result would
+//!   re-probe the same extension thousands of times; the forced modes
+//!   exist for the differential harness and benchmarks (`planner`);
+//! * a metered executor for every Table-4 dialect running exactly the
+//!   planned operators, with no cross-union-arm sharing (the §2.3 RDBMS
+//!   behaviour) and per-union-arm metric attribution (`executor`,
+//!   `meter`, `metrics`);
 //! * SQL text generation, including the `WITH … AS` JUCQ form of §3 and
 //!   the DPH candidate-column blowup behind the Figure-3 statement-size
 //!   failures (`sql`);
@@ -17,8 +28,14 @@
 //!   statement-size limits, optimizer collapse shortcuts, repeated-scan
 //!   discounts (`profile`);
 //! * the two cost estimators of §6.1 — the engine's `explain` and the
-//!   external textbook model — as [`obda_core::CostEstimator`]s
-//!   (`cost_model`, `estimators`).
+//!   external textbook model — as [`obda_core::CostEstimator`]s. Both
+//!   price the *same* operator-annotated plan the executor runs
+//!   ([`planner::plan_conjunction`]), so `explain` and execution cannot
+//!   drift (`cost_model`, `estimators`);
+//! * the **differential harness** proving all of the above equivalent:
+//!   every query runs under forced-INL, forced-hash, and cost-chosen
+//!   modes across all three layouts against the reference evaluator
+//!   (`testkit`).
 
 pub mod cost_model;
 pub mod engine;
@@ -32,14 +49,16 @@ pub mod planner;
 pub mod profile;
 pub mod sql;
 pub mod stats;
+pub mod testkit;
 
 pub use cost_model::CostModel;
-pub use engine::{Engine, EngineError, QueryOutcome};
+pub use engine::{ArmPlan, Engine, EngineError, ExplainPlan, QueryOutcome};
 pub use estimators::ExplainEstimator;
-pub use executor::{execute, Relation, Row};
+pub use executor::{execute, execute_with, Relation, Row};
 pub use layout::{LayoutKind, Storage};
 pub use meter::Meter;
 pub use metrics::ExecMetrics;
+pub use planner::{ConjunctionPlan, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
 pub use sql::{SqlGenerator, SqlNames};
-pub use stats::CatalogStats;
+pub use stats::{CatalogStats, KeySide};

@@ -26,16 +26,24 @@ pub fn tk_role(r: u32) -> TableKey {
 /// Statement-scoped meter.
 pub struct Meter<'p> {
     pub metrics: ExecMetrics,
+    /// Per-union-arm metric deltas (one entry per UCQ/USCQ arm executed).
+    /// Invariant, asserted by the differential testkit: the arm deltas of
+    /// a top-level union sum to the statement totals, because every
+    /// metered operation of a union evaluation happens inside an arm.
+    pub arm_metrics: Vec<ExecMetrics>,
     profile: &'p EngineProfile,
     scan_counts: FxHashMap<TableKey, u32>,
+    arm_start: Option<ExecMetrics>,
 }
 
 impl<'p> Meter<'p> {
     pub fn new(profile: &'p EngineProfile) -> Self {
         Meter {
             metrics: ExecMetrics::default(),
+            arm_metrics: Vec::new(),
             profile,
             scan_counts: FxHashMap::default(),
+            arm_start: None,
         }
     }
 
@@ -61,8 +69,40 @@ impl<'p> Meter<'p> {
         self.metrics.hash_probe += probes;
     }
 
+    /// Record `tuples` insertions into a conjunction hash-join build side.
+    pub fn on_join_build(&mut self, tuples: u64) {
+        self.metrics.join_build += tuples;
+    }
+
+    /// Record `probes` lookups into a conjunction hash-join table.
+    pub fn on_join_probe(&mut self, probes: u64) {
+        self.metrics.join_probe += probes;
+    }
+
     pub fn on_materialize(&mut self, tuples: u64) {
         self.metrics.materialized += tuples;
+    }
+
+    /// Open a union-arm scope: metrics recorded until [`Meter::end_arm`]
+    /// are attributed to this arm. Top-level unions only — the executor
+    /// does not open scopes for JUCQ/JUSCQ component arms, whose work
+    /// interleaves with materialize/join work that belongs to no arm. If
+    /// a scope is already open, nested calls are no-ops (the outer scope
+    /// keeps the work).
+    pub fn begin_arm(&mut self) {
+        if self.arm_start.is_none() {
+            self.arm_start = Some(self.metrics);
+        }
+    }
+
+    /// Close the current arm scope, recording its delta; `rows` is the
+    /// arm's own (pre-union-dedup) result size.
+    pub fn end_arm(&mut self, rows: u64) {
+        if let Some(start) = self.arm_start.take() {
+            let mut delta = self.metrics.delta_since(&start);
+            delta.output = rows;
+            self.arm_metrics.push(delta);
+        }
     }
 
     pub fn profile(&self) -> &EngineProfile {
@@ -91,6 +131,47 @@ mod tests {
         // First two full cost, third discounted.
         assert!(m.metrics.scanned < 300.0);
         assert!(m.metrics.scanned >= 200.0);
+    }
+
+    #[test]
+    fn arm_scopes_capture_deltas_that_sum_to_totals() {
+        let pg = EngineProfile::pg_like();
+        let mut m = Meter::new(&pg);
+        m.begin_arm();
+        m.on_scan(tk_role(0), 50);
+        m.on_join_build(10);
+        m.end_arm(7);
+        m.begin_arm();
+        m.on_probe(3);
+        m.on_join_probe(4);
+        m.end_arm(2);
+        assert_eq!(m.arm_metrics.len(), 2);
+        assert_eq!(m.arm_metrics[0].scanned, 50.0);
+        assert_eq!(m.arm_metrics[0].join_build, 10);
+        assert_eq!(m.arm_metrics[0].output, 7);
+        assert_eq!(m.arm_metrics[1].index_probes, 1);
+        assert_eq!(m.arm_metrics[1].join_probe, 4);
+        let mut sum = ExecMetrics::default();
+        for a in &m.arm_metrics {
+            sum.merge(a);
+        }
+        assert_eq!(sum.scanned, m.metrics.scanned);
+        assert_eq!(sum.index_probes, m.metrics.index_probes);
+        assert_eq!(sum.join_build, m.metrics.join_build);
+        assert_eq!(sum.join_probe, m.metrics.join_probe);
+    }
+
+    #[test]
+    fn nested_arm_scopes_do_not_double_count() {
+        let pg = EngineProfile::pg_like();
+        let mut m = Meter::new(&pg);
+        m.begin_arm();
+        m.begin_arm(); // nested (e.g. a JUCQ component's union arm)
+        m.on_scan(tk_role(0), 10);
+        m.end_arm(1); // closes the OUTER scope — only one delta recorded
+        m.end_arm(1); // no open scope left: no-op
+        assert_eq!(m.arm_metrics.len(), 1);
+        assert_eq!(m.arm_metrics[0].scanned, 10.0);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 
 use std::time::Duration;
 
+use crate::planner::{
+    HASH_BUILD_WEIGHT, HASH_PROBE_WEIGHT, INDEX_PROBE_WEIGHT, MATERIALIZE_WEIGHT,
+};
 use crate::profile::EngineProfile;
 
 /// Execution metrics of one statement.
@@ -18,10 +21,18 @@ pub struct ExecMetrics {
     pub scanned: f64,
     /// Index probe operations (hash/point lookups into an access path).
     pub index_probes: u64,
-    /// Tuples inserted into hash tables (joins, DISTINCT).
+    /// Tuples inserted into hash tables for dedup/DISTINCT and JUCQ
+    /// component joins.
     pub hash_build: u64,
-    /// Hash probe operations.
+    /// Hash probe operations against dedup/JUCQ tables.
     pub hash_probe: u64,
+    /// Tuples inserted into **hash-join build sides** inside a
+    /// conjunction pipeline (the cost-chosen physical operator) — kept
+    /// separate from `hash_build` so operator choice is visible in
+    /// measurements.
+    pub join_build: u64,
+    /// Probe operations against conjunction hash-join tables.
+    pub join_probe: u64,
     /// Tuples materialized into intermediate results (WITH … AS).
     pub materialized: u64,
     /// Tuples in the final result.
@@ -45,14 +56,15 @@ impl ExecMetrics {
 
     /// Total abstract work units (calibration: a scanned tuple = 1, an
     /// index probe = 2, hash ops = 1.5/1, a materialized tuple = 3 —
-    /// constants fixed once, shared by all profiles, standing in for the
-    /// per-engine calibration of §6.1).
+    /// constants fixed once in [`crate::planner`], shared by all
+    /// profiles and by the cost model, standing in for the per-engine
+    /// calibration of §6.1).
     pub fn work_units(&self) -> f64 {
         self.scanned
-            + 2.0 * self.index_probes as f64
-            + 1.5 * self.hash_build as f64
-            + self.hash_probe as f64
-            + 3.0 * self.materialized as f64
+            + INDEX_PROBE_WEIGHT * self.index_probes as f64
+            + HASH_BUILD_WEIGHT * (self.hash_build + self.join_build) as f64
+            + HASH_PROBE_WEIGHT * (self.hash_probe + self.join_probe) as f64
+            + MATERIALIZE_WEIGHT * self.materialized as f64
     }
 
     /// Simulated execution time under a profile.
@@ -66,9 +78,27 @@ impl ExecMetrics {
         self.index_probes += other.index_probes;
         self.hash_build += other.hash_build;
         self.hash_probe += other.hash_probe;
+        self.join_build += other.join_build;
+        self.join_probe += other.join_probe;
         self.materialized += other.materialized;
         self.output += other.output;
         self.wall += other.wall;
+    }
+
+    /// `self - other` on every additive counter (wall saturates at zero).
+    /// Used by the meter to compute per-union-arm deltas.
+    pub fn delta_since(&self, other: &ExecMetrics) -> ExecMetrics {
+        ExecMetrics {
+            scanned: self.scanned - other.scanned,
+            index_probes: self.index_probes - other.index_probes,
+            hash_build: self.hash_build - other.hash_build,
+            hash_probe: self.hash_probe - other.hash_probe,
+            join_build: self.join_build - other.join_build,
+            join_probe: self.join_probe - other.join_probe,
+            materialized: self.materialized - other.materialized,
+            output: self.output.saturating_sub(other.output),
+            wall: self.wall.saturating_sub(other.wall),
+        }
     }
 }
 
@@ -110,6 +140,45 @@ mod tests {
         let pg = EngineProfile::pg_like();
         let t = m.simulated(&pg);
         assert!(t > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn join_counters_are_weighted_like_hash_counters() {
+        let dedup = ExecMetrics {
+            hash_build: 10,
+            hash_probe: 4,
+            ..Default::default()
+        };
+        let join = ExecMetrics {
+            join_build: 10,
+            join_probe: 4,
+            ..Default::default()
+        };
+        assert_eq!(dedup.work_units(), join.work_units());
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_counter() {
+        let mut total = ExecMetrics {
+            scanned: 10.0,
+            index_probes: 5,
+            hash_build: 4,
+            hash_probe: 3,
+            join_build: 2,
+            join_probe: 1,
+            materialized: 6,
+            ..Default::default()
+        };
+        let before = total;
+        total.merge(&ExecMetrics {
+            scanned: 1.0,
+            join_build: 7,
+            ..Default::default()
+        });
+        let d = total.delta_since(&before);
+        assert_eq!(d.scanned, 1.0);
+        assert_eq!(d.join_build, 7);
+        assert_eq!(d.index_probes, 0);
     }
 
     #[test]

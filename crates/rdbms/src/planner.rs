@@ -4,8 +4,12 @@
 //! conjunction of singleton slots; an SCQ has wider slots). Planning picks
 //! the next slot greedily: cheapest access given the variables bound so
 //! far — bound-subject/object index probes beat scans, selective tables
-//! beat large ones. Executor and cost model call the same functions, so
-//! the estimate ("explain") prices exactly the plan that runs.
+//! beat large ones. On top of the slot order, [`plan_conjunction`] chooses
+//! a **physical operator** per join step: the classic index-nested-loop
+//! probe, or a build-side/probe-side hash join that scans the predicate's
+//! extension once and probes it with every intermediate row. Executor and
+//! cost model call the same functions, so the estimate ("explain") prices
+//! exactly the plan that runs.
 
 use std::collections::BTreeSet;
 
@@ -13,6 +17,23 @@ use obda_query::{Atom, Slot, Term, VarId};
 
 use crate::layout::LayoutKind;
 use crate::stats::CatalogStats;
+
+/// Per-tuple weights of the hash operators (shared with
+/// [`crate::cost_model`] and [`crate::metrics::ExecMetrics::work_units`],
+/// so estimates and measurements stay in one unit).
+pub const HASH_BUILD_WEIGHT: f64 = 1.5;
+pub const HASH_PROBE_WEIGHT: f64 = 1.0;
+/// Cost of materializing one intermediate tuple (`WITH … AS`).
+pub const MATERIALIZE_WEIGHT: f64 = 3.0;
+/// Cost of one index probe (same constant as [`atom_estimate`]'s bound
+/// access paths).
+pub const INDEX_PROBE_WEIGHT: f64 = 2.0;
+/// Hysteresis for cost-chosen operator switches: take the hash join only
+/// when its estimate beats INL by at least this factor. Near break-even
+/// the work-unit model overstates INL (an in-memory index probe costs
+/// about one hash probe, not [`INDEX_PROBE_WEIGHT`]), and estimate error
+/// should not flap the operator on marginal calls.
+pub const HASH_COST_MARGIN: f64 = 0.75;
 
 /// How an atom will be accessed given the currently-bound variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +167,197 @@ pub fn order_slots(
     order
 }
 
+// ---------------------------------------------------------------------
+// physical operator choice
+// ---------------------------------------------------------------------
+
+/// Which physical join operator the executor may use per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Always index-nested-loop (the engine's historical behaviour).
+    ForcedInl,
+    /// Hash-join every eligible step: keyed (≥ 1 bound variable) and
+    /// binding a new variable. Pure scan stages have no key; fully-bound
+    /// membership filters stay INL probes (see `plan_conjunction`).
+    ForcedHash,
+    /// Let the cost model arbitrate per step — the default.
+    #[default]
+    CostChosen,
+}
+
+impl JoinStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinStrategy::ForcedInl => "forced-inl",
+            JoinStrategy::ForcedHash => "forced-hash",
+            JoinStrategy::CostChosen => "cost-chosen",
+        }
+    }
+}
+
+/// The physical operator chosen for one conjunction step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicalOp {
+    /// Per-row index access (probe / by-subject / by-object), or a shared
+    /// prescan for pure scan stages.
+    IndexNestedLoop(AccessKind),
+    /// Scan the slot's extensions once into a hash table keyed on the
+    /// already-bound variables, then probe once per intermediate row.
+    HashJoin {
+        /// Estimated build-side rows (the slot's total extension size).
+        build_rows: f64,
+    },
+}
+
+impl PhysicalOp {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::IndexNestedLoop(AccessKind::Scan) => "scan",
+            PhysicalOp::IndexNestedLoop(_) => "inl",
+            PhysicalOp::HashJoin { .. } => "hash",
+        }
+    }
+}
+
+/// One step of a conjunction plan: which slot runs, with which operator,
+/// at what estimated cost, leaving how many estimated rows.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    pub slot: usize,
+    pub op: PhysicalOp,
+    /// True when no slot variable was bound yet (prescan / cartesian
+    /// stage) — hash joins are ineligible there.
+    pub scan_stage: bool,
+    /// Estimated work units of this step under the chosen operator.
+    pub est_cost: f64,
+    /// Estimated intermediate rows after the step.
+    pub est_rows: f64,
+}
+
+/// An ordered, operator-annotated plan for one conjunction.
+#[derive(Debug, Clone)]
+pub struct ConjunctionPlan {
+    pub steps: Vec<PlanStep>,
+}
+
+impl ConjunctionPlan {
+    /// Total estimated cost across steps.
+    pub fn est_cost(&self) -> f64 {
+        self.steps.iter().map(|s| s.est_cost).sum()
+    }
+}
+
+/// Estimated cost of running `slot` as a hash join given `rows` current
+/// intermediate rows: scan the extensions once, insert every build tuple,
+/// probe once per row. Returns the build-side cardinality too.
+pub fn hash_join_cost(
+    slot: &Slot,
+    rows: f64,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+) -> (f64, f64) {
+    let mut build_rows = 0.0;
+    let mut scan = 0.0;
+    for atom in slot.atoms() {
+        let card = match atom {
+            Atom::Concept(c, _) => stats.concept_card(c.0) as f64,
+            Atom::Role(r, _, _) => stats.role_card(r.0) as f64,
+        };
+        build_rows += card;
+        scan += scan_cost(card, stats, layout);
+    }
+    let cost = scan + HASH_BUILD_WEIGHT * build_rows + HASH_PROBE_WEIGHT * rows;
+    (cost, build_rows)
+}
+
+/// Estimated cost of running `slot` index-nested-loop style: scan stages
+/// pay the (pre)scan once; bound stages pay one index probe per atom per
+/// current row.
+pub fn inl_cost(
+    slot: &Slot,
+    bound: &BTreeSet<VarId>,
+    rows: f64,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+) -> f64 {
+    if slot_is_scan_stage(slot, bound) {
+        let (access, _) = slot_estimate(slot, bound, stats, layout);
+        access
+    } else {
+        rows * INDEX_PROBE_WEIGHT * slot.len() as f64
+    }
+}
+
+/// A slot is a scan stage when none of its variables are bound yet (and
+/// no term is a constant, which would give an index key).
+pub fn slot_is_scan_stage(slot: &Slot, bound: &BTreeSet<VarId>) -> bool {
+    slot.atoms()
+        .iter()
+        .all(|a| access_kind(a, bound) == AccessKind::Scan)
+}
+
+/// Plan a conjunction: greedy slot order (identical to [`order_slots`],
+/// so all strategies evaluate slots in the same sequence and differ only
+/// in physical operators), then per-step operator choice driven by the
+/// tracked cardinality estimate.
+pub fn plan_conjunction(
+    slots: &[Slot],
+    initially_bound: &BTreeSet<VarId>,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+    strategy: JoinStrategy,
+) -> ConjunctionPlan {
+    let order = order_slots(slots, initially_bound, stats, layout);
+    let mut bound = initially_bound.clone();
+    let mut rows = 1.0f64;
+    let mut steps = Vec::with_capacity(order.len());
+    for idx in order {
+        let slot = &slots[idx];
+        let scan_stage = slot_is_scan_stage(slot, &bound);
+        let (_, mult) = slot_estimate(slot, &bound, stats, layout);
+        let inl = inl_cost(slot, &bound, rows, stats, layout);
+        let (hash, build_rows) = hash_join_cost(slot, rows, stats, layout);
+        // Hash joins need a join key: at least one bound *variable* (a
+        // constant makes a slot non-scan-stage but gives the hash table
+        // nothing to key on — INL filters constants during the index
+        // lookup instead) AND must bind a new variable: a fully-bound
+        // slot is a membership *filter*, and an in-memory index probe
+        // already costs what a hash probe costs, so building a table for
+        // it can never pay off. Only expansion steps — where INL
+        // re-traverses the index once per intermediate row — are where
+        // the build amortizes.
+        let slot_vars = slot.vars();
+        let hash_eligible = !scan_stage
+            && slot_vars.iter().any(|v| bound.contains(v))
+            && slot_vars.iter().any(|v| !bound.contains(v));
+        let use_hash = match strategy {
+            JoinStrategy::ForcedInl => false,
+            JoinStrategy::ForcedHash => hash_eligible,
+            JoinStrategy::CostChosen => hash_eligible && hash < inl * HASH_COST_MARGIN,
+        };
+        let (op, est_cost) = if use_hash {
+            (PhysicalOp::HashJoin { build_rows }, hash)
+        } else {
+            // Representative access kind: the first atom's (slot atoms
+            // share a variable set, so kinds agree up to role direction).
+            let kind = access_kind(&slot.atoms()[0], &bound);
+            (PhysicalOp::IndexNestedLoop(kind), inl)
+        };
+        rows = (rows * mult.max(1e-9)).max(0.0);
+        steps.push(PlanStep {
+            slot: idx,
+            op,
+            scan_stage,
+            est_cost,
+            est_rows: rows,
+        });
+        for atom in slot.atoms() {
+            bound.extend(atom.vars());
+        }
+    }
+    ConjunctionPlan { steps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +433,240 @@ mod tests {
         let big_scan = scan_cost(100.0, &stats, LayoutKind::Dph);
         assert_eq!(small_scan, big_scan);
         assert!(small_scan > scan_cost(5.0, &stats, LayoutKind::Simple));
+    }
+
+    /// Star join over the skewed fixture: Big(x) ∧ Big(y) ∧ r(x, y).
+    fn cartesian_slots() -> Vec<Slot> {
+        vec![
+            Slot::single(Atom::Concept(ConceptId(1), v(0))),
+            Slot::single(Atom::Concept(ConceptId(1), v(1))),
+            Slot::single(Atom::Role(RoleId(0), v(0), v(1))),
+        ]
+    }
+
+    #[test]
+    fn plan_order_matches_order_slots_under_every_strategy() {
+        let stats = stats_with_skew();
+        let slots = cartesian_slots();
+        let base = order_slots(&slots, &BTreeSet::new(), &stats, LayoutKind::Simple);
+        for strategy in [
+            JoinStrategy::ForcedInl,
+            JoinStrategy::ForcedHash,
+            JoinStrategy::CostChosen,
+        ] {
+            let plan = plan_conjunction(
+                &slots,
+                &BTreeSet::new(),
+                &stats,
+                LayoutKind::Simple,
+                strategy,
+            );
+            let order: Vec<usize> = plan.steps.iter().map(|s| s.slot).collect();
+            assert_eq!(order, base, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn forced_inl_never_hashes_and_forced_hash_hashes_expansions() {
+        let stats = fanout_stats();
+        let slots = fanout_slots();
+        let inl = plan_conjunction(
+            &slots,
+            &BTreeSet::new(),
+            &stats,
+            LayoutKind::Simple,
+            JoinStrategy::ForcedInl,
+        );
+        assert!(inl
+            .steps
+            .iter()
+            .all(|s| matches!(s.op, PhysicalOp::IndexNestedLoop(_))));
+        // Forced hash: A(x) scans (no key), r(x, y) hashes (expansion),
+        // B(y) stays an INL membership filter (no new variable).
+        let hash = plan_conjunction(
+            &slots,
+            &BTreeSet::new(),
+            &stats,
+            LayoutKind::Simple,
+            JoinStrategy::ForcedHash,
+        );
+        let op_of = |slot: usize| {
+            hash.steps
+                .iter()
+                .find(|s| s.slot == slot)
+                .map(|s| s.op)
+                .expect("slot planned")
+        };
+        assert!(
+            matches!(op_of(0), PhysicalOp::IndexNestedLoop(_)),
+            "A scans"
+        );
+        assert!(matches!(op_of(1), PhysicalOp::HashJoin { .. }), "r hashes");
+        assert!(
+            matches!(op_of(2), PhysicalOp::IndexNestedLoop(AccessKind::Probe)),
+            "B filter stays INL"
+        );
+    }
+
+    /// A(x) ∧ r(x, y) ∧ B(y) over a fan-out-heavy r: A and B have 100
+    /// members each, r has 100 × 100 pairs, so after A-scan → r-expand
+    /// the pipeline carries ~10 000 rows into the B step.
+    fn fanout_stats() -> CatalogStats {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let r = voc.role("r");
+        let mut abox = ABox::new();
+        let xs: Vec<_> = (0..100).map(|i| voc.individual(&format!("x{i}"))).collect();
+        let ys: Vec<_> = (0..100).map(|i| voc.individual(&format!("y{i}"))).collect();
+        for &x in &xs {
+            abox.assert_concept(a, x);
+            for &y in &ys {
+                abox.assert_role(r, x, y);
+            }
+        }
+        for &y in &ys {
+            abox.assert_concept(b, y);
+        }
+        CatalogStats::from_abox(&abox)
+    }
+
+    fn fanout_slots() -> Vec<Slot> {
+        vec![
+            Slot::single(Atom::Concept(ConceptId(0), v(0))), // A(x)
+            Slot::single(Atom::Role(RoleId(0), v(0), v(1))), // r(x, y)
+            Slot::single(Atom::Concept(ConceptId(1), v(1))), // B(y)
+        ]
+    }
+
+    /// C(x) ∧ r1(x, y) ∧ r2(y, z): C has 100 members, r1 fans each out
+    /// to 100 ys (10 000 pairs), r2 is a 1 000-pair expansion — after
+    /// C-scan → r1-expand the pipeline carries ~10 000 rows into the r2
+    /// step, where hashing the 1 000-row extension (≈ 12 500 units)
+    /// beats 20 000 per-row index probes.
+    fn chain_stats() -> CatalogStats {
+        let mut voc = Vocabulary::new();
+        let c = voc.concept("C");
+        let r1 = voc.role("r1");
+        let r2 = voc.role("r2");
+        let mut abox = ABox::new();
+        let xs: Vec<_> = (0..100).map(|i| voc.individual(&format!("x{i}"))).collect();
+        let ys: Vec<_> = (0..100).map(|i| voc.individual(&format!("y{i}"))).collect();
+        for &x in &xs {
+            abox.assert_concept(c, x);
+            for &y in &ys {
+                abox.assert_role(r1, x, y);
+            }
+        }
+        for (yi, &y) in ys.iter().enumerate() {
+            for k in 0..10 {
+                let z = voc.individual(&format!("z{yi}_{k}"));
+                abox.assert_role(r2, y, z);
+            }
+        }
+        CatalogStats::from_abox(&abox)
+    }
+
+    fn chain_slots() -> Vec<Slot> {
+        vec![
+            Slot::single(Atom::Concept(ConceptId(0), v(0))), // C(x)
+            Slot::single(Atom::Role(RoleId(0), v(0), v(1))), // r1(x, y)
+            Slot::single(Atom::Role(RoleId(1), v(1), v(2))), // r2(y, z)
+        ]
+    }
+
+    #[test]
+    fn cost_chosen_hashes_when_intermediate_rows_dwarf_build_side() {
+        let stats = chain_stats();
+        let plan = plan_conjunction(
+            &chain_slots(),
+            &BTreeSet::new(),
+            &stats,
+            LayoutKind::Simple,
+            JoinStrategy::CostChosen,
+        );
+        // The r2 step expands ~10 000 intermediate rows through a
+        // 1 000-row table: hashing it once wins.
+        let r2_step = plan
+            .steps
+            .iter()
+            .find(|s| s.slot == 2)
+            .expect("r2 slot planned");
+        assert!(
+            matches!(r2_step.op, PhysicalOp::HashJoin { .. }),
+            "expected hash join for the r2 step: {r2_step:?}"
+        );
+        // The r1 expansion stays INL: its 10 000-row build dwarfs the
+        // 100 rows that would probe it.
+        let r1_step = plan.steps.iter().find(|s| s.slot == 1).unwrap();
+        assert!(matches!(r1_step.op, PhysicalOp::IndexNestedLoop(_)));
+        // And the chosen plan is never priced above either forced mode.
+        for strategy in [JoinStrategy::ForcedInl, JoinStrategy::ForcedHash] {
+            let forced = plan_conjunction(
+                &chain_slots(),
+                &BTreeSet::new(),
+                &stats,
+                LayoutKind::Simple,
+                strategy,
+            );
+            assert!(plan.est_cost() <= forced.est_cost(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn cost_chosen_keeps_inl_for_membership_filters() {
+        // A(x) ∧ r(x, y) ∧ B(y): the B step is fully bound — a
+        // membership filter — and must stay INL even though its work-unit
+        // arithmetic would favour a hash table (an in-memory index probe
+        // costs the same as a hash probe; the build cannot amortize).
+        let stats = fanout_stats();
+        let plan = plan_conjunction(
+            &fanout_slots(),
+            &BTreeSet::new(),
+            &stats,
+            LayoutKind::Simple,
+            JoinStrategy::CostChosen,
+        );
+        let b_step = plan.steps.iter().find(|s| s.slot == 2).unwrap();
+        assert!(
+            matches!(b_step.op, PhysicalOp::IndexNestedLoop(AccessKind::Probe)),
+            "filter step must stay INL: {b_step:?}"
+        );
+    }
+
+    #[test]
+    fn cost_chosen_keeps_inl_for_selective_probes() {
+        let stats = stats_with_skew();
+        // Small(x) ∧ Big(x): one 5-row scan, then 5 cheap probes into
+        // Big — building a 100-row hash table would be wasteful.
+        let slots = vec![
+            Slot::single(Atom::Concept(ConceptId(1), v(0))), // Big
+            Slot::single(Atom::Concept(ConceptId(0), v(0))), // Small
+        ];
+        let plan = plan_conjunction(
+            &slots,
+            &BTreeSet::new(),
+            &stats,
+            LayoutKind::Simple,
+            JoinStrategy::CostChosen,
+        );
+        assert!(matches!(
+            plan.steps[1].op,
+            PhysicalOp::IndexNestedLoop(AccessKind::Probe)
+        ));
+    }
+
+    #[test]
+    fn strategy_and_op_names_are_stable() {
+        assert_eq!(JoinStrategy::default(), JoinStrategy::CostChosen);
+        assert_eq!(JoinStrategy::ForcedInl.name(), "forced-inl");
+        assert_eq!(JoinStrategy::ForcedHash.name(), "forced-hash");
+        assert_eq!(JoinStrategy::CostChosen.name(), "cost-chosen");
+        assert_eq!(PhysicalOp::HashJoin { build_rows: 1.0 }.name(), "hash");
+        assert_eq!(PhysicalOp::IndexNestedLoop(AccessKind::Scan).name(), "scan");
+        assert_eq!(
+            PhysicalOp::IndexNestedLoop(AccessKind::BySubject).name(),
+            "inl"
+        );
     }
 }

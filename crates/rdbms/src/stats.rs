@@ -7,6 +7,13 @@ use obda_dllite::ABox;
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 
+/// Which role attribute a hash-join build side is keyed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySide {
+    Subject,
+    Object,
+}
+
 /// Statistics over the stored ABox, layout-independent.
 #[derive(Debug, Clone, Default)]
 pub struct CatalogStats {
@@ -65,6 +72,37 @@ impl CatalogStats {
     /// Distinct objects of role `r`.
     pub fn role_distinct_objects(&self, r: u32) -> u64 {
         self.role_distinct_o.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Rows a hash-join build side holds for role `r` (its full
+    /// extension — the build scans the table once).
+    pub fn role_build_rows(&self, r: u32) -> u64 {
+        self.role_card(r)
+    }
+
+    /// Rows a hash-join build side holds for concept `c`.
+    pub fn concept_build_rows(&self, c: u32) -> u64 {
+        self.concept_card(c)
+    }
+
+    /// Distinct hash keys when role `r` is keyed on `side`: bounds the
+    /// build table's bucket count and drives the expected matches per
+    /// probe ([`CatalogStats::role_matches_per_key`]).
+    pub fn role_distinct_keys(&self, r: u32, side: KeySide) -> u64 {
+        match side {
+            KeySide::Subject => self.role_distinct_subjects(r),
+            KeySide::Object => self.role_distinct_objects(r),
+        }
+    }
+
+    /// Expected matches per successful hash probe into role `r` keyed on
+    /// `side` — identical to the index fan-out, which is what makes INL
+    /// and hash joins directly comparable in the cost model.
+    pub fn role_matches_per_key(&self, r: u32, side: KeySide) -> f64 {
+        match side {
+            KeySide::Subject => self.role_fanout_s(r),
+            KeySide::Object => self.role_fanout_o(r),
+        }
     }
 
     /// Average fan-out of role `r` from a bound subject (≥ 0).
@@ -136,5 +174,25 @@ mod tests {
         let stats = CatalogStats::default();
         assert_eq!(stats.concept_card(0), 0);
         assert_eq!(stats.role_card(0), 0);
+    }
+
+    #[test]
+    fn build_side_estimates_match_catalog() {
+        let (voc, abox) = sample();
+        let stats = CatalogStats::from_abox(&abox);
+        let a = voc.find_concept("A").unwrap();
+        let r = voc.find_role("r").unwrap();
+        assert_eq!(stats.concept_build_rows(a.0), stats.concept_card(a.0));
+        assert_eq!(stats.role_build_rows(r.0), stats.role_card(r.0));
+        assert_eq!(stats.role_distinct_keys(r.0, KeySide::Subject), 2);
+        assert_eq!(stats.role_distinct_keys(r.0, KeySide::Object), 2);
+        assert_eq!(
+            stats.role_matches_per_key(r.0, KeySide::Subject),
+            stats.role_fanout_s(r.0)
+        );
+        assert_eq!(
+            stats.role_matches_per_key(r.0, KeySide::Object),
+            stats.role_fanout_o(r.0)
+        );
     }
 }

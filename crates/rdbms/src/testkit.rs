@@ -1,0 +1,126 @@
+//! The executor differential harness: the oracle that makes physical
+//! operator work safe to change.
+//!
+//! [`differential_check`] runs one FOL query under **every** storage
+//! layout × join strategy (forced index-nested-loop, forced hash,
+//! cost-chosen), asserts all eighteen executions return the same row
+//! set, cross-checks the reference evaluator, and audits the meter's
+//! per-union-arm accounting ([`assert_arm_metrics_sum`]). Any future
+//! executor change — new operator, new layout, planner rewrite — is
+//! covered by pointing this harness (plus the random query generators in
+//! `obda_query::testkit`) at the new code path.
+
+use obda_dllite::{ABox, Vocabulary};
+use obda_query::{eval_over_abox, FolQuery};
+
+use crate::engine::{Engine, QueryOutcome};
+use crate::executor::Row;
+use crate::layout::LayoutKind;
+use crate::metrics::ExecMetrics;
+use crate::planner::JoinStrategy;
+use crate::profile::EngineProfile;
+
+/// Every storage layout the engine supports.
+pub const ALL_LAYOUTS: [LayoutKind; 3] = [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph];
+
+/// Every physical operator strategy.
+pub const ALL_STRATEGIES: [JoinStrategy; 3] = [
+    JoinStrategy::ForcedInl,
+    JoinStrategy::ForcedHash,
+    JoinStrategy::CostChosen,
+];
+
+/// Sorted engine rows from the reference evaluator (the semantics
+/// oracle).
+pub fn reference_rows(abox: &ABox, q: &FolQuery) -> Vec<Row> {
+    let mut rows: Vec<Row> = eval_over_abox(abox, q)
+        .into_iter()
+        .map(|row| row.into_iter().map(|i| i.0).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Execute `q` under every layout × strategy (pg-like profile: no
+/// statement-size limit can interfere), asserting every combination
+/// returns the reference evaluator's row set and that union-arm metrics
+/// sum to the statement totals. Returns the canonical sorted rows.
+///
+/// `context` is prepended to assertion messages (pass a seed).
+pub fn differential_check(voc: &Vocabulary, abox: &ABox, q: &FolQuery, context: &str) -> Vec<Row> {
+    let want = reference_rows(abox, q);
+    for layout in ALL_LAYOUTS {
+        let engine = Engine::load(abox, voc, layout, EngineProfile::pg_like());
+        for strategy in ALL_STRATEGIES {
+            let out = engine
+                .evaluate_with(q, strategy)
+                .expect("pg-like profile has no statement limit");
+            let mut rows = out.rows.clone();
+            rows.sort();
+            assert_eq!(
+                rows,
+                want,
+                "{context}: row-set mismatch under {layout:?}/{}",
+                strategy.name()
+            );
+            assert_arm_metrics_sum(q, &out, context);
+        }
+    }
+    want
+}
+
+/// For top-level unions, the per-arm metric deltas must sum to the
+/// statement totals on every work counter — every metered operation of a
+/// union evaluation happens inside an arm scope. (`output` and `wall`
+/// are statement-level and excluded.)
+pub fn assert_arm_metrics_sum(q: &FolQuery, out: &QueryOutcome, context: &str) {
+    let arms = match q {
+        FolQuery::Ucq(u) => u.cqs().len(),
+        FolQuery::Uscq(u) => u.scqs().len(),
+        _ => return,
+    };
+    assert_eq!(
+        out.arm_metrics.len(),
+        arms,
+        "{context}: one metric delta per union arm"
+    );
+    let mut sum = ExecMetrics::default();
+    for a in &out.arm_metrics {
+        sum.merge(a);
+    }
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+    assert!(
+        close(sum.scanned, out.metrics.scanned),
+        "{context}: arm scanned sums {} != total {}",
+        sum.scanned,
+        out.metrics.scanned
+    );
+    assert_eq!(sum.index_probes, out.metrics.index_probes, "{context}");
+    assert_eq!(sum.hash_build, out.metrics.hash_build, "{context}");
+    assert_eq!(sum.hash_probe, out.metrics.hash_probe, "{context}");
+    assert_eq!(sum.join_build, out.metrics.join_build, "{context}");
+    assert_eq!(sum.join_probe, out.metrics.join_probe, "{context}");
+    assert_eq!(sum.materialized, out.metrics.materialized, "{context}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_query::testkit::{random_abox, random_fol_query, random_tbox, KbShape, Rng};
+
+    /// The harness on randomized inputs — the in-crate version of the
+    /// workspace `tests/differential.rs` suite.
+    #[test]
+    fn randomized_differential_smoke() {
+        let shape = KbShape::default();
+        for seed in 0..15u64 {
+            let mut rng = Rng::new(seed);
+            let (mut voc, _) = random_tbox(&mut rng, &shape);
+            let abox = random_abox(&mut rng, &mut voc, &shape);
+            for k in 0..3 {
+                let q = random_fol_query(&mut rng, &voc, 3);
+                differential_check(&voc, &abox, &q, &format!("seed {seed}.{k}"));
+            }
+        }
+    }
+}

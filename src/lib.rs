@@ -78,7 +78,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The four root integration suites rely on cargo's `tests/`
+    /// The five root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -89,6 +89,7 @@ mod tests {
             "paper_examples",
             "failure_injection",
             "equivalence_props",
+            "differential",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -104,7 +105,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all four suites are test targets"
+            "tests/ autodiscovery must stay enabled so all five suites are test targets"
         );
     }
 }

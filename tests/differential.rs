@@ -1,0 +1,228 @@
+//! The differential suite: physical-operator equivalence as an oracle.
+//!
+//! The executor owns two physical join operators (index-nested-loop and
+//! build/probe hash join) plus a cost-chosen mix. These tests prove the
+//! three modes interchangeable on every storage layout:
+//!
+//! * property tests over random KBs and random queries in *every*
+//!   Table-4 dialect (CQ/UCQ/SCQ/USCQ/JUCQ/JUSCQ);
+//! * an end-to-end sweep over the 14 LUBM workload queries, reformulated
+//!   both via PerfectRef (UCQ) and via cover-based reformulation (JUCQ);
+//! * the metering audit: per-union-arm metrics sum to statement totals;
+//! * the performance guarantee behind the cost-chosen default: measured
+//!   work never exceeds forced-INL on the LUBM workload.
+//!
+//! Case counts honour `PROPTEST_CASES` (CI's differential job raises it
+//! to 512; the default quick run stays small).
+
+use proptest::prelude::*;
+
+use obda::dllite::Dependencies;
+use obda::prelude::*;
+use obda::query::testkit::{random_abox, random_fol_query, random_tbox, random_ucq, KbShape, Rng};
+use obda::rdbms::testkit::{differential_check, ALL_STRATEGIES};
+use obda::rdbms::JoinStrategy;
+
+/// A deterministic random scenario: vocabulary, ABox, any-dialect query.
+fn scenario(seed: u64, shape: &KbShape, max_atoms: usize) -> (Vocabulary, ABox, FolQuery) {
+    let mut rng = Rng::new(seed);
+    let (mut voc, _) = random_tbox(&mut rng, shape);
+    let abox = random_abox(&mut rng, &mut voc, shape);
+    let q = random_fol_query(&mut rng, &voc, max_atoms);
+    (voc, abox, q)
+}
+
+proptest! {
+    // Configured high so CI's differential job (PROPTEST_CASES=512) can
+    // run the full complement; the main job's PROPTEST_CASES=32 keeps
+    // the quick run quick (the vendored proptest only caps downward).
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Forced-hash ≡ forced-INL ≡ cost-chosen on all three layouts, for
+    /// random queries in every dialect over random ABoxes.
+    #[test]
+    fn physical_strategies_agree_on_random_queries(seed in 0u64..1_000_000) {
+        let (voc, abox, q) = scenario(seed, &KbShape::default(), 4);
+        differential_check(&voc, &abox, &q, &format!("seed {seed}"));
+    }
+
+    /// Denser ABoxes (more individuals and facts) push the planner's
+    /// cardinality estimates high enough that cost-chosen plans really
+    /// mix operators — same equivalence must hold.
+    #[test]
+    fn physical_strategies_agree_on_dense_aboxes(seed in 0u64..1_000_000) {
+        let shape = KbShape {
+            num_individuals: 30,
+            num_facts: 120,
+            ..KbShape::default()
+        };
+        let (voc, abox, q) = scenario(seed, &shape, 5);
+        differential_check(&voc, &abox, &q, &format!("dense seed {seed}"));
+    }
+
+    /// The reformulation pipeline feeds the engine UCQs: PerfectRef
+    /// output over random TBoxes must answer identically under every
+    /// strategy too (and the arm-metrics invariant holds per arm).
+    #[test]
+    fn reformulated_ucqs_agree(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        let cq = obda::query::testkit::random_connected_cq(&mut rng, &voc, 3, 2);
+        let ucq = perfect_ref(&cq, &tbox);
+        if !ucq.is_empty() {
+            differential_check(&voc, &abox, &FolQuery::Ucq(ucq), &format!("reform seed {seed}"));
+        }
+    }
+
+    /// Random *UCQs* (not just reformulations) with several arms keep
+    /// the per-arm metering invariant under every strategy — the
+    /// regression test for the meter audit.
+    #[test]
+    fn ucq_arm_metrics_sum_to_totals(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, _) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        let ucq = random_ucq(&mut rng, &voc, 4, 3);
+        let arms = ucq.len();
+        let q = FolQuery::Ucq(ucq);
+        for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+            let engine = Engine::load(&abox, &voc, layout, EngineProfile::pg_like());
+            for strategy in ALL_STRATEGIES {
+                let out = engine.evaluate_with(&q, strategy).unwrap();
+                prop_assert_eq!(out.arm_metrics.len(), arms);
+                // The harness asserts counter-by-counter equality:
+                obda::rdbms::testkit::assert_arm_metrics_sum(
+                    &q,
+                    &out,
+                    &format!("seed {seed} {layout:?} {}", strategy.name()),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LUBM end-to-end differential
+// ---------------------------------------------------------------------
+
+/// Shared LUBM fixture: dataset plus the 14 workload queries (Q1–Q13 +
+/// the A5 star query), each pre-reformulated via PerfectRef (UCQ) and
+/// via the root cover (JUCQ). Built once per process.
+struct LubmFixture {
+    onto: UnivOntology,
+    abox: ABox,
+    /// (name, UCQ reformulation, root-cover JUCQ reformulation).
+    queries: Vec<(String, UCQ, JUCQ)>,
+}
+
+fn lubm_fixture() -> &'static LubmFixture {
+    static FIXTURE: std::sync::OnceLock<LubmFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut onto = UnivOntology::build();
+        let config = GenConfig {
+            target_facts: 800,
+            ..Default::default()
+        };
+        let (abox, _) = generate(&mut onto, &config);
+        let deps = Dependencies::compute(&onto.voc, &onto.tbox);
+        let mut cqs: Vec<(String, CQ)> = workload(&onto)
+            .into_iter()
+            .map(|w| (w.name, w.cq))
+            .collect();
+        cqs.push(("A5".to_owned(), star_query(&onto, 5)));
+        let queries = cqs
+            .into_iter()
+            .map(|(name, cq)| {
+                let ucq = perfect_ref(&cq, &onto.tbox);
+                let analysis = QueryAnalysis::new(&cq, &deps);
+                let croot = root_cover(&analysis);
+                let jucq = cover_reformulation(&cq, &onto.tbox, &croot.to_specs());
+                (name, ucq, jucq)
+            })
+            .collect();
+        LubmFixture {
+            onto,
+            abox,
+            queries,
+        }
+    })
+}
+
+/// All 14 LUBM queries, reformulated via PerfectRef (UCQ) **and** via
+/// cover-based reformulation (root-cover JUCQ), produce identical
+/// answers under forced-INL, forced-hash, and cost-chosen execution.
+#[test]
+fn lubm_workload_differential_across_reformulations() {
+    let fx = lubm_fixture();
+    let engine = Engine::load(
+        &fx.abox,
+        &fx.onto.voc,
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
+    assert_eq!(fx.queries.len(), 14);
+    for (name, ucq, jucq) in &fx.queries {
+        let mut results: Vec<Vec<Vec<u32>>> = Vec::new();
+        for strategy in ALL_STRATEGIES {
+            for q in [FolQuery::Ucq(ucq.clone()), FolQuery::Jucq(jucq.clone())] {
+                let mut rows = engine
+                    .evaluate_with(&q, strategy)
+                    .expect("pg-like: no statement limit")
+                    .rows;
+                rows.sort();
+                results.push(rows);
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(
+                r, &results[0],
+                "{name}: reformulation × strategy row-set mismatch"
+            );
+        }
+    }
+}
+
+/// The acceptance bar for the cost-chosen default: measured work units
+/// never exceed forced-INL on any LUBM PerfectRef reformulation, and the
+/// scan-heavy arms win by a clear margin in aggregate.
+#[test]
+fn cost_chosen_work_never_exceeds_forced_inl_on_lubm() {
+    let fx = lubm_fixture();
+    let engine = Engine::load(
+        &fx.abox,
+        &fx.onto.voc,
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
+    let mut total_inl = 0.0f64;
+    let mut total_chosen = 0.0f64;
+    for (name, ucq, _) in &fx.queries {
+        let q = FolQuery::Ucq(ucq.clone());
+        let inl = engine
+            .evaluate_with(&q, JoinStrategy::ForcedInl)
+            .unwrap()
+            .metrics
+            .work_units();
+        let chosen = engine
+            .evaluate_with(&q, JoinStrategy::CostChosen)
+            .unwrap()
+            .metrics
+            .work_units();
+        // Per query: at least matching (small tolerance for estimate
+        // noise around the break-even point).
+        assert!(
+            chosen <= inl * 1.05 + 50.0,
+            "{name}: cost-chosen {chosen} worse than forced-INL {inl}"
+        );
+        total_inl += inl;
+        total_chosen += chosen;
+    }
+    // In aggregate the mix must strictly win on this scan-heavy workload.
+    assert!(
+        total_chosen < total_inl,
+        "aggregate: chosen {total_chosen} vs inl {total_inl}"
+    );
+}

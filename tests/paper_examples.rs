@@ -162,6 +162,102 @@ fn examples7_to_11_covers_through_engine() {
     );
 }
 
+/// Golden plans for the paper's worked examples: `explain_plan` pins the
+/// slot order, the chosen physical operator, and the per-step cost/row
+/// estimates, so any planner or cost-model drift is visible in review.
+/// (The engine guarantees the printed plan is the plan that runs —
+/// executor and explain share `plan_conjunction`.)
+#[test]
+fn golden_explain_plans_for_example3() {
+    use obda::rdbms::JoinStrategy;
+    let kb = example1();
+    let q = example3_query(&kb);
+    let minimal = minimize_ucq(&perfect_ref(&q, kb.tbox()));
+    assert_eq!(minimal.len(), 4);
+
+    // Cost-chosen (the default): on this 3-fact ABox every bound step is
+    // a cheap INL probe; no hash join pays off.
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
+    let plan = engine.explain_plan(&FolQuery::Ucq(minimal.clone()));
+    assert_eq!(
+        plan.to_string(),
+        "strategy=cost-chosen cost=5.0\n\
+         arm0: [slot0 scan cost=2.0 rows=2.0]\n\
+         arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 inl cost=0.0 rows=0.0]\n\
+         arm2: [slot0 scan cost=0.0 rows=0.0] [slot1 inl cost=0.0 rows=0.0]\n\
+         arm3: [slot0 scan cost=0.0 rows=0.0] [slot1 inl cost=0.0 rows=0.0]\n",
+        "cost-chosen golden plan drifted"
+    );
+
+    // Forced-hash: the same slot order, but every keyed step becomes a
+    // hash build/probe.
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    )
+    .with_join_strategy(JoinStrategy::ForcedHash);
+    let plan = engine.explain_plan(&FolQuery::Ucq(minimal));
+    assert_eq!(
+        plan.to_string(),
+        "strategy=forced-hash cost=15.0\n\
+         arm0: [slot0 scan cost=2.0 rows=2.0]\n\
+         arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=2.5 rows=0.0]\n\
+         arm2: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=2.5 rows=0.0]\n\
+         arm3: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=5.0 rows=0.0]\n",
+        "forced-hash golden plan drifted"
+    );
+}
+
+/// Golden plan for the Example-7/9 root-cover JUCQ: component arms are
+/// planned independently; the scalar cost prices the whole statement.
+#[test]
+fn golden_explain_plan_for_example9_root_cover() {
+    let kb = KnowledgeBase::parse(
+        "Graduate <= exists supervisedBy\nrole supervisedBy <= worksWith\n\
+         PhDStudent(Damian)\nGraduate(Damian)",
+    )
+    .unwrap();
+    let phd = kb.voc().find_concept("PhDStudent").unwrap();
+    let works = kb.voc().find_role("worksWith").unwrap();
+    let sup = kb.voc().find_role("supervisedBy").unwrap();
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![
+            Atom::Concept(phd, Term::Var(VarId(0))),
+            Atom::Role(works, Term::Var(VarId(0)), Term::Var(VarId(1))),
+            Atom::Role(sup, Term::Var(VarId(2)), Term::Var(VarId(1))),
+        ],
+    );
+    let deps = Dependencies::compute(kb.voc(), kb.tbox());
+    let analysis = QueryAnalysis::new(&q, &deps);
+    let croot = root_cover(&analysis);
+    let jucq = cover_reformulation(&q, kb.tbox(), &croot.to_specs());
+    let engine = Engine::load(
+        kb.abox(),
+        kb.voc(),
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
+    let plan = engine.explain_plan(&FolQuery::Jucq(jucq));
+    assert_eq!(
+        plan.to_string(),
+        "strategy=cost-chosen cost=17.0\n\
+         c0.arm0: [slot0 scan cost=1.0 rows=1.0]\n\
+         c1.arm0: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=0.0 rows=0.0]\n\
+         c1.arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=0.0 rows=0.0]\n\
+         c1.arm2: [slot0 scan cost=0.0 rows=0.0]\n\
+         c1.arm3: [slot0 scan cost=1.0 rows=1.0]\n",
+        "root-cover golden plan drifted"
+    );
+}
+
 /// The Example-1 KB becomes inconsistent when a PhD student supervises —
 /// checked through both the chase and reformulation routes.
 #[test]
