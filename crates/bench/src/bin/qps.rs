@@ -1,0 +1,168 @@
+//! The serving-layer throughput benchmark: N client threads replaying a
+//! mixed LUBM workload against one [`Server`], cold pipeline vs. warm
+//! plan cache, 1 vs. 4 client threads.
+//!
+//! Reported numbers:
+//!
+//! * **cold QPS** — every call runs the full per-query pipeline
+//!   (reformulation + planning + SQL sizing + execution), cache disabled;
+//! * **warm QPS** — the same replay against a primed plan cache: each
+//!   call fetches the stored compilation by canonical key and only
+//!   executes (the §6.4-dominant estimation/search work is amortized);
+//! * **client scaling** — warm QPS with 1 vs. 4 client threads sharing
+//!   one `Arc`-snapshot server (inter-query concurrency).
+//!
+//! `--check` exits non-zero unless warm ≥ 5× cold and 4-thread ≥ 2×
+//! 1-thread — the acceptance bars CI's threaded stress job enforces.
+//!
+//! Environment: `OBDA_QPS_FACTS` (default 20 000) scales the ABox;
+//! `OBDA_QPS_ROUNDS` (default 40) scales the warm replay length.
+
+use std::time::Instant;
+
+use obda_core::Strategy;
+use obda_lubm::{generate, star_query, workload, GenConfig, UnivOntology};
+use obda_query::CQ;
+use obda_rdbms::{Server, ServerConfig};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Bench {
+    onto: UnivOntology,
+    abox: obda_dllite::ABox,
+    queries: Vec<(String, CQ)>,
+}
+
+impl Bench {
+    fn server(&self, cache: bool, threads: usize) -> Server {
+        Server::new(
+            self.onto.voc.clone(),
+            self.onto.tbox.clone(),
+            &self.abox,
+            ServerConfig {
+                reform_strategy: Strategy::Gdl { time_budget: None },
+                cache_plans: cache,
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Replay the mixed workload `rounds` times across `clients` threads
+    /// against `srv`; returns queries-per-second.
+    fn replay_qps(&self, srv: &Server, clients: usize, rounds: usize) -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let queries = &self.queries;
+                s.spawn(move || {
+                    for r in 0..rounds {
+                        for k in 0..queries.len() {
+                            let (_, cq) = &queries[(k + c + r) % queries.len()];
+                            let out = srv.query(cq).expect("pg-like: no statement limit");
+                            std::hint::black_box(out.outcome.rows.len());
+                        }
+                    }
+                });
+            }
+        });
+        let total = (clients * rounds * self.queries.len()) as f64;
+        total / start.elapsed().as_secs_f64()
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let facts = env_usize("OBDA_QPS_FACTS", 20_000);
+    let rounds = env_usize("OBDA_QPS_ROUNDS", 40);
+
+    let mut onto = UnivOntology::build();
+    let (abox, report) = generate(
+        &mut onto,
+        &GenConfig {
+            target_facts: facts,
+            ..Default::default()
+        },
+    );
+    // The mixed serving workload: every LUBM query plus one star shape.
+    // (All 14 shapes participate; GDL compiles each exactly once on the
+    // warm path, so even the heaviest reformulations are amortized.)
+    let mut queries: Vec<(String, CQ)> = workload(&onto)
+        .into_iter()
+        .map(|w| (w.name, w.cq))
+        .collect();
+    queries.push(("A4".to_owned(), star_query(&onto, 4)));
+    let bench = Bench {
+        onto,
+        abox,
+        queries,
+    };
+    println!(
+        "dataset: {} facts, {} query shapes, GDL reformulation",
+        report.facts,
+        bench.queries.len()
+    );
+
+    // Cold: full pipeline per call, one client. One pass over the
+    // workload is enough signal — the pipeline is orders of magnitude
+    // slower than cached execution.
+    let cold_srv = bench.server(false, 1);
+    let cold_qps = bench.replay_qps(&cold_srv, 1, 1);
+    println!("cold  pipeline      : {cold_qps:>10.1} q/s");
+
+    // Warm: primed cache, one client.
+    let warm_srv = bench.server(true, 1);
+    let _ = bench.replay_qps(&warm_srv, 1, 1); // prime (compiles once)
+    let warm_qps = bench.replay_qps(&warm_srv, 1, rounds);
+    let speedup = warm_qps / cold_qps;
+    println!("warm  plan cache    : {warm_qps:>10.1} q/s   ({speedup:.1}x cold)");
+
+    // Client scaling on the warm server.
+    let qps1 = bench.replay_qps(&warm_srv, 1, rounds);
+    let qps4 = bench.replay_qps(&warm_srv, 4, rounds);
+    let scaling = qps4 / qps1;
+    println!("warm  1 client      : {qps1:>10.1} q/s");
+    println!("warm  4 clients     : {qps4:>10.1} q/s   ({scaling:.2}x scaling)");
+
+    let stats = warm_srv.cache_stats();
+    println!(
+        "cache: {} hits / {} misses / {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+
+    if check {
+        let mut failed = false;
+        if speedup < 5.0 {
+            eprintln!("FAIL: warm-cache speedup {speedup:.1}x < 5x");
+            failed = true;
+        }
+        // Client scaling needs hardware to scale onto: enforce the 2x
+        // bar only where >= 4 CPUs are available (CI runners are), and
+        // report it as unmeasurable elsewhere.
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus >= 4 {
+            if scaling < 2.0 {
+                eprintln!("FAIL: 4-client scaling {scaling:.2}x < 2x on {cpus} CPUs");
+                failed = true;
+            }
+        } else {
+            println!("note: scaling bar skipped ({cpus} CPU(s) available)");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "CHECK PASSED: warm >= 5x cold{}",
+            if cpus >= 4 {
+                ", 4 clients >= 2x 1 client"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! wrapper (for the §6.4 timing breakdown) and a trivial structural
 //! estimator used in unit tests.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use obda_query::FolQuery;
@@ -26,27 +26,31 @@ pub trait CostEstimator {
 
 /// Wraps an estimator, counting calls and accumulated wall time — §6.4
 /// reports that "most of GDL's running time is spent estimating costs".
+///
+/// Counters are atomic (relaxed ordering: they are independent monotone
+/// tallies, not synchronization points), so an instrumented pipeline stays
+/// `Sync` and cost estimation can run on serving-layer worker threads.
 pub struct InstrumentedEstimator<'a, E: CostEstimator + ?Sized> {
     inner: &'a E,
-    calls: Cell<usize>,
-    elapsed_nanos: Cell<u128>,
+    calls: AtomicUsize,
+    elapsed_nanos: AtomicU64,
 }
 
 impl<'a, E: CostEstimator + ?Sized> InstrumentedEstimator<'a, E> {
     pub fn new(inner: &'a E) -> Self {
         InstrumentedEstimator {
             inner,
-            calls: Cell::new(0),
-            elapsed_nanos: Cell::new(0),
+            calls: AtomicUsize::new(0),
+            elapsed_nanos: AtomicU64::new(0),
         }
     }
 
     pub fn calls(&self) -> usize {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     pub fn elapsed(&self) -> Duration {
-        Duration::from_nanos(self.elapsed_nanos.get() as u64)
+        Duration::from_nanos(self.elapsed_nanos.load(Ordering::Relaxed))
     }
 }
 
@@ -55,8 +59,8 @@ impl<E: CostEstimator + ?Sized> CostEstimator for InstrumentedEstimator<'_, E> {
         let start = std::time::Instant::now();
         let cost = self.inner.estimate(q);
         self.elapsed_nanos
-            .set(self.elapsed_nanos.get() + start.elapsed().as_nanos());
-        self.calls.set(self.calls.get() + 1);
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         cost
     }
 
@@ -111,6 +115,33 @@ mod tests {
         ));
         let e = StructuralEstimator;
         assert!(e.estimate(&small) < e.estimate(&big));
+    }
+
+    /// Compile-time contract: estimator pipelines must be shareable across
+    /// serving-layer worker threads (this fails to compile, not at
+    /// runtime, if interior mutability regresses to `Cell`).
+    #[test]
+    fn instrumented_estimator_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StructuralEstimator>();
+        assert_send_sync::<InstrumentedEstimator<'_, StructuralEstimator>>();
+    }
+
+    #[test]
+    fn instrumented_counts_calls_from_multiple_threads() {
+        let inner = StructuralEstimator;
+        let inst = InstrumentedEstimator::new(&inner);
+        let q = tiny_query();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        inst.estimate(&q);
+                    }
+                });
+            }
+        });
+        assert_eq!(inst.calls(), 40);
     }
 
     #[test]

@@ -128,6 +128,14 @@ mod tests {
         assert!(cache.hits() >= 1);
     }
 
+    /// The serving path compiles reformulations on worker threads; a
+    /// cache mid-build must be movable across them (compile-time check).
+    #[test]
+    fn reform_cache_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ReformCache<'_>>();
+    }
+
     #[test]
     fn minimized_components_are_no_larger() {
         let (q, tbox) = setup();

@@ -367,6 +367,71 @@ mod tests {
         assert_eq!(c1, c2);
     }
 
+    /// The serving layer's plan cache keys on `canonical_key`, so the key
+    /// must be invariant under exactly the transformations a client may
+    /// apply to a repeated query: renaming head variables, renaming
+    /// existential variables, and reordering body atoms — all at once.
+    #[test]
+    fn cache_key_invariance_under_combined_renaming_and_reordering() {
+        let q = CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![
+                Atom::Concept(ConceptId(3), v(0)),
+                Atom::Role(RoleId(1), v(0), v(2)),
+                Atom::Role(RoleId(0), v(2), v(1)),
+                Atom::Concept(ConceptId(1), v(2)),
+            ],
+        );
+        // Head vars 0,1 → 40,41; existential 2 → 77; atoms rotated and
+        // partially swapped.
+        let variant = CQ::with_var_head(
+            vec![VarId(40), VarId(41)],
+            vec![
+                Atom::Role(RoleId(0), v(77), v(41)),
+                Atom::Concept(ConceptId(1), v(77)),
+                Atom::Concept(ConceptId(3), v(40)),
+                Atom::Role(RoleId(1), v(40), v(77)),
+            ],
+        );
+        assert_eq!(canonical_key(&q), canonical_key(&variant));
+    }
+
+    /// Queries that differ only in head-variable *order* must NOT share a
+    /// key: the cache would otherwise serve column-permuted rows.
+    #[test]
+    fn cache_key_distinguishes_head_column_order() {
+        let body = vec![Atom::Role(RoleId(0), v(0), v(1))];
+        let xy = CQ::with_var_head(vec![VarId(0), VarId(1)], body.clone());
+        let yx = CQ::with_var_head(vec![VarId(1), VarId(0)], body);
+        assert_ne!(canonical_key(&xy), canonical_key(&yx));
+    }
+
+    /// A repeated head variable is not the same query as two distinct
+    /// head variables (q(x,x) vs q(x,y) over the same body).
+    #[test]
+    fn cache_key_distinguishes_repeated_head_vars() {
+        let body = vec![Atom::Role(RoleId(0), v(0), v(1))];
+        let xx = CQ::with_var_head(vec![VarId(0), VarId(0)], body.clone());
+        let xy = CQ::with_var_head(vec![VarId(0), VarId(1)], body);
+        assert_ne!(canonical_key(&xx), canonical_key(&xy));
+    }
+
+    /// Duplicate atoms change the multiset encoding but not the query's
+    /// semantics — the key treats them as distinct structures, which is
+    /// safe for a cache (a miss, never a wrong hit).
+    #[test]
+    fn cache_key_is_deterministic_across_recomputation() {
+        let q = CQ::with_var_head(
+            vec![VarId(2)],
+            vec![
+                Atom::Role(RoleId(2), v(2), v(5)),
+                Atom::Role(RoleId(2), v(5), v(2)),
+                Atom::Concept(ConceptId(0), v(5)),
+            ],
+        );
+        assert_eq!(canonical_key(&q), canonical_key(&q.clone()));
+    }
+
     #[test]
     fn shift_invariance() {
         let q = CQ::with_var_head(

@@ -17,7 +17,7 @@ use std::collections::BTreeSet;
 use obda_query::{Slot, CQ};
 
 use crate::cost_model::CostModel;
-use crate::executor::{execute_with, Row};
+use crate::executor::{execute_parallel, prepare_plans, PreparedPlans, Row};
 use crate::layout::dph::DphStorage;
 use crate::layout::simple::SimpleStorage;
 use crate::layout::triple::TripleStorage;
@@ -66,13 +66,41 @@ pub struct QueryOutcome {
     pub simulated: std::time::Duration,
 }
 
+/// Evaluation controls for [`Engine::evaluate_opts`]. The default is the
+/// classic path: engine-configured strategy, inline planning, sequential
+/// execution, SQL regenerated per call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions<'a> {
+    /// Join-strategy override (`None` = the engine's configured one).
+    pub strategy: Option<JoinStrategy>,
+    /// Stored plans to replay instead of planning inline.
+    pub prepared: Option<&'a PreparedPlans>,
+    /// Worker threads for union-arm / component fan-out (`0` or `1` =
+    /// sequential).
+    pub threads: usize,
+    /// Precomputed SQL translation size; skips regenerating the SQL text
+    /// (the statement-size check still runs against it).
+    pub sql_bytes: Option<usize>,
+}
+
 /// An RDBMS instance: one loaded ABox under one layout and profile.
+///
+/// `Engine` is `Send + Sync` (storage is immutable after load; every
+/// evaluation carries its own [`Meter`]), so one loaded instance can
+/// serve many OS threads concurrently — the property the serving layer's
+/// `Arc`-shared snapshots build on.
 pub struct Engine {
     storage: Box<dyn Storage>,
     profile: EngineProfile,
     join_strategy: JoinStrategy,
     sql: SqlGenerator,
 }
+
+/// Compile-time enforcement of the thread-safety contract above.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
 
 impl Engine {
     /// Load an ABox under the given layout and profile. Physical operator
@@ -134,18 +162,90 @@ impl Engine {
         q: &FolQuery,
         strategy: JoinStrategy,
     ) -> Result<QueryOutcome, EngineError> {
-        let sql = self.sql.generate(q);
+        self.evaluate_opts(
+            q,
+            &EvalOptions {
+                strategy: Some(strategy),
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// Plan every conjunction of `q` against this engine's statistics and
+    /// layout under the configured join strategy — the cacheable artifact
+    /// the serving layer stores per canonical query key.
+    pub fn prepare(&self, q: &FolQuery) -> PreparedPlans {
+        self.prepare_with(q, self.join_strategy)
+    }
+
+    /// [`Engine::prepare`] under an explicit strategy.
+    pub fn prepare_with(&self, q: &FolQuery, strategy: JoinStrategy) -> PreparedPlans {
+        prepare_plans(q, self.storage.stats(), self.storage.layout(), strategy)
+    }
+
+    /// Evaluate replaying [`PreparedPlans`] — skips all planning work.
+    pub fn evaluate_prepared(
+        &self,
+        q: &FolQuery,
+        prepared: &PreparedPlans,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.evaluate_opts(
+            q,
+            &EvalOptions {
+                prepared: Some(prepared),
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// Evaluate fanning union arms (or JUCQ/JUSCQ components) across up
+    /// to `threads` worker threads; see [`execute_parallel`].
+    pub fn evaluate_parallel(
+        &self,
+        q: &FolQuery,
+        threads: usize,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.evaluate_opts(
+            q,
+            &EvalOptions {
+                threads,
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// The full-control evaluation entry point: optional strategy
+    /// override, optional stored plans, optional intra-query parallelism,
+    /// optional precomputed SQL size (the serving layer's hot path skips
+    /// regenerating the SQL text of a cached statement).
+    pub fn evaluate_opts(
+        &self,
+        q: &FolQuery,
+        opts: &EvalOptions<'_>,
+    ) -> Result<QueryOutcome, EngineError> {
+        let sql_bytes = match opts.sql_bytes {
+            Some(n) => n,
+            None => self.sql.generate(q).len(),
+        };
         if let Some(limit) = self.profile.max_statement_bytes {
-            if sql.len() > limit {
+            if sql_bytes > limit {
                 return Err(EngineError::StatementTooLong {
-                    size: sql.len(),
+                    size: sql_bytes,
                     limit,
                 });
             }
         }
+        let strategy = opts.strategy.unwrap_or(self.join_strategy);
         let start = Instant::now();
         let mut meter = Meter::new(&self.profile);
-        let rows = execute_with(self.storage.as_ref(), q, &mut meter, strategy);
+        let rows = execute_parallel(
+            self.storage.as_ref(),
+            q,
+            &mut meter,
+            strategy,
+            opts.prepared,
+            opts.threads,
+        );
         let mut metrics = meter.metrics;
         metrics.wall = start.elapsed();
         let simulated = metrics.simulated(&self.profile);
@@ -153,7 +253,7 @@ impl Engine {
             rows,
             metrics,
             arm_metrics: meter.arm_metrics,
-            sql_bytes: sql.len(),
+            sql_bytes,
             simulated,
         })
     }

@@ -19,9 +19,10 @@ use std::collections::BTreeSet;
 use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, USCQ};
 
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::layout::Storage;
+use crate::layout::{LayoutKind, Storage};
 use crate::meter::Meter;
-use crate::planner::{plan_conjunction, JoinStrategy, PhysicalOp};
+use crate::planner::{plan_conjunction, ConjunctionPlan, JoinStrategy, PhysicalOp};
+use crate::stats::CatalogStats;
 
 /// A result tuple of dictionary-encoded values.
 pub type Row = Vec<u32>;
@@ -31,6 +32,99 @@ pub type Row = Vec<u32>;
 pub struct Relation {
     pub vars: Vec<VarId>,
     pub rows: Vec<Row>,
+}
+
+/// The operator-annotated plans of every conjunction in a statement, in
+/// executor traversal order — the cacheable artifact of the serving
+/// layer's plan cache. Produced by [`prepare_plans`], consumed by
+/// [`execute_planned`]: a repeated query skips `plan_conjunction`
+/// entirely and replays the stored [`ConjunctionPlan`]s.
+#[derive(Debug, Clone)]
+pub struct PreparedPlans {
+    /// The strategy the plans were produced under (recorded so cached
+    /// entries can be audited; execution follows the stored ops directly).
+    pub strategy: JoinStrategy,
+    /// One plan per *non-empty* conjunction, in the order the executor
+    /// visits them (CQ; UCQ arms; SCQ; USCQ arms; JUCQ/JUSCQ components'
+    /// arms, component-major). Empty-body conjunctions plan nothing.
+    pub plans: Vec<ConjunctionPlan>,
+}
+
+/// Plan every conjunction of `q` in executor traversal order, without
+/// executing anything. `execute_planned` replays the result; the walk
+/// order here and the executor's traversal must stay in lockstep.
+pub fn prepare_plans(
+    q: &FolQuery,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+    strategy: JoinStrategy,
+) -> PreparedPlans {
+    struct Prep<'a> {
+        stats: &'a CatalogStats,
+        layout: LayoutKind,
+        strategy: JoinStrategy,
+        plans: Vec<ConjunctionPlan>,
+    }
+    impl Prep<'_> {
+        fn add(&mut self, slots: &[Slot]) {
+            if !slots.is_empty() {
+                self.plans.push(plan_conjunction(
+                    slots,
+                    &BTreeSet::new(),
+                    self.stats,
+                    self.layout,
+                    self.strategy,
+                ));
+            }
+        }
+        fn add_cq(&mut self, cq: &CQ) {
+            let slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
+            self.add(&slots);
+        }
+    }
+    let mut p = Prep {
+        stats,
+        layout,
+        strategy,
+        plans: Vec::new(),
+    };
+    match q {
+        FolQuery::Cq(cq) => p.add_cq(cq),
+        FolQuery::Ucq(ucq) => ucq.cqs().iter().for_each(|c| p.add_cq(c)),
+        FolQuery::Scq(scq) => p.add(scq.slots()),
+        FolQuery::Uscq(uscq) => uscq.scqs().iter().for_each(|s| p.add(s.slots())),
+        FolQuery::Jucq(jucq) => {
+            for comp in jucq.components() {
+                comp.cqs().iter().for_each(|c| p.add_cq(c));
+            }
+        }
+        FolQuery::Juscq(juscq) => {
+            for comp in juscq.components() {
+                comp.scqs().iter().for_each(|s| p.add(s.slots()));
+            }
+        }
+    }
+    PreparedPlans {
+        strategy,
+        plans: p.plans,
+    }
+}
+
+/// Where each conjunction's plan comes from during one execution.
+enum PlanSource<'a> {
+    /// Plan on the fly (the classic per-call pipeline).
+    Inline(JoinStrategy),
+    /// Replay stored plans in traversal order (the plan-cache hot path).
+    Stored {
+        plans: &'a [ConjunctionPlan],
+        next: usize,
+    },
+}
+
+impl<'a> PlanSource<'a> {
+    fn stored(plans: &'a [ConjunctionPlan]) -> Self {
+        PlanSource::Stored { plans, next: 0 }
+    }
 }
 
 /// Evaluate any FOL query under the default cost-chosen operator mix,
@@ -47,35 +141,248 @@ pub fn execute_with(
     meter: &mut Meter,
     strategy: JoinStrategy,
 ) -> Vec<Row> {
+    execute_from(storage, q, meter, &mut PlanSource::Inline(strategy))
+}
+
+/// Evaluate `q` replaying [`PreparedPlans`] — no `plan_conjunction` calls.
+/// The plans must have been prepared for this exact query shape (and, for
+/// meaningful results, this storage's statistics); a shape mismatch
+/// panics rather than silently misplanning.
+pub fn execute_planned(
+    storage: &dyn Storage,
+    q: &FolQuery,
+    meter: &mut Meter,
+    prepared: &PreparedPlans,
+) -> Vec<Row> {
+    let mut source = PlanSource::stored(&prepared.plans);
+    let rows = execute_from(storage, q, meter, &mut source);
+    if let PlanSource::Stored { next, plans } = source {
+        assert_eq!(
+            next,
+            plans.len(),
+            "prepared plan count must match the query's conjunction count"
+        );
+    }
+    rows
+}
+
+fn execute_from(
+    storage: &dyn Storage,
+    q: &FolQuery,
+    meter: &mut Meter,
+    source: &mut PlanSource,
+) -> Vec<Row> {
     let set = match q {
-        FolQuery::Cq(cq) => eval_cq_set(storage, cq, meter, strategy),
-        FolQuery::Ucq(ucq) => eval_ucq_set(storage, ucq, meter, strategy),
-        FolQuery::Scq(scq) => eval_scq_set(storage, scq, meter, strategy),
-        FolQuery::Uscq(uscq) => eval_uscq_set(storage, uscq, meter, strategy),
-        FolQuery::Jucq(jucq) => eval_jucq_set(storage, jucq, meter, strategy),
-        FolQuery::Juscq(juscq) => eval_juscq_set(storage, juscq, meter, strategy),
+        FolQuery::Cq(cq) => eval_cq_set(storage, cq, meter, source),
+        FolQuery::Ucq(ucq) => eval_ucq_set(storage, ucq, meter, source),
+        FolQuery::Scq(scq) => eval_scq_set(storage, scq, meter, source),
+        FolQuery::Uscq(uscq) => eval_uscq_set(storage, uscq, meter, source),
+        FolQuery::Jucq(jucq) => eval_jucq_set(storage, jucq, meter, source),
+        FolQuery::Juscq(juscq) => eval_juscq_set(storage, juscq, meter, source),
     };
     meter.metrics.output = set.len() as u64;
     set.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------
+// intra-query parallelism
+// ---------------------------------------------------------------------
+
+/// Evaluate `q` fanning its independent units across up to `threads` OS
+/// threads: the arms of a top-level UCQ/USCQ, or the components of a
+/// JUCQ/JUSCQ. Non-union shapes (and `threads <= 1`) run sequentially.
+///
+/// Each worker owns a private [`Meter`]; deltas are merged into `meter`
+/// in arm/component index order, so merged totals and `arm_metrics` are
+/// deterministic and the arm-sums-equal-totals invariant holds exactly as
+/// in sequential execution. Worker meters never share scan state, so the
+/// profile's cross-arm rescan discount does not apply under the parallel
+/// path (a non-issue for discount-free profiles like pg-like; under
+/// db2-like, parallel totals conservatively price every arm's first scan
+/// at full cost).
+pub fn execute_parallel(
+    storage: &dyn Storage,
+    q: &FolQuery,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+    prepared: Option<&PreparedPlans>,
+    threads: usize,
+) -> Vec<Row> {
+    let sequential = |meter: &mut Meter| match prepared {
+        Some(p) => execute_planned(storage, q, meter, p),
+        None => execute_with(storage, q, meter, strategy),
+    };
+    if threads <= 1 {
+        return sequential(meter);
+    }
+    let set = match q {
+        FolQuery::Ucq(ucq) => {
+            let offsets = plan_offsets(ucq.cqs().iter().map(|cq| usize::from(cq.num_atoms() > 0)));
+            let profile = meter.profile();
+            let results = fan_out(ucq.cqs(), threads, |i, cq| {
+                let mut wm = Meter::new(profile);
+                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let rows = eval_cq_set(storage, cq, &mut wm, &mut src);
+                wm.on_hash_build(rows.len() as u64);
+                let mut delta = wm.metrics;
+                delta.output = rows.len() as u64;
+                (rows, delta)
+            });
+            let mut out = FxHashSet::default();
+            for (rows, delta) in results {
+                meter.merge_arm(delta);
+                out.extend(rows);
+            }
+            out
+        }
+        FolQuery::Uscq(uscq) => {
+            let offsets = plan_offsets(
+                uscq.scqs()
+                    .iter()
+                    .map(|s| usize::from(!s.slots().is_empty())),
+            );
+            let profile = meter.profile();
+            let results = fan_out(uscq.scqs(), threads, |i, scq| {
+                let mut wm = Meter::new(profile);
+                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let rows = eval_scq_set(storage, scq, &mut wm, &mut src);
+                wm.on_hash_build(rows.len() as u64);
+                let mut delta = wm.metrics;
+                delta.output = rows.len() as u64;
+                (rows, delta)
+            });
+            let mut out = FxHashSet::default();
+            for (rows, delta) in results {
+                meter.merge_arm(delta);
+                out.extend(rows);
+            }
+            out
+        }
+        FolQuery::Jucq(jucq) => {
+            let offsets = plan_offsets(
+                jucq.components()
+                    .iter()
+                    .map(|c| c.cqs().iter().filter(|cq| cq.num_atoms() > 0).count()),
+            );
+            let profile = meter.profile();
+            let results = fan_out(jucq.components(), threads, |i, comp| {
+                let mut wm = Meter::new(profile);
+                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let set = eval_ucq_set_inner(storage, comp, &mut wm, &mut src, false);
+                let rel = materialize(comp.head(), set, &mut wm);
+                (rel, wm.metrics)
+            });
+            let mut relations = Vec::with_capacity(results.len());
+            for (rel, delta) in results {
+                meter.merge_unattributed(&delta);
+                relations.push(rel);
+            }
+            join_relations(relations, jucq.head(), meter)
+        }
+        FolQuery::Juscq(juscq) => {
+            let offsets = plan_offsets(
+                juscq
+                    .components()
+                    .iter()
+                    .map(|c| c.scqs().iter().filter(|s| !s.slots().is_empty()).count()),
+            );
+            let profile = meter.profile();
+            let results = fan_out(juscq.components(), threads, |i, comp| {
+                let mut wm = Meter::new(profile);
+                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let set = eval_uscq_set_inner(storage, comp, &mut wm, &mut src, false);
+                let rel = materialize(comp.head(), set, &mut wm);
+                (rel, wm.metrics)
+            });
+            let mut relations = Vec::with_capacity(results.len());
+            for (rel, delta) in results {
+                meter.merge_unattributed(&delta);
+                relations.push(rel);
+            }
+            join_relations(relations, juscq.head(), meter)
+        }
+        _ => return sequential(meter),
+    };
+    meter.metrics.output = set.len() as u64;
+    set.into_iter().collect()
+}
+
+/// Prefix offsets into [`PreparedPlans::plans`]: unit `i` (union arm or
+/// JUCQ/JUSCQ component) owns the stored plans in
+/// `plans[offsets[i]..offsets[i + 1]]`. `plan_counts` yields, per unit,
+/// how many *non-empty* conjunctions it contains (0 or 1 for UCQ/USCQ
+/// arms — empty bodies plan nothing, mirroring `prepare_plans`).
+fn plan_offsets(plan_counts: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    for count in plan_counts {
+        offsets.push(offsets.last().unwrap() + count);
+    }
+    offsets
+}
+
+/// The plan source for one parallel unit: a slice of the stored plans, or
+/// inline planning when no prepared plans were supplied.
+fn arm_source<'a>(
+    prepared: Option<&'a PreparedPlans>,
+    offsets: &[usize],
+    i: usize,
+    strategy: JoinStrategy,
+) -> PlanSource<'a> {
+    match prepared {
+        Some(p) => PlanSource::stored(&p.plans[offsets[i]..offsets[i + 1]]),
+        None => PlanSource::Inline(strategy),
+    }
+}
+
+/// Run `f` over every item on up to `threads` scoped worker threads
+/// (contiguous chunks), returning results in item order regardless of
+/// thread scheduling — the merge step's determinism hinges on this.
+fn fan_out<'e, T: Sync, R: Send>(
+    items: &'e [T],
+    threads: usize,
+    f: impl Fn(usize, &'e T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (wi, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in out_chunk.iter_mut().enumerate() {
+                    let idx = wi * chunk + j;
+                    *slot = Some(f(idx, &items[idx]));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every result slot"))
+        .collect()
 }
 
 fn eval_cq_set(
     storage: &dyn Storage,
     cq: &CQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
     let slots: Vec<Slot> = cq.atoms().iter().map(|a| Slot::single(*a)).collect();
-    eval_conjunction(storage, &slots, cq.head(), meter, strategy)
+    eval_conjunction(storage, &slots, cq.head(), meter, source)
 }
 
 fn eval_ucq_set(
     storage: &dyn Storage,
     ucq: &obda_query::UCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
-    eval_ucq_set_inner(storage, ucq, meter, strategy, true)
+    eval_ucq_set_inner(storage, ucq, meter, source, true)
 }
 
 /// `track_arms` is false when the union is a JUCQ component: arm metrics
@@ -86,7 +393,7 @@ fn eval_ucq_set_inner(
     storage: &dyn Storage,
     ucq: &obda_query::UCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
     track_arms: bool,
 ) -> FxHashSet<Row> {
     let mut out = FxHashSet::default();
@@ -94,7 +401,7 @@ fn eval_ucq_set_inner(
         if track_arms {
             meter.begin_arm();
         }
-        let rows = eval_cq_set(storage, cq, meter, strategy);
+        let rows = eval_cq_set(storage, cq, meter, source);
         meter.on_hash_build(rows.len() as u64);
         if track_arms {
             meter.end_arm(rows.len() as u64);
@@ -108,25 +415,25 @@ fn eval_scq_set(
     storage: &dyn Storage,
     scq: &SCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
-    eval_conjunction(storage, scq.slots(), scq.head(), meter, strategy)
+    eval_conjunction(storage, scq.slots(), scq.head(), meter, source)
 }
 
 fn eval_uscq_set(
     storage: &dyn Storage,
     uscq: &USCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
-    eval_uscq_set_inner(storage, uscq, meter, strategy, true)
+    eval_uscq_set_inner(storage, uscq, meter, source, true)
 }
 
 fn eval_uscq_set_inner(
     storage: &dyn Storage,
     uscq: &USCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
     track_arms: bool,
 ) -> FxHashSet<Row> {
     let mut out = FxHashSet::default();
@@ -134,7 +441,7 @@ fn eval_uscq_set_inner(
         if track_arms {
             meter.begin_arm();
         }
-        let rows = eval_scq_set(storage, scq, meter, strategy);
+        let rows = eval_scq_set(storage, scq, meter, source);
         meter.on_hash_build(rows.len() as u64);
         if track_arms {
             meter.end_arm(rows.len() as u64);
@@ -148,13 +455,13 @@ fn eval_jucq_set(
     storage: &dyn Storage,
     jucq: &JUCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
     let relations: Vec<Relation> = jucq
         .components()
         .iter()
         .map(|c| {
-            let set = eval_ucq_set_inner(storage, c, meter, strategy, false);
+            let set = eval_ucq_set_inner(storage, c, meter, source, false);
             materialize(c.head(), set, meter)
         })
         .collect();
@@ -165,13 +472,13 @@ fn eval_juscq_set(
     storage: &dyn Storage,
     juscq: &JUSCQ,
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
     let relations: Vec<Relation> = juscq
         .components()
         .iter()
         .map(|c| {
-            let set = eval_uscq_set_inner(storage, c, meter, strategy, false);
+            let set = eval_uscq_set_inner(storage, c, meter, source, false);
             materialize(c.head(), set, meter)
         })
         .collect();
@@ -193,16 +500,19 @@ fn materialize(head: &[Term], set: FxHashSet<Row>, meter: &mut Meter) -> Relatio
 // ---------------------------------------------------------------------
 
 /// Evaluate a conjunction of disjunctive slots, projecting `head`. Each
-/// step runs the physical operator the planner chose under `strategy`.
+/// step runs the physical operator recorded in the plan — freshly chosen
+/// by the planner (inline mode) or replayed from a stored plan.
 fn eval_conjunction(
     storage: &dyn Storage,
     slots: &[Slot],
     head: &[Term],
     meter: &mut Meter,
-    strategy: JoinStrategy,
+    source: &mut PlanSource,
 ) -> FxHashSet<Row> {
     if slots.is_empty() {
         // Empty body: true, the empty tuple (constants in head allowed).
+        // No plan is consumed — prepare_plans skips empty conjunctions
+        // with the same rule, keeping the stored-plan cursor aligned.
         let row: Option<Row> = head
             .iter()
             .map(|t| match t {
@@ -218,13 +528,26 @@ fn eval_conjunction(
         return out;
     }
 
-    let plan = plan_conjunction(
-        slots,
-        &BTreeSet::new(),
-        storage.stats(),
-        storage.layout(),
-        strategy,
-    );
+    let inline_plan;
+    let plan: &ConjunctionPlan = match source {
+        PlanSource::Inline(strategy) => {
+            inline_plan = plan_conjunction(
+                slots,
+                &BTreeSet::new(),
+                storage.stats(),
+                storage.layout(),
+                *strategy,
+            );
+            &inline_plan
+        }
+        PlanSource::Stored { plans, next } => {
+            let plan = plans
+                .get(*next)
+                .expect("stored plans exhausted before the query's conjunctions");
+            *next += 1;
+            plan
+        }
+    };
 
     // Bound-variable layout grows as slots execute.
     let mut var_pos: FxHashMap<VarId, usize> = FxHashMap::default();

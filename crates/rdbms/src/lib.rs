@@ -34,8 +34,14 @@
 //!   drift (`cost_model`, `estimators`);
 //! * the **differential harness** proving all of the above equivalent:
 //!   every query runs under forced-INL, forced-hash, and cost-chosen
-//!   modes across all three layouts against the reference evaluator
-//!   (`testkit`).
+//!   modes across all three layouts against the reference evaluator,
+//!   additionally replayed through stored plans and parallel arm
+//!   execution (`testkit`);
+//! * the **serving layer** (`server`): `Arc`-shared engine snapshots
+//!   with a generation counter, a reformulation/plan cache keyed by
+//!   `obda_query::canonical_key`, and union-arm fan-out across worker
+//!   threads — amortizing the §6.4-dominant cost-estimation work across
+//!   repeated queries.
 
 pub mod cost_model;
 pub mod engine;
@@ -47,18 +53,23 @@ pub mod meter;
 pub mod metrics;
 pub mod planner;
 pub mod profile;
+pub mod server;
 pub mod sql;
 pub mod stats;
 pub mod testkit;
 
 pub use cost_model::CostModel;
-pub use engine::{ArmPlan, Engine, EngineError, ExplainPlan, QueryOutcome};
+pub use engine::{ArmPlan, Engine, EngineError, EvalOptions, ExplainPlan, QueryOutcome};
 pub use estimators::ExplainEstimator;
-pub use executor::{execute, execute_with, Relation, Row};
+pub use executor::{
+    execute, execute_parallel, execute_planned, execute_with, prepare_plans, PreparedPlans,
+    Relation, Row,
+};
 pub use layout::{LayoutKind, Storage};
 pub use meter::Meter;
 pub use metrics::ExecMetrics;
 pub use planner::{ConjunctionPlan, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
+pub use server::{CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerOutcome};
 pub use sql::{SqlGenerator, SqlNames};
 pub use stats::{CatalogStats, KeySide};

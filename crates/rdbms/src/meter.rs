@@ -105,8 +105,29 @@ impl<'p> Meter<'p> {
         }
     }
 
-    pub fn profile(&self) -> &EngineProfile {
+    pub fn profile(&self) -> &'p EngineProfile {
         self.profile
+    }
+
+    /// Merge a worker thread's union-arm delta into this statement meter:
+    /// every counter adds into the totals and the delta is recorded as the
+    /// next arm's metrics — the parallel-execution counterpart of a
+    /// [`Meter::begin_arm`]/[`Meter::end_arm`] scope. Deltas must be
+    /// merged in arm-index order so merged totals are deterministic.
+    ///
+    /// Worker meters never share scan state, so the cross-arm rescan
+    /// discount does not apply under the parallel path (each arm prices
+    /// its scans as a sequential *first* scan would — identical totals to
+    /// sequential execution under discount-free profiles like pg-like).
+    pub fn merge_arm(&mut self, delta: ExecMetrics) {
+        self.metrics.merge(&delta);
+        self.arm_metrics.push(delta);
+    }
+
+    /// Merge a worker thread's metrics into the statement totals without
+    /// recording an arm (JUCQ/JUSCQ component work belongs to no arm).
+    pub fn merge_unattributed(&mut self, delta: &ExecMetrics) {
+        self.metrics.merge(delta);
     }
 
     /// How many times `table` has been scanned so far in this statement.

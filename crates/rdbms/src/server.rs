@@ -1,0 +1,530 @@
+//! The concurrent query-serving layer: shared snapshots, a canonical
+//! plan cache, and intra-query parallelism.
+//!
+//! The paper's pipeline — PerfectRef, GDL cover search, cost-chosen
+//! physical planning — is priced per call, and §6.4 observes that *most
+//! of GDL's running time is spent estimating costs*: the expensive part
+//! of answering is not executing the chosen plan but choosing it. A
+//! serving deployment sees the same query shapes repeatedly against a
+//! slowly-changing KB, which is exactly the regime where that per-call
+//! cost can be amortized away. [`Server`] does three things about it:
+//!
+//! * **Shared snapshots** — an [`EngineSnapshot`] bundles the immutable
+//!   [`Engine`] (storage + `CatalogStats` + profile), the TBox, and the
+//!   predicate dependencies behind one `Arc`, tagged with a
+//!   **generation** counter. Queries clone the `Arc` (no lock held while
+//!   running), so any number of OS threads evaluate concurrently against
+//!   one loaded KB, and a reload swaps the `Arc` without disturbing
+//!   in-flight queries (snapshot isolation).
+//! * **Canonical plan cache** — reformulation + planning results are
+//!   cached under `(generation, canonical_key(q))`. The canonical key is
+//!   invariant under head-variable renaming and body-atom reordering
+//!   (`obda_query::canonical_key`), so syntactic variants of one query
+//!   share an entry. A hit skips PerfectRef, cover search, cost
+//!   estimation, and `plan_conjunction` entirely and replays the stored
+//!   [`PreparedPlans`] — precisely the §6.4-dominant work.
+//! * **Intra-query parallelism** — with `threads > 1` the arms of a
+//!   UCQ/USCQ (or the components of a JUCQ/JUSCQ) fan out across scoped
+//!   worker threads with per-thread meters, merged deterministically in
+//!   arm order so the arm-sums-equal-totals metering invariant survives
+//!   parallel execution (see [`crate::executor::execute_parallel`]).
+//!
+//! Staleness is impossible by construction: the cache key embeds the
+//! snapshot generation, [`Server::reload_abox`] / [`Server::reload_kb`]
+//! bump it before publishing the new snapshot, and each query reads its
+//! snapshot *first* and then looks up the cache with that snapshot's
+//! generation — a cached plan can only ever be paired with the data it
+//! was planned against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use obda_core::{choose_reformulation, Strategy};
+use obda_dllite::{ABox, Dependencies, TBox, Vocabulary};
+use obda_query::{canonical_key, CanonKey, FolQuery, CQ};
+
+use crate::engine::{Engine, EngineError, EvalOptions, QueryOutcome};
+use crate::estimators::ExplainEstimator;
+use crate::executor::PreparedPlans;
+use crate::fxhash::FxHashMap;
+use crate::layout::LayoutKind;
+use crate::planner::JoinStrategy;
+use crate::profile::EngineProfile;
+
+/// Serving-layer configuration (fixed at construction).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub layout: LayoutKind,
+    pub profile: EngineProfile,
+    pub join_strategy: JoinStrategy,
+    /// Which reformulation the miss path computes (the paper's strategy
+    /// surface; [`Strategy::Gdl`] is the headline cost-driven search).
+    pub reform_strategy: Strategy,
+    /// Worker threads fanning union arms per query (1 = sequential).
+    pub threads: usize,
+    /// Plan-cache toggle — `false` re-runs the full pipeline on every
+    /// call (the differential harness runs both ways and compares).
+    pub cache_plans: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            layout: LayoutKind::Simple,
+            profile: EngineProfile::pg_like(),
+            join_strategy: JoinStrategy::CostChosen,
+            reform_strategy: Strategy::Gdl { time_budget: None },
+            threads: 1,
+            cache_plans: true,
+        }
+    }
+}
+
+/// One immutable generation of the loaded KB: engine (storage + stats +
+/// profile), TBox, and predicate dependencies. `Send + Sync`; shared
+/// behind `Arc` so readers never block writers and vice versa.
+pub struct EngineSnapshot {
+    engine: Engine,
+    tbox: TBox,
+    deps: Dependencies,
+    generation: u64,
+}
+
+impl EngineSnapshot {
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn tbox(&self) -> &TBox {
+        &self.tbox
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A cached compilation: the chosen FOL reformulation, its stored
+/// physical plans, and the SQL translation size (so the hot path skips
+/// SQL text generation too).
+pub struct CompiledQuery {
+    pub fol: FolQuery,
+    pub plans: PreparedPlans,
+    pub sql_bytes: usize,
+}
+
+/// The answer to one served query.
+pub struct ServerOutcome {
+    pub outcome: QueryOutcome,
+    /// Whether the plan cache supplied the compilation.
+    pub cache_hit: bool,
+    /// The snapshot generation the query ran against.
+    pub generation: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    /// Stale entries dropped by reloads so far.
+    pub invalidated: u64,
+}
+
+/// The concurrent serving layer over one knowledge base. See the module
+/// docs for the architecture; thread-safety contract: every method takes
+/// `&self`, and the whole struct is `Send + Sync`.
+pub struct Server {
+    voc: Vocabulary,
+    config: ServerConfig,
+    snapshot: RwLock<Arc<EngineSnapshot>>,
+    /// Serializes reloaders so concurrent `reload_abox`/`reload_kb`
+    /// calls cannot interleave (a reload reads the current TBox/deps and
+    /// must publish against exactly that state — no lost updates). Held
+    /// across the *build* of the next snapshot, while the `snapshot`
+    /// write lock is held only for the `Arc` swap, so queries keep
+    /// serving the old generation during a slow rebuild.
+    reload: Mutex<()>,
+    cache: Mutex<FxHashMap<(u64, CanonKey), Arc<CompiledQuery>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+/// Compile-time thread-safety contract: snapshots cross worker threads
+/// and the server is shared by reference from every client thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<CompiledQuery>();
+};
+
+impl Server {
+    /// Load generation 0 from a KB.
+    pub fn new(voc: Vocabulary, tbox: TBox, abox: &ABox, config: ServerConfig) -> Self {
+        let deps = Dependencies::compute(&voc, &tbox);
+        let snapshot = Self::build_snapshot(&voc, &config, tbox, deps, abox, 0);
+        Server {
+            voc,
+            config,
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            reload: Mutex::new(()),
+            cache: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn build_snapshot(
+        voc: &Vocabulary,
+        config: &ServerConfig,
+        tbox: TBox,
+        deps: Dependencies,
+        abox: &ABox,
+        generation: u64,
+    ) -> EngineSnapshot {
+        let engine = Engine::load(abox, voc, config.layout, config.profile.clone())
+            .with_join_strategy(config.join_strategy);
+        EngineSnapshot {
+            engine,
+            tbox,
+            deps,
+            generation,
+        }
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The current snapshot (cheap `Arc` clone; callers keep the KB
+    /// generation they started with even across concurrent reloads).
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Answer one conjunctive query: compile (or fetch the cached
+    /// compilation of) its reformulation, then evaluate it against the
+    /// current snapshot under the configured parallelism.
+    pub fn query(&self, cq: &CQ) -> Result<ServerOutcome, EngineError> {
+        self.query_on(&self.snapshot(), cq)
+    }
+
+    /// [`Server::query`] pinned to an explicit snapshot — lets a caller
+    /// issue several queries against one consistent KB generation.
+    pub fn query_on(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        cq: &CQ,
+    ) -> Result<ServerOutcome, EngineError> {
+        let (compiled, cache_hit) = self.compile(snap, cq);
+        let opts = EvalOptions {
+            strategy: None,
+            prepared: Some(&compiled.plans),
+            threads: self.config.threads,
+            sql_bytes: Some(compiled.sql_bytes),
+        };
+        let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
+        Ok(ServerOutcome {
+            outcome,
+            cache_hit,
+            generation: snap.generation,
+        })
+    }
+
+    /// Fetch or compute the compilation of `cq` for `snap`'s generation.
+    fn compile(&self, snap: &EngineSnapshot, cq: &CQ) -> (Arc<CompiledQuery>, bool) {
+        if !self.config.cache_plans {
+            return (Arc::new(self.compile_cold(snap, cq)), false);
+        }
+        let key = (snap.generation, canonical_key(cq));
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        // Compile outside the lock: reformulation dominates (§6.4), and
+        // concurrent misses on the same key are idempotent (last insert
+        // wins; both compute the same deterministic compilation).
+        let compiled = Arc::new(self.compile_cold(snap, cq));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+            // A reload may have published a newer generation (and purged
+            // the old one) while we compiled; inserting the old-gen entry
+            // now would leave an unservable key alive until the next
+            // reload. The generation is re-read *inside* the cache lock:
+            // `publish` swaps the snapshot before it purges under this
+            // same lock, so either our insert precedes the purge (and is
+            // dropped by it) or this check sees the new generation.
+            let current = self
+                .snapshot
+                .read()
+                .expect("snapshot lock poisoned")
+                .generation;
+            if snap.generation >= current {
+                cache.insert(key, compiled.clone());
+            }
+        }
+        (compiled, false)
+    }
+
+    /// The full per-call pipeline: reformulate under the configured
+    /// strategy (cost estimates answered by the snapshot engine's
+    /// `explain`), then plan every conjunction and size the SQL.
+    fn compile_cold(&self, snap: &EngineSnapshot, cq: &CQ) -> CompiledQuery {
+        let estimator = ExplainEstimator::new(&snap.engine);
+        let chosen = choose_reformulation(
+            cq,
+            &snap.tbox,
+            &snap.deps,
+            &estimator,
+            &self.config.reform_strategy,
+        );
+        let plans = snap.engine.prepare(&chosen.fol);
+        let sql_bytes = snap.engine.sql_for(&chosen.fol).len();
+        CompiledQuery {
+            fol: chosen.fol,
+            plans,
+            sql_bytes,
+        }
+    }
+
+    /// Publish a new ABox under the current TBox: rebuilds storage and
+    /// statistics, bumps the generation, and drops every stale cache
+    /// entry. In-flight queries finish against the snapshot they started
+    /// with; queries arriving after the swap see the new generation and
+    /// can never be served a stale plan (the cache key embeds the
+    /// generation).
+    pub fn reload_abox(&self, abox: &ABox) {
+        let reload = self.reload.lock().expect("reload lock poisoned");
+        let (tbox, deps) = {
+            let cur = self.snapshot.read().expect("snapshot lock poisoned");
+            (cur.tbox.clone(), cur.deps.clone())
+        };
+        self.publish(&reload, tbox, deps, abox);
+    }
+
+    /// Publish a new TBox *and* ABox (ontology evolution): recomputes the
+    /// predicate dependencies, then swaps like [`Server::reload_abox`].
+    pub fn reload_kb(&self, tbox: TBox, abox: &ABox) {
+        let reload = self.reload.lock().expect("reload lock poisoned");
+        let deps = Dependencies::compute(&self.voc, &tbox);
+        self.publish(&reload, tbox, deps, abox);
+    }
+
+    /// Build and swap in the next generation. The `_reload` guard proves
+    /// the caller holds the reload mutex: the current TBox/deps were read
+    /// under it, so no concurrent reload can interleave (lost update),
+    /// and the expensive snapshot build happens *before* the snapshot
+    /// write lock is taken — queries keep serving the old generation
+    /// until the O(1) `Arc` swap.
+    fn publish(
+        &self,
+        _reload: &std::sync::MutexGuard<'_, ()>,
+        tbox: TBox,
+        deps: Dependencies,
+        abox: &ABox,
+    ) {
+        let generation = self
+            .snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .generation
+            + 1;
+        let next = Arc::new(Self::build_snapshot(
+            &self.voc,
+            &self.config,
+            tbox,
+            deps,
+            abox,
+            generation,
+        ));
+        *self.snapshot.write().expect("snapshot lock poisoned") = next;
+        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        let before = cache.len();
+        cache.retain(|(gen, _), _| *gen >= generation);
+        self.invalidated
+            .fetch_add((before - cache.len()) as u64, Ordering::Relaxed);
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("plan cache lock poisoned").len(),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::example7_tbox;
+    use obda_query::{Atom, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Example-7 KB: PhD students / supervision, with facts that make the
+    /// reformulation non-trivial.
+    fn fixture() -> (Vocabulary, TBox, ABox, CQ) {
+        let (mut voc, tbox) = example7_tbox();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let damian = voc.individual("Damian");
+        let ioana = voc.individual("Ioana");
+        let mut abox = ABox::new();
+        abox.assert_concept(phd, damian);
+        abox.assert_concept(phd, ioana);
+        abox.assert_role(works, ioana, damian);
+        abox.assert_role(sup, damian, ioana);
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(phd, v(0)),
+                Atom::Role(works, v(0), v(1)),
+                Atom::Role(sup, v(2), v(1)),
+            ],
+        );
+        (voc, tbox, abox, q)
+    }
+
+    fn server(config: ServerConfig) -> (Server, CQ) {
+        let (voc, tbox, abox, q) = fixture();
+        (Server::new(voc, tbox, &abox, config), q)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_agree() {
+        let (srv, q) = server(ServerConfig::default());
+        let first = srv.query(&q).unwrap();
+        assert!(!first.cache_hit);
+        let second = srv.query(&q).unwrap();
+        assert!(second.cache_hit);
+        let mut a = first.outcome.rows.clone();
+        let mut b = second.outcome.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        let stats = srv.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn renamed_and_reordered_queries_share_one_entry() {
+        let (srv, q) = server(ServerConfig::default());
+        let baseline = srv.query(&q).unwrap();
+        // Same query: head variable renamed, body atoms reversed,
+        // existentials shifted — one canonical key.
+        let renamed = CQ::with_var_head(
+            vec![VarId(9)],
+            q.atoms()
+                .iter()
+                .rev()
+                .map(|a| a.map_vars(|var| Term::Var(VarId(var.0 + 9))))
+                .collect(),
+        );
+        let out = srv.query(&renamed).unwrap();
+        assert!(out.cache_hit, "canonical key must unify syntactic variants");
+        let mut a = baseline.outcome.rows.clone();
+        let mut b = out.outcome.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_disabled_recompiles_every_call() {
+        let (srv, q) = server(ServerConfig {
+            cache_plans: false,
+            ..ServerConfig::default()
+        });
+        assert!(!srv.query(&q).unwrap().cache_hit);
+        assert!(!srv.query(&q).unwrap().cache_hit);
+        assert_eq!(srv.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_invalidates() {
+        let (voc, tbox, abox, q) = fixture();
+        let srv = Server::new(voc.clone(), tbox.clone(), &abox, ServerConfig::default());
+        let before = srv.query(&q).unwrap();
+        assert_eq!(before.generation, 0);
+
+        // Grow the ABox: a second supervised collaborator.
+        let mut voc2 = voc.clone();
+        let phd = voc2.find_concept("PhDStudent").unwrap();
+        let works = voc2.find_role("worksWith").unwrap();
+        let sup = voc2.find_role("supervisedBy").unwrap();
+        let extra = voc2.individual("Extra");
+        let other = voc2.individual("Other");
+        let mut abox2 = abox.clone();
+        abox2.assert_concept(phd, extra);
+        abox2.assert_role(works, extra, other);
+        abox2.assert_role(sup, extra, other);
+        srv.reload_abox(&abox2);
+
+        let after = srv.query(&q).unwrap();
+        assert_eq!(after.generation, 1);
+        assert!(!after.cache_hit, "stale plan must not serve the new KB");
+        assert!(srv.cache_stats().invalidated >= 1);
+
+        // Row-for-row parity with a cold server over the new ABox.
+        let cold = Server::new(
+            voc2,
+            tbox,
+            &abox2,
+            ServerConfig {
+                cache_plans: false,
+                ..ServerConfig::default()
+            },
+        );
+        let mut want = cold.query(&q).unwrap().outcome.rows;
+        let mut got = after.outcome.rows.clone();
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+        assert!(
+            got.len() > before.outcome.rows.len(),
+            "the new facts must be visible"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_and_parallel_arms_agree_with_sequential() {
+        let (srv, q) = server(ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        });
+        let mut want = srv.query(&q).unwrap().outcome.rows;
+        want.sort();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        let mut rows = srv.query(&q).unwrap().outcome.rows;
+                        rows.sort();
+                        assert_eq!(rows, want);
+                    }
+                });
+            }
+        });
+        let stats = srv.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 41);
+    }
+}

@@ -5,15 +5,21 @@
 //! layout × join strategy (forced index-nested-loop, forced hash,
 //! cost-chosen), asserts all eighteen executions return the same row
 //! set, cross-checks the reference evaluator, and audits the meter's
-//! per-union-arm accounting ([`assert_arm_metrics_sum`]). Any future
-//! executor change — new operator, new layout, planner rewrite — is
-//! covered by pointing this harness (plus the random query generators in
-//! `obda_query::testkit`) at the new code path.
+//! per-union-arm accounting ([`assert_arm_metrics_sum`]). Each
+//! combination is additionally replayed through **stored plans**
+//! (`prepare` + `evaluate_opts`, the plan-cache hot path) and through
+//! **parallel arm execution** (3 worker threads), asserting row-set and
+//! work-counter parity with the sequential inline-planned run — so a
+//! cache-key or merge-order bug in the serving layer fails here, not in
+//! production. Any future executor change — new operator, new layout,
+//! planner rewrite — is covered by pointing this harness (plus the
+//! random query generators in `obda_query::testkit`) at the new code
+//! path.
 
 use obda_dllite::{ABox, Vocabulary};
 use obda_query::{eval_over_abox, FolQuery};
 
-use crate::engine::{Engine, QueryOutcome};
+use crate::engine::{Engine, EvalOptions, QueryOutcome};
 use crate::executor::Row;
 use crate::layout::LayoutKind;
 use crate::metrics::ExecMetrics;
@@ -64,9 +70,80 @@ pub fn differential_check(voc: &Vocabulary, abox: &ABox, q: &FolQuery, context: 
                 strategy.name()
             );
             assert_arm_metrics_sum(q, &out, context);
+
+            // Stored-plan replay (the plan-cache hot path) must be
+            // indistinguishable from inline planning: same rows, same
+            // work on every counter.
+            let prepared = engine.prepare_with(q, strategy);
+            let replay = engine
+                .evaluate_opts(
+                    q,
+                    &EvalOptions {
+                        strategy: Some(strategy),
+                        prepared: Some(&prepared),
+                        ..EvalOptions::default()
+                    },
+                )
+                .expect("pg-like profile has no statement limit");
+            assert_same_execution(
+                &out,
+                &replay,
+                &format!(
+                    "{context}: stored-plan replay, {layout:?}/{}",
+                    strategy.name()
+                ),
+            );
+            assert_arm_metrics_sum(q, &replay, context);
+
+            // Parallel arm execution (3 workers) must return the same
+            // rows with identical deterministic work totals (pg-like has
+            // no rescan discount, so per-arm meters sum exactly).
+            let par = engine
+                .evaluate_opts(
+                    q,
+                    &EvalOptions {
+                        strategy: Some(strategy),
+                        prepared: Some(&prepared),
+                        threads: 3,
+                        ..EvalOptions::default()
+                    },
+                )
+                .expect("pg-like profile has no statement limit");
+            assert_same_execution(
+                &out,
+                &par,
+                &format!("{context}: parallel arms, {layout:?}/{}", strategy.name()),
+            );
+            assert_arm_metrics_sum(q, &par, context);
         }
     }
     want
+}
+
+/// Two executions of one statement must agree on the row set and on
+/// every work counter (`wall` excluded; `scanned` compared with a float
+/// tolerance since parallel merging reassociates f64 sums).
+pub fn assert_same_execution(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    let mut ra = a.rows.clone();
+    let mut rb = b.rows.clone();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb, "{context}: row sets differ");
+    let (ma, mb) = (&a.metrics, &b.metrics);
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
+    assert!(
+        close(ma.scanned, mb.scanned),
+        "{context}: scanned {} vs {}",
+        ma.scanned,
+        mb.scanned
+    );
+    assert_eq!(ma.index_probes, mb.index_probes, "{context}: index_probes");
+    assert_eq!(ma.hash_build, mb.hash_build, "{context}: hash_build");
+    assert_eq!(ma.hash_probe, mb.hash_probe, "{context}: hash_probe");
+    assert_eq!(ma.join_build, mb.join_build, "{context}: join_build");
+    assert_eq!(ma.join_probe, mb.join_probe, "{context}: join_probe");
+    assert_eq!(ma.materialized, mb.materialized, "{context}: materialized");
+    assert_eq!(ma.output, mb.output, "{context}: output");
 }
 
 /// For top-level unions, the per-arm metric deltas must sum to the

@@ -19,7 +19,9 @@
 //! * [`core`] — covers, safety, the lattice `Lq`, the generalized space
 //!   `Gq`, and the EDL/GDL cost-driven searches;
 //! * [`rdbms`] — the in-memory engine substrate: three storage layouts,
-//!   planner/executor, SQL generation, engine profiles and cost models;
+//!   planner/executor, SQL generation, engine profiles, cost models, and
+//!   the concurrent serving layer (snapshots + plan cache + parallel
+//!   union-arm execution);
 //! * [`lubm`] — the LUBM∃-style benchmark: ontology, data generator,
 //!   workload queries.
 //!
@@ -70,7 +72,9 @@ pub mod prelude {
     pub use obda_query::{
         certain_answers, eval_over_abox, Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ,
     };
-    pub use obda_rdbms::{Engine, EngineProfile, ExplainEstimator, LayoutKind};
+    pub use obda_rdbms::{
+        Engine, EngineProfile, ExplainEstimator, LayoutKind, Server, ServerConfig,
+    };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
     };
@@ -78,7 +82,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The five root integration suites rely on cargo's `tests/`
+    /// The six root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -90,6 +94,7 @@ mod tests {
             "failure_injection",
             "equivalence_props",
             "differential",
+            "concurrency",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(

@@ -226,3 +226,61 @@ fn cost_chosen_work_never_exceeds_forced_inl_on_lubm() {
         "aggregate: chosen {total_chosen} vs inl {total_inl}"
     );
 }
+
+// ---------------------------------------------------------------------
+// serving-layer differential: plan cache on/off × threads 1/N
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The serving layer must be answer-invisible: a warm plan cache
+    /// with parallel arm execution returns exactly the rows of a cold
+    /// per-call pipeline, including on a head-renamed / atom-reordered
+    /// variant of the query (which must HIT the canonical-key cache).
+    /// Any divergence here is a cache-key or merge-order bug.
+    #[test]
+    fn serving_layer_parity_cache_and_threads(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        let cq = obda::query::testkit::random_connected_cq(&mut rng, &voc, 3, 2);
+
+        let cold = Server::new(voc.clone(), tbox.clone(), &abox, ServerConfig {
+            cache_plans: false,
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        let warm = Server::new(voc.clone(), tbox.clone(), &abox, ServerConfig {
+            cache_plans: true,
+            threads: 3,
+            ..ServerConfig::default()
+        });
+
+        let mut want = cold.query(&cq).unwrap().outcome.rows;
+        want.sort();
+
+        let miss = warm.query(&cq).unwrap();
+        prop_assert!(!miss.cache_hit);
+        let mut got = miss.outcome.rows;
+        got.sort();
+        prop_assert_eq!(&got, &want, "seed {}: cold vs warm-miss", seed);
+
+        // Head vars renamed (+100), atoms reversed: same canonical key,
+        // same answers, served from the cache.
+        let shift = |t: &Term| match t {
+            Term::Var(v) => Term::Var(VarId(v.0 + 100)),
+            c => *c,
+        };
+        let variant = CQ::new(
+            cq.head().iter().map(&shift).collect(),
+            cq.atoms().iter().rev().map(|a| a.map_vars(|v| shift(&Term::Var(v)))).collect(),
+        );
+        let hit = warm.query(&variant).unwrap();
+        prop_assert!(hit.cache_hit, "seed {}: variant must hit the cache", seed);
+        let mut rows = hit.outcome.rows;
+        rows.sort();
+        prop_assert_eq!(&rows, &want, "seed {}: cached plan vs cold pipeline", seed);
+    }
+}

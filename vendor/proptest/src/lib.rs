@@ -211,6 +211,25 @@ mod tests {
 
     #[test]
     fn env_cap_applies() {
-        assert_eq!(resolve_cases(64), 64);
+        // The test process may itself run under a PROPTEST_CASES cap
+        // (CI sets one globally), so assert *behaviour* against the
+        // ambient value rather than restating the implementation: the
+        // cap may only lower the configured count (never raise it, never
+        // to zero), and with no cap the configured count is identity.
+        let resolved = resolve_cases(64);
+        assert!(
+            (1..=64).contains(&resolved),
+            "cap may only lower, never raise or zero: {resolved}"
+        );
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => assert!(
+                resolved <= cap.max(1),
+                "resolved {resolved} exceeds the env cap {cap}"
+            ),
+            None => assert_eq!(resolved, 64, "no cap set: configured count is identity"),
+        }
     }
 }
