@@ -1,0 +1,139 @@
+//! The ingest benchmark: incremental `apply_batch` vs. full
+//! `reload_abox` on LUBM.
+//!
+//! Scenario: a durable server starts with 90% of a generated LUBM
+//! dataset and ingests the rest as ten 1%-sized [`AboxDelta`] batches —
+//! the steady-state serving regime the incremental path exists for.
+//! Reported numbers:
+//!
+//! * **apply_batch latency** — per-batch, averaged over the ten batches:
+//!   WAL append + in-place maintenance of the layout tables, indexes and
+//!   statistics on a copy-on-write engine clone (O(|tables| memcpy +
+//!   |δ|));
+//! * **ingest throughput** — facts/second over the same ten batches
+//!   (each publishes one snapshot generation);
+//! * **reload_abox latency** — the bulk alternative on the same server:
+//!   storage and statistics rebuilt from scratch, plus the on-disk
+//!   compaction a durable bulk load performs.
+//!
+//! `--check` exits non-zero unless the average incremental apply beats
+//! the full reload by ≥ 5× — the acceptance bar CI's recovery job
+//! enforces.
+//!
+//! Environment: `OBDA_INGEST_FACTS` (default 20 000) scales the dataset;
+//! `OBDA_INGEST_ROUNDS` (default 3) repeats the whole measurement and
+//! keeps the best round (noise floor on shared runners).
+
+use std::time::{Duration, Instant};
+
+use obda_dllite::{ABox, AboxDelta};
+use obda_lubm::{generate, GenConfig, UnivOntology};
+use obda_rdbms::{Server, ServerConfig};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Split `full` into a base ABox holding the first `pct`% of each fact
+/// vector and ten equal delta batches covering the rest.
+fn split(full: &ABox, pct: usize) -> (ABox, Vec<AboxDelta>) {
+    let concepts = full.concept_assertions();
+    let roles = full.role_assertions();
+    let cc = concepts.len() * pct / 100;
+    let rc = roles.len() * pct / 100;
+    let mut base = ABox::new();
+    for &(c, i) in &concepts[..cc] {
+        base.assert_concept(c, i);
+    }
+    for &(r, a, b) in &roles[..rc] {
+        base.assert_role(r, a, b);
+    }
+    let ctail = &concepts[cc..];
+    let rtail = &roles[rc..];
+    let batches = (0..10)
+        .map(|k| AboxDelta {
+            insert_concepts: ctail[ctail.len() * k / 10..ctail.len() * (k + 1) / 10].to_vec(),
+            insert_roles: rtail[rtail.len() * k / 10..rtail.len() * (k + 1) / 10].to_vec(),
+            ..AboxDelta::new()
+        })
+        .collect();
+    (base, batches)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let facts = env_usize("OBDA_INGEST_FACTS", 20_000);
+    let rounds = env_usize("OBDA_INGEST_ROUNDS", 3);
+
+    let mut onto = UnivOntology::build();
+    let (full, report) = generate(
+        &mut onto,
+        &GenConfig {
+            target_facts: facts,
+            ..Default::default()
+        },
+    );
+    let (base, batches) = split(&full, 90);
+    let batch_facts: usize = batches.iter().map(AboxDelta::len).sum::<usize>() / batches.len();
+    println!(
+        "dataset: {} facts, 10 ingest batches of ~{batch_facts} facts (~1%) each, {} round(s)",
+        report.facts, rounds
+    );
+
+    let dir = std::env::temp_dir().join(format!("obda-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut best_apply = Duration::MAX;
+    let mut best_reload = Duration::MAX;
+    for round in 0..rounds {
+        let srv = Server::create_durable(
+            &dir.join(format!("r{round}")),
+            onto.voc.clone(),
+            onto.tbox.clone(),
+            &base,
+            ServerConfig {
+                compact_every: 0, // measure the append path, not compaction
+                ..ServerConfig::default()
+            },
+        )
+        .expect("store dir is writable");
+        // Warm-up: the first clone after a bulk load pays allocator
+        // warm-up that steady-state batches never see.
+        srv.apply_batch(&AboxDelta::new()).expect("warm-up");
+
+        let start = Instant::now();
+        for batch in &batches {
+            srv.apply_batch(batch).expect("append + apply");
+        }
+        let apply = start.elapsed() / batches.len() as u32;
+
+        let start = Instant::now();
+        srv.reload_abox(&full);
+        let reload = start.elapsed();
+
+        best_apply = best_apply.min(apply);
+        best_reload = best_reload.min(reload);
+    }
+    let apply_ms = best_apply.as_secs_f64() * 1e3;
+    let reload_ms = best_reload.as_secs_f64() * 1e3;
+    let speedup = reload_ms / apply_ms;
+    println!("apply_batch (1% delta) : {apply_ms:>9.3} ms/batch");
+    println!(
+        "ingest throughput      : {:>9.0} facts/s",
+        batch_facts as f64 / best_apply.as_secs_f64()
+    );
+    println!("reload_abox (full)     : {reload_ms:>9.3} ms   ({speedup:.1}x slower)");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if check {
+        if speedup < 5.0 {
+            eprintln!("FAIL: incremental apply speedup {speedup:.1}x < 5x over full reload");
+            std::process::exit(1);
+        }
+        println!("CHECK PASSED: apply_batch >= 5x faster than reload_abox ({speedup:.1}x)");
+    }
+}

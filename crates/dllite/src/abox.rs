@@ -5,19 +5,47 @@
 //! assertions are ignored, in keeping with the set semantics of query
 //! answering (§2.2).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
+use crate::delta::AboxDelta;
 use crate::ids::{ConceptId, IndividualId, RoleId};
 use crate::vocab::Vocabulary;
 
 /// A database of facts.
+///
+/// The membership indexes store each fact's position in its assertion
+/// vector, so retraction is O(1) (`swap_remove` + one index fix-up)
+/// rather than a scan — deletions run inside the serving layer's writer
+/// critical section, where an O(|ABox|) scan per deleted fact would
+/// stall every concurrent write.
 #[derive(Debug, Default, Clone)]
 pub struct ABox {
     concept_assertions: Vec<(ConceptId, IndividualId)>,
     role_assertions: Vec<(RoleId, IndividualId, IndividualId)>,
-    seen_concept: HashSet<(ConceptId, IndividualId)>,
-    seen_role: HashSet<(RoleId, IndividualId, IndividualId)>,
+    seen_concept: HashMap<(ConceptId, IndividualId), u32>,
+    seen_role: HashMap<(RoleId, IndividualId, IndividualId), u32>,
 }
+
+/// Set equality: two ABoxes are equal when they hold the same facts,
+/// regardless of assertion order (the paper's set semantics, §2.2).
+/// Compared on fact keys only — vector positions are an internal
+/// bookkeeping detail that legitimately differs across histories.
+impl PartialEq for ABox {
+    fn eq(&self, other: &Self) -> bool {
+        self.seen_concept.len() == other.seen_concept.len()
+            && self.seen_role.len() == other.seen_role.len()
+            && self
+                .seen_concept
+                .keys()
+                .all(|f| other.seen_concept.contains_key(f))
+            && self
+                .seen_role
+                .keys()
+                .all(|f| other.seen_role.contains_key(f))
+    }
+}
+
+impl Eq for ABox {}
 
 impl ABox {
     pub fn new() -> Self {
@@ -26,30 +54,94 @@ impl ABox {
 
     /// Assert `A(a)`. Returns `true` if the fact is new.
     pub fn assert_concept(&mut self, concept: ConceptId, ind: IndividualId) -> bool {
-        if self.seen_concept.insert((concept, ind)) {
-            self.concept_assertions.push((concept, ind));
-            true
-        } else {
-            false
+        match self.seen_concept.entry((concept, ind)) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.concept_assertions.len() as u32);
+                self.concept_assertions.push((concept, ind));
+                true
+            }
         }
     }
 
     /// Assert `R(a, b)`. Returns `true` if the fact is new.
     pub fn assert_role(&mut self, role: RoleId, a: IndividualId, b: IndividualId) -> bool {
-        if self.seen_role.insert((role, a, b)) {
-            self.role_assertions.push((role, a, b));
-            true
-        } else {
-            false
+        match self.seen_role.entry((role, a, b)) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.role_assertions.len() as u32);
+                self.role_assertions.push((role, a, b));
+                true
+            }
         }
     }
 
+    /// Retract `A(a)`. Returns `true` if the fact existed. O(1).
+    pub fn retract_concept(&mut self, concept: ConceptId, ind: IndividualId) -> bool {
+        match self.seen_concept.remove(&(concept, ind)) {
+            Some(pos) => {
+                self.concept_assertions.swap_remove(pos as usize);
+                if let Some(&moved) = self.concept_assertions.get(pos as usize) {
+                    self.seen_concept.insert(moved, pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retract `R(a, b)`. Returns `true` if the fact existed. O(1).
+    pub fn retract_role(&mut self, role: RoleId, a: IndividualId, b: IndividualId) -> bool {
+        match self.seen_role.remove(&(role, a, b)) {
+            Some(pos) => {
+                self.role_assertions.swap_remove(pos as usize);
+                if let Some(&moved) = self.role_assertions.get(pos as usize) {
+                    self.seen_role.insert(moved, pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Commit a batch of changes: all insertions first, then all
+    /// deletions (see [`AboxDelta`] for the batch semantics). Returns the
+    /// **effective** sub-delta — only the insertions that were new and the
+    /// deletions that hit an existing fact, in commit order — which is
+    /// exactly what incremental storage layouts and statistics must apply
+    /// to stay in sync with this ABox. (`new_individuals` is not copied
+    /// into the effective delta: interning is the vocabulary's business.)
+    pub fn apply(&mut self, delta: &AboxDelta) -> AboxDelta {
+        let mut eff = AboxDelta::new();
+        for &(c, a) in &delta.insert_concepts {
+            if self.assert_concept(c, a) {
+                eff.insert_concepts.push((c, a));
+            }
+        }
+        for &(r, a, b) in &delta.insert_roles {
+            if self.assert_role(r, a, b) {
+                eff.insert_roles.push((r, a, b));
+            }
+        }
+        for &(c, a) in &delta.delete_concepts {
+            if self.retract_concept(c, a) {
+                eff.delete_concepts.push((c, a));
+            }
+        }
+        for &(r, a, b) in &delta.delete_roles {
+            if self.retract_role(r, a, b) {
+                eff.delete_roles.push((r, a, b));
+            }
+        }
+        eff
+    }
+
     pub fn has_concept(&self, concept: ConceptId, ind: IndividualId) -> bool {
-        self.seen_concept.contains(&(concept, ind))
+        self.seen_concept.contains_key(&(concept, ind))
     }
 
     pub fn has_role(&self, role: RoleId, a: IndividualId, b: IndividualId) -> bool {
-        self.seen_role.contains(&(role, a, b))
+        self.seen_role.contains_key(&(role, a, b))
     }
 
     pub fn concept_assertions(&self) -> &[(ConceptId, IndividualId)] {
@@ -171,6 +263,66 @@ mod tests {
         assert_eq!(abox.concept_assertions().len(), 0);
         let sup = voc.find_role("supervisedBy").unwrap();
         assert_eq!(abox.role_pairs(sup).count(), 2);
+    }
+
+    #[test]
+    fn retract_removes_and_reports() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_role(r, x, y);
+        assert!(abox.retract_concept(a, x));
+        assert!(!abox.retract_concept(a, x), "already gone");
+        assert!(abox.retract_role(r, x, y));
+        assert!(!abox.retract_role(r, y, x), "never asserted");
+        assert!(abox.is_empty());
+        assert!(!abox.has_concept(a, x));
+        assert!(!abox.has_role(r, x, y));
+    }
+
+    #[test]
+    fn apply_returns_the_effective_sub_delta() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(a, x);
+        abox.assert_role(r, x, y);
+        let delta = crate::delta::AboxDelta::new()
+            .insert_concept(a, x) // duplicate: ineffective
+            .insert_concept(a, y) // new
+            .delete_role(r, x, y) // hits
+            .delete_role(r, y, x); // missing: ineffective
+        let eff = abox.apply(&delta);
+        assert_eq!(eff.insert_concepts, vec![(a, y)]);
+        assert_eq!(eff.delete_roles, vec![(r, x, y)]);
+        assert!(eff.delete_concepts.is_empty() && eff.insert_roles.is_empty());
+        assert!(abox.has_concept(a, y));
+        assert!(!abox.has_role(r, x, y));
+        assert_eq!(abox.len(), 2);
+    }
+
+    #[test]
+    fn abox_equality_is_order_insensitive() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let x = voc.individual("x");
+        let mut fwd = ABox::new();
+        fwd.assert_concept(a, x);
+        fwd.assert_concept(b, x);
+        let mut rev = ABox::new();
+        rev.assert_concept(b, x);
+        rev.assert_concept(a, x);
+        assert_eq!(fwd, rev);
+        rev.retract_concept(a, x);
+        assert_ne!(fwd, rev);
     }
 
     #[test]

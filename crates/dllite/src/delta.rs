@@ -1,0 +1,112 @@
+//! Incremental ABox updates: the [`AboxDelta`] batch.
+//!
+//! A delta is the unit of change of the durable store: the serving
+//! layer's `apply_batch` appends one delta to the write-ahead log and
+//! then applies it to the live ABox, layouts and statistics *in place*
+//! (`obda_rdbms::store`), instead of rebuilding everything as a full
+//! reload does. Deltas are id-based — facts reference dictionary-encoded
+//! ids, exactly like the ABox itself — plus the list of individual names
+//! the batch interns, so a logged delta is self-contained: replaying
+//! `snapshot + WAL` reproduces both the facts and the dictionary.
+//!
+//! Batch semantics (the order [`crate::ABox::apply`] commits a batch):
+//! **insertions first, then deletions**. A fact both inserted and deleted
+//! in one batch therefore ends up absent. Inserting an existing fact and
+//! deleting a missing fact are no-ops (the ABox is a set); the *effective*
+//! sub-delta — what actually changed — is returned by `apply` so storage
+//! layouts and statistics can be maintained exactly.
+
+use crate::ids::{ConceptId, IndividualId, RoleId};
+
+/// A batch of ABox changes (and the individual names it interns).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AboxDelta {
+    /// Individual names this batch adds to the [`crate::Vocabulary`], in
+    /// allocation order. Interned *before* the facts are applied, so the
+    /// fact vectors may reference the resulting fresh ids. Concept and
+    /// role names are fixed by the ontology at store-creation time and
+    /// cannot be introduced by a delta.
+    pub new_individuals: Vec<String>,
+    /// Concept assertions `A(a)` to insert.
+    pub insert_concepts: Vec<(ConceptId, IndividualId)>,
+    /// Concept assertions to delete (applied after all insertions).
+    pub delete_concepts: Vec<(ConceptId, IndividualId)>,
+    /// Role assertions `R(a, b)` to insert.
+    pub insert_roles: Vec<(RoleId, IndividualId, IndividualId)>,
+    /// Role assertions to delete (applied after all insertions).
+    pub delete_roles: Vec<(RoleId, IndividualId, IndividualId)>,
+}
+
+impl AboxDelta {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of change entries (interned names excluded).
+    pub fn len(&self) -> usize {
+        self.insert_concepts.len()
+            + self.delete_concepts.len()
+            + self.insert_roles.len()
+            + self.delete_roles.len()
+    }
+
+    /// `true` when the batch changes nothing and interns nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.new_individuals.is_empty()
+    }
+
+    /// Builder: insert `A(a)`.
+    pub fn insert_concept(mut self, c: ConceptId, a: IndividualId) -> Self {
+        self.insert_concepts.push((c, a));
+        self
+    }
+
+    /// Builder: delete `A(a)`.
+    pub fn delete_concept(mut self, c: ConceptId, a: IndividualId) -> Self {
+        self.delete_concepts.push((c, a));
+        self
+    }
+
+    /// Builder: insert `R(a, b)`.
+    pub fn insert_role(mut self, r: RoleId, a: IndividualId, b: IndividualId) -> Self {
+        self.insert_roles.push((r, a, b));
+        self
+    }
+
+    /// Builder: delete `R(a, b)`.
+    pub fn delete_role(mut self, r: RoleId, a: IndividualId, b: IndividualId) -> Self {
+        self.delete_roles.push((r, a, b));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abox::ABox;
+    use crate::vocab::Vocabulary;
+
+    #[test]
+    fn builder_and_counts() {
+        let d = AboxDelta::new()
+            .insert_concept(ConceptId(0), IndividualId(1))
+            .delete_role(RoleId(2), IndividualId(3), IndividualId(4));
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert!(AboxDelta::new().is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_batch_ends_absent() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        let d = AboxDelta::new().insert_concept(a, x).delete_concept(a, x);
+        let eff = abox.apply(&d);
+        assert!(!abox.has_concept(a, x), "deletions commit after insertions");
+        // Both operations took effect (the insert was new, the delete hit).
+        assert_eq!(eff.insert_concepts, vec![(a, x)]);
+        assert_eq!(eff.delete_concepts, vec![(a, x)]);
+    }
+}

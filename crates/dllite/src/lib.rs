@@ -24,6 +24,7 @@ pub mod axiom;
 pub mod bitset;
 pub mod chase;
 pub mod consistency;
+pub mod delta;
 pub mod deps;
 pub mod expr;
 pub mod ids;
@@ -38,6 +39,7 @@ pub use axiom::{Axiom, ConceptInclusion, RoleInclusion};
 pub use bitset::BitSet;
 pub use chase::{chase, ChaseFact, ChaseInstance, ChaseTerm};
 pub use consistency::{check_consistency, is_consistent, Violation};
+pub use delta::AboxDelta;
 pub use deps::Dependencies;
 pub use expr::{BasicConcept, Role};
 pub use ids::{ConceptId, IndividualId, PredId, RoleId};

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use crate::ids::{ConceptId, IndividualId, PredId, RoleId};
 
 /// A bidirectional name ↔ dense-id map for one namespace.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct Interner {
     by_name: HashMap<String, u32>,
     names: Vec<String>,
@@ -45,7 +45,7 @@ impl Interner {
 /// Interning is append-only: ids are dense, stable, and allocation order is
 /// deterministic given insertion order, which keeps data generation and test
 /// fixtures reproducible.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Vocabulary {
     concepts: Interner,
     roles: Interner,

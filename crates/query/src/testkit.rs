@@ -141,6 +141,74 @@ pub fn random_abox(rng: &mut Rng, voc: &mut Vocabulary, shape: &KbShape) -> ABox
     abox
 }
 
+/// Generate a random [`obda_dllite::AboxDelta`] against an existing
+/// ABox: a mix of insertions over known individuals, insertions
+/// referencing **fresh** batch-interned individuals, duplicate
+/// insertions (no-ops), deletions of existing facts, and deletions of
+/// facts that were never asserted (no-ops) — every edge the incremental
+/// apply path must survive. `tag` disambiguates fresh-individual names
+/// across chained deltas of one scenario.
+pub fn random_delta(
+    rng: &mut Rng,
+    voc: &Vocabulary,
+    abox: &ABox,
+    max_changes: usize,
+    tag: usize,
+) -> obda_dllite::AboxDelta {
+    use obda_dllite::{AboxDelta, ConceptId, IndividualId, RoleId};
+    let mut delta = AboxDelta::new();
+    let mut num_inds = voc.num_individuals();
+    let concepts = voc.num_concepts().max(1);
+    let roles = voc.num_roles();
+    let changes = 1 + rng.below(max_changes.max(1));
+    for k in 0..changes {
+        // A quarter of the batches grow the dictionary.
+        if num_inds == 0 || rng.chance(0.25) {
+            delta.new_individuals.push(format!("fresh{tag}_{k}"));
+            num_inds += 1;
+        }
+        let ind = |rng: &mut Rng| IndividualId(rng.below(num_inds) as u32);
+        match rng.below(4) {
+            0 => {
+                let c = ConceptId(rng.below(concepts) as u32);
+                delta.insert_concepts.push((c, ind(rng)));
+            }
+            1 if roles > 0 => {
+                let r = RoleId(rng.below(roles) as u32);
+                delta.insert_roles.push((r, ind(rng), ind(rng)));
+            }
+            2 => {
+                // Delete an existing fact when there is one; a random
+                // (likely missing) one otherwise.
+                let concept_facts = abox.concept_assertions();
+                if !concept_facts.is_empty() && rng.chance(0.7) {
+                    let &(c, i) = &concept_facts[rng.below(concept_facts.len())];
+                    delta.delete_concepts.push((c, i));
+                } else {
+                    let c = ConceptId(rng.below(concepts) as u32);
+                    delta.delete_concepts.push((c, ind(rng)));
+                }
+            }
+            _ => {
+                let role_facts = abox.role_assertions();
+                if !role_facts.is_empty() && rng.chance(0.7) {
+                    let &(r, a, b) = &role_facts[rng.below(role_facts.len())];
+                    delta.delete_roles.push((r, a, b));
+                } else if roles > 0 {
+                    let r = RoleId(rng.below(roles) as u32);
+                    delta.delete_roles.push((r, ind(rng), ind(rng)));
+                }
+            }
+        }
+    }
+    // Occasionally duplicate an insertion verbatim (a same-batch no-op).
+    if !delta.insert_concepts.is_empty() && rng.chance(0.3) {
+        let dup = delta.insert_concepts[rng.below(delta.insert_concepts.len())];
+        delta.insert_concepts.push(dup);
+    }
+    delta
+}
+
 /// Generate a random *connected* CQ with `num_atoms` atoms and up to
 /// `max_head` head variables.
 pub fn random_connected_cq(

@@ -12,7 +12,7 @@
 //! both effects, and `crate::sql` reproduces the statement-size blowup of
 //! its SQL (per-atom CASE over candidate columns).
 
-use obda_dllite::{ABox, ConceptId, RoleId};
+use obda_dllite::{ABox, AboxDelta, ConceptId, RoleId};
 
 use crate::fxhash::FxHashMap;
 use crate::layout::{LayoutKind, Storage};
@@ -43,6 +43,57 @@ struct WideRow {
     entries: Vec<(u32, u32)>, // (pred code, value)
 }
 
+/// One side of the entity layout (DPH keyed by subject, RPH by object):
+/// the wide-row vector plus the key → row-indices index.
+#[derive(Debug, Clone, Default)]
+struct WideTable {
+    rows: Vec<WideRow>,
+    by_key: FxHashMap<u32, Vec<u32>>,
+}
+
+impl WideTable {
+    /// Incremental insert: append the entry to the key's last row if a
+    /// column pair is free, else spill into a fresh row at the end of the
+    /// table — the same placement DB2RDF performs on a live table (a
+    /// fresh bulk load may pack the same data into fewer rows; compaction
+    /// restores the packed form).
+    fn insert(&mut self, key: u32, entry: (u32, u32)) {
+        let indices = self.by_key.entry(key).or_default();
+        if let Some(&last) = indices.last() {
+            let row = &mut self.rows[last as usize];
+            if row.entries.len() < DPH_COLUMNS {
+                row.entries.push(entry);
+                return;
+            }
+        }
+        indices.push(self.rows.len() as u32);
+        self.rows.push(WideRow {
+            key,
+            entries: vec![entry],
+        });
+    }
+
+    /// Incremental delete: remove the entry from whichever of the key's
+    /// rows holds it. A row emptied by deletion stays as a tombstone —
+    /// predicate scans still touch it (the un-vacuumed-page effect)
+    /// until the storage is rebuilt from the ABox by a bulk reload.
+    /// (Store compaction rewrites only the on-disk files, not the live
+    /// engine; delete-heavy DPH workloads should reload periodically to
+    /// repack, exactly like running VACUUM.)
+    fn delete(&mut self, key: u32, entry: (u32, u32)) {
+        let Some(indices) = self.by_key.get(&key) else {
+            return;
+        };
+        for &idx in indices {
+            let row = &mut self.rows[idx as usize];
+            if let Some(pos) = row.entries.iter().position(|&e| e == entry) {
+                row.entries.swap_remove(pos);
+                return;
+            }
+        }
+    }
+}
+
 /// Column position a predicate hashes to (its *primary* column; conflicts
 /// spill to the next free slot, which is why SQL must CASE over all
 /// candidate columns).
@@ -51,11 +102,10 @@ pub fn primary_column(pred_code: u32) -> usize {
 }
 
 /// Entity-layout storage: DPH + RPH.
+#[derive(Clone)]
 pub struct DphStorage {
-    dph: Vec<WideRow>,
-    rph: Vec<WideRow>,
-    dph_by_key: FxHashMap<u32, Vec<u32>>,
-    rph_by_key: FxHashMap<u32, Vec<u32>>,
+    dph: WideTable,
+    rph: WideTable,
     stats: CatalogStats,
 }
 
@@ -80,46 +130,46 @@ impl DphStorage {
                 .or_default()
                 .push((code_role(r.0), a.0));
         }
-        let (dph, dph_by_key) = pack_rows(by_subject);
-        let (rph, rph_by_key) = pack_rows(by_object);
         DphStorage {
-            dph,
-            rph,
-            dph_by_key,
-            rph_by_key,
+            dph: pack_rows(by_subject),
+            rph: pack_rows(by_object),
             stats: CatalogStats::from_abox(abox),
         }
     }
 
-    /// Total DPH rows (spills included) — the cost of any predicate scan.
+    /// Total DPH rows (spills and tombstones included) — the cost of any
+    /// predicate scan.
     pub fn dph_rows(&self) -> usize {
-        self.dph.len()
+        self.dph.rows.len()
     }
 
     pub fn rph_rows(&self) -> usize {
-        self.rph.len()
+        self.rph.rows.len()
     }
 }
 
 /// Pack entry lists into wide rows of at most [`DPH_COLUMNS`] entries,
 /// each predicate placed at (or probed after) its primary column; overflow
 /// spills into extra rows for the same key.
-fn pack_rows(map: FxHashMap<u32, Vec<(u32, u32)>>) -> (Vec<WideRow>, FxHashMap<u32, Vec<u32>>) {
-    let mut rows: Vec<WideRow> = Vec::new();
-    let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+fn pack_rows(map: FxHashMap<u32, Vec<(u32, u32)>>) -> WideTable {
+    let mut table = WideTable::default();
     let mut keys: Vec<u32> = map.keys().copied().collect();
     keys.sort_unstable(); // deterministic layout
     for key in keys {
         let entries = &map[&key];
         for chunk in entries.chunks(DPH_COLUMNS) {
-            index.entry(key).or_default().push(rows.len() as u32);
-            rows.push(WideRow {
+            table
+                .by_key
+                .entry(key)
+                .or_default()
+                .push(table.rows.len() as u32);
+            table.rows.push(WideRow {
                 key,
                 entries: chunk.to_vec(),
             });
         }
     }
-    (rows, index)
+    table
 }
 
 impl Storage for DphStorage {
@@ -135,8 +185,8 @@ impl Storage for DphStorage {
         // Full DPH scan: every wide row is touched (the layout has no
         // per-predicate extent).
         let code = code_concept(c.0);
-        m.on_scan(TK_DPH, (self.dph.len() * 2) as u64);
-        for row in &self.dph {
+        m.on_scan(TK_DPH, (self.dph.rows.len() * 2) as u64);
+        for row in &self.dph.rows {
             if row.entries.iter().any(|&(p, _)| p == code) {
                 f(row.key);
             }
@@ -145,8 +195,8 @@ impl Storage for DphStorage {
 
     fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32)) {
         let code = code_role(r.0);
-        m.on_scan(TK_DPH, (self.dph.len() * 2) as u64);
-        for row in &self.dph {
+        m.on_scan(TK_DPH, (self.dph.rows.len() * 2) as u64);
+        for row in &self.dph.rows {
             for &(p, v) in &row.entries {
                 if p == code {
                     f(row.key, v);
@@ -158,9 +208,9 @@ impl Storage for DphStorage {
     fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool {
         m.on_probe(1);
         let code = code_concept(c.0);
-        self.dph_by_key.get(&v).is_some_and(|rows| {
+        self.dph.by_key.get(&v).is_some_and(|rows| {
             rows.iter().any(|&idx| {
-                self.dph[idx as usize]
+                self.dph.rows[idx as usize]
                     .entries
                     .iter()
                     .any(|&(p, _)| p == code)
@@ -170,11 +220,11 @@ impl Storage for DphStorage {
 
     fn role_objects(&self, r: RoleId, s: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
         let code = code_role(r.0);
-        match self.dph_by_key.get(&s) {
+        match self.dph.by_key.get(&s) {
             Some(rows) => {
                 m.on_probe(rows.len() as u64);
                 for &idx in rows {
-                    for &(p, v) in &self.dph[idx as usize].entries {
+                    for &(p, v) in &self.dph.rows[idx as usize].entries {
                         if p == code {
                             f(v);
                         }
@@ -187,11 +237,11 @@ impl Storage for DphStorage {
 
     fn role_subjects(&self, r: RoleId, o: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
         let code = code_role(r.0);
-        match self.rph_by_key.get(&o) {
+        match self.rph.by_key.get(&o) {
             Some(rows) => {
                 m.on_probe(rows.len() as u64);
                 for &idx in rows {
-                    for &(p, v) in &self.rph[idx as usize].entries {
+                    for &(p, v) in &self.rph.rows[idx as usize].entries {
                         if p == code {
                             f(v);
                         }
@@ -205,14 +255,36 @@ impl Storage for DphStorage {
     fn probe_role(&self, r: RoleId, s: u32, o: u32, m: &mut Meter) -> bool {
         let code = code_role(r.0);
         m.on_probe(1);
-        self.dph_by_key.get(&s).is_some_and(|rows| {
+        self.dph.by_key.get(&s).is_some_and(|rows| {
             rows.iter().any(|&idx| {
-                self.dph[idx as usize]
+                self.dph.rows[idx as usize]
                     .entries
                     .iter()
                     .any(|&(p, v)| p == code && v == o)
             })
         })
+    }
+
+    fn apply_delta(&mut self, delta: &AboxDelta) {
+        for &(c, i) in &delta.insert_concepts {
+            self.dph.insert(i.0, (code_concept(c.0), TYPE_MARKER));
+        }
+        for &(r, a, b) in &delta.insert_roles {
+            self.dph.insert(a.0, (code_role(r.0), b.0));
+            self.rph.insert(b.0, (code_role(r.0), a.0));
+        }
+        for &(c, i) in &delta.delete_concepts {
+            self.dph.delete(i.0, (code_concept(c.0), TYPE_MARKER));
+        }
+        for &(r, a, b) in &delta.delete_roles {
+            self.dph.delete(a.0, (code_role(r.0), b.0));
+            self.rph.delete(b.0, (code_role(r.0), a.0));
+        }
+        self.stats.apply_delta(delta);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
     }
 }
 
@@ -283,6 +355,57 @@ mod tests {
             assert!(col < DPH_COLUMNS);
             assert_eq!(col, primary_column(code));
         }
+    }
+
+    #[test]
+    fn incremental_apply_matches_fresh_load() {
+        crate::layout::testutil::check_incremental_matches_reload(|abox| {
+            Box::new(DphStorage::load(abox))
+        });
+    }
+
+    #[test]
+    fn incremental_inserts_spill_and_deletes_tombstone() {
+        let mut voc = Vocabulary::new();
+        let s = voc.individual("hub");
+        let t = voc.individual("t");
+        let mut abox = ABox::new();
+        let roles: Vec<_> = (0..20).map(|i| voc.role(&format!("r{i}"))).collect();
+        abox.assert_role(roles[0], s, t);
+        let mut storage = DphStorage::load(&abox);
+        assert_eq!(storage.dph_rows(), 1);
+
+        // 19 incremental inserts on one subject must spill past one row.
+        let mut delta = obda_dllite::AboxDelta::new();
+        for &r in &roles[1..] {
+            delta.insert_roles.push((r, s, t));
+        }
+        let eff = abox.apply(&delta);
+        storage.apply_delta(&eff);
+        assert!(storage.dph_rows() >= 3, "20 entries / 8 cols → ≥3 rows");
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        let mut count = 0;
+        for &r in &roles {
+            storage.role_objects(r, s.0, &mut m, &mut |_| count += 1);
+        }
+        assert_eq!(count, 20);
+
+        // Deleting everything leaves tombstone rows (scans still touch
+        // them) but no retrievable entries.
+        let mut wipe = obda_dllite::AboxDelta::new();
+        for &r in &roles {
+            wipe.delete_roles.push((r, s, t));
+        }
+        let eff = abox.apply(&wipe);
+        storage.apply_delta(&eff);
+        assert!(storage.dph_rows() >= 3, "tombstones persist until repack");
+        let mut gone = 0;
+        for &r in &roles {
+            storage.role_objects(r, s.0, &mut m, &mut |_| gone += 1);
+        }
+        assert_eq!(gone, 0);
+        assert_eq!(storage.stats().total_facts, 0);
     }
 
     #[test]

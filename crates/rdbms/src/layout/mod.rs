@@ -15,10 +15,11 @@
 //! in the SQL text they force (`crate::sql`).
 
 pub mod dph;
+pub mod posting;
 pub mod simple;
 pub mod triple;
 
-use obda_dllite::{ConceptId, RoleId};
+use obda_dllite::{AboxDelta, ConceptId, RoleId};
 
 use crate::meter::Meter;
 use crate::stats::CatalogStats;
@@ -67,6 +68,21 @@ pub trait Storage: Send + Sync {
 
     /// Pair probe `r(s, o)`.
     fn probe_role(&self, r: RoleId, s: u32, o: u32, m: &mut Meter) -> bool;
+
+    /// Maintain the stored tables, indexes and [`CatalogStats`] under one
+    /// **effective** delta (the sub-delta [`obda_dllite::ABox::apply`]
+    /// returns: inserts that were new w.r.t. the ABox this storage
+    /// mirrors, deletes that hit). Insertions commit before deletions,
+    /// matching the ABox batch semantics, so after the call the storage
+    /// answers exactly as if reloaded from the mutated ABox.
+    fn apply_delta(&mut self, delta: &AboxDelta);
+
+    /// Clone the storage behind the trait object — the copy-on-write step
+    /// of the incremental apply path: the serving layer clones the current
+    /// snapshot's storage (a table memcpy, no re-hashing or re-statistics),
+    /// applies the delta to the clone, and publishes it as the next
+    /// generation while readers keep the old one.
+    fn boxed_clone(&self) -> Box<dyn Storage>;
 }
 
 #[cfg(test)]
@@ -140,5 +156,110 @@ pub(crate) mod testutil {
 
         // Work was metered.
         assert!(m.metrics.work_units() > 0.0);
+    }
+
+    /// Observable-state equality of two storages over a vocabulary-wide
+    /// probe sweep: every concept extension, role extension, bound-side
+    /// lookup, and the full catalog statistics.
+    pub fn assert_same_contents(
+        a: &dyn super::Storage,
+        b: &dyn super::Storage,
+        voc: &Vocabulary,
+        context: &str,
+    ) {
+        use crate::meter::Meter;
+        use crate::profile::EngineProfile;
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        for c in voc.concept_ids() {
+            let collect = |s: &dyn super::Storage, m: &mut Meter| {
+                let mut v = Vec::new();
+                s.for_each_concept(c, m, &mut |i| v.push(i));
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                collect(a, &mut m),
+                collect(b, &mut m),
+                "{context}: concept {c:?} extension"
+            );
+        }
+        for r in voc.role_ids() {
+            let collect = |s: &dyn super::Storage, m: &mut Meter| {
+                let mut v = Vec::new();
+                s.for_each_role(r, m, &mut |x, y| v.push((x, y)));
+                v.sort_unstable();
+                v
+            };
+            let pairs = collect(a, &mut m);
+            assert_eq!(pairs, collect(b, &mut m), "{context}: role {r:?} extension");
+            for &(s, o) in &pairs {
+                assert!(a.probe_role(r, s, o, &mut m), "{context}: pair probe");
+                let mut objs_a = Vec::new();
+                a.role_objects(r, s, &mut m, &mut |v| objs_a.push(v));
+                let mut objs_b = Vec::new();
+                b.role_objects(r, s, &mut m, &mut |v| objs_b.push(v));
+                objs_a.sort_unstable();
+                objs_b.sort_unstable();
+                assert_eq!(objs_a, objs_b, "{context}: objects of {r:?}({s}, _)");
+                let mut subs_a = Vec::new();
+                a.role_subjects(r, o, &mut m, &mut |v| subs_a.push(v));
+                let mut subs_b = Vec::new();
+                b.role_subjects(r, o, &mut m, &mut |v| subs_b.push(v));
+                subs_a.sort_unstable();
+                subs_b.sort_unstable();
+                assert_eq!(subs_a, subs_b, "{context}: subjects of {r:?}(_, {o})");
+            }
+        }
+        assert_eq!(a.stats(), b.stats(), "{context}: catalog statistics");
+    }
+
+    /// The incremental-maintenance contract shared by every layout:
+    /// applying an effective delta to a loaded storage leaves it
+    /// observably identical to a storage freshly loaded from the mutated
+    /// ABox — inserts (including into brand-new tables), deletes
+    /// (including emptying a table), and the statistics.
+    pub fn check_incremental_matches_reload(
+        make: impl Fn(&obda_dllite::ABox) -> Box<dyn super::Storage>,
+    ) {
+        use obda_dllite::AboxDelta;
+        let (mut voc, mut abox) = small_abox();
+        let a = voc.find_concept("A").unwrap();
+        let b = voc.find_concept("B").unwrap();
+        let c_new = voc.concept("CNew"); // table that does not exist yet
+        let r = voc.find_role("r").unwrap();
+        let s = voc.find_role("s").unwrap();
+        let i: Vec<_> = (0..4)
+            .map(|k| voc.find_individual(&format!("i{k}")).unwrap())
+            .collect();
+        let i4 = voc.individual("i4");
+
+        let mut storage = make(&abox);
+        let delta = AboxDelta::new()
+            .insert_concept(c_new, i4)
+            .insert_concept(a, i[2])
+            .insert_concept(a, i[0]) // duplicate: ineffective
+            .insert_role(r, i4, i[0])
+            .insert_role(s, i[1], i[0]) // duplicate: ineffective
+            .delete_concept(b, i[2]) // empties concept B
+            .delete_role(r, i[0], i[1])
+            .delete_role(s, i[1], i[0]) // empties role s
+            .delete_role(r, i[2], i[2]); // miss: ineffective
+        let eff = abox.apply(&delta);
+        storage.apply_delta(&eff);
+        let reloaded = make(&abox);
+        assert_same_contents(storage.as_ref(), reloaded.as_ref(), &voc, "after delta");
+
+        // A second wave on the already-mutated storage (covers spill /
+        // posting-list paths that only show up on non-fresh tables).
+        let delta2 = AboxDelta::new()
+            .insert_role(r, i4, i[1])
+            .insert_role(r, i4, i[2])
+            .delete_concept(c_new, i4) // empties the table created above
+            .delete_role(r, i4, i[0]);
+        let eff2 = abox.apply(&delta2);
+        storage.apply_delta(&eff2);
+        let reloaded2 = make(&abox);
+        assert_same_contents(storage.as_ref(), reloaded2.as_ref(), &voc, "after delta 2");
     }
 }

@@ -2,31 +2,80 @@
 //! role, with all one- and two-attribute indexes (§6.1). Facts are
 //! dictionary-encoded `u32`s (the `Vocabulary` is the dictionary).
 
-use obda_dllite::{ABox, ConceptId, RoleId};
+use obda_dllite::{ABox, AboxDelta, ConceptId, RoleId};
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::FxHashMap;
+use crate::layout::posting::{push_posting, remove_posting, Posting};
 use crate::layout::{LayoutKind, Storage};
 use crate::meter::{tk_concept, tk_role, Meter};
 use crate::stats::CatalogStats;
 
-/// A unary (concept) table: member vector plus membership index.
-#[derive(Debug, Default)]
+/// A unary (concept) table: member vector plus membership index. The
+/// index stores each member's row position, making deletion O(1)
+/// (`swap_remove` + one fix-up) — deletions run inside the serving
+/// layer's writer critical section, where a per-fact table scan would
+/// stall concurrent writes.
+#[derive(Debug, Default, Clone)]
 struct UnaryTable {
     rows: Vec<u32>,
-    index: FxHashSet<u32>,
+    index: FxHashMap<u32, u32>,
+}
+
+impl UnaryTable {
+    fn insert(&mut self, i: u32) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.index.entry(i) {
+            e.insert(self.rows.len() as u32);
+            self.rows.push(i);
+        }
+    }
+
+    fn delete(&mut self, i: u32) {
+        if let Some(pos) = self.index.remove(&i) {
+            self.rows.swap_remove(pos as usize);
+            if let Some(&moved) = self.rows.get(pos as usize) {
+                self.index.insert(moved, pos);
+            }
+        }
+    }
 }
 
 /// A binary (role) table: pair vector plus hash indexes on each attribute
-/// and on the pair.
-#[derive(Debug, Default)]
+/// and on the pair. Posting lists inline small fan-outs ([`Posting`]) so
+/// the copy-on-write clone of the apply path stays a near-memcpy, and
+/// the pair index stores row positions so deletion is O(1) like
+/// [`UnaryTable`]'s.
+#[derive(Debug, Default, Clone)]
 struct BinaryTable {
     rows: Vec<(u32, u32)>,
-    by_subject: FxHashMap<u32, Vec<u32>>,
-    by_object: FxHashMap<u32, Vec<u32>>,
-    pairs: FxHashSet<(u32, u32)>,
+    by_subject: FxHashMap<u32, Posting>,
+    by_object: FxHashMap<u32, Posting>,
+    pairs: FxHashMap<(u32, u32), u32>,
+}
+
+impl BinaryTable {
+    fn insert(&mut self, a: u32, b: u32) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.pairs.entry((a, b)) {
+            e.insert(self.rows.len() as u32);
+            self.rows.push((a, b));
+            push_posting(&mut self.by_subject, a, b);
+            push_posting(&mut self.by_object, b, a);
+        }
+    }
+
+    fn delete(&mut self, a: u32, b: u32) {
+        if let Some(pos) = self.pairs.remove(&(a, b)) {
+            self.rows.swap_remove(pos as usize);
+            if let Some(&moved) = self.rows.get(pos as usize) {
+                self.pairs.insert(moved, pos);
+            }
+            remove_posting(&mut self.by_subject, &a, b);
+            remove_posting(&mut self.by_object, &b, a);
+        }
+    }
 }
 
 /// Simple-layout storage.
+#[derive(Clone)]
 pub struct SimpleStorage {
     concepts: FxHashMap<u32, UnaryTable>,
     roles: FxHashMap<u32, BinaryTable>,
@@ -37,19 +86,11 @@ impl SimpleStorage {
     pub fn load(abox: &ABox) -> Self {
         let mut concepts: FxHashMap<u32, UnaryTable> = FxHashMap::default();
         for &(c, i) in abox.concept_assertions() {
-            let t = concepts.entry(c.0).or_default();
-            if t.index.insert(i.0) {
-                t.rows.push(i.0);
-            }
+            concepts.entry(c.0).or_default().insert(i.0);
         }
         let mut roles: FxHashMap<u32, BinaryTable> = FxHashMap::default();
         for &(r, a, b) in abox.role_assertions() {
-            let t = roles.entry(r.0).or_default();
-            if t.pairs.insert((a.0, b.0)) {
-                t.rows.push((a.0, b.0));
-                t.by_subject.entry(a.0).or_default().push(b.0);
-                t.by_object.entry(b.0).or_default().push(a.0);
-            }
+            roles.entry(r.0).or_default().insert(a.0, b.0);
         }
         SimpleStorage {
             concepts,
@@ -90,14 +131,14 @@ impl Storage for SimpleStorage {
         m.on_probe(1);
         self.concepts
             .get(&c.0)
-            .is_some_and(|t| t.index.contains(&v))
+            .is_some_and(|t| t.index.contains_key(&v))
     }
 
     fn role_objects(&self, r: RoleId, s: u32, m: &mut Meter, f: &mut dyn FnMut(u32)) {
         if let Some(t) = self.roles.get(&r.0) {
             if let Some(objs) = t.by_subject.get(&s) {
                 m.on_probe(objs.len() as u64);
-                for &o in objs {
+                for &o in objs.slice() {
                     f(o);
                 }
                 return;
@@ -110,7 +151,7 @@ impl Storage for SimpleStorage {
         if let Some(t) = self.roles.get(&r.0) {
             if let Some(subs) = t.by_object.get(&o) {
                 m.on_probe(subs.len() as u64);
-                for &s in subs {
+                for &s in subs.slice() {
                     f(s);
                 }
                 return;
@@ -123,7 +164,37 @@ impl Storage for SimpleStorage {
         m.on_probe(1);
         self.roles
             .get(&r.0)
-            .is_some_and(|t| t.pairs.contains(&(s, o)))
+            .is_some_and(|t| t.pairs.contains_key(&(s, o)))
+    }
+
+    fn apply_delta(&mut self, delta: &AboxDelta) {
+        for &(c, i) in &delta.insert_concepts {
+            self.concepts.entry(c.0).or_default().insert(i.0);
+        }
+        for &(r, a, b) in &delta.insert_roles {
+            self.roles.entry(r.0).or_default().insert(a.0, b.0);
+        }
+        for &(c, i) in &delta.delete_concepts {
+            if let Some(t) = self.concepts.get_mut(&c.0) {
+                t.delete(i.0);
+                if t.rows.is_empty() {
+                    self.concepts.remove(&c.0);
+                }
+            }
+        }
+        for &(r, a, b) in &delta.delete_roles {
+            if let Some(t) = self.roles.get_mut(&r.0) {
+                t.delete(a.0, b.0);
+                if t.rows.is_empty() {
+                    self.roles.remove(&r.0);
+                }
+            }
+        }
+        self.stats.apply_delta(delta);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
     }
 }
 
@@ -159,5 +230,12 @@ mod tests {
         let r = voc.find_role("r").unwrap();
         assert_eq!(storage.stats().role_card(r.0), 3);
         assert_eq!(storage.stats().role_distinct_subjects(r.0), 2);
+    }
+
+    #[test]
+    fn incremental_apply_matches_fresh_load() {
+        crate::layout::testutil::check_incremental_matches_reload(|abox| {
+            Box::new(SimpleStorage::load(abox))
+        });
     }
 }

@@ -41,7 +41,12 @@
 //!   with a generation counter, a reformulation/plan cache keyed by
 //!   `obda_query::canonical_key`, and union-arm fan-out across worker
 //!   threads — amortizing the §6.4-dominant cost-estimation work across
-//!   repeated queries.
+//!   repeated queries;
+//! * the **durable store** (`store`): versioned binary snapshots of
+//!   `Vocabulary` + TBox + ABox, an append-only checksummed WAL of
+//!   `AboxDelta` batches, crash recovery with torn-tail truncation, and
+//!   the incremental `Server::apply_batch` path that maintains every
+//!   layout and the catalog statistics in place instead of rebuilding.
 
 pub mod cost_model;
 pub mod engine;
@@ -56,6 +61,7 @@ pub mod profile;
 pub mod server;
 pub mod sql;
 pub mod stats;
+pub mod store;
 pub mod testkit;
 
 pub use cost_model::CostModel;
@@ -73,3 +79,4 @@ pub use profile::{EngineKind, EngineProfile};
 pub use server::{CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerOutcome};
 pub use sql::{SqlGenerator, SqlNames};
 pub use stats::{CatalogStats, KeySide};
+pub use store::{DurableStore, RecoveredKb, StoreError};

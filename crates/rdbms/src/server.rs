@@ -30,17 +30,35 @@
 //!   parallel execution (see [`crate::executor::execute_parallel`]).
 //!
 //! Staleness is impossible by construction: the cache key embeds the
-//! snapshot generation, [`Server::reload_abox`] / [`Server::reload_kb`]
-//! bump it before publishing the new snapshot, and each query reads its
-//! snapshot *first* and then looks up the cache with that snapshot's
-//! generation — a cached plan can only ever be paired with the data it
-//! was planned against.
+//! snapshot generation, every write path ([`Server::apply_batch`],
+//! [`Server::reload_abox`], [`Server::reload_kb`]) bumps it before
+//! publishing the new snapshot, and each query reads its snapshot
+//! *first* and then looks up the cache with that snapshot's generation —
+//! a cached plan can only ever be paired with the data it was planned
+//! against.
+//!
+//! ## Durability and incremental updates
+//!
+//! A server optionally sits on a [`DurableStore`] directory
+//! ([`Server::create_durable`] / [`Server::open`]). The data-change
+//! paths then differ in mechanism but not in visibility semantics:
+//!
+//! * [`Server::apply_batch`] — the incremental path: the batch is
+//!   appended to the WAL *first*, then applied **in place** to a
+//!   copy-on-write clone of the current engine (tables, indexes and
+//!   statistics maintained under the delta — no rebuild), and published
+//!   as generation `g+1`. Cost: O(|tables| memcpy + |δ|), vs. the full
+//!   reload's O(|tables| rebuild + statistics pass).
+//! * [`Server::reload_abox`] / [`Server::reload_kb`] — the bulk path:
+//!   storage and statistics rebuilt from scratch; on a durable server
+//!   this is also a compaction point (fresh snapshot, WAL reset).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use obda_core::{choose_reformulation, Strategy};
-use obda_dllite::{ABox, Dependencies, TBox, Vocabulary};
+use obda_dllite::{ABox, AboxDelta, Dependencies, TBox, Vocabulary};
 use obda_query::{canonical_key, CanonKey, FolQuery, CQ};
 
 use crate::engine::{Engine, EngineError, EvalOptions, QueryOutcome};
@@ -50,6 +68,7 @@ use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
 use crate::planner::JoinStrategy;
 use crate::profile::EngineProfile;
+use crate::store::{DurableStore, StoreError};
 
 /// Serving-layer configuration (fixed at construction).
 #[derive(Debug, Clone)]
@@ -65,6 +84,10 @@ pub struct ServerConfig {
     /// Plan-cache toggle — `false` re-runs the full pipeline on every
     /// call (the differential harness runs both ways and compares).
     pub cache_plans: bool,
+    /// On a durable server: fold the WAL into a fresh snapshot after
+    /// this many logged batches (`0` = only on explicit
+    /// [`Server::compact`] / reload). Ignored without a store.
+    pub compact_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +99,7 @@ impl Default for ServerConfig {
             reform_strategy: Strategy::Gdl { time_budget: None },
             threads: 1,
             cache_plans: true,
+            compact_every: 256,
         }
     }
 }
@@ -132,20 +156,29 @@ pub struct CacheStats {
     pub invalidated: u64,
 }
 
+/// The authoritative writer-side state: the master vocabulary and ABox
+/// every mutation commits to, plus the optional durable store. Guarded
+/// by one mutex so writers (apply_batch, reloads, compaction) serialize;
+/// readers never touch it — they see only published [`EngineSnapshot`]s.
+struct WriterState {
+    voc: Vocabulary,
+    abox: ABox,
+    store: Option<DurableStore>,
+}
+
 /// The concurrent serving layer over one knowledge base. See the module
 /// docs for the architecture; thread-safety contract: every method takes
 /// `&self`, and the whole struct is `Send + Sync`.
 pub struct Server {
-    voc: Vocabulary,
     config: ServerConfig,
     snapshot: RwLock<Arc<EngineSnapshot>>,
-    /// Serializes reloaders so concurrent `reload_abox`/`reload_kb`
-    /// calls cannot interleave (a reload reads the current TBox/deps and
-    /// must publish against exactly that state — no lost updates). Held
-    /// across the *build* of the next snapshot, while the `snapshot`
-    /// write lock is held only for the `Arc` swap, so queries keep
-    /// serving the old generation during a slow rebuild.
-    reload: Mutex<()>,
+    /// Serializes all mutators — `apply_batch`, `reload_abox`,
+    /// `reload_kb`, `compact` — so no two can interleave (a write reads
+    /// the current state and must publish against exactly that state —
+    /// no lost updates). Held across the *build* of the next snapshot,
+    /// while the `snapshot` write lock is held only for the `Arc` swap,
+    /// so queries keep serving the old generation during a slow build.
+    writer: Mutex<WriterState>,
     cache: Mutex<FxHashMap<(u64, CanonKey), Arc<CompiledQuery>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -162,15 +195,64 @@ const _: () = {
 };
 
 impl Server {
-    /// Load generation 0 from a KB.
+    /// Load generation 0 from a KB (in-memory only — nothing persisted).
     pub fn new(voc: Vocabulary, tbox: TBox, abox: &ABox, config: ServerConfig) -> Self {
-        let deps = Dependencies::compute(&voc, &tbox);
-        let snapshot = Self::build_snapshot(&voc, &config, tbox, deps, abox, 0);
-        Server {
+        Self::with_store(voc, tbox, abox.clone(), config, None, 0)
+    }
+
+    /// Initialize a durable store directory with a generation-0 snapshot
+    /// of the KB and an empty WAL, and serve from it. Subsequent
+    /// [`Server::apply_batch`] calls are write-ahead logged;
+    /// [`Server::open`] brings the server back after a crash or restart.
+    pub fn create_durable(
+        dir: &Path,
+        voc: Vocabulary,
+        tbox: TBox,
+        abox: &ABox,
+        config: ServerConfig,
+    ) -> Result<Self, StoreError> {
+        let store = DurableStore::create(dir, &voc, &tbox, abox, 0)?;
+        Ok(Self::with_store(
             voc,
+            tbox,
+            abox.clone(),
+            config,
+            Some(store),
+            0,
+        ))
+    }
+
+    /// The recovery constructor: replay `snapshot + WAL tail` from a
+    /// store directory — a torn final record (crash mid-append) is
+    /// tolerated and truncated — and serve the recovered KB at the exact
+    /// pre-crash generation. The TBox rides in the snapshot, so the
+    /// directory is self-contained.
+    pub fn open(dir: &Path, config: ServerConfig) -> Result<Self, StoreError> {
+        let (kb, store) = DurableStore::open(dir)?;
+        Ok(Self::with_store(
+            kb.voc,
+            kb.tbox,
+            kb.abox,
+            config,
+            Some(store),
+            kb.generation,
+        ))
+    }
+
+    fn with_store(
+        voc: Vocabulary,
+        tbox: TBox,
+        abox: ABox,
+        config: ServerConfig,
+        store: Option<DurableStore>,
+        generation: u64,
+    ) -> Self {
+        let deps = Dependencies::compute(&voc, &tbox);
+        let snapshot = Self::build_snapshot(&voc, &config, tbox, deps, &abox, generation);
+        Server {
             config,
             snapshot: RwLock::new(Arc::new(snapshot)),
-            reload: Mutex::new(()),
+            writer: Mutex::new(WriterState { voc, abox, store }),
             cache: Mutex::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -301,42 +383,144 @@ impl Server {
         }
     }
 
+    /// Apply one [`AboxDelta`] batch incrementally, publishing it as the
+    /// next snapshot generation. The commit order is the write-ahead
+    /// discipline:
+    ///
+    /// 1. **log** — append the batch to the WAL (durable servers only)
+    ///    and flush, so a crash from here on replays it. An append
+    ///    failure returns `Err` with *nothing* changed in memory — the
+    ///    batch did not commit;
+    /// 2. intern the batch's `new_individuals` into the master
+    ///    vocabulary (the WAL record carries the names itself, so
+    ///    recovery re-interns them identically);
+    /// 3. apply the batch to the master ABox, obtaining the *effective*
+    ///    sub-delta (inserts that were new, deletes that hit);
+    /// 4. clone the current engine (a table memcpy) and maintain the
+    ///    clone's tables, indexes and statistics **in place** under the
+    ///    effective delta — no rebuild, no statistics pass;
+    /// 5. publish the clone as generation `g+1` and drop every stale
+    ///    plan-cache entry — exactly the invalidation a full reload
+    ///    performs, so cached plans can never see the wrong data;
+    /// 6. if the WAL has accumulated `compact_every` batches, fold it
+    ///    into a fresh snapshot.
+    ///
+    /// `Ok(generation)` means the batch **committed** (logged and
+    /// published). A step-6 auto-compaction failure does not revoke the
+    /// commit: it poisons the store (see [`DurableStore::compact`]) so
+    /// the *next* append reports the condition, and this call still
+    /// returns `Ok` — callers can treat `Err` as "retry safely".
+    ///
+    /// In-flight queries keep the snapshot they started with (snapshot
+    /// isolation); their generation-`g` prepared plans remain valid for
+    /// that snapshot's data.
+    pub fn apply_batch(&self, delta: &AboxDelta) -> Result<u64, StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if let Some(store) = writer.store.as_mut() {
+            store.append(delta)?;
+        }
+        for name in &delta.new_individuals {
+            writer.voc.individual(name);
+        }
+        let effective = writer.abox.apply(delta);
+
+        let cur = self
+            .snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone();
+        let mut engine = cur.engine.clone();
+        engine.apply_delta(&effective);
+        let generation = cur.generation + 1;
+        let next = Arc::new(EngineSnapshot {
+            engine,
+            tbox: cur.tbox.clone(),
+            deps: cur.deps.clone(),
+            generation,
+        });
+        self.swap_snapshot(next, generation);
+
+        let due = writer.store.as_ref().is_some_and(|s| {
+            self.config.compact_every > 0 && s.wal_batches() >= self.config.compact_every
+        });
+        if due {
+            // Best-effort: the batch is already durably logged and
+            // published. A failed fold poisons the store, surfacing on
+            // the next append instead of masquerading as a commit
+            // failure here.
+            let _ = Self::compact_locked(&mut writer, &cur.tbox, generation);
+        }
+        Ok(generation)
+    }
+
+    /// Fold the WAL into a fresh snapshot of the current state (no-op on
+    /// a non-durable server). Answering is unaffected — compaction only
+    /// rewrites the on-disk representation.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let (tbox, generation) = {
+            let cur = self.snapshot.read().expect("snapshot lock poisoned");
+            (cur.tbox.clone(), cur.generation)
+        };
+        Self::compact_locked(&mut writer, &tbox, generation)
+    }
+
+    fn compact_locked(
+        writer: &mut WriterState,
+        tbox: &TBox,
+        generation: u64,
+    ) -> Result<(), StoreError> {
+        let WriterState { voc, abox, store } = writer;
+        match store.as_mut() {
+            Some(store) => store.compact(voc, tbox, abox, generation),
+            None => Ok(()),
+        }
+    }
+
     /// Publish a new ABox under the current TBox: rebuilds storage and
-    /// statistics, bumps the generation, and drops every stale cache
-    /// entry. In-flight queries finish against the snapshot they started
-    /// with; queries arriving after the swap see the new generation and
-    /// can never be served a stale plan (the cache key embeds the
-    /// generation).
+    /// statistics from scratch, bumps the generation, and drops every
+    /// stale cache entry.
+    ///
+    /// **Generation semantics** (shared by [`Server::reload_kb`] and
+    /// [`Server::apply_batch`]): each successful write publishes exactly
+    /// one new generation `g+1`; the plan cache is keyed by
+    /// `(generation, canonical query)`, so every entry compiled against
+    /// `g` or older is dropped at publish time and can never serve the
+    /// new data. In-flight queries that pinned the generation-`g`
+    /// snapshot (via [`Server::snapshot`] / [`Server::query_on`]) finish
+    /// against generation `g`'s engine — their prepared plans stay
+    /// correct for the data they were planned on, because the snapshot
+    /// owns that data immutably.
+    ///
+    /// On a durable server a bulk reload is also a **compaction point**:
+    /// the new ABox becomes a fresh on-disk snapshot and the WAL resets
+    /// (logged deltas against the pre-reload state are meaningless going
+    /// forward).
     pub fn reload_abox(&self, abox: &ABox) {
-        let reload = self.reload.lock().expect("reload lock poisoned");
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
         let (tbox, deps) = {
             let cur = self.snapshot.read().expect("snapshot lock poisoned");
             (cur.tbox.clone(), cur.deps.clone())
         };
-        self.publish(&reload, tbox, deps, abox);
+        self.publish(&mut writer, tbox, deps, abox);
     }
 
     /// Publish a new TBox *and* ABox (ontology evolution): recomputes the
-    /// predicate dependencies, then swaps like [`Server::reload_abox`].
+    /// predicate dependencies, then swaps like [`Server::reload_abox`]
+    /// (see there for the generation semantics, which are identical).
     pub fn reload_kb(&self, tbox: TBox, abox: &ABox) {
-        let reload = self.reload.lock().expect("reload lock poisoned");
-        let deps = Dependencies::compute(&self.voc, &tbox);
-        self.publish(&reload, tbox, deps, abox);
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let deps = Dependencies::compute(&writer.voc, &tbox);
+        self.publish(&mut writer, tbox, deps, abox);
     }
 
-    /// Build and swap in the next generation. The `_reload` guard proves
-    /// the caller holds the reload mutex: the current TBox/deps were read
-    /// under it, so no concurrent reload can interleave (lost update),
-    /// and the expensive snapshot build happens *before* the snapshot
-    /// write lock is taken — queries keep serving the old generation
-    /// until the O(1) `Arc` swap.
-    fn publish(
-        &self,
-        _reload: &std::sync::MutexGuard<'_, ()>,
-        tbox: TBox,
-        deps: Dependencies,
-        abox: &ABox,
-    ) {
+    /// Build and swap in the next generation (bulk path). The writer
+    /// guard proves the caller holds the writer mutex: the current
+    /// TBox/deps were read under it, so no concurrent write can
+    /// interleave (lost update), and the expensive snapshot build
+    /// happens *before* the snapshot write lock is taken — queries keep
+    /// serving the old generation until the O(1) `Arc` swap.
+    fn publish(&self, writer: &mut WriterState, tbox: TBox, deps: Dependencies, abox: &ABox) {
         let generation = self
             .snapshot
             .read()
@@ -344,19 +528,51 @@ impl Server {
             .generation
             + 1;
         let next = Arc::new(Self::build_snapshot(
-            &self.voc,
+            &writer.voc,
             &self.config,
-            tbox,
+            tbox.clone(),
             deps,
             abox,
             generation,
         ));
+        self.swap_snapshot(next, generation);
+        writer.abox = abox.clone();
+        if let Some(store) = writer.store.as_mut() {
+            // A bulk reload invalidates the log: compact to the new state.
+            // Persisting is best-effort here (the API predates the store
+            // and stays infallible); a failed compaction leaves the old
+            // snapshot + WAL intact, which recovers to the *previous*
+            // generation — stale but consistent.
+            let _ = store.compact(&writer.voc, &tbox, abox, generation);
+        }
+    }
+
+    /// Swap the published snapshot and drop every plan-cache entry of
+    /// older generations (counted in `invalidated`).
+    fn swap_snapshot(&self, next: Arc<EngineSnapshot>, generation: u64) {
         *self.snapshot.write().expect("snapshot lock poisoned") = next;
         let mut cache = self.cache.lock().expect("plan cache lock poisoned");
         let before = cache.len();
         cache.retain(|(gen, _), _| *gen >= generation);
         self.invalidated
             .fetch_add((before - cache.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// The currently published snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .generation
+    }
+
+    /// Whether this server persists to a durable store directory.
+    pub fn is_durable(&self) -> bool {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .store
+            .is_some()
     }
 
     pub fn cache_stats(&self) -> CacheStats {
@@ -503,6 +719,96 @@ mod tests {
             got.len() > before.outcome.rows.len(),
             "the new facts must be visible"
         );
+    }
+
+    #[test]
+    fn apply_batch_is_incremental_and_invalidates_like_reload() {
+        let (voc, tbox, abox, q) = fixture();
+        let srv = Server::new(voc.clone(), tbox.clone(), &abox, ServerConfig::default());
+        let before = srv.query(&q).unwrap();
+        assert_eq!(before.generation, 0);
+
+        // Same growth as the reload test, but expressed as a delta with a
+        // batch-interned individual.
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let works = voc.find_role("worksWith").unwrap();
+        let sup = voc.find_role("supervisedBy").unwrap();
+        let extra = obda_dllite::IndividualId(voc.num_individuals() as u32);
+        let other = obda_dllite::IndividualId(voc.num_individuals() as u32 + 1);
+        let delta = AboxDelta {
+            new_individuals: vec!["Extra".into(), "Other".into()],
+            ..AboxDelta::new()
+        }
+        .insert_concept(phd, extra)
+        .insert_role(works, extra, other)
+        .insert_role(sup, extra, other);
+
+        let generation = srv.apply_batch(&delta).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(srv.generation(), 1);
+        let after = srv.query(&q).unwrap();
+        assert_eq!(after.generation, 1);
+        assert!(!after.cache_hit, "stale plan must not serve the new KB");
+        assert!(srv.cache_stats().invalidated >= 1);
+
+        // Row-for-row parity with a cold server over the equivalent
+        // reloaded ABox.
+        let mut voc2 = voc.clone();
+        voc2.individual("Extra");
+        voc2.individual("Other");
+        let mut abox2 = abox.clone();
+        abox2.apply(&delta);
+        let cold = Server::new(
+            voc2,
+            tbox,
+            &abox2,
+            ServerConfig {
+                cache_plans: false,
+                ..ServerConfig::default()
+            },
+        );
+        let mut want = cold.query(&q).unwrap().outcome.rows;
+        let mut got = after.outcome.rows.clone();
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+        assert!(got.len() > before.outcome.rows.len());
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_apply_batch() {
+        let (voc, tbox, abox, q) = fixture();
+        let srv = Server::new(voc.clone(), tbox, &abox, ServerConfig::default());
+        let pinned = srv.snapshot();
+        let mut want_old = srv.query_on(&pinned, &q).unwrap().outcome.rows;
+        want_old.sort();
+
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        srv.apply_batch(&AboxDelta::new().delete_concept(phd, damian))
+            .unwrap();
+
+        // The pinned generation-0 snapshot still answers from the old
+        // data (snapshot isolation): the apply mutated a clone, not it.
+        let replay = srv.query_on(&pinned, &q).unwrap();
+        assert_eq!(replay.generation, 0);
+        let mut got = replay.outcome.rows;
+        got.sort();
+        assert_eq!(got, want_old);
+
+        // The live path sees the deletion.
+        let now = srv.query(&q).unwrap();
+        assert_eq!(now.generation, 1);
+        assert!(now.outcome.rows.len() < want_old.len());
+    }
+
+    #[test]
+    fn empty_batches_still_bump_the_generation() {
+        let (srv, q) = server(ServerConfig::default());
+        let g1 = srv.apply_batch(&AboxDelta::new()).unwrap();
+        assert_eq!(g1, 1);
+        let out = srv.query(&q).unwrap();
+        assert_eq!(out.generation, 1);
     }
 
     #[test]

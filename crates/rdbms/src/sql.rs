@@ -59,6 +59,7 @@ impl SqlNames {
 }
 
 /// SQL generator for one layout.
+#[derive(Debug, Clone)]
 pub struct SqlGenerator {
     names: SqlNames,
     layout: LayoutKind,

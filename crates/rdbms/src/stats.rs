@@ -2,10 +2,20 @@
 //! counts, the inputs of both cost models (§6.1: "statistics on the stored
 //! data (cardinality and number of distinct values in each stored table
 //! attribute)").
+//!
+//! Statistics are maintained **incrementally** under [`AboxDelta`]
+//! batches: instead of bare distinct counts the catalog keeps per-value
+//! occurrence counters, so a deletion knows when the last pair with a
+//! given subject (or object, or individual) disappears. The maps are kept
+//! *canonical* — an entry whose counter reaches zero is removed — which
+//! makes incremental maintenance **counter-exact**: after any sequence of
+//! deltas, `apply_delta` leaves the catalog structurally equal
+//! (`PartialEq`) to [`CatalogStats::from_abox`] on the resulting ABox.
+//! The differential suite asserts exactly that property.
 
-use obda_dllite::ABox;
+use obda_dllite::{ABox, AboxDelta};
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::FxHashMap;
 
 /// Which role attribute a hash-join build side is keyed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,44 +24,131 @@ pub enum KeySide {
     Object,
 }
 
+/// Occurrence counters per value (canonical: no zero entries).
+type Counts = FxHashMap<u32, u64>;
+
 /// Statistics over the stored ABox, layout-independent.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogStats {
     concept_rows: FxHashMap<u32, u64>,
     role_rows: FxHashMap<u32, u64>,
-    role_distinct_s: FxHashMap<u32, u64>,
-    role_distinct_o: FxHashMap<u32, u64>,
+    /// Per role: subject value → number of pairs with that subject.
+    role_subj_counts: FxHashMap<u32, Counts>,
+    /// Per role: object value → number of pairs with that object.
+    role_obj_counts: FxHashMap<u32, Counts>,
+    /// Individual id → number of facts mentioning it (concept membership
+    /// counts once; a role pair counts each position, so a reflexive pair
+    /// counts its individual twice).
+    individual_refs: Counts,
     pub num_individuals: u64,
     pub total_facts: u64,
+}
+
+/// Bump a counter in a canonical count map.
+fn count_up(map: &mut Counts, key: u32) {
+    *map.entry(key).or_insert(0) += 1;
+}
+
+/// Decrement a counter, removing the entry at zero (canonical form).
+fn count_down(map: &mut Counts, key: u32) {
+    match map.get_mut(&key) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            map.remove(&key);
+        }
+        None => debug_assert!(false, "decrement of untracked key {key}"),
+    }
 }
 
 impl CatalogStats {
     /// Compute statistics from an ABox.
     pub fn from_abox(abox: &ABox) -> Self {
         let mut stats = CatalogStats::default();
-        let mut individuals: FxHashSet<u32> = FxHashSet::default();
         for &(c, i) in abox.concept_assertions() {
-            *stats.concept_rows.entry(c.0).or_insert(0) += 1;
-            individuals.insert(i.0);
+            stats.add_concept(c.0, i.0);
         }
-        let mut subj: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
-        let mut obj: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
         for &(r, a, b) in abox.role_assertions() {
-            *stats.role_rows.entry(r.0).or_insert(0) += 1;
-            subj.entry(r.0).or_default().insert(a.0);
-            obj.entry(r.0).or_default().insert(b.0);
-            individuals.insert(a.0);
-            individuals.insert(b.0);
+            stats.add_role(r.0, a.0, b.0);
         }
-        for (r, s) in subj {
-            stats.role_distinct_s.insert(r, s.len() as u64);
-        }
-        for (r, s) in obj {
-            stats.role_distinct_o.insert(r, s.len() as u64);
-        }
-        stats.num_individuals = individuals.len() as u64;
-        stats.total_facts = (abox.concept_assertions().len() + abox.role_assertions().len()) as u64;
         stats
+    }
+
+    /// Maintain the catalog under one **effective** delta (the sub-delta
+    /// [`ABox::apply`] reports: inserts that were new, deletes that hit).
+    /// Feeding a non-effective delta (duplicate inserts, misses) would
+    /// double-count — the storage layouts guarantee effectiveness.
+    pub fn apply_delta(&mut self, delta: &AboxDelta) {
+        for &(c, i) in &delta.insert_concepts {
+            self.add_concept(c.0, i.0);
+        }
+        for &(r, a, b) in &delta.insert_roles {
+            self.add_role(r.0, a.0, b.0);
+        }
+        for &(c, i) in &delta.delete_concepts {
+            self.remove_concept(c.0, i.0);
+        }
+        for &(r, a, b) in &delta.delete_roles {
+            self.remove_role(r.0, a.0, b.0);
+        }
+    }
+
+    fn add_concept(&mut self, c: u32, i: u32) {
+        *self.concept_rows.entry(c).or_insert(0) += 1;
+        self.touch_individual(i);
+        self.total_facts += 1;
+    }
+
+    fn remove_concept(&mut self, c: u32, i: u32) {
+        count_down(&mut self.concept_rows, c);
+        self.release_individual(i);
+        self.total_facts -= 1;
+    }
+
+    fn add_role(&mut self, r: u32, a: u32, b: u32) {
+        *self.role_rows.entry(r).or_insert(0) += 1;
+        count_up(self.role_subj_counts.entry(r).or_default(), a);
+        count_up(self.role_obj_counts.entry(r).or_default(), b);
+        self.touch_individual(a);
+        self.touch_individual(b);
+        self.total_facts += 1;
+    }
+
+    fn remove_role(&mut self, r: u32, a: u32, b: u32) {
+        count_down(&mut self.role_rows, r);
+        let subj = self
+            .role_subj_counts
+            .get_mut(&r)
+            .expect("role with pairs has a subject-count map");
+        count_down(subj, a);
+        if subj.is_empty() {
+            self.role_subj_counts.remove(&r);
+        }
+        let obj = self
+            .role_obj_counts
+            .get_mut(&r)
+            .expect("role with pairs has an object-count map");
+        count_down(obj, b);
+        if obj.is_empty() {
+            self.role_obj_counts.remove(&r);
+        }
+        self.release_individual(a);
+        self.release_individual(b);
+        self.total_facts -= 1;
+    }
+
+    fn touch_individual(&mut self, i: u32) {
+        let refs = self.individual_refs.entry(i).or_insert(0);
+        if *refs == 0 {
+            self.num_individuals += 1;
+        }
+        *refs += 1;
+    }
+
+    fn release_individual(&mut self, i: u32) {
+        count_down(&mut self.individual_refs, i);
+        if !self.individual_refs.contains_key(&i) {
+            self.num_individuals -= 1;
+        }
     }
 
     /// Rows in concept table `c` (0 if absent).
@@ -66,12 +163,12 @@ impl CatalogStats {
 
     /// Distinct subjects of role `r`.
     pub fn role_distinct_subjects(&self, r: u32) -> u64 {
-        self.role_distinct_s.get(&r).copied().unwrap_or(0)
+        self.role_subj_counts.get(&r).map_or(0, |m| m.len() as u64)
     }
 
     /// Distinct objects of role `r`.
     pub fn role_distinct_objects(&self, r: u32) -> u64 {
-        self.role_distinct_o.get(&r).copied().unwrap_or(0)
+        self.role_obj_counts.get(&r).map_or(0, |m| m.len() as u64)
     }
 
     /// Rows a hash-join build side holds for role `r` (its full
@@ -174,6 +271,67 @@ mod tests {
         let stats = CatalogStats::default();
         assert_eq!(stats.concept_card(0), 0);
         assert_eq!(stats.role_card(0), 0);
+    }
+
+    #[test]
+    fn delta_maintenance_is_counter_exact() {
+        let (voc, mut abox) = sample();
+        let mut stats = CatalogStats::from_abox(&abox);
+        let a = voc.find_concept("A").unwrap();
+        let r = voc.find_role("r").unwrap();
+        let i0 = voc.find_individual("i0").unwrap();
+        let i1 = voc.find_individual("i1").unwrap();
+        let i4 = voc.find_individual("i4").unwrap();
+        let delta = obda_dllite::AboxDelta::new()
+            .insert_concept(a, i4)
+            .insert_role(r, i4, i0)
+            .delete_role(r, i0, i1)
+            .delete_concept(a, i0);
+        let eff = abox.apply(&delta);
+        assert_eq!(eff.len(), 4, "all four changes are effective");
+        stats.apply_delta(&eff);
+        assert_eq!(
+            stats,
+            CatalogStats::from_abox(&abox),
+            "incremental catalog must equal rebuild-from-scratch"
+        );
+        assert_eq!(stats.concept_card(a.0), 2); // i1, i4
+        assert_eq!(stats.role_distinct_subjects(r.0), 3); // i0, i3, i4
+    }
+
+    #[test]
+    fn delta_maintenance_canonicalizes_empty_tables() {
+        let (voc, mut abox) = sample();
+        let mut stats = CatalogStats::from_abox(&abox);
+        let r = voc.find_role("r").unwrap();
+        // Delete every pair of r: the role's maps must disappear, leaving
+        // the catalog structurally equal to one that never saw r.
+        let mut delta = obda_dllite::AboxDelta::new();
+        for (s, o) in abox.role_pairs(r).collect::<Vec<_>>() {
+            delta.delete_roles.push((r, s, o));
+        }
+        let eff = abox.apply(&delta);
+        stats.apply_delta(&eff);
+        assert_eq!(stats, CatalogStats::from_abox(&abox));
+        assert_eq!(stats.role_card(r.0), 0);
+        assert_eq!(stats.role_distinct_subjects(r.0), 0);
+        assert_eq!(stats.role_fanout_s(r.0), 0.0);
+    }
+
+    #[test]
+    fn reflexive_pairs_keep_individual_refs_balanced() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let x = voc.individual("x");
+        let mut abox = ABox::new();
+        abox.assert_role(r, x, x);
+        let mut stats = CatalogStats::from_abox(&abox);
+        assert_eq!(stats.num_individuals, 1);
+        let eff = abox.apply(&obda_dllite::AboxDelta::new().delete_role(r, x, x));
+        stats.apply_delta(&eff);
+        assert_eq!(stats.num_individuals, 0);
+        assert_eq!(stats, CatalogStats::from_abox(&abox));
+        assert_eq!(stats, CatalogStats::default(), "fully canonical at empty");
     }
 
     #[test]

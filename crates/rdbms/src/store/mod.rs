@@ -1,0 +1,411 @@
+//! The durable ABox store: binary snapshots + an append-only WAL.
+//!
+//! The paper delegates reformulated-query evaluation to an RDBMS — and a
+//! real RDBMS owns a *durable* extensional store whose statistics drive
+//! planning and whose contents change under it. This module gives the
+//! serving layer that substrate:
+//!
+//! * [`snapshot`] — a versioned **binary snapshot** of one KB generation:
+//!   the [`obda_dllite::Vocabulary`] (all three interned id tables), the
+//!   TBox axioms, and the ABox fact vectors, length-prefixed and guarded
+//!   by an FNV-1a checksum. Serialization is canonical: decoding a
+//!   snapshot and re-encoding it reproduces the bytes exactly.
+//! * [`wal`] — an **append-only write-ahead log** of [`AboxDelta`]
+//!   batches. Each record is `[len: u32][payload][fnv64(payload): u64]`;
+//!   a torn final record (crash mid-append) is detected by length or
+//!   checksum, tolerated, and truncated on recovery.
+//! * [`recover`] — crash recovery: replay `snapshot + WAL tail`, skipping
+//!   batches the snapshot already contains (a crash between compaction's
+//!   snapshot rename and WAL reset leaves such a stale prefix), arriving
+//!   at the exact pre-crash vocabulary, ABox and generation.
+//!
+//! [`DurableStore`] ties the three together for the serving layer
+//! (`Server::open` / `Server::apply_batch`): create, append one batch per
+//! generation, and periodically **compact** — fold the WAL into a fresh
+//! snapshot (written to a temp file and atomically renamed) and reset the
+//! log.
+//!
+//! Durability contract: appends are flushed to the OS on every batch, so
+//! the log survives a killed *process* (the failure CI injects). Surviving
+//! a killed *machine* additionally needs [`WalWriter::sync`] per batch
+//! (an `fsync`), which callers can opt into when the write rate warrants
+//! the latency.
+
+pub mod recover;
+pub mod snapshot;
+pub mod wal;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use obda_dllite::{ABox, AboxDelta, TBox, Vocabulary};
+
+pub use recover::{recover, RecoveredKb};
+pub use snapshot::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot};
+pub use wal::{read_wal, TailStatus, WalWriter};
+
+/// Store format version (bumped on any incompatible layout change).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.bin";
+
+/// Errors surfaced by the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(io::Error),
+    /// A file failed structural validation (bad magic, checksum mismatch,
+    /// impossible lengths) somewhere other than a tolerated torn tail.
+    Corrupt {
+        file: String,
+        detail: String,
+    },
+    /// The file was written by an incompatible format version.
+    BadVersion {
+        file: String,
+        found: u32,
+    },
+    /// A prior compaction failed, leaving the on-disk snapshot/WAL pair
+    /// behind the in-memory state — further appends would log deltas
+    /// against a base the files cannot reconstruct. The store refuses
+    /// them; reopen (or re-create) the store directory to resume.
+    Poisoned {
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { file, detail } => {
+                write!(f, "corrupt store file {file}: {detail}")
+            }
+            StoreError::BadVersion { file, found } => write!(
+                f,
+                "store file {file} has format version {found}, expected {FORMAT_VERSION}"
+            ),
+            StoreError::Poisoned { detail } => write!(
+                f,
+                "store is poisoned by a failed compaction ({detail}); reopen to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A handle on one store directory: the current snapshot plus the WAL
+/// being appended to. One writer at a time (the serving layer serializes
+/// writers behind its writer lock).
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Generation the current snapshot file holds.
+    base_generation: u64,
+    /// Batches appended to the WAL since that snapshot.
+    wal_batches: u64,
+    /// Set when a compaction failed partway: the on-disk pair may no
+    /// longer be a prefix of the in-memory state, so appends must stop
+    /// (see [`StoreError::Poisoned`]).
+    poisoned: Option<String>,
+}
+
+impl DurableStore {
+    /// Initialize a store directory with a generation-`generation`
+    /// snapshot of the KB and an empty WAL. Creates the directory if
+    /// needed; any existing store files are overwritten.
+    pub fn create(
+        dir: &Path,
+        voc: &Vocabulary,
+        tbox: &TBox,
+        abox: &ABox,
+        generation: u64,
+    ) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        write_snapshot(&dir.join(SNAPSHOT_FILE), voc, tbox, abox, generation)?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), generation)?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            wal,
+            base_generation: generation,
+            wal_batches: 0,
+            poisoned: None,
+        })
+    }
+
+    /// Open an existing store: run [`recover`], truncate any torn WAL
+    /// tail, and return the recovered KB together with a store handle
+    /// positioned to append the next batch.
+    ///
+    /// If the WAL's base generation trails the snapshot's — the
+    /// footprint of a compaction interrupted between its snapshot
+    /// rename and its WAL reset — the stale log cannot safely absorb
+    /// appends (recovery's skip arithmetic would mis-count them), so
+    /// the store is re-compacted to a clean snapshot + empty WAL pair
+    /// at the recovered generation before the handle is returned.
+    pub fn open(dir: &Path) -> Result<(RecoveredKb, Self), StoreError> {
+        let kb = recover(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if kb.torn_tail {
+            // Drop the torn bytes so the next append starts on a clean
+            // record boundary.
+            wal::truncate_to(&wal_path, kb.wal_valid_len)?;
+        }
+        let wal = WalWriter::open_append(&wal_path)?;
+        let mut store = DurableStore {
+            dir: dir.to_path_buf(),
+            wal,
+            base_generation: kb.snapshot_generation,
+            wal_batches: kb.wal_batches,
+            poisoned: None,
+        };
+        if kb.wal_base != kb.snapshot_generation {
+            store.compact(&kb.voc, &kb.tbox, &kb.abox, kb.generation)?;
+        }
+        // The KB moves out by value — the store handle keeps only
+        // bookkeeping counters, so recovery materializes exactly one
+        // copy of the ABox.
+        Ok((kb, store))
+    }
+
+    /// Append one batch to the WAL (flushed to the OS before returning).
+    /// Must be called *before* the batch is applied in memory — the
+    /// write-ahead discipline recovery relies on. Refused once the store
+    /// is poisoned by a failed compaction: the files no longer describe
+    /// the state the delta applies to, so logging it would make recovery
+    /// silently reconstruct wrong data.
+    pub fn append(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+        if let Some(detail) = &self.poisoned {
+            return Err(StoreError::Poisoned {
+                detail: detail.clone(),
+            });
+        }
+        self.wal.append_batch(delta)?;
+        self.wal_batches += 1;
+        Ok(())
+    }
+
+    /// Fold the WAL into a fresh snapshot of the current KB state: write
+    /// the snapshot to a temp file, atomically rename it over the old
+    /// one, then reset the WAL. A crash between the rename and the reset
+    /// leaves a WAL whose batches the snapshot already contains; recovery
+    /// detects the overlap by generation arithmetic and skips them.
+    ///
+    /// On failure the store is **poisoned**: the on-disk pair may now
+    /// trail the in-memory state the caller continues to serve, and any
+    /// further append would log a delta against a base the files cannot
+    /// reconstruct — so subsequent [`DurableStore::append`] calls return
+    /// [`StoreError::Poisoned`]. A later *successful* compaction clears
+    /// the poison: it rewrites snapshot + WAL wholesale from the current
+    /// in-memory state, restoring on-disk consistency (so a transient
+    /// failure — disk briefly full — is not a permanent write outage).
+    pub fn compact(
+        &mut self,
+        voc: &Vocabulary,
+        tbox: &TBox,
+        abox: &ABox,
+        generation: u64,
+    ) -> Result<(), StoreError> {
+        match self.try_compact(voc, tbox, abox, generation) {
+            Ok(()) => {
+                self.poisoned = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_compact(
+        &mut self,
+        voc: &Vocabulary,
+        tbox: &TBox,
+        abox: &ABox,
+        generation: u64,
+    ) -> Result<(), StoreError> {
+        // `write_snapshot` is atomic (tmp + fsync + rename), so the old
+        // WAL — the only other copy of the folded history — is destroyed
+        // only after the new snapshot is durably on disk.
+        write_snapshot(&self.dir.join(SNAPSHOT_FILE), voc, tbox, abox, generation)?;
+        self.wal = WalWriter::create(&self.dir.join(WAL_FILE), generation)?;
+        self.base_generation = generation;
+        self.wal_batches = 0;
+        Ok(())
+    }
+
+    /// `fsync` the WAL (power-loss durability for everything appended so
+    /// far).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Generation held by the snapshot file.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// Batches in the WAL since the last snapshot (the compaction
+    /// trigger's input).
+    pub fn wal_batches(&self) -> u64 {
+        self.wal_batches
+    }
+
+    /// The generation the store represents: snapshot + WAL tail.
+    pub fn generation(&self) -> u64 {
+        self.base_generation + self.wal_batches
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared binary codec primitives (little-endian, length-prefixed).
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit — the record/file checksum. Not cryptographic; it
+/// detects torn writes and bit rot, which is the job of a WAL checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A checked little-endian reader over a byte slice.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    file: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8], file: &'a str) -> Self {
+        Reader { buf, pos: 0, file }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            file: self.file.to_owned(),
+            detail: format!("at byte {}: {}", self.pos, detail.into()),
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.corrupt(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not valid UTF-8"))
+    }
+
+    /// A count prefix, sanity-bounded by what could possibly fit in the
+    /// remaining bytes (each element occupies at least `min_elem_bytes`),
+    /// so corrupt counts fail fast instead of attempting huge allocations.
+    pub(crate) fn count(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(self.corrupt(format!(
+                "count {n} cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn expect_finished(&self) -> Result<(), StoreError> {
+        if self.finished() {
+            Ok(())
+        } else {
+            Err(self.corrupt(format!("{} trailing bytes", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Reference values of FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn reader_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_str(&mut buf, "hello");
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.str().unwrap(), "hello");
+        r.expect_finished().unwrap();
+        assert!(r.u32().is_err(), "reading past the end is an error");
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims 4 billion elements
+        let mut r = Reader::new(&buf, "test");
+        assert!(matches!(r.count(8), Err(StoreError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,336 @@
+//! Crash recovery: replay `snapshot + WAL tail` to the exact pre-crash
+//! state.
+//!
+//! The invariants recovery relies on:
+//!
+//! * the snapshot holds generation `g₀` exactly (it is written atomically
+//!   via temp-file + rename);
+//! * WAL record `k` (1-based) transforms generation `base + k - 1` into
+//!   `base + k`, where `base` is the WAL header's base generation;
+//! * applying a batch is deterministic: interning the batch's new
+//!   individual names and then [`obda_dllite::ABox::apply`]ing its
+//!   changes from a given state always yields the same state.
+//!
+//! Normally `base == g₀` and every record replays. After a crash *during
+//! compaction* — between the snapshot rename and the WAL reset — the WAL
+//! still starts at the pre-compaction base, so its first `g₀ - base`
+//! records are already folded into the snapshot; they are skipped by
+//! generation arithmetic. A WAL from the future (`base > g₀`) cannot be
+//! produced by any crash ordering and is reported as corruption.
+
+use std::path::Path;
+
+use obda_dllite::{ABox, TBox, Vocabulary};
+
+use super::wal::{read_wal, TailStatus};
+use super::{snapshot::read_snapshot, StoreError, SNAPSHOT_FILE, WAL_FILE};
+
+/// The state a store directory recovers to.
+pub struct RecoveredKb {
+    pub voc: Vocabulary,
+    pub tbox: TBox,
+    pub abox: ABox,
+    /// Generation after replay: `snapshot_generation + wal_batches`.
+    pub generation: u64,
+    /// Generation the snapshot file holds.
+    pub snapshot_generation: u64,
+    /// WAL batches replayed on top of the snapshot (stale pre-compaction
+    /// records excluded).
+    pub wal_batches: u64,
+    /// Whether the WAL ended in a torn record (crash mid-append). The
+    /// torn suffix was never acknowledged and is dropped.
+    pub torn_tail: bool,
+    /// Byte length of the WAL's valid prefix (where a torn tail gets
+    /// truncated).
+    pub wal_valid_len: u64,
+    /// The WAL header's base generation. Differs from
+    /// `snapshot_generation` exactly when a compaction was interrupted
+    /// between its snapshot rename and its WAL reset — the log is then
+    /// (partly or wholly) superseded and must be rebuilt before further
+    /// appends ([`super::DurableStore::open`] does so).
+    pub wal_base: u64,
+}
+
+/// Recover the KB from a store directory: read and validate the
+/// snapshot, scan the WAL, skip already-folded records, replay the rest.
+/// Read-only — truncating a torn tail is the caller's move (see
+/// [`super::DurableStore::open`]).
+pub fn recover(dir: &Path) -> Result<RecoveredKb, StoreError> {
+    let (mut voc, tbox, mut abox, snapshot_generation) = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+    let wal_path = dir.join(WAL_FILE);
+    let (base, batches, tail) = read_wal(&wal_path)?;
+    if base > snapshot_generation {
+        return Err(StoreError::Corrupt {
+            file: wal_path.display().to_string(),
+            detail: format!(
+                "WAL base generation {base} is ahead of snapshot generation \
+                 {snapshot_generation}"
+            ),
+        });
+    }
+    // Records 1..=stale are already folded into the snapshot. A
+    // snapshot *ahead* of the whole log (stale > record count) is the
+    // footprint of an interrupted reload-path compaction — the reload
+    // itself writes no WAL record, so the renamed snapshot can be more
+    // than `count` generations past the base; every logged record is
+    // superseded and the snapshot alone is the complete state.
+    let stale = ((snapshot_generation - base) as usize).min(batches.len());
+    let mut replayed = 0u64;
+    for delta in &batches[stale..] {
+        for name in &delta.new_individuals {
+            voc.individual(name);
+        }
+        abox.apply(delta);
+        replayed += 1;
+    }
+    let (torn_tail, wal_valid_len) = match tail {
+        TailStatus::Clean => (false, std::fs::metadata(&wal_path)?.len()),
+        TailStatus::Torn { valid_len } => (true, valid_len),
+    };
+    Ok(RecoveredKb {
+        voc,
+        tbox,
+        abox,
+        generation: snapshot_generation + replayed,
+        snapshot_generation,
+        wal_batches: replayed,
+        torn_tail,
+        wal_valid_len,
+        wal_base: base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{snapshot::write_snapshot, wal::WalWriter, DurableStore};
+    use super::*;
+    use obda_dllite::{example7_tbox, AboxDelta};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("obda-recover-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture() -> (Vocabulary, TBox, ABox) {
+        let (mut voc, tbox) = example7_tbox();
+        let abox = obda_dllite::example1_abox(&mut voc);
+        (voc, tbox, abox)
+    }
+
+    #[test]
+    fn snapshot_plus_wal_replays_to_pre_crash_state() {
+        let dir = tmp_dir("replay");
+        let (voc, tbox, abox) = fixture();
+        let mut store = DurableStore::create(&dir, &voc, &tbox, &abox, 0).unwrap();
+
+        // Live path: two batches, one interning a fresh individual.
+        let mut live_voc = voc.clone();
+        let mut live_abox = abox.clone();
+        let phd = live_voc.find_concept("PhDStudent").unwrap();
+        let works = live_voc.find_role("worksWith").unwrap();
+        let ioana = live_voc.find_individual("Ioana").unwrap();
+        // The id "Garcia" will receive when the batch interns it: the
+        // next dense individual id.
+        let garcia = obda_dllite::IndividualId(live_voc.num_individuals() as u32);
+        let d1 = AboxDelta {
+            new_individuals: vec!["Garcia".to_owned()],
+            ..AboxDelta::new()
+        }
+        .insert_concept(phd, garcia)
+        .insert_role(works, garcia, ioana);
+        for name in &d1.new_individuals {
+            live_voc.individual(name);
+        }
+        assert_eq!(live_voc.find_individual("Garcia"), Some(garcia));
+        store.append(&d1).unwrap();
+        live_abox.apply(&d1);
+
+        let d2 = AboxDelta::new().delete_role(
+            live_voc.find_role("supervisedBy").unwrap(),
+            live_voc.find_individual("Damian").unwrap(),
+            ioana,
+        );
+        store.append(&d2).unwrap();
+        live_abox.apply(&d2);
+        drop(store); // "crash": the process goes away, files stay
+
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 2);
+        assert_eq!(kb.snapshot_generation, 0);
+        assert_eq!(kb.wal_batches, 2);
+        assert!(!kb.torn_tail);
+        assert_eq!(kb.voc, live_voc);
+        assert_eq!(kb.abox, live_abox);
+        assert_eq!(kb.tbox.axioms(), tbox.axioms());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_prefix_after_interrupted_compaction_is_skipped() {
+        let dir = tmp_dir("stale");
+        let (voc, tbox, abox) = fixture();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let francois = voc.find_individual("Francois").unwrap();
+
+        // WAL at base 0 with two batches...
+        let mut wal = WalWriter::create(&dir.join(super::WAL_FILE), 0).unwrap();
+        let d1 = AboxDelta::new().insert_concept(phd, damian);
+        let d2 = AboxDelta::new().insert_concept(phd, francois);
+        wal.append_batch(&d1).unwrap();
+        wal.append_batch(&d2).unwrap();
+        drop(wal);
+
+        // ...but the snapshot was already compacted through d1 (gen 1):
+        // the crash hit between the snapshot rename and the WAL reset.
+        let mut folded = abox.clone();
+        folded.apply(&d1);
+        write_snapshot(&dir.join(super::SNAPSHOT_FILE), &voc, &tbox, &folded, 1).unwrap();
+
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 2, "d1 folded + d2 replayed");
+        assert_eq!(kb.wal_batches, 1, "only d2 replays");
+        let mut want = folded.clone();
+        want.apply(&d2);
+        assert_eq!(kb.abox, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ahead_of_entire_wal_recovers_and_accepts_appends() {
+        // An interrupted *reload-path* compaction: the reload writes no
+        // WAL record, so the renamed snapshot's generation can exceed
+        // base + record-count. The snapshot alone is the complete state;
+        // open() must rebuild the stale log before appending, or the
+        // skip arithmetic would swallow the next batch on replay.
+        let dir = tmp_dir("superseded");
+        let (voc, tbox, abox) = fixture();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let francois = voc.find_individual("Francois").unwrap();
+
+        let mut wal = WalWriter::create(&dir.join(super::WAL_FILE), 0).unwrap();
+        wal.append_batch(&AboxDelta::new().insert_concept(phd, damian))
+            .unwrap();
+        drop(wal);
+        // Reload published generation 3 (2 reloads past the one logged
+        // batch) and crashed after the snapshot rename.
+        let mut reloaded = abox.clone();
+        reloaded.assert_concept(phd, francois);
+        write_snapshot(&dir.join(super::SNAPSHOT_FILE), &voc, &tbox, &reloaded, 3).unwrap();
+
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 3);
+        assert_eq!(kb.wal_batches, 0, "every logged record is superseded");
+        assert_eq!(kb.abox, reloaded, "the snapshot alone is the state");
+
+        let (kb, mut store) = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.base_generation(), 3, "stale WAL was rebuilt");
+        let d = AboxDelta::new().insert_concept(phd, damian);
+        store.append(&d).unwrap();
+        drop(store);
+        let after = recover(&dir).unwrap();
+        assert_eq!(after.generation, 4, "the append survives recovery");
+        let mut want = kb.abox.clone();
+        want.apply(&d);
+        assert_eq!(after.abox, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_from_the_future_is_corruption() {
+        let dir = tmp_dir("future");
+        let (voc, tbox, abox) = fixture();
+        write_snapshot(&dir.join(super::SNAPSHOT_FILE), &voc, &tbox, &abox, 1).unwrap();
+        drop(WalWriter::create(&dir.join(super::WAL_FILE), 5).unwrap());
+        assert!(matches!(recover(&dir), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_resumes_appending() {
+        let dir = tmp_dir("resume");
+        let (voc, tbox, abox) = fixture();
+        let mut store = DurableStore::create(&dir, &voc, &tbox, &abox, 0).unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let francois = voc.find_individual("Francois").unwrap();
+        let d1 = AboxDelta::new().insert_concept(phd, damian);
+        store.append(&d1).unwrap();
+        store
+            .append(&AboxDelta::new().insert_concept(phd, francois))
+            .unwrap();
+        drop(store);
+
+        // Tear the last record.
+        let wal_path = dir.join(super::WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        super::super::wal::truncate_to(&wal_path, len - 5).unwrap();
+
+        let (kb, mut store) = DurableStore::open(&dir).unwrap();
+        assert_eq!(kb.generation, 1, "torn batch 2 dropped");
+        let mut want = abox.clone();
+        want.apply(&d1);
+        assert_eq!(kb.abox, want);
+        assert_eq!(store.generation(), 1);
+
+        // The truncated log accepts new batches on the clean boundary.
+        let d3 = AboxDelta::new().insert_concept(phd, francois);
+        store.append(&d3).unwrap();
+        drop(store);
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 2);
+        want.apply(&d3);
+        assert_eq!(kb.abox, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_compaction_poisons_the_store() {
+        let dir = tmp_dir("poison");
+        let (voc, tbox, abox) = fixture();
+        let mut store = DurableStore::create(&dir, &voc, &tbox, &abox, 0).unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let d = AboxDelta::new().insert_concept(phd, damian);
+        store.append(&d).unwrap();
+
+        // Make compaction fail: the directory vanishes under the store.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut live = abox.clone();
+        live.apply(&d);
+        assert!(store.compact(&voc, &tbox, &live, 1).is_err());
+
+        // The store must now refuse appends — logging a delta against a
+        // base the files cannot reconstruct would corrupt recovery.
+        match store.append(&d) {
+            Err(crate::store::StoreError::Poisoned { .. }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let dir = tmp_dir("compact");
+        let (voc, tbox, abox) = fixture();
+        let mut store = DurableStore::create(&dir, &voc, &tbox, &abox, 0).unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let damian = voc.find_individual("Damian").unwrap();
+        let mut live = abox.clone();
+        let d = AboxDelta::new().insert_concept(phd, damian);
+        store.append(&d).unwrap();
+        live.apply(&d);
+        store.compact(&voc, &tbox, &live, 1).unwrap();
+        assert_eq!(store.base_generation(), 1);
+        assert_eq!(store.wal_batches(), 0);
+        drop(store);
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 1);
+        assert_eq!(kb.snapshot_generation, 1, "WAL folded into the snapshot");
+        assert_eq!(kb.abox, live);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

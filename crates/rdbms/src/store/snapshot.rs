@@ -1,0 +1,349 @@
+//! The versioned binary snapshot: one KB generation on disk.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "OBDASNP\x01"
+//! version  u32      FORMAT_VERSION
+//! gen      u64      snapshot generation
+//! vocab    3 name tables (concepts, roles, individuals):
+//!            count u32, then per name: len u32 + UTF-8 bytes
+//!            (names in dense-id order — the interned id tables)
+//! tbox     count u32, then per axiom: tag u8 + lhs + rhs
+//!            (tag 0/1 = concept inclusion pos/neg, 2/3 = role)
+//! abox     concept count u32 + (concept u32, ind u32) pairs,
+//!          role count u32 + (role u32, subj u32, obj u32) triples
+//!            (in assertion order)
+//! check    u64      fnv1a64 over everything above
+//! ```
+//!
+//! Encoding is **canonical**: every section is written in a
+//! deterministic order (dense-id order for names, insertion order for
+//! axioms and facts), so `encode(decode(bytes)) == bytes` — the
+//! byte-identity property the persistence suite asserts.
+
+use std::path::Path;
+
+use obda_dllite::{
+    ABox, Axiom, BasicConcept, ConceptId, IndividualId, Role, RoleId, TBox, Vocabulary,
+};
+
+use super::{fnv1a64, put_str, put_u32, put_u64, Reader, StoreError, FORMAT_VERSION};
+
+const MAGIC: &[u8; 8] = b"OBDASNP\x01";
+
+/// Serialize one KB generation to bytes (see the module docs for the
+/// layout).
+pub fn encode_snapshot(voc: &Vocabulary, tbox: &TBox, abox: &ABox, generation: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u64(&mut out, generation);
+
+    // Vocabulary: the three interned id tables in dense-id order.
+    put_u32(&mut out, voc.num_concepts() as u32);
+    for c in voc.concept_ids() {
+        put_str(&mut out, voc.concept_name(c));
+    }
+    put_u32(&mut out, voc.num_roles() as u32);
+    for r in voc.role_ids() {
+        put_str(&mut out, voc.role_name(r));
+    }
+    put_u32(&mut out, voc.num_individuals() as u32);
+    for i in voc.individual_ids() {
+        put_str(&mut out, voc.individual_name(i));
+    }
+
+    // TBox: normalized axioms in insertion order.
+    put_u32(&mut out, tbox.axioms().len() as u32);
+    for ax in tbox.axioms() {
+        match *ax {
+            Axiom::Concept(ci) => {
+                out.push(if ci.negated { 1 } else { 0 });
+                put_basic_concept(&mut out, ci.lhs);
+                put_basic_concept(&mut out, ci.rhs);
+            }
+            Axiom::Role(ri) => {
+                out.push(if ri.negated { 3 } else { 2 });
+                put_role(&mut out, ri.lhs);
+                put_role(&mut out, ri.rhs);
+            }
+        }
+    }
+
+    // ABox: fact vectors in assertion order.
+    put_u32(&mut out, abox.concept_assertions().len() as u32);
+    for &(c, i) in abox.concept_assertions() {
+        put_u32(&mut out, c.0);
+        put_u32(&mut out, i.0);
+    }
+    put_u32(&mut out, abox.role_assertions().len() as u32);
+    for &(r, a, b) in abox.role_assertions() {
+        put_u32(&mut out, r.0);
+        put_u32(&mut out, a.0);
+        put_u32(&mut out, b.0);
+    }
+
+    let check = fnv1a64(&out);
+    put_u64(&mut out, check);
+    out
+}
+
+fn put_basic_concept(out: &mut Vec<u8>, bc: BasicConcept) {
+    match bc {
+        BasicConcept::Atomic(c) => {
+            out.push(0);
+            put_u32(out, c.0);
+        }
+        BasicConcept::Exists(r) => {
+            out.push(if r.inverse { 2 } else { 1 });
+            put_u32(out, r.name.0);
+        }
+    }
+}
+
+fn put_role(out: &mut Vec<u8>, r: Role) {
+    out.push(u8::from(r.inverse));
+    put_u32(out, r.name.0);
+}
+
+/// Decode a snapshot produced by [`encode_snapshot`], validating magic,
+/// version and checksum.
+pub fn decode_snapshot(
+    bytes: &[u8],
+    file: &str,
+) -> Result<(Vocabulary, TBox, ABox, u64), StoreError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
+        return Err(StoreError::Corrupt {
+            file: file.to_owned(),
+            detail: format!("{} bytes is too short for a snapshot", bytes.len()),
+        });
+    }
+    let (body, check_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(check_bytes.try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(StoreError::Corrupt {
+            file: file.to_owned(),
+            detail: format!("checksum mismatch: stored {stored:#x}, computed {computed:#x}"),
+        });
+    }
+
+    let mut r = Reader::new(body, file);
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(StoreError::Corrupt {
+            file: file.to_owned(),
+            detail: "bad magic".to_owned(),
+        });
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::BadVersion {
+            file: file.to_owned(),
+            found: version,
+        });
+    }
+    let generation = r.u64()?;
+
+    let mut voc = Vocabulary::new();
+    for _ in 0..r.count(4)? {
+        voc.concept(&r.str()?);
+    }
+    for _ in 0..r.count(4)? {
+        voc.role(&r.str()?);
+    }
+    for _ in 0..r.count(4)? {
+        voc.individual(&r.str()?);
+    }
+
+    let mut tbox = TBox::new();
+    for _ in 0..r.count(11)? {
+        let tag = r.take(1)?[0];
+        let axiom = match tag {
+            0 | 1 => {
+                let lhs = read_basic_concept(&mut r)?;
+                let rhs = read_basic_concept(&mut r)?;
+                if tag == 1 {
+                    Axiom::concept_neg(lhs, rhs)
+                } else {
+                    Axiom::concept(lhs, rhs)
+                }
+            }
+            2 | 3 => {
+                let lhs = read_role(&mut r)?;
+                let rhs = read_role(&mut r)?;
+                if tag == 3 {
+                    Axiom::role_neg(lhs, rhs)
+                } else {
+                    Axiom::role(lhs, rhs)
+                }
+            }
+            t => {
+                return Err(StoreError::Corrupt {
+                    file: file.to_owned(),
+                    detail: format!("unknown axiom tag {t}"),
+                })
+            }
+        };
+        tbox.add(axiom);
+    }
+
+    let mut abox = ABox::new();
+    for _ in 0..r.count(8)? {
+        let c = ConceptId(r.u32()?);
+        let i = IndividualId(r.u32()?);
+        abox.assert_concept(c, i);
+    }
+    for _ in 0..r.count(12)? {
+        let role = RoleId(r.u32()?);
+        let a = IndividualId(r.u32()?);
+        let b = IndividualId(r.u32()?);
+        abox.assert_role(role, a, b);
+    }
+    r.expect_finished()?;
+    Ok((voc, tbox, abox, generation))
+}
+
+fn read_basic_concept(r: &mut Reader<'_>) -> Result<BasicConcept, StoreError> {
+    let tag = r.take(1)?[0];
+    let id = r.u32()?;
+    Ok(match tag {
+        0 => BasicConcept::Atomic(ConceptId(id)),
+        1 => BasicConcept::Exists(Role::direct(RoleId(id))),
+        2 => BasicConcept::Exists(Role::inv(RoleId(id))),
+        t => {
+            return Err(StoreError::Corrupt {
+                file: "snapshot".to_owned(),
+                detail: format!("unknown basic-concept tag {t}"),
+            })
+        }
+    })
+}
+
+fn read_role(r: &mut Reader<'_>) -> Result<Role, StoreError> {
+    let inverse = r.take(1)?[0] != 0;
+    let name = RoleId(r.u32()?);
+    Ok(if inverse {
+        Role::inv(name)
+    } else {
+        Role::direct(name)
+    })
+}
+
+/// Write a snapshot file. Crash-atomic and durable: the bytes go to a
+/// temp file, are `fsync`ed, and are renamed over `path` (with a
+/// best-effort directory sync), so `path` always holds either the old
+/// complete snapshot or the new one — never a torn write. Durability
+/// before the rename matters most at compaction, which destroys the WAL
+/// that could otherwise replay the folded history.
+pub fn write_snapshot(
+    path: &Path,
+    voc: &Vocabulary,
+    tbox: &TBox,
+    abox: &ABox,
+    generation: u64,
+) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, &encode_snapshot(voc, tbox, abox, generation))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (the directory entry). Not all
+    // platforms allow opening a directory for sync; best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read and decode a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<(Vocabulary, TBox, ABox, u64), StoreError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::example7_tbox;
+
+    fn fixture() -> (Vocabulary, TBox, ABox) {
+        let (mut voc, tbox) = example7_tbox();
+        let abox = obda_dllite::example1_abox(&mut voc);
+        (voc, tbox, abox)
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let (voc, tbox, abox) = fixture();
+        let bytes = encode_snapshot(&voc, &tbox, &abox, 42);
+        let (voc2, tbox2, abox2, gen) = decode_snapshot(&bytes, "mem").unwrap();
+        assert_eq!(gen, 42);
+        assert_eq!(voc, voc2);
+        assert_eq!(abox, abox2);
+        assert_eq!(tbox.axioms(), tbox2.axioms());
+        let reencoded = encode_snapshot(&voc2, &tbox2, &abox2, gen);
+        assert_eq!(bytes, reencoded, "canonical encoding");
+    }
+
+    #[test]
+    fn empty_kb_roundtrips() {
+        let bytes = encode_snapshot(&Vocabulary::new(), &TBox::new(), &ABox::new(), 0);
+        let (voc, tbox, abox, gen) = decode_snapshot(&bytes, "mem").unwrap();
+        assert_eq!(gen, 0);
+        assert_eq!(voc.num_preds(), 0);
+        assert!(tbox.is_empty());
+        assert!(abox.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (voc, tbox, abox) = fixture();
+        let good = encode_snapshot(&voc, &tbox, &abox, 7);
+        // Flip one byte anywhere in the body.
+        for pos in [9, good.len() / 2, good.len() - 9] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0xff;
+            assert!(
+                matches!(
+                    decode_snapshot(&bad, "mem"),
+                    Err(StoreError::Corrupt { .. })
+                ),
+                "flip at {pos} must fail the checksum"
+            );
+        }
+        // Truncation too.
+        assert!(decode_snapshot(&good[..good.len() - 1], "mem").is_err());
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let (voc, tbox, abox) = fixture();
+        let mut bytes = encode_snapshot(&voc, &tbox, &abox, 7);
+        // Patch the version field (bytes 8..12) and refresh the checksum.
+        bytes[8] = 99;
+        let body_len = bytes.len() - 8;
+        let check = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&check.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bytes, "mem"),
+            Err(StoreError::BadVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (voc, tbox, abox) = fixture();
+        let dir = std::env::temp_dir().join(format!("obda-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        write_snapshot(&path, &voc, &tbox, &abox, 3).unwrap();
+        let (voc2, _, abox2, gen) = read_snapshot(&path).unwrap();
+        assert_eq!((gen, voc2, abox2), (3, voc, abox));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! The durable store, end to end: create a persistent server, apply
+//! incremental batches, "crash", and recover — including a torn WAL
+//! tail.
+//!
+//! ```sh
+//! cargo run --example persistent_server
+//! ```
+
+use obda::dllite::example7_tbox;
+use obda::prelude::*;
+use obda::rdbms::store;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("obda-persistent-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The Example-7 ontology with a few facts.
+    let (mut voc, tbox) = example7_tbox();
+    let phd = voc.find_concept("PhDStudent").unwrap();
+    let works = voc.find_role("worksWith").unwrap();
+    let damian = voc.individual("Damian");
+    let ioana = voc.individual("Ioana");
+    let mut abox = ABox::new();
+    abox.assert_concept(phd, damian);
+    abox.assert_role(works, ioana, damian);
+
+    // q(x) <- PhDStudent(x)
+    let q = CQ::with_var_head(
+        vec![VarId(0)],
+        vec![Atom::Concept(phd, Term::Var(VarId(0)))],
+    );
+
+    // 1. Create: generation-0 snapshot + empty WAL on disk.
+    let srv = Server::create_durable(&dir, voc.clone(), tbox, &abox, ServerConfig::default())
+        .expect("store directory is writable");
+    println!("created durable store in {}", dir.display());
+    println!(
+        "gen {}: {} answer(s)",
+        srv.generation(),
+        srv.query(&q).unwrap().outcome.rows.len()
+    );
+
+    // 2. Incremental batches: WAL-logged, applied in place (no rebuild),
+    //    one snapshot generation each. Batches can intern fresh
+    //    individuals; the id is the next dense one.
+    let garcia = obda::dllite::IndividualId(voc.num_individuals() as u32);
+    let batch = AboxDelta {
+        new_individuals: vec!["Garcia".into()],
+        ..AboxDelta::new()
+    }
+    .insert_concept(phd, garcia)
+    .insert_role(works, garcia, ioana);
+    srv.apply_batch(&batch).expect("logged and applied");
+    srv.apply_batch(&AboxDelta::new().insert_concept(phd, ioana))
+        .expect("logged and applied");
+    println!(
+        "gen {}: {} answer(s)",
+        srv.generation(),
+        srv.query(&q).unwrap().outcome.rows.len()
+    );
+
+    // 3. "Crash": drop the server without any shutdown ceremony.
+    drop(srv);
+
+    // 4. Recover: snapshot + WAL replay reproduces the exact state.
+    let srv = Server::open(&dir, ServerConfig::default()).expect("recovery");
+    println!(
+        "reopened at gen {}: {} answer(s)",
+        srv.generation(),
+        srv.query(&q).unwrap().outcome.rows.len()
+    );
+    assert_eq!(srv.generation(), 2);
+    drop(srv);
+
+    // 5. A crash *mid-append* leaves a torn final record: simulate by
+    //    chopping bytes off the log, then recover again. The torn batch
+    //    was never acknowledged; everything before it survives.
+    let wal = dir.join("wal.bin");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    store::wal::truncate_to(&wal, len - 3).expect("tear the tail");
+    let kb = store::recover(&dir).expect("recovery tolerates the tear");
+    println!(
+        "after torn-tail recovery: gen {} ({} facts), torn = {}",
+        kb.generation,
+        kb.abox.len(),
+        kb.torn_tail
+    );
+    assert_eq!(kb.generation, 1, "batch 2's record was torn away");
+
+    let srv = Server::open(&dir, ServerConfig::default()).expect("open truncates the tear");
+    println!(
+        "reopened at gen {}: {} answer(s)",
+        srv.generation(),
+        srv.query(&q).unwrap().outcome.rows.len()
+    );
+
+    drop(srv);
+    let _ = std::fs::remove_dir_all(&dir);
+}

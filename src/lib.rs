@@ -19,9 +19,10 @@
 //! * [`core`] — covers, safety, the lattice `Lq`, the generalized space
 //!   `Gq`, and the EDL/GDL cost-driven searches;
 //! * [`rdbms`] — the in-memory engine substrate: three storage layouts,
-//!   planner/executor, SQL generation, engine profiles, cost models, and
-//!   the concurrent serving layer (snapshots + plan cache + parallel
-//!   union-arm execution);
+//!   planner/executor, SQL generation, engine profiles, cost models, the
+//!   concurrent serving layer (snapshots + plan cache + parallel
+//!   union-arm execution), and the durable ABox store (binary snapshots,
+//!   write-ahead log, crash recovery, incremental apply);
 //! * [`lubm`] — the LUBM∃-style benchmark: ontology, data generator,
 //!   workload queries.
 //!
@@ -65,15 +66,16 @@ pub mod prelude {
         QueryAnalysis, Strategy, StructuralEstimator,
     };
     pub use obda_dllite::{
-        is_consistent, ABox, Axiom, BasicConcept, ConceptId, IndividualId, KnowledgeBase, PredId,
-        Role, RoleId, TBox, TBoxBuilder, Vocabulary,
+        is_consistent, ABox, AboxDelta, Axiom, BasicConcept, ConceptId, IndividualId,
+        KnowledgeBase, PredId, Role, RoleId, TBox, TBoxBuilder, Vocabulary,
     };
     pub use obda_lubm::{generate, star_query, workload, GenConfig, UnivOntology};
     pub use obda_query::{
         certain_answers, eval_over_abox, Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ,
     };
     pub use obda_rdbms::{
-        Engine, EngineProfile, ExplainEstimator, LayoutKind, Server, ServerConfig,
+        DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server, ServerConfig,
+        StoreError,
     };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
@@ -82,7 +84,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The six root integration suites rely on cargo's `tests/`
+    /// The seven root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -95,6 +97,7 @@ mod tests {
             "equivalence_props",
             "differential",
             "concurrency",
+            "persistence",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -110,7 +113,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all five suites are test targets"
+            "tests/ autodiscovery must stay enabled so all seven suites are test targets"
         );
     }
 }
