@@ -1,0 +1,61 @@
+//! Native executor vs the SQL-delegation backend, plus the SQL
+//! front-end's own cost split (generate / parse / execute).
+//!
+//! The SQL backend is a correctness oracle, not a performance contender:
+//! it runs exactly the generated statement with hash equi-joins and no
+//! cost model. These benches quantify the gap — and how much of the
+//! delegation cost is *statement text handling* (the §6.3 size problem)
+//! versus relational execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obda_bench::Dataset;
+use obda_query::FolQuery;
+use obda_rdbms::sqlexec::parse;
+use obda_rdbms::{Backend, EngineProfile, LayoutKind};
+use obda_reform::perfect_ref;
+
+fn bench_sql_backend(c: &mut Criterion) {
+    let dataset = Dataset::build_with_facts(3_000);
+    let onto = &dataset.onto;
+    let native = dataset.engine(LayoutKind::Simple, EngineProfile::pg_like());
+    let sql = dataset
+        .engine(LayoutKind::Simple, EngineProfile::pg_like())
+        .with_backend(Backend::Sql);
+
+    // A compact and a union-heavy reformulation.
+    let queries: Vec<(String, FolQuery)> = dataset
+        .workload()
+        .iter()
+        .filter(|w| ["Q3", "Q11"].contains(&w.name.as_str()))
+        .map(|w| {
+            (
+                w.name.clone(),
+                FolQuery::Ucq(perfect_ref(&w.cq, &onto.tbox)),
+            )
+        })
+        .collect();
+
+    for (name, q) in &queries {
+        c.bench_function(&format!("native/{name}"), |b| {
+            b.iter(|| black_box(native.evaluate(black_box(q)).unwrap().rows.len()))
+        });
+        c.bench_function(&format!("sql-backend/{name}"), |b| {
+            b.iter(|| black_box(sql.evaluate(black_box(q)).unwrap().rows.len()))
+        });
+        let text = native.sql_for(q);
+        c.bench_function(&format!("sql-generate/{name}"), |b| {
+            b.iter(|| black_box(native.sql_for(black_box(q)).len()))
+        });
+        c.bench_function(&format!("sql-parse/{name}"), |b| {
+            b.iter(|| black_box(parse(black_box(&text)).unwrap()))
+        });
+        c.bench_function(&format!("sql-execute-cached-text/{name}"), |b| {
+            b.iter(|| black_box(sql.run_sql(black_box(&text)).unwrap().rows.len()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_sql_backend);
+criterion_main!(benches);

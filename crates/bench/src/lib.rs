@@ -143,6 +143,16 @@ pub fn run_cell(
             rows: 0,
             union_terms,
         },
+        Err(other) => Cell {
+            query: query.name.clone(),
+            strategy: label.to_owned(),
+            wall: None,
+            simulated: None,
+            sql_bytes: 0,
+            error: Some(other.to_string()),
+            rows: 0,
+            union_terms,
+        },
     }
 }
 

@@ -9,7 +9,7 @@
 //!   of Definitions 5–6 built on predicate dependencies (Definition 4);
 //! * [`enumerate_safe_covers`] — the lattice `Lq` (Theorem 2, §5.1);
 //! * [`enumerate_generalized_covers`] — the space `Gq` (§5.2);
-//! * [`gdl`] / [`edl`] — the greedy and exhaustive cost-driven searches of
+//! * [`gdl()`] / [`edl()`] — the greedy and exhaustive cost-driven searches of
 //!   §5.3 (Algorithm 1), including the §6.4 time-limited variant;
 //! * [`CostEstimator`] — the cost abstraction `ε` (engine-backed
 //!   implementations live in `obda-rdbms`);

@@ -13,7 +13,7 @@
 //! * predicate dependencies `dep(N)` (Definition 4 of the paper), the
 //!   backbone of cover safety ([`Dependencies`]);
 //! * TBox saturation and inclusion entailment ([`TBoxClosure`]);
-//! * a bounded restricted chase ([`chase`]) serving as the certain-answer
+//! * a bounded restricted chase ([`chase()`](chase::chase)) serving as the certain-answer
 //!   oracle in tests;
 //! * consistency checking against negative constraints
 //!   ([`check_consistency`]);

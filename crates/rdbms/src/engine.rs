@@ -27,6 +27,7 @@ use crate::metrics::ExecMetrics;
 use crate::planner::{plan_conjunction, ConjunctionPlan, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sql::{SqlGenerator, SqlNames};
+use crate::sqlexec::{Backend, SqlError};
 use crate::stats::CatalogStats;
 
 /// Errors surfaced by the engine.
@@ -35,6 +36,11 @@ pub enum EngineError {
     /// The SQL translation exceeds the profile's statement-size limit —
     /// DB2's "statement is too long or too complex" (§6.3).
     StatementTooLong { size: usize, limit: usize },
+    /// The SQL backend failed to parse or execute a statement. For
+    /// generator-produced SQL this indicates a generator/executor bug
+    /// (the differential harness keeps it unreachable); for raw SQL via
+    /// [`Engine::run_sql`] it is an ordinary user error.
+    Sql(SqlError),
 }
 
 impl fmt::Display for EngineError {
@@ -44,6 +50,7 @@ impl fmt::Display for EngineError {
                 f,
                 "The statement is too long or too complex. Current SQL statement size is {size} (limit {limit})"
             ),
+            EngineError::Sql(e) => write!(f, "{e}"),
         }
     }
 }
@@ -72,15 +79,21 @@ pub struct QueryOutcome {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalOptions<'a> {
     /// Join-strategy override (`None` = the engine's configured one).
+    /// Ignored by the SQL backend, which has no physical-operator choice.
     pub strategy: Option<JoinStrategy>,
-    /// Stored plans to replay instead of planning inline.
+    /// Stored plans to replay instead of planning inline. Ignored by the
+    /// SQL backend (plans describe the native operators).
     pub prepared: Option<&'a PreparedPlans>,
     /// Worker threads for union-arm / component fan-out (`0` or `1` =
-    /// sequential).
+    /// sequential). The SQL backend always runs sequentially.
     pub threads: usize,
     /// Precomputed SQL translation size; skips regenerating the SQL text
     /// (the statement-size check still runs against it).
     pub sql_bytes: Option<usize>,
+    /// Precomputed SQL translation text — the serving layer's cached
+    /// compilation hands it to the SQL backend so the hot path skips
+    /// regenerating the statement. Takes precedence over `sql_bytes`.
+    pub sql_text: Option<&'a str>,
 }
 
 /// An RDBMS instance: one loaded ABox under one layout and profile.
@@ -94,6 +107,7 @@ pub struct Engine {
     profile: EngineProfile,
     join_strategy: JoinStrategy,
     sql: SqlGenerator,
+    backend: Backend,
 }
 
 /// Compile-time enforcement of the thread-safety contract above.
@@ -114,6 +128,7 @@ impl Clone for Engine {
             profile: self.profile.clone(),
             join_strategy: self.join_strategy,
             sql: self.sql.clone(),
+            backend: self.backend,
         }
     }
 }
@@ -133,6 +148,7 @@ impl Engine {
             profile,
             join_strategy: JoinStrategy::CostChosen,
             sql,
+            backend: Backend::Native,
         }
     }
 
@@ -156,6 +172,22 @@ impl Engine {
 
     pub fn join_strategy(&self) -> JoinStrategy {
         self.join_strategy
+    }
+
+    /// Select which execution engine answers queries:
+    /// [`Backend::Native`] runs the planned operator pipeline directly
+    /// over the storage access paths; [`Backend::Sql`] generates the SQL
+    /// translation, parses it, and executes it through the embedded
+    /// relational evaluator ([`crate::sqlexec`]) — the paper's
+    /// "delegate to the RDBMS" path, end to end. The differential
+    /// harness proves the two agree on every answer set.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     pub fn layout(&self) -> LayoutKind {
@@ -250,6 +282,29 @@ impl Engine {
         q: &FolQuery,
         opts: &EvalOptions<'_>,
     ) -> Result<QueryOutcome, EngineError> {
+        if self.backend == Backend::Sql {
+            // The delegation path: ship the SQL translation to the
+            // embedded relational evaluator. Strategy, stored plans and
+            // thread fan-out are native-executor concepts and do not
+            // apply; a cached translation (`opts.sql_text`) skips
+            // regeneration. A known-oversized statement (§6.3) rejects
+            // from its cached length alone, without regenerating the
+            // text it could never ship.
+            if let (Some(size), Some(limit)) = (opts.sql_bytes, self.profile.max_statement_bytes) {
+                if size > limit {
+                    return Err(EngineError::StatementTooLong { size, limit });
+                }
+            }
+            let generated;
+            let sql = match opts.sql_text {
+                Some(t) => t,
+                None => {
+                    generated = self.sql.generate(q);
+                    &generated
+                }
+            };
+            return self.run_sql_statement(sql, q.head().is_empty());
+        }
         let sql_bytes = match opts.sql_bytes {
             Some(n) => n,
             None => self.sql.generate(q).len(),
@@ -273,6 +328,57 @@ impl Engine {
             opts.prepared,
             opts.threads,
         );
+        let mut metrics = meter.metrics;
+        metrics.wall = start.elapsed();
+        let simulated = metrics.simulated(&self.profile);
+        Ok(QueryOutcome {
+            rows,
+            metrics,
+            arm_metrics: meter.arm_metrics,
+            sql_bytes,
+            simulated,
+        })
+    }
+
+    /// Run a raw SQL statement against the loaded layout tables through
+    /// the embedded evaluator ([`crate::sqlexec`]), regardless of the
+    /// configured backend — the engine doubles as a tiny SQL database
+    /// over the ABox. The profile's statement-size limit applies; rows
+    /// containing `NULL` are dropped (see the `sqlexec` module docs).
+    pub fn run_sql(&self, sql: &str) -> Result<QueryOutcome, EngineError> {
+        self.run_sql_statement(sql, false)
+    }
+
+    /// Shared SQL execution path. `boolean_head` maps the generated
+    /// boolean-query marker (`SELECT DISTINCT 1 AS t`) back to the
+    /// native dialect's empty-tuple answer.
+    fn run_sql_statement(
+        &self,
+        sql: &str,
+        boolean_head: bool,
+    ) -> Result<QueryOutcome, EngineError> {
+        let sql_bytes = sql.len();
+        if let Some(limit) = self.profile.max_statement_bytes {
+            if sql_bytes > limit {
+                return Err(EngineError::StatementTooLong {
+                    size: sql_bytes,
+                    limit,
+                });
+            }
+        }
+        let start = Instant::now();
+        let mut meter = Meter::new(&self.profile);
+        let mut rows =
+            crate::sqlexec::run(sql, self.storage.as_ref(), self.sql.names(), &mut meter)
+                .map_err(EngineError::Sql)?;
+        if boolean_head {
+            rows = if rows.is_empty() {
+                Vec::new()
+            } else {
+                vec![Vec::new()]
+            };
+            meter.metrics.output = rows.len() as u64;
+        }
         let mut metrics = meter.metrics;
         metrics.wall = start.elapsed();
         let simulated = metrics.simulated(&self.profile);
@@ -480,6 +586,7 @@ mod tests {
             EngineError::StatementTooLong { size, limit } => {
                 assert!(size > limit);
             }
+            other => panic!("expected StatementTooLong, got {other}"),
         }
         assert!(e.explain(&FolQuery::Ucq(u)).is_infinite());
     }
@@ -605,6 +712,118 @@ mod tests {
             want.sort();
             assert_eq!(got, want, "{layout:?}");
             assert_eq!(next.stats(), rebuilt.stats(), "{layout:?} stats");
+        }
+    }
+
+    #[test]
+    fn sql_backend_agrees_with_native_on_every_layout() {
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        ));
+        for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+            let native = engine(layout, EngineProfile::pg_like());
+            let sql = native.clone().with_backend(crate::sqlexec::Backend::Sql);
+            assert_eq!(sql.backend(), crate::sqlexec::Backend::Sql);
+            let mut a = native.evaluate(&q).unwrap().rows;
+            let out = sql.evaluate(&q).unwrap();
+            let mut b = out.rows;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{layout:?}");
+            assert!(out.sql_bytes > 0);
+            assert!(
+                out.metrics.work_units() > 0.0,
+                "{layout:?}: SQL work metered"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_backend_maps_boolean_queries_to_the_empty_tuple() {
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let sql = e.clone().with_backend(crate::sqlexec::Backend::Sql);
+        let exists = FolQuery::Cq(CQ::with_var_head(
+            vec![],
+            vec![Atom::Concept(ConceptId(0), v(0))],
+        ));
+        assert_eq!(e.evaluate(&exists).unwrap().rows, vec![Vec::<u32>::new()]);
+        assert_eq!(sql.evaluate(&exists).unwrap().rows, vec![Vec::<u32>::new()]);
+        // s = {(1,0)} has no reflexive pair: the boolean answer is empty.
+        let empty = FolQuery::Cq(CQ::with_var_head(
+            vec![],
+            vec![Atom::Role(RoleId(1), v(0), v(0))],
+        ));
+        assert!(e.evaluate(&empty).unwrap().rows.is_empty());
+        assert!(sql.evaluate(&empty).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn ground_disjunctive_slots_are_existence_checks_on_both_backends() {
+        use obda_query::{Slot, SCQ};
+        // A fully-ground slot: A(i2) ∨ B(i2). i2 ∈ B, so the disjunction
+        // holds and the other slot's rows pass through; flipping to a
+        // non-member (i3) empties the answer.
+        let member = Term::Const(obda_dllite::IndividualId(2));
+        let non_member = Term::Const(obda_dllite::IndividualId(3));
+        for (ground, expect_rows) in [(member, 2usize), (non_member, 0usize)] {
+            let slot = Slot::new(vec![
+                Atom::Concept(ConceptId(0), ground),
+                Atom::Concept(ConceptId(1), ground),
+            ]);
+            let q = FolQuery::Scq(SCQ::new(
+                vec![v(0)],
+                vec![Slot::single(Atom::Concept(ConceptId(0), v(0))), slot],
+            ));
+            for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+                let native = engine(layout, EngineProfile::pg_like());
+                let sql = native.clone().with_backend(crate::sqlexec::Backend::Sql);
+                let mut a = native.evaluate(&q).unwrap().rows;
+                let mut b = sql.evaluate(&q).unwrap_or_else(|e| {
+                    panic!(
+                        "{layout:?}: ground slot SQL failed: {e}\n{}",
+                        sql.sql_for(&q)
+                    )
+                });
+                a.sort();
+                b.rows.sort();
+                assert_eq!(a, b.rows, "{layout:?}");
+                assert_eq!(a.len(), expect_rows, "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_sql_answers_raw_statements() {
+        let e = engine(LayoutKind::Simple, EngineProfile::pg_like());
+        let mut rows = e
+            .run_sql("SELECT DISTINCT t0.s AS h0 FROM r_r t0 WHERE t0.o = 2")
+            .unwrap()
+            .rows;
+        rows.sort();
+        assert_eq!(rows, vec![vec![0], vec![3]]);
+        // Errors surface as EngineError::Sql.
+        match e.run_sql("SELECT nope FROM nowhere") {
+            Err(EngineError::Sql(_)) => {}
+            other => panic!("expected a SQL error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_backend_enforces_the_statement_limit() {
+        let mut profile = EngineProfile::db2_like();
+        profile.max_statement_bytes = Some(200);
+        let e = engine(LayoutKind::Dph, profile).with_backend(crate::sqlexec::Backend::Sql);
+        let q = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Role(RoleId(0), v(0), v(1))],
+        ));
+        match e.evaluate(&q) {
+            Err(EngineError::StatementTooLong { .. }) => {}
+            other => panic!("expected StatementTooLong, got {other:?}"),
         }
     }
 

@@ -24,6 +24,12 @@
 //! * SQL text generation, including the `WITH … AS` JUCQ form of §3 and
 //!   the DPH candidate-column blowup behind the Figure-3 statement-size
 //!   failures (`sql`);
+//! * an **embedded SQL backend** (`sqlexec`): a tokenizer,
+//!   recursive-descent parser and relational evaluator for exactly the
+//!   dialect the generator emits, runnable against the same layout
+//!   tables — [`Backend::Sql`] closes the paper's delegation loop
+//!   (reformulate → emit SQL → let the relational engine execute it)
+//!   and serves as a second, independently derived answering oracle;
 //! * engine profiles capturing the observable PostgreSQL/DB2 differences:
 //!   statement-size limits, optimizer collapse shortcuts, repeated-scan
 //!   discounts (`profile`);
@@ -47,6 +53,42 @@
 //!   `AboxDelta` batches, crash recovery with torn-tail truncation, and
 //!   the incremental `Server::apply_batch` path that maintains every
 //!   layout and the catalog statistics in place instead of rebuilding.
+//!
+//! ## Example: one query, two execution engines
+//!
+//! ```
+//! use obda_dllite::{ABox, Vocabulary};
+//! use obda_query::{Atom, FolQuery, Term, VarId, CQ};
+//! use obda_rdbms::{Backend, Engine, EngineProfile, LayoutKind};
+//!
+//! let mut voc = Vocabulary::new();
+//! let student = voc.concept("Student");
+//! let takes = voc.role("takesCourse");
+//! let (ann, db) = (voc.individual("ann"), voc.individual("databases"));
+//! let mut abox = ABox::new();
+//! abox.assert_concept(student, ann);
+//! abox.assert_role(takes, ann, db);
+//!
+//! // q(x) ← Student(x) ∧ takesCourse(x, y)
+//! let q = FolQuery::Cq(CQ::with_var_head(
+//!     vec![VarId(0)],
+//!     vec![
+//!         Atom::Concept(student, Term::Var(VarId(0))),
+//!         Atom::Role(takes, Term::Var(VarId(0)), Term::Var(VarId(1))),
+//!     ],
+//! ));
+//!
+//! let native = Engine::load(&abox, &voc, LayoutKind::Simple, EngineProfile::pg_like());
+//! let sql = native.clone().with_backend(Backend::Sql);
+//! // The native pipeline and the generate→parse→execute delegation
+//! // path agree on the answer: ann.
+//! let mut a = native.evaluate(&q).unwrap().rows;
+//! let mut b = sql.evaluate(&q).unwrap().rows;
+//! a.sort();
+//! b.sort();
+//! assert_eq!(a, b);
+//! assert_eq!(a, vec![vec![ann.0]]);
+//! ```
 
 pub mod cost_model;
 pub mod engine;
@@ -60,6 +102,7 @@ pub mod planner;
 pub mod profile;
 pub mod server;
 pub mod sql;
+pub mod sqlexec;
 pub mod stats;
 pub mod store;
 pub mod testkit;
@@ -78,5 +121,6 @@ pub use planner::{ConjunctionPlan, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
 pub use server::{CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerOutcome};
 pub use sql::{SqlGenerator, SqlNames};
+pub use sqlexec::{Backend, SqlError};
 pub use stats::{CatalogStats, KeySide};
 pub use store::{DurableStore, RecoveredKb, StoreError};

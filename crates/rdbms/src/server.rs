@@ -68,6 +68,7 @@ use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
 use crate::planner::JoinStrategy;
 use crate::profile::EngineProfile;
+use crate::sqlexec::Backend;
 use crate::store::{DurableStore, StoreError};
 
 /// Serving-layer configuration (fixed at construction).
@@ -76,6 +77,13 @@ pub struct ServerConfig {
     pub layout: LayoutKind,
     pub profile: EngineProfile,
     pub join_strategy: JoinStrategy,
+    /// Which execution engine answers queries: the native planned
+    /// executor, or the SQL-delegation path (generate → parse → execute
+    /// via `crate::sqlexec`). With [`Backend::Sql`] the cached
+    /// compilation stores the SQL text, so warm queries skip
+    /// reformulation *and* SQL generation and go straight to parse +
+    /// execute.
+    pub backend: Backend,
     /// Which reformulation the miss path computes (the paper's strategy
     /// surface; [`Strategy::Gdl`] is the headline cost-driven search).
     pub reform_strategy: Strategy,
@@ -96,6 +104,7 @@ impl Default for ServerConfig {
             layout: LayoutKind::Simple,
             profile: EngineProfile::pg_like(),
             join_strategy: JoinStrategy::CostChosen,
+            backend: Backend::Native,
             reform_strategy: Strategy::Gdl { time_budget: None },
             threads: 1,
             cache_plans: true,
@@ -130,11 +139,16 @@ impl EngineSnapshot {
 
 /// A cached compilation: the chosen FOL reformulation, its stored
 /// physical plans, and the SQL translation size (so the hot path skips
-/// SQL text generation too).
+/// SQL text generation too). Under [`Backend::Sql`] the translation
+/// *text* itself is kept — the SQL backend's input — so a cache hit
+/// skips reformulation, planning, and SQL generation alike.
 pub struct CompiledQuery {
     pub fol: FolQuery,
     pub plans: PreparedPlans,
     pub sql_bytes: usize,
+    /// The SQL translation, retained when the serving backend executes
+    /// SQL (`None` under the native backend, which needs only the size).
+    pub sql: Option<String>,
 }
 
 /// The answer to one served query.
@@ -269,7 +283,8 @@ impl Server {
         generation: u64,
     ) -> EngineSnapshot {
         let engine = Engine::load(abox, voc, config.layout, config.profile.clone())
-            .with_join_strategy(config.join_strategy);
+            .with_join_strategy(config.join_strategy)
+            .with_backend(config.backend);
         EngineSnapshot {
             engine,
             tbox,
@@ -311,6 +326,7 @@ impl Server {
             prepared: Some(&compiled.plans),
             threads: self.config.threads,
             sql_bytes: Some(compiled.sql_bytes),
+            sql_text: compiled.sql.as_deref(),
         };
         let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
         Ok(ServerOutcome {
@@ -374,12 +390,32 @@ impl Server {
             &estimator,
             &self.config.reform_strategy,
         );
-        let plans = snap.engine.prepare(&chosen.fol);
-        let sql_bytes = snap.engine.sql_for(&chosen.fol).len();
+        // Native plans are meaningless to the SQL backend (its
+        // evaluate path never reads them); the SQL text is meaningless
+        // to the native one — each backend caches only what it replays.
+        let plans = match self.config.backend {
+            Backend::Native => snap.engine.prepare(&chosen.fol),
+            Backend::Sql => PreparedPlans {
+                strategy: self.config.join_strategy,
+                plans: Vec::new(),
+            },
+        };
+        let sql = snap.engine.sql_for(&chosen.fol);
+        let sql_bytes = sql.len();
+        // Don't pin text that can never execute: a statement over the
+        // profile's size limit is rejected from its *length* alone
+        // (§6.3), so the cache keeps only `sql_bytes` for it.
+        let within_limit = snap
+            .engine
+            .profile()
+            .max_statement_bytes
+            .is_none_or(|limit| sql_bytes <= limit);
+        let sql = (matches!(self.config.backend, Backend::Sql) && within_limit).then_some(sql);
         CompiledQuery {
             fol: chosen.fol,
             plans,
             sql_bytes,
+            sql,
         }
     }
 
@@ -809,6 +845,38 @@ mod tests {
         assert_eq!(g1, 1);
         let out = srv.query(&q).unwrap();
         assert_eq!(out.generation, 1);
+    }
+
+    #[test]
+    fn sql_backend_server_agrees_and_caches_the_translation() {
+        let (voc, tbox, abox, q) = fixture();
+        let native = Server::new(voc.clone(), tbox.clone(), &abox, ServerConfig::default());
+        let sql = Server::new(
+            voc,
+            tbox,
+            &abox,
+            ServerConfig {
+                backend: Backend::Sql,
+                ..ServerConfig::default()
+            },
+        );
+        let mut want = native.query(&q).unwrap().outcome.rows;
+        want.sort();
+
+        let miss = sql.query(&q).unwrap();
+        assert!(!miss.cache_hit);
+        let mut got = miss.outcome.rows;
+        got.sort();
+        assert_eq!(got, want, "cold SQL-backend serving parity");
+
+        // The warm path replays the cached SQL text (no regeneration):
+        // same rows, cache hit.
+        let hit = sql.query(&q).unwrap();
+        assert!(hit.cache_hit);
+        let mut got = hit.outcome.rows;
+        got.sort();
+        assert_eq!(got, want, "warm SQL-backend serving parity");
+        assert_eq!(hit.outcome.sql_bytes, miss.outcome.sql_bytes);
     }
 
     #[test]

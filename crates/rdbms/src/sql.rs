@@ -43,6 +43,16 @@ impl SqlNames {
         }
     }
 
+    /// Concept names in id order (`c_<name>` is concept `i`'s table).
+    pub fn concept_names(&self) -> &[String] {
+        &self.concepts
+    }
+
+    /// Role names in id order (`r_<name>` is role `i`'s table).
+    pub fn role_names(&self) -> &[String] {
+        &self.roles
+    }
+
     fn concept(&self, id: u32) -> String {
         self.concepts
             .get(id as usize)
@@ -68,6 +78,17 @@ pub struct SqlGenerator {
 impl SqlGenerator {
     pub fn new(names: SqlNames, layout: LayoutKind) -> Self {
         SqlGenerator { names, layout }
+    }
+
+    /// The name snapshot this generator renders with (the `sqlexec`
+    /// backend resolves `c_<name>` / `r_<name>` table references
+    /// through it).
+    pub fn names(&self) -> &SqlNames {
+        &self.names
+    }
+
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
     }
 
     /// Render any dialect to SQL.
@@ -151,34 +172,40 @@ impl SqlGenerator {
         let mut var_site: Vec<(VarId, String)> = Vec::new();
         for (i, slot) in slots.iter().enumerate() {
             let alias = format!("t{i}");
-            let (source, subj_col, obj_col) = if slot.len() == 1 {
-                self.atom_source(&slot.atoms()[0], &alias)
-            } else {
-                (
-                    self.slot_union_source(slot, &alias),
-                    "s".into(),
-                    Some("o".into()),
-                )
-            };
-            from.push(source);
-            // Bind the atom's terms. For multi-atom slots all atoms share
-            // a variable set; we bind using the first atom's positions
-            // (the union source exposes aligned columns).
-            let atom = &slot.atoms()[0];
-            let cols: Vec<&str> = match atom {
-                Atom::Concept(..) => vec![subj_col.as_str()],
-                Atom::Role(..) => {
-                    vec![subj_col.as_str(), obj_col.as_deref().unwrap_or("o")]
+            if slot.len() == 1 {
+                let (source, subj_col, obj_col) = self.atom_source(&slot.atoms()[0], &alias);
+                from.push(source);
+                let atom = &slot.atoms()[0];
+                let cols: Vec<&str> = match atom {
+                    Atom::Concept(..) => vec![subj_col.as_str()],
+                    Atom::Role(..) => {
+                        vec![subj_col.as_str(), obj_col.as_deref().unwrap_or("o")]
+                    }
+                };
+                for (t, col) in atom.terms().zip(cols) {
+                    let site = format!("{alias}.{col}");
+                    match t {
+                        Term::Const(k) => wheres.push(format!("{site} = {}", k.0)),
+                        Term::Var(v) => match var_site.iter().find(|(w, _)| *w == v) {
+                            Some((_, first)) => wheres.push(format!("{site} = {first}")),
+                            None => var_site.push((v, site)),
+                        },
+                    }
                 }
-            };
-            for (t, col) in atom.terms().zip(cols) {
-                let site = format!("{alias}.{col}");
-                match t {
-                    Term::Const(k) => wheres.push(format!("{site} = {}", k.0)),
-                    Term::Var(v) => match var_site.iter().find(|(w, _)| *w == v) {
+            } else {
+                // Disjunctive slots expose one canonical column per
+                // shared variable (`v<id>`); constants and repeated
+                // variables are constrained inside each union arm, so the
+                // outer query binds by *variable* — the executor keys
+                // slot extensions the same way (arms may list the shared
+                // variables in different positional orders).
+                from.push(self.slot_union_source(slot, &alias));
+                for v in slot_var_order(slot) {
+                    let site = format!("{alias}.v{}", v.0);
+                    match var_site.iter().find(|(w, _)| *w == v) {
                         Some((_, first)) => wheres.push(format!("{site} = {first}")),
                         None => var_site.push((v, site)),
-                    },
+                    }
                 }
             }
         }
@@ -200,31 +227,83 @@ impl SqlGenerator {
         let mut sql = String::new();
         let _ = write!(
             sql,
-            "SELECT DISTINCT {} FROM {}",
+            "SELECT DISTINCT {}",
             if select.is_empty() {
                 "1 AS t".to_owned()
             } else {
                 select.join(", ")
             },
-            from.join(", ")
         );
+        // An empty body (no slots) is the always-true conjunction: a
+        // FROM-less SELECT over the implicit single row, like the
+        // executor's empty-tuple result.
+        if !from.is_empty() {
+            let _ = write!(sql, " FROM {}", from.join(", "));
+        }
         if !wheres.is_empty() {
             let _ = write!(sql, " WHERE {}", wheres.join(" AND "));
         }
         sql
     }
 
-    /// A disjunctive slot as an inline UNION exposing columns (s, o) or (x).
+    /// A disjunctive slot as an inline UNION exposing one aligned column
+    /// per shared variable (`v<id>`, in [`slot_var_order`]). Each arm
+    /// projects its own term positions onto those variable columns and
+    /// applies its own constant / repeated-variable constraints, so arms
+    /// with flipped argument order (`r(x,y) ∨ r2(y,x)`) or private
+    /// constants stay semantically aligned — running the generated SQL
+    /// (the `sqlexec` backend) is what surfaced the earlier positional
+    /// form as wrong.
     fn slot_union_source(&self, slot: &Slot, alias: &str) -> String {
+        let order = slot_var_order(slot);
         let arms: Vec<String> = slot
             .atoms()
             .iter()
             .map(|a| {
                 let (src, s, o) = self.atom_source(a, "u");
-                match o {
-                    Some(o) => format!("SELECT u.{s} AS s, u.{o} AS o FROM {src}"),
-                    None => format!("SELECT u.{s} AS s FROM {src}"),
+                let cols: Vec<String> = match a {
+                    Atom::Concept(..) => vec![format!("u.{s}")],
+                    Atom::Role(..) => vec![
+                        format!("u.{s}"),
+                        format!("u.{}", o.as_deref().unwrap_or("o")),
+                    ],
+                };
+                // First column of each variable, plus arm-local
+                // constraints (constants, repeated variables).
+                let mut bound: Vec<(VarId, usize)> = Vec::new();
+                let mut constraints: Vec<String> = Vec::new();
+                for (i, t) in a.terms().enumerate() {
+                    match t {
+                        Term::Const(k) => constraints.push(format!("{} = {}", cols[i], k.0)),
+                        Term::Var(v) => match bound.iter().find(|(w, _)| *w == v) {
+                            Some((_, first)) => {
+                                constraints.push(format!("{} = {}", cols[i], cols[*first]))
+                            }
+                            None => bound.push((v, i)),
+                        },
+                    }
                 }
+                // A fully-ground slot (empty shared variable set, e.g.
+                // `C(a) ∨ D(a)`) exposes only an existence marker.
+                let sel: Vec<String> = if order.is_empty() {
+                    vec!["1 AS t".to_owned()]
+                } else {
+                    order
+                        .iter()
+                        .map(|v| {
+                            let (_, i) = bound
+                                .iter()
+                                .find(|(w, _)| w == v)
+                                .expect("slot atoms share one variable set");
+                            format!("{} AS v{}", cols[*i], v.0)
+                        })
+                        .collect()
+                };
+                let mut arm = format!("SELECT {} FROM {src}", sel.join(", "));
+                if !constraints.is_empty() {
+                    let _ = write!(arm, " WHERE {}", constraints.join(" AND "));
+                }
+                arm
             })
             .collect();
         format!("({}) {alias}", arms.join(" UNION "))
@@ -307,19 +386,34 @@ impl SqlGenerator {
         let from: Vec<String> = (0..bodies.len()).map(|i| format!("sql{i}")).collect();
         let _ = write!(
             sql,
-            "\nSELECT DISTINCT {} FROM {}",
+            "\nSELECT DISTINCT {}",
             if select.is_empty() {
                 "1".to_owned()
             } else {
                 select.join(", ")
             },
-            from.join(", ")
         );
+        if !from.is_empty() {
+            let _ = write!(sql, " FROM {}", from.join(", "));
+        }
         if !conds.is_empty() {
             let _ = write!(sql, " WHERE {}", conds.join(" AND "));
         }
         sql
     }
+}
+
+/// Canonical column order of a disjunctive slot: the shared variables in
+/// the *first* atom's positional order, deduplicated — the same order the
+/// executor appends a slot's new variables in.
+fn slot_var_order(slot: &Slot) -> Vec<VarId> {
+    let mut order = Vec::new();
+    for v in slot.atoms()[0].vars() {
+        if !order.contains(&v) {
+            order.push(v);
+        }
+    }
+    order
 }
 
 /// DPH source of a concept atom: CASE over all candidate (pred, val)

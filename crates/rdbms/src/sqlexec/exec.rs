@@ -1,0 +1,1016 @@
+//! The relational evaluator: run a parsed statement against the catalog.
+//!
+//! Evaluation is straightforward set-semantics execution, shaped like
+//! what a minimal RDBMS would do with the generated statements:
+//!
+//! * `FROM` sources materialize first. An equality filter on the
+//!   `triples` table's `pred` column is pushed into the catalog scan
+//!   (the predicate-extent access path); conjuncts referencing only one
+//!   source filter it immediately. Memoized catalog tables and CTEs are
+//!   shared, never copied.
+//! * Sources join **connected-first**: like the native planner's greedy
+//!   expansion, the next source is always one linked to the accumulated
+//!   columns by an equality conjunct — executed as a **hash join**
+//!   (build on the incoming source, probe per accumulated row, metered
+//!   as `join_build` / `join_probe` like the native hash operator) — and
+//!   only when no linked source remains does evaluation fall back to a
+//!   cross product (smallest source first).
+//! * Remaining conjuncts filter under SQL three-valued logic (`NULL`
+//!   compares unknown, unknown is not true).
+//! * Projection evaluates the select items per row; a subquery in
+//!   expression position contributes *all* its values, expanding one
+//!   output row each (the DPH spill semantics — see the module docs).
+//!   Spill-shaped correlated subqueries are materialized and *indexed*
+//!   once per site, then probed per row.
+//! * `DISTINCT` and plain `UNION` deduplicate; `UNION ALL` concatenates.
+//!
+//! Expressions are compiled once per `SELECT` against the row layout
+//! (column references become frame/index pairs), so per-row evaluation
+//! does no name resolution. Correlated references resolve through the
+//! enclosing rows' environment chain.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::executor::Row;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::layout::Storage;
+use crate::meter::Meter;
+use crate::sql::SqlNames;
+
+use super::ast::{Expr, FromItem, Query, Select, SelectItem, SetExpr};
+use super::catalog::Catalog;
+use super::SqlError;
+
+/// One SQL value: a dictionary-encoded id, or `NULL`.
+pub type Val = Option<u32>;
+
+/// A materialized relation: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    pub cols: Vec<String>,
+    pub rows: Vec<Vec<Val>>,
+}
+
+/// Execute a parsed statement. Returns answer rows with `NULL`-carrying
+/// tuples dropped (mirroring the native executor's head projection); the
+/// meter's `output` counter is set to the result size.
+pub fn execute<'q>(
+    query: &'q Query,
+    storage: &dyn Storage,
+    names: &SqlNames,
+    m: &mut Meter,
+) -> Result<Vec<Row>, SqlError> {
+    let mut ctx: Ctx<'_, 'q> = Ctx {
+        catalog: Catalog::new(storage, names),
+        ctes: FxHashMap::default(),
+        subplans: RefCell::new(FxHashMap::default()),
+    };
+    for (name, body) in &query.ctes {
+        let t = eval_set(body, &ctx, None, m)?;
+        m.on_materialize(t.rows.len() as u64);
+        ctx.ctes.insert(name.clone(), Rc::new(t));
+    }
+
+    // A top-level plain-UNION chain is metered per arm, mirroring the
+    // native executor's union-arm attribution (UNION ALL falls back to
+    // plain recursive evaluation: left-associative semantics).
+    let arms = query.body.union_arms();
+    let plain_union = arms.len() > 1 && arms.iter().skip(1).all(|(_, all)| !all);
+    let table = if plain_union {
+        let mut cols: Option<Vec<String>> = None;
+        let mut seen: FxHashSet<Vec<Val>> = FxHashSet::default();
+        let mut rows: Vec<Vec<Val>> = Vec::new();
+        for (arm, _) in arms {
+            m.begin_arm();
+            let t = eval_set(arm, &ctx, None, m)?;
+            m.on_hash_build(t.rows.len() as u64);
+            m.end_arm(t.rows.len() as u64);
+            match &cols {
+                None => cols = Some(t.cols),
+                Some(c) if c.len() != t.cols.len() => {
+                    return Err(SqlError::exec(format!(
+                        "UNION arity mismatch: {} vs {} columns",
+                        c.len(),
+                        t.cols.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+            for r in t.rows {
+                if seen.insert(r.clone()) {
+                    rows.push(r);
+                }
+            }
+        }
+        Table {
+            cols: cols.expect("union has arms"),
+            rows,
+        }
+    } else {
+        eval_set(&query.body, &ctx, None, m)?
+    };
+
+    let out: Vec<Row> = table
+        .rows
+        .into_iter()
+        .filter_map(|r| r.into_iter().collect::<Option<Vec<u32>>>())
+        .collect();
+    m.metrics.output = out.len() as u64;
+    Ok(out)
+}
+
+/// Statement-wide execution context.
+struct Ctx<'a, 'q> {
+    catalog: Catalog<'a>,
+    ctes: FxHashMap<String, Rc<Table>>,
+    /// Per-site plans for expression-position subqueries (the DPH spill
+    /// lookup), keyed by AST node address: the correlated relation is
+    /// materialized, filtered and *indexed* once, then probed per outer
+    /// row instead of re-scanned.
+    subplans: RefCell<FxHashMap<usize, Rc<SubPlan<'q>>>>,
+}
+
+/// How an expression-position subquery site executes.
+enum SubPlan<'q> {
+    /// The spill shape — `SELECT <local col> FROM <rel> WHERE <local
+    /// consts> AND <local col> = <outer expr> …` — as a hash index from
+    /// the residual-equality columns to the projected values, probed
+    /// with the outer sides evaluated per row.
+    Indexed {
+        index: FxHashMap<Vec<u32>, Vec<Val>>,
+        /// Outer-side expressions of the residual equalities, compiled
+        /// against the *outer* environment chain.
+        probes: Vec<CExpr<'q>>,
+    },
+    /// Any other shape: evaluate the subquery generically per row.
+    General,
+}
+
+/// The rows of a materialized `FROM` source: shared (memoized catalog
+/// tables, CTEs — never copied) or owned (subquery results, filtered
+/// subsets).
+enum Rows {
+    Shared(Rc<Table>),
+    Owned(Vec<Vec<Val>>),
+}
+
+impl Rows {
+    fn as_slice(&self) -> &[Vec<Val>] {
+        match self {
+            Rows::Shared(t) => &t.rows,
+            Rows::Owned(rows) => rows,
+        }
+    }
+}
+
+/// The row environment of one `SELECT` during evaluation; `parent`
+/// chains to enclosing rows for correlated references.
+struct Env<'e> {
+    cols: &'e [String],
+    row: &'e [Val],
+    parent: Option<&'e Env<'e>>,
+}
+
+/// A compiled expression: column references resolved to
+/// (frame depth, column index) against an [`Env`] chain.
+enum CExpr<'q> {
+    Ref(usize, usize),
+    Lit(Val),
+    Case {
+        arms: Vec<(CExpr<'q>, CExpr<'q>)>,
+        otherwise: Option<Box<CExpr<'q>>>,
+    },
+    Sub(&'q SetExpr),
+    Eq(Box<CExpr<'q>>, Box<CExpr<'q>>),
+    And(Box<CExpr<'q>>, Box<CExpr<'q>>),
+    Or(Box<CExpr<'q>>, Box<CExpr<'q>>),
+}
+
+/// A scalar, or the value *set* of an expression-position subquery.
+enum Vals {
+    One(Val),
+    Many(Vec<Val>),
+}
+
+fn eval_set<'q>(
+    se: &'q SetExpr,
+    ctx: &Ctx<'_, 'q>,
+    outer: Option<&Env<'_>>,
+    m: &mut Meter,
+) -> Result<Table, SqlError> {
+    match se {
+        SetExpr::Select(sel) => eval_select(sel, ctx, outer, m),
+        SetExpr::Union { arms } => {
+            // Left-associative fold: a plain UNION deduplicates
+            // everything accumulated so far; UNION ALL concatenates.
+            let mut iter = arms.iter();
+            let (first, _) = iter.next().expect("union has at least one arm");
+            let mut acc = eval_set(first, ctx, outer, m)?;
+            for (arm, all) in iter {
+                let r = eval_set(arm, ctx, outer, m)?;
+                if acc.cols.len() != r.cols.len() {
+                    return Err(SqlError::exec(format!(
+                        "UNION arity mismatch: {} vs {} columns",
+                        acc.cols.len(),
+                        r.cols.len()
+                    )));
+                }
+                if *all {
+                    acc.rows.extend(r.rows);
+                } else {
+                    let mut seen: FxHashSet<Vec<Val>> = FxHashSet::default();
+                    let mut rows = Vec::with_capacity(acc.rows.len());
+                    for row in acc.rows.into_iter().chain(r.rows) {
+                        if seen.insert(row.clone()) {
+                            rows.push(row);
+                        }
+                    }
+                    acc.rows = rows;
+                }
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Materialize one `FROM` source: resolve CTE / base table / subquery,
+/// apply the `triples` pred pushdown, and filter by the conjuncts that
+/// reference only this source (marking them consumed). Returns the
+/// source's qualified column names and its rows.
+fn materialize_source<'q>(
+    item: &'q FromItem,
+    conjuncts: &[&'q Expr],
+    used: &mut [bool],
+    single_source: bool,
+    ctx: &Ctx<'_, 'q>,
+    outer: Option<&Env<'_>>,
+    m: &mut Meter,
+) -> Result<(Vec<String>, Rows), SqlError> {
+    let binding = item.binding();
+    let (bare_cols, mut rows): (Vec<String>, Rows) = match item {
+        FromItem::Table { name, .. } => {
+            if let Some(cte) = ctx.ctes.get(name) {
+                (cte.cols.clone(), Rows::Shared(cte.clone()))
+            } else {
+                let mut pushdown = None;
+                if name == "triples" {
+                    for (i, c) in conjuncts.iter().enumerate() {
+                        if !used[i] {
+                            if let Some(n) = pred_eq_const(c, binding, single_source) {
+                                pushdown = Some(n);
+                                used[i] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                let t = ctx.catalog.scan(name, pushdown, m)?;
+                (t.cols.clone(), Rows::Shared(t))
+            }
+        }
+        FromItem::Subquery { query, .. } => {
+            let t = eval_set(query, ctx, outer, m)?;
+            (t.cols, Rows::Owned(t.rows))
+        }
+    };
+    let src_cols: Vec<String> = bare_cols.iter().map(|c| format!("{binding}.{c}")).collect();
+
+    // Conjuncts referencing only this source filter it immediately.
+    let mut local: Vec<CExpr<'q>> = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let frame = Env {
+            cols: &src_cols,
+            row: &[],
+            parent: None,
+        };
+        if let Ok(ce) = compile(c, &frame) {
+            used[i] = true;
+            local.push(ce);
+        }
+    }
+    if !local.is_empty() {
+        let mut kept = Vec::new();
+        for row in rows.as_slice() {
+            let env = Env {
+                cols: &src_cols,
+                row,
+                parent: None,
+            };
+            let mut pass = true;
+            for ce in &local {
+                if eval_cond(ce, &env, ctx, m)? != Some(true) {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                kept.push(row.clone());
+            }
+        }
+        rows = Rows::Owned(kept);
+    }
+    Ok((src_cols, rows))
+}
+
+fn eval_select<'q>(
+    sel: &'q Select,
+    ctx: &Ctx<'_, 'q>,
+    outer: Option<&Env<'_>>,
+    m: &mut Meter,
+) -> Result<Table, SqlError> {
+    let conjuncts: Vec<&'q Expr> = sel
+        .filter
+        .as_ref()
+        .map(|f| f.conjuncts())
+        .unwrap_or_default();
+    let mut used = vec![false; conjuncts.len()];
+
+    // -- materialize the FROM sources -----------------------------------
+    let mut sources: Vec<(Vec<String>, Rows)> = Vec::with_capacity(sel.from.len());
+    for item in &sel.from {
+        sources.push(materialize_source(
+            item,
+            &conjuncts,
+            &mut used,
+            sel.from.len() == 1,
+            ctx,
+            outer,
+            m,
+        )?);
+    }
+
+    // -- join the sources, connected-first ------------------------------
+    //
+    // The generated SQL lists sources in slot order, which need not keep
+    // every *prefix* connected; joining strictly left to right would
+    // cross-product through disconnected prefixes. Like the native
+    // planner's greedy connected expansion, always prefer a remaining
+    // source linked to the accumulated columns by an equality conjunct,
+    // and fall back to a cross product (smallest source first) only when
+    // none is.
+    let mut acc_cols: Vec<String> = Vec::new();
+    let mut acc_rows: Vec<Vec<Val>> = vec![Vec::new()];
+    let mut remaining: Vec<usize> = (0..sources.len()).collect();
+    while !remaining.is_empty() {
+        // Find a connected source and its join conjuncts.
+        let mut choice: Option<(usize, Vec<(usize, usize, usize)>)> = None;
+        for (ri, &si) in remaining.iter().enumerate() {
+            let src_cols = &sources[si].0;
+            let mut joins: Vec<(usize, usize, usize)> = Vec::new(); // (conjunct, acc, src)
+            for (i, c) in conjuncts.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                if let Expr::Eq(a, b) = c {
+                    let aa = (col_in(a, &acc_cols)?, col_in(a, src_cols)?);
+                    let bb = (col_in(b, &acc_cols)?, col_in(b, src_cols)?);
+                    let pair = match (aa, bb) {
+                        ((Some(ai), None), (None, Some(sj))) => Some((ai, sj)),
+                        ((None, Some(sj)), (Some(bi), None)) => Some((bi, sj)),
+                        _ => None,
+                    };
+                    if let Some((ai, sj)) = pair {
+                        joins.push((i, ai, sj));
+                    }
+                }
+            }
+            if !joins.is_empty() {
+                choice = Some((ri, joins));
+                break;
+            }
+        }
+        let (ri, joins) = match choice {
+            Some(c) => c,
+            None => {
+                // No linked source: cross with the smallest remaining
+                // (the first source starts from the empty tuple).
+                let ri = remaining
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &si)| sources[si].1.as_slice().len())
+                    .map(|(ri, _)| ri)
+                    .expect("remaining is non-empty");
+                (ri, Vec::new())
+            }
+        };
+        let si = remaining.remove(ri);
+        let (src_cols, src_rows) = &sources[si];
+        let src_rows = src_rows.as_slice();
+
+        acc_rows = if joins.is_empty() {
+            let mut out = Vec::with_capacity(acc_rows.len().saturating_mul(src_rows.len()));
+            for arow in &acc_rows {
+                for srow in src_rows {
+                    let mut row = arow.clone();
+                    row.extend_from_slice(srow);
+                    out.push(row);
+                }
+            }
+            out
+        } else {
+            // Hash join: build on the incoming source, probe per
+            // accumulated row. NULL keys never match (3VL).
+            for &(i, _, _) in &joins {
+                used[i] = true;
+            }
+            m.on_join_build(src_rows.len() as u64);
+            let mut index: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+            for (rowi, row) in src_rows.iter().enumerate() {
+                if let Some(key) = joins
+                    .iter()
+                    .map(|&(_, _, sj)| row[sj])
+                    .collect::<Option<Vec<u32>>>()
+                {
+                    index.entry(key).or_default().push(rowi as u32);
+                }
+            }
+            m.on_join_probe(acc_rows.len() as u64);
+            let mut out = Vec::new();
+            for arow in &acc_rows {
+                if let Some(key) = joins
+                    .iter()
+                    .map(|&(_, ai, _)| arow[ai])
+                    .collect::<Option<Vec<u32>>>()
+                {
+                    if let Some(matches) = index.get(&key) {
+                        for &mi in matches {
+                            let mut row = arow.clone();
+                            row.extend_from_slice(&src_rows[mi as usize]);
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            out
+        };
+        acc_cols.extend(src_cols.iter().cloned());
+    }
+
+    // -- residual filters and projection --------------------------------
+    let frame = Env {
+        cols: &acc_cols,
+        row: &[],
+        parent: outer,
+    };
+    let mut residual = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if !used[i] {
+            residual.push(compile(c, &frame)?);
+        }
+    }
+    let items: Vec<CExpr<'q>> = sel
+        .items
+        .iter()
+        .map(|it| compile(&it.expr, &frame))
+        .collect::<Result<_, _>>()?;
+
+    let cols: Vec<String> = sel
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| item_name(it, i))
+        .collect();
+    let mut out_rows: Vec<Vec<Val>> = Vec::new();
+    'rows: for row in &acc_rows {
+        let env = Env {
+            cols: &acc_cols,
+            row,
+            parent: outer,
+        };
+        for ce in &residual {
+            if eval_cond(ce, &env, ctx, m)? != Some(true) {
+                continue 'rows;
+            }
+        }
+        let vals: Vec<Vals> = items
+            .iter()
+            .map(|ce| eval_value(ce, &env, ctx, m))
+            .collect::<Result<_, _>>()?;
+        expand(&vals, &mut Vec::with_capacity(vals.len()), &mut out_rows);
+    }
+
+    if sel.distinct {
+        let mut seen = FxHashSet::default();
+        let mut deduped = Vec::with_capacity(out_rows.len());
+        for row in out_rows {
+            m.on_hash_build(1);
+            if seen.insert(row.clone()) {
+                deduped.push(row);
+            }
+        }
+        out_rows = deduped;
+    }
+    Ok(Table {
+        cols,
+        rows: out_rows,
+    })
+}
+
+/// Cartesian expansion of per-item value sets into output rows (a
+/// set-valued subquery contributes one row per value).
+fn expand(vals: &[Vals], acc: &mut Vec<Val>, out: &mut Vec<Vec<Val>>) {
+    match vals.split_first() {
+        None => out.push(acc.clone()),
+        Some((v, rest)) => match v {
+            Vals::One(x) => {
+                acc.push(*x);
+                expand(rest, acc, out);
+                acc.pop();
+            }
+            Vals::Many(xs) => {
+                for x in xs {
+                    acc.push(*x);
+                    expand(rest, acc, out);
+                    acc.pop();
+                }
+            }
+        },
+    }
+}
+
+fn item_name(item: &SelectItem, i: usize) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        Expr::Col { column, .. } => column.clone(),
+        _ => format!("col{i}"),
+    }
+}
+
+/// `pred = <n>` (either side order) targeting `binding`'s `pred` column
+/// — the pushdown shape of the `triples` access path.
+fn pred_eq_const(e: &Expr, binding: &str, single_source: bool) -> Option<u32> {
+    let Expr::Eq(a, b) = e else {
+        return None;
+    };
+    let (col, n) = match (&**a, &**b) {
+        (Expr::Col { table, column }, Expr::Num(n)) => ((table, column), *n),
+        (Expr::Num(n), Expr::Col { table, column }) => ((table, column), *n),
+        _ => return None,
+    };
+    if col.1 != "pred" {
+        return None;
+    }
+    match col.0 {
+        Some(t) if t == binding => Some(n),
+        None if single_source => Some(n),
+        _ => None,
+    }
+}
+
+/// Resolve a column-reference expression within one column namespace
+/// (`None` if the expression is not a column or is absent; error on
+/// ambiguity).
+fn col_in(e: &Expr, cols: &[String]) -> Result<Option<usize>, SqlError> {
+    let Expr::Col { table, column } = e else {
+        return Ok(None);
+    };
+    resolve_in(cols, table.as_deref(), column)
+}
+
+fn resolve_in(
+    cols: &[String],
+    table: Option<&str>,
+    column: &str,
+) -> Result<Option<usize>, SqlError> {
+    match table {
+        Some(t) => {
+            let want_len = t.len() + 1 + column.len();
+            Ok(cols.iter().position(|c| {
+                c.len() == want_len
+                    && c.starts_with(t)
+                    && c.as_bytes()[t.len()] == b'.'
+                    && c.ends_with(column)
+            }))
+        }
+        None => {
+            let mut found = None;
+            for (i, c) in cols.iter().enumerate() {
+                let matches = match c.rfind('.') {
+                    Some(dot) => &c[dot + 1..] == column,
+                    None => c == column,
+                };
+                if matches {
+                    if found.is_some() {
+                        return Err(SqlError::exec(format!("ambiguous column: {column}")));
+                    }
+                    found = Some(i);
+                }
+            }
+            Ok(found)
+        }
+    }
+}
+
+/// Compile an expression against an environment chain: column references
+/// become (frame depth, index) pairs, so row-loop evaluation does no
+/// name resolution.
+fn compile<'q>(e: &'q Expr, env: &Env<'_>) -> Result<CExpr<'q>, SqlError> {
+    match e {
+        Expr::Col { table, column } => {
+            let mut depth = 0;
+            let mut frame = Some(env);
+            while let Some(f) = frame {
+                if let Some(i) = resolve_in(f.cols, table.as_deref(), column)? {
+                    return Ok(CExpr::Ref(depth, i));
+                }
+                depth += 1;
+                frame = f.parent;
+            }
+            Err(SqlError::exec(format!(
+                "unknown column: {}{}",
+                table
+                    .as_deref()
+                    .map(|t| format!("{t}."))
+                    .unwrap_or_default(),
+                column
+            )))
+        }
+        Expr::Num(n) => Ok(CExpr::Lit(Some(*n))),
+        Expr::Null => Ok(CExpr::Lit(None)),
+        Expr::Case { arms, otherwise } => {
+            let carms = arms
+                .iter()
+                .map(|(c, v)| Ok((compile(c, env)?, compile(v, env)?)))
+                .collect::<Result<_, SqlError>>()?;
+            let cotherwise = otherwise
+                .as_ref()
+                .map(|o| compile(o, env).map(Box::new))
+                .transpose()?;
+            Ok(CExpr::Case {
+                arms: carms,
+                otherwise: cotherwise,
+            })
+        }
+        Expr::Subquery(se) => Ok(CExpr::Sub(se)),
+        Expr::Eq(a, b) => Ok(CExpr::Eq(
+            Box::new(compile(a, env)?),
+            Box::new(compile(b, env)?),
+        )),
+        Expr::And(a, b) => Ok(CExpr::And(
+            Box::new(compile(a, env)?),
+            Box::new(compile(b, env)?),
+        )),
+        Expr::Or(a, b) => Ok(CExpr::Or(
+            Box::new(compile(a, env)?),
+            Box::new(compile(b, env)?),
+        )),
+    }
+}
+
+fn env_ref(env: &Env<'_>, depth: usize, idx: usize) -> Val {
+    let mut frame = env;
+    for _ in 0..depth {
+        frame = frame.parent.expect("compiled ref within the env chain");
+    }
+    frame.row[idx]
+}
+
+/// Plan an expression-position subquery site: when it matches the spill
+/// shape (single plain `SELECT` of one local column from one source,
+/// every residual conjunct an equality between a local column and an
+/// outer-only expression), build a probe index; otherwise fall back to
+/// generic per-row evaluation.
+fn plan_subquery<'q>(
+    se: &'q SetExpr,
+    ctx: &Ctx<'_, 'q>,
+    env: &Env<'_>,
+    m: &mut Meter,
+) -> Result<SubPlan<'q>, SqlError> {
+    let SetExpr::Select(sel) = se else {
+        return Ok(SubPlan::General);
+    };
+    if sel.distinct || sel.from.len() != 1 || sel.items.len() != 1 {
+        return Ok(SubPlan::General);
+    }
+    let conjuncts: Vec<&'q Expr> = sel
+        .filter
+        .as_ref()
+        .map(|f| f.conjuncts())
+        .unwrap_or_default();
+    let mut used = vec![false; conjuncts.len()];
+    let (src_cols, rows) =
+        materialize_source(&sel.from[0], &conjuncts, &mut used, true, ctx, None, m)?;
+
+    let frame = Env {
+        cols: &src_cols,
+        row: &[],
+        parent: Some(env),
+    };
+    let mut locals: Vec<usize> = Vec::new();
+    let mut probes: Vec<CExpr<'q>> = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let CExpr::Eq(a, b) = compile(c, &frame)? else {
+            return Ok(SubPlan::General);
+        };
+        match (*a, *b) {
+            (CExpr::Ref(0, li), o) | (o, CExpr::Ref(0, li)) => match shift_outer(o) {
+                Some(p) => {
+                    locals.push(li);
+                    probes.push(p);
+                }
+                None => return Ok(SubPlan::General),
+            },
+            _ => return Ok(SubPlan::General),
+        }
+    }
+    if locals.is_empty() {
+        return Ok(SubPlan::General);
+    }
+    let CExpr::Ref(0, vi) = compile(&sel.items[0].expr, &frame)? else {
+        return Ok(SubPlan::General);
+    };
+    let mut index: FxHashMap<Vec<u32>, Vec<Val>> = FxHashMap::default();
+    for row in rows.as_slice() {
+        if let Some(key) = locals
+            .iter()
+            .map(|&li| row[li])
+            .collect::<Option<Vec<u32>>>()
+        {
+            index.entry(key).or_default().push(row[vi]);
+        }
+    }
+    Ok(SubPlan::Indexed { index, probes })
+}
+
+/// Re-root an outer-only compiled expression from the subquery's frame
+/// chain onto the outer chain itself (depth − 1). `None` if the
+/// expression touches the local frame or is not a plain ref/literal.
+fn shift_outer(ce: CExpr<'_>) -> Option<CExpr<'_>> {
+    match ce {
+        CExpr::Ref(0, _) => None,
+        CExpr::Ref(d, i) => Some(CExpr::Ref(d - 1, i)),
+        CExpr::Lit(v) => Some(CExpr::Lit(v)),
+        _ => None,
+    }
+}
+
+fn eval_value<'q>(
+    ce: &CExpr<'q>,
+    env: &Env<'_>,
+    ctx: &Ctx<'_, 'q>,
+    m: &mut Meter,
+) -> Result<Vals, SqlError> {
+    match ce {
+        CExpr::Ref(d, i) => Ok(Vals::One(env_ref(env, *d, *i))),
+        CExpr::Lit(v) => Ok(Vals::One(*v)),
+        CExpr::Case { arms, otherwise } => {
+            for (cond, value) in arms {
+                if eval_cond(cond, env, ctx, m)? == Some(true) {
+                    return eval_value(value, env, ctx, m);
+                }
+            }
+            match otherwise {
+                Some(o) => eval_value(o, env, ctx, m),
+                None => Ok(Vals::One(None)),
+            }
+        }
+        CExpr::Sub(se) => {
+            // A spill lookup: one probe into the correlated relation.
+            m.on_probe(1);
+            let key = *se as *const SetExpr as usize;
+            let plan = {
+                let cached = ctx.subplans.borrow().get(&key).cloned();
+                match cached {
+                    Some(p) => p,
+                    None => {
+                        let p = Rc::new(plan_subquery(se, ctx, env, m)?);
+                        ctx.subplans.borrow_mut().insert(key, p.clone());
+                        p
+                    }
+                }
+            };
+            match &*plan {
+                SubPlan::Indexed { index, probes } => {
+                    let mut key_vals = Vec::with_capacity(probes.len());
+                    for p in probes {
+                        match eval_scalar(p, env, ctx, m)? {
+                            Some(v) => key_vals.push(v),
+                            // NULL never equals: empty value set.
+                            None => return Ok(Vals::Many(Vec::new())),
+                        }
+                    }
+                    Ok(Vals::Many(
+                        index.get(&key_vals).cloned().unwrap_or_default(),
+                    ))
+                }
+                SubPlan::General => {
+                    let t = eval_set(se, ctx, Some(env), m)?;
+                    if t.cols.len() != 1 {
+                        return Err(SqlError::exec(
+                            "expression subquery must select exactly one column",
+                        ));
+                    }
+                    Ok(Vals::Many(t.rows.into_iter().map(|r| r[0]).collect()))
+                }
+            }
+        }
+        CExpr::Eq(..) | CExpr::And(..) | CExpr::Or(..) => {
+            Err(SqlError::exec("condition used in value position"))
+        }
+    }
+}
+
+fn eval_scalar<'q>(
+    ce: &CExpr<'q>,
+    env: &Env<'_>,
+    ctx: &Ctx<'_, 'q>,
+    m: &mut Meter,
+) -> Result<Val, SqlError> {
+    match eval_value(ce, env, ctx, m)? {
+        Vals::One(v) => Ok(v),
+        Vals::Many(_) => Err(SqlError::exec("set-valued expression in a comparison")),
+    }
+}
+
+/// SQL three-valued logic: `None` is *unknown*.
+fn eval_cond<'q>(
+    ce: &CExpr<'q>,
+    env: &Env<'_>,
+    ctx: &Ctx<'_, 'q>,
+    m: &mut Meter,
+) -> Result<Option<bool>, SqlError> {
+    match ce {
+        CExpr::Eq(a, b) => {
+            let va = eval_scalar(a, env, ctx, m)?;
+            let vb = eval_scalar(b, env, ctx, m)?;
+            Ok(match (va, vb) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ => None,
+            })
+        }
+        CExpr::And(a, b) => {
+            let va = eval_cond(a, env, ctx, m)?;
+            if va == Some(false) {
+                return Ok(Some(false));
+            }
+            let vb = eval_cond(b, env, ctx, m)?;
+            Ok(match (va, vb) {
+                (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+        }
+        CExpr::Or(a, b) => {
+            let va = eval_cond(a, env, ctx, m)?;
+            if va == Some(true) {
+                return Ok(Some(true));
+            }
+            let vb = eval_cond(b, env, ctx, m)?;
+            Ok(match (va, vb) {
+                (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        _ => Err(SqlError::exec("expected a condition")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse;
+    use super::*;
+    use crate::layout::simple::SimpleStorage;
+    use crate::layout::testutil::small_abox;
+    use crate::profile::EngineProfile;
+
+    fn run(sql: &str) -> Result<Vec<Row>, SqlError> {
+        let (voc, abox) = small_abox();
+        let storage = SimpleStorage::load(&abox);
+        let names = SqlNames::from_vocabulary(&voc);
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        execute(&parse(sql)?, &storage, &names, &mut m)
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn scan_project_filter() {
+        // A = {0, 1}; r = {(0,1), (0,2), (3,2)}.
+        assert_eq!(
+            sorted(run("SELECT DISTINCT t0.x AS h0 FROM c_A t0").unwrap()),
+            vec![vec![0], vec![1]]
+        );
+        assert_eq!(
+            sorted(
+                run("SELECT DISTINCT t0.s AS h0, t0.o AS h1 FROM r_r t0 WHERE t0.s = 0").unwrap()
+            ),
+            vec![vec![0, 1], vec![0, 2]]
+        );
+    }
+
+    #[test]
+    fn hash_join_on_equality() {
+        // A(x) ∧ r(x, y).
+        let rows =
+            run("SELECT DISTINCT t0.x AS h0, t1.o AS h1 FROM c_A t0, r_r t1 WHERE t1.s = t0.x")
+                .unwrap();
+        assert_eq!(sorted(rows), vec![vec![0, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn disconnected_prefix_still_joins_connected_first() {
+        // FROM order lists the two r-atoms before the concept that links
+        // them; a strict left-to-right join would cross-product r × r.
+        let rows = run("SELECT DISTINCT t0.o AS h0 FROM r_r t0, r_s t1, c_A t2 \
+             WHERE t1.s = t2.x AND t0.s = t2.x")
+        .unwrap();
+        // A = {0, 1}; s = {(1,0)}; r(0,·) = {1, 2} → x must be 1 via s,
+        // but r(1,·) is empty → no; x = 0 has no s-pair. Check the
+        // actual content: s(1,0) → t2.x = 1, r(1,·) = ∅ → empty.
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn cross_product_without_link() {
+        let rows = run("SELECT DISTINCT t0.x AS h0, t1.x AS h1 FROM c_A t0, c_B t1").unwrap();
+        assert_eq!(sorted(rows), vec![vec![0, 2], vec![1, 2]]);
+    }
+
+    #[test]
+    fn union_dedups_and_union_all_keeps() {
+        let union = run("SELECT x AS h0 FROM c_A UNION SELECT s AS h0 FROM r_r").unwrap();
+        assert_eq!(sorted(union), vec![vec![0], vec![1], vec![3]]);
+        let all = run("SELECT x AS h0 FROM c_A UNION ALL SELECT x AS h0 FROM c_A").unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn with_clause_joins_ctes() {
+        let rows = run(
+            "WITH sql0 AS (SELECT x AS h0 FROM c_A), sql1 AS (SELECT s AS h0 FROM r_r) \
+             SELECT DISTINCT sql0.h0 FROM sql0, sql1 WHERE sql1.h0 = sql0.h0",
+        )
+        .unwrap();
+        assert_eq!(sorted(rows), vec![vec![0]]);
+    }
+
+    #[test]
+    fn correlated_subquery_expands_values() {
+        // For each A-member x, the set of objects of r(x, ·): x = 0
+        // yields {1, 2} (two rows), x = 1 yields ∅ (no rows).
+        let rows = run("SELECT DISTINCT t0.x AS h0, \
+             (SELECT u.o FROM r_r u WHERE u.s = t0.x) AS h1 FROM c_A t0")
+        .unwrap();
+        assert_eq!(sorted(rows), vec![vec![0, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn fromless_select_yields_one_row() {
+        assert_eq!(run("SELECT DISTINCT 1 AS t").unwrap(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn null_rows_are_dropped() {
+        assert!(run("SELECT NULL AS h0 FROM c_A").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(
+            run("SELECT x FROM nope"),
+            Err(SqlError::Exec { .. })
+        ));
+        assert!(matches!(
+            run("SELECT t0.nope FROM c_A t0"),
+            Err(SqlError::Exec { .. })
+        ));
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        assert!(matches!(
+            run("SELECT x AS h0 FROM c_A UNION SELECT s AS h0, o AS h1 FROM r_r"),
+            Err(SqlError::Exec { .. })
+        ));
+    }
+
+    #[test]
+    fn top_level_union_arms_are_metered() {
+        let (voc, abox) = small_abox();
+        let storage = SimpleStorage::load(&abox);
+        let names = SqlNames::from_vocabulary(&voc);
+        let profile = EngineProfile::pg_like();
+        let mut m = Meter::new(&profile);
+        let q = parse("SELECT x AS h0 FROM c_A UNION SELECT x AS h0 FROM c_B").unwrap();
+        let rows = execute(&q, &storage, &names, &mut m).unwrap();
+        assert_eq!(sorted(rows), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(m.arm_metrics.len(), 2);
+        let scanned: f64 = m.arm_metrics.iter().map(|a| a.scanned).sum();
+        assert_eq!(scanned, m.metrics.scanned);
+        assert_eq!(m.metrics.output, 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! Recursive-descent parser for the generated-SQL dialect.
+//!
+//! Grammar (exactly the shapes [`crate::sql::SqlGenerator`] emits, plus
+//! `[INNER|CROSS] JOIN … [ON …]`, which desugars to the comma form):
+//!
+//! ```text
+//! query   := [WITH name AS ( set ) {, name AS ( set )}] set
+//! set     := select { UNION [ALL] select }
+//! select  := SELECT [DISTINCT] item {, item} [FROM source {sep source}]
+//!            [WHERE expr]
+//! sep     := ',' | [INNER] JOIN … [ON expr] | CROSS JOIN
+//! source  := '(' set ')' alias | name [alias]
+//! item    := expr [AS name]
+//! expr    := or;  or := and {OR and};  and := cmp {AND cmp}
+//! cmp     := prim ['=' prim]
+//! prim    := number | NULL | CASE {WHEN expr THEN expr} [ELSE expr] END
+//!          | '(' set ')' | '(' expr ')' | name ['.' name]
+//! ```
+
+use super::ast::{Expr, FromItem, Query, Select, SelectItem, SetExpr};
+use super::token::{tokenize, Tok};
+use super::SqlError;
+
+/// Parse one statement; errors carry the byte offset into the SQL text.
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser {
+        toks,
+        at: 0,
+        end: sql.len(),
+    };
+    let q = p.query()?;
+    if p.at < p.toks.len() {
+        return Err(p.err_here("trailing tokens after the statement"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(t, _)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.at).map(|&(_, p)| p).unwrap_or(self.end)
+    }
+
+    fn err_here(&self, message: &str) -> SqlError {
+        SqlError::Parse {
+            pos: self.pos(),
+            message: message.to_owned(),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), SqlError> {
+        if self.eat(&want) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                self.at += 1;
+                Ok(name)
+            }
+            _ => Err(self.err_here(&format!("expected {what}"))),
+        }
+    }
+
+    /// An optional trailing alias: a bare identifier (keywords never
+    /// alias, so `FROM triples WHERE …` parses unaliased).
+    fn opt_alias(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                self.at += 1;
+                Some(name)
+            }
+            _ => None,
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        let mut ctes = Vec::new();
+        if self.eat(&Tok::With) {
+            loop {
+                let name = self.ident("CTE name after WITH")?;
+                self.expect(Tok::As, "AS in CTE binding")?;
+                self.expect(Tok::LParen, "( opening the CTE body")?;
+                let body = self.set_expr()?;
+                self.expect(Tok::RParen, ") closing the CTE body")?;
+                ctes.push((name, body));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.set_expr()?;
+        Ok(Query { ctes, body })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr, SqlError> {
+        let first = SetExpr::Select(Box::new(self.select()?));
+        if self.peek() != Some(&Tok::Union) {
+            return Ok(first);
+        }
+        let mut arms = vec![(first, false)];
+        while self.eat(&Tok::Union) {
+            let all = self.eat(&Tok::All);
+            arms.push((SetExpr::Select(Box::new(self.select()?)), all));
+        }
+        Ok(SetExpr::Union { arms })
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect(Tok::Select, "SELECT")?;
+        let distinct = self.eat(&Tok::Distinct);
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        let mut on_conds: Vec<Expr> = Vec::new();
+        if self.eat(&Tok::From) {
+            from.push(self.from_item()?);
+            loop {
+                if self.eat(&Tok::Comma) {
+                    from.push(self.from_item()?);
+                } else if self.peek() == Some(&Tok::Join)
+                    || self.peek() == Some(&Tok::Inner)
+                    || self.peek() == Some(&Tok::Cross)
+                {
+                    let cross = self.eat(&Tok::Cross);
+                    if !cross {
+                        self.eat(&Tok::Inner);
+                    }
+                    self.expect(Tok::Join, "JOIN")?;
+                    from.push(self.from_item()?);
+                    if !cross && self.eat(&Tok::On) {
+                        on_conds.push(self.expr()?);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut filter = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        // `ON` conditions are plain join predicates in this dialect.
+        for cond in on_conds {
+            filter = Some(match filter {
+                Some(f) => Expr::And(Box::new(f), Box::new(cond)),
+                None => cond,
+            });
+        }
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            filter,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Tok::As) {
+            Some(self.ident("alias after AS")?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, SqlError> {
+        if self.eat(&Tok::LParen) {
+            let query = self.set_expr()?;
+            self.expect(Tok::RParen, ") closing the subquery")?;
+            let alias = self
+                .opt_alias()
+                .ok_or_else(|| self.err_here("expected alias after subquery"))?;
+            Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            })
+        } else {
+            let name = self.ident("table name")?;
+            let alias = self.opt_alias();
+            Ok(FromItem::Table { name, alias })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.cmp_expr()?;
+        while self.eat(&Tok::And) {
+            let right = self.cmp_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
+        let left = self.primary()?;
+        if self.eat(&Tok::Eq) {
+            let right = self.primary()?;
+            Ok(Expr::Eq(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.at += 1;
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Null) => {
+                self.at += 1;
+                Ok(Expr::Null)
+            }
+            Some(Tok::Case) => {
+                self.at += 1;
+                let mut arms = Vec::new();
+                while self.eat(&Tok::When) {
+                    let cond = self.expr()?;
+                    self.expect(Tok::Then, "THEN")?;
+                    let value = self.expr()?;
+                    arms.push((cond, value));
+                }
+                if arms.is_empty() {
+                    return Err(self.err_here("CASE needs at least one WHEN arm"));
+                }
+                let otherwise = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect(Tok::End, "END closing CASE")?;
+                Ok(Expr::Case { arms, otherwise })
+            }
+            Some(Tok::LParen) => {
+                self.at += 1;
+                let e = if self.peek() == Some(&Tok::Select) {
+                    Expr::Subquery(Box::new(self.set_expr()?))
+                } else {
+                    self.expr()?
+                };
+                self.expect(Tok::RParen, ") closing the expression")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(first)) => {
+                self.at += 1;
+                if self.eat(&Tok::Dot) {
+                    let column = self.ident("column after '.'")?;
+                    Ok(Expr::Col {
+                        table: Some(first),
+                        column,
+                    })
+                } else {
+                    Ok(Expr::Col {
+                        table: None,
+                        column: first,
+                    })
+                }
+            }
+            _ => Err(self.err_here("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_conjunction() {
+        let q =
+            parse("SELECT DISTINCT t0.x AS h0 FROM c_A t0, r_r t1 WHERE t1.s = t0.x AND t1.o = 42")
+                .unwrap();
+        assert!(q.ctes.is_empty());
+        let SetExpr::Select(sel) = &q.body else {
+            panic!("expected a single select");
+        };
+        assert!(sel.distinct);
+        assert_eq!(sel.items.len(), 1);
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.filter.as_ref().unwrap().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_union_chain_and_arms_flatten() {
+        let q = parse("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v").unwrap();
+        let arms = q.body.union_arms();
+        assert_eq!(arms.len(), 3);
+        assert!(!arms[1].1, "second arm joined by plain UNION");
+        assert!(arms[2].1, "third arm joined by UNION ALL");
+    }
+
+    #[test]
+    fn parses_with_prologue() {
+        let q = parse(
+            "WITH sql0 AS (SELECT x AS h0 FROM a), sql1 AS (SELECT y AS h0 FROM b) \
+             SELECT DISTINCT sql0.h0 FROM sql0, sql1 WHERE sql1.h0 = sql0.h0",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 2);
+        assert_eq!(q.ctes[0].0, "sql0");
+    }
+
+    #[test]
+    fn parses_case_with_scalar_subquery() {
+        let q = parse(
+            "SELECT entity AS s, CASE WHEN pred0 = 7 THEN CASE WHEN multi0 = 1 THEN \
+             (SELECT mv.val FROM dph_values mv WHERE mv.key = dph.val0 AND mv.pred = 7) \
+             ELSE val0 END ELSE NULL END AS o FROM dph WHERE pred0 = 7 OR pred1 = 7",
+        )
+        .unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!();
+        };
+        assert!(matches!(sel.items[1].expr, Expr::Case { .. }));
+        assert!(matches!(sel.filter, Some(Expr::Or(..))));
+    }
+
+    #[test]
+    fn parses_join_on_as_where_conjunct() {
+        let q = parse("SELECT a.x FROM ta a JOIN tb b ON b.y = a.x WHERE a.x = 3").unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!();
+        };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.filter.as_ref().unwrap().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_fromless_select() {
+        let q = parse("SELECT DISTINCT 1 AS t").unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!();
+        };
+        assert!(sel.from.is_empty());
+        assert_eq!(sel.items[0].alias.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn keywords_do_not_become_aliases() {
+        let q = parse("SELECT x FROM t WHERE x = 1").unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!();
+        };
+        match &sel.from[0] {
+            FromItem::Table { name, alias } => {
+                assert_eq!(name, "t");
+                assert!(alias.is_none());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        match err {
+            SqlError::Parse { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

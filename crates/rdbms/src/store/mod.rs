@@ -14,7 +14,7 @@
 //!   batches. Each record is `[len: u32][payload][fnv64(payload): u64]`;
 //!   a torn final record (crash mid-append) is detected by length or
 //!   checksum, tolerated, and truncated on recovery.
-//! * [`recover`] — crash recovery: replay `snapshot + WAL tail`, skipping
+//! * [`mod@recover`] — crash recovery: replay `snapshot + WAL tail`, skipping
 //!   batches the snapshot already contains (a crash between compaction's
 //!   snapshot rename and WAL reset leaves such a stale prefix), arriving
 //!   at the exact pre-crash vocabulary, ABox and generation.
@@ -144,7 +144,7 @@ impl DurableStore {
         })
     }
 
-    /// Open an existing store: run [`recover`], truncate any torn WAL
+    /// Open an existing store: run [`recover()`], truncate any torn WAL
     /// tail, and return the recovered KB together with a store handle
     /// positioned to append the next batch.
     ///

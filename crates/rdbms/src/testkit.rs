@@ -11,7 +11,10 @@
 //! **parallel arm execution** (3 worker threads), asserting row-set and
 //! work-counter parity with the sequential inline-planned run — so a
 //! cache-key or merge-order bug in the serving layer fails here, not in
-//! production. Any future executor change — new operator, new layout,
+//! production. Every layout also answers through the **SQL backend**
+//! (generate-SQL → parse → execute via [`crate::sqlexec`]) with
+//! answer-set equality, making generated-SQL correctness a tested
+//! property. Any future executor change — new operator, new layout,
 //! planner rewrite — is covered by pointing this harness (plus the
 //! random query generators in `obda_query::testkit`) at the new code
 //! path.
@@ -25,6 +28,7 @@ use crate::layout::LayoutKind;
 use crate::metrics::ExecMetrics;
 use crate::planner::JoinStrategy;
 use crate::profile::EngineProfile;
+use crate::sqlexec::Backend;
 
 /// Every storage layout the engine supports.
 pub const ALL_LAYOUTS: [LayoutKind; 3] = [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph];
@@ -116,6 +120,26 @@ pub fn differential_check(voc: &Vocabulary, abox: &ABox, q: &FolQuery, context: 
             );
             assert_arm_metrics_sum(q, &par, context);
         }
+
+        // The SQL-delegation backend: generate the layout's SQL
+        // translation, parse it, and execute it through the embedded
+        // relational evaluator — answer-set equality makes generated-SQL
+        // correctness a property, not an assumption.
+        let sql_engine = engine.clone().with_backend(Backend::Sql);
+        let out = sql_engine.evaluate(q).unwrap_or_else(|e| {
+            panic!(
+                "{context}: SQL backend failed under {layout:?}: {e}\nSQL:\n{}",
+                engine.sql_for(q)
+            )
+        });
+        let mut rows = out.rows;
+        rows.sort();
+        assert_eq!(
+            rows,
+            want,
+            "{context}: SQL backend row-set mismatch under {layout:?}\nSQL:\n{}",
+            engine.sql_for(q)
+        );
     }
     want
 }
@@ -169,6 +193,21 @@ pub fn differential_mutation_check(
                 );
             }
         }
+
+        // The SQL backend over delta-maintained storage: the sqlexec
+        // catalog virtualizes the *mutated* tables, so incremental
+        // maintenance bugs surface here through a second, independent
+        // access path.
+        let sql_engine = incremental.clone().with_backend(Backend::Sql);
+        let mut rows = sql_engine
+            .evaluate(q)
+            .unwrap_or_else(|e| panic!("{context}: SQL backend failed under {layout:?}: {e}"))
+            .rows;
+        rows.sort();
+        assert_eq!(
+            rows, want,
+            "{context}: SQL backend row-set mismatch on mutated state under {layout:?}"
+        );
     }
     want
 }

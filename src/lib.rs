@@ -19,10 +19,12 @@
 //! * [`core`] — covers, safety, the lattice `Lq`, the generalized space
 //!   `Gq`, and the EDL/GDL cost-driven searches;
 //! * [`rdbms`] — the in-memory engine substrate: three storage layouts,
-//!   planner/executor, SQL generation, engine profiles, cost models, the
-//!   concurrent serving layer (snapshots + plan cache + parallel
-//!   union-arm execution), and the durable ABox store (binary snapshots,
-//!   write-ahead log, crash recovery, incremental apply);
+//!   planner/executor, SQL generation plus an embedded SQL execution
+//!   backend (`rdbms::sqlexec`, selectable via `Backend::Sql` — the
+//!   paper's delegate-to-the-RDBMS loop, closed), engine profiles, cost
+//!   models, the concurrent serving layer (snapshots + plan cache +
+//!   parallel union-arm execution), and the durable ABox store (binary
+//!   snapshots, write-ahead log, crash recovery, incremental apply);
 //! * [`lubm`] — the LUBM∃-style benchmark: ontology, data generator,
 //!   workload queries.
 //!
@@ -74,8 +76,8 @@ pub mod prelude {
         certain_answers, eval_over_abox, Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ,
     };
     pub use obda_rdbms::{
-        DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server, ServerConfig,
-        StoreError,
+        Backend, DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server,
+        ServerConfig, StoreError,
     };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
@@ -84,7 +86,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The seven root integration suites rely on cargo's `tests/`
+    /// The eight root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -98,6 +100,7 @@ mod tests {
             "differential",
             "concurrency",
             "persistence",
+            "sql_goldens",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -113,7 +116,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all seven suites are test targets"
+            "tests/ autodiscovery must stay enabled so all eight suites are test targets"
         );
     }
 }

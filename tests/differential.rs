@@ -23,7 +23,7 @@ use obda::query::testkit::{
     random_abox, random_delta, random_fol_query, random_tbox, random_ucq, KbShape, Rng,
 };
 use obda::rdbms::testkit::{differential_check, differential_mutation_check, ALL_STRATEGIES};
-use obda::rdbms::JoinStrategy;
+use obda::rdbms::{Backend, JoinStrategy};
 
 /// A deterministic random scenario: vocabulary, ABox, any-dialect query.
 fn scenario(seed: u64, shape: &KbShape, max_atoms: usize) -> (Vocabulary, ABox, FolQuery) {
@@ -248,6 +248,94 @@ fn lubm_workload_differential_across_reformulations() {
             );
         }
     }
+}
+
+/// The SQL-delegation acceptance bar: all 14 LUBM workload queries,
+/// reformulated via PerfectRef (UCQ) **and** via the root cover (JUCQ),
+/// answered through generate-SQL → parse → execute on every layout with
+/// exactly the native executor's row sets — the paper's "delegate to the
+/// RDBMS" loop, closed end to end.
+///
+/// Statements beyond the DB2 statement-size limit are the *other* half
+/// of the paper's story: §6.3 finds reformulations on the RDF layout
+/// "too large for evaluation" (Figure 3's "statement is too long or too
+/// complex"). For those, the asserted behaviour is the rejection itself
+/// — a DB2-profiled engine must refuse them — instead of a
+/// multi-hundred-megabyte execution.
+#[test]
+fn lubm_workload_sql_backend_parity() {
+    let fx = lubm_fixture();
+    let native = Engine::load(
+        &fx.abox,
+        &fx.onto.voc,
+        LayoutKind::Simple,
+        EngineProfile::pg_like(),
+    );
+    let db2_limit = EngineProfile::db2_like()
+        .max_statement_bytes
+        .expect("the DB2 profile models the §6.3 statement-size limit");
+    let mut executed = [0usize; 3];
+    let mut rejected = 0usize;
+    for (li, layout) in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph]
+        .into_iter()
+        .enumerate()
+    {
+        let sql_engine = Engine::load(&fx.abox, &fx.onto.voc, layout, EngineProfile::pg_like())
+            .with_backend(Backend::Sql);
+        let db2_engine = Engine::load(&fx.abox, &fx.onto.voc, layout, EngineProfile::db2_like())
+            .with_backend(Backend::Sql);
+        for (name, ucq, jucq) in &fx.queries {
+            for q in [FolQuery::Ucq(ucq.clone()), FolQuery::Jucq(jucq.clone())] {
+                // Generate the statement once; the size check and the
+                // evaluation below both reuse it (DPH translations reach
+                // hundreds of megabytes).
+                let sql = sql_engine.sql_for(&q);
+                let opts = obda::rdbms::EvalOptions {
+                    sql_text: Some(&sql),
+                    sql_bytes: Some(sql.len()),
+                    ..Default::default()
+                };
+                if sql.len() > db2_limit {
+                    // Figure 3: the statement cannot run at all (the
+                    // rejection comes from the cached length alone).
+                    let err = db2_engine
+                        .evaluate_opts(&q, &opts)
+                        .expect_err("oversized statement must be refused");
+                    assert!(
+                        matches!(err, obda::rdbms::EngineError::StatementTooLong { .. }),
+                        "{name}: wrong rejection under {layout:?}: {err}"
+                    );
+                    rejected += 1;
+                    continue;
+                }
+                let mut want = native.evaluate(&q).unwrap().rows;
+                want.sort();
+                let out = sql_engine
+                    .evaluate_opts(&q, &opts)
+                    .unwrap_or_else(|e| panic!("{name}: SQL backend failed under {layout:?}: {e}"));
+                let mut rows = out.rows;
+                rows.sort();
+                assert_eq!(rows, want, "{name}: SQL backend mismatch under {layout:?}");
+                assert!(out.sql_bytes > 0);
+                executed[li] += 1;
+            }
+        }
+    }
+    // Guard the test's own coverage: most statements execute on the
+    // compact layouts, and the RDF layout both executes several AND
+    // reproduces the Figure-3 rejections.
+    assert!(
+        executed[0] >= 20 && executed[1] >= 20,
+        "simple/triple must execute most statements: {executed:?}"
+    );
+    assert!(
+        executed[2] >= 8,
+        "DPH must execute its within-limit statements: {executed:?}"
+    );
+    assert!(
+        rejected >= 4,
+        "the §6.3 statement-size failures must be reproduced ({rejected} rejected)"
+    );
 }
 
 /// The acceptance bar for the cost-chosen default: measured work units

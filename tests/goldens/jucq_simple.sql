@@ -1,0 +1,8 @@
+WITH sql0 AS (
+SELECT DISTINCT t0.x AS h0 FROM c_PhDStudent t0
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Researcher t0
+), sql1 AS (
+SELECT DISTINCT t0.s AS h0 FROM r_worksWith t0
+)
+SELECT DISTINCT sql0.h0 FROM sql0, sql1 WHERE sql1.h0 = sql0.h0
