@@ -111,7 +111,7 @@ fn main() {
         let apply = start.elapsed() / batches.len() as u32;
 
         let start = Instant::now();
-        srv.reload_abox(&full);
+        srv.reload_abox(&full).expect("reload commits");
         let reload = start.elapsed();
 
         best_apply = best_apply.min(apply);

@@ -15,11 +15,16 @@
 //! `--check` exits non-zero unless warm ≥ 5× cold and 4-thread ≥ 2×
 //! 1-thread — the acceptance bars CI's threaded stress job enforces.
 //!
+//! Per-query latency percentiles (p50/p99, single client) for the cold
+//! and warm paths are printed and merged into `BENCH_qps.json` under the
+//! `"qps"` section (path override: `OBDA_BENCH_JSON`).
+//!
 //! Environment: `OBDA_QPS_FACTS` (default 20 000) scales the ABox;
 //! `OBDA_QPS_ROUNDS` (default 40) scales the warm replay length.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use obda_bench::{benchjson, ms, percentile};
 use obda_core::Strategy;
 use obda_lubm::{generate, star_query, workload, GenConfig, UnivOntology};
 use obda_query::CQ;
@@ -74,6 +79,21 @@ impl Bench {
         let total = (clients * rounds * self.queries.len()) as f64;
         total / start.elapsed().as_secs_f64()
     }
+
+    /// Single-client replay that records per-query wall latency.
+    fn replay_latencies(&self, srv: &Server, rounds: usize) -> Vec<Duration> {
+        let mut latencies = Vec::with_capacity(rounds * self.queries.len());
+        for r in 0..rounds {
+            for k in 0..self.queries.len() {
+                let (_, cq) = &self.queries[(k + r) % self.queries.len()];
+                let t0 = Instant::now();
+                let out = srv.query(cq).expect("pg-like: no statement limit");
+                latencies.push(t0.elapsed());
+                std::hint::black_box(out.outcome.rows.len());
+            }
+        }
+        latencies
+    }
 }
 
 fn main() {
@@ -112,15 +132,27 @@ fn main() {
     // workload is enough signal — the pipeline is orders of magnitude
     // slower than cached execution.
     let cold_srv = bench.server(false, 1);
-    let cold_qps = bench.replay_qps(&cold_srv, 1, 1);
-    println!("cold  pipeline      : {cold_qps:>10.1} q/s");
+    let cold_lat = bench.replay_latencies(&cold_srv, 1);
+    let cold_qps = cold_lat.len() as f64 / cold_lat.iter().sum::<Duration>().as_secs_f64();
+    let (cold_p50, cold_p99) = (percentile(&cold_lat, 50.0), percentile(&cold_lat, 99.0));
+    println!(
+        "cold  pipeline      : {cold_qps:>10.1} q/s   (p50 {} ms, p99 {} ms)",
+        ms(cold_p50),
+        ms(cold_p99)
+    );
 
     // Warm: primed cache, one client.
     let warm_srv = bench.server(true, 1);
     let _ = bench.replay_qps(&warm_srv, 1, 1); // prime (compiles once)
-    let warm_qps = bench.replay_qps(&warm_srv, 1, rounds);
+    let warm_lat = bench.replay_latencies(&warm_srv, rounds);
+    let warm_qps = warm_lat.len() as f64 / warm_lat.iter().sum::<Duration>().as_secs_f64();
+    let (warm_p50, warm_p99) = (percentile(&warm_lat, 50.0), percentile(&warm_lat, 99.0));
     let speedup = warm_qps / cold_qps;
-    println!("warm  plan cache    : {warm_qps:>10.1} q/s   ({speedup:.1}x cold)");
+    println!(
+        "warm  plan cache    : {warm_qps:>10.1} q/s   ({speedup:.1}x cold, p50 {} ms, p99 {} ms)",
+        ms(warm_p50),
+        ms(warm_p99)
+    );
 
     // Client scaling on the warm server.
     let qps1 = bench.replay_qps(&warm_srv, 1, rounds);
@@ -134,6 +166,25 @@ fn main() {
         "cache: {} hits / {} misses / {} entries",
         stats.hits, stats.misses, stats.entries
     );
+
+    let path = benchjson::default_path();
+    let section = benchjson::JsonObj::new()
+        .int("facts", report.facts as u64)
+        .num("cold_qps", cold_qps)
+        .num("cold_p50_ms", cold_p50.as_secs_f64() * 1e3)
+        .num("cold_p99_ms", cold_p99.as_secs_f64() * 1e3)
+        .num("warm_qps", warm_qps)
+        .num("warm_p50_ms", warm_p50.as_secs_f64() * 1e3)
+        .num("warm_p99_ms", warm_p99.as_secs_f64() * 1e3)
+        .num("warm_speedup", speedup)
+        .num("qps_1_client", qps1)
+        .num("qps_4_clients", qps4)
+        .num("scaling_4_clients", scaling);
+    if let Err(e) = benchjson::merge_section(&path, "qps", &section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {} [qps]", path.display());
+    }
 
     if check {
         let mut failed = false;

@@ -1,0 +1,262 @@
+//! The standalone wire server: load or generate a KB, bind a PostgreSQL
+//! wire-protocol listener over the serving layer, and run until told to
+//! stop.
+//!
+//! ```text
+//! server [--addr 127.0.0.1:5433] [--facts 20000 | --kb FILE]
+//!        [--layout simple|triple|dph] [--backend native|sql]
+//!        [--threads N] [--max-connections N] [--chaos] [--check]
+//! ```
+//!
+//! Data comes from either `--kb FILE` (the text KB format `KnowledgeBase
+//! ::parse` reads) or a generated LUBM∃ ABox of `--facts` facts. The
+//! process then serves until stdin reads `shutdown` (or closes), or —
+//! with `--check` — runs a self-smoke instead: it connects to its own
+//! socket with the bundled [`WireClient`], runs three queries under both
+//! backends, shuts down gracefully, and exits non-zero on any mismatch.
+//! CI's server-smoke job is exactly `server --check`.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use obda_core::Strategy;
+use obda_dllite::KnowledgeBase;
+use obda_lubm::{generate, GenConfig, UnivOntology};
+use obda_rdbms::pgwire::{PgConfig, PgListener, WireClient};
+use obda_rdbms::{Backend, LayoutKind, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    facts: usize,
+    kb: Option<String>,
+    layout: LayoutKind,
+    backend: Backend,
+    threads: usize,
+    max_connections: usize,
+    chaos: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: server [--addr HOST:PORT] [--facts N | --kb FILE] \
+         [--layout simple|triple|dph] [--backend native|sql] \
+         [--threads N] [--max-connections N] [--chaos] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:5433".into(),
+        facts: 20_000,
+        kb: None,
+        layout: LayoutKind::Simple,
+        backend: Backend::Native,
+        threads: 1,
+        max_connections: 64,
+        chaos: false,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--facts" => {
+                args.facts = value("--facts").parse().unwrap_or_else(|_| usage());
+            }
+            "--kb" => args.kb = Some(value("--kb")),
+            "--layout" => {
+                args.layout = match value("--layout").as_str() {
+                    "simple" => LayoutKind::Simple,
+                    "triple" => LayoutKind::Triple,
+                    "dph" => LayoutKind::Dph,
+                    _ => usage(),
+                }
+            }
+            "--backend" => {
+                args.backend = match value("--backend").as_str() {
+                    "native" => Backend::Native,
+                    "sql" => Backend::Sql,
+                    _ => usage(),
+                }
+            }
+            "--threads" => {
+                args.threads = value("--threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--chaos" => args.chaos = true,
+            "--check" => args.check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn build_server(args: &Args) -> Server {
+    let config = ServerConfig {
+        layout: args.layout,
+        backend: args.backend,
+        reform_strategy: Strategy::Gdl { time_budget: None },
+        threads: args.threads,
+        ..ServerConfig::default()
+    };
+    match &args.kb {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let kb = KnowledgeBase::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "kb: {path} ({} individuals, {} assertions)",
+                kb.voc().num_individuals(),
+                kb.abox().len()
+            );
+            Server::new(kb.voc().clone(), kb.tbox().clone(), kb.abox(), config)
+        }
+        None => {
+            let mut onto = UnivOntology::build();
+            let (abox, report) = generate(
+                &mut onto,
+                &GenConfig {
+                    target_facts: args.facts,
+                    ..Default::default()
+                },
+            );
+            println!("kb: generated LUBM ({} facts)", report.facts);
+            Server::new(onto.voc, onto.tbox, &abox, config)
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Arc::new(build_server(&args));
+    let pg = PgConfig {
+        max_connections: args.max_connections,
+        default_backend: args.backend,
+        // --check exercises the panic-containment path.
+        allow_chaos: args.chaos || args.check,
+    };
+    let mut listener = PgListener::bind(&args.addr, server, pg).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let addr = listener.local_addr();
+    println!(
+        "listening on {addr} (backend={}, max_connections={})",
+        args.backend.name(),
+        args.max_connections
+    );
+
+    if args.check {
+        let failed = self_smoke(&addr);
+        println!("shutting down");
+        listener.shutdown();
+        if failed {
+            std::process::exit(1);
+        }
+        println!("CHECK PASSED: both backends answered over the socket");
+        return;
+    }
+
+    println!("type 'shutdown' (or close stdin) to stop");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => println!("commands: shutdown"),
+            Err(_) => break,
+        }
+    }
+    println!("draining sessions…");
+    listener.shutdown();
+    println!("bye");
+}
+
+/// Connect to our own socket and run the smoke sequence under both
+/// backends; returns whether anything failed.
+fn self_smoke(addr: &std::net::SocketAddr) -> bool {
+    let mut failed = false;
+    let mut native_rows = None;
+    for backend in ["native", "sql"] {
+        match smoke_one(addr, backend) {
+            Ok(rows) => {
+                println!("smoke [{backend}]: GraduateStudent query answered {rows} rows");
+                match native_rows {
+                    None => native_rows = Some(rows),
+                    Some(expected) if expected != rows => {
+                        eprintln!("FAIL: backends disagree ({expected} native vs {rows} sql rows)");
+                        failed = true;
+                    }
+                    Some(_) => {}
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL [{backend}]: {e}");
+                failed = true;
+            }
+        }
+    }
+    failed
+}
+
+fn smoke_one(addr: &std::net::SocketAddr, backend: &str) -> Result<usize, String> {
+    let mut client =
+        WireClient::connect(addr, &[("backend", backend)]).map_err(|e| e.to_string())?;
+
+    // 1. A SHOW round-trip proves startup + simple protocol.
+    let show = client
+        .simple_query("SHOW backend")
+        .map_err(|e| e.to_string())?;
+    let got = show
+        .first()
+        .and_then(|r| r.rows.first())
+        .and_then(|r| r.first())
+        .cloned()
+        .unwrap_or_default();
+    if got != backend {
+        return Err(format!("SHOW backend answered {got:?}, wanted {backend:?}"));
+    }
+
+    // 2. A real query with ontology reasoning: GraduateStudent holds via
+    //    the TBox for every GraduateCourse-taker.
+    let rows = client
+        .simple_query("SELECT ?x WHERE GraduateStudent(?x)")
+        .map_err(|e| e.to_string())?;
+    let n = rows.first().map(|r| r.rows.len()).unwrap_or(0);
+    if n == 0 {
+        return Err("GraduateStudent query returned no rows".into());
+    }
+
+    // 3. The extended protocol answers the same query identically.
+    let ext = client
+        .extended_query("SELECT ?x WHERE GraduateStudent(?x)")
+        .map_err(|e| e.to_string())?;
+    if ext.rows.len() != n {
+        return Err(format!(
+            "extended protocol answered {} rows, simple answered {n}",
+            ext.rows.len()
+        ));
+    }
+    client.terminate();
+    Ok(n)
+}

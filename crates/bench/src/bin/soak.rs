@@ -1,0 +1,203 @@
+//! The socket soak harness: sustained QPS through the wire front end.
+//!
+//! Where `qps` measures the serving layer in-process (no sockets), this
+//! binary drives the full stack — TCP, protocol framing, per-statement
+//! snapshot pinning — with N concurrent [`WireClient`] sessions
+//! replaying a mixed statement stream for a fixed duration, while a
+//! writer thread applies periodic reloads so sessions cross generation
+//! boundaries mid-soak. Reported: sustained QPS plus p50/p99 per-query
+//! latency, merged into `BENCH_qps.json` under the `"soak"` section.
+//!
+//! `--check` enforces only *correctness* bars (every query answered, no
+//! protocol errors, reloads visible); throughput bars would be
+//! meaningless on the single-CPU CI container — the thread-scaling rule
+//! from ROADMAP applies, so the only perf output is informational.
+//!
+//! Environment: `OBDA_SOAK_FACTS` (default 8000), `OBDA_SOAK_SECONDS`
+//! (default 5), `OBDA_SOAK_SESSIONS` (default 4).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obda_bench::{benchjson, ms, percentile};
+use obda_core::Strategy;
+use obda_lubm::{generate, GenConfig, UnivOntology};
+use obda_rdbms::pgwire::{PgConfig, PgListener, WireClient};
+use obda_rdbms::{Backend, Server, ServerConfig};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The statement mix one session replays, cycling. Cheap shapes only —
+/// the soak measures the serving path, not GDL compile time.
+const STATEMENTS: &[&str] = &[
+    "SELECT ?x WHERE GraduateStudent(?x)",
+    "SELECT ?x, ?y WHERE Professor(?x), advisor(?y, ?x)",
+    "ASK WHERE Student(?x)",
+    "SHOW generation",
+    "SELECT ?x WHERE Student(?x), takesCourse(?x, ?y)",
+];
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let facts = env_usize("OBDA_SOAK_FACTS", 8_000);
+    let seconds = env_usize("OBDA_SOAK_SECONDS", 5);
+    let sessions = env_usize("OBDA_SOAK_SESSIONS", 4);
+
+    let mut onto = UnivOntology::build();
+    let (abox, report) = generate(
+        &mut onto,
+        &GenConfig {
+            target_facts: facts,
+            ..Default::default()
+        },
+    );
+    let server = Arc::new(Server::new(
+        onto.voc.clone(),
+        onto.tbox.clone(),
+        &abox,
+        ServerConfig {
+            reform_strategy: Strategy::Gdl { time_budget: None },
+            ..ServerConfig::default()
+        },
+    ));
+    let mut listener = PgListener::bind(
+        "127.0.0.1:0",
+        server.clone(),
+        PgConfig {
+            max_connections: sessions + 2,
+            default_backend: Backend::Native,
+            allow_chaos: false,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = listener.local_addr();
+    println!(
+        "soak: {} facts, {sessions} sessions x {seconds}s against {addr}",
+        report.facts
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicU64::new(0));
+    let answered = Arc::new(AtomicU64::new(0));
+
+    // Writer: republish the same ABox every 500ms so sessions keep
+    // crossing generation boundaries (snapshot pinning under churn).
+    let writer_stop = stop.clone();
+    let writer_server = server.clone();
+    let writer_abox = abox;
+    let writer = std::thread::spawn(move || {
+        let mut reloads = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(500));
+            if writer_server.reload_abox(&writer_abox).is_ok() {
+                reloads += 1;
+            }
+        }
+        reloads
+    });
+
+    let mut handles = Vec::new();
+    for s in 0..sessions {
+        let stop = stop.clone();
+        let errors = errors.clone();
+        let answered = answered.clone();
+        // Alternate backends across sessions: both execution paths soak.
+        let backend = if s % 2 == 0 { "native" } else { "sql" };
+        handles.push(std::thread::spawn(move || -> Vec<Duration> {
+            let mut latencies = Vec::new();
+            let mut client = match WireClient::connect(&addr, &[("backend", backend)]) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("session {s}: connect failed: {e}");
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return latencies;
+                }
+            };
+            let mut k = s; // stagger the starting statement
+            while !stop.load(Ordering::Relaxed) {
+                let stmt = STATEMENTS[k % STATEMENTS.len()];
+                k += 1;
+                let t0 = Instant::now();
+                match client.simple_query(stmt) {
+                    Ok(results) => {
+                        latencies.push(t0.elapsed());
+                        answered.fetch_add(results.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("session {s}: {stmt:?} failed: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return latencies;
+                    }
+                }
+            }
+            client.terminate();
+            latencies
+        }));
+    }
+
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::SeqCst);
+    let mut latencies: Vec<Duration> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("session thread joins"));
+    }
+    let elapsed = started.elapsed();
+    let reloads = writer.join().expect("writer thread joins");
+    listener.shutdown();
+
+    let total = latencies.len() as f64;
+    let qps = total / elapsed.as_secs_f64();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let errs = errors.load(Ordering::Relaxed);
+    println!(
+        "soak: {total} queries in {:.1}s = {qps:.1} q/s (p50 {} ms, p99 {} ms), \
+         {reloads} reloads, {errs} errors",
+        elapsed.as_secs_f64(),
+        ms(p50),
+        ms(p99),
+    );
+
+    let path = benchjson::default_path();
+    let section = benchjson::JsonObj::new()
+        .int("sessions", sessions as u64)
+        .int("seconds", seconds as u64)
+        .int("queries", latencies.len() as u64)
+        .num("qps", qps)
+        .num("p50_ms", p50.as_secs_f64() * 1e3)
+        .num("p99_ms", p99.as_secs_f64() * 1e3)
+        .int("reloads", reloads)
+        .int("errors", errs);
+    if let Err(e) = benchjson::merge_section(&path, "soak", &section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {} [soak]", path.display());
+    }
+
+    if check {
+        let mut failed = false;
+        if errs > 0 {
+            eprintln!("FAIL: {errs} session errors during soak");
+            failed = true;
+        }
+        if latencies.is_empty() {
+            eprintln!("FAIL: no queries completed");
+            failed = true;
+        }
+        if reloads == 0 {
+            eprintln!("FAIL: writer applied no reloads — generation churn untested");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("CHECK PASSED: sustained load with reload churn, zero errors");
+    }
+}

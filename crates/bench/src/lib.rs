@@ -220,6 +220,117 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// The `p`-th percentile (0..=100) of an unsorted latency sample, by the
+/// nearest-rank method. Empty samples yield zero.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Hand-rolled machine-readable benchmark output (the workspace has no
+/// JSON dependency, deliberately). `BENCH_qps.json` is a single
+/// top-level object whose sections (`"qps"`, `"soak"`, …) are each
+/// written by one tool; [`benchjson::merge_section`] lets the tools run
+/// in any order without clobbering each other's sections.
+pub mod benchjson {
+    use std::path::Path;
+
+    /// A flat JSON object under construction; values are pre-rendered.
+    #[derive(Default, Clone)]
+    pub struct JsonObj {
+        fields: Vec<(String, String)>,
+    }
+
+    impl JsonObj {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn num(mut self, key: &str, value: f64) -> Self {
+            // JSON has no NaN/Inf; clamp to null rather than emit junk.
+            let rendered = if value.is_finite() {
+                format!("{value:.3}")
+            } else {
+                "null".to_string()
+            };
+            self.fields.push((key.to_string(), rendered));
+            self
+        }
+
+        pub fn int(mut self, key: &str, value: u64) -> Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        pub fn str(mut self, key: &str, value: &str) -> Self {
+            let escaped: String = value
+                .chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect();
+            self.fields
+                .push((key.to_string(), format!("\"{escaped}\"")));
+            self
+        }
+
+        /// Render as a single-line object — the merge format relies on
+        /// one section per line.
+        pub fn render(&self) -> String {
+            let body: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
+
+    /// Write or update `key` in the JSON file at `path`, preserving
+    /// other sections previously written *by this module* (each section
+    /// lives on its own line). A file not in this shape is replaced —
+    /// only our own tools write it.
+    pub fn merge_section(path: &Path, key: &str, obj: &JsonObj) -> std::io::Result<()> {
+        let mut sections: Vec<(String, String)> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            for line in existing.lines() {
+                let t = line.trim().trim_end_matches(',');
+                if let Some(rest) = t.strip_prefix('"') {
+                    if let Some((name, value)) = rest.split_once("\": ") {
+                        sections.push((name.to_string(), value.to_string()));
+                    }
+                }
+            }
+        }
+        match sections.iter_mut().find(|(name, _)| name == key) {
+            Some(slot) => slot.1 = obj.render(),
+            None => sections.push((key.to_string(), obj.render())),
+        }
+        let body: Vec<String> = sections
+            .iter()
+            .map(|(name, value)| format!("  \"{name}\": {value}"))
+            .collect();
+        std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
+    }
+
+    /// The output path: `OBDA_BENCH_JSON` or `BENCH_qps.json` in the
+    /// working directory.
+    pub fn default_path() -> std::path::PathBuf {
+        std::env::var_os("OBDA_BENCH_JSON")
+            .map(Into::into)
+            .unwrap_or_else(|| "BENCH_qps.json".into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +366,40 @@ mod tests {
         assert!(cell.error.is_none(), "{:?}", cell.error);
         assert!(cell.wall.is_some());
         assert!(cell.sql_bytes > 0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sample, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&sample, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&sample, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 99.0),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn benchjson_sections_merge_without_clobbering() {
+        let dir = std::env::temp_dir().join(format!("benchjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_qps.json");
+        let qps = benchjson::JsonObj::new()
+            .num("warm_qps", 1234.5)
+            .str("note", "a \"quoted\" note");
+        benchjson::merge_section(&path, "qps", &qps).unwrap();
+        let soak = benchjson::JsonObj::new().int("sessions", 4);
+        benchjson::merge_section(&path, "soak", &soak).unwrap();
+        // Overwrite qps; soak must survive.
+        let qps2 = benchjson::JsonObj::new().num("warm_qps", 999.0);
+        benchjson::merge_section(&path, "qps", &qps2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"qps\": {\"warm_qps\": 999.000}"), "{text}");
+        assert!(text.contains("\"soak\": {\"sessions\": 4}"), "{text}");
+        assert!(!text.contains("1234.5"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

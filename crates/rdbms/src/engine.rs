@@ -94,6 +94,10 @@ pub struct EvalOptions<'a> {
     /// compilation hands it to the SQL backend so the hot path skips
     /// regenerating the statement. Takes precedence over `sql_bytes`.
     pub sql_text: Option<&'a str>,
+    /// Execution-backend override (`None` = the engine's configured
+    /// one). The serving layer's wire sessions select their backend per
+    /// connection, against one shared engine snapshot.
+    pub backend: Option<Backend>,
 }
 
 /// An RDBMS instance: one loaded ABox under one layout and profile.
@@ -282,7 +286,7 @@ impl Engine {
         q: &FolQuery,
         opts: &EvalOptions<'_>,
     ) -> Result<QueryOutcome, EngineError> {
-        if self.backend == Backend::Sql {
+        if opts.backend.unwrap_or(self.backend) == Backend::Sql {
             // The delegation path: ship the SQL translation to the
             // embedded relational evaluator. Strategy, stored plans and
             // thread fan-out are native-executor concepts and do not

@@ -98,6 +98,7 @@ pub mod fxhash;
 pub mod layout;
 pub mod meter;
 pub mod metrics;
+pub mod pgwire;
 pub mod planner;
 pub mod profile;
 pub mod server;
@@ -117,9 +118,12 @@ pub use executor::{
 pub use layout::{LayoutKind, Storage};
 pub use meter::Meter;
 pub use metrics::ExecMetrics;
+pub use pgwire::{PgConfig, PgListener, WireClient};
 pub use planner::{ConjunctionPlan, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
-pub use server::{CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerOutcome};
+pub use server::{
+    CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerError, ServerOutcome,
+};
 pub use sql::{SqlGenerator, SqlNames};
 pub use sqlexec::{Backend, SqlError};
 pub use stats::{CatalogStats, KeySide};

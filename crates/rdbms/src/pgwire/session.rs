@@ -1,0 +1,647 @@
+//! One wire session: startup negotiation, then the command loop.
+//!
+//! A session is one OS thread driving one [`TcpStream`] against one
+//! shared [`Server`]. The isolation contract:
+//!
+//! * every *statement* pins its own [`EngineSnapshot`] — a reload that
+//!   publishes mid-session affects only statements parsed after it;
+//! * every statement executes under `catch_unwind`, so a panic (from a
+//!   bug or from the chaos `PANIC` statement) is converted into an
+//!   `ErrorResponse` with SQLSTATE `XX000` and *this* connection closes —
+//!   nothing is shared mutably with other sessions, so they keep
+//!   answering (the server's locks recover from poisoning; see
+//!   [`Server`]'s poison-recovery notes);
+//! * a malformed frame gets a final `ErrorResponse` (`08P01`) and the
+//!   connection closes — the stream's framing can no longer be trusted;
+//! * when shutdown is requested, an idle session is told `57P01` and
+//!   closed; a statement already executing finishes on its pinned
+//!   snapshot first.
+
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use obda_dllite::IndividualId;
+
+use super::framing::{
+    read_message, read_startup, FrameError, OutBuf, CANCEL_REQUEST, GSSENC_REQUEST,
+    PROTOCOL_VERSION, SSL_REQUEST,
+};
+use super::messages as msg;
+use super::query::{parse_statement, split_statements, ParseWireError, ShowTopic, WireStatement};
+use crate::engine::EngineError;
+use crate::server::{EngineSnapshot, Server};
+use crate::sqlexec::Backend;
+
+use std::collections::HashMap;
+
+/// The version string reported to clients; the "obda" suffix makes it
+/// obvious in `psql` that this is not a real PostgreSQL.
+pub const SERVER_VERSION: &str = "16.0 (obda)";
+
+/// Per-session configuration handed over by the listener.
+pub struct SessionConfig {
+    /// Backend used when the client does not pass `backend=` at startup.
+    pub default_backend: Backend,
+    /// Whether the chaos `PANIC` statement is honored.
+    pub allow_chaos: bool,
+    /// Process-unique id reported in `BackendKeyData`.
+    pub session_id: i32,
+}
+
+/// A prepared statement retained across Parse/Bind/Execute. The wire
+/// text is re-parsed against each Execute's pinned snapshot, so a
+/// prepared statement transparently follows reloads — and plan caching
+/// happens where it always does, in the server's canonical plan cache
+/// (generation- and backend-keyed), which the re-parsed CQ hits.
+struct Prepared {
+    text: String,
+}
+
+/// A portal is just a bound reference to a prepared statement (our
+/// statements take no parameters, so binding adds nothing).
+struct Portal {
+    statement: String,
+}
+
+/// Why the command loop ended. Used by the listener for logging only.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Client sent Terminate or closed the stream cleanly.
+    Finished,
+    /// The server is shutting down.
+    Shutdown,
+    /// The peer broke the protocol; an error was sent where possible.
+    ProtocolError,
+    /// A statement panicked; the error was reported and the stream closed.
+    Panicked,
+    /// I/O failure or mid-message disconnect.
+    Io,
+}
+
+/// Serve one accepted connection to completion. `stop` is the listener's
+/// shutdown flag. Never panics outward: statement panics are contained
+/// per-statement, and everything else is typed.
+pub fn run_session(
+    server: &Server,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    cfg: &SessionConfig,
+) -> SessionEnd {
+    let _ = stream.set_read_timeout(Some(super::framing::POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut out = OutBuf::new();
+
+    let backend = match negotiate_startup(&mut stream, stop, cfg, &mut out) {
+        Ok(Some(b)) => b,
+        Ok(None) => return SessionEnd::Finished,
+        Err(end) => return end,
+    };
+
+    let mut session = Session {
+        server,
+        backend,
+        allow_chaos: cfg.allow_chaos,
+        prepared: HashMap::new(),
+        portals: HashMap::new(),
+    };
+    session.command_loop(&mut stream, stop, &mut out)
+}
+
+/// Startup negotiation: answer SSL/GSSENC probes with `'N'`, then accept
+/// a version-3 StartupMessage, resolve the `backend=` parameter, and send
+/// the auth-ok burst. `Ok(None)` = the peer left before starting.
+fn negotiate_startup(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    cfg: &SessionConfig,
+    out: &mut OutBuf,
+) -> Result<Option<Backend>, SessionEnd> {
+    // A client may probe SSL and GSSENC before the real startup packet.
+    for _ in 0..3 {
+        let (code, body) = match read_startup(stream, stop) {
+            Ok(Some(x)) => x,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(report_frame_error(stream, out, e)),
+        };
+        match code {
+            SSL_REQUEST | GSSENC_REQUEST => {
+                out.raw_byte(b'N');
+                if out.flush_to(stream).is_err() {
+                    return Err(SessionEnd::Io);
+                }
+            }
+            CANCEL_REQUEST => {
+                // Query cancellation is not supported; the protocol says
+                // to just close the cancel connection.
+                return Ok(None);
+            }
+            PROTOCOL_VERSION => {
+                let params = match msg::decode_startup_params(&body) {
+                    Ok(p) => p,
+                    Err(e) => return Err(report_frame_error(stream, out, e)),
+                };
+                let mut backend = cfg.default_backend;
+                for (key, value) in &params {
+                    if key == "backend" {
+                        backend = match value.as_str() {
+                            "native" => Backend::Native,
+                            "sql" => Backend::Sql,
+                            other => {
+                                send_error_and_close(
+                                    stream,
+                                    out,
+                                    msg::SQLSTATE_INVALID_PARAMETER,
+                                    &format!(
+                                        "startup parameter backend={other} \
+                                         (expected 'native' or 'sql')"
+                                    ),
+                                );
+                                return Err(SessionEnd::ProtocolError);
+                            }
+                        };
+                    }
+                }
+                msg::authentication_ok(out);
+                msg::parameter_status(out, "server_version", SERVER_VERSION);
+                msg::parameter_status(out, "server_encoding", "UTF8");
+                msg::parameter_status(out, "client_encoding", "UTF8");
+                msg::parameter_status(out, "backend", backend.name());
+                msg::backend_key_data(out, cfg.session_id, 0);
+                msg::ready_for_query(out);
+                if out.flush_to(stream).is_err() {
+                    return Err(SessionEnd::Io);
+                }
+                return Ok(Some(backend));
+            }
+            other => {
+                send_error_and_close(
+                    stream,
+                    out,
+                    msg::SQLSTATE_NOT_SUPPORTED,
+                    &format!("unsupported protocol version/request code {other}"),
+                );
+                return Err(SessionEnd::ProtocolError);
+            }
+        }
+    }
+    send_error_and_close(
+        stream,
+        out,
+        msg::SQLSTATE_PROTOCOL_VIOLATION,
+        "too many pre-startup negotiation requests",
+    );
+    Err(SessionEnd::ProtocolError)
+}
+
+fn report_frame_error(stream: &mut TcpStream, out: &mut OutBuf, e: FrameError) -> SessionEnd {
+    match e {
+        FrameError::Malformed(detail) => {
+            send_error_and_close(stream, out, msg::SQLSTATE_PROTOCOL_VIOLATION, &detail);
+            SessionEnd::ProtocolError
+        }
+        FrameError::Shutdown => {
+            send_error_and_close(
+                stream,
+                out,
+                msg::SQLSTATE_ADMIN_SHUTDOWN,
+                "server is shutting down",
+            );
+            SessionEnd::Shutdown
+        }
+        FrameError::Disconnected | FrameError::Io(_) => SessionEnd::Io,
+    }
+}
+
+fn send_error_and_close(stream: &mut TcpStream, out: &mut OutBuf, sqlstate: &str, message: &str) {
+    msg::error_response(out, sqlstate, message);
+    let _ = out.flush_to(stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// A statement's outcome, ready to encode: column names plus text rows.
+struct Rendered {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    tag: String,
+}
+
+/// What executing one statement can produce.
+enum ExecError {
+    /// Client-facing error; the session continues (simple protocol) or
+    /// enters the skip-until-Sync state (extended protocol).
+    Wire {
+        sqlstate: &'static str,
+        message: String,
+    },
+    /// The statement panicked; report and close the connection.
+    Panicked(String),
+}
+
+impl From<ParseWireError> for ExecError {
+    fn from(e: ParseWireError) -> Self {
+        ExecError::Wire {
+            sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+            message: e.0,
+        }
+    }
+}
+
+impl From<EngineError> for ExecError {
+    fn from(e: EngineError) -> Self {
+        let sqlstate = match e {
+            EngineError::StatementTooLong { .. } => msg::SQLSTATE_STATEMENT_TOO_COMPLEX,
+            EngineError::Sql(_) => msg::SQLSTATE_INTERNAL_ERROR,
+        };
+        ExecError::Wire {
+            sqlstate,
+            message: e.to_string(),
+        }
+    }
+}
+
+struct Session<'a> {
+    server: &'a Server,
+    backend: Backend,
+    allow_chaos: bool,
+    prepared: HashMap<String, Prepared>,
+    portals: HashMap<String, Portal>,
+}
+
+impl Session<'_> {
+    fn command_loop(
+        &mut self,
+        stream: &mut TcpStream,
+        stop: &AtomicBool,
+        out: &mut OutBuf,
+    ) -> SessionEnd {
+        // Extended-protocol error discipline: after an error, ignore
+        // everything until Sync.
+        let mut skip_until_sync = false;
+        loop {
+            let (tag, body) = match read_message(stream, stop) {
+                Ok(Some(x)) => x,
+                Ok(None) => return SessionEnd::Finished,
+                Err(e) => return report_frame_error(stream, out, e),
+            };
+            if skip_until_sync && tag != b'S' && tag != b'X' {
+                continue;
+            }
+            if tag == b'Q' {
+                // Simple protocol: completed-statement responses stay
+                // queued, an error (if any) is appended after them, and
+                // ReadyForQuery always closes the cycle.
+                match self.on_simple_query(&body, out) {
+                    Ok(()) => {}
+                    Err(ExecError::Wire { sqlstate, message }) => {
+                        msg::error_response(out, sqlstate, &message);
+                    }
+                    Err(ExecError::Panicked(detail)) => {
+                        send_error_and_close(
+                            stream,
+                            out,
+                            msg::SQLSTATE_INTERNAL_ERROR,
+                            &format!("statement panicked: {detail}"),
+                        );
+                        return SessionEnd::Panicked;
+                    }
+                }
+                msg::ready_for_query(out);
+                if out.flush_to(stream).is_err() {
+                    return SessionEnd::Io;
+                }
+                continue;
+            }
+            let result = match tag {
+                b'P' => self.on_parse(&body, out),
+                b'B' => self.on_bind(&body, out),
+                b'D' => self.on_describe(&body, out),
+                b'E' => self.on_execute(&body, out),
+                b'C' => self.on_close(&body, out),
+                b'S' => {
+                    skip_until_sync = false;
+                    msg::ready_for_query(out);
+                    Ok(())
+                }
+                b'H' => Ok(()), // Flush: we flush after every message anyway.
+                b'X' => return SessionEnd::Finished,
+                other => {
+                    send_error_and_close(
+                        stream,
+                        out,
+                        msg::SQLSTATE_PROTOCOL_VIOLATION,
+                        &format!("unexpected frontend message '{}'", other.escape_ascii()),
+                    );
+                    return SessionEnd::ProtocolError;
+                }
+            };
+            match result {
+                Ok(()) => {
+                    if out.flush_to(stream).is_err() {
+                        return SessionEnd::Io;
+                    }
+                }
+                Err(ExecError::Wire { sqlstate, message }) => {
+                    msg::error_response(out, sqlstate, &message);
+                    skip_until_sync = true;
+                    if out.flush_to(stream).is_err() {
+                        return SessionEnd::Io;
+                    }
+                }
+                Err(ExecError::Panicked(detail)) => {
+                    send_error_and_close(
+                        stream,
+                        out,
+                        msg::SQLSTATE_INTERNAL_ERROR,
+                        &format!("statement panicked: {detail}"),
+                    );
+                    return SessionEnd::Panicked;
+                }
+            }
+        }
+    }
+
+    /// Simple protocol: split on `;`, run statements in order, stop at
+    /// the first error (remaining statements in the buffer are skipped,
+    /// as in PostgreSQL). Responses for completed statements stay queued;
+    /// the error (if any) is appended by the caller before ReadyForQuery.
+    fn on_simple_query(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let text = match msg::decode_query(body) {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(ExecError::Wire {
+                    sqlstate: msg::SQLSTATE_PROTOCOL_VIOLATION,
+                    message: e.to_string(),
+                })
+            }
+        };
+        let statements = split_statements(&text);
+        if statements.is_empty() {
+            msg::empty_query_response(out);
+            return Ok(());
+        }
+        for stmt_text in statements {
+            let rendered = self.execute_text(stmt_text)?;
+            // Row-less statements (SET) get just a CommandComplete,
+            // matching PostgreSQL.
+            if rendered.columns.is_empty() {
+                msg::command_complete(out, &rendered.tag);
+                continue;
+            }
+            msg::row_description(out, &rendered.columns);
+            for row in &rendered.rows {
+                let vals: Vec<Option<&str>> = row.iter().map(|s| Some(s.as_str())).collect();
+                msg::data_row(out, &vals);
+            }
+            msg::command_complete(out, &rendered.tag);
+        }
+        Ok(())
+    }
+
+    fn on_parse(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let parse = msg::decode_parse(body).map_err(frame_to_exec)?;
+        // Validate eagerly against the current snapshot so Parse errors
+        // surface at Parse time, like PostgreSQL's.
+        let snap = self.server.snapshot();
+        let statements = split_statements(&parse.query);
+        if statements.len() != 1 {
+            return Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                message: "Parse takes exactly one statement".into(),
+            });
+        }
+        parse_statement(statements[0], snap.vocabulary())?;
+        self.prepared.insert(
+            parse.statement,
+            Prepared {
+                text: statements[0].to_string(),
+            },
+        );
+        msg::parse_complete(out);
+        Ok(())
+    }
+
+    fn on_bind(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let bind = msg::decode_bind(body).map_err(frame_to_exec)?;
+        if !self.prepared.contains_key(&bind.statement) {
+            return Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                message: format!("prepared statement \"{}\" does not exist", bind.statement),
+            });
+        }
+        if bind.nparams != 0 {
+            return Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_NOT_SUPPORTED,
+                message: "wire statements take no parameters".into(),
+            });
+        }
+        self.portals.insert(
+            bind.portal,
+            Portal {
+                statement: bind.statement,
+            },
+        );
+        msg::bind_complete(out);
+        Ok(())
+    }
+
+    fn on_describe(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let target = msg::decode_target(body, "Describe").map_err(frame_to_exec)?;
+        let text = self.resolve_target(&target)?;
+        let snap = self.server.snapshot();
+        let stmt = parse_statement(&text, snap.vocabulary())?;
+        if target.kind == b'S' {
+            msg::parameter_description(out);
+        }
+        match describe_columns(&stmt) {
+            Some(columns) => msg::row_description(out, &columns),
+            None => msg::no_data(out),
+        }
+        Ok(())
+    }
+
+    fn on_execute(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let exec = msg::decode_execute(body).map_err(frame_to_exec)?;
+        let portal = self
+            .portals
+            .get(&exec.portal)
+            .ok_or_else(|| ExecError::Wire {
+                sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                message: format!("portal \"{}\" does not exist", exec.portal),
+            })?;
+        let text = self
+            .prepared
+            .get(&portal.statement)
+            .map(|p| p.text.clone())
+            .ok_or_else(|| ExecError::Wire {
+                sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                message: format!("prepared statement \"{}\" does not exist", portal.statement),
+            })?;
+        let rendered = self.execute_text(&text)?;
+        // Execute does not send RowDescription (Describe does).
+        for row in &rendered.rows {
+            let vals: Vec<Option<&str>> = row.iter().map(|s| Some(s.as_str())).collect();
+            msg::data_row(out, &vals);
+        }
+        msg::command_complete(out, &rendered.tag);
+        Ok(())
+    }
+
+    fn on_close(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
+        let target = msg::decode_target(body, "Close").map_err(frame_to_exec)?;
+        // Closing a nonexistent target is not an error (per protocol).
+        if target.kind == b'S' {
+            self.prepared.remove(&target.name);
+            self.portals.retain(|_, p| p.statement != target.name);
+        } else {
+            self.portals.remove(&target.name);
+        }
+        msg::close_complete(out);
+        Ok(())
+    }
+
+    fn resolve_target(&self, target: &msg::TargetMsg) -> Result<String, ExecError> {
+        let stmt_name = if target.kind == b'P' {
+            &self
+                .portals
+                .get(&target.name)
+                .ok_or_else(|| ExecError::Wire {
+                    sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                    message: format!("portal \"{}\" does not exist", target.name),
+                })?
+                .statement
+        } else {
+            &target.name
+        };
+        self.prepared
+            .get(stmt_name)
+            .map(|p| p.text.clone())
+            .ok_or_else(|| ExecError::Wire {
+                sqlstate: msg::SQLSTATE_SYNTAX_ERROR,
+                message: format!("prepared statement \"{stmt_name}\" does not exist"),
+            })
+    }
+
+    /// Parse and execute one statement text: pin a snapshot, resolve
+    /// names against its vocabulary, run under `catch_unwind`.
+    fn execute_text(&mut self, text: &str) -> Result<Rendered, ExecError> {
+        let snap = self.server.snapshot();
+        let stmt = parse_statement(text, snap.vocabulary())?;
+        match stmt {
+            WireStatement::Set => Ok(Rendered {
+                columns: Vec::new(),
+                rows: Vec::new(),
+                tag: "SET".into(),
+            }),
+            WireStatement::Show(topic) => Ok(self.run_show(topic, &snap)),
+            WireStatement::Panic => {
+                if !self.allow_chaos {
+                    return Err(ExecError::Wire {
+                        sqlstate: msg::SQLSTATE_NOT_SUPPORTED,
+                        message: "PANIC is disabled (start the listener with chaos enabled)".into(),
+                    });
+                }
+                let r = catch_unwind(|| panic!("chaos PANIC statement"));
+                debug_assert!(r.is_err());
+                Err(ExecError::Panicked("chaos PANIC statement".into()))
+            }
+            WireStatement::Select { head_names, cq } => {
+                let server = self.server;
+                let backend = self.backend;
+                let snap_ref = &snap;
+                let result = catch_unwind(AssertUnwindSafe(move || {
+                    server.query_on_as(snap_ref, &cq, backend)
+                }));
+                let outcome = match result {
+                    Ok(r) => r.map_err(ExecError::from)?,
+                    Err(payload) => return Err(ExecError::Panicked(panic_detail(payload))),
+                };
+                Ok(render_select(&head_names, &outcome.outcome.rows, &snap))
+            }
+        }
+    }
+
+    fn run_show(&self, topic: ShowTopic, snap: &EngineSnapshot) -> Rendered {
+        let (name, value) = match topic {
+            ShowTopic::Generation => ("generation", snap.generation().to_string()),
+            ShowTopic::Backend => ("backend", self.backend.name().to_string()),
+            ShowTopic::ServerVersion => ("server_version", SERVER_VERSION.to_string()),
+            ShowTopic::Cache => {
+                let s = self.server.cache_stats();
+                (
+                    "cache",
+                    format!(
+                        "hits={} misses={} entries={} invalidated={}",
+                        s.hits, s.misses, s.entries, s.invalidated
+                    ),
+                )
+            }
+        };
+        Rendered {
+            columns: vec![name.to_string()],
+            rows: vec![vec![value]],
+            tag: "SELECT 1".into(),
+        }
+    }
+}
+
+fn frame_to_exec(e: FrameError) -> ExecError {
+    ExecError::Wire {
+        sqlstate: msg::SQLSTATE_PROTOCOL_VIOLATION,
+        message: e.to_string(),
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Column names a statement will produce, or `None` for row-less ones.
+fn describe_columns(stmt: &WireStatement) -> Option<Vec<String>> {
+    match stmt {
+        WireStatement::Select { head_names, .. } => Some(head_names.clone()),
+        WireStatement::Show(topic) => Some(vec![match topic {
+            ShowTopic::Generation => "generation",
+            ShowTopic::Cache => "cache",
+            ShowTopic::Backend => "backend",
+            ShowTopic::ServerVersion => "server_version",
+        }
+        .to_string()]),
+        WireStatement::Set | WireStatement::Panic => None,
+    }
+}
+
+/// Render result rows to wire text. A boolean query (empty head) renders
+/// as a single `t`/`f` row under the `answer` column.
+fn render_select(head_names: &[String], rows: &[Vec<u32>], snap: &Arc<EngineSnapshot>) -> Rendered {
+    let voc = snap.vocabulary();
+    if head_names.len() == 1 && head_names[0] == "answer" {
+        let yes = !rows.is_empty();
+        return Rendered {
+            columns: vec!["answer".into()],
+            rows: vec![vec![if yes { "t" } else { "f" }.into()]],
+            tag: "SELECT 1".into(),
+        };
+    }
+    let mut text_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        text_rows.push(
+            row.iter()
+                .map(|&v| voc.individual_name(IndividualId(v)).to_string())
+                .collect(),
+        );
+    }
+    let n = text_rows.len();
+    Rendered {
+        columns: head_names.to_vec(),
+        rows: text_rows,
+        tag: format!("SELECT {n}"),
+    }
+}

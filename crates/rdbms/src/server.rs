@@ -53,9 +53,10 @@
 //!   storage and statistics rebuilt from scratch; on a durable server
 //!   this is also a compaction point (fresh snapshot, WAL reset).
 
+use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use obda_core::{choose_reformulation, Strategy};
 use obda_dllite::{ABox, AboxDelta, Dependencies, TBox, Vocabulary};
@@ -70,6 +71,58 @@ use crate::planner::JoinStrategy;
 use crate::profile::EngineProfile;
 use crate::sqlexec::Backend;
 use crate::store::{DurableStore, StoreError};
+
+/// Errors surfaced by the serving layer's session-facing API.
+///
+/// The taxonomy exists so one misbehaving session can never take the
+/// server down: a panic in a worker thread used to poison the shared
+/// locks and turn every later call into a cascading panic. Reader paths
+/// (snapshot access, the plan cache) now *recover* a poisoned guard —
+/// their protected state is a single `Arc` swap or a generation-keyed
+/// map, both consistent at every intermediate step — while writer paths
+/// refuse to touch possibly half-mutated master state and surface
+/// [`ServerError::Poisoned`] instead.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A prior mutator panicked while holding the writer lock; the
+    /// master vocabulary/ABox may be half-mutated, so further writes are
+    /// refused. Reads are unaffected (they see only published
+    /// snapshots). Rebuild the server (e.g. [`Server::open`]) to resume
+    /// writing.
+    Poisoned,
+    /// The durable store rejected or failed the operation.
+    Store(StoreError),
+    /// Query compilation or execution failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Poisoned => write!(
+                f,
+                "server writer state is poisoned by a panicked mutation; \
+                 reads still serve the last published snapshot"
+            ),
+            ServerError::Store(e) => write!(f, "{e}"),
+            ServerError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<StoreError> for ServerError {
+    fn from(e: StoreError) -> Self {
+        ServerError::Store(e)
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
 
 /// Serving-layer configuration (fixed at construction).
 #[derive(Debug, Clone)]
@@ -120,6 +173,11 @@ pub struct EngineSnapshot {
     engine: Engine,
     tbox: TBox,
     deps: Dependencies,
+    /// The vocabulary frozen at publish time. Interning only appends, so
+    /// every id reachable from this generation's data resolves here —
+    /// the wire front end uses it to parse predicate/individual names in
+    /// queries and to render result rows as names.
+    voc: Arc<Vocabulary>,
     generation: u64,
 }
 
@@ -130,6 +188,11 @@ impl EngineSnapshot {
 
     pub fn tbox(&self) -> &TBox {
         &self.tbox
+    }
+
+    /// The vocabulary this generation's ids resolve against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.voc
     }
 
     pub fn generation(&self) -> u64 {
@@ -193,7 +256,11 @@ pub struct Server {
     /// while the `snapshot` write lock is held only for the `Arc` swap,
     /// so queries keep serving the old generation during a slow build.
     writer: Mutex<WriterState>,
-    cache: Mutex<FxHashMap<(u64, CanonKey), Arc<CompiledQuery>>>,
+    /// Keyed by (generation, backend, canonical query): a session served
+    /// under [`Backend::Sql`] needs the SQL text a native compilation
+    /// does not carry (and vice versa for stored plans), so the two
+    /// backends cache independent entries for the same query.
+    cache: Mutex<FxHashMap<(u64, Backend, CanonKey), Arc<CompiledQuery>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
@@ -289,6 +356,7 @@ impl Server {
             engine,
             tbox,
             deps,
+            voc: Arc::new(voc.clone()),
             generation,
         }
     }
@@ -297,13 +365,47 @@ impl Server {
         &self.config
     }
 
+    /// Read the published snapshot `Arc`, recovering a poisoned guard.
+    ///
+    /// Poison recovery is sound here because the protected value is a
+    /// single `Arc`: the only write is one pointer-sized assignment in
+    /// [`Server::swap_snapshot`], so there is no intermediate state a
+    /// panicking thread could have left behind — the `Arc` always points
+    /// at a fully built snapshot. Without recovery, one panicked session
+    /// would cascade into a panic in every other session (the bug this
+    /// replaces).
+    fn read_snapshot(&self) -> Arc<EngineSnapshot> {
+        self.snapshot
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Lock the plan cache, recovering a poisoned guard. Sound because
+    /// every cache state is servable: entries are keyed by generation,
+    /// lookups only match the reader's own generation, and a
+    /// half-finished purge merely leaves unreachable stale entries
+    /// (dropped again by the next purge) — never wrong answers.
+    #[allow(clippy::type_complexity)]
+    fn lock_cache(
+        &self,
+    ) -> MutexGuard<'_, FxHashMap<(u64, Backend, CanonKey), Arc<CompiledQuery>>> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Lock the writer state. A poisoned writer mutex is *not*
+    /// recoverable: the panicking mutator may have interned names,
+    /// applied half an ABox batch, or advanced the store — recovering
+    /// the guard could commit a later batch on top of that torn state.
+    /// Writers get a typed error; readers never touch this lock.
+    fn lock_writer(&self) -> Result<MutexGuard<'_, WriterState>, ServerError> {
+        self.writer.lock().map_err(|_| ServerError::Poisoned)
+    }
+
     /// The current snapshot (cheap `Arc` clone; callers keep the KB
     /// generation they started with even across concurrent reloads).
     pub fn snapshot(&self) -> Arc<EngineSnapshot> {
-        self.snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .clone()
+        self.read_snapshot()
     }
 
     /// Answer one conjunctive query: compile (or fetch the cached
@@ -320,13 +422,29 @@ impl Server {
         snap: &Arc<EngineSnapshot>,
         cq: &CQ,
     ) -> Result<ServerOutcome, EngineError> {
-        let (compiled, cache_hit) = self.compile(snap, cq);
+        self.query_on_as(snap, cq, self.config.backend)
+    }
+
+    /// [`Server::query_on`] under an explicit execution backend — the
+    /// wire front end's per-session `Backend::Native|Sql` selection
+    /// (chosen by a startup parameter) lands here. Compilations are
+    /// cached per backend (the key embeds it), so two sessions on
+    /// different backends warm independent entries and neither ever
+    /// replays an artifact the other backend produced.
+    pub fn query_on_as(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        cq: &CQ,
+        backend: Backend,
+    ) -> Result<ServerOutcome, EngineError> {
+        let (compiled, cache_hit) = self.compile(snap, cq, backend);
         let opts = EvalOptions {
             strategy: None,
             prepared: Some(&compiled.plans),
             threads: self.config.threads,
             sql_bytes: Some(compiled.sql_bytes),
             sql_text: compiled.sql.as_deref(),
+            backend: Some(backend),
         };
         let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
         Ok(ServerOutcome {
@@ -336,29 +454,29 @@ impl Server {
         })
     }
 
-    /// Fetch or compute the compilation of `cq` for `snap`'s generation.
-    fn compile(&self, snap: &EngineSnapshot, cq: &CQ) -> (Arc<CompiledQuery>, bool) {
+    /// Fetch or compute the compilation of `cq` for `snap`'s generation
+    /// under `backend`.
+    fn compile(
+        &self,
+        snap: &EngineSnapshot,
+        cq: &CQ,
+        backend: Backend,
+    ) -> (Arc<CompiledQuery>, bool) {
         if !self.config.cache_plans {
-            return (Arc::new(self.compile_cold(snap, cq)), false);
+            return (Arc::new(self.compile_cold(snap, cq, backend)), false);
         }
-        let key = (snap.generation, canonical_key(cq));
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("plan cache lock poisoned")
-            .get(&key)
-            .cloned()
-        {
+        let key = (snap.generation, backend, canonical_key(cq));
+        if let Some(hit) = self.lock_cache().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit, true);
         }
         // Compile outside the lock: reformulation dominates (§6.4), and
         // concurrent misses on the same key are idempotent (last insert
         // wins; both compute the same deterministic compilation).
-        let compiled = Arc::new(self.compile_cold(snap, cq));
+        let compiled = Arc::new(self.compile_cold(snap, cq, backend));
         self.misses.fetch_add(1, Ordering::Relaxed);
         {
-            let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+            let mut cache = self.lock_cache();
             // A reload may have published a newer generation (and purged
             // the old one) while we compiled; inserting the old-gen entry
             // now would leave an unservable key alive until the next
@@ -369,7 +487,7 @@ impl Server {
             let current = self
                 .snapshot
                 .read()
-                .expect("snapshot lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .generation;
             if snap.generation >= current {
                 cache.insert(key, compiled.clone());
@@ -381,7 +499,7 @@ impl Server {
     /// The full per-call pipeline: reformulate under the configured
     /// strategy (cost estimates answered by the snapshot engine's
     /// `explain`), then plan every conjunction and size the SQL.
-    fn compile_cold(&self, snap: &EngineSnapshot, cq: &CQ) -> CompiledQuery {
+    fn compile_cold(&self, snap: &EngineSnapshot, cq: &CQ, backend: Backend) -> CompiledQuery {
         let estimator = ExplainEstimator::new(&snap.engine);
         let chosen = choose_reformulation(
             cq,
@@ -393,7 +511,7 @@ impl Server {
         // Native plans are meaningless to the SQL backend (its
         // evaluate path never reads them); the SQL text is meaningless
         // to the native one — each backend caches only what it replays.
-        let plans = match self.config.backend {
+        let plans = match backend {
             Backend::Native => snap.engine.prepare(&chosen.fol),
             Backend::Sql => PreparedPlans {
                 strategy: self.config.join_strategy,
@@ -410,7 +528,7 @@ impl Server {
             .profile()
             .max_statement_bytes
             .is_none_or(|limit| sql_bytes <= limit);
-        let sql = (matches!(self.config.backend, Backend::Sql) && within_limit).then_some(sql);
+        let sql = (matches!(backend, Backend::Sql) && within_limit).then_some(sql);
         CompiledQuery {
             fol: chosen.fol,
             plans,
@@ -450,8 +568,8 @@ impl Server {
     /// In-flight queries keep the snapshot they started with (snapshot
     /// isolation); their generation-`g` prepared plans remain valid for
     /// that snapshot's data.
-    pub fn apply_batch(&self, delta: &AboxDelta) -> Result<u64, StoreError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+    pub fn apply_batch(&self, delta: &AboxDelta) -> Result<u64, ServerError> {
+        let mut writer = self.lock_writer()?;
         if let Some(store) = writer.store.as_mut() {
             store.append(delta)?;
         }
@@ -460,18 +578,22 @@ impl Server {
         }
         let effective = writer.abox.apply(delta);
 
-        let cur = self
-            .snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .clone();
+        let cur = self.read_snapshot();
         let mut engine = cur.engine.clone();
         engine.apply_delta(&effective);
         let generation = cur.generation + 1;
+        // The snapshot vocabulary is frozen per generation; reuse the
+        // current one unless this batch interned new individuals.
+        let voc = if delta.new_individuals.is_empty() {
+            cur.voc.clone()
+        } else {
+            Arc::new(writer.voc.clone())
+        };
         let next = Arc::new(EngineSnapshot {
             engine,
             tbox: cur.tbox.clone(),
             deps: cur.deps.clone(),
+            voc,
             generation,
         });
         self.swap_snapshot(next, generation);
@@ -492,13 +614,14 @@ impl Server {
     /// Fold the WAL into a fresh snapshot of the current state (no-op on
     /// a non-durable server). Answering is unaffected — compaction only
     /// rewrites the on-disk representation.
-    pub fn compact(&self) -> Result<(), StoreError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+    pub fn compact(&self) -> Result<(), ServerError> {
+        let mut writer = self.lock_writer()?;
         let (tbox, generation) = {
-            let cur = self.snapshot.read().expect("snapshot lock poisoned");
+            let cur = self.read_snapshot();
             (cur.tbox.clone(), cur.generation)
         };
-        Self::compact_locked(&mut writer, &tbox, generation)
+        Self::compact_locked(&mut writer, &tbox, generation)?;
+        Ok(())
     }
 
     fn compact_locked(
@@ -532,22 +655,22 @@ impl Server {
     /// the new ABox becomes a fresh on-disk snapshot and the WAL resets
     /// (logged deltas against the pre-reload state are meaningless going
     /// forward).
-    pub fn reload_abox(&self, abox: &ABox) {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+    pub fn reload_abox(&self, abox: &ABox) -> Result<u64, ServerError> {
+        let mut writer = self.lock_writer()?;
         let (tbox, deps) = {
-            let cur = self.snapshot.read().expect("snapshot lock poisoned");
+            let cur = self.read_snapshot();
             (cur.tbox.clone(), cur.deps.clone())
         };
-        self.publish(&mut writer, tbox, deps, abox);
+        Ok(self.publish(&mut writer, tbox, deps, abox))
     }
 
     /// Publish a new TBox *and* ABox (ontology evolution): recomputes the
     /// predicate dependencies, then swaps like [`Server::reload_abox`]
     /// (see there for the generation semantics, which are identical).
-    pub fn reload_kb(&self, tbox: TBox, abox: &ABox) {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+    pub fn reload_kb(&self, tbox: TBox, abox: &ABox) -> Result<u64, ServerError> {
+        let mut writer = self.lock_writer()?;
         let deps = Dependencies::compute(&writer.voc, &tbox);
-        self.publish(&mut writer, tbox, deps, abox);
+        Ok(self.publish(&mut writer, tbox, deps, abox))
     }
 
     /// Build and swap in the next generation (bulk path). The writer
@@ -556,13 +679,14 @@ impl Server {
     /// interleave (lost update), and the expensive snapshot build
     /// happens *before* the snapshot write lock is taken — queries keep
     /// serving the old generation until the O(1) `Arc` swap.
-    fn publish(&self, writer: &mut WriterState, tbox: TBox, deps: Dependencies, abox: &ABox) {
-        let generation = self
-            .snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .generation
-            + 1;
+    fn publish(
+        &self,
+        writer: &mut WriterState,
+        tbox: TBox,
+        deps: Dependencies,
+        abox: &ABox,
+    ) -> u64 {
+        let generation = self.read_snapshot().generation + 1;
         let next = Arc::new(Self::build_snapshot(
             &writer.voc,
             &self.config,
@@ -575,38 +699,39 @@ impl Server {
         writer.abox = abox.clone();
         if let Some(store) = writer.store.as_mut() {
             // A bulk reload invalidates the log: compact to the new state.
-            // Persisting is best-effort here (the API predates the store
-            // and stays infallible); a failed compaction leaves the old
-            // snapshot + WAL intact, which recovers to the *previous*
-            // generation — stale but consistent.
+            // Persisting is best-effort here (a publish is an in-memory
+            // commit); a failed compaction leaves the old snapshot + WAL
+            // intact, which recovers to the *previous* generation —
+            // stale but consistent — and poisons the store so the next
+            // append reports it.
             let _ = store.compact(&writer.voc, &tbox, abox, generation);
         }
+        generation
     }
 
     /// Swap the published snapshot and drop every plan-cache entry of
     /// older generations (counted in `invalidated`).
     fn swap_snapshot(&self, next: Arc<EngineSnapshot>, generation: u64) {
-        *self.snapshot.write().expect("snapshot lock poisoned") = next;
-        let mut cache = self.cache.lock().expect("plan cache lock poisoned");
+        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
+        let mut cache = self.lock_cache();
         let before = cache.len();
-        cache.retain(|(gen, _), _| *gen >= generation);
+        cache.retain(|(gen, _, _), _| *gen >= generation);
         self.invalidated
             .fetch_add((before - cache.len()) as u64, Ordering::Relaxed);
     }
 
     /// The currently published snapshot generation.
     pub fn generation(&self) -> u64 {
-        self.snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .generation
+        self.read_snapshot().generation
     }
 
     /// Whether this server persists to a durable store directory.
+    /// Read-only peek at the writer state; a poisoned writer still
+    /// answers (the `store` option itself is set once at construction).
     pub fn is_durable(&self) -> bool {
         self.writer
             .lock()
-            .expect("writer lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .store
             .is_some()
     }
@@ -615,8 +740,38 @@ impl Server {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("plan cache lock poisoned").len(),
+            entries: self.lock_cache().len(),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deliberately panic while holding each shared lock in turn — the
+    /// poison-robustness harness. It simulates a session thread dying
+    /// mid-operation so the suites can assert that readers recover and
+    /// writers fail typed instead of cascading panics. (A read guard
+    /// never poisons an `RwLock`, so the snapshot lock is poisoned
+    /// through its *write* half — the stronger case.)
+    #[doc(hidden)]
+    pub fn poison_all_locks_for_test(&self) {
+        for which in ["snapshot", "cache", "writer"] {
+            let res = std::thread::scope(|s| {
+                s.spawn(|| match which {
+                    "snapshot" => {
+                        let _guard = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
+                        panic!("poison snapshot lock");
+                    }
+                    "cache" => {
+                        let _guard = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                        panic!("poison cache lock");
+                    }
+                    _ => {
+                        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+                        panic!("poison writer lock");
+                    }
+                })
+                .join()
+            });
+            assert!(res.is_err(), "the poisoning thread must have panicked");
         }
     }
 }
@@ -729,7 +884,7 @@ mod tests {
         abox2.assert_concept(phd, extra);
         abox2.assert_role(works, extra, other);
         abox2.assert_role(sup, extra, other);
-        srv.reload_abox(&abox2);
+        srv.reload_abox(&abox2).expect("reload commits");
 
         let after = srv.query(&q).unwrap();
         assert_eq!(after.generation, 1);
@@ -877,6 +1032,79 @@ mod tests {
         got.sort();
         assert_eq!(got, want, "warm SQL-backend serving parity");
         assert_eq!(hit.outcome.sql_bytes, miss.outcome.sql_bytes);
+    }
+
+    /// The poison-robustness contract: one session thread panicking while
+    /// holding a shared lock must leave every other session answering
+    /// (readers recover the guard) and must turn writes into typed
+    /// errors, not cascading panics.
+    #[test]
+    fn poisoned_locks_do_not_take_down_other_sessions() {
+        let (srv, q) = server(ServerConfig::default());
+        let mut want = srv.query(&q).unwrap().outcome.rows;
+        want.sort();
+
+        srv.poison_all_locks_for_test();
+
+        // Reader paths: queries, snapshots, stats all still answer.
+        let out = srv.query(&q).expect("queries must survive poisoning");
+        let mut got = out.outcome.rows;
+        got.sort();
+        assert_eq!(got, want);
+        assert!(out.cache_hit, "the cache survives a poisoned guard");
+        assert_eq!(srv.snapshot().generation(), 0);
+        let _ = srv.cache_stats();
+        assert!(!srv.is_durable());
+
+        // Concurrent sessions keep answering after the poisoning too.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut rows = srv.query(&q).unwrap().outcome.rows;
+                    rows.sort();
+                    assert_eq!(rows, want);
+                });
+            }
+        });
+
+        // Writer paths: typed refusal, never a panic, nothing published.
+        assert!(matches!(
+            srv.apply_batch(&AboxDelta::new()),
+            Err(ServerError::Poisoned)
+        ));
+        assert!(matches!(srv.compact(), Err(ServerError::Poisoned)));
+        let (_, _, abox, _) = fixture();
+        assert!(matches!(srv.reload_abox(&abox), Err(ServerError::Poisoned)));
+        assert_eq!(srv.generation(), 0, "no failed write may publish");
+    }
+
+    #[test]
+    fn per_session_backends_share_one_server_and_agree() {
+        let (srv, q) = server(ServerConfig::default());
+        let mut native = srv
+            .query_on_as(&srv.snapshot(), &q, Backend::Native)
+            .unwrap()
+            .outcome
+            .rows;
+        native.sort();
+        let sql_out = srv.query_on_as(&srv.snapshot(), &q, Backend::Sql).unwrap();
+        assert!(!sql_out.cache_hit, "backends cache independent entries");
+        let mut sql = sql_out.outcome.rows;
+        sql.sort();
+        assert_eq!(native, sql, "backend parity on one shared snapshot");
+
+        // Each backend warms its own entry.
+        assert!(
+            srv.query_on_as(&srv.snapshot(), &q, Backend::Sql)
+                .unwrap()
+                .cache_hit
+        );
+        assert!(
+            srv.query_on_as(&srv.snapshot(), &q, Backend::Native)
+                .unwrap()
+                .cache_hit
+        );
+        assert_eq!(srv.cache_stats().entries, 2);
     }
 
     #[test]

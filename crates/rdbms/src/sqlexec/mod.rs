@@ -75,7 +75,7 @@ use crate::sql::SqlNames;
 ///   it through the embedded relational evaluator of this module. The
 ///   two must agree on every answer set; the differential harness
 ///   enforces it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     #[default]
     Native,

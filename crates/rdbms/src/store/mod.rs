@@ -76,6 +76,16 @@ pub enum StoreError {
     Poisoned {
         detail: String,
     },
+    /// A batch (or one of its fields) exceeds what the WAL record format
+    /// can represent — its length fields are `u32`. Rejected *before*
+    /// encoding: the old unchecked `as u32` cast would silently truncate
+    /// the count and write a corrupt-but-checksummed record that
+    /// recovery would trust.
+    BatchTooLarge {
+        what: &'static str,
+        len: usize,
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -92,6 +102,11 @@ impl fmt::Display for StoreError {
             StoreError::Poisoned { detail } => write!(
                 f,
                 "store is poisoned by a failed compaction ({detail}); reopen to resume"
+            ),
+            StoreError::BatchTooLarge { what, len, limit } => write!(
+                f,
+                "batch rejected: {what} has {len} entries/bytes, the WAL record \
+                 format caps it at {limit}"
             ),
         }
     }

@@ -31,7 +31,40 @@ use super::{fnv1a64, put_str, put_u32, put_u64, Reader, StoreError, FORMAT_VERSI
 const MAGIC: &[u8; 8] = b"OBDAWAL\x01";
 const HEADER_LEN: u64 = 8 + 4 + 8;
 
-/// Serialize one delta batch (the WAL record payload).
+/// The largest count or byte length a WAL record field can carry — its
+/// length prefixes are `u32`.
+pub const MAX_FIELD_LEN: usize = u32::MAX as usize;
+
+/// Check that one field length fits the record format's `u32` prefix.
+/// Split out (rather than inlined into [`validate_batch`]) so the
+/// boundary is unit-testable without allocating a >4G-entry vector.
+fn field_len(what: &'static str, len: usize) -> Result<u32, StoreError> {
+    u32::try_from(len).map_err(|_| StoreError::BatchTooLarge {
+        what,
+        len,
+        limit: MAX_FIELD_LEN,
+    })
+}
+
+/// Reject a batch any of whose length fields would overflow the record
+/// format **before** encoding. The unchecked `delta.*.len() as u32`
+/// casts this replaces would wrap a >4G-entry batch to a small count and
+/// emit a record whose checksum matches its truncated payload — corrupt
+/// data that recovery would happily trust.
+pub fn validate_batch(delta: &AboxDelta) -> Result<(), StoreError> {
+    field_len("new_individuals", delta.new_individuals.len())?;
+    for name in &delta.new_individuals {
+        field_len("individual name", name.len())?;
+    }
+    field_len("insert_concepts", delta.insert_concepts.len())?;
+    field_len("delete_concepts", delta.delete_concepts.len())?;
+    field_len("insert_roles", delta.insert_roles.len())?;
+    field_len("delete_roles", delta.delete_roles.len())?;
+    Ok(())
+}
+
+/// Serialize one delta batch (the WAL record payload). Callers must have
+/// passed [`validate_batch`] — the casts below are exact after it.
 pub fn encode_delta(delta: &AboxDelta) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, delta.new_individuals.len() as u32);
@@ -256,9 +289,13 @@ impl WalWriter {
                 detail: format!("writer is broken by an unrollable failed append: {detail}"),
             });
         }
+        validate_batch(delta)?;
         let payload = encode_delta(delta);
+        // The *total* payload can overflow the record's length prefix
+        // even when every field count fits (many long names).
+        let payload_len = field_len("record payload", payload.len())?;
         let mut record = Vec::with_capacity(4 + payload.len() + 8);
-        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, payload_len);
         record.extend_from_slice(&payload);
         put_u64(&mut record, fnv1a64(&payload));
         match self
@@ -395,6 +432,43 @@ mod tests {
             let back = decode_delta(&bytes, "mem").unwrap();
             prop_assert_eq!(d, back);
         }
+    }
+
+    /// The boundary of the `u32` length prefix, tested on the checked
+    /// helper itself: materializing a >4G-entry batch would need tens of
+    /// gigabytes, but the overflow decision is pure arithmetic.
+    #[test]
+    fn field_length_boundary_is_exact() {
+        assert_eq!(field_len("x", 0).unwrap(), 0);
+        assert_eq!(field_len("x", MAX_FIELD_LEN).unwrap(), u32::MAX);
+        let err = field_len("insert_concepts", MAX_FIELD_LEN + 1).unwrap_err();
+        match err {
+            StoreError::BatchTooLarge { what, len, limit } => {
+                assert_eq!(what, "insert_concepts");
+                assert_eq!(len, MAX_FIELD_LEN + 1);
+                assert_eq!(limit, MAX_FIELD_LEN);
+            }
+            other => panic!("expected BatchTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_batch_accepts_ordinary_deltas() {
+        for k in 0..8 {
+            validate_batch(&sample_delta(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_too_large_formats_a_useful_message() {
+        let msg = StoreError::BatchTooLarge {
+            what: "insert_roles",
+            len: MAX_FIELD_LEN + 7,
+            limit: MAX_FIELD_LEN,
+        }
+        .to_string();
+        assert!(msg.contains("insert_roles"), "{msg}");
+        assert!(msg.contains("rejected"), "{msg}");
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use obda_rdbms::{
         Backend, DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server,
-        ServerConfig, StoreError,
+        ServerConfig, ServerError, StoreError,
     };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
@@ -86,7 +86,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The eight root integration suites rely on cargo's `tests/`
+    /// The nine root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -101,6 +101,7 @@ mod tests {
             "concurrency",
             "persistence",
             "sql_goldens",
+            "pgwire",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -116,7 +117,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all eight suites are test targets"
+            "tests/ autodiscovery must stay enabled so all nine suites are test targets"
         );
     }
 }

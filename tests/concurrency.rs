@@ -196,7 +196,7 @@ fn reload_during_replay_is_snapshot_isolated() {
             });
         }
         // Publish the mutation midway through the replay storm.
-        srv.reload_abox(&abox2);
+        srv.reload_abox(&abox2).expect("reload commits");
     });
 
     // Steady state after the reload: new rows, generation 1, cache warm.

@@ -117,3 +117,245 @@ fn boolean_query_through_the_full_stack() {
     let out = engine.evaluate(&FolQuery::Ucq(ucq)).unwrap();
     assert_eq!(out.rows, vec![Vec::<u32>::new()], "true = the empty tuple");
 }
+
+// ---------------------------------------------------------------------------
+// Wire-protocol framing fuzz: a hostile peer throws malformed bytes at a
+// live listener. The invariant under every abuse: the server answers
+// with a clean ErrorResponse (or just closes), never panics, and keeps
+// serving other connections.
+// ---------------------------------------------------------------------------
+
+mod pgwire_fuzz {
+    use obda::prelude::*;
+    use obda::rdbms::pgwire::{PgConfig, PgListener, WireClient};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A tiny live listener over a 3-fact KB.
+    fn listener() -> (PgListener, std::net::SocketAddr) {
+        let kb = KnowledgeBase::parse("A <= B\nA(x)\nr(x, y)").unwrap();
+        let server = Arc::new(Server::new(
+            kb.voc().clone(),
+            kb.tbox().clone(),
+            kb.abox(),
+            ServerConfig {
+                reform_strategy: Strategy::CrootJucq,
+                ..ServerConfig::default()
+            },
+        ));
+        let l = PgListener::bind("127.0.0.1:0", server, PgConfig::default())
+            .expect("bind ephemeral port");
+        let addr = l.local_addr();
+        (l, addr)
+    }
+
+    /// Read whatever the server sends until it closes; the first byte of
+    /// each message must be a sane backend tag — in particular a final
+    /// ErrorResponse ('E') is fine, garbage is not.
+    fn drain(stream: &mut TcpStream) -> Vec<u8> {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut all = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => all.extend_from_slice(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+        all
+    }
+
+    /// After the abuse, the listener must still serve a healthy client.
+    fn assert_still_serving(addr: &std::net::SocketAddr) {
+        let mut healthy = WireClient::connect(addr, &[]).expect("listener survives the abuse");
+        let r = healthy
+            .simple_query("SELECT ?v WHERE B(?v)")
+            .expect("queries still answer");
+        assert_eq!(r[0].rows, vec![vec!["x".to_string()]]);
+        healthy.terminate();
+    }
+
+    /// A valid startup packet for hand-rolled streams.
+    fn raw_startup(stream: &mut TcpStream) {
+        let body = b"\x00\x03\x00\x00user\0fuzz\0\0";
+        let len = (body.len() + 4) as i32;
+        stream.write_all(&len.to_be_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        // Drain the auth-ok burst up to ReadyForQuery.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 1024];
+        while !seen.windows(6).any(|w| w == [b'Z', 0, 0, 0, 5, b'I']) {
+            match stream.read(&mut buf) {
+                Ok(0) => panic!("server closed during valid startup"),
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                Err(e) => panic!("startup stalled: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_startup_header() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[0, 0]).unwrap(); // 2 of 8 prelude bytes, then vanish
+        drop(s);
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn oversized_startup_length() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Declares 2 GiB; must be refused without allocating it.
+        s.write_all(&0x7fff_ffffi32.to_be_bytes()).unwrap();
+        s.write_all(&196_608u32.to_be_bytes()).unwrap();
+        let bytes = drain(&mut s);
+        assert_eq!(bytes.first(), Some(&b'E'), "expected ErrorResponse");
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn truncated_message_header_after_startup() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        s.write_all(&[b'Q', 0, 0]).unwrap(); // 3 of 5 header bytes
+        drop(s); // mid-header disconnect
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn oversized_declared_message_length() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        // 'Q' declaring ~2 GiB of body.
+        s.write_all(&[b'Q', 0x7f, 0xff, 0xff, 0xff]).unwrap();
+        let bytes = drain(&mut s);
+        assert_eq!(bytes.first(), Some(&b'E'), "expected ErrorResponse");
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn undersized_declared_message_length() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        // Length 3 < the 4-byte minimum (the length field itself).
+        s.write_all(&[b'Q', 0, 0, 0, 3]).unwrap();
+        let bytes = drain(&mut s);
+        assert_eq!(bytes.first(), Some(&b'E'), "expected ErrorResponse");
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn unknown_message_tag() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        s.write_all(&[b'!', 0, 0, 0, 4]).unwrap();
+        let bytes = drain(&mut s);
+        assert_eq!(bytes.first(), Some(&b'E'), "expected ErrorResponse");
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn mid_message_disconnect() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        // Declare 256 bytes of body, deliver 2, vanish.
+        s.write_all(&[b'Q', 0, 0, 1, 4, b'S', b'E']).unwrap();
+        drop(s);
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn unterminated_query_string() {
+        let (mut l, addr) = listener();
+        let mut s = TcpStream::connect(addr).unwrap();
+        raw_startup(&mut s);
+        // A 'Q' body with no NUL terminator anywhere.
+        let body = b"SHOW backend"; // no trailing \0
+        let len = (body.len() + 4) as i32;
+        s.write_all(&[b'Q']).unwrap();
+        s.write_all(&len.to_be_bytes()).unwrap();
+        s.write_all(body).unwrap();
+        let bytes = drain(&mut s);
+        assert_eq!(bytes.first(), Some(&b'E'), "expected ErrorResponse");
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    #[test]
+    fn malformed_extended_bodies() {
+        let (mut l, addr) = listener();
+        // Truncated Parse / Bind / Execute bodies: each gets an error
+        // (not a hang, not a panic), and Sync recovers the session.
+        for (tag, body) in [
+            (b'P', &b"stmt\0no-nparams\0"[..]),
+            (b'B', &b"\0stmt\0"[..]),
+            (b'E', &b"portal-without-nul"[..]),
+            (b'D', &b"X\0"[..]),
+        ] {
+            let mut s = TcpStream::connect(addr).unwrap();
+            raw_startup(&mut s);
+            let len = (body.len() + 4) as i32;
+            s.write_all(&[tag]).unwrap();
+            s.write_all(&len.to_be_bytes()).unwrap();
+            s.write_all(body).unwrap();
+            // Sync: a malformed *body* is an in-protocol error, so the
+            // error comes followed by ReadyForQuery after Sync.
+            s.write_all(&[b'S', 0, 0, 0, 4]).unwrap();
+            s.write_all(&[b'X', 0, 0, 0, 4]).unwrap();
+            let bytes = drain(&mut s);
+            assert!(
+                bytes.contains(&b'E'),
+                "tag '{}' must produce an ErrorResponse",
+                tag.escape_ascii()
+            );
+        }
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+
+    /// Deterministic pseudo-random garbage: bytes from a simple LCG are
+    /// thrown at the socket both before and after a valid startup.
+    #[test]
+    fn random_garbage_streams() {
+        let (mut l, addr) = listener();
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u8
+        };
+        for round in 0..8 {
+            let garbage: Vec<u8> = (0..64 + round * 37).map(|_| next()).collect();
+            let mut s = TcpStream::connect(addr).unwrap();
+            if round % 2 == 1 {
+                raw_startup(&mut s);
+            }
+            let _ = s.write_all(&garbage);
+            let _ = drain(&mut s);
+        }
+        assert_still_serving(&addr);
+        l.shutdown();
+    }
+}

@@ -1,0 +1,364 @@
+//! End-to-end tests of the PostgreSQL wire-protocol front end: a raw
+//! socket client against a real listener over a real LUBM server.
+//!
+//! The suite covers the PR's acceptance bars: startup + simple query
+//! answering LUBM Q1 correctly under *both* execution backends; the
+//! extended protocol; per-session isolation under a panicking session
+//! and a malformed peer; admission control; reload visibility; and
+//! graceful shutdown.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use obda::prelude::*;
+use obda::rdbms::pgwire::{ClientError, PgConfig, PgListener, WireClient};
+
+/// Q1's wire-language rendering (the six-atom star; see
+/// `obda_lubm::queries::q1`).
+const Q1_WIRE: &str = "SELECT ?x WHERE teacherOf(?x, ?y1), takesCourse(?x, ?y2), \
+     researchInterest(?x, ?y3), collaboratesWith(?x, ?y4), \
+     authorOf(?x, ?y5), teachingAssistantOf(?x, ?y6)";
+
+struct Fixture {
+    server: Arc<Server>,
+    listener: PgListener,
+    abox: ABox,
+    /// Q1's expected answers as individual names, via the in-process API.
+    q1_names: BTreeSet<String>,
+}
+
+fn fixture(config: PgConfig) -> Fixture {
+    let mut onto = obda::lubm::UnivOntology::build();
+    let (abox, _report) = generate(
+        &mut onto,
+        &GenConfig {
+            target_facts: 800,
+            ..Default::default()
+        },
+    );
+    let q1 = workload(&onto)
+        .into_iter()
+        .find(|w| w.name == "Q1")
+        .expect("workload has Q1")
+        .cq;
+    let server = Arc::new(Server::new(
+        onto.voc.clone(),
+        onto.tbox.clone(),
+        &abox,
+        ServerConfig {
+            // The cheap deterministic strategy: these tests exercise the
+            // wire layer, not the GDL search.
+            reform_strategy: Strategy::CrootJucq,
+            ..ServerConfig::default()
+        },
+    ));
+    let outcome = server.query(&q1).expect("Q1 answers in-process");
+    let snap = server.snapshot();
+    let q1_names: BTreeSet<String> = outcome
+        .outcome
+        .rows
+        .iter()
+        .map(|row| {
+            snap.vocabulary()
+                .individual_name(IndividualId(row[0]))
+                .to_string()
+        })
+        .collect();
+    assert!(
+        !q1_names.is_empty(),
+        "fixture must generate at least one Q1 answer"
+    );
+    let listener =
+        PgListener::bind("127.0.0.1:0", server.clone(), config).expect("bind ephemeral port");
+    Fixture {
+        server,
+        listener,
+        abox,
+        q1_names,
+    }
+}
+
+fn names(rows: &[Vec<String>]) -> BTreeSet<String> {
+    rows.iter().map(|r| r[0].clone()).collect()
+}
+
+#[test]
+fn simple_query_answers_q1_under_both_backends() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+
+    for backend in ["native", "sql"] {
+        let mut client =
+            WireClient::connect(&addr, &[("backend", backend)]).expect("startup completes");
+        // The handshake announced the session's backend.
+        assert!(
+            client
+                .parameters
+                .iter()
+                .any(|(k, v)| k == "backend" && v == backend),
+            "ParameterStatus must announce backend={backend}"
+        );
+        let results = client.simple_query(Q1_WIRE).expect("Q1 over the wire");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].columns, vec!["x"]);
+        assert_eq!(
+            names(&results[0].rows),
+            fx.q1_names,
+            "wire Q1 rows must match the in-process answers under {backend}"
+        );
+        assert_eq!(results[0].tag, format!("SELECT {}", results[0].rows.len()));
+        client.terminate();
+    }
+    fx.listener.shutdown();
+}
+
+#[test]
+fn extended_protocol_matches_simple_protocol() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+
+    let ext = client.extended_query(Q1_WIRE).expect("extended Q1");
+    assert_eq!(ext.columns, vec!["x"]);
+    assert_eq!(names(&ext.rows), fx.q1_names);
+
+    // After an extended-protocol error (unknown statement), Sync
+    // restores the session: the next query works.
+    let err = client
+        .extended_query("SELECT ?x WHERE Nope(?x)")
+        .unwrap_err();
+    match err {
+        ClientError::Server { sqlstate, .. } => assert_eq!(sqlstate, "42601"),
+        other => panic!("expected a server error, got {other}"),
+    }
+    let again = client
+        .extended_query("SHOW backend")
+        .expect("session recovered");
+    assert_eq!(again.rows, vec![vec!["native".to_string()]]);
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn statements_ask_show_set_and_errors() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+
+    // Multi-statement buffer: SET is a no-op, SHOW answers, ASK is
+    // boolean.
+    let results = client
+        .simple_query("SET search_path = lubm; SHOW generation; ASK WHERE Student(?x)")
+        .expect("multi-statement buffer");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].tag, "SET");
+    assert_eq!(results[1].columns, vec!["generation"]);
+    assert_eq!(results[2].columns, vec!["answer"]);
+    assert_eq!(results[2].rows, vec![vec!["t".to_string()]]);
+
+    // A syntax error mid-buffer: the completed statement's result is
+    // discarded client-side, the error surfaces, the session survives.
+    let err = client
+        .simple_query("SHOW backend; FROB ?x; SHOW backend")
+        .unwrap_err();
+    match err {
+        ClientError::Server { sqlstate, message } => {
+            assert_eq!(sqlstate, "42601");
+            assert!(message.contains("unknown statement"), "{message}");
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+    let after = client
+        .simple_query("SHOW backend")
+        .expect("session survives errors");
+    assert_eq!(after[0].rows, vec![vec!["native".to_string()]]);
+
+    // Empty buffer → EmptyQueryResponse → zero results.
+    assert!(client
+        .simple_query("  ;; ")
+        .expect("empty buffer")
+        .is_empty());
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn panicking_session_leaves_others_answering() {
+    let mut fx = fixture(PgConfig {
+        allow_chaos: true,
+        ..PgConfig::default()
+    });
+    let addr = fx.listener.local_addr();
+
+    let mut victim = WireClient::connect(&addr, &[]).expect("victim startup");
+    let mut bystander = WireClient::connect(&addr, &[]).expect("bystander startup");
+
+    // Warm the bystander so it holds real session state.
+    let before = bystander.simple_query(Q1_WIRE).expect("bystander warms up");
+    assert_eq!(names(&before[0].rows), fx.q1_names);
+
+    // The victim's statement panics server-side: it must get XX000 and
+    // then lose the connection.
+    match victim.simple_query("PANIC") {
+        Err(ClientError::Server { sqlstate, message }) => {
+            assert_eq!(sqlstate, "XX000");
+            assert!(message.contains("panicked"), "{message}");
+        }
+        // The server may close before the client finishes draining.
+        Err(ClientError::Closed) | Err(ClientError::Io(_)) => {}
+        Ok(r) => panic!("PANIC statement answered normally: {r:?}"),
+        Err(other) => panic!("unexpected client error: {other}"),
+    }
+
+    // The bystander and fresh connections still answer.
+    let after = bystander
+        .simple_query(Q1_WIRE)
+        .expect("bystander unaffected");
+    assert_eq!(names(&after[0].rows), fx.q1_names);
+    let mut fresh = WireClient::connect(&addr, &[]).expect("fresh session after panic");
+    let fresh_rows = fresh.simple_query(Q1_WIRE).expect("fresh session answers");
+    assert_eq!(names(&fresh_rows[0].rows), fx.q1_names);
+
+    bystander.terminate();
+    fresh.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn chaos_statement_is_refused_when_disabled() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+    match client.simple_query("PANIC") {
+        Err(ClientError::Server { sqlstate, .. }) => assert_eq!(sqlstate, "0A000"),
+        other => panic!("expected 0A000 refusal, got {other:?}"),
+    }
+    // Refusal is an ordinary error: the session lives on.
+    assert!(client.simple_query("SHOW backend").is_ok());
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn malformed_peer_leaves_others_answering() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+
+    let mut bystander = WireClient::connect(&addr, &[]).expect("bystander startup");
+
+    // A connected-then-hostile peer: valid startup, then garbage frame
+    // with an oversized declared length.
+    let mut hostile = WireClient::connect(&addr, &[]).expect("hostile startup");
+    hostile
+        .send_raw(&[b'Q', 0x7f, 0xff, 0xff, 0xff])
+        .expect("send oversized header");
+    match hostile.read_message() {
+        Ok((b'E', _)) => {}
+        Ok((tag, _)) => panic!("expected ErrorResponse, got '{}'", tag.escape_ascii()),
+        Err(_) => {} // already closed is acceptable
+    }
+
+    // And a peer that disconnects mid-message.
+    let mut rude = WireClient::connect(&addr, &[]).expect("rude startup");
+    rude.send_raw(&[b'Q', 0, 0, 1, 0, b'S'])
+        .expect("partial frame");
+    drop(rude);
+
+    let rows = bystander
+        .simple_query(Q1_WIRE)
+        .expect("bystander unaffected");
+    assert_eq!(names(&rows[0].rows), fx.q1_names);
+    bystander.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_with_53300() {
+    let mut fx = fixture(PgConfig {
+        max_connections: 2,
+        ..PgConfig::default()
+    });
+    let addr = fx.listener.local_addr();
+
+    let a = WireClient::connect(&addr, &[]).expect("session 1");
+    let b = WireClient::connect(&addr, &[]).expect("session 2");
+    // The third must be told 53300 during its handshake.
+    match WireClient::connect_timeout(&addr, Duration::from_secs(5), &[]) {
+        Err(ClientError::Server { sqlstate, message }) => {
+            assert_eq!(sqlstate, "53300");
+            assert!(message.contains("too many connections"), "{message}");
+        }
+        Ok(_) => panic!("third session admitted past max_connections=2"),
+        Err(other) => panic!("expected 53300, got {other}"),
+    }
+    // Freeing a slot readmits.
+    a.terminate();
+    let admitted = try_connect_until(&addr, Duration::from_secs(5));
+    assert!(admitted, "slot freed by terminate must be reusable");
+    b.terminate();
+    fx.listener.shutdown();
+}
+
+/// Admission decrements when the session *thread* exits, which lags the
+/// client-side terminate; poll briefly.
+fn try_connect_until(addr: &std::net::SocketAddr, budget: Duration) -> bool {
+    let deadline = std::time::Instant::now() + budget;
+    while std::time::Instant::now() < deadline {
+        if let Ok(c) = WireClient::connect(addr, &[]) {
+            c.terminate();
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn reload_is_visible_to_live_sessions() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+
+    let gen_before = show_one(&mut client, "SHOW generation");
+    fx.server.reload_abox(&fx.abox).expect("reload commits");
+    let gen_after = show_one(&mut client, "SHOW generation");
+    assert!(
+        gen_after.parse::<u64>().unwrap() > gen_before.parse::<u64>().unwrap(),
+        "live session must observe the new generation ({gen_before} -> {gen_after})"
+    );
+    // And queries still answer on the new snapshot.
+    let rows = client.simple_query(Q1_WIRE).expect("post-reload query");
+    assert_eq!(names(&rows[0].rows), fx.q1_names);
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+fn show_one(client: &mut WireClient, stmt: &str) -> String {
+    client.simple_query(stmt).expect("SHOW answers")[0].rows[0][0].clone()
+}
+
+#[test]
+fn graceful_shutdown_tells_idle_sessions_57p01() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+    assert!(client.simple_query("SHOW backend").is_ok());
+
+    fx.listener.shutdown();
+
+    // The idle session was told 57P01 (or simply closed, if the error
+    // raced the close); either way the server is gone afterwards.
+    match client.read_message() {
+        Ok((b'E', body)) => {
+            let text = String::from_utf8_lossy(&body).to_string();
+            assert!(text.contains("57P01"), "expected 57P01 in {text:?}");
+        }
+        Ok((tag, _)) => panic!("unexpected message '{}' at shutdown", tag.escape_ascii()),
+        Err(_) => {}
+    }
+    assert!(
+        WireClient::connect(&addr, &[]).is_err(),
+        "listener must not accept after shutdown"
+    );
+}
