@@ -1,13 +1,19 @@
 //! Engine operator microbenchmarks: scans, index-nested-loop CQ joins,
 //! union dedup, JUCQ materialize+hash-join — the executor primitives whose
 //! relative costs drive the figures.
+//!
+//! Each operator shape runs twice: on the default vectorized (batched
+//! columnar) pipeline and on the row-at-a-time pipeline (`…-row`), so
+//! the before/after of the hot-path refactor is measured, not asserted.
+//! Mean timings are merged into the tracked bench JSON under the
+//! `"criterion_executor"` section (path override: `OBDA_BENCH_JSON`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
-use obda_bench::Dataset;
+use obda_bench::{benchjson, Dataset};
 use obda_query::{Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ};
-use obda_rdbms::{Engine, EngineProfile, LayoutKind};
+use obda_rdbms::{Engine, EngineProfile, EvalOptions, ExecMode, LayoutKind};
 
 fn v(i: u32) -> Term {
     Term::Var(VarId(i))
@@ -65,12 +71,46 @@ fn bench_executor(c: &mut Criterion) {
         ("union4-dedup", &union4),
         ("jucq-2way", &jucq),
     ] {
+        // Default pipeline (vectorized batched execution).
         group.bench_function(name, |b| {
             b.iter(|| black_box(engine.evaluate(q).unwrap().rows.len()))
+        });
+        // Row-at-a-time baseline — the pre-vectorization hot path.
+        let row_opts = EvalOptions {
+            mode: Some(ExecMode::Row),
+            ..EvalOptions::default()
+        };
+        group.bench_function(format!("{name}-row"), |b| {
+            b.iter(|| black_box(engine.evaluate_opts(q, &row_opts).unwrap().rows.len()))
         });
     }
     group.finish();
 }
 
 criterion_group!(benches, bench_executor);
-criterion_main!(benches);
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+
+    // Merge mean timings into the tracked trajectory file so criterion
+    // runs land in the repo, not just in CI logs.
+    let reports = criterion.reports();
+    if reports.is_empty() {
+        return; // filtered run: keep the tracked file untouched
+    }
+    let mut section = benchjson::JsonObj::new();
+    for r in &reports {
+        let key: String =
+            r.id.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+        section = section.num(&format!("{key}_mean_us"), r.mean.as_secs_f64() * 1e6);
+    }
+    let path = benchjson::default_path();
+    if let Err(e) = benchjson::merge_section(&path, "criterion_executor", &section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {} [criterion_executor]", path.display());
+    }
+}

@@ -1,0 +1,60 @@
+//! The perf-trajectory regression gate: compares a freshly emitted
+//! `BENCH_qps.json` against the committed baseline and fails if the
+//! warm-path QPS regressed by more than the tolerance (15% by default,
+//! override via `OBDA_BENCH_TOLERANCE`, a fraction).
+//!
+//! Usage: `bench_guard <baseline.json> <current.json>`
+//!
+//! Benchmarks on shared CI runners are noisy, so the gate is one-sided
+//! and generous: it only catches real cliffs (an accidental O(n²), a
+//! debug-assert left in the hot path), not jitter. Both files must carry
+//! a `"qps"` section with `warm_qps` — a missing section means the run
+//! that should have produced it did not happen, which is itself a
+//! failure (exit 2).
+
+use std::path::Path;
+
+use obda_bench::benchjson;
+
+fn warm_qps(path: &str) -> f64 {
+    match benchjson::read_num(Path::new(path), "qps", "warm_qps") {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("FAIL: no positive qps.warm_qps in {path}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    let tolerance: f64 = std::env::var("OBDA_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+
+    let baseline = warm_qps(baseline_path);
+    let current = warm_qps(current_path);
+    let ratio = current / baseline;
+    println!(
+        "warm_qps: baseline {baseline:.1} q/s, current {current:.1} q/s ({:.1}% of baseline, tolerance -{:.0}%)",
+        ratio * 100.0,
+        tolerance * 100.0
+    );
+    if ratio < 1.0 - tolerance {
+        eprintln!(
+            "FAIL: warm QPS regressed {:.1}% vs the committed trajectory (allowed: {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "CHECK PASSED: warm QPS within {:.0}% of the committed trajectory",
+        tolerance * 100.0
+    );
+}

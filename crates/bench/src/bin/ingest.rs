@@ -26,6 +26,7 @@
 
 use std::time::{Duration, Instant};
 
+use obda_bench::benchjson;
 use obda_dllite::{ABox, AboxDelta};
 use obda_lubm::{generate, GenConfig, UnivOntology};
 use obda_rdbms::{Server, ServerConfig};
@@ -128,6 +129,22 @@ fn main() {
     println!("reload_abox (full)     : {reload_ms:>9.3} ms   ({speedup:.1}x slower)");
 
     let _ = std::fs::remove_dir_all(&dir);
+
+    let path = benchjson::default_path();
+    let section = benchjson::JsonObj::new()
+        .int("facts", report.facts as u64)
+        .num("apply_batch_ms", apply_ms)
+        .num(
+            "ingest_facts_per_s",
+            batch_facts as f64 / best_apply.as_secs_f64(),
+        )
+        .num("reload_ms", reload_ms)
+        .num("apply_vs_reload_speedup", speedup);
+    if let Err(e) = benchjson::merge_section(&path, "ingest", &section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {} [ingest]", path.display());
+    }
 
     if check {
         if speedup < 5.0 {

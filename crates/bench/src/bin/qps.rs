@@ -28,7 +28,7 @@ use obda_bench::{benchjson, ms, percentile};
 use obda_core::Strategy;
 use obda_lubm::{generate, star_query, workload, GenConfig, UnivOntology};
 use obda_query::CQ;
-use obda_rdbms::{Server, ServerConfig};
+use obda_rdbms::{ExecMode, Server, ServerConfig};
 
 fn env_usize(var: &str, default: usize) -> usize {
     std::env::var(var)
@@ -44,7 +44,7 @@ struct Bench {
 }
 
 impl Bench {
-    fn server(&self, cache: bool, threads: usize) -> Server {
+    fn server(&self, cache: bool, threads: usize, exec_mode: ExecMode) -> Server {
         Server::new(
             self.onto.voc.clone(),
             self.onto.tbox.clone(),
@@ -53,6 +53,7 @@ impl Bench {
                 reform_strategy: Strategy::Gdl { time_budget: None },
                 cache_plans: cache,
                 threads,
+                exec_mode,
                 ..ServerConfig::default()
             },
         )
@@ -131,7 +132,7 @@ fn main() {
     // Cold: full pipeline per call, one client. One pass over the
     // workload is enough signal — the pipeline is orders of magnitude
     // slower than cached execution.
-    let cold_srv = bench.server(false, 1);
+    let cold_srv = bench.server(false, 1, ExecMode::default());
     let cold_lat = bench.replay_latencies(&cold_srv, 1);
     let cold_qps = cold_lat.len() as f64 / cold_lat.iter().sum::<Duration>().as_secs_f64();
     let (cold_p50, cold_p99) = (percentile(&cold_lat, 50.0), percentile(&cold_lat, 99.0));
@@ -141,8 +142,9 @@ fn main() {
         ms(cold_p99)
     );
 
-    // Warm: primed cache, one client.
-    let warm_srv = bench.server(true, 1);
+    // Warm: primed cache, one client, on the default (vectorized)
+    // native pipeline.
+    let warm_srv = bench.server(true, 1, ExecMode::default());
     let _ = bench.replay_qps(&warm_srv, 1, 1); // prime (compiles once)
     let warm_lat = bench.replay_latencies(&warm_srv, rounds);
     let warm_qps = warm_lat.len() as f64 / warm_lat.iter().sum::<Duration>().as_secs_f64();
@@ -152,6 +154,18 @@ fn main() {
         "warm  plan cache    : {warm_qps:>10.1} q/s   ({speedup:.1}x cold, p50 {} ms, p99 {} ms)",
         ms(warm_p50),
         ms(warm_p99)
+    );
+
+    // The same warm replay on the row-at-a-time pipeline — the pre-PR
+    // execution path, kept as a measured baseline so the tracked JSON
+    // records the vectorized speedup, not an anecdote.
+    let row_srv = bench.server(true, 1, ExecMode::Row);
+    let _ = bench.replay_qps(&row_srv, 1, 1);
+    let row_lat = bench.replay_latencies(&row_srv, rounds);
+    let row_warm_qps = row_lat.len() as f64 / row_lat.iter().sum::<Duration>().as_secs_f64();
+    let vectorized_speedup = warm_qps / row_warm_qps;
+    println!(
+        "warm  row pipeline  : {row_warm_qps:>10.1} q/s   (vectorized is {vectorized_speedup:.2}x)"
     );
 
     // Client scaling on the warm server.
@@ -177,6 +191,8 @@ fn main() {
         .num("warm_p50_ms", warm_p50.as_secs_f64() * 1e3)
         .num("warm_p99_ms", warm_p99.as_secs_f64() * 1e3)
         .num("warm_speedup", speedup)
+        .num("warm_qps_row_pipeline", row_warm_qps)
+        .num("vectorized_speedup", vectorized_speedup)
         .num("qps_1_client", qps1)
         .num("qps_4_clients", qps4)
         .num("scaling_4_clients", scaling);

@@ -322,12 +322,40 @@ pub mod benchjson {
         std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
     }
 
-    /// The output path: `OBDA_BENCH_JSON` or `BENCH_qps.json` in the
-    /// working directory.
+    /// Read one numeric field back out of a file written by
+    /// [`merge_section`] (one `"section": {…}` per line). Returns `None`
+    /// if the file, section, or key is missing or non-numeric — callers
+    /// decide whether that is fatal (the CI regression gate does).
+    pub fn read_num(path: &Path, section: &str, key: &str) -> Option<f64> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let section_prefix = format!("\"{section}\": ");
+        for line in text.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if let Some(obj) = t.strip_prefix(section_prefix.as_str()) {
+                let key_prefix = format!("\"{key}\": ");
+                let at = obj.find(&key_prefix)? + key_prefix.len();
+                let rest = &obj[at..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                return rest[..end].trim().parse().ok();
+            }
+        }
+        None
+    }
+
+    /// The output path: `OBDA_BENCH_JSON`, or `BENCH_qps.json` at the
+    /// **workspace root**. The file used to be resolved against the
+    /// invocation CWD, so running a bench tool from a crate directory
+    /// scattered stray copies around the tree (and CI diffed the wrong
+    /// file); anchoring two levels above this crate's manifest pins it.
     pub fn default_path() -> std::path::PathBuf {
-        std::env::var_os("OBDA_BENCH_JSON")
-            .map(Into::into)
-            .unwrap_or_else(|| "BENCH_qps.json".into())
+        if let Some(p) = std::env::var_os("OBDA_BENCH_JSON") {
+            return p.into();
+        }
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench sits two levels below the workspace root");
+        root.join("BENCH_qps.json")
     }
 }
 
@@ -399,7 +427,29 @@ mod tests {
         assert!(text.contains("\"qps\": {\"warm_qps\": 999.000}"), "{text}");
         assert!(text.contains("\"soak\": {\"sessions\": 4}"), "{text}");
         assert!(!text.contains("1234.5"), "{text}");
+        // Round-trip: read_num recovers what merge_section wrote.
+        assert_eq!(benchjson::read_num(&path, "qps", "warm_qps"), Some(999.0));
+        assert_eq!(benchjson::read_num(&path, "soak", "sessions"), Some(4.0));
+        assert_eq!(benchjson::read_num(&path, "qps", "missing"), None);
+        assert_eq!(benchjson::read_num(&path, "missing", "warm_qps"), None);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_path_is_workspace_rooted() {
+        // Regardless of the invocation CWD, the default lands next to the
+        // workspace manifest (unless OBDA_BENCH_JSON overrides it).
+        let path = benchjson::default_path();
+        if std::env::var_os("OBDA_BENCH_JSON").is_none() {
+            assert_eq!(path.file_name().unwrap(), "BENCH_qps.json");
+            let root = path.parent().unwrap();
+            let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+            assert!(
+                manifest.contains("[workspace]"),
+                "default path must sit at the workspace root, got {}",
+                path.display()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The vectorized (batched columnar) conjunction pipeline — the default
+//! native execution path.
+//!
+//! The row pipeline in [`crate::executor`] carries intermediate results
+//! as `Vec<Row>` with one heap-allocated `Vec<u32>` per tuple and clones
+//! a row for every extension. This module carries the same intermediate
+//! relation column-major (`Cols`): one flat `Vec<u32>` per bound
+//! variable. Steps produce a *selection vector* (input-row index per
+//! output row) plus the newly bound value columns, then a chunked gather
+//! rebuilds the carried columns — no per-tuple allocation anywhere in
+//! the pipeline. Leaves scan storage through the block iterators
+//! ([`Storage::concept_blocks`] / [`Storage::role_blocks`], blocks of
+//! [`BATCH_SIZE`] values), hash-join probes and the DISTINCT projection
+//! process one block at a time, and their meter hooks fire once per
+//! block with the tuple count instead of once per tuple.
+//!
+//! **Exact parity contract** with the row pipeline, enforced by the
+//! differential harness and the equivalence property suite: identical
+//! answer sets AND identical meter totals. Every counter is a sum of
+//! per-tuple contributions, so amortized per-block counting changes
+//! nothing as long as (a) logical scans meter once with the same tuple
+//! counts (the block iterators' contract), (b) scans happen in the same
+//! order (the rescan discount is order-sensitive), and (c) intermediate
+//! tuple *multiplicities* match (later probe counts multiply by them).
+//! The pipeline therefore mirrors the row executor's step structure —
+//! atom-order prescans, per-row probes, no mid-pipeline dedup — and
+//! differs only in data representation and counting granularity.
+
+use obda_query::{Atom, Slot, Term, VarId};
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::layout::{Storage, BATCH_SIZE};
+use crate::meter::Meter;
+use crate::planner::{ConjunctionPlan, PhysicalOp};
+
+/// A result tuple (re-exported shape of [`crate::executor::Row`]).
+type Row = Vec<u32>;
+
+/// A column-major intermediate relation: one value column per bound
+/// variable (indexed by the executor's `var_pos` layout), all of length
+/// `len`. The initial state is the unit relation: zero columns, one row.
+struct Cols {
+    cols: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Cols {
+    fn unit() -> Self {
+        Cols {
+            cols: Vec::new(),
+            len: 1,
+        }
+    }
+}
+
+/// Rebuild the carried columns through a selection vector and append the
+/// newly bound columns. The gather walks one [`BATCH_SIZE`] chunk of the
+/// selection at a time per column, keeping the working set block-sized.
+fn gather(data: &Cols, sel: &[u32], new_cols: Vec<Vec<u32>>) -> Cols {
+    let len = sel.len();
+    let mut cols = Vec::with_capacity(data.cols.len() + new_cols.len());
+    for col in &data.cols {
+        let mut out = Vec::with_capacity(len);
+        for chunk in sel.chunks(BATCH_SIZE) {
+            out.extend(chunk.iter().map(|&i| col[i as usize]));
+        }
+        cols.push(out);
+    }
+    for c in new_cols {
+        debug_assert_eq!(c.len(), len, "new columns align with the selection");
+        cols.push(c);
+    }
+    Cols { cols, len }
+}
+
+/// Run one planned conjunction through the batched pipeline and project
+/// `head` with DISTINCT. Drop-in columnar equivalent of the row
+/// executor's step loop + projection (same plans, same meter totals).
+pub(crate) fn run_plan(
+    storage: &dyn Storage,
+    slots: &[Slot],
+    head: &[Term],
+    plan: &ConjunctionPlan,
+    meter: &mut Meter,
+) -> FxHashSet<Row> {
+    let mut var_pos: FxHashMap<VarId, usize> = FxHashMap::default();
+    let mut data = Cols::unit();
+    for step in &plan.steps {
+        let slot = &slots[step.slot];
+        // Canonical new-variable order — identical computation to the
+        // row executor so both modes produce the same column layout.
+        let mut new_var_order: Vec<VarId> = Vec::new();
+        for v in slot.atoms()[0].vars() {
+            if !var_pos.contains_key(&v) && !new_var_order.contains(&v) {
+                new_var_order.push(v);
+            }
+        }
+        data = match step.op {
+            PhysicalOp::HashJoin { .. } | PhysicalOp::BatchHashJoin { .. } => {
+                hash_join_batch(storage, slot, &data, &var_pos, &new_var_order, meter)
+            }
+            PhysicalOp::IndexNestedLoop(_) => {
+                inl_batch(storage, slot, &data, &var_pos, &new_var_order, meter)
+            }
+        };
+        for v in new_var_order {
+            let len = var_pos.len();
+            var_pos.insert(v, len);
+        }
+        if data.len == 0 {
+            break;
+        }
+    }
+    project(head, &var_pos, &data, meter)
+}
+
+/// How a head term is filled during projection. Resolution is
+/// all-or-nothing per conjunction (column layout is fixed), so it is
+/// computed once instead of per row.
+enum HeadSrc {
+    Const(u32),
+    Col(usize),
+}
+
+/// Batched DISTINCT projection: resolve the head against the column
+/// layout once, then insert block-sized runs into the answer set with
+/// one amortized `on_hash_build` per block.
+fn project(
+    head: &[Term],
+    var_pos: &FxHashMap<VarId, usize>,
+    data: &Cols,
+    meter: &mut Meter,
+) -> FxHashSet<Row> {
+    let mut srcs = Vec::with_capacity(head.len());
+    for t in head {
+        match t {
+            Term::Const(c) => srcs.push(HeadSrc::Const(c.0)),
+            Term::Var(v) => match var_pos.get(v) {
+                Some(&p) if p < data.cols.len() => srcs.push(HeadSrc::Col(p)),
+                // Unresolvable head variable: the row pipeline drops
+                // every row (unmetered) — so does the batched one.
+                _ => return FxHashSet::default(),
+            },
+        }
+    }
+    let mut out = FxHashSet::default();
+    let mut start = 0usize;
+    while start < data.len {
+        let end = (start + BATCH_SIZE).min(data.len);
+        meter.on_hash_build((end - start) as u64);
+        for i in start..end {
+            let tuple: Row = srcs
+                .iter()
+                .map(|s| match s {
+                    HeadSrc::Const(c) => *c,
+                    HeadSrc::Col(p) => data.cols[*p][i],
+                })
+                .collect();
+            out.insert(tuple);
+        }
+        start = end;
+    }
+    out
+}
+
+/// A buffered block scan of an atom whose variables are all unbound —
+/// the columnar analogue of the row executor's `Prescan`, filled from
+/// the block iterators (identical `on_scan` metering).
+enum Prescan {
+    Concept(Vec<u32>),
+    Role(Vec<u32>, Vec<u32>),
+}
+
+fn prescan_if_unbound(
+    storage: &dyn Storage,
+    atom: &Atom,
+    var_pos: &FxHashMap<VarId, usize>,
+    meter: &mut Meter,
+) -> Option<Prescan> {
+    let term_bound = |t: &Term| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => var_pos.contains_key(v),
+    };
+    match atom {
+        Atom::Concept(c, t) if !term_bound(t) => {
+            let mut members = Vec::new();
+            storage.concept_blocks(*c, meter, &mut |b| members.extend_from_slice(b));
+            Some(Prescan::Concept(members))
+        }
+        Atom::Role(r, t1, t2) if !term_bound(t1) && !term_bound(t2) => {
+            let (mut subs, mut objs) = (Vec::new(), Vec::new());
+            storage.role_blocks(*r, meter, &mut |bs, bo| {
+                subs.extend_from_slice(bs);
+                objs.extend_from_slice(bo);
+            });
+            Some(Prescan::Role(subs, objs))
+        }
+        _ => None,
+    }
+}
+
+/// One index-nested-loop step over the column batch. Atom-major instead
+/// of the row executor's row-major loop: per atom, every input row is
+/// probed/extended into the shared selection + new-value columns (the
+/// output multiset — and with it every later meter count — is
+/// identical; only the intermediate order differs, which a set-semantics
+/// result never observes).
+fn inl_batch(
+    storage: &dyn Storage,
+    slot: &Slot,
+    data: &Cols,
+    var_pos: &FxHashMap<VarId, usize>,
+    new_var_order: &[VarId],
+    meter: &mut Meter,
+) -> Cols {
+    // Prescans run once per atom, in atom order, before any per-row
+    // work — same scan order (and rescan discounting) as the row path.
+    let prescans: Vec<Option<Prescan>> = slot
+        .atoms()
+        .iter()
+        .map(|a| prescan_if_unbound(storage, a, var_pos, meter))
+        .collect();
+
+    let mut sel: Vec<u32> = Vec::new();
+    let mut new_cols: Vec<Vec<u32>> = vec![Vec::new(); new_var_order.len()];
+    let value_of = |t: &Term, i: usize| -> Option<u32> {
+        match t {
+            Term::Const(c) => Some(c.0),
+            Term::Var(v) => var_pos.get(v).map(|&p| data.cols[p][i]),
+        }
+    };
+    let scan_stage = data.len == 1 && data.cols.is_empty();
+
+    for (atom, prescan) in slot.atoms().iter().zip(&prescans) {
+        match atom {
+            Atom::Concept(c, t) => match prescan {
+                None => {
+                    // Bound term: a membership filter (the slot binds no
+                    // new variable — slot atoms share one variable set).
+                    debug_assert!(new_var_order.is_empty());
+                    for i in 0..data.len {
+                        let val = value_of(t, i).expect("filter term is bound");
+                        if storage.probe_concept(*c, val, meter) {
+                            sel.push(i as u32);
+                        }
+                    }
+                }
+                Some(Prescan::Concept(members)) => {
+                    debug_assert_eq!(new_var_order.len(), 1);
+                    if scan_stage {
+                        // Unit input: the members column IS the output.
+                        sel.resize(sel.len() + members.len(), 0);
+                        new_cols[0].extend_from_slice(members);
+                    } else {
+                        for i in 0..data.len {
+                            for &m in members {
+                                sel.push(i as u32);
+                                new_cols[0].push(m);
+                            }
+                        }
+                    }
+                }
+                Some(Prescan::Role(..)) => unreachable!("concept atom prescans members"),
+            },
+            Atom::Role(r, t1, t2) => {
+                let bound1 = matches!(t1, Term::Const(_))
+                    || t1.as_var().is_some_and(|v| var_pos.contains_key(&v));
+                let bound2 = matches!(t2, Term::Const(_))
+                    || t2.as_var().is_some_and(|v| var_pos.contains_key(&v));
+                match (bound1, bound2) {
+                    (true, true) => {
+                        debug_assert!(new_var_order.is_empty());
+                        for i in 0..data.len {
+                            let s = value_of(t1, i).expect("bound");
+                            let o = value_of(t2, i).expect("bound");
+                            if storage.probe_role(*r, s, o, meter) {
+                                sel.push(i as u32);
+                            }
+                        }
+                    }
+                    (true, false) => {
+                        debug_assert_eq!(new_var_order.len(), 1);
+                        let col = &mut new_cols[0];
+                        for i in 0..data.len {
+                            let s = value_of(t1, i).expect("bound");
+                            storage.role_objects(*r, s, meter, &mut |o| {
+                                sel.push(i as u32);
+                                col.push(o);
+                            });
+                        }
+                    }
+                    (false, true) => {
+                        debug_assert_eq!(new_var_order.len(), 1);
+                        let col = &mut new_cols[0];
+                        for i in 0..data.len {
+                            let o = value_of(t2, i).expect("bound");
+                            storage.role_subjects(*r, o, meter, &mut |s| {
+                                sel.push(i as u32);
+                                col.push(s);
+                            });
+                        }
+                    }
+                    (false, false) => {
+                        let Some(Prescan::Role(psubs, pobjs)) = prescan else {
+                            unreachable!("unbound role atom must have a prescan")
+                        };
+                        let v1 = t1.as_var().expect("unbound term is a variable");
+                        let v2 = t2.as_var().expect("unbound term is a variable");
+                        if v1 == v2 {
+                            // Self-join r(x, x): keep only s == o pairs.
+                            debug_assert_eq!(new_var_order.len(), 1);
+                            for i in 0..data.len {
+                                for (&s, &o) in psubs.iter().zip(pobjs) {
+                                    if s == o {
+                                        sel.push(i as u32);
+                                        new_cols[0].push(s);
+                                    }
+                                }
+                            }
+                        } else {
+                            // Atoms may list the shared variable set in
+                            // either order; bind by variable identity.
+                            let p1 = new_var_order.iter().position(|v| *v == v1);
+                            let p2 = new_var_order.iter().position(|v| *v == v2);
+                            let (Some(p1), Some(p2)) = (p1, p2) else {
+                                unreachable!("slot atoms share one variable set")
+                            };
+                            if scan_stage {
+                                sel.resize(sel.len() + psubs.len(), 0);
+                                new_cols[p1].extend_from_slice(psubs);
+                                new_cols[p2].extend_from_slice(pobjs);
+                            } else {
+                                for i in 0..data.len {
+                                    for (&s, &o) in psubs.iter().zip(pobjs) {
+                                        sel.push(i as u32);
+                                        new_cols[p1].push(s);
+                                        new_cols[p2].push(o);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gather(data, &sel, new_cols)
+}
+
+/// One vectorized hash-join step ([`PhysicalOp::BatchHashJoin`]): build
+/// the slot's extension into a key → values table straight from the
+/// block scans (one amortized `on_join_build`), then probe the bound key
+/// *column* one [`BATCH_SIZE`] block at a time with one `on_join_probe`
+/// per block — the amortized per-batch meter hook replacing the row
+/// executor's per-row counting, with identical totals.
+fn hash_join_batch(
+    storage: &dyn Storage,
+    slot: &Slot,
+    data: &Cols,
+    var_pos: &FxHashMap<VarId, usize>,
+    new_var_order: &[VarId],
+    meter: &mut Meter,
+) -> Cols {
+    let key_vars: Vec<VarId> = slot
+        .vars()
+        .into_iter()
+        .filter(|v| var_pos.contains_key(v))
+        .collect();
+    assert_eq!(key_vars.len(), 1, "hash join keys on one bound variable");
+    assert_eq!(
+        new_var_order.len(),
+        1,
+        "hash join steps bind exactly one new variable"
+    );
+    let key_var = key_vars[0];
+
+    let mut table: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut inserted: u64 = 0;
+    for atom in slot.atoms() {
+        let Atom::Role(r, Term::Var(v1), Term::Var(v2)) = atom else {
+            unreachable!("hash-eligible slots contain only two-variable role atoms")
+        };
+        let key_on_subject = *v1 == key_var;
+        debug_assert!(
+            key_on_subject || *v2 == key_var,
+            "slot atom must use the key variable"
+        );
+        storage.role_blocks(*r, meter, &mut |bs, bo| {
+            let (keys, vals) = if key_on_subject { (bs, bo) } else { (bo, bs) };
+            inserted += keys.len() as u64;
+            for (&k, &v) in keys.iter().zip(vals) {
+                table.entry(k).or_default().push(v);
+            }
+        });
+    }
+    meter.on_join_build(inserted);
+
+    let key_col = &data.cols[var_pos[&key_var]];
+    let mut sel: Vec<u32> = Vec::new();
+    let mut out_col: Vec<u32> = Vec::new();
+    let mut start = 0usize;
+    while start < data.len {
+        let end = (start + BATCH_SIZE).min(data.len);
+        meter.on_join_probe((end - start) as u64);
+        for (i, key) in key_col[start..end].iter().enumerate() {
+            if let Some(vals) = table.get(key) {
+                for &val in vals {
+                    sel.push((start + i) as u32);
+                    out_col.push(val);
+                }
+            }
+        }
+        start = end;
+    }
+    gather(data, &sel, vec![out_col])
+}
+
+#[cfg(test)]
+mod tests {
+    use obda_dllite::{ABox, ConceptId, IndividualId, RoleId, Vocabulary};
+    use obda_query::{Atom, FolQuery, Term, VarId, CQ, UCQ};
+
+    use crate::executor::{execute_mode, Row};
+    use crate::layout::{dph::DphStorage, simple::SimpleStorage, triple::TripleStorage, Storage};
+    use crate::meter::Meter;
+    use crate::metrics::ExecMetrics;
+    use crate::planner::{ExecMode, JoinStrategy};
+    use crate::profile::EngineProfile;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// A KB whose extents straddle the batch boundary: concept `A` has
+    /// `n` members, role `r` has `n` pairs fanning into 7 objects.
+    fn boundary_abox(n: u32) -> (Vocabulary, ABox) {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        voc.concept("B"); // stays empty
+        let r = voc.role("r");
+        voc.role("s"); // stays empty
+        let inds: Vec<_> = (0..n).map(|k| voc.individual(&format!("i{k}"))).collect();
+        let mut abox = ABox::new();
+        for &i in &inds {
+            abox.assert_concept(a, i);
+            abox.assert_role(r, i, IndividualId(i.0 % 7));
+        }
+        (voc, abox)
+    }
+
+    fn layouts(abox: &ABox) -> Vec<(&'static str, Box<dyn Storage>)> {
+        vec![
+            ("simple", Box::new(SimpleStorage::load(abox))),
+            ("triple", Box::new(TripleStorage::load(abox))),
+            ("dph", Box::new(DphStorage::load(abox))),
+        ]
+    }
+
+    fn assert_metrics_eq(b: &ExecMetrics, r: &ExecMetrics, ctx: &str) {
+        assert!(
+            (b.scanned - r.scanned).abs() < 1e-9,
+            "{ctx}: scanned {} vs {}",
+            b.scanned,
+            r.scanned
+        );
+        assert_eq!(b.index_probes, r.index_probes, "{ctx}: index_probes");
+        assert_eq!(b.hash_build, r.hash_build, "{ctx}: hash_build");
+        assert_eq!(b.hash_probe, r.hash_probe, "{ctx}: hash_probe");
+        assert_eq!(b.join_build, r.join_build, "{ctx}: join_build");
+        assert_eq!(b.join_probe, r.join_probe, "{ctx}: join_probe");
+        assert_eq!(b.materialized, r.materialized, "{ctx}: materialized");
+        assert_eq!(b.output, r.output, "{ctx}: output");
+    }
+
+    /// Run `q` in both pipelines on one storage; rows and every meter
+    /// counter must match.
+    fn assert_modes_agree(storage: &dyn Storage, q: &FolQuery, ctx: &str) -> Vec<Row> {
+        let profile = EngineProfile::pg_like();
+        let mut rows_per_mode: Vec<(Vec<Row>, ExecMetrics)> = Vec::new();
+        for strategy in [
+            JoinStrategy::ForcedInl,
+            JoinStrategy::ForcedHash,
+            JoinStrategy::CostChosen,
+        ] {
+            let mut per_strategy = Vec::new();
+            for mode in [ExecMode::Batched, ExecMode::Row] {
+                let mut meter = Meter::new(&profile);
+                let mut rows = execute_mode(storage, q, &mut meter, strategy, mode);
+                rows.sort();
+                per_strategy.push((rows, meter.metrics));
+            }
+            let (batched, row) = (&per_strategy[0], &per_strategy[1]);
+            assert_eq!(batched.0, row.0, "{ctx}/{strategy:?}: rows drifted");
+            assert_metrics_eq(&batched.1, &row.1, &format!("{ctx}/{strategy:?}"));
+            rows_per_mode.push(per_strategy.remove(0));
+        }
+        rows_per_mode.remove(0).0
+    }
+
+    /// Extents of exactly BATCH_SIZE−1 / BATCH_SIZE / BATCH_SIZE+1 rows:
+    /// the block iterators emit a final partial block, one exact block,
+    /// and a full-plus-one split; both pipelines must agree on rows and
+    /// meter totals for a pure scan and for a join straddling the edge.
+    #[test]
+    fn batch_boundary_extents_agree_across_modes() {
+        assert_eq!(super::BATCH_SIZE, 1024, "test pins the block size");
+        let scan = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(ConceptId(0), v(0))],
+        ));
+        let join = FolQuery::Cq(CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![
+                Atom::Concept(ConceptId(0), v(0)),
+                Atom::Role(RoleId(0), v(0), v(1)),
+            ],
+        ));
+        for n in [1023u32, 1024, 1025] {
+            let (_voc, abox) = boundary_abox(n);
+            for (name, storage) in layouts(&abox) {
+                let got =
+                    assert_modes_agree(storage.as_ref(), &scan, &format!("scan n={n} {name}"));
+                assert_eq!(got.len(), n as usize, "scan n={n} {name}: row count");
+                let got =
+                    assert_modes_agree(storage.as_ref(), &join, &format!("join n={n} {name}"));
+                assert_eq!(got.len(), n as usize, "join n={n} {name}: row count");
+            }
+        }
+    }
+
+    /// A union interleaving empty arms (empty concept, empty role join)
+    /// between populated ones: the batched pipeline must push empty
+    /// column batches through gather/projection without skewing any
+    /// counter, and per-arm deltas must still sum to the totals.
+    #[test]
+    fn empty_batches_between_union_arms_agree_across_modes() {
+        let (_voc, abox) = boundary_abox(1500);
+        let arms = [
+            // Empty: concept B has no members.
+            CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(1), v(0))]),
+            // Populated: 1500 members of A.
+            CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(ConceptId(0), v(0))]),
+            // Empty again: role s has no pairs, so the join yields nothing.
+            CQ::with_var_head(
+                vec![VarId(0)],
+                vec![
+                    Atom::Concept(ConceptId(0), v(0)),
+                    Atom::Role(RoleId(1), v(0), v(1)),
+                ],
+            ),
+            // Populated join crossing the batch boundary.
+            CQ::with_var_head(
+                vec![VarId(0)],
+                vec![
+                    Atom::Concept(ConceptId(0), v(0)),
+                    Atom::Role(RoleId(0), v(0), v(1)),
+                ],
+            ),
+        ];
+        let q = FolQuery::Ucq(UCQ::from_cqs(vec![v(0)], arms));
+        for (name, storage) in layouts(&abox) {
+            let got = assert_modes_agree(storage.as_ref(), &q, &format!("union {name}"));
+            assert_eq!(got.len(), 1500, "union {name}: distinct union size");
+        }
+        // Arm-delta invariant under the batched default: empty arms
+        // record zero-output deltas and the deltas sum to the totals.
+        let storage = SimpleStorage::load(&abox);
+        let profile = EngineProfile::pg_like();
+        let mut meter = Meter::new(&profile);
+        execute_mode(
+            &storage,
+            &q,
+            &mut meter,
+            JoinStrategy::CostChosen,
+            ExecMode::Batched,
+        );
+        assert_eq!(meter.arm_metrics.len(), 4, "one delta per union arm");
+        assert_eq!(meter.arm_metrics[0].output, 0, "empty concept arm");
+        assert_eq!(meter.arm_metrics[2].output, 0, "empty join arm");
+        let mut sum = ExecMetrics::default();
+        for arm in &meter.arm_metrics {
+            sum.merge(arm);
+        }
+        assert!(
+            (sum.scanned - meter.metrics.scanned).abs() < 1e-9
+                && sum.join_build == meter.metrics.join_build
+                && sum.join_probe == meter.metrics.join_probe
+                && sum.hash_build == meter.metrics.hash_build,
+            "arm deltas sum to statement totals"
+        );
+    }
+}

@@ -21,8 +21,8 @@ use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, UCQ, U
 use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
 use crate::planner::{
-    plan_conjunction, scan_cost, slot_estimate, JoinStrategy, PhysicalOp, HASH_BUILD_WEIGHT,
-    HASH_PROBE_WEIGHT, INDEX_PROBE_WEIGHT, MATERIALIZE_WEIGHT,
+    plan_conjunction_mode, scan_cost, slot_estimate, ExecMode, JoinStrategy, PhysicalOp,
+    HASH_BUILD_WEIGHT, HASH_PROBE_WEIGHT, INDEX_PROBE_WEIGHT, MATERIALIZE_WEIGHT,
 };
 use crate::profile::EngineProfile;
 use crate::stats::CatalogStats;
@@ -34,6 +34,11 @@ pub struct CostModel {
     /// Which physical operators the priced plans may use. Must match the
     /// executor's strategy for "explain prices the plan that runs".
     strategy: JoinStrategy,
+    /// Which pipeline the priced plans run under. Batched mode records
+    /// `vhash` operators in place of `hash`; the *estimates* are mode-
+    /// invariant (the vectorized pipeline does the same logical work —
+    /// the meters prove it), so pricing never drifts between modes.
+    mode: ExecMode,
     /// Union arms beyond which default selectivities kick in (engine
     /// shortcut; `None` = always estimate properly).
     collapse_limit: Option<usize>,
@@ -49,6 +54,7 @@ impl CostModel {
             stats,
             layout,
             strategy: JoinStrategy::CostChosen,
+            mode: ExecMode::default(),
             collapse_limit: profile.union_collapse_limit,
             rescan_discount: profile.rescan_discount,
             name: format!("rdbms/{}", profile.name()),
@@ -61,6 +67,7 @@ impl CostModel {
             stats,
             layout,
             strategy: JoinStrategy::CostChosen,
+            mode: ExecMode::default(),
             collapse_limit: None,
             rescan_discount: 1.0,
             name: "ext".to_owned(),
@@ -71,6 +78,13 @@ impl CostModel {
     /// its own, so forced modes explain what they run).
     pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Price plans for an explicit [`ExecMode`] (the engine passes its
+    /// own, so explain describes the pipeline that actually runs).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -212,12 +226,13 @@ impl CostModel {
                 card: 1.0,
             };
         }
-        let plan = plan_conjunction(
+        let plan = plan_conjunction_mode(
             slots,
             &BTreeSet::new(),
             &self.stats,
             self.layout,
             self.strategy,
+            self.mode,
         );
         let mut bound: BTreeSet<VarId> = BTreeSet::new();
         let mut cost = 0.0;
@@ -233,8 +248,13 @@ impl CostModel {
             };
             match step.op {
                 // The engine shortcut never reasons about operators — a
-                // degraded estimate prices every step as INL.
-                PhysicalOp::HashJoin { build_rows } if !degraded => {
+                // degraded estimate prices every step as INL. The batched
+                // spelling prices identically to the row one: same scans,
+                // same build tuples, same per-row probes.
+                PhysicalOp::HashJoin { build_rows }
+                | PhysicalOp::BatchHashJoin { build_rows, .. }
+                    if !degraded =>
+                {
                     // Build: scan each extension once (rescan-discounted)
                     // and insert every tuple; probe once per current row.
                     let mut build_scan = 0.0;

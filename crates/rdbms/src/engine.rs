@@ -17,14 +17,14 @@ use std::collections::BTreeSet;
 use obda_query::{Slot, CQ};
 
 use crate::cost_model::CostModel;
-use crate::executor::{execute_parallel, prepare_plans, PreparedPlans, Row};
+use crate::executor::{execute_parallel, prepare_plans_mode, PreparedPlans, Row};
 use crate::layout::dph::DphStorage;
 use crate::layout::simple::SimpleStorage;
 use crate::layout::triple::TripleStorage;
 use crate::layout::{LayoutKind, Storage};
 use crate::meter::Meter;
 use crate::metrics::ExecMetrics;
-use crate::planner::{plan_conjunction, ConjunctionPlan, JoinStrategy};
+use crate::planner::{plan_conjunction_mode, ConjunctionPlan, ExecMode, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sql::{SqlGenerator, SqlNames};
 use crate::sqlexec::{Backend, SqlError};
@@ -98,6 +98,10 @@ pub struct EvalOptions<'a> {
     /// one). The serving layer's wire sessions select their backend per
     /// connection, against one shared engine snapshot.
     pub backend: Option<Backend>,
+    /// Execution-mode override (`None` = the engine's configured one).
+    /// Ignored when `prepared` is set — stored plans replay the mode
+    /// they were planned under — and by the SQL backend.
+    pub mode: Option<ExecMode>,
 }
 
 /// An RDBMS instance: one loaded ABox under one layout and profile.
@@ -110,6 +114,7 @@ pub struct Engine {
     storage: Box<dyn Storage>,
     profile: EngineProfile,
     join_strategy: JoinStrategy,
+    exec_mode: ExecMode,
     sql: SqlGenerator,
     backend: Backend,
 }
@@ -131,6 +136,7 @@ impl Clone for Engine {
             storage: self.storage.boxed_clone(),
             profile: self.profile.clone(),
             join_strategy: self.join_strategy,
+            exec_mode: self.exec_mode,
             sql: self.sql.clone(),
             backend: self.backend,
         }
@@ -151,6 +157,7 @@ impl Engine {
             storage,
             profile,
             join_strategy: JoinStrategy::CostChosen,
+            exec_mode: ExecMode::default(),
             sql,
             backend: Backend::Native,
         }
@@ -176,6 +183,20 @@ impl Engine {
 
     pub fn join_strategy(&self) -> JoinStrategy {
         self.join_strategy
+    }
+
+    /// Pin the execution mode of the native pipeline. The default is
+    /// [`ExecMode::Batched`] — the vectorized columnar pipeline;
+    /// [`ExecMode::Row`] keeps the classic tuple-at-a-time pipeline
+    /// (both answer identically with identical meter totals; row mode
+    /// exists for the differential harness and benchmarks).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Select which execution engine answers queries:
@@ -241,9 +262,16 @@ impl Engine {
         self.prepare_with(q, self.join_strategy)
     }
 
-    /// [`Engine::prepare`] under an explicit strategy.
+    /// [`Engine::prepare`] under an explicit strategy. Plans are priced
+    /// for the engine's configured [`ExecMode`] and replay under it.
     pub fn prepare_with(&self, q: &FolQuery, strategy: JoinStrategy) -> PreparedPlans {
-        prepare_plans(q, self.storage.stats(), self.storage.layout(), strategy)
+        prepare_plans_mode(
+            q,
+            self.storage.stats(),
+            self.storage.layout(),
+            strategy,
+            self.exec_mode,
+        )
     }
 
     /// Evaluate replaying [`PreparedPlans`] — skips all planning work.
@@ -322,6 +350,7 @@ impl Engine {
             }
         }
         let strategy = opts.strategy.unwrap_or(self.join_strategy);
+        let mode = opts.mode.unwrap_or(self.exec_mode);
         let start = Instant::now();
         let mut meter = Meter::new(&self.profile);
         let rows = execute_parallel(
@@ -329,6 +358,7 @@ impl Engine {
             q,
             &mut meter,
             strategy,
+            mode,
             opts.prepared,
             opts.threads,
         );
@@ -409,7 +439,7 @@ impl Engine {
     /// The structured explain: per conjunction (CQ, SCQ, union arm, JUCQ
     /// component arm), the slot order and the physical operator chosen
     /// for each step, with per-step cost and row estimates — the same
-    /// [`plan_conjunction`] the executor will follow, so the printed plan
+    /// [`crate::planner::plan_conjunction`] the executor will follow, so the printed plan
     /// is the plan that runs.
     pub fn explain_plan(&self, q: &FolQuery) -> ExplainPlan {
         let mut arms = Vec::new();
@@ -453,12 +483,13 @@ impl Engine {
     }
 
     fn arm_plan(&self, label: String, slots: &[Slot]) -> ArmPlan {
-        let plan = plan_conjunction(
+        let plan = plan_conjunction_mode(
             slots,
             &BTreeSet::new(),
             self.storage.stats(),
             self.storage.layout(),
             self.join_strategy,
+            self.exec_mode,
         );
         ArmPlan { label, plan }
     }
@@ -472,12 +503,14 @@ impl Engine {
             &self.profile,
         )
         .with_strategy(self.join_strategy)
+        .with_mode(self.exec_mode)
     }
 
     /// The external (paper-side) cost model over this engine's statistics.
     pub fn ext_cost_model(&self) -> CostModel {
         CostModel::ext(self.storage.stats().clone(), self.storage.layout())
             .with_strategy(self.join_strategy)
+            .with_mode(self.exec_mode)
     }
 }
 

@@ -21,7 +21,7 @@ use obda_query::{Atom, FolQuery, Slot, Term, VarId, CQ, JUCQ, JUSCQ, SCQ, USCQ};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::layout::{LayoutKind, Storage};
 use crate::meter::Meter;
-use crate::planner::{plan_conjunction, ConjunctionPlan, JoinStrategy, PhysicalOp};
+use crate::planner::{plan_conjunction_mode, ConjunctionPlan, ExecMode, JoinStrategy, PhysicalOp};
 use crate::stats::CatalogStats;
 
 /// A result tuple of dictionary-encoded values.
@@ -44,6 +44,11 @@ pub struct PreparedPlans {
     /// The strategy the plans were produced under (recorded so cached
     /// entries can be audited; execution follows the stored ops directly).
     pub strategy: JoinStrategy,
+    /// The execution mode the plans were priced for. Replaying a stored
+    /// plan re-enters the same pipeline (row or batched) it was planned
+    /// under, so explain output, cached costs, and the executed
+    /// operators always describe the same physical run.
+    pub mode: ExecMode,
     /// One plan per *non-empty* conjunction, in the order the executor
     /// visits them (CQ; UCQ arms; SCQ; USCQ arms; JUCQ/JUSCQ components'
     /// arms, component-major). Empty-body conjunctions plan nothing.
@@ -59,21 +64,36 @@ pub fn prepare_plans(
     layout: LayoutKind,
     strategy: JoinStrategy,
 ) -> PreparedPlans {
+    prepare_plans_mode(q, stats, layout, strategy, ExecMode::default())
+}
+
+/// [`prepare_plans`] with an explicit [`ExecMode`]: the mode decides the
+/// physical join operator recorded per step (`hash` vs `vhash`) and is
+/// stored in the result so replay re-enters the matching pipeline.
+pub fn prepare_plans_mode(
+    q: &FolQuery,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+    strategy: JoinStrategy,
+    mode: ExecMode,
+) -> PreparedPlans {
     struct Prep<'a> {
         stats: &'a CatalogStats,
         layout: LayoutKind,
         strategy: JoinStrategy,
+        mode: ExecMode,
         plans: Vec<ConjunctionPlan>,
     }
     impl Prep<'_> {
         fn add(&mut self, slots: &[Slot]) {
             if !slots.is_empty() {
-                self.plans.push(plan_conjunction(
+                self.plans.push(plan_conjunction_mode(
                     slots,
                     &BTreeSet::new(),
                     self.stats,
                     self.layout,
                     self.strategy,
+                    self.mode,
                 ));
             }
         }
@@ -86,6 +106,7 @@ pub fn prepare_plans(
         stats,
         layout,
         strategy,
+        mode,
         plans: Vec::new(),
     };
     match q {
@@ -106,24 +127,39 @@ pub fn prepare_plans(
     }
     PreparedPlans {
         strategy,
+        mode,
         plans: p.plans,
     }
 }
 
-/// Where each conjunction's plan comes from during one execution.
+/// Where each conjunction's plan comes from during one execution. Both
+/// variants carry the [`ExecMode`] so every conjunction of a statement
+/// runs the same pipeline the plan was (or will be) priced for.
 enum PlanSource<'a> {
     /// Plan on the fly (the classic per-call pipeline).
-    Inline(JoinStrategy),
+    Inline(JoinStrategy, ExecMode),
     /// Replay stored plans in traversal order (the plan-cache hot path).
     Stored {
         plans: &'a [ConjunctionPlan],
         next: usize,
+        mode: ExecMode,
     },
 }
 
 impl<'a> PlanSource<'a> {
-    fn stored(plans: &'a [ConjunctionPlan]) -> Self {
-        PlanSource::Stored { plans, next: 0 }
+    fn stored(plans: &'a [ConjunctionPlan], mode: ExecMode) -> Self {
+        PlanSource::Stored {
+            plans,
+            next: 0,
+            mode,
+        }
+    }
+
+    fn mode(&self) -> ExecMode {
+        match self {
+            PlanSource::Inline(_, mode) => *mode,
+            PlanSource::Stored { mode, .. } => *mode,
+        }
     }
 }
 
@@ -141,7 +177,22 @@ pub fn execute_with(
     meter: &mut Meter,
     strategy: JoinStrategy,
 ) -> Vec<Row> {
-    execute_from(storage, q, meter, &mut PlanSource::Inline(strategy))
+    execute_mode(storage, q, meter, strategy, ExecMode::default())
+}
+
+/// Evaluate any FOL query under an explicit strategy *and* [`ExecMode`].
+/// `ExecMode::Batched` (the default everywhere) runs conjunctions through
+/// the vectorized pipeline in [`crate::columnar`]; `ExecMode::Row` runs
+/// the classic tuple-at-a-time pipeline. Both produce identical answer
+/// sets and meter totals — the differential harness holds them to it.
+pub fn execute_mode(
+    storage: &dyn Storage,
+    q: &FolQuery,
+    meter: &mut Meter,
+    strategy: JoinStrategy,
+    mode: ExecMode,
+) -> Vec<Row> {
+    execute_from(storage, q, meter, &mut PlanSource::Inline(strategy, mode))
 }
 
 /// Evaluate `q` replaying [`PreparedPlans`] — no `plan_conjunction` calls.
@@ -154,9 +205,9 @@ pub fn execute_planned(
     meter: &mut Meter,
     prepared: &PreparedPlans,
 ) -> Vec<Row> {
-    let mut source = PlanSource::stored(&prepared.plans);
+    let mut source = PlanSource::stored(&prepared.plans, prepared.mode);
     let rows = execute_from(storage, q, meter, &mut source);
-    if let PlanSource::Stored { next, plans } = source {
+    if let PlanSource::Stored { next, plans, .. } = source {
         assert_eq!(
             next,
             plans.len(),
@@ -200,17 +251,19 @@ fn execute_from(
 /// path (a non-issue for discount-free profiles like pg-like; under
 /// db2-like, parallel totals conservatively price every arm's first scan
 /// at full cost).
+#[allow(clippy::too_many_arguments)]
 pub fn execute_parallel(
     storage: &dyn Storage,
     q: &FolQuery,
     meter: &mut Meter,
     strategy: JoinStrategy,
+    mode: ExecMode,
     prepared: Option<&PreparedPlans>,
     threads: usize,
 ) -> Vec<Row> {
     let sequential = |meter: &mut Meter| match prepared {
         Some(p) => execute_planned(storage, q, meter, p),
-        None => execute_with(storage, q, meter, strategy),
+        None => execute_mode(storage, q, meter, strategy, mode),
     };
     if threads <= 1 {
         return sequential(meter);
@@ -221,7 +274,7 @@ pub fn execute_parallel(
             let profile = meter.profile();
             let results = fan_out(ucq.cqs(), threads, |i, cq| {
                 let mut wm = Meter::new(profile);
-                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let rows = eval_cq_set(storage, cq, &mut wm, &mut src);
                 wm.on_hash_build(rows.len() as u64);
                 let mut delta = wm.metrics;
@@ -244,7 +297,7 @@ pub fn execute_parallel(
             let profile = meter.profile();
             let results = fan_out(uscq.scqs(), threads, |i, scq| {
                 let mut wm = Meter::new(profile);
-                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let rows = eval_scq_set(storage, scq, &mut wm, &mut src);
                 wm.on_hash_build(rows.len() as u64);
                 let mut delta = wm.metrics;
@@ -267,7 +320,7 @@ pub fn execute_parallel(
             let profile = meter.profile();
             let results = fan_out(jucq.components(), threads, |i, comp| {
                 let mut wm = Meter::new(profile);
-                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let set = eval_ucq_set_inner(storage, comp, &mut wm, &mut src, false);
                 let rel = materialize(comp.head(), set, &mut wm);
                 (rel, wm.metrics)
@@ -289,7 +342,7 @@ pub fn execute_parallel(
             let profile = meter.profile();
             let results = fan_out(juscq.components(), threads, |i, comp| {
                 let mut wm = Meter::new(profile);
-                let mut src = arm_source(prepared, &offsets, i, strategy);
+                let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let set = eval_uscq_set_inner(storage, comp, &mut wm, &mut src, false);
                 let rel = materialize(comp.head(), set, &mut wm);
                 (rel, wm.metrics)
@@ -327,10 +380,11 @@ fn arm_source<'a>(
     offsets: &[usize],
     i: usize,
     strategy: JoinStrategy,
+    mode: ExecMode,
 ) -> PlanSource<'a> {
     match prepared {
-        Some(p) => PlanSource::stored(&p.plans[offsets[i]..offsets[i + 1]]),
-        None => PlanSource::Inline(strategy),
+        Some(p) => PlanSource::stored(&p.plans[offsets[i]..offsets[i + 1]], p.mode),
+        None => PlanSource::Inline(strategy, mode),
     }
 }
 
@@ -528,19 +582,21 @@ fn eval_conjunction(
         return out;
     }
 
+    let mode = source.mode();
     let inline_plan;
     let plan: &ConjunctionPlan = match source {
-        PlanSource::Inline(strategy) => {
-            inline_plan = plan_conjunction(
+        PlanSource::Inline(strategy, mode) => {
+            inline_plan = plan_conjunction_mode(
                 slots,
                 &BTreeSet::new(),
                 storage.stats(),
                 storage.layout(),
                 *strategy,
+                *mode,
             );
             &inline_plan
         }
-        PlanSource::Stored { plans, next } => {
+        PlanSource::Stored { plans, next, .. } => {
             let plan = plans
                 .get(*next)
                 .expect("stored plans exhausted before the query's conjunctions");
@@ -548,6 +604,10 @@ fn eval_conjunction(
             plan
         }
     };
+
+    if mode == ExecMode::Batched {
+        return crate::columnar::run_plan(storage, slots, head, plan, meter);
+    }
 
     // Bound-variable layout grows as slots execute.
     let mut var_pos: FxHashMap<VarId, usize> = FxHashMap::default();
@@ -565,7 +625,10 @@ fn eval_conjunction(
             }
         }
         let next = match step.op {
-            PhysicalOp::HashJoin { .. } => {
+            // A row-mode run only ever sees `HashJoin`, but a plan is
+            // data — accept both spellings so a batched plan replayed
+            // through the row pipeline still executes correctly.
+            PhysicalOp::HashJoin { .. } | PhysicalOp::BatchHashJoin { .. } => {
                 hash_join_step(storage, slot, &rows, &var_pos, &new_var_order, meter)
             }
             PhysicalOp::IndexNestedLoop(_) => {

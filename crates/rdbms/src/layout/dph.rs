@@ -15,7 +15,7 @@
 use obda_dllite::{ABox, AboxDelta, ConceptId, RoleId};
 
 use crate::fxhash::FxHashMap;
-use crate::layout::{LayoutKind, Storage};
+use crate::layout::{LayoutKind, Storage, BATCH_SIZE};
 use crate::meter::{Meter, TK_DPH, TK_RPH};
 use crate::stats::CatalogStats;
 
@@ -44,12 +44,21 @@ struct WideRow {
     entries: Vec<(u32, u32)>, // (pred code, value)
 }
 
+/// Repack trigger: a table is rebuilt once tombstones outnumber live
+/// rows **and** there are at least this many of them. The floor keeps
+/// tiny tables (where a handful of tombstones is harmless and a rebuild
+/// churns the copy-on-write clone for nothing) on the cheap path.
+const REPACK_MIN_DEAD: usize = 8;
+
 /// One side of the entity layout (DPH keyed by subject, RPH by object):
 /// the wide-row vector plus the key → row-indices index.
 #[derive(Debug, Clone, Default)]
 struct WideTable {
     rows: Vec<WideRow>,
     by_key: FxHashMap<u32, Vec<u32>>,
+    /// Tombstone count: rows whose entries were all deleted. Maintained
+    /// incrementally so the repack check is O(1) per `apply_delta`.
+    dead: u32,
 }
 
 impl WideTable {
@@ -63,6 +72,10 @@ impl WideTable {
         if let Some(&last) = indices.last() {
             let row = &mut self.rows[last as usize];
             if row.entries.len() < DPH_COLUMNS {
+                if row.entries.is_empty() {
+                    // Reusing a tombstone revives it.
+                    self.dead -= 1;
+                }
                 row.entries.push(entry);
                 return;
             }
@@ -76,11 +89,8 @@ impl WideTable {
 
     /// Incremental delete: remove the entry from whichever of the key's
     /// rows holds it. A row emptied by deletion stays as a tombstone —
-    /// predicate scans still touch it (the un-vacuumed-page effect)
-    /// until the storage is rebuilt from the ABox by a bulk reload.
-    /// (Store compaction rewrites only the on-disk files, not the live
-    /// engine; delete-heavy DPH workloads should reload periodically to
-    /// repack, exactly like running VACUUM.)
+    /// predicate scans still touch it (the un-vacuumed-page effect) —
+    /// until [`WideTable::repack_if_needed`] rebuilds the table.
     fn delete(&mut self, key: u32, entry: (u32, u32)) {
         let Some(indices) = self.by_key.get(&key) else {
             return;
@@ -89,9 +99,33 @@ impl WideTable {
             let row = &mut self.rows[idx as usize];
             if let Some(pos) = row.entries.iter().position(|&e| e == entry) {
                 row.entries.swap_remove(pos);
+                if row.entries.is_empty() {
+                    self.dead += 1;
+                }
                 return;
             }
         }
+    }
+
+    /// VACUUM analogue, run at the end of every `apply_delta`: once
+    /// tombstones outnumber live rows (and clear [`REPACK_MIN_DEAD`]),
+    /// rebuild the table from its live entries. Without this, a
+    /// delete-heavy workload grows the wide-row vector without bound and
+    /// every predicate scan pays for rows that hold nothing.
+    fn repack_if_needed(&mut self) {
+        let dead = self.dead as usize;
+        if dead < REPACK_MIN_DEAD || dead * 2 <= self.rows.len() {
+            return;
+        }
+        let mut live: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+        for row in &self.rows {
+            if !row.entries.is_empty() {
+                live.entry(row.key)
+                    .or_default()
+                    .extend_from_slice(&row.entries);
+            }
+        }
+        *self = pack_rows(live);
     }
 }
 
@@ -206,6 +240,50 @@ impl Storage for DphStorage {
         }
     }
 
+    fn concept_blocks(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(&[u32])) {
+        // Same full-table walk and metering as `for_each_concept`; the
+        // matching keys are staged into a block-sized scratch column
+        // (the layout has no contiguous per-predicate extent to slice).
+        let code = code_concept(c.0);
+        m.on_scan(TK_DPH, (self.dph.rows.len() * 2) as u64);
+        let mut buf = Vec::with_capacity(BATCH_SIZE);
+        for row in &self.dph.rows {
+            if row.entries.iter().any(|&(p, _)| p == code) {
+                buf.push(row.key);
+                if buf.len() == BATCH_SIZE {
+                    f(&buf);
+                    buf.clear();
+                }
+            }
+        }
+        if !buf.is_empty() {
+            f(&buf);
+        }
+    }
+
+    fn role_blocks(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(&[u32], &[u32])) {
+        let code = code_role(r.0);
+        m.on_scan(TK_DPH, (self.dph.rows.len() * 2) as u64);
+        let mut subs = Vec::with_capacity(BATCH_SIZE);
+        let mut objs = Vec::with_capacity(BATCH_SIZE);
+        for row in &self.dph.rows {
+            for &(p, v) in &row.entries {
+                if p == code {
+                    subs.push(row.key);
+                    objs.push(v);
+                    if subs.len() == BATCH_SIZE {
+                        f(&subs, &objs);
+                        subs.clear();
+                        objs.clear();
+                    }
+                }
+            }
+        }
+        if !subs.is_empty() {
+            f(&subs, &objs);
+        }
+    }
+
     fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool {
         m.on_probe(1);
         let code = code_concept(c.0);
@@ -281,6 +359,8 @@ impl Storage for DphStorage {
             self.dph.delete(a.0, (code_role(r.0), b.0));
             self.rph.delete(b.0, (code_role(r.0), a.0));
         }
+        self.dph.repack_if_needed();
+        self.rph.repack_if_needed();
         self.stats.apply_delta(delta);
     }
 
@@ -393,20 +473,82 @@ mod tests {
         assert_eq!(count, 20);
 
         // Deleting everything leaves tombstone rows (scans still touch
-        // them) but no retrievable entries.
+        // them) but no retrievable entries. The table stays under the
+        // REPACK_MIN_DEAD floor, so no repack fires here.
         let mut wipe = obda_dllite::AboxDelta::new();
         for &r in &roles {
             wipe.delete_roles.push((r, s, t));
         }
         let eff = abox.apply(&wipe);
         storage.apply_delta(&eff);
-        assert!(storage.dph_rows() >= 3, "tombstones persist until repack");
+        assert!(
+            storage.dph_rows() >= 3,
+            "below the repack floor, tombstones persist"
+        );
         let mut gone = 0;
         for &r in &roles {
             storage.role_objects(r, s.0, &mut m, &mut |_| gone += 1);
         }
         assert_eq!(gone, 0);
         assert_eq!(storage.stats().total_facts, 0);
+    }
+
+    #[test]
+    fn heavy_churn_repacks_and_scan_cost_stops_degrading() {
+        let mut voc = Vocabulary::new();
+        let r = voc.role("r");
+        let t = voc.individual("t");
+        let mut abox = ABox::new();
+        let mut storage = DphStorage::load(&abox);
+        let profile = EngineProfile::pg_like();
+
+        // 40 waves of 16 single-entry subjects: each wave inserts fresh
+        // facts and deletes the previous wave's, emptying one row per
+        // dead subject. Without the repack threshold the wide-row vector
+        // would end up ~640 rows of tombstones.
+        let waves = 40usize;
+        let per_wave = 16usize;
+        for wave in 0..waves {
+            let mut delta = obda_dllite::AboxDelta::new();
+            for k in 0..per_wave {
+                let s = voc.individual(&format!("s{wave}_{k}"));
+                delta.insert_roles.push((r, s, t));
+            }
+            if wave > 0 {
+                for k in 0..per_wave {
+                    let s = voc.find_individual(&format!("s{}_{k}", wave - 1)).unwrap();
+                    delta.delete_roles.push((r, s, t));
+                }
+            }
+            let eff = abox.apply(&delta);
+            storage.apply_delta(&eff);
+            // Tombstones never outnumber the live rows for long.
+            assert!(
+                storage.dph_rows() <= 4 * per_wave + 2 * REPACK_MIN_DEAD,
+                "wave {wave}: {} rows — tombstones are accumulating",
+                storage.dph_rows()
+            );
+        }
+
+        // Scan cost is a function of live data, not churn history: the
+        // churned table scans like a fresh load of the same ABox (the
+        // width-2 metering makes a tombstone-free scan 2 tuples per row).
+        let reloaded = DphStorage::load(&abox);
+        let mut churned_m = Meter::new(&profile);
+        let mut fresh_m = Meter::new(&profile);
+        let mut n = 0;
+        storage.for_each_role(r, &mut churned_m, &mut |_, _| n += 1);
+        reloaded.for_each_role(r, &mut fresh_m, &mut |_, _| {});
+        assert_eq!(n, per_wave, "only the last wave's facts remain");
+        assert!(
+            churned_m.metrics.scanned <= fresh_m.metrics.scanned * 3.0,
+            "churned scan ({}) must stay near fresh-load scan ({})",
+            churned_m.metrics.scanned,
+            fresh_m.metrics.scanned
+        );
+
+        // And the table still answers exactly like a fresh load.
+        crate::layout::testutil::assert_same_contents(&storage, &reloaded, &voc, "after churn");
     }
 
     #[test]

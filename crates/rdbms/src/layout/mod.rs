@@ -24,6 +24,11 @@ use obda_dllite::{AboxDelta, ConceptId, RoleId};
 use crate::meter::Meter;
 use crate::stats::CatalogStats;
 
+/// Number of values per column block in the vectorized execution
+/// pipeline: scans, hash probes and distinct-projection all move data in
+/// chunks of at most this many `u32`s (see `crate::columnar`).
+pub const BATCH_SIZE: usize = 1024;
+
 /// Which layout a storage implements (drives SQL generation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayoutKind {
@@ -56,6 +61,33 @@ pub trait Storage: Send + Sync {
 
     /// Scan all pairs of role `r`.
     fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32));
+
+    /// Scan all members of concept `c` in column blocks of at most
+    /// [`BATCH_SIZE`] values. Same extent, order, and metering as
+    /// [`Storage::for_each_concept`] (one logical scan for the whole
+    /// extent, not one per block); layouts with columnar extents override
+    /// this to hand out zero-copy slices.
+    fn concept_blocks(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(&[u32])) {
+        let mut buf = Vec::new();
+        self.for_each_concept(c, m, &mut |v| buf.push(v));
+        for block in buf.chunks(BATCH_SIZE) {
+            f(block);
+        }
+    }
+
+    /// Scan all pairs of role `r` as parallel subject/object column
+    /// blocks of at most [`BATCH_SIZE`] pairs. Same extent, order, and
+    /// metering as [`Storage::for_each_role`].
+    fn role_blocks(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(&[u32], &[u32])) {
+        let (mut subs, mut objs) = (Vec::new(), Vec::new());
+        self.for_each_role(r, m, &mut |s, o| {
+            subs.push(s);
+            objs.push(o);
+        });
+        for (bs, bo) in subs.chunks(BATCH_SIZE).zip(objs.chunks(BATCH_SIZE)) {
+            f(bs, bo);
+        }
+    }
 
     /// Membership probe `c(v)`.
     fn probe_concept(&self, c: ConceptId, v: u32, m: &mut Meter) -> bool;
@@ -156,6 +188,41 @@ pub(crate) mod testutil {
 
         // Work was metered.
         assert!(m.metrics.work_units() > 0.0);
+
+        // Block scans see the same extents in the same order as the
+        // row-at-a-time scans, with identical metering (so the batched
+        // executor's work units match the row executor's exactly).
+        let mut rows_m = Meter::new(&profile);
+        let mut blocks_m = Meter::new(&profile);
+        let mut row_members = Vec::new();
+        storage.for_each_concept(obda_dllite::ConceptId(0), &mut rows_m, &mut |v| {
+            row_members.push(v)
+        });
+        let mut block_members = Vec::new();
+        storage.concept_blocks(obda_dllite::ConceptId(0), &mut blocks_m, &mut |b| {
+            block_members.extend_from_slice(b)
+        });
+        assert_eq!(row_members, block_members, "concept blocks == scan");
+        let mut row_pairs = Vec::new();
+        storage.for_each_role(obda_dllite::RoleId(0), &mut rows_m, &mut |s, o| {
+            row_pairs.push((s, o))
+        });
+        let mut block_pairs = Vec::new();
+        storage.role_blocks(obda_dllite::RoleId(0), &mut blocks_m, &mut |bs, bo| {
+            assert!(bs.len() <= super::BATCH_SIZE && bs.len() == bo.len());
+            block_pairs.extend(bs.iter().copied().zip(bo.iter().copied()))
+        });
+        assert_eq!(row_pairs, block_pairs, "role blocks == scan");
+        assert_eq!(
+            rows_m.metrics.scanned, blocks_m.metrics.scanned,
+            "block scans meter exactly like row scans"
+        );
+        storage.concept_blocks(obda_dllite::ConceptId(99), &mut blocks_m, &mut |_| {
+            panic!("missing concept must yield no blocks")
+        });
+        storage.role_blocks(obda_dllite::RoleId(99), &mut blocks_m, &mut |_, _| {
+            panic!("missing role must yield no blocks")
+        });
     }
 
     /// Observable-state equality of two storages over a vocabulary-wide

@@ -6,7 +6,7 @@ use obda_dllite::{ABox, AboxDelta, ConceptId, RoleId};
 
 use crate::fxhash::FxHashMap;
 use crate::layout::posting::{push_posting, remove_posting, Posting};
-use crate::layout::{LayoutKind, Storage};
+use crate::layout::{LayoutKind, Storage, BATCH_SIZE};
 use crate::meter::{tk_concept, tk_role, Meter};
 use crate::stats::CatalogStats;
 
@@ -39,24 +39,32 @@ impl UnaryTable {
     }
 }
 
-/// A binary (role) table: pair vector plus hash indexes on each attribute
-/// and on the pair. Posting lists inline small fan-outs ([`Posting`]) so
-/// the copy-on-write clone of the apply path stays a near-memcpy, and
-/// the pair index stores row positions so deletion is O(1) like
-/// [`UnaryTable`]'s.
+/// A binary (role) table: parallel subject/object column vectors plus
+/// hash indexes on each attribute and on the pair. The columnar split
+/// (rather than a `Vec<(u32, u32)>` row vector) lets block scans hand
+/// zero-copy `&[u32]` slices to the vectorized executor. Posting lists
+/// inline small fan-outs ([`Posting`]) so the copy-on-write clone of the
+/// apply path stays a near-memcpy, and the pair index stores row
+/// positions so deletion is O(1) like [`UnaryTable`]'s.
 #[derive(Debug, Default, Clone)]
 struct BinaryTable {
-    rows: Vec<(u32, u32)>,
+    subs: Vec<u32>,
+    objs: Vec<u32>,
     by_subject: FxHashMap<u32, Posting>,
     by_object: FxHashMap<u32, Posting>,
     pairs: FxHashMap<(u32, u32), u32>,
 }
 
 impl BinaryTable {
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+
     fn insert(&mut self, a: u32, b: u32) {
         if let std::collections::hash_map::Entry::Vacant(e) = self.pairs.entry((a, b)) {
-            e.insert(self.rows.len() as u32);
-            self.rows.push((a, b));
+            e.insert(self.subs.len() as u32);
+            self.subs.push(a);
+            self.objs.push(b);
             push_posting(&mut self.by_subject, a, b);
             push_posting(&mut self.by_object, b, a);
         }
@@ -64,9 +72,11 @@ impl BinaryTable {
 
     fn delete(&mut self, a: u32, b: u32) {
         if let Some(pos) = self.pairs.remove(&(a, b)) {
-            self.rows.swap_remove(pos as usize);
-            if let Some(&moved) = self.rows.get(pos as usize) {
-                self.pairs.insert(moved, pos);
+            self.subs.swap_remove(pos as usize);
+            self.objs.swap_remove(pos as usize);
+            if let Some(&s) = self.subs.get(pos as usize) {
+                let o = self.objs[pos as usize];
+                self.pairs.insert((s, o), pos);
             }
             remove_posting(&mut self.by_subject, &a, b);
             remove_posting(&mut self.by_object, &b, a);
@@ -120,9 +130,27 @@ impl Storage for SimpleStorage {
 
     fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32)) {
         if let Some(t) = self.roles.get(&r.0) {
-            m.on_scan(tk_role(r.0), t.rows.len() as u64);
-            for &(a, b) in &t.rows {
+            m.on_scan(tk_role(r.0), t.len() as u64);
+            for (&a, &b) in t.subs.iter().zip(&t.objs) {
                 f(a, b);
+            }
+        }
+    }
+
+    fn concept_blocks(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(&[u32])) {
+        if let Some(t) = self.concepts.get(&c.0) {
+            m.on_scan(tk_concept(c.0), t.rows.len() as u64);
+            for block in t.rows.chunks(BATCH_SIZE) {
+                f(block);
+            }
+        }
+    }
+
+    fn role_blocks(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(&[u32], &[u32])) {
+        if let Some(t) = self.roles.get(&r.0) {
+            m.on_scan(tk_role(r.0), t.len() as u64);
+            for (bs, bo) in t.subs.chunks(BATCH_SIZE).zip(t.objs.chunks(BATCH_SIZE)) {
+                f(bs, bo);
             }
         }
     }
@@ -185,7 +213,7 @@ impl Storage for SimpleStorage {
         for &(r, a, b) in &delta.delete_roles {
             if let Some(t) = self.roles.get_mut(&r.0) {
                 t.delete(a.0, b.0);
-                if t.rows.is_empty() {
+                if t.subs.is_empty() {
                     self.roles.remove(&r.0);
                 }
             }

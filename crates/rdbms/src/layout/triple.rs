@@ -20,7 +20,7 @@ use obda_dllite::{ABox, AboxDelta, ConceptId, RoleId};
 
 use crate::fxhash::FxHashMap;
 use crate::layout::posting::{push_posting, remove_posting, Posting};
-use crate::layout::{LayoutKind, Storage};
+use crate::layout::{LayoutKind, Storage, BATCH_SIZE};
 use crate::meter::{Meter, TK_TRIPLES};
 use crate::stats::CatalogStats;
 
@@ -40,12 +40,27 @@ const WIDTH_FACTOR: f64 = 1.5;
 /// Object column value for concept-membership triples.
 const NO_OBJECT: u32 = u32::MAX;
 
+/// One predicate's cluster as parallel subject/object columns; concepts
+/// store `o == NO_OBJECT`. Columnar (rather than `Vec<(u32, u32)>`) so
+/// block scans hand zero-copy slices to the vectorized executor.
+#[derive(Debug, Default, Clone)]
+struct Extent {
+    subs: Vec<u32>,
+    objs: Vec<u32>,
+}
+
+impl Extent {
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+}
+
 /// Triple-table storage.
 #[derive(Clone)]
 pub struct TripleStorage {
-    /// Predicate code → its cluster of `(s, o)` rows; concepts store
-    /// `o == NO_OBJECT`. The ABox guarantees row uniqueness.
-    extents: FxHashMap<u32, Vec<(u32, u32)>>,
+    /// Predicate code → its cluster of `(s, o)` rows. The ABox guarantees
+    /// row uniqueness.
+    extents: FxHashMap<u32, Extent>,
     /// `(code, s, o)` → position in its extent: O(1) deletion
     /// (`swap_remove` + one fix-up) instead of an extent scan inside the
     /// serving layer's writer critical section.
@@ -78,7 +93,8 @@ impl TripleStorage {
     fn insert_triple(&mut self, code: u32, s: u32, o: u32) {
         let extent = self.extents.entry(code).or_default();
         self.row_pos.insert((code, s, o), extent.len() as u32);
-        extent.push((s, o));
+        extent.subs.push(s);
+        extent.objs.push(o);
         push_posting(&mut self.by_subject, (code, s), o);
         if o != NO_OBJECT {
             push_posting(&mut self.by_object, (code, o), s);
@@ -93,11 +109,13 @@ impl TripleStorage {
             .extents
             .get_mut(&code)
             .expect("row-position index mirrors the extents");
-        extent.swap_remove(pos as usize);
-        if let Some(&(ms, mo)) = extent.get(pos as usize) {
+        extent.subs.swap_remove(pos as usize);
+        extent.objs.swap_remove(pos as usize);
+        if let Some(&ms) = extent.subs.get(pos as usize) {
+            let mo = extent.objs[pos as usize];
             self.row_pos.insert((code, ms, mo), pos);
         }
-        if extent.is_empty() {
+        if extent.subs.is_empty() {
             self.extents.remove(&code);
         }
         remove_posting(&mut self.by_subject, &(code, s), o);
@@ -106,8 +124,16 @@ impl TripleStorage {
         }
     }
 
-    fn extent(&self, code: u32) -> &[(u32, u32)] {
-        self.extents.get(&code).map(Vec::as_slice).unwrap_or(&[])
+    fn extent(&self, code: u32) -> Option<&Extent> {
+        self.extents.get(&code)
+    }
+
+    /// Width-factor metering for one full extent scan — a single
+    /// [`Meter::on_scan`] for the whole logical scan regardless of how
+    /// many blocks it is delivered in, so batched and row execution
+    /// meter identically.
+    fn meter_extent_scan(m: &mut Meter, len: usize) {
+        m.on_scan(TK_TRIPLES, (len as f64 * WIDTH_FACTOR) as u64);
     }
 }
 
@@ -122,17 +148,45 @@ impl Storage for TripleStorage {
 
     fn for_each_concept(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(u32)) {
         let extent = self.extent(code_concept(c.0));
-        m.on_scan(TK_TRIPLES, (extent.len() as f64 * WIDTH_FACTOR) as u64);
-        for &(s, _) in extent {
-            f(s);
+        Self::meter_extent_scan(m, extent.map_or(0, Extent::len));
+        if let Some(extent) = extent {
+            for &s in &extent.subs {
+                f(s);
+            }
         }
     }
 
     fn for_each_role(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(u32, u32)) {
         let extent = self.extent(code_role(r.0));
-        m.on_scan(TK_TRIPLES, (extent.len() as f64 * WIDTH_FACTOR) as u64);
-        for &(s, o) in extent {
-            f(s, o);
+        Self::meter_extent_scan(m, extent.map_or(0, Extent::len));
+        if let Some(extent) = extent {
+            for (&s, &o) in extent.subs.iter().zip(&extent.objs) {
+                f(s, o);
+            }
+        }
+    }
+
+    fn concept_blocks(&self, c: ConceptId, m: &mut Meter, f: &mut dyn FnMut(&[u32])) {
+        let extent = self.extent(code_concept(c.0));
+        Self::meter_extent_scan(m, extent.map_or(0, Extent::len));
+        if let Some(extent) = extent {
+            for block in extent.subs.chunks(BATCH_SIZE) {
+                f(block);
+            }
+        }
+    }
+
+    fn role_blocks(&self, r: RoleId, m: &mut Meter, f: &mut dyn FnMut(&[u32], &[u32])) {
+        let extent = self.extent(code_role(r.0));
+        Self::meter_extent_scan(m, extent.map_or(0, Extent::len));
+        if let Some(extent) = extent {
+            for (bs, bo) in extent
+                .subs
+                .chunks(BATCH_SIZE)
+                .zip(extent.objs.chunks(BATCH_SIZE))
+            {
+                f(bs, bo);
+            }
         }
     }
 

@@ -90,6 +90,7 @@
 //! assert_eq!(a, vec![vec![ann.0]]);
 //! ```
 
+pub mod columnar;
 pub mod cost_model;
 pub mod engine;
 pub mod estimators;
@@ -112,14 +113,14 @@ pub use cost_model::CostModel;
 pub use engine::{ArmPlan, Engine, EngineError, EvalOptions, ExplainPlan, QueryOutcome};
 pub use estimators::ExplainEstimator;
 pub use executor::{
-    execute, execute_parallel, execute_planned, execute_with, prepare_plans, PreparedPlans,
-    Relation, Row,
+    execute, execute_mode, execute_parallel, execute_planned, execute_with, prepare_plans,
+    prepare_plans_mode, PreparedPlans, Relation, Row,
 };
 pub use layout::{LayoutKind, Storage};
 pub use meter::Meter;
 pub use metrics::ExecMetrics;
 pub use pgwire::{PgConfig, PgListener, WireClient};
-pub use planner::{ConjunctionPlan, JoinStrategy, PhysicalOp, PlanStep};
+pub use planner::{ConjunctionPlan, ExecMode, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
 pub use server::{
     CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerError, ServerOutcome,

@@ -10,7 +10,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use super::framing::PROTOCOL_VERSION;
+use super::framing::{MAX_MESSAGE_LEN, PROTOCOL_VERSION};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -266,14 +266,21 @@ impl WireClient {
     }
 
     /// Raw access for protocol-abuse tests: read the next message.
+    ///
+    /// The declared length is validated *before* the body-size
+    /// subtraction or any allocation, mirroring the server-side framing
+    /// rules: below the 4-byte minimum (including negative — the field is
+    /// signed on the wire) or above [`MAX_MESSAGE_LEN`] is a typed
+    /// [`ClientError::Protocol`], never an underflow panic or an
+    /// allocation-of-death.
     pub fn read_message(&mut self) -> Result<(u8, Vec<u8>), ClientError> {
         let mut header = [0u8; 5];
         read_full(&mut self.stream, &mut header)?;
         let tag = header[0];
         let len = i32::from_be_bytes(header[1..5].try_into().unwrap());
-        if len < 4 || len > 64 * 1024 * 1024 {
+        if len < 4 || len as usize > MAX_MESSAGE_LEN {
             return Err(ClientError::Protocol(format!(
-                "server message '{}' declares {len} bytes",
+                "server message '{}' declares {len} bytes (valid: 4..={MAX_MESSAGE_LEN})",
                 tag.escape_ascii()
             )));
         }

@@ -158,9 +158,11 @@ fn parse_show(rest: &str) -> Result<WireStatement, ParseWireError> {
         "cache" => ShowTopic::Cache,
         "backend" => ShowTopic::Backend,
         "server_version" => ShowTopic::ServerVersion,
-        other => return err(format!(
+        other => {
+            return err(format!(
             "unknown SHOW topic '{other}' (expected generation, cache, backend, or server_version)"
-        )),
+        ))
+        }
     };
     Ok(WireStatement::Show(topic))
 }

@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 
 use obda_query::{Atom, Slot, Term, VarId};
 
-use crate::layout::LayoutKind;
+use crate::layout::{LayoutKind, BATCH_SIZE};
 use crate::stats::CatalogStats;
 
 /// Per-tuple weights of the hash operators (shared with
@@ -195,6 +195,30 @@ impl JoinStrategy {
     }
 }
 
+/// Which execution pipeline a plan targets. Plans are mode-specific so
+/// that explain always prices — and stored plans always replay — the
+/// exact operator that runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tuple-at-a-time (Volcano-style) — kept as the reference/contrast
+    /// pipeline for differential testing and benchmarking.
+    Row,
+    /// Columnar batches of [`BATCH_SIZE`] values — the default native
+    /// path. Identical answers and identical meter totals to [`Self::Row`];
+    /// only the per-tuple constant factors change.
+    #[default]
+    Batched,
+}
+
+impl ExecMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::Row => "row",
+            ExecMode::Batched => "batched",
+        }
+    }
+}
+
 /// The physical operator chosen for one conjunction step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PhysicalOp {
@@ -207,6 +231,17 @@ pub enum PhysicalOp {
         /// Estimated build-side rows (the slot's total extension size).
         build_rows: f64,
     },
+    /// The [`ExecMode::Batched`] form of [`PhysicalOp::HashJoin`]: the
+    /// build side is filled from block scans and the probe column is
+    /// processed `batch` values at a time. Same logical work (and the
+    /// same cost formula — batching changes constant factors, not tuple
+    /// counts), so the two variants price identically.
+    BatchHashJoin {
+        /// Estimated build-side rows (the slot's total extension size).
+        build_rows: f64,
+        /// Probe-column batch size ([`BATCH_SIZE`]).
+        batch: usize,
+    },
 }
 
 impl PhysicalOp {
@@ -215,6 +250,7 @@ impl PhysicalOp {
             PhysicalOp::IndexNestedLoop(AccessKind::Scan) => "scan",
             PhysicalOp::IndexNestedLoop(_) => "inl",
             PhysicalOp::HashJoin { .. } => "hash",
+            PhysicalOp::BatchHashJoin { .. } => "vhash",
         }
     }
 }
@@ -307,6 +343,28 @@ pub fn plan_conjunction(
     layout: LayoutKind,
     strategy: JoinStrategy,
 ) -> ConjunctionPlan {
+    plan_conjunction_mode(
+        slots,
+        initially_bound,
+        stats,
+        layout,
+        strategy,
+        ExecMode::default(),
+    )
+}
+
+/// [`plan_conjunction`] with an explicit [`ExecMode`]: hash steps come
+/// out as [`PhysicalOp::HashJoin`] (row mode) or
+/// [`PhysicalOp::BatchHashJoin`] (batched mode). Slot order, operator
+/// choices and estimated costs are identical across modes.
+pub fn plan_conjunction_mode(
+    slots: &[Slot],
+    initially_bound: &BTreeSet<VarId>,
+    stats: &CatalogStats,
+    layout: LayoutKind,
+    strategy: JoinStrategy,
+    mode: ExecMode,
+) -> ConjunctionPlan {
     let order = order_slots(slots, initially_bound, stats, layout);
     let mut bound = initially_bound.clone();
     let mut rows = 1.0f64;
@@ -336,7 +394,14 @@ pub fn plan_conjunction(
             JoinStrategy::CostChosen => hash_eligible && hash < inl * HASH_COST_MARGIN,
         };
         let (op, est_cost) = if use_hash {
-            (PhysicalOp::HashJoin { build_rows }, hash)
+            let op = match mode {
+                ExecMode::Row => PhysicalOp::HashJoin { build_rows },
+                ExecMode::Batched => PhysicalOp::BatchHashJoin {
+                    build_rows,
+                    batch: BATCH_SIZE,
+                },
+            };
+            (op, hash)
         } else {
             // Representative access kind: the first atom's (slot atoms
             // share a variable set, so kinds agree up to role direction).
@@ -365,6 +430,15 @@ mod tests {
 
     fn v(i: u32) -> Term {
         Term::Var(VarId(i))
+    }
+
+    /// Either hash variant — most operator-choice assertions are
+    /// mode-independent.
+    fn is_hash(op: PhysicalOp) -> bool {
+        matches!(
+            op,
+            PhysicalOp::HashJoin { .. } | PhysicalOp::BatchHashJoin { .. }
+        )
     }
 
     fn stats_with_skew() -> CatalogStats {
@@ -501,7 +575,7 @@ mod tests {
             matches!(op_of(0), PhysicalOp::IndexNestedLoop(_)),
             "A scans"
         );
-        assert!(matches!(op_of(1), PhysicalOp::HashJoin { .. }), "r hashes");
+        assert!(is_hash(op_of(1)), "r hashes");
         assert!(
             matches!(op_of(2), PhysicalOp::IndexNestedLoop(AccessKind::Probe)),
             "B filter stays INL"
@@ -593,7 +667,7 @@ mod tests {
             .find(|s| s.slot == 2)
             .expect("r2 slot planned");
         assert!(
-            matches!(r2_step.op, PhysicalOp::HashJoin { .. }),
+            is_hash(r2_step.op),
             "expected hash join for the r2 step: {r2_step:?}"
         );
         // The r1 expansion stays INL: its 10 000-row build dwarfs the
@@ -663,10 +737,67 @@ mod tests {
         assert_eq!(JoinStrategy::ForcedHash.name(), "forced-hash");
         assert_eq!(JoinStrategy::CostChosen.name(), "cost-chosen");
         assert_eq!(PhysicalOp::HashJoin { build_rows: 1.0 }.name(), "hash");
+        assert_eq!(
+            PhysicalOp::BatchHashJoin {
+                build_rows: 1.0,
+                batch: 1024
+            }
+            .name(),
+            "vhash"
+        );
         assert_eq!(PhysicalOp::IndexNestedLoop(AccessKind::Scan).name(), "scan");
         assert_eq!(
             PhysicalOp::IndexNestedLoop(AccessKind::BySubject).name(),
             "inl"
         );
+        assert_eq!(ExecMode::default(), ExecMode::Batched);
+        assert_eq!(ExecMode::Row.name(), "row");
+        assert_eq!(ExecMode::Batched.name(), "batched");
+    }
+
+    #[test]
+    fn modes_agree_on_order_costs_and_choices() {
+        let stats = chain_stats();
+        for strategy in [
+            JoinStrategy::ForcedInl,
+            JoinStrategy::ForcedHash,
+            JoinStrategy::CostChosen,
+        ] {
+            let row = plan_conjunction_mode(
+                &chain_slots(),
+                &BTreeSet::new(),
+                &stats,
+                LayoutKind::Simple,
+                strategy,
+                ExecMode::Row,
+            );
+            let batched = plan_conjunction_mode(
+                &chain_slots(),
+                &BTreeSet::new(),
+                &stats,
+                LayoutKind::Simple,
+                strategy,
+                ExecMode::Batched,
+            );
+            assert_eq!(row.steps.len(), batched.steps.len());
+            for (r, b) in row.steps.iter().zip(&batched.steps) {
+                assert_eq!(r.slot, b.slot, "{strategy:?}: slot order");
+                assert_eq!(r.est_cost, b.est_cost, "{strategy:?}: step cost");
+                assert_eq!(r.est_rows, b.est_rows, "{strategy:?}: cardinality");
+                match (r.op, b.op) {
+                    (
+                        PhysicalOp::HashJoin { build_rows: br },
+                        PhysicalOp::BatchHashJoin {
+                            build_rows: bb,
+                            batch,
+                        },
+                    ) => {
+                        assert_eq!(br, bb);
+                        assert_eq!(batch, crate::layout::BATCH_SIZE);
+                    }
+                    (r_op, b_op) => assert_eq!(r_op, b_op, "{strategy:?}: non-hash ops agree"),
+                }
+            }
+        }
     }
 }

@@ -67,7 +67,7 @@ use crate::estimators::ExplainEstimator;
 use crate::executor::PreparedPlans;
 use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
-use crate::planner::JoinStrategy;
+use crate::planner::{ExecMode, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sqlexec::Backend;
 use crate::store::{DurableStore, StoreError};
@@ -130,6 +130,10 @@ pub struct ServerConfig {
     pub layout: LayoutKind,
     pub profile: EngineProfile,
     pub join_strategy: JoinStrategy,
+    /// Native-pipeline execution mode: vectorized columnar batches (the
+    /// default) or the classic row-at-a-time pipeline. Cached plans are
+    /// prepared under this mode and replay it.
+    pub exec_mode: ExecMode,
     /// Which execution engine answers queries: the native planned
     /// executor, or the SQL-delegation path (generate → parse → execute
     /// via `crate::sqlexec`). With [`Backend::Sql`] the cached
@@ -157,6 +161,7 @@ impl Default for ServerConfig {
             layout: LayoutKind::Simple,
             profile: EngineProfile::pg_like(),
             join_strategy: JoinStrategy::CostChosen,
+            exec_mode: ExecMode::default(),
             backend: Backend::Native,
             reform_strategy: Strategy::Gdl { time_budget: None },
             threads: 1,
@@ -351,6 +356,7 @@ impl Server {
     ) -> EngineSnapshot {
         let engine = Engine::load(abox, voc, config.layout, config.profile.clone())
             .with_join_strategy(config.join_strategy)
+            .with_exec_mode(config.exec_mode)
             .with_backend(config.backend);
         EngineSnapshot {
             engine,
@@ -445,6 +451,7 @@ impl Server {
             sql_bytes: Some(compiled.sql_bytes),
             sql_text: compiled.sql.as_deref(),
             backend: Some(backend),
+            mode: None,
         };
         let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
         Ok(ServerOutcome {
@@ -515,6 +522,7 @@ impl Server {
             Backend::Native => snap.engine.prepare(&chosen.fol),
             Backend::Sql => PreparedPlans {
                 strategy: self.config.join_strategy,
+                mode: self.config.exec_mode,
                 plans: Vec::new(),
             },
         };

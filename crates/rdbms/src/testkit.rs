@@ -6,12 +6,14 @@
 //! cost-chosen), asserts all eighteen executions return the same row
 //! set, cross-checks the reference evaluator, and audits the meter's
 //! per-union-arm accounting ([`assert_arm_metrics_sum`]). Each
-//! combination is additionally replayed through **stored plans**
-//! (`prepare` + `evaluate_opts`, the plan-cache hot path) and through
-//! **parallel arm execution** (3 worker threads), asserting row-set and
-//! work-counter parity with the sequential inline-planned run — so a
-//! cache-key or merge-order bug in the serving layer fails here, not in
-//! production. Every layout also answers through the **SQL backend**
+//! combination is additionally executed through the classic **row
+//! pipeline** ([`ExecMode::Row`]) and compared counter-for-counter
+//! against the default vectorized pipeline, then replayed through
+//! **stored plans** (`prepare` + `evaluate_opts`, the plan-cache hot
+//! path) and through **parallel arm execution** (3 worker threads),
+//! asserting row-set and work-counter parity with the sequential
+//! inline-planned run — so a batching, cache-key or merge-order bug
+//! fails here, not in production. Every layout also answers through the **SQL backend**
 //! (generate-SQL → parse → execute via [`crate::sqlexec`]) with
 //! answer-set equality, making generated-SQL correctness a tested
 //! property. Any future executor change — new operator, new layout,
@@ -26,7 +28,7 @@ use crate::engine::{Engine, EvalOptions, QueryOutcome};
 use crate::executor::Row;
 use crate::layout::LayoutKind;
 use crate::metrics::ExecMetrics;
-use crate::planner::JoinStrategy;
+use crate::planner::{ExecMode, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sqlexec::Backend;
 
@@ -74,6 +76,31 @@ pub fn differential_check(voc: &Vocabulary, abox: &ABox, q: &FolQuery, context: 
                 strategy.name()
             );
             assert_arm_metrics_sum(q, &out, context);
+
+            // The classic row pipeline must be indistinguishable from
+            // the default vectorized one: identical answer sets AND
+            // identical meter totals on every counter — the batched
+            // operators' amortized per-block hooks must sum to exactly
+            // the row pipeline's per-tuple counts.
+            let row = engine
+                .evaluate_opts(
+                    q,
+                    &EvalOptions {
+                        strategy: Some(strategy),
+                        mode: Some(ExecMode::Row),
+                        ..EvalOptions::default()
+                    },
+                )
+                .expect("pg-like profile has no statement limit");
+            assert_same_execution(
+                &out,
+                &row,
+                &format!(
+                    "{context}: row vs batched pipeline, {layout:?}/{}",
+                    strategy.name()
+                ),
+            );
+            assert_arm_metrics_sum(q, &row, context);
 
             // Stored-plan replay (the plan-cache hot path) must be
             // indistinguishable from inline planning: same rows, same

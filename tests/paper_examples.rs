@@ -195,7 +195,8 @@ fn golden_explain_plans_for_example3() {
     );
 
     // Forced-hash: the same slot order, but every keyed step becomes a
-    // hash build/probe.
+    // hash build/probe — spelled `vhash` under the default vectorized
+    // pipeline, priced identically to the row-mode `hash`.
     let engine = Engine::load(
         kb.abox(),
         kb.voc(),
@@ -208,9 +209,9 @@ fn golden_explain_plans_for_example3() {
         plan.to_string(),
         "strategy=forced-hash cost=15.0\n\
          arm0: [slot0 scan cost=2.0 rows=2.0]\n\
-         arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=2.5 rows=0.0]\n\
-         arm2: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=2.5 rows=0.0]\n\
-         arm3: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=5.0 rows=0.0]\n",
+         arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 vhash cost=2.5 rows=0.0]\n\
+         arm2: [slot0 scan cost=0.0 rows=0.0] [slot1 vhash cost=2.5 rows=0.0]\n\
+         arm3: [slot0 scan cost=0.0 rows=0.0] [slot1 vhash cost=5.0 rows=0.0]\n",
         "forced-hash golden plan drifted"
     );
 }
@@ -250,8 +251,8 @@ fn golden_explain_plan_for_example9_root_cover() {
         plan.to_string(),
         "strategy=cost-chosen cost=17.0\n\
          c0.arm0: [slot0 scan cost=1.0 rows=1.0]\n\
-         c1.arm0: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=0.0 rows=0.0]\n\
-         c1.arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 hash cost=0.0 rows=0.0]\n\
+         c1.arm0: [slot0 scan cost=0.0 rows=0.0] [slot1 vhash cost=0.0 rows=0.0]\n\
+         c1.arm1: [slot0 scan cost=0.0 rows=0.0] [slot1 vhash cost=0.0 rows=0.0]\n\
          c1.arm2: [slot0 scan cost=0.0 rows=0.0]\n\
          c1.arm3: [slot0 scan cost=1.0 rows=1.0]\n",
         "root-cover golden plan drifted"

@@ -362,3 +362,38 @@ fn graceful_shutdown_tells_idle_sessions_57p01() {
         "listener must not accept after shutdown"
     );
 }
+
+/// A misbehaving *server* declaring a negative, undersized, or oversized
+/// frame length must surface a typed [`ClientError::Protocol`] — never an
+/// underflow panic in the body-size subtraction or a giant allocation.
+/// The client enforces the same 16MB cap as the server-side framing
+/// (regression: it used to accept declared lengths up to 64MB).
+#[test]
+fn client_rejects_hostile_frame_lengths_from_server() {
+    use std::io::{Read, Write};
+    for evil_len in [-1i32, 3, 17 * 1024 * 1024] {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hostile = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // Drain the startup packet, then answer with a hostile header.
+            let _ = sock.read(&mut [0u8; 1024]);
+            let mut frame = vec![b'R'];
+            frame.extend_from_slice(&evil_len.to_be_bytes());
+            sock.write_all(&frame).unwrap();
+            // Hold the socket open until the client reacts.
+            let _ = sock.read(&mut [0u8; 16]);
+        });
+        let Err(err) = WireClient::connect(&addr, &[]) else {
+            panic!("hostile header must fail (len {evil_len})")
+        };
+        match err {
+            ClientError::Protocol(detail) => assert!(
+                detail.contains(&evil_len.to_string()),
+                "declared length should appear in: {detail}"
+            ),
+            other => panic!("expected a protocol error for len {evil_len}, got {other:?}"),
+        }
+        hostile.join().unwrap();
+    }
+}

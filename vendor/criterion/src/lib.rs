@@ -17,6 +17,17 @@ pub struct Criterion {
     filter: Option<String>,
     default_sample_size: usize,
     matched: std::cell::Cell<usize>,
+    reports: std::cell::RefCell<Vec<Report>>,
+}
+
+/// One finished measurement, retrievable via [`Criterion::reports`] —
+/// a stub extension (real criterion writes `target/criterion/` instead)
+/// so bench binaries can merge their numbers into tracked output files.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: String,
+    pub mean: Duration,
+    pub min: Duration,
 }
 
 impl Default for Criterion {
@@ -25,6 +36,7 @@ impl Default for Criterion {
             filter: None,
             default_sample_size: 20,
             matched: std::cell::Cell::new(0),
+            reports: std::cell::RefCell::new(Vec::new()),
         }
     }
 }
@@ -125,6 +137,14 @@ impl Criterion {
         };
         f(&mut bencher);
         bencher.report(&id);
+        if let Some(report) = bencher.summarize(&id) {
+            self.reports.borrow_mut().push(report);
+        }
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn reports(&self) -> Vec<Report> {
+        self.reports.borrow().clone()
     }
 }
 
@@ -184,18 +204,27 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str) {
+    fn summarize(&self, id: &str) -> Option<Report> {
         if self.samples.is_empty() {
-            println!("  {id:<40} (no measurement)");
-            return;
+            return None;
         }
         let total: Duration = self.samples.iter().sum();
-        let mean = total / self.samples.len() as u32;
-        let min = self.samples.iter().min().copied().unwrap_or_default();
+        Some(Report {
+            id: id.to_owned(),
+            mean: total / self.samples.len() as u32,
+            min: self.samples.iter().min().copied().unwrap_or_default(),
+        })
+    }
+
+    fn report(&self, id: &str) {
+        let Some(r) = self.summarize(id) else {
+            println!("  {id:<40} (no measurement)");
+            return;
+        };
         println!(
             "  {id:<40} mean {:>12} min {:>12} ({} samples)",
-            fmt_duration(mean),
-            fmt_duration(min),
+            fmt_duration(r.mean),
+            fmt_duration(r.min),
             self.samples.len()
         );
     }
@@ -251,6 +280,10 @@ mod tests {
         group.bench_function("accumulate", |b| b.iter(|| ran += 1));
         group.finish();
         assert!(ran > 0);
+        let reports = c.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, "g/accumulate");
+        assert!(reports[0].min <= reports[0].mean);
     }
 
     #[test]
