@@ -16,14 +16,28 @@
 //!   storage and statistics rebuilt from scratch, plus the on-disk
 //!   compaction a durable bulk load performs.
 //!
+//! A second section, `--writers N` (or `OBDA_INGEST_WRITERS`), measures
+//! the MVCC commit path: the same ingest tail re-sliced into per-writer
+//! transactions, committed by N concurrent threads through [`Server::begin`]
+//! (overlapping commits share group-commit WAL records) and compared
+//! against the same chunks applied serially through the one-shot
+//! `apply_batch` path. Both numbers merge into `BENCH_qps.json` under
+//! `"ingest_writers"`.
+//!
 //! `--check` exits non-zero unless the average incremental apply beats
 //! the full reload by ≥ 5× — the acceptance bar CI's recovery job
-//! enforces.
+//! enforces. For the writers section `--check` is correctness-only
+//! (identical final engine state, every commit counted, zero
+//! conflicts); per the ROADMAP thread-scaling rule, throughput bars are
+//! gated on `available_parallelism` and even then only a loose sanity
+//! floor, never a scaling claim.
 //!
 //! Environment: `OBDA_INGEST_FACTS` (default 20 000) scales the dataset;
 //! `OBDA_INGEST_ROUNDS` (default 3) repeats the whole measurement and
-//! keeps the best round (noise floor on shared runners).
+//! keeps the best round (noise floor on shared runners);
+//! `OBDA_INGEST_WRITERS` (default 4) sets the concurrent writer count.
 
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use obda_bench::benchjson;
@@ -36,6 +50,23 @@ fn env_usize(var: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--writers N` / `--writers=N` from the command line, falling back to
+/// `OBDA_INGEST_WRITERS`, falling back to `default`. Clamped to ≥ 1.
+fn writers_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut writers = None;
+    for (k, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--writers=") {
+            writers = v.parse().ok();
+        } else if a == "--writers" {
+            writers = args.get(k + 1).and_then(|v| v.parse().ok());
+        }
+    }
+    writers
+        .unwrap_or_else(|| env_usize("OBDA_INGEST_WRITERS", default))
+        .max(1)
 }
 
 /// Split `full` into a base ABox holding the first `pct`% of each fact
@@ -64,10 +95,165 @@ fn split(full: &ABox, pct: usize) -> (ABox, Vec<AboxDelta>) {
     (base, batches)
 }
 
+/// Re-slice the ingest tail into `n` equal transaction-sized deltas.
+/// The facts are the same as `batches`; only the chunk boundaries move,
+/// so a serial replay and a per-writer partition carry identical data.
+fn rechunk(batches: &[AboxDelta], n: usize) -> Vec<AboxDelta> {
+    let concepts: Vec<_> = batches
+        .iter()
+        .flat_map(|b| b.insert_concepts.iter().copied())
+        .collect();
+    let roles: Vec<_> = batches
+        .iter()
+        .flat_map(|b| b.insert_roles.iter().copied())
+        .collect();
+    (0..n)
+        .map(|k| AboxDelta {
+            insert_concepts: concepts[concepts.len() * k / n..concepts.len() * (k + 1) / n]
+                .to_vec(),
+            insert_roles: roles[roles.len() * k / n..roles.len() * (k + 1) / n].to_vec(),
+            ..AboxDelta::new()
+        })
+        .collect()
+}
+
+/// The concurrent-commit section: `writers` threads each commit their
+/// share of the ingest tail as snapshot-isolated transactions (so
+/// overlapping commits can share group-commit WAL records), measured
+/// against the same chunks applied serially through the one-shot
+/// `apply_batch` path on a second server. The partition is disjoint, so
+/// first-committer-wins validation must pass every commit.
+///
+/// Returns the `"ingest_writers"` JSON section and a correctness
+/// verdict; violations print `WRITERS FAIL` lines as they are found.
+fn concurrent_commits(
+    dir: &std::path::Path,
+    onto: &UnivOntology,
+    base: &ABox,
+    batches: &[AboxDelta],
+    writers: usize,
+) -> (benchjson::JsonObj, bool) {
+    const TXNS_PER_WRITER: usize = 4;
+    let chunks = rechunk(batches, writers * TXNS_PER_WRITER);
+    let total_facts: usize = chunks.iter().map(AboxDelta::len).sum();
+    // Tiny datasets can leave a chunk empty; empty commits are no-ops
+    // that never reach the WAL, so count only the chunks that publish.
+    let txns = chunks.iter().filter(|c| c.len() > 0).count() as u64;
+    let config = || ServerConfig {
+        compact_every: 0, // measure the append path, not compaction
+        ..ServerConfig::default()
+    };
+
+    // Serial baseline: the pre-MVCC single-writer path, one one-shot
+    // transaction per chunk.
+    let serial = Server::create_durable(
+        &dir.join("serial"),
+        onto.voc.clone(),
+        onto.tbox.clone(),
+        base,
+        config(),
+    )
+    .expect("store dir is writable");
+    let start = Instant::now();
+    for chunk in chunks.iter().filter(|c| c.len() > 0) {
+        serial.apply_batch(chunk).expect("serial apply");
+    }
+    let serial_elapsed = start.elapsed();
+
+    // Concurrent: each writer owns a contiguous run of chunks and
+    // commits them through the transaction API; a barrier lines the
+    // writers up so their commits actually overlap.
+    let conc = Server::create_durable(
+        &dir.join("writers"),
+        onto.voc.clone(),
+        onto.tbox.clone(),
+        base,
+        config(),
+    )
+    .expect("store dir is writable");
+    let barrier = Barrier::new(writers);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let conc = &conc;
+            let barrier = &barrier;
+            let mine = &chunks[w * TXNS_PER_WRITER..(w + 1) * TXNS_PER_WRITER];
+            scope.spawn(move || {
+                barrier.wait();
+                for chunk in mine.iter().filter(|c| c.len() > 0) {
+                    let mut txn = conc.begin();
+                    for &(c, a) in &chunk.insert_concepts {
+                        txn.insert_concept(c, a);
+                    }
+                    for &(r, a, b) in &chunk.insert_roles {
+                        txn.insert_role(r, a, b);
+                    }
+                    txn.commit().expect("disjoint writers cannot conflict");
+                }
+            });
+        }
+    });
+    let conc_elapsed = start.elapsed();
+
+    let stats = conc.txn_stats();
+    let serial_fps = total_facts as f64 / serial_elapsed.as_secs_f64();
+    let conc_fps = total_facts as f64 / conc_elapsed.as_secs_f64();
+    println!(
+        "writers section        : {writers} writers x {TXNS_PER_WRITER} txns, {total_facts} facts"
+    );
+    println!("serial apply_batch     : {serial_fps:>9.0} facts/s");
+    println!(
+        "concurrent commits     : {conc_fps:>9.0} facts/s   ({} WAL group(s) for {} txns)",
+        stats.commit_groups, stats.committed
+    );
+
+    let mut ok = true;
+    let serial_snap = serial.snapshot();
+    let conc_snap = conc.snapshot();
+    if serial_snap.engine().stats() != conc_snap.engine().stats() {
+        eprintln!("WRITERS FAIL: concurrent engine state diverged from serial apply");
+        ok = false;
+    }
+    if stats.committed != txns || stats.conflicts != 0 || stats.active != 0 {
+        eprintln!("WRITERS FAIL: expected {txns} commits, 0 conflicts, 0 active; got {stats:?}");
+        ok = false;
+    }
+    if serial.generation() != txns || conc.generation() != txns {
+        eprintln!(
+            "WRITERS FAIL: generations diverged (serial {}, concurrent {}, expected {txns})",
+            serial.generation(),
+            conc.generation()
+        );
+        ok = false;
+    }
+    // Thread-scaling claims need real cores (the ROADMAP rule); even
+    // then this is a loose sanity floor on shared runners, not a
+    // speedup bar.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 2 && conc_fps < serial_fps * 0.2 {
+        eprintln!(
+            "WRITERS FAIL: concurrent commit path fell below 0.2x of serial \
+             ({conc_fps:.0} vs {serial_fps:.0} facts/s on {cores} cores)"
+        );
+        ok = false;
+    }
+
+    let section = benchjson::JsonObj::new()
+        .int("writers", writers as u64)
+        .int("txns", txns)
+        .int("facts", total_facts as u64)
+        .num("serial_facts_per_s", serial_fps)
+        .num("concurrent_facts_per_s", conc_fps)
+        .int("commit_groups", stats.commit_groups)
+        .int("conflicts", stats.conflicts);
+    (section, ok)
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let facts = env_usize("OBDA_INGEST_FACTS", 20_000);
     let rounds = env_usize("OBDA_INGEST_ROUNDS", 3);
+    let writers = writers_arg(4);
 
     let mut onto = UnivOntology::build();
     let (full, report) = generate(
@@ -128,6 +314,9 @@ fn main() {
     );
     println!("reload_abox (full)     : {reload_ms:>9.3} ms   ({speedup:.1}x slower)");
 
+    let (writers_section, writers_ok) =
+        concurrent_commits(&dir.join("w"), &onto, &base, &batches, writers);
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let path = benchjson::default_path();
@@ -145,12 +334,28 @@ fn main() {
     } else {
         println!("wrote {} [ingest]", path.display());
     }
+    if let Err(e) = benchjson::merge_section(&path, "ingest_writers", &writers_section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {} [ingest_writers]", path.display());
+    }
 
     if check {
+        let mut failed = false;
         if speedup < 5.0 {
             eprintln!("FAIL: incremental apply speedup {speedup:.1}x < 5x over full reload");
+            failed = true;
+        }
+        if !writers_ok {
+            eprintln!("FAIL: concurrent writers section violated its correctness bars");
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("CHECK PASSED: apply_batch >= 5x faster than reload_abox ({speedup:.1}x)");
+        println!(
+            "CHECK PASSED: apply_batch >= 5x faster than reload_abox ({speedup:.1}x), \
+             {writers} concurrent writers matched the serial apply"
+        );
     }
 }

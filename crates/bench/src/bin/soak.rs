@@ -14,7 +14,10 @@
 //! from ROADMAP applies, so the only perf output is informational.
 //!
 //! Environment: `OBDA_SOAK_FACTS` (default 8000), `OBDA_SOAK_SECONDS`
-//! (default 5), `OBDA_SOAK_SESSIONS` (default 4).
+//! (default 5), `OBDA_SOAK_SESSIONS` (default 4), `OBDA_SOAK_WRITER`
+//! (default `reload`; `txn` replaces the in-process reload writer with
+//! a wire session committing `BEGIN` / `INSERT` / `COMMIT` blocks, so
+//! generation churn comes from the MVCC transaction path instead).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +51,7 @@ fn main() {
     let facts = env_usize("OBDA_SOAK_FACTS", 8_000);
     let seconds = env_usize("OBDA_SOAK_SECONDS", 5);
     let sessions = env_usize("OBDA_SOAK_SESSIONS", 4);
+    let writer_mode = std::env::var("OBDA_SOAK_WRITER").unwrap_or_else(|_| "reload".into());
 
     let mut onto = UnivOntology::build();
     let (abox, report) = generate(
@@ -86,20 +90,61 @@ fn main() {
     let errors = Arc::new(AtomicU64::new(0));
     let answered = Arc::new(AtomicU64::new(0));
 
-    // Writer: republish the same ABox every 500ms so sessions keep
-    // crossing generation boundaries (snapshot pinning under churn).
+    // Writer: keep sessions crossing generation boundaries (snapshot
+    // pinning under churn). Two modes: `reload` republishes the same
+    // ABox in-process every 500ms; `txn` drives BEGIN / INSERT / COMMIT
+    // blocks through its own wire session, so churn comes from the MVCC
+    // group-commit path and exercises the transaction protocol end to
+    // end while readers soak.
     let writer_stop = stop.clone();
+    let writer_errors = errors.clone();
     let writer_server = server.clone();
     let writer_abox = abox;
+    let writer_txn = writer_mode == "txn";
     let writer = std::thread::spawn(move || {
-        let mut reloads = 0u64;
-        while !writer_stop.load(Ordering::Relaxed) {
-            std::thread::sleep(Duration::from_millis(500));
-            if writer_server.reload_abox(&writer_abox).is_ok() {
-                reloads += 1;
+        let mut writes = 0u64;
+        if writer_txn {
+            let mut client = match WireClient::connect(&addr, &[("backend", "native")]) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("writer: connect failed: {e}");
+                    writer_errors.fetch_add(1, Ordering::Relaxed);
+                    return writes;
+                }
+            };
+            let mut n = 0u64;
+            while !writer_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                n += 1;
+                let block = [
+                    "BEGIN".to_string(),
+                    format!("INSERT GraduateStudent(soak_txn_{n}), Student(soak_txn_{n})"),
+                    "COMMIT".to_string(),
+                ];
+                let mut committed = true;
+                for stmt in &block {
+                    if let Err(e) = client.simple_query(stmt) {
+                        eprintln!("writer: {stmt:?} failed: {e}");
+                        writer_errors.fetch_add(1, Ordering::Relaxed);
+                        committed = false;
+                        let _ = client.simple_query("ROLLBACK");
+                        break;
+                    }
+                }
+                if committed {
+                    writes += 1;
+                }
+            }
+            client.terminate();
+        } else {
+            while !writer_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(500));
+                if writer_server.reload_abox(&writer_abox).is_ok() {
+                    writes += 1;
+                }
             }
         }
-        reloads
+        writes
     });
 
     let mut handles = Vec::new();
@@ -149,7 +194,7 @@ fn main() {
         latencies.extend(h.join().expect("session thread joins"));
     }
     let elapsed = started.elapsed();
-    let reloads = writer.join().expect("writer thread joins");
+    let writes = writer.join().expect("writer thread joins");
     listener.shutdown();
 
     let total = latencies.len() as f64;
@@ -157,9 +202,10 @@ fn main() {
     let p50 = percentile(&latencies, 50.0);
     let p99 = percentile(&latencies, 99.0);
     let errs = errors.load(Ordering::Relaxed);
+    let write_label = if writer_txn { "txn commits" } else { "reloads" };
     println!(
         "soak: {total} queries in {:.1}s = {qps:.1} q/s (p50 {} ms, p99 {} ms), \
-         {reloads} reloads, {errs} errors",
+         {writes} {write_label}, {errs} errors",
         elapsed.as_secs_f64(),
         ms(p50),
         ms(p99),
@@ -173,7 +219,8 @@ fn main() {
         .num("qps", qps)
         .num("p50_ms", p50.as_secs_f64() * 1e3)
         .num("p99_ms", p99.as_secs_f64() * 1e3)
-        .int("reloads", reloads)
+        .str("writer_mode", &writer_mode)
+        .int("reloads", writes)
         .int("errors", errs);
     if let Err(e) = benchjson::merge_section(&path, "soak", &section) {
         eprintln!("cannot write {}: {e}", path.display());
@@ -191,13 +238,13 @@ fn main() {
             eprintln!("FAIL: no queries completed");
             failed = true;
         }
-        if reloads == 0 {
-            eprintln!("FAIL: writer applied no reloads — generation churn untested");
+        if writes == 0 {
+            eprintln!("FAIL: writer published no {write_label} — generation churn untested");
             failed = true;
         }
         if failed {
             std::process::exit(1);
         }
-        println!("CHECK PASSED: sustained load with reload churn, zero errors");
+        println!("CHECK PASSED: sustained load with {write_label} churn, zero errors");
     }
 }

@@ -32,6 +32,7 @@ pub mod kb;
 pub mod parser;
 pub mod saturation;
 pub mod tbox;
+pub mod txn;
 pub mod vocab;
 
 pub use abox::{example1_abox, ABox};
@@ -47,4 +48,5 @@ pub use kb::KnowledgeBase;
 pub use parser::{parse_kb, ParseError, ParsedKb};
 pub use saturation::TBoxClosure;
 pub use tbox::{example1_tbox, example7_tbox, TBox, TBoxBuilder};
+pub use txn::WorkingSet;
 pub use vocab::Vocabulary;

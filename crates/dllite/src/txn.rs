@@ -1,0 +1,346 @@
+//! Transaction working sets: buffered ABox writes with
+//! read-your-own-writes resolution.
+//!
+//! A [`WorkingSet`] is the client-side half of a transaction. It buffers
+//! inserts and retractions *by fact key* (last write per key wins, so
+//! `insert; retract; insert` of the same fact collapses to one insert),
+//! allocates **provisional ids** for individual names the transaction
+//! introduces, and answers visibility probes by overlaying the buffered
+//! writes on a pinned base snapshot. Rolling back a transaction is simply
+//! dropping its working set — nothing downstream ever saw it.
+//!
+//! At commit time the serving layer remaps the provisional ids to their
+//! final interned ids (other transactions may have committed names in the
+//! meantime) and flattens the set into one normalized [`AboxDelta`] via
+//! [`WorkingSet::delta_with`]. The delta lists every name the transaction
+//! used — interning is idempotent, so replay against a vocabulary that
+//! already knows some of the names is harmless.
+//!
+//! Provisional ids are allocated densely above the pinned snapshot's
+//! individual count (`base + k` for the k-th new name), which makes the
+//! identity remap correct whenever no concurrent committer interned a
+//! name first.
+
+use std::collections::HashMap;
+
+use crate::abox::ABox;
+use crate::delta::AboxDelta;
+use crate::ids::{ConceptId, IndividualId, RoleId};
+
+/// A buffered concept-fact key: `A(a)`.
+pub type ConceptKey = (ConceptId, IndividualId);
+/// A buffered role-fact key: `R(a, b)`.
+pub type RoleKey = (RoleId, IndividualId, IndividualId);
+
+/// Buffered writes of one open transaction, overlaid on a base snapshot
+/// with `base_individuals` interned individuals.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingSet {
+    /// Number of individuals interned in the pinned base snapshot;
+    /// provisional ids for new names start here.
+    base_individuals: usize,
+    /// Names this transaction introduced, in allocation order.
+    new_individuals: Vec<String>,
+    /// Name → provisional id, for dedup within the transaction.
+    name_index: HashMap<String, IndividualId>,
+    /// Last buffered write per concept-fact key: `true` = insert,
+    /// `false` = retract.
+    concept_writes: HashMap<ConceptKey, bool>,
+    /// Last buffered write per role-fact key.
+    role_writes: HashMap<RoleKey, bool>,
+    /// Monotonic edit counter — bumps on every buffered write, so callers
+    /// can cheaply invalidate caches derived from the overlay.
+    version: u64,
+}
+
+impl WorkingSet {
+    /// An empty working set over a base snapshot with `base_individuals`
+    /// interned individuals.
+    pub fn new(base_individuals: usize) -> Self {
+        WorkingSet {
+            base_individuals,
+            ..WorkingSet::default()
+        }
+    }
+
+    /// The base snapshot's individual count this set was opened against.
+    pub fn base_individuals(&self) -> usize {
+        self.base_individuals
+    }
+
+    /// Names introduced by this transaction, in provisional-id order
+    /// (`base_individuals + k` for the k-th entry).
+    pub fn new_individuals(&self) -> &[String] {
+        &self.new_individuals
+    }
+
+    /// Intern `name` within the transaction, returning a provisional id.
+    ///
+    /// Idempotent per name; the id is only meaningful against this
+    /// working set's overlay until commit remaps it.
+    pub fn new_individual(&mut self, name: &str) -> IndividualId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = IndividualId((self.base_individuals + self.new_individuals.len()) as u32);
+        self.new_individuals.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), id);
+        self.version += 1;
+        id
+    }
+
+    /// Look up a name this transaction introduced (not base names).
+    pub fn find_new_individual(&self, name: &str) -> Option<IndividualId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The name behind a provisional id, if this set allocated it.
+    pub fn provisional_name(&self, id: IndividualId) -> Option<&str> {
+        (id.0 as usize)
+            .checked_sub(self.base_individuals)
+            .and_then(|k| self.new_individuals.get(k))
+            .map(String::as_str)
+    }
+
+    /// Buffer an insert of `A(a)`; supersedes any earlier write of the key.
+    pub fn insert_concept(&mut self, c: ConceptId, a: IndividualId) {
+        self.concept_writes.insert((c, a), true);
+        self.version += 1;
+    }
+
+    /// Buffer a retraction of `A(a)`; supersedes any earlier write.
+    pub fn retract_concept(&mut self, c: ConceptId, a: IndividualId) {
+        self.concept_writes.insert((c, a), false);
+        self.version += 1;
+    }
+
+    /// Buffer an insert of `R(a, b)`; supersedes any earlier write.
+    pub fn insert_role(&mut self, r: RoleId, a: IndividualId, b: IndividualId) {
+        self.role_writes.insert((r, a, b), true);
+        self.version += 1;
+    }
+
+    /// Buffer a retraction of `R(a, b)`; supersedes any earlier write.
+    pub fn retract_role(&mut self, r: RoleId, a: IndividualId, b: IndividualId) {
+        self.role_writes.insert((r, a, b), false);
+        self.version += 1;
+    }
+
+    /// Read-your-own-writes visibility of `A(a)`: the buffered write if
+    /// any, else the pinned base ABox.
+    pub fn sees_concept(&self, base: &ABox, c: ConceptId, a: IndividualId) -> bool {
+        match self.concept_writes.get(&(c, a)) {
+            Some(&present) => present,
+            None => base.has_concept(c, a),
+        }
+    }
+
+    /// Read-your-own-writes visibility of `R(a, b)`.
+    pub fn sees_role(&self, base: &ABox, r: RoleId, a: IndividualId, b: IndividualId) -> bool {
+        match self.role_writes.get(&(r, a, b)) {
+            Some(&present) => present,
+            None => base.has_role(r, a, b),
+        }
+    }
+
+    /// Number of buffered fact writes (one per distinct key).
+    pub fn len(&self) -> usize {
+        self.concept_writes.len() + self.role_writes.len()
+    }
+
+    /// `true` when nothing was written and no name was introduced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.new_individuals.is_empty()
+    }
+
+    /// Edit counter; bumps on every buffered write or name allocation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The buffered write for one concept-fact key, if any
+    /// (`true` = insert, `false` = retract).
+    pub fn concept_write(&self, key: ConceptKey) -> Option<bool> {
+        self.concept_writes.get(&key).copied()
+    }
+
+    /// The buffered write for one role-fact key, if any.
+    pub fn role_write(&self, key: RoleKey) -> Option<bool> {
+        self.role_writes.get(&key).copied()
+    }
+
+    /// Iterate the buffered concept writes (`key`, `true` = insert).
+    pub fn concept_writes(&self) -> impl Iterator<Item = (ConceptKey, bool)> + '_ {
+        self.concept_writes.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate the buffered role writes.
+    pub fn role_writes(&self) -> impl Iterator<Item = (RoleKey, bool)> + '_ {
+        self.role_writes.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Flatten into one normalized [`AboxDelta`], remapping every
+    /// individual id through `remap` (provisional → final interned ids;
+    /// base ids map to themselves).
+    ///
+    /// Normalized means: each key appears at most once, inserts and
+    /// deletes are disjoint, and both vectors are sorted — so two
+    /// transactions with the same net effect produce byte-identical
+    /// deltas regardless of write order.
+    pub fn delta_with(&self, mut remap: impl FnMut(IndividualId) -> IndividualId) -> AboxDelta {
+        let mut delta = AboxDelta {
+            new_individuals: self.new_individuals.clone(),
+            ..AboxDelta::default()
+        };
+        for ((c, a), present) in self.concept_writes.iter().map(|(&k, &v)| (k, v)) {
+            let key = (c, remap(a));
+            if present {
+                delta.insert_concepts.push(key);
+            } else {
+                delta.delete_concepts.push(key);
+            }
+        }
+        for ((r, a, b), present) in self.role_writes.iter().map(|(&k, &v)| (k, v)) {
+            let key = (r, remap(a), remap(b));
+            if present {
+                delta.insert_roles.push(key);
+            } else {
+                delta.delete_roles.push(key);
+            }
+        }
+        delta.insert_concepts.sort_unstable();
+        delta.delete_concepts.sort_unstable();
+        delta.insert_roles.sort_unstable();
+        delta.delete_roles.sort_unstable();
+        delta
+    }
+
+    /// [`WorkingSet::delta_with`] under the identity remap — correct when
+    /// no concurrent transaction committed since the base was pinned.
+    pub fn delta(&self) -> AboxDelta {
+        self.delta_with(|id| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn setup() -> (
+        Vocabulary,
+        ABox,
+        ConceptId,
+        RoleId,
+        IndividualId,
+        IndividualId,
+    ) {
+        let mut voc = Vocabulary::new();
+        let c = voc.concept("Student");
+        let r = voc.role("knows");
+        let x = voc.individual("x");
+        let y = voc.individual("y");
+        let mut abox = ABox::new();
+        abox.assert_concept(c, x);
+        abox.assert_role(r, x, y);
+        (voc, abox, c, r, x, y)
+    }
+
+    #[test]
+    fn reads_overlay_base_until_written() {
+        let (voc, abox, c, r, x, y) = setup();
+        let mut ws = WorkingSet::new(voc.num_individuals());
+        assert!(ws.sees_concept(&abox, c, x));
+        assert!(ws.sees_role(&abox, r, x, y));
+        ws.retract_concept(c, x);
+        assert!(!ws.sees_concept(&abox, c, x), "own retraction visible");
+        ws.insert_concept(c, y);
+        assert!(ws.sees_concept(&abox, c, y), "own insert visible");
+        assert!(!abox.has_concept(c, y), "base untouched");
+    }
+
+    #[test]
+    fn last_write_per_key_wins() {
+        let (voc, abox, c, _r, x, _y) = setup();
+        let mut ws = WorkingSet::new(voc.num_individuals());
+        ws.retract_concept(c, x);
+        ws.insert_concept(c, x);
+        assert!(ws.sees_concept(&abox, c, x));
+        let d = ws.delta();
+        assert_eq!(d.insert_concepts, vec![(c, x)]);
+        assert!(d.delete_concepts.is_empty(), "retract was superseded");
+        assert_eq!(ws.len(), 1, "one key, one buffered write");
+    }
+
+    #[test]
+    fn provisional_ids_are_dense_and_deduped() {
+        let (voc, _abox, _c, _r, _x, _y) = setup();
+        let base = voc.num_individuals();
+        let mut ws = WorkingSet::new(base);
+        let p = ws.new_individual("fresh");
+        let q = ws.new_individual("fresher");
+        assert_eq!(p, IndividualId(base as u32));
+        assert_eq!(q, IndividualId(base as u32 + 1));
+        assert_eq!(ws.new_individual("fresh"), p, "idempotent per name");
+        assert_eq!(ws.provisional_name(p), Some("fresh"));
+        assert_eq!(ws.provisional_name(IndividualId(0)), None, "base id");
+        assert_eq!(ws.find_new_individual("fresher"), Some(q));
+        assert_eq!(ws.find_new_individual("x"), None, "base names not indexed");
+    }
+
+    #[test]
+    fn delta_with_remaps_provisional_ids() {
+        let (voc, _abox, c, r, x, _y) = setup();
+        let base = voc.num_individuals();
+        let mut ws = WorkingSet::new(base);
+        let p = ws.new_individual("fresh");
+        ws.insert_concept(c, p);
+        ws.insert_role(r, x, p);
+        // Pretend a concurrent committer used one id slot first.
+        let final_id = IndividualId(p.0 + 1);
+        let d = ws.delta_with(|id| if id == p { final_id } else { id });
+        assert_eq!(d.new_individuals, vec!["fresh".to_owned()]);
+        assert_eq!(d.insert_concepts, vec![(c, final_id)]);
+        assert_eq!(d.insert_roles, vec![(r, x, final_id)]);
+    }
+
+    #[test]
+    fn delta_is_normalized_and_order_independent() {
+        let (voc, _abox, c, r, x, y) = setup();
+        let mk = |flip: bool| {
+            let mut ws = WorkingSet::new(voc.num_individuals());
+            if flip {
+                ws.insert_role(r, y, x);
+                ws.retract_concept(c, x);
+                ws.insert_concept(c, y);
+            } else {
+                ws.insert_concept(c, y);
+                ws.insert_role(r, y, x);
+                ws.retract_concept(c, x);
+            }
+            ws.delta()
+        };
+        assert_eq!(mk(false), mk(true), "write order does not leak");
+    }
+
+    #[test]
+    fn version_bumps_on_every_edit() {
+        let (voc, _abox, c, _r, x, _y) = setup();
+        let mut ws = WorkingSet::new(voc.num_individuals());
+        let v0 = ws.version();
+        ws.insert_concept(c, x);
+        assert!(ws.version() > v0);
+        let v1 = ws.version();
+        ws.new_individual("fresh");
+        assert!(ws.version() > v1);
+    }
+
+    #[test]
+    fn rollback_is_drop() {
+        let (voc, abox, c, _r, x, _y) = setup();
+        let mut ws = WorkingSet::new(voc.num_individuals());
+        ws.retract_concept(c, x);
+        drop(ws);
+        assert!(abox.has_concept(c, x), "nothing escaped the working set");
+    }
+}

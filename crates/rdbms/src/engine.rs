@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use obda_dllite::{ABox, AboxDelta, Vocabulary};
+use obda_dllite::{ABox, AboxDelta, ConceptId, IndividualId, RoleId, Vocabulary};
 use obda_query::FolQuery;
 
 use std::collections::BTreeSet;
@@ -225,6 +225,23 @@ impl Engine {
 
     pub fn stats(&self) -> &CatalogStats {
         self.storage.stats()
+    }
+
+    /// Point lookup: does the stored ABox assert `c(a)`? Backs the
+    /// transaction layer's read-your-own-writes resolution, where a
+    /// working-set retraction only becomes a delta deletion if the fact
+    /// exists in the pinned snapshot. Metered against a scratch meter —
+    /// probes are not part of any query's cost accounting.
+    pub fn probe_concept(&self, c: ConceptId, a: IndividualId) -> bool {
+        let mut m = Meter::new(&self.profile);
+        self.storage.probe_concept(c, a.0, &mut m)
+    }
+
+    /// Point lookup: does the stored ABox assert `r(a, b)`? See
+    /// [`Engine::probe_concept`].
+    pub fn probe_role(&self, r: RoleId, a: IndividualId, b: IndividualId) -> bool {
+        let mut m = Meter::new(&self.profile);
+        self.storage.probe_role(r, a.0, b.0, &mut m)
     }
 
     /// The SQL translation of a query under this engine's layout.

@@ -108,6 +108,7 @@ pub mod sqlexec;
 pub mod stats;
 pub mod store;
 pub mod testkit;
+pub mod txn;
 
 pub use cost_model::CostModel;
 pub use engine::{ArmPlan, Engine, EngineError, EvalOptions, ExplainPlan, QueryOutcome};
@@ -124,8 +125,10 @@ pub use planner::{ConjunctionPlan, ExecMode, JoinStrategy, PhysicalOp, PlanStep}
 pub use profile::{EngineKind, EngineProfile};
 pub use server::{
     CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerError, ServerOutcome,
+    TxnStats,
 };
 pub use sql::{SqlGenerator, SqlNames};
 pub use sqlexec::{Backend, SqlError};
 pub use stats::{CatalogStats, KeySide};
 pub use store::{DurableStore, RecoveredKb, StoreError};
+pub use txn::Txn;

@@ -34,6 +34,18 @@ pub const SQLSTATE_INVALID_PARAMETER: &str = "22023";
 pub const SQLSTATE_NOT_SUPPORTED: &str = "0A000";
 /// `cannot_connect_now` — server still starting or otherwise refusing.
 pub const SQLSTATE_CANNOT_CONNECT_NOW: &str = "57P03";
+/// `no_active_sql_transaction` — `COMMIT`/`ROLLBACK` with no transaction
+/// open.
+pub const SQLSTATE_NO_ACTIVE_TRANSACTION: &str = "25P01";
+/// `in_failed_sql_transaction` — a statement other than `COMMIT` or
+/// `ROLLBACK` inside an aborted transaction.
+pub const SQLSTATE_IN_FAILED_TRANSACTION: &str = "25P02";
+/// `active_sql_transaction` — `BEGIN` while a transaction is already
+/// open.
+pub const SQLSTATE_ACTIVE_TRANSACTION: &str = "25001";
+/// `serialization_failure` — first-committer-wins aborted the commit;
+/// the client should retry the whole transaction.
+pub const SQLSTATE_SERIALIZATION_FAILURE: &str = "40001";
 
 // ---------------------------------------------------------------------------
 // Backend message constructors.
@@ -51,10 +63,12 @@ pub fn backend_key_data(out: &mut OutBuf, pid: i32, secret: i32) {
     out.begin(b'K').i32(pid).i32(secret).end();
 }
 
-/// `ReadyForQuery` with transaction status `'I'` (idle) — this front end
-/// has no transactions, so the status never changes.
-pub fn ready_for_query(out: &mut OutBuf) {
-    out.begin(b'Z').u8(b'I').end();
+/// `ReadyForQuery` with the session's transaction status: `'I'` idle,
+/// `'T'` in an open transaction, `'E'` in a failed transaction awaiting
+/// `ROLLBACK`.
+pub fn ready_for_query(out: &mut OutBuf, status: u8) {
+    debug_assert!(matches!(status, b'I' | b'T' | b'E'));
+    out.begin(b'Z').u8(status).end();
 }
 
 /// `RowDescription`: every column is a TEXT attribute with no table

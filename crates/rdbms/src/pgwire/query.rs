@@ -4,7 +4,7 @@
 //! Grammar (case-insensitive keywords, whitespace-insensitive):
 //!
 //! ```text
-//! statement := select | ask | show | set | panic
+//! statement := select | ask | show | set | panic | txn | mutate
 //! select    := SELECT head WHERE body
 //! ask       := ASK WHERE body
 //! head      := ?var ( , ?var )*
@@ -12,17 +12,26 @@
 //! atom      := Name ( term )            -- concept atom
 //!            | Name ( term , term )     -- role atom
 //! term      := ?var | Individual        -- bare identifier = constant
-//! show      := SHOW ( generation | cache | backend | server_version )
+//! show      := SHOW ( generation | cache | backend | server_version
+//!                   | transaction )
 //! set       := SET ...                  -- accepted and ignored
 //! panic     := PANIC                    -- chaos statement, gated
+//! txn       := BEGIN | COMMIT | ROLLBACK   -- optional TRANSACTION/WORK
+//! mutate    := INSERT fact ( , fact )*  -- buffered in the transaction
+//!            | DELETE fact ( , fact )*
+//! fact      := Name ( Individual )          -- ground concept fact
+//!            | Name ( Individual , Individual )  -- ground role fact
 //! ```
 //!
 //! Predicate names resolve by arity: one argument looks up a concept,
-//! two arguments a role. Constants resolve in the snapshot's interned
-//! individuals — an unknown name is a parse-time error (SQLSTATE 42601
-//! at the session layer), not an empty result, so typos are loud.
+//! two arguments a role. Constants in *queries* resolve in the
+//! snapshot's interned individuals — an unknown name is a parse-time
+//! error (SQLSTATE 42601 at the session layer), not an empty result, so
+//! typos are loud. Constants in `INSERT` facts stay *names*: an unknown
+//! individual there is new data, interned transaction-locally by the
+//! session and globally at commit.
 
-use obda_dllite::Vocabulary;
+use obda_dllite::{ConceptId, RoleId, Vocabulary};
 use obda_query::{Atom, Term, VarId, CQ};
 use std::collections::HashMap;
 
@@ -39,6 +48,25 @@ pub enum WireStatement {
     /// `PANIC` — deliberately panics inside the executing session; only
     /// honored when the listener enables chaos testing.
     Panic,
+    /// `BEGIN [TRANSACTION|WORK]` — open a snapshot-isolated transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION|WORK]` — commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION|WORK]` — discard the open transaction.
+    Rollback,
+    /// `INSERT fact, ...` / `DELETE fact, ...` — ground fact writes,
+    /// buffered in the session's transaction (or an implicit one-shot
+    /// transaction in autocommit).
+    Mutate { insert: bool, facts: Vec<FactAtom> },
+}
+
+/// One ground fact in an `INSERT`/`DELETE` statement. Predicates resolve
+/// at parse time (writes never invent concepts or roles over the wire);
+/// individuals stay names so inserts can introduce new ones.
+#[derive(Clone, Debug)]
+pub enum FactAtom {
+    Concept(ConceptId, String),
+    Role(RoleId, String, String),
 }
 
 /// Topics a `SHOW` statement can ask about.
@@ -48,6 +76,9 @@ pub enum ShowTopic {
     Cache,
     Backend,
     ServerVersion,
+    /// The session's transaction state: status, buffered write count,
+    /// new-name count, pinned generation.
+    Transaction,
 }
 
 /// A statement that failed to parse or resolve; the message is shipped
@@ -146,10 +177,124 @@ pub fn parse_statement(text: &str, voc: &Vocabulary) -> Result<WireStatement, Pa
         "SHOW" => parse_show(&trimmed[first.len()..]),
         "SET" => Ok(WireStatement::Set),
         "PANIC" => Ok(WireStatement::Panic),
+        "BEGIN" => parse_txn_control(&trimmed[first.len()..], WireStatement::Begin, "BEGIN"),
+        "START" => {
+            // `START TRANSACTION` is the SQL-standard spelling of BEGIN.
+            let rest = trimmed[first.len()..].trim();
+            if rest.eq_ignore_ascii_case("TRANSACTION") {
+                Ok(WireStatement::Begin)
+            } else {
+                err("expected TRANSACTION after START")
+            }
+        }
+        "COMMIT" | "END" => {
+            parse_txn_control(&trimmed[first.len()..], WireStatement::Commit, "COMMIT")
+        }
+        "ROLLBACK" | "ABORT" => {
+            parse_txn_control(&trimmed[first.len()..], WireStatement::Rollback, "ROLLBACK")
+        }
+        "INSERT" => parse_mutate(&trimmed[first.len()..], true, voc),
+        "DELETE" => parse_mutate(&trimmed[first.len()..], false, voc),
         other => err(format!(
-            "unknown statement '{other}' (expected SELECT, ASK, SHOW, SET, or PANIC)"
+            "unknown statement '{other}' (expected SELECT, ASK, INSERT, DELETE, \
+             BEGIN, COMMIT, ROLLBACK, SHOW, SET, or PANIC)"
         )),
     }
+}
+
+/// `BEGIN`/`COMMIT`/`ROLLBACK` with an optional `TRANSACTION`/`WORK`
+/// noise word, nothing else.
+fn parse_txn_control(
+    rest: &str,
+    stmt: WireStatement,
+    kw: &str,
+) -> Result<WireStatement, ParseWireError> {
+    let rest = rest.trim();
+    if rest.is_empty()
+        || rest.eq_ignore_ascii_case("TRANSACTION")
+        || rest.eq_ignore_ascii_case("WORK")
+    {
+        Ok(stmt)
+    } else {
+        err(format!("unexpected tokens after {kw}: '{rest}'"))
+    }
+}
+
+/// `INSERT`/`DELETE` body: comma-separated ground facts. Predicates must
+/// exist (by arity); individual arguments are kept as names — `INSERT`
+/// may introduce new individuals, which the session interns in its
+/// transaction's working set.
+fn parse_mutate(
+    rest: &str,
+    insert: bool,
+    voc: &Vocabulary,
+) -> Result<WireStatement, ParseWireError> {
+    let verb = if insert { "INSERT" } else { "DELETE" };
+    let tokens = tokenize(rest)?;
+    let mut facts = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let name = match &tokens[pos] {
+            Token::Ident(n) => *n,
+            _ => return err(format!("expected a predicate name after {verb}")),
+        };
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(Token::Punct('('))) {
+            return err(format!("expected '(' after predicate '{name}'"));
+        }
+        pos += 1;
+        let mut args: Vec<String> = Vec::new();
+        loop {
+            match tokens.get(pos) {
+                Some(Token::Ident(ind)) => args.push((*ind).to_string()),
+                Some(Token::Var(v)) => {
+                    return err(format!("{verb} facts must be ground: '?{v}' is a variable"))
+                }
+                _ => return err(format!("expected an individual inside '{name}(...)'")),
+            }
+            pos += 1;
+            match tokens.get(pos) {
+                Some(Token::Punct(',')) => pos += 1,
+                Some(Token::Punct(')')) => {
+                    pos += 1;
+                    break;
+                }
+                _ => return err(format!("expected ',' or ')' inside '{name}(...)'")),
+            }
+        }
+        let fact = match args.len() {
+            1 => {
+                let cid = voc
+                    .find_concept(name)
+                    .ok_or_else(|| ParseWireError(format!("unknown concept '{name}'")))?;
+                FactAtom::Concept(cid, args.pop().unwrap())
+            }
+            2 => {
+                let rid = voc
+                    .find_role(name)
+                    .ok_or_else(|| ParseWireError(format!("unknown role '{name}'")))?;
+                let b = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                FactAtom::Role(rid, a, b)
+            }
+            n => {
+                return err(format!(
+                    "predicate '{name}' has {n} arguments (1 or 2 allowed)"
+                ))
+            }
+        };
+        facts.push(fact);
+        if matches!(tokens.get(pos), Some(Token::Punct(','))) {
+            pos += 1;
+            if pos == tokens.len() {
+                return err(format!("trailing ',' in {verb} statement"));
+            }
+        }
+    }
+    if facts.is_empty() {
+        return err(format!("{verb} needs at least one fact"));
+    }
+    Ok(WireStatement::Mutate { insert, facts })
 }
 
 fn parse_show(rest: &str) -> Result<WireStatement, ParseWireError> {
@@ -158,10 +303,12 @@ fn parse_show(rest: &str) -> Result<WireStatement, ParseWireError> {
         "cache" => ShowTopic::Cache,
         "backend" => ShowTopic::Backend,
         "server_version" => ShowTopic::ServerVersion,
+        "transaction" => ShowTopic::Transaction,
         other => {
             return err(format!(
-            "unknown SHOW topic '{other}' (expected generation, cache, backend, or server_version)"
-        ))
+                "unknown SHOW topic '{other}' (expected generation, cache, backend, \
+                 server_version, or transaction)"
+            ))
         }
     };
     Ok(WireStatement::Show(topic))
@@ -404,6 +551,81 @@ mod tests {
             WireStatement::Panic
         ));
         assert!(parse_statement("SHOW nonsense", &v).is_err());
+    }
+
+    #[test]
+    fn txn_control_statements_parse() {
+        let v = voc();
+        for (text, want) in [
+            ("BEGIN", "Begin"),
+            ("begin transaction", "Begin"),
+            ("BEGIN WORK", "Begin"),
+            ("START TRANSACTION", "Begin"),
+            ("COMMIT", "Commit"),
+            ("end work", "Commit"),
+            ("ROLLBACK", "Rollback"),
+            ("abort transaction", "Rollback"),
+        ] {
+            let got = match parse_statement(text, &v).unwrap() {
+                WireStatement::Begin => "Begin",
+                WireStatement::Commit => "Commit",
+                WireStatement::Rollback => "Rollback",
+                other => panic!("{text:?} parsed to {other:?}"),
+            };
+            assert_eq!(got, want, "{text:?}");
+        }
+        assert!(parse_statement("BEGIN nonsense", &v).is_err());
+        assert!(parse_statement("START", &v).is_err());
+        assert!(parse_statement("COMMIT twice please", &v).is_err());
+    }
+
+    #[test]
+    fn mutate_statements_keep_individuals_as_names() {
+        let v = voc();
+        // "bob" is unknown to the vocabulary — legal in INSERT.
+        let stmt = parse_statement("INSERT Student(bob), advisor(bob, alice)", &v).unwrap();
+        match stmt {
+            WireStatement::Mutate { insert, facts } => {
+                assert!(insert);
+                assert_eq!(facts.len(), 2);
+                match &facts[0] {
+                    FactAtom::Concept(_, name) => assert_eq!(name, "bob"),
+                    other => panic!("expected concept fact, got {other:?}"),
+                }
+                match &facts[1] {
+                    FactAtom::Role(_, a, b) => {
+                        assert_eq!(a, "bob");
+                        assert_eq!(b, "alice");
+                    }
+                    other => panic!("expected role fact, got {other:?}"),
+                }
+            }
+            other => panic!("expected Mutate, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("DELETE Student(alice)", &v).unwrap(),
+            WireStatement::Mutate { insert: false, .. }
+        ));
+        // Predicates must exist; facts must be ground.
+        for (text, needle) in [
+            ("INSERT Nope(bob)", "unknown concept"),
+            ("INSERT knows(a, b)", "unknown role"),
+            ("INSERT Student(?x)", "must be ground"),
+            ("INSERT", "at least one fact"),
+            ("DELETE Student(a, b, c)", "3 arguments"),
+        ] {
+            let e = parse_statement(text, &v).unwrap_err();
+            assert!(e.0.contains(needle), "{text:?} gave {:?}", e.0);
+        }
+    }
+
+    #[test]
+    fn show_transaction_parses() {
+        let v = voc();
+        assert!(matches!(
+            parse_statement("SHOW transaction", &v).unwrap(),
+            WireStatement::Show(ShowTopic::Transaction)
+        ));
     }
 
     #[test]

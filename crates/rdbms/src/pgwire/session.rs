@@ -5,6 +5,15 @@
 //!
 //! * every *statement* pins its own [`EngineSnapshot`] — a reload that
 //!   publishes mid-session affects only statements parsed after it;
+//! * `BEGIN` opens a snapshot-isolated [`Txn`]: statements until
+//!   `COMMIT`/`ROLLBACK` read the transaction's pinned generation plus
+//!   its own buffered writes, and commit rides the group-commit WAL
+//!   with first-committer-wins validation (a conflict is SQLSTATE
+//!   `40001`). Any error inside an open transaction aborts it: only
+//!   `COMMIT`/`ROLLBACK` are then accepted (`25P02` otherwise), and
+//!   `COMMIT` of an aborted transaction rolls back, as in PostgreSQL.
+//!   `INSERT`/`DELETE` outside a transaction autocommit as a one-shot
+//!   transaction each;
 //! * every statement executes under `catch_unwind`, so a panic (from a
 //!   bug or from the chaos `PANIC` statement) is converted into an
 //!   `ErrorResponse` with SQLSTATE `XX000` and *this* connection closes —
@@ -29,10 +38,13 @@ use super::framing::{
     PROTOCOL_VERSION, SSL_REQUEST,
 };
 use super::messages as msg;
-use super::query::{parse_statement, split_statements, ParseWireError, ShowTopic, WireStatement};
+use super::query::{
+    parse_statement, split_statements, FactAtom, ParseWireError, ShowTopic, WireStatement,
+};
 use crate::engine::EngineError;
-use crate::server::{EngineSnapshot, Server};
+use crate::server::{EngineSnapshot, Server, ServerError};
 use crate::sqlexec::Backend;
+use crate::txn::Txn;
 
 use std::collections::HashMap;
 
@@ -105,6 +117,8 @@ pub fn run_session(
         allow_chaos: cfg.allow_chaos,
         prepared: HashMap::new(),
         portals: HashMap::new(),
+        txn: None,
+        txn_failed: false,
     };
     session.command_loop(&mut stream, stop, &mut out)
 }
@@ -169,7 +183,7 @@ fn negotiate_startup(
                 msg::parameter_status(out, "client_encoding", "UTF8");
                 msg::parameter_status(out, "backend", backend.name());
                 msg::backend_key_data(out, cfg.session_id, 0);
-                msg::ready_for_query(out);
+                msg::ready_for_query(out, b'I');
                 if out.flush_to(stream).is_err() {
                     return Err(SessionEnd::Io);
                 }
@@ -267,6 +281,13 @@ struct Session<'a> {
     allow_chaos: bool,
     prepared: HashMap<String, Prepared>,
     portals: HashMap<String, Portal>,
+    /// The open transaction, if any. `Txn` borrows the same server the
+    /// session does, so it lives here directly; dropping the session
+    /// (client disconnect, panic, shutdown) rolls it back.
+    txn: Option<Txn<'a>>,
+    /// An error occurred inside the open transaction: only
+    /// `COMMIT`/`ROLLBACK` are accepted until it ends.
+    txn_failed: bool,
 }
 
 impl Session<'_> {
@@ -295,6 +316,7 @@ impl Session<'_> {
                 match self.on_simple_query(&body, out) {
                     Ok(()) => {}
                     Err(ExecError::Wire { sqlstate, message }) => {
+                        self.fail_open_txn();
                         msg::error_response(out, sqlstate, &message);
                     }
                     Err(ExecError::Panicked(detail)) => {
@@ -307,7 +329,7 @@ impl Session<'_> {
                         return SessionEnd::Panicked;
                     }
                 }
-                msg::ready_for_query(out);
+                msg::ready_for_query(out, self.txn_status());
                 if out.flush_to(stream).is_err() {
                     return SessionEnd::Io;
                 }
@@ -321,7 +343,7 @@ impl Session<'_> {
                 b'C' => self.on_close(&body, out),
                 b'S' => {
                     skip_until_sync = false;
-                    msg::ready_for_query(out);
+                    msg::ready_for_query(out, self.txn_status());
                     Ok(())
                 }
                 b'H' => Ok(()), // Flush: we flush after every message anyway.
@@ -343,6 +365,7 @@ impl Session<'_> {
                     }
                 }
                 Err(ExecError::Wire { sqlstate, message }) => {
+                    self.fail_open_txn();
                     msg::error_response(out, sqlstate, &message);
                     skip_until_sync = true;
                     if out.flush_to(stream).is_err() {
@@ -401,9 +424,9 @@ impl Session<'_> {
 
     fn on_parse(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
         let parse = msg::decode_parse(body).map_err(frame_to_exec)?;
-        // Validate eagerly against the current snapshot so Parse errors
-        // surface at Parse time, like PostgreSQL's.
-        let snap = self.server.snapshot();
+        // Validate eagerly against the current session view so Parse
+        // errors surface at Parse time, like PostgreSQL's.
+        let snap = self.session_view();
         let statements = split_statements(&parse.query);
         if statements.len() != 1 {
             return Err(ExecError::Wire {
@@ -449,7 +472,7 @@ impl Session<'_> {
     fn on_describe(&mut self, body: &[u8], out: &mut OutBuf) -> Result<(), ExecError> {
         let target = msg::decode_target(body, "Describe").map_err(frame_to_exec)?;
         let text = self.resolve_target(&target)?;
-        let snap = self.server.snapshot();
+        let snap = self.session_view();
         let stmt = parse_statement(&text, snap.vocabulary())?;
         if target.kind == b'S' {
             msg::parameter_description(out);
@@ -523,18 +546,63 @@ impl Session<'_> {
             })
     }
 
-    /// Parse and execute one statement text: pin a snapshot, resolve
-    /// names against its vocabulary, run under `catch_unwind`.
+    /// `'I'` idle, `'T'` in an open transaction, `'E'` failed.
+    fn txn_status(&self) -> u8 {
+        match (&self.txn, self.txn_failed) {
+            (None, _) => b'I',
+            (Some(_), false) => b'T',
+            (Some(_), true) => b'E',
+        }
+    }
+
+    /// After an error: an open transaction becomes failed.
+    fn fail_open_txn(&mut self) {
+        if self.txn.is_some() {
+            self.txn_failed = true;
+        }
+    }
+
+    /// The snapshot statements parse and render against: the open
+    /// transaction's view (pinned generation + buffered writes + new
+    /// names) when one exists, the current published snapshot otherwise.
+    fn session_view(&mut self) -> Arc<EngineSnapshot> {
+        match &mut self.txn {
+            Some(txn) => txn.view(),
+            None => self.server.snapshot(),
+        }
+    }
+
+    /// Parse and execute one statement text: pin a snapshot (the open
+    /// transaction's view, if any), resolve names against its
+    /// vocabulary, run under `catch_unwind`.
     fn execute_text(&mut self, text: &str) -> Result<Rendered, ExecError> {
-        let snap = self.server.snapshot();
+        // Failed-transaction discipline: nothing but COMMIT/ROLLBACK is
+        // even parsed until the transaction block ends.
+        if self.txn_failed {
+            let first = text
+                .trim()
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_ascii_uppercase();
+            if !matches!(first.as_str(), "COMMIT" | "END" | "ROLLBACK" | "ABORT") {
+                return Err(ExecError::Wire {
+                    sqlstate: msg::SQLSTATE_IN_FAILED_TRANSACTION,
+                    message: "current transaction is aborted, \
+                              commands ignored until end of transaction block"
+                        .into(),
+                });
+            }
+        }
+        let snap = self.session_view();
         let stmt = parse_statement(text, snap.vocabulary())?;
         match stmt {
-            WireStatement::Set => Ok(Rendered {
-                columns: Vec::new(),
-                rows: Vec::new(),
-                tag: "SET".into(),
-            }),
+            WireStatement::Set => Ok(tag_only("SET")),
             WireStatement::Show(topic) => Ok(self.run_show(topic, &snap)),
+            WireStatement::Begin => self.run_begin(),
+            WireStatement::Commit => self.run_commit(),
+            WireStatement::Rollback => self.run_rollback(),
+            WireStatement::Mutate { insert, facts } => self.run_mutate(insert, &facts),
             WireStatement::Panic => {
                 if !self.allow_chaos {
                     return Err(ExecError::Wire {
@@ -547,22 +615,144 @@ impl Session<'_> {
                 Err(ExecError::Panicked("chaos PANIC statement".into()))
             }
             WireStatement::Select { head_names, cq } => {
-                let server = self.server;
                 let backend = self.backend;
-                let snap_ref = &snap;
-                let result = catch_unwind(AssertUnwindSafe(move || {
-                    server.query_on_as(snap_ref, &cq, backend)
-                }));
-                let outcome = match result {
-                    Ok(r) => r.map_err(ExecError::from)?,
-                    Err(payload) => return Err(ExecError::Panicked(panic_detail(payload))),
+                let outcome = match &mut self.txn {
+                    Some(txn) => {
+                        let result = catch_unwind(AssertUnwindSafe(|| txn.query_as(&cq, backend)));
+                        match result {
+                            Ok(r) => r.map_err(ExecError::from)?,
+                            Err(payload) => return Err(ExecError::Panicked(panic_detail(payload))),
+                        }
+                    }
+                    None => {
+                        let server = self.server;
+                        let snap_ref = &snap;
+                        let result = catch_unwind(AssertUnwindSafe(move || {
+                            server.query_on_as(snap_ref, &cq, backend)
+                        }));
+                        match result {
+                            Ok(r) => r.map_err(ExecError::from)?,
+                            Err(payload) => return Err(ExecError::Panicked(panic_detail(payload))),
+                        }
+                    }
                 };
                 Ok(render_select(&head_names, &outcome.outcome.rows, &snap))
             }
         }
     }
 
+    fn run_begin(&mut self) -> Result<Rendered, ExecError> {
+        if self.txn.is_some() {
+            // Stricter than PostgreSQL's warning: a typed error (which
+            // also aborts the open transaction, per the session rule).
+            return Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_ACTIVE_TRANSACTION,
+                message: "there is already a transaction in progress".into(),
+            });
+        }
+        self.txn = Some(self.server.begin());
+        Ok(tag_only("BEGIN"))
+    }
+
+    fn run_commit(&mut self) -> Result<Rendered, ExecError> {
+        match self.txn.take() {
+            None => Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_NO_ACTIVE_TRANSACTION,
+                message: "there is no transaction in progress".into(),
+            }),
+            Some(txn) if self.txn_failed => {
+                // COMMIT of an aborted transaction rolls back, with the
+                // ROLLBACK tag telling the client what really happened.
+                self.txn_failed = false;
+                txn.rollback();
+                Ok(tag_only("ROLLBACK"))
+            }
+            Some(txn) => match txn.commit() {
+                Ok(_generation) => Ok(tag_only("COMMIT")),
+                Err(e @ ServerError::Conflict { .. }) => Err(ExecError::Wire {
+                    sqlstate: msg::SQLSTATE_SERIALIZATION_FAILURE,
+                    message: e.to_string(),
+                }),
+                Err(e) => Err(ExecError::Wire {
+                    sqlstate: msg::SQLSTATE_INTERNAL_ERROR,
+                    message: e.to_string(),
+                }),
+            },
+        }
+    }
+
+    fn run_rollback(&mut self) -> Result<Rendered, ExecError> {
+        match self.txn.take() {
+            None => Err(ExecError::Wire {
+                sqlstate: msg::SQLSTATE_NO_ACTIVE_TRANSACTION,
+                message: "there is no transaction in progress".into(),
+            }),
+            Some(txn) => {
+                self.txn_failed = false;
+                txn.rollback();
+                Ok(tag_only("ROLLBACK"))
+            }
+        }
+    }
+
+    /// `INSERT`/`DELETE`: buffer into the open transaction, or run as a
+    /// one-shot autocommit transaction. `DELETE` of a fact naming an
+    /// unknown individual is a no-op for that fact (there is nothing to
+    /// retract), and the tag's row count reports only applied facts.
+    fn run_mutate(&mut self, insert: bool, facts: &[FactAtom]) -> Result<Rendered, ExecError> {
+        let tag_word = if insert { "INSERT 0" } else { "DELETE" };
+        let applied = match &mut self.txn {
+            Some(txn) => apply_facts(txn, insert, facts),
+            None => {
+                let mut txn = self.server.begin();
+                let applied = apply_facts(&mut txn, insert, facts);
+                match txn.commit() {
+                    Ok(_generation) => applied,
+                    Err(e @ ServerError::Conflict { .. }) => {
+                        return Err(ExecError::Wire {
+                            sqlstate: msg::SQLSTATE_SERIALIZATION_FAILURE,
+                            message: e.to_string(),
+                        })
+                    }
+                    Err(e) => {
+                        return Err(ExecError::Wire {
+                            sqlstate: msg::SQLSTATE_INTERNAL_ERROR,
+                            message: e.to_string(),
+                        })
+                    }
+                }
+            }
+        };
+        Ok(tag_only(&format!("{tag_word} {applied}")))
+    }
+
     fn run_show(&self, topic: ShowTopic, snap: &EngineSnapshot) -> Rendered {
+        if topic == ShowTopic::Transaction {
+            let (status, pending, new_names, generation) = match &self.txn {
+                Some(txn) => (
+                    if self.txn_failed { "failed" } else { "open" },
+                    txn.pending_ops(),
+                    txn.new_names(),
+                    txn.begin_generation(),
+                ),
+                None => ("idle", 0, 0, snap.generation()),
+            };
+            return Rendered {
+                columns: vec![
+                    "transaction_status".into(),
+                    "pending_ops".into(),
+                    "new_names".into(),
+                    "pinned_generation".into(),
+                ],
+                rows: vec![vec![
+                    status.to_string(),
+                    pending.to_string(),
+                    new_names.to_string(),
+                    generation.to_string(),
+                ]],
+                tag: "SELECT 1".into(),
+            };
+        }
         let (name, value) = match topic {
             ShowTopic::Generation => ("generation", snap.generation().to_string()),
             ShowTopic::Backend => ("backend", self.backend.name().to_string()),
@@ -577,6 +767,7 @@ impl Session<'_> {
                     ),
                 )
             }
+            ShowTopic::Transaction => unreachable!("handled above"),
         };
         Rendered {
             columns: vec![name.to_string()],
@@ -584,6 +775,50 @@ impl Session<'_> {
             tag: "SELECT 1".into(),
         }
     }
+}
+
+/// A row-less result carrying only a CommandComplete tag.
+fn tag_only(tag: &str) -> Rendered {
+    Rendered {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        tag: tag.to_string(),
+    }
+}
+
+/// Apply ground facts to a transaction's working set, returning how many
+/// were applied. Inserts intern unknown individuals transaction-locally;
+/// deletes of facts naming unknown individuals are skipped.
+fn apply_facts(txn: &mut Txn<'_>, insert: bool, facts: &[FactAtom]) -> usize {
+    let mut applied = 0;
+    for fact in facts {
+        match fact {
+            FactAtom::Concept(c, name) => {
+                if insert {
+                    let a = txn.individual(name);
+                    txn.insert_concept(*c, a);
+                    applied += 1;
+                } else if let Some(a) = txn.find_individual(name) {
+                    txn.retract_concept(*c, a);
+                    applied += 1;
+                }
+            }
+            FactAtom::Role(r, a_name, b_name) => {
+                if insert {
+                    let a = txn.individual(a_name);
+                    let b = txn.individual(b_name);
+                    txn.insert_role(*r, a, b);
+                    applied += 1;
+                } else if let (Some(a), Some(b)) =
+                    (txn.find_individual(a_name), txn.find_individual(b_name))
+                {
+                    txn.retract_role(*r, a, b);
+                    applied += 1;
+                }
+            }
+        }
+    }
+    applied
 }
 
 fn frame_to_exec(e: FrameError) -> ExecError {
@@ -607,14 +842,26 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 fn describe_columns(stmt: &WireStatement) -> Option<Vec<String>> {
     match stmt {
         WireStatement::Select { head_names, .. } => Some(head_names.clone()),
+        WireStatement::Show(ShowTopic::Transaction) => Some(vec![
+            "transaction_status".to_string(),
+            "pending_ops".to_string(),
+            "new_names".to_string(),
+            "pinned_generation".to_string(),
+        ]),
         WireStatement::Show(topic) => Some(vec![match topic {
             ShowTopic::Generation => "generation",
             ShowTopic::Cache => "cache",
             ShowTopic::Backend => "backend",
             ShowTopic::ServerVersion => "server_version",
+            ShowTopic::Transaction => unreachable!("handled above"),
         }
         .to_string()]),
-        WireStatement::Set | WireStatement::Panic => None,
+        WireStatement::Set
+        | WireStatement::Panic
+        | WireStatement::Begin
+        | WireStatement::Commit
+        | WireStatement::Rollback
+        | WireStatement::Mutate { .. } => None,
     }
 }
 

@@ -53,13 +53,16 @@
 //!   storage and statistics rebuilt from scratch; on a durable server
 //!   this is also a compaction point (fresh snapshot, WAL reset).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
 
 use obda_core::{choose_reformulation, Strategy};
-use obda_dllite::{ABox, AboxDelta, Dependencies, TBox, Vocabulary};
+use obda_dllite::{
+    ABox, AboxDelta, ConceptId, Dependencies, IndividualId, RoleId, TBox, Vocabulary, WorkingSet,
+};
 use obda_query::{canonical_key, CanonKey, FolQuery, CQ};
 
 use crate::engine::{Engine, EngineError, EvalOptions, QueryOutcome};
@@ -70,7 +73,7 @@ use crate::layout::LayoutKind;
 use crate::planner::{ExecMode, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sqlexec::Backend;
-use crate::store::{DurableStore, StoreError};
+use crate::store::{write_snapshot_to, DurableStore, StoreError};
 
 /// Errors surfaced by the serving layer's session-facing API.
 ///
@@ -94,6 +97,18 @@ pub enum ServerError {
     Store(StoreError),
     /// Query compilation or execution failed.
     Engine(EngineError),
+    /// First-committer-wins: another transaction committed (or staged) a
+    /// write to an overlapping fact key after this transaction pinned
+    /// its snapshot. Nothing was applied; re-run the transaction against
+    /// a fresh snapshot.
+    Conflict {
+        /// The generation the conflicting write committed in.
+        committed_in: u64,
+    },
+    /// The group-commit record containing this transaction failed to
+    /// reach the WAL; nothing from the group was applied, so retrying
+    /// the transaction is safe.
+    CommitFailed { detail: String },
 }
 
 impl fmt::Display for ServerError {
@@ -106,6 +121,14 @@ impl fmt::Display for ServerError {
             ),
             ServerError::Store(e) => write!(f, "{e}"),
             ServerError::Engine(e) => write!(f, "{e}"),
+            ServerError::Conflict { committed_in } => write!(
+                f,
+                "could not serialize access due to a concurrent fact write \
+                 (committed in generation {committed_in}); retry the transaction"
+            ),
+            ServerError::CommitFailed { detail } => {
+                write!(f, "group commit failed, transaction not applied: {detail}")
+            }
         }
     }
 }
@@ -150,9 +173,15 @@ pub struct ServerConfig {
     /// call (the differential harness runs both ways and compares).
     pub cache_plans: bool,
     /// On a durable server: fold the WAL into a fresh snapshot after
-    /// this many logged batches (`0` = only on explicit
-    /// [`Server::compact`] / reload). Ignored without a store.
+    /// this many logged transactions (`0` = only on explicit
+    /// [`Server::checkpoint`] / reload). Ignored without a store.
     pub compact_every: u64,
+    /// On a durable server: `fsync` every group-commit record before
+    /// acknowledging its transactions — durability against machine
+    /// crashes, not just process death. Off by default, matching the
+    /// store's flush-on-append contract (the per-group fsync is the
+    /// dominant commit cost on real disks).
+    pub sync_commits: bool,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +196,7 @@ impl Default for ServerConfig {
             threads: 1,
             cache_plans: true,
             compact_every: 256,
+            sync_commits: false,
         }
     }
 }
@@ -175,15 +205,15 @@ impl Default for ServerConfig {
 /// profile), TBox, and predicate dependencies. `Send + Sync`; shared
 /// behind `Arc` so readers never block writers and vice versa.
 pub struct EngineSnapshot {
-    engine: Engine,
-    tbox: TBox,
-    deps: Dependencies,
+    pub(crate) engine: Engine,
+    pub(crate) tbox: TBox,
+    pub(crate) deps: Dependencies,
     /// The vocabulary frozen at publish time. Interning only appends, so
     /// every id reachable from this generation's data resolves here —
     /// the wire front end uses it to parse predicate/individual names in
     /// queries and to render result rows as names.
-    voc: Arc<Vocabulary>,
-    generation: u64,
+    pub(crate) voc: Arc<Vocabulary>,
+    pub(crate) generation: u64,
 }
 
 impl EngineSnapshot {
@@ -238,14 +268,112 @@ pub struct CacheStats {
     pub invalidated: u64,
 }
 
+/// Point-in-time transaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions (including one-shot `apply_batch` calls) committed.
+    pub committed: u64,
+    /// Commits refused by first-committer-wins validation.
+    pub conflicts: u64,
+    /// WAL group-commit records written. At most `committed` — lower
+    /// under concurrency, where one record carries a whole group.
+    pub commit_groups: u64,
+    /// Currently open transactions.
+    pub active: usize,
+}
+
+/// One transaction staged for group commit: its flattened delta (all
+/// provisional ids already resolved to final interned ids), the
+/// generation it will publish as, and the slot its committer waits on.
+struct StagedTxn {
+    delta: AboxDelta,
+    generation: u64,
+    slot: Arc<CommitSlot>,
+}
+
+/// Rendezvous between a staged transaction and the group-commit leader
+/// that eventually makes it durable (or fails the whole group).
+pub(crate) struct CommitSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// Still queued behind the next group-commit leader.
+    Queued,
+    /// Durably logged and published at this generation.
+    Committed(u64),
+    /// The group's WAL append failed; nothing was applied.
+    Failed(String),
+}
+
+impl CommitSlot {
+    fn new() -> Self {
+        CommitSlot {
+            state: Mutex::new(SlotState::Queued),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<u64, String>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = match result {
+            Ok(generation) => SlotState::Committed(generation),
+            Err(detail) => SlotState::Failed(detail),
+        };
+        self.ready.notify_all();
+    }
+
+    fn poll(&self) -> Option<Result<u64, String>> {
+        match &*self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            SlotState::Queued => None,
+            SlotState::Committed(generation) => Some(Ok(*generation)),
+            SlotState::Failed(detail) => Some(Err(detail.clone())),
+        }
+    }
+
+    /// Block briefly until resolved (or a timeout — the caller re-polls
+    /// and may become the next leader itself, so a missed wakeup can
+    /// only cost one timeout, never a hang).
+    fn wait_brief(&self) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, SlotState::Queued) {
+            drop(
+                self.ready
+                    .wait_timeout(state, std::time::Duration::from_millis(10)),
+            );
+        }
+    }
+}
+
 /// The authoritative writer-side state: the master vocabulary and ABox
-/// every mutation commits to, plus the optional durable store. Guarded
-/// by one mutex so writers (apply_batch, reloads, compaction) serialize;
-/// readers never touch it — they see only published [`EngineSnapshot`]s.
+/// every commit applies to, plus the group-commit staging area. Guarded
+/// by one mutex held only *briefly* — staging a transaction, or the
+/// leader's apply phase — never across a WAL write or fsync, which is
+/// what lets commits group under concurrency. Readers never touch it:
+/// they see only published [`EngineSnapshot`]s.
 struct WriterState {
     voc: Vocabulary,
     abox: ABox,
-    store: Option<DurableStore>,
+    /// Generation of the last *published* snapshot; `voc`/`abox` are
+    /// exactly that generation's state.
+    applied_generation: u64,
+    /// Generation assigned to the most recently *staged* transaction;
+    /// equals `applied_generation` whenever the queue is empty.
+    staged_generation: u64,
+    /// Predicted interned ids for individual names that are staged but
+    /// not yet applied. The next prediction is always
+    /// `voc.num_individuals() + pending_names.len()`; the leader interns
+    /// in staging order, so every prediction lands on its id.
+    pending_names: HashMap<String, IndividualId>,
+    /// Transactions staged and awaiting the next group-commit leader.
+    queue: Vec<StagedTxn>,
+    /// Fact keys written by recently staged/committed transactions →
+    /// the generation that wrote them. The first-committer-wins check
+    /// consults these; pruned after every group down to the oldest open
+    /// transaction's begin generation.
+    recent_concepts: HashMap<(ConceptId, IndividualId), u64>,
+    recent_roles: HashMap<(RoleId, IndividualId, IndividualId), u64>,
 }
 
 /// The concurrent serving layer over one knowledge base. See the module
@@ -254,13 +382,34 @@ struct WriterState {
 pub struct Server {
     config: ServerConfig,
     snapshot: RwLock<Arc<EngineSnapshot>>,
-    /// Serializes all mutators — `apply_batch`, `reload_abox`,
-    /// `reload_kb`, `compact` — so no two can interleave (a write reads
-    /// the current state and must publish against exactly that state —
-    /// no lost updates). Held across the *build* of the next snapshot,
-    /// while the `snapshot` write lock is held only for the `Arc` swap,
-    /// so queries keep serving the old generation during a slow build.
+    /// Serializes access to the master state and the staging queue. Held
+    /// briefly (stage / apply / clone) — never across a WAL write or
+    /// fsync — while the `snapshot` write lock is held only for the
+    /// `Arc` swap, so queries keep serving the old generation while a
+    /// group commits.
     writer: Mutex<WriterState>,
+    /// The durable store under its own lock, so the group-commit
+    /// leader's WAL write never blocks staging (which takes only
+    /// `writer`). Lock discipline: only paths serialized under
+    /// `commit_leader` (the leader's durability+apply phases, the
+    /// reload publish) ever hold `store` and `writer` together, so the
+    /// two orders they nest in cannot deadlock; every other path takes
+    /// at most one of the two at a time.
+    store: Mutex<Option<DurableStore>>,
+    /// Group-commit leader election: the first committer to acquire
+    /// this drains the staged queue and commits it as ONE WAL record;
+    /// the rest wait on their slots. Reloads take it (blocking) to
+    /// flush the queue before replacing the KB.
+    commit_leader: Mutex<()>,
+    /// At most one fuzzy checkpoint runs at a time.
+    ckpt: Mutex<()>,
+    /// Open transactions: id → begin generation. The minimum begin
+    /// generation bounds how far the conflict registry may be pruned.
+    active_txns: Mutex<HashMap<u64, u64>>,
+    txn_counter: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_conflicts: AtomicU64,
+    commit_groups: AtomicU64,
     /// Keyed by (generation, backend, canonical query): a session served
     /// under [`Backend::Sql`] needs the SQL text a native compilation
     /// does not carry (and vice versa for stored plans), so the two
@@ -338,7 +487,24 @@ impl Server {
         Server {
             config,
             snapshot: RwLock::new(Arc::new(snapshot)),
-            writer: Mutex::new(WriterState { voc, abox, store }),
+            writer: Mutex::new(WriterState {
+                voc,
+                abox,
+                applied_generation: generation,
+                staged_generation: generation,
+                pending_names: HashMap::new(),
+                queue: Vec::new(),
+                recent_concepts: HashMap::new(),
+                recent_roles: HashMap::new(),
+            }),
+            store: Mutex::new(store),
+            commit_leader: Mutex::new(()),
+            ckpt: Mutex::new(()),
+            active_txns: Mutex::new(HashMap::new()),
+            txn_counter: AtomicU64::new(0),
+            txn_commits: AtomicU64::new(0),
+            txn_conflicts: AtomicU64::new(0),
+            commit_groups: AtomicU64::new(0),
             cache: Mutex::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -406,6 +572,31 @@ impl Server {
     /// Writers get a typed error; readers never touch this lock.
     fn lock_writer(&self) -> Result<MutexGuard<'_, WriterState>, ServerError> {
         self.writer.lock().map_err(|_| ServerError::Poisoned)
+    }
+
+    /// Lock the durable store, recovering a poisoned guard. Sound
+    /// because [`DurableStore`] tracks its own failure state: a
+    /// half-finished operation either rolled itself back (WAL appends)
+    /// or poisoned the store, which then refuses further use with a
+    /// typed error.
+    fn lock_store(&self) -> MutexGuard<'_, Option<DurableStore>> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_leader(&self) -> MutexGuard<'_, ()> {
+        self.commit_leader.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn try_lock_leader(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.commit_leader.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub(crate) fn lock_active(&self) -> MutexGuard<'_, HashMap<u64, u64>> {
+        self.active_txns.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The current snapshot (cheap `Arc` clone; callers keep the KB
@@ -545,57 +736,227 @@ impl Server {
         }
     }
 
-    /// Apply one [`AboxDelta`] batch incrementally, publishing it as the
-    /// next snapshot generation. The commit order is the write-ahead
-    /// discipline:
+    /// Apply one [`AboxDelta`] batch as a **one-shot transaction**: the
+    /// batch is staged, rides the next group-commit WAL record, and is
+    /// published as its own snapshot generation. Semantics:
     ///
-    /// 1. **log** — append the batch to the WAL (durable servers only)
-    ///    and flush, so a crash from here on replays it. An append
-    ///    failure returns `Err` with *nothing* changed in memory — the
-    ///    batch did not commit;
-    /// 2. intern the batch's `new_individuals` into the master
-    ///    vocabulary (the WAL record carries the names itself, so
-    ///    recovery re-interns them identically);
-    /// 3. apply the batch to the master ABox, obtaining the *effective*
-    ///    sub-delta (inserts that were new, deletes that hit);
-    /// 4. clone the current engine (a table memcpy) and maintain the
-    ///    clone's tables, indexes and statistics **in place** under the
-    ///    effective delta — no rebuild, no statistics pass;
-    /// 5. publish the clone as generation `g+1` and drop every stale
-    ///    plan-cache entry — exactly the invalidation a full reload
-    ///    performs, so cached plans can never see the wrong data;
-    /// 6. if the WAL has accumulated `compact_every` batches, fold it
-    ///    into a fresh snapshot.
+    /// 1. **stage** — under a brief writer lock the batch gets the next
+    ///    generation and queues behind the group-commit leader. The
+    ///    batch's ids are taken verbatim — a caller predicting ids for
+    ///    its `new_individuals` assumes no concurrent writer interns
+    ///    names between its prediction and this call (the single-writer
+    ///    contract this path has always had; [`Server::begin`]
+    ///    transactions get provisional-id remapping instead). No
+    ///    conflict check is performed — a raw batch is an upsert;
+    /// 2. **log** — the leader drains the queue and appends ONE
+    ///    group-commit record for every staged transaction, flushing
+    ///    (and with [`ServerConfig::sync_commits`], fsyncing) once for
+    ///    the whole group. A failed append fails the *entire* group
+    ///    with nothing applied — callers can treat `Err` as "retry
+    ///    safely";
+    /// 3. **apply + publish** — the leader interns names, folds each
+    ///    delta into the master ABox and a copy-on-write engine clone
+    ///    (tables, indexes and statistics maintained in place — no
+    ///    rebuild), and publishes the group's last generation as one
+    ///    snapshot, dropping stale plan-cache entries;
+    /// 4. if the WAL has accumulated `compact_every` transactions, a
+    ///    fuzzy checkpoint folds it into a fresh snapshot. A checkpoint
+    ///    failure never revokes the commit: it poisons the store so the
+    ///    *next* append reports the condition.
     ///
     /// `Ok(generation)` means the batch **committed** (logged and
-    /// published). A step-6 auto-compaction failure does not revoke the
-    /// commit: it poisons the store (see [`DurableStore::compact`]) so
-    /// the *next* append reports the condition, and this call still
-    /// returns `Ok` — callers can treat `Err` as "retry safely".
-    ///
-    /// In-flight queries keep the snapshot they started with (snapshot
-    /// isolation); their generation-`g` prepared plans remain valid for
-    /// that snapshot's data.
+    /// published). An empty batch still commits and bumps the
+    /// generation. In-flight queries keep the snapshot they started
+    /// with (snapshot isolation).
     pub fn apply_batch(&self, delta: &AboxDelta) -> Result<u64, ServerError> {
-        let mut writer = self.lock_writer()?;
-        if let Some(store) = writer.store.as_mut() {
-            store.append(delta)?;
-        }
-        for name in &delta.new_individuals {
-            writer.voc.individual(name);
-        }
-        let effective = writer.abox.apply(delta);
+        let slot = {
+            let mut writer = self.lock_writer()?;
+            Self::enqueue(&mut writer, delta.clone())
+        };
+        self.commit_wait(&slot)
+    }
 
+    /// Predict interning for `delta`'s new names, record its fact keys
+    /// in the conflict registry, assign it the next staged generation,
+    /// and queue it for the next group-commit leader. Caller holds the
+    /// writer lock.
+    fn enqueue(writer: &mut WriterState, delta: AboxDelta) -> Arc<CommitSlot> {
+        for name in &delta.new_individuals {
+            if writer.voc.find_individual(name).is_none()
+                && !writer.pending_names.contains_key(name)
+            {
+                let id = IndividualId(
+                    (writer.voc.num_individuals() + writer.pending_names.len()) as u32,
+                );
+                writer.pending_names.insert(name.clone(), id);
+            }
+        }
+        writer.staged_generation += 1;
+        let generation = writer.staged_generation;
+        for &(c, a) in delta.insert_concepts.iter().chain(&delta.delete_concepts) {
+            writer.recent_concepts.insert((c, a), generation);
+        }
+        for &(r, a, b) in delta.insert_roles.iter().chain(&delta.delete_roles) {
+            writer.recent_roles.insert((r, a, b), generation);
+        }
+        let slot = Arc::new(CommitSlot::new());
+        writer.queue.push(StagedTxn {
+            delta,
+            generation,
+            slot: Arc::clone(&slot),
+        });
+        slot
+    }
+
+    /// Validate and stage a transaction's working set: resolve its
+    /// provisional individual ids to final interned ids, run the
+    /// first-committer-wins check against the conflict registry, and —
+    /// only if it passes — record the predictions and queue the
+    /// flattened delta. A conflict abort leaves no trace.
+    pub(crate) fn stage_txn(
+        &self,
+        ws: &WorkingSet,
+        begin_generation: u64,
+    ) -> Result<Arc<CommitSlot>, ServerError> {
+        let mut writer = self.lock_writer()?;
+        let writer = &mut *writer;
+        // Resolve provisional ids against the current master vocabulary
+        // and the staged-but-unapplied predictions, *without* recording
+        // anything yet.
+        let mut resolved = Vec::with_capacity(ws.new_individuals().len());
+        let mut fresh: Vec<(String, IndividualId)> = Vec::new();
+        for name in ws.new_individuals() {
+            let known = writer
+                .voc
+                .find_individual(name)
+                .or_else(|| writer.pending_names.get(name).copied());
+            let id = known.unwrap_or_else(|| {
+                let id = IndividualId(
+                    (writer.voc.num_individuals() + writer.pending_names.len() + fresh.len())
+                        as u32,
+                );
+                fresh.push((name.clone(), id));
+                id
+            });
+            resolved.push(id);
+        }
+        let base = ws.base_individuals() as u32;
+        let delta = ws.delta_with(|id| {
+            if id.0 >= base {
+                resolved[(id.0 - base) as usize]
+            } else {
+                id
+            }
+        });
+        // First-committer-wins: any overlapping fact key written by a
+        // transaction that committed (or staged) after this one pinned
+        // its snapshot aborts it. Keys at or before the begin
+        // generation were *visible* to this transaction — no conflict.
+        let conflicting = delta
+            .insert_concepts
+            .iter()
+            .chain(&delta.delete_concepts)
+            .filter_map(|key| writer.recent_concepts.get(key))
+            .chain(
+                delta
+                    .insert_roles
+                    .iter()
+                    .chain(&delta.delete_roles)
+                    .filter_map(|key| writer.recent_roles.get(key)),
+            )
+            .copied()
+            .filter(|&g| g > begin_generation)
+            .max();
+        if let Some(committed_in) = conflicting {
+            self.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Conflict { committed_in });
+        }
+        for (name, id) in fresh {
+            writer.pending_names.insert(name, id);
+        }
+        Ok(Self::enqueue(writer, delta))
+    }
+
+    /// Drive a staged transaction to its outcome: become the
+    /// group-commit leader if the seat is free, otherwise wait on the
+    /// slot until some leader resolves it.
+    pub(crate) fn commit_wait(&self, slot: &CommitSlot) -> Result<u64, ServerError> {
+        loop {
+            match slot.poll() {
+                Some(Ok(generation)) => {
+                    self.txn_commits.fetch_add(1, Ordering::Relaxed);
+                    self.maybe_auto_checkpoint();
+                    return Ok(generation);
+                }
+                Some(Err(detail)) => return Err(ServerError::CommitFailed { detail }),
+                None => {}
+            }
+            if let Some(_leader) = self.try_lock_leader() {
+                self.run_leader()?;
+            } else {
+                slot.wait_brief();
+            }
+        }
+    }
+
+    /// Commit everything currently staged as ONE WAL group record,
+    /// apply it to the master state, publish a single snapshot for the
+    /// group, and wake its committers. Caller must hold `commit_leader`.
+    fn run_leader(&self) -> Result<(), ServerError> {
+        let group: Vec<StagedTxn> = std::mem::take(&mut self.lock_writer()?.queue);
+        if group.is_empty() {
+            return Ok(());
+        }
+        let mut deltas = Vec::with_capacity(group.len());
+        let mut slots = Vec::with_capacity(group.len());
+        for txn in group {
+            deltas.push(txn.delta);
+            slots.push((txn.generation, txn.slot));
+        }
+
+        // Durability first (write-ahead): one record, one flush/fsync
+        // for the whole group. The writer lock is NOT held here, so
+        // later transactions keep staging behind this group.
+        let logged = {
+            let mut store = self.lock_store();
+            match store.as_mut() {
+                Some(store) if self.config.sync_commits => store.append_group_durable(&deltas),
+                Some(store) => store.append_group(&deltas),
+                None => Ok(()),
+            }
+        };
+        if let Err(e) = logged {
+            self.fail_group(slots, &e);
+            return Ok(());
+        }
+        self.commit_groups.fetch_add(1, Ordering::Relaxed);
+
+        // Apply phase: intern names (consuming their staged
+        // predictions — in staging order, so every prediction lands on
+        // its id), fold each delta into the master ABox and one engine
+        // clone, and publish the group's last generation as ONE
+        // snapshot.
+        let mut writer = self.lock_writer()?;
         let cur = self.read_snapshot();
+        debug_assert_eq!(cur.generation, writer.applied_generation);
+        let interned_before = writer.voc.num_individuals();
         let mut engine = cur.engine.clone();
-        engine.apply_delta(&effective);
-        let generation = cur.generation + 1;
+        for delta in &deltas {
+            for name in &delta.new_individuals {
+                writer.voc.individual(name);
+                writer.pending_names.remove(name);
+            }
+            let effective = writer.abox.apply(delta);
+            engine.apply_delta(&effective);
+        }
+        let generation = slots.last().map(|(g, _)| *g).unwrap_or(cur.generation);
+        writer.applied_generation = generation;
         // The snapshot vocabulary is frozen per generation; reuse the
-        // current one unless this batch interned new individuals.
-        let voc = if delta.new_individuals.is_empty() {
-            cur.voc.clone()
-        } else {
+        // current one unless this group interned new individuals.
+        let voc = if writer.voc.num_individuals() > interned_before {
             Arc::new(writer.voc.clone())
+        } else {
+            cur.voc.clone()
         };
         let next = Arc::new(EngineSnapshot {
             engine,
@@ -605,43 +966,164 @@ impl Server {
             generation,
         });
         self.swap_snapshot(next, generation);
+        // Prune the conflict registry below every open transaction's
+        // view — entries at or before the oldest begin generation can
+        // never conflict anyone again.
+        let horizon = self
+            .lock_active()
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(generation);
+        writer.recent_concepts.retain(|_, g| *g > horizon);
+        writer.recent_roles.retain(|_, g| *g > horizon);
+        drop(writer);
 
-        let due = writer.store.as_ref().is_some_and(|s| {
-            self.config.compact_every > 0 && s.wal_batches() >= self.config.compact_every
-        });
-        if due {
-            // Best-effort: the batch is already durably logged and
-            // published. A failed fold poisons the store, surfacing on
-            // the next append instead of masquerading as a commit
-            // failure here.
-            let _ = Self::compact_locked(&mut writer, &cur.tbox, generation);
+        // Ack only after the publish, so a returning committer
+        // immediately reads its own write from the live snapshot.
+        for (generation, slot) in slots {
+            slot.resolve(Ok(generation));
         }
-        Ok(generation)
-    }
-
-    /// Fold the WAL into a fresh snapshot of the current state (no-op on
-    /// a non-durable server). Answering is unaffected — compaction only
-    /// rewrites the on-disk representation.
-    pub fn compact(&self) -> Result<(), ServerError> {
-        let mut writer = self.lock_writer()?;
-        let (tbox, generation) = {
-            let cur = self.read_snapshot();
-            (cur.tbox.clone(), cur.generation)
-        };
-        Self::compact_locked(&mut writer, &tbox, generation)?;
         Ok(())
     }
 
-    fn compact_locked(
-        writer: &mut WriterState,
-        tbox: &TBox,
-        generation: u64,
-    ) -> Result<(), StoreError> {
-        let WriterState { voc, abox, store } = writer;
-        match store.as_mut() {
-            Some(store) => store.compact(voc, tbox, abox, generation),
-            None => Ok(()),
+    /// A group's WAL append failed: nothing from it was applied (the
+    /// WAL writer rolled the torn record back out). Fail every staged
+    /// transaction — including ones queued *behind* the group, whose
+    /// interning predictions build on it — and reset the staging state
+    /// to the applied prefix.
+    fn fail_group(&self, slots: Vec<(u64, Arc<CommitSlot>)>, err: &StoreError) {
+        let detail = err.to_string();
+        let mut tail = Vec::new();
+        if let Ok(mut writer) = self.writer.lock() {
+            tail = std::mem::take(&mut writer.queue);
+            writer.pending_names.clear();
+            writer.staged_generation = writer.applied_generation;
+            let applied = writer.applied_generation;
+            writer.recent_concepts.retain(|_, g| *g <= applied);
+            writer.recent_roles.retain(|_, g| *g <= applied);
         }
+        for (_, slot) in slots
+            .into_iter()
+            .chain(tail.into_iter().map(|t| (t.generation, t.slot)))
+        {
+            slot.resolve(Err(detail.clone()));
+        }
+    }
+
+    /// Fold the WAL once it accumulates `compact_every` logged
+    /// transactions. Runs after a successful commit with no commit-path
+    /// lock held; skipped when a checkpoint is already in flight.
+    fn maybe_auto_checkpoint(&self) {
+        if self.config.compact_every == 0 {
+            return;
+        }
+        let due = self
+            .lock_store()
+            .as_ref()
+            .is_some_and(|s| s.wal_batches() >= self.config.compact_every);
+        if !due {
+            return;
+        }
+        let guard = match self.ckpt.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return,
+        };
+        // Best-effort: the commit already succeeded. A failed
+        // checkpoint poisons the store and surfaces on the next append
+        // instead of masquerading as a commit failure here.
+        let _ = self.checkpoint_locked(guard);
+    }
+
+    /// Take a **fuzzy checkpoint**: snapshot the applied state to disk
+    /// while the WAL keeps accepting group commits, then atomically
+    /// install it and rebuild the WAL down to the tail beyond it.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **pin** — clone the master vocabulary/ABox at the applied
+    ///    generation `g` under a brief writer lock (clones only, no
+    ///    I/O);
+    /// 2. **write** — serialize the clone to `snapshot.ckpt` with *no*
+    ///    server lock held: commits keep flowing into the WAL the
+    ///    whole time;
+    /// 3. **install** — under the store lock, atomically rename the
+    ///    checkpoint over the snapshot and rewrite the WAL to only the
+    ///    transactions beyond `g` (including any that committed during
+    ///    phase 2).
+    ///
+    /// No-op on a non-durable server. Answering is unaffected —
+    /// checkpointing only rewrites the on-disk representation.
+    pub fn checkpoint(&self) -> Result<(), ServerError> {
+        let guard = self.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+        self.checkpoint_locked(guard)
+    }
+
+    fn checkpoint_locked(&self, _ckpt: MutexGuard<'_, ()>) -> Result<(), ServerError> {
+        // Phase 1: pin. The TBox is read *inside* the writer lock so a
+        // concurrent reload cannot slip a new KB between the reads.
+        let (voc, abox, tbox, generation) = {
+            let writer = self.lock_writer()?;
+            let tbox = self.read_snapshot().tbox.clone();
+            (
+                writer.voc.clone(),
+                writer.abox.clone(),
+                tbox,
+                writer.applied_generation,
+            )
+        };
+        // `writer` and `store` are never held together here — the
+        // leader nests them, and only paths under `commit_leader` may.
+        let ckpt_path = match self.lock_store().as_ref() {
+            Some(store) => store.checkpoint_file(),
+            None => return Ok(()),
+        };
+        // Phase 2: write, unlocked.
+        write_snapshot_to(&ckpt_path, &voc, &tbox, &abox, generation)
+            .map_err(ServerError::Store)?;
+        // Phase 3: install.
+        if let Some(store) = self.lock_store().as_mut() {
+            store
+                .install_checkpoint(generation)
+                .map_err(ServerError::Store)?;
+        }
+        Ok(())
+    }
+
+    /// Historical name for [`Server::checkpoint`].
+    pub fn compact(&self) -> Result<(), ServerError> {
+        self.checkpoint()
+    }
+
+    /// [`Server::query_on_as`] bypassing the plan cache: compile cold
+    /// and evaluate. The transaction layer serves in-transaction reads
+    /// from per-transaction overlay snapshots that *share* the pinned
+    /// generation number — caching their compilations would poison
+    /// other sessions' entries for that generation, so they stay out of
+    /// the cache entirely.
+    pub(crate) fn query_uncached(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        cq: &CQ,
+        backend: Backend,
+    ) -> Result<ServerOutcome, EngineError> {
+        let compiled = self.compile_cold(snap, cq, backend);
+        let opts = EvalOptions {
+            strategy: None,
+            prepared: Some(&compiled.plans),
+            threads: self.config.threads,
+            sql_bytes: Some(compiled.sql_bytes),
+            sql_text: compiled.sql.as_deref(),
+            backend: Some(backend),
+            mode: None,
+        };
+        let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
+        Ok(ServerOutcome {
+            outcome,
+            cache_hit: false,
+            generation: snap.generation,
+        })
     }
 
     /// Publish a new ABox under the current TBox: rebuilds storage and
@@ -664,6 +1146,8 @@ impl Server {
     /// (logged deltas against the pre-reload state are meaningless going
     /// forward).
     pub fn reload_abox(&self, abox: &ABox) -> Result<u64, ServerError> {
+        let _leader = self.lock_leader();
+        self.run_leader()?; // staged commits land first, in commit order
         let mut writer = self.lock_writer()?;
         let (tbox, deps) = {
             let cur = self.read_snapshot();
@@ -676,6 +1160,8 @@ impl Server {
     /// predicate dependencies, then swaps like [`Server::reload_abox`]
     /// (see there for the generation semantics, which are identical).
     pub fn reload_kb(&self, tbox: TBox, abox: &ABox) -> Result<u64, ServerError> {
+        let _leader = self.lock_leader();
+        self.run_leader()?; // staged commits land first, in commit order
         let mut writer = self.lock_writer()?;
         let deps = Dependencies::compute(&writer.voc, &tbox);
         Ok(self.publish(&mut writer, tbox, deps, abox))
@@ -705,7 +1191,17 @@ impl Server {
         ));
         self.swap_snapshot(next, generation);
         writer.abox = abox.clone();
-        if let Some(store) = writer.store.as_mut() {
+        writer.applied_generation = generation;
+        writer.staged_generation = generation;
+        // The queue was flushed by the caller's `run_leader`; a bulk
+        // reload also resets the conflict registry — it replaces the KB
+        // wholesale, so fact-keyed conflict tracking against the old
+        // state is meaningless (reloads are administrative operations,
+        // not competing transactions).
+        writer.pending_names.clear();
+        writer.recent_concepts.clear();
+        writer.recent_roles.clear();
+        if let Some(store) = self.lock_store().as_mut() {
             // A bulk reload invalidates the log: compact to the new state.
             // Persisting is best-effort here (a publish is an in-memory
             // commit); a failed compaction leaves the old snapshot + WAL
@@ -733,15 +1229,37 @@ impl Server {
         self.read_snapshot().generation
     }
 
-    /// Whether this server persists to a durable store directory.
-    /// Read-only peek at the writer state; a poisoned writer still
-    /// answers (the `store` option itself is set once at construction).
+    /// Whether this server persists to a durable store directory (the
+    /// option itself is set once at construction).
     pub fn is_durable(&self) -> bool {
-        self.writer
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .store
-            .is_some()
+        self.lock_store().is_some()
+    }
+
+    /// Point-in-time transaction counters.
+    pub fn txn_stats(&self) -> TxnStats {
+        TxnStats {
+            committed: self.txn_commits.load(Ordering::Relaxed),
+            conflicts: self.txn_conflicts.load(Ordering::Relaxed),
+            commit_groups: self.commit_groups.load(Ordering::Relaxed),
+            active: self.lock_active().len(),
+        }
+    }
+
+    /// Allocate a transaction id and register its begin generation in
+    /// the active registry, returning `(id, pinned snapshot)`. The
+    /// snapshot is read *inside* the registry lock so the conflict
+    /// registry can never be pruned past a begin generation that is
+    /// about to register (pruning takes the same lock).
+    pub(crate) fn register_txn(&self) -> (u64, Arc<EngineSnapshot>) {
+        let id = self.txn_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut active = self.lock_active();
+        let snapshot = self.read_snapshot();
+        active.insert(id, snapshot.generation);
+        (id, snapshot)
+    }
+
+    pub(crate) fn deregister_txn(&self, id: u64) {
+        self.lock_active().remove(&id);
     }
 
     pub fn cache_stats(&self) -> CacheStats {

@@ -42,11 +42,15 @@ use std::path::{Path, PathBuf};
 use obda_dllite::{ABox, AboxDelta, TBox, Vocabulary};
 
 pub use recover::{recover, RecoveredKb};
-pub use snapshot::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, write_snapshot_to,
+};
 pub use wal::{read_wal, TailStatus, WalWriter};
 
 /// Store format version (bumped on any incompatible layout change).
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: WAL records are *group-commit* records — one framed record holds
+/// the deltas of one or more transactions fsynced together.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -54,28 +58,27 @@ pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// WAL file name inside a store directory.
 pub const WAL_FILE: &str = "wal.bin";
 
+/// Fuzzy-checkpoint staging file: the new snapshot is written here with
+/// no store lock held, then atomically installed.
+pub const CKPT_FILE: &str = "snapshot.ckpt";
+
 /// Errors surfaced by the durable store.
 #[derive(Debug)]
 pub enum StoreError {
-    Io(io::Error),
+    /// An OS-level I/O failure, tagged with the file (or directory) the
+    /// operation touched — a bare error kind is useless when a store
+    /// directory holds a snapshot, a WAL, and their temp siblings.
+    Io { path: String, source: io::Error },
     /// A file failed structural validation (bad magic, checksum mismatch,
     /// impossible lengths) somewhere other than a tolerated torn tail.
-    Corrupt {
-        file: String,
-        detail: String,
-    },
+    Corrupt { file: String, detail: String },
     /// The file was written by an incompatible format version.
-    BadVersion {
-        file: String,
-        found: u32,
-    },
+    BadVersion { file: String, found: u32 },
     /// A prior compaction failed, leaving the on-disk snapshot/WAL pair
     /// behind the in-memory state — further appends would log deltas
     /// against a base the files cannot reconstruct. The store refuses
     /// them; reopen (or re-create) the store directory to resume.
-    Poisoned {
-        detail: String,
-    },
+    Poisoned { detail: String },
     /// A batch (or one of its fields) exceeds what the WAL record format
     /// can represent — its length fields are `u32`. Rejected *before*
     /// encoding: the old unchecked `as u32` cast would silently truncate
@@ -91,7 +94,9 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O error on {path}: {source}")
+            }
             StoreError::Corrupt { file, detail } => {
                 write!(f, "corrupt store file {file}: {detail}")
             }
@@ -112,11 +117,23 @@ impl fmt::Display for StoreError {
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
+/// Adapter for `map_err`: tag an [`io::Error`] with the path the failed
+/// operation was aimed at. Every store I/O site goes through this, so
+/// a failed open/append/rename always names which of snapshot/WAL/tmp
+/// was involved.
+pub(crate) fn io_at(path: &Path) -> impl Fn(io::Error) -> StoreError + '_ {
+    move |source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
     }
 }
 
@@ -147,7 +164,7 @@ impl DurableStore {
         abox: &ABox,
         generation: u64,
     ) -> Result<Self, StoreError> {
-        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(dir).map_err(io_at(dir))?;
         write_snapshot(&dir.join(SNAPSHOT_FILE), voc, tbox, abox, generation)?;
         let wal = WalWriter::create(&dir.join(WAL_FILE), generation)?;
         Ok(DurableStore {
@@ -201,13 +218,44 @@ impl DurableStore {
     /// the state the delta applies to, so logging it would make recovery
     /// silently reconstruct wrong data.
     pub fn append(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+        self.append_group(std::slice::from_ref(delta))
+    }
+
+    /// Append one **commit group** — the deltas of `deltas.len()`
+    /// transactions framed as a single WAL record, so the group-commit
+    /// leader pays one record (and one [`DurableStore::sync`]) for the
+    /// whole queue. Each delta still counts as its own generation;
+    /// recovery replays them in order. Empty groups are a no-op.
+    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
         if let Some(detail) = &self.poisoned {
             return Err(StoreError::Poisoned {
                 detail: detail.clone(),
             });
         }
-        self.wal.append_batch(delta)?;
-        self.wal_batches += 1;
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        self.wal.append_group(deltas)?;
+        self.wal_batches += deltas.len() as u64;
+        Ok(())
+    }
+
+    /// [`DurableStore::append_group`] + `fsync`, with the stronger
+    /// guarantee that on `Err` the WAL file does *not* contain the
+    /// group: a failed fsync rolls the record back out (or marks the
+    /// writer broken if even that fails), so the commit path never
+    /// reports "failed" for a group a later recovery would replay.
+    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+        if let Some(detail) = &self.poisoned {
+            return Err(StoreError::Poisoned {
+                detail: detail.clone(),
+            });
+        }
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        self.wal.append_group_durable(deltas)?;
+        self.wal_batches += deltas.len() as u64;
         Ok(())
     }
 
@@ -261,6 +309,66 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Where a fuzzy checkpoint stages its snapshot
+    /// ([`snapshot::write_snapshot_to`] writes here with **no store lock
+    /// held** — the fuzzy part), before [`DurableStore::install_checkpoint`]
+    /// atomically adopts it.
+    pub fn checkpoint_file(&self) -> PathBuf {
+        self.dir.join(CKPT_FILE)
+    }
+
+    /// Install a staged fuzzy checkpoint: atomically rename the staged
+    /// snapshot (which holds generation `generation`) over the live one,
+    /// then rebuild the WAL keeping only the transactions *past* that
+    /// generation — appends that landed while the snapshot was being
+    /// written off-lock are preserved, which is what makes the checkpoint
+    /// fuzzy rather than stop-the-world.
+    ///
+    /// The kept tail is computed from the WAL **file**, not from memory:
+    /// a commit group can be durable but not yet applied when the
+    /// checkpoint generation was pinned, and dropping it would lose
+    /// acknowledged transactions. Poison semantics match
+    /// [`DurableStore::compact`]: failure poisons the store, a later
+    /// success clears it. A crash between the rename and the WAL rebuild
+    /// leaves the stale-prefix footprint recovery already skips.
+    pub fn install_checkpoint(&mut self, generation: u64) -> Result<(), StoreError> {
+        match self.try_install_checkpoint(generation) {
+            Ok(()) => {
+                self.poisoned = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_install_checkpoint(&mut self, generation: u64) -> Result<(), StoreError> {
+        // A concurrent compaction (bulk reload) may have superseded this
+        // checkpoint while its snapshot was being written off-lock;
+        // installing the older state would regress the store. Discard
+        // the staged file instead — superseded checkpoints are no-ops.
+        if generation < self.base_generation {
+            let _ = std::fs::remove_file(self.checkpoint_file());
+            return Ok(());
+        }
+        let wal_path = self.dir.join(WAL_FILE);
+        let (base, batches, _tail) = read_wal(&wal_path)?;
+        let folded = (generation.saturating_sub(base) as usize).min(batches.len());
+        let keep = &batches[folded..];
+        // Snapshot first: until the WAL is rebuilt the directory shows
+        // the interrupted-compaction footprint (snapshot ahead of the
+        // WAL base) that recovery's skip arithmetic already handles.
+        let ckpt = self.checkpoint_file();
+        std::fs::rename(&ckpt, self.dir.join(SNAPSHOT_FILE)).map_err(io_at(&ckpt))?;
+        sync_dir(&self.dir);
+        self.wal = WalWriter::create_with(&wal_path, generation, keep)?;
+        self.base_generation = generation;
+        self.wal_batches = keep.len() as u64;
+        Ok(())
+    }
+
     /// `fsync` the WAL (power-loss durability for everything appended so
     /// far).
     pub fn sync(&mut self) -> Result<(), StoreError> {
@@ -287,6 +395,14 @@ impl DurableStore {
     /// The generation the store represents: snapshot + WAL tail.
     pub fn generation(&self) -> u64 {
         self.base_generation + self.wal_batches
+    }
+}
+
+/// Best-effort directory-entry durability after a rename. Not all
+/// platforms allow opening a directory for sync.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
     }
 }
 

@@ -84,7 +84,12 @@ pub fn recover(dir: &Path) -> Result<RecoveredKb, StoreError> {
         replayed += 1;
     }
     let (torn_tail, wal_valid_len) = match tail {
-        TailStatus::Clean => (false, std::fs::metadata(&wal_path)?.len()),
+        TailStatus::Clean => (
+            false,
+            std::fs::metadata(&wal_path)
+                .map_err(super::io_at(&wal_path))?
+                .len(),
+        ),
         TailStatus::Torn { valid_len } => (true, valid_len),
     };
     Ok(RecoveredKb {

@@ -28,7 +28,9 @@ use obda_dllite::{
     ABox, Axiom, BasicConcept, ConceptId, IndividualId, Role, RoleId, TBox, Vocabulary,
 };
 
-use super::{fnv1a64, put_str, put_u32, put_u64, Reader, StoreError, FORMAT_VERSION};
+use super::{
+    fnv1a64, io_at, put_str, put_u32, put_u64, sync_dir, Reader, StoreError, FORMAT_VERSION,
+};
 
 const MAGIC: &[u8; 8] = b"OBDASNP\x01";
 
@@ -244,25 +246,36 @@ pub fn write_snapshot(
     generation: u64,
 ) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut file, &encode_snapshot(voc, tbox, abox, generation))?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    // Persist the rename itself (the directory entry). Not all
-    // platforms allow opening a directory for sync; best-effort.
+    write_snapshot_to(&tmp, voc, tbox, abox, generation)?;
+    std::fs::rename(&tmp, path).map_err(io_at(&tmp))?;
+    // Persist the rename itself (the directory entry); best-effort.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        sync_dir(dir);
     }
+    Ok(())
+}
+
+/// Write snapshot bytes to exactly `path` (fsynced, **no** rename).
+/// The staging half of a fuzzy checkpoint: the serving layer calls this
+/// with no store lock held, then hands the staged file to
+/// [`super::DurableStore::install_checkpoint`] for atomic adoption.
+pub fn write_snapshot_to(
+    path: &Path,
+    voc: &Vocabulary,
+    tbox: &TBox,
+    abox: &ABox,
+    generation: u64,
+) -> Result<(), StoreError> {
+    let mut file = std::fs::File::create(path).map_err(io_at(path))?;
+    std::io::Write::write_all(&mut file, &encode_snapshot(voc, tbox, abox, generation))
+        .map_err(io_at(path))?;
+    file.sync_all().map_err(io_at(path))?;
     Ok(())
 }
 
 /// Read and decode a snapshot file.
 pub fn read_snapshot(path: &Path) -> Result<(Vocabulary, TBox, ABox, u64), StoreError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = std::fs::read(path).map_err(io_at(path))?;
     decode_snapshot(&bytes, &path.display().to_string())
 }
 

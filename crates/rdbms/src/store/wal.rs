@@ -1,32 +1,41 @@
-//! The append-only write-ahead log of [`AboxDelta`] batches.
+//! The append-only write-ahead log of committed transactions.
 //!
-//! File layout:
+//! File layout (format v2):
 //!
 //! ```text
 //! magic    8 bytes  "OBDAWAL\x01"
 //! version  u32      FORMAT_VERSION
 //! basegen  u64      generation of the snapshot this log extends
-//! records  *        [len: u32][payload: len bytes][fnv1a64(payload): u64]
+//! records  *        [len: u32][group payload: len bytes][fnv1a64: u64]
 //! ```
 //!
-//! One record per [`AboxDelta`] batch; applying record `k` (1-based)
-//! to the base snapshot produces generation `basegen + k`. Records are
-//! appended with a single `write_all` and flushed to the OS, so a killed
-//! *writer process* can lose at most a suffix of the final record — a
-//! **torn tail**. [`read_wal`] detects a tear by length (fewer bytes than
-//! the prefix promises) or by checksum, reports every record before it,
-//! and recovery truncates the file at the last good boundary. A record
-//! that fails validation is never followed by trusted data: the scan
-//! stops there by design (the same discipline RDBMS redo logs use — data
-//! past the first bad record was never acknowledged).
+//! Each record is one **commit group**: the [`AboxDelta`]s of one or
+//! more transactions fsynced together by the group-commit leader. The
+//! group payload is `[ntxn: u32]` followed, per transaction, by
+//! `[len: u32][delta payload]`. Every transaction in a group counts as
+//! its own generation: a log whose records hold `k₁, k₂, …` transactions
+//! carries the state from `basegen` to `basegen + Σkᵢ`.
+//!
+//! Records are appended with a single `write_all` and flushed to the OS,
+//! so a killed *writer process* can lose at most a suffix of the final
+//! record — a **torn tail**. [`read_wal`] detects a tear by length
+//! (fewer bytes than the prefix promises) or by checksum, reports every
+//! record before it, and recovery truncates the file at the last good
+//! boundary. A tear inside a group record drops the **whole group**:
+//! none of its transactions were acknowledged (the leader acks only
+//! after the record is durable), so atomic all-or-nothing loss of the
+//! group is exactly the contract. A record that fails validation is
+//! never followed by trusted data: the scan stops there by design (the
+//! same discipline RDBMS redo logs use — data past the first bad record
+//! was never acknowledged).
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use obda_dllite::{AboxDelta, ConceptId, IndividualId, RoleId};
 
-use super::{fnv1a64, put_str, put_u32, put_u64, Reader, StoreError, FORMAT_VERSION};
+use super::{fnv1a64, io_at, put_str, put_u32, put_u64, Reader, StoreError, FORMAT_VERSION};
 
 const MAGIC: &[u8; 8] = b"OBDAWAL\x01";
 const HEADER_LEN: u64 = 8 + 4 + 8;
@@ -63,8 +72,9 @@ pub fn validate_batch(delta: &AboxDelta) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Serialize one delta batch (the WAL record payload). Callers must have
-/// passed [`validate_batch`] — the casts below are exact after it.
+/// Serialize one delta (one transaction's slice of a group payload).
+/// Callers must have passed [`validate_batch`] — the casts below are
+/// exact after it.
 pub fn encode_delta(delta: &AboxDelta) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, delta.new_individuals.len() as u32);
@@ -96,7 +106,7 @@ pub fn encode_delta(delta: &AboxDelta) -> Vec<u8> {
     out
 }
 
-/// Decode one delta batch payload.
+/// Decode one delta payload.
 pub fn decode_delta(bytes: &[u8], file: &str) -> Result<AboxDelta, StoreError> {
     let mut r = Reader::new(bytes, file);
     let mut delta = AboxDelta::new();
@@ -129,6 +139,36 @@ pub fn decode_delta(bytes: &[u8], file: &str) -> Result<AboxDelta, StoreError> {
     Ok(delta)
 }
 
+/// Serialize one commit group (the WAL record payload): `[ntxn]` then
+/// per transaction `[len][delta]`. Callers must have validated every
+/// delta via [`validate_batch`].
+pub fn encode_group(deltas: &[AboxDelta]) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::new();
+    put_u32(
+        &mut out,
+        field_len("group transaction count", deltas.len())?,
+    );
+    for delta in deltas {
+        let payload = encode_delta(delta);
+        put_u32(&mut out, field_len("transaction payload", payload.len())?);
+        out.extend_from_slice(&payload);
+    }
+    Ok(out)
+}
+
+/// Decode one commit-group payload into its per-transaction deltas.
+pub fn decode_group(bytes: &[u8], file: &str) -> Result<Vec<AboxDelta>, StoreError> {
+    let mut r = Reader::new(bytes, file);
+    let ntxn = r.count(4)?;
+    let mut deltas = Vec::with_capacity(ntxn);
+    for _ in 0..ntxn {
+        let len = r.u32()? as usize;
+        deltas.push(decode_delta(r.take(len)?, file)?);
+    }
+    r.expect_finished()?;
+    Ok(deltas)
+}
+
 /// The state of a WAL file's tail after a scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TailStatus {
@@ -139,13 +179,13 @@ pub enum TailStatus {
     Torn { valid_len: u64 },
 }
 
-/// Scan a WAL file: returns the base generation, every valid batch in
-/// append order, and the tail status. Header-level damage (bad magic,
-/// short header) is a hard [`StoreError::Corrupt`] — a torn tail can only
-/// exist past the header, because the header is written in one flush at
-/// creation time.
+/// Scan a WAL file: returns the base generation, every durable
+/// transaction delta in commit order (group records flattened), and the
+/// tail status. Header-level damage (bad magic, short header) is a hard
+/// [`StoreError::Corrupt`] — a torn tail can only exist past the header,
+/// because the header is written in one flush at creation time.
 pub fn read_wal(path: &Path) -> Result<(u64, Vec<AboxDelta>, TailStatus), StoreError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = std::fs::read(path).map_err(io_at(path))?;
     let file = path.display().to_string();
     if bytes.len() < HEADER_LEN as usize {
         return Err(StoreError::Corrupt {
@@ -214,16 +254,19 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<AboxDelta>, TailStatus), StoreE
         // write (the bytes arrived intact): it is real corruption or a
         // writer bug, and silently dropping it would lose acknowledged
         // data.
-        batches.push(decode_delta(payload, &file)?);
+        batches.extend(decode_group(payload, &file)?);
         offset += 4 + len + 8;
     }
 }
 
 /// Truncate a WAL file to `len` bytes (drops a torn tail).
 pub fn truncate_to(path: &Path, len: u64) -> Result<(), StoreError> {
-    let file = OpenOptions::new().write(true).open(path)?;
-    file.set_len(len)?;
-    file.sync_all()?;
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(io_at(path))?;
+    file.set_len(len).map_err(io_at(path))?;
+    file.sync_all().map_err(io_at(path))?;
     Ok(())
 }
 
@@ -238,6 +281,7 @@ pub fn truncate_to(path: &Path, len: u64) -> Result<(), StoreError> {
 /// broken and refuses all further appends.
 pub struct WalWriter {
     file: File,
+    path: PathBuf,
     /// Bytes of complete, flushed records (including the header).
     good_len: u64,
     /// Set when a failed append could not be rolled back.
@@ -245,59 +289,82 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Create (or overwrite) a WAL extending a generation-`base`
-    /// snapshot. Crash-atomic: the header is written to a temp file and
-    /// renamed into place, so `path` always holds either the complete
-    /// old log or a complete new header — never a zero-length or
-    /// half-written file (a kill mid-reset must not make the store
-    /// unopenable).
+    /// Create (or overwrite) an empty WAL extending a generation-`base`
+    /// snapshot.
     pub fn create(path: &Path, base_generation: u64) -> Result<Self, StoreError> {
-        let mut header = Vec::with_capacity(HEADER_LEN as usize);
-        header.extend_from_slice(MAGIC);
-        put_u32(&mut header, FORMAT_VERSION);
-        put_u64(&mut header, base_generation);
+        Self::create_with(path, base_generation, &[])
+    }
+
+    /// Create (or overwrite) a WAL extending a generation-`base` snapshot
+    /// and already containing `deltas` — one singleton group record per
+    /// transaction. Crash-atomic: header and records are written to a
+    /// temp file, fsynced, and renamed into place, so `path` always
+    /// holds either the complete old log or the complete new one — never
+    /// a zero-length or half-written file (a kill mid-rebuild must not
+    /// make the store unopenable). This is how a fuzzy checkpoint
+    /// rebuilds the log tail that outlived its snapshot.
+    pub fn create_with(
+        path: &Path,
+        base_generation: u64,
+        deltas: &[AboxDelta],
+    ) -> Result<Self, StoreError> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN as usize);
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, FORMAT_VERSION);
+        put_u64(&mut bytes, base_generation);
+        for delta in deltas {
+            validate_batch(delta)?;
+            frame_record(&mut bytes, &encode_group(std::slice::from_ref(delta))?)?;
+        }
         let tmp = path.with_extension("tmp");
-        let mut file = File::create(&tmp)?;
-        file.write_all(&header)?;
-        file.flush()?;
-        file.sync_all()?;
+        let mut file = File::create(&tmp).map_err(io_at(&tmp))?;
+        file.write_all(&bytes).map_err(io_at(&tmp))?;
+        file.flush().map_err(io_at(&tmp))?;
+        file.sync_all().map_err(io_at(&tmp))?;
         drop(file);
-        std::fs::rename(&tmp, path)?;
+        std::fs::rename(&tmp, path).map_err(io_at(&tmp))?;
         Self::open_append(path)
     }
 
     /// Open a validated WAL for appending (recovery truncates torn tails
     /// first, so the file ends on a record boundary).
     pub fn open_append(path: &Path) -> Result<Self, StoreError> {
-        let file = OpenOptions::new().append(true).open(path)?;
-        let good_len = file.metadata()?.len();
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(io_at(path))?;
+        let good_len = file.metadata().map_err(io_at(path))?.len();
         Ok(WalWriter {
             file,
+            path: path.to_path_buf(),
             good_len,
             broken: None,
         })
     }
 
-    /// Append one batch: a single `write_all` of the framed record, then
-    /// a flush to the OS. A crash mid-call leaves at most a torn tail; a
+    /// Append one single-transaction group record. See
+    /// [`WalWriter::append_group`].
+    pub fn append_batch(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+        self.append_group(std::slice::from_ref(delta))
+    }
+
+    /// Append one commit group: a single `write_all` of the framed
+    /// record, then a flush to the OS. A crash mid-call leaves at most a
+    /// torn tail (dropping the whole — unacknowledged — group); a
     /// *failure* mid-call rolls the file back to the last good boundary
     /// (see the type docs) so later appends never land after garbage.
-    pub fn append_batch(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
         if let Some(detail) = &self.broken {
             return Err(StoreError::Corrupt {
-                file: "wal".to_owned(),
+                file: self.path.display().to_string(),
                 detail: format!("writer is broken by an unrollable failed append: {detail}"),
             });
         }
-        validate_batch(delta)?;
-        let payload = encode_delta(delta);
-        // The *total* payload can overflow the record's length prefix
-        // even when every field count fits (many long names).
-        let payload_len = field_len("record payload", payload.len())?;
-        let mut record = Vec::with_capacity(4 + payload.len() + 8);
-        put_u32(&mut record, payload_len);
-        record.extend_from_slice(&payload);
-        put_u64(&mut record, fnv1a64(&payload));
+        for delta in deltas {
+            validate_batch(delta)?;
+        }
+        let mut record = Vec::new();
+        frame_record(&mut record, &encode_group(deltas)?)?;
         match self
             .file
             .write_all(&record)
@@ -311,16 +378,48 @@ impl WalWriter {
                 if let Err(trunc) = self.file.set_len(self.good_len) {
                     self.broken = Some(format!("append failed ({e}), rollback failed ({trunc})"));
                 }
-                Err(e.into())
+                Err(io_at(&self.path)(e))
             }
         }
     }
 
     /// `fsync`: power-loss durability for everything appended so far.
+    /// The group-commit leader calls this once per group — the latency
+    /// amortization that motivates batching commits at all.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data()?;
+        self.file.sync_data().map_err(io_at(&self.path))?;
         Ok(())
     }
+
+    /// [`WalWriter::append_group`] + [`WalWriter::sync`], with the
+    /// stronger guarantee that on `Err` the file does *not* contain the
+    /// group: a failed fsync rolls the record back out (or marks the
+    /// writer broken if even that fails), so the commit path never
+    /// reports "failed" for a group a later recovery would replay.
+    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+        let before = self.good_len;
+        self.append_group(deltas)?;
+        if let Err(e) = self.sync() {
+            match self.file.set_len(before) {
+                Ok(()) => self.good_len = before,
+                Err(trunc) => {
+                    self.broken = Some(format!("fsync failed ({e}), rollback failed ({trunc})"));
+                }
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+/// Frame one record — `[len][payload][checksum]` — onto `out`. The
+/// *total* payload can overflow the record's length prefix even when
+/// every field count fits (many long names), hence the check here.
+fn frame_record(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), StoreError> {
+    put_u32(out, field_len("record payload", payload.len())?);
+    out.extend_from_slice(payload);
+    put_u64(out, fnv1a64(payload));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -351,6 +450,13 @@ mod tests {
         d
     }
 
+    /// Framed byte length of one single-transaction group record.
+    fn singleton_record_len(d: &AboxDelta) -> u64 {
+        let mut rec = Vec::new();
+        frame_record(&mut rec, &encode_group(std::slice::from_ref(d)).unwrap()).unwrap();
+        rec.len() as u64
+    }
+
     #[test]
     fn append_and_read_roundtrip() {
         let path = tmp_wal("roundtrip");
@@ -368,6 +474,73 @@ mod tests {
     }
 
     #[test]
+    fn group_record_flattens_to_per_transaction_deltas() {
+        let path = tmp_wal("group");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        let group: Vec<AboxDelta> = (0..3).map(sample_delta).collect();
+        w.append_group(&group).unwrap();
+        w.append_batch(&sample_delta(9)).unwrap();
+        drop(w);
+        let (_, got, tail) = read_wal(&path).unwrap();
+        assert_eq!(got.len(), 4, "3 grouped txns + 1 singleton");
+        assert_eq!(&got[..3], &group[..]);
+        assert_eq!(got[3], sample_delta(9));
+        assert_eq!(tail, TailStatus::Clean);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_inside_a_group_record_drops_the_whole_group() {
+        let path = tmp_wal("torn-group");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append_batch(&sample_delta(1)).unwrap();
+        let boundary = std::fs::metadata(&path).unwrap().len();
+        w.append_group(&(2..6).map(sample_delta).collect::<Vec<_>>())
+            .unwrap();
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Chop inside the group record, deep enough that several of its
+        // transactions are byte-complete — they must still all vanish:
+        // none were acknowledged, the group is atomic.
+        truncate_to(&path, full - 3).unwrap();
+        let (_, got, tail) = read_wal(&path).unwrap();
+        assert_eq!(got, vec![sample_delta(1)], "whole torn group dropped");
+        assert_eq!(
+            tail,
+            TailStatus::Torn {
+                valid_len: boundary
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_with_seeds_the_log_tail() {
+        let path = tmp_wal("seeded");
+        let tail: Vec<AboxDelta> = (3..6).map(sample_delta).collect();
+        let mut w = WalWriter::create_with(&path, 7, &tail).unwrap();
+        w.append_batch(&sample_delta(9)).unwrap();
+        drop(w);
+        let (base, got, status) = read_wal(&path).unwrap();
+        assert_eq!(base, 7);
+        assert_eq!(got.len(), 4);
+        assert_eq!(&got[..3], &tail[..]);
+        assert_eq!(got[3], sample_delta(9));
+        assert_eq!(status, TailStatus::Clean);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_group_roundtrips() {
+        // An empty transaction (generation bump with no facts) must
+        // survive the group codec: `apply_batch(&AboxDelta::new())` is a
+        // documented way to force a generation bump.
+        let bytes = encode_group(std::slice::from_ref(&AboxDelta::new())).unwrap();
+        let back = decode_group(&bytes, "mem").unwrap();
+        assert_eq!(back, vec![AboxDelta::new()]);
+    }
+
+    #[test]
     fn reopened_wal_appends_after_existing_records() {
         let path = tmp_wal("reopen");
         let mut w = WalWriter::create(&path, 0).unwrap();
@@ -380,6 +553,25 @@ mod tests {
         assert_eq!(got, vec![sample_delta(1), sample_delta(2)]);
         assert_eq!(tail, TailStatus::Clean);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_errors_name_the_offending_file() {
+        let missing = tmp_wal("does-not-exist");
+        let _ = std::fs::remove_file(&missing);
+        match read_wal(&missing) {
+            Err(StoreError::Io { path, .. }) => {
+                assert!(path.contains("does-not-exist"), "path was {path}");
+            }
+            other => panic!("expected Io with a path, got {other:?}"),
+        }
+        match WalWriter::open_append(&missing) {
+            Err(e @ StoreError::Io { .. }) => {
+                assert!(e.to_string().contains("does-not-exist"), "{e}");
+            }
+            Err(other) => panic!("expected Io with a path, got {other:?}"),
+            Ok(_) => panic!("opening a missing WAL must fail"),
+        }
     }
 
     proptest! {
@@ -400,8 +592,8 @@ mod tests {
             let (_, all, _) = read_wal(&path).unwrap();
             prop_assert_eq!(all.len(), n as usize);
 
-            // Compute the boundary of the last record by re-encoding it.
-            let last_record_len = (4 + encode_delta(&deltas[n as usize - 1]).len() + 8) as u64;
+            // Compute the boundary of the last record by re-framing it.
+            let last_record_len = singleton_record_len(&deltas[n as usize - 1]);
             let boundary = full - last_record_len;
             // Cut somewhere strictly inside the final record.
             let cut_at = boundary + 1 + (cut % (last_record_len - 1));
@@ -431,6 +623,17 @@ mod tests {
             let bytes = encode_delta(&d);
             let back = decode_delta(&bytes, "mem").unwrap();
             prop_assert_eq!(d, back);
+        }
+
+        /// Group payloads round-trip for arbitrary group sizes,
+        /// including empty member deltas.
+        #[test]
+        fn group_codec_roundtrip(seed in 0u32..10_000, n in 0usize..5) {
+            let mut group: Vec<AboxDelta> = (0..n as u32).map(|k| sample_delta(seed + k)).collect();
+            group.push(AboxDelta::new());
+            let bytes = encode_group(&group).unwrap();
+            let back = decode_group(&bytes, "mem").unwrap();
+            prop_assert_eq!(group, back);
         }
     }
 

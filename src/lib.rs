@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use obda_rdbms::{
         Backend, DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server,
-        ServerConfig, ServerError, StoreError,
+        ServerConfig, ServerError, StoreError, Txn,
     };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,
@@ -86,7 +86,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The nine root integration suites rely on cargo's `tests/`
+    /// The ten root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -102,6 +102,7 @@ mod tests {
             "persistence",
             "sql_goldens",
             "pgwire",
+            "transactions",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -117,7 +118,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all nine suites are test targets"
+            "tests/ autodiscovery must stay enabled so all ten suites are test targets"
         );
     }
 }

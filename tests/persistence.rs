@@ -315,3 +315,216 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Transaction crash recovery: group-commit records and torn groups.
+// ---------------------------------------------------------------------------
+
+/// A torn tail *inside* a multi-transaction group-commit record drops
+/// the whole group: the record's checksum covers all member deltas, so
+/// recovery lands exactly on the last intact record — never on a half
+/// group (which could split transactions that were acknowledged
+/// together).
+#[test]
+fn torn_tail_inside_a_group_commit_record_drops_the_whole_group() {
+    let dir = scratch("torn-group");
+    let (voc, tbox, abox, _) = fixture();
+    let phd = voc.find_concept("PhDStudent").unwrap();
+    let works = voc.find_role("worksWith").unwrap();
+    let damian = voc.find_individual("Damian").unwrap();
+    let ioana = voc.find_individual("Ioana").unwrap();
+
+    let mut store = DurableStore::create(&dir, &voc, &tbox, &abox, 0).unwrap();
+    // One single-transaction record, then one three-transaction group.
+    store
+        .append(&AboxDelta::new().insert_concept(phd, ioana))
+        .unwrap();
+    let group = [
+        AboxDelta::new().insert_role(works, damian, ioana),
+        AboxDelta::new().delete_concept(phd, damian),
+        AboxDelta {
+            new_individuals: vec!["Garcia".into()],
+            ..AboxDelta::new()
+        },
+    ];
+    store.append_group(&group).unwrap();
+    drop(store);
+
+    let wal = dir.join("wal.bin");
+    let intact_len = std::fs::metadata(&wal).unwrap().len();
+
+    // Sanity: intact, all four transactions (1 + group of 3) replay.
+    let (_, batches, tail) = store::wal::read_wal(&wal).unwrap();
+    assert_eq!(tail, TailStatus::Clean);
+    assert_eq!(batches.len(), 4, "groups flatten to their transactions");
+    assert_eq!(recover(&dir).unwrap().generation, 4);
+
+    // Chop anywhere inside the group record: even with the first member
+    // delta's bytes fully present, the whole group must vanish.
+    for chop in 1..=24u64 {
+        store::wal::truncate_to(&wal, intact_len - chop).unwrap();
+        let (_, batches, tail) = store::wal::read_wal(&wal).unwrap();
+        assert_eq!(
+            batches.len(),
+            1,
+            "chop {chop}: only the first record survives"
+        );
+        assert!(matches!(tail, TailStatus::Torn { .. }));
+        let kb = recover(&dir).unwrap();
+        assert_eq!(kb.generation, 1, "chop {chop}");
+        assert!(kb.abox.has_concept(phd, ioana));
+        assert!(!kb.abox.has_role(works, damian, ioana));
+        assert!(kb.voc.find_individual("Garcia").is_none());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One buffered transaction operation, for the crash proptest below.
+#[derive(Clone, Debug)]
+enum TxnOp {
+    Concept(obda::dllite::ConceptId, String, bool),
+    Role(obda::dllite::RoleId, String, String, bool),
+}
+
+fn apply_txn_op(txn: &mut Txn<'_>, op: &TxnOp) {
+    match op {
+        TxnOp::Concept(c, name, present) => {
+            let a = txn.individual(name);
+            if *present {
+                txn.insert_concept(*c, a);
+            } else {
+                txn.retract_concept(*c, a);
+            }
+        }
+        TxnOp::Role(r, a_name, b_name, present) => {
+            let a = txn.individual(a_name);
+            let b = txn.individual(b_name);
+            if *present {
+                txn.insert_role(*r, a, b);
+            } else {
+                txn.retract_role(*r, a, b);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash-anywhere recovery over *transactions*: interleaved writers
+    /// with mixed commits, rollbacks and first-committer-wins losses,
+    /// then a tear at a random byte offset — recovery must reproduce
+    /// exactly the serial replay of the committed prefix whose records
+    /// survived intact. Rolled-back and conflicted transactions never
+    /// reach the log, so they can never reappear.
+    #[test]
+    fn txn_crash_recovery_replays_committed_prefix(
+        seed in 0u64..1_000_000,
+        chop in 0u64..96,
+    ) {
+        let dir = scratch(&format!("txn-prop-{seed}-{chop}"));
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+
+        let srv = Server::create_durable(
+            &dir,
+            voc.clone(),
+            tbox,
+            &abox,
+            ServerConfig { compact_every: 0, ..ServerConfig::default() },
+        ).unwrap();
+
+        // Random writer scripts over shared individuals + fresh names.
+        let names: Vec<String> = (0..voc.num_individuals())
+            .map(|i| voc.individual_name(obda::dllite::IndividualId(i as u32)).to_string())
+            .collect();
+        let writers = 2 + rng.below(2);
+        let scripts: Vec<(Vec<TxnOp>, bool)> = (0..writers).map(|w| {
+            let ops = (0..1 + rng.below(4)).map(|k| {
+                let pick = |rng: &mut Rng, salt: usize| if rng.chance(0.3) {
+                    format!("w{w}_new_{salt}")
+                } else {
+                    names[rng.below(names.len())].clone()
+                };
+                let present = rng.chance(0.7);
+                if rng.chance(0.5) {
+                    let c = obda::dllite::ConceptId(rng.below(voc.num_concepts()) as u32);
+                    TxnOp::Concept(c, pick(&mut rng, k), present)
+                } else {
+                    let r = obda::dllite::RoleId(rng.below(voc.num_roles()) as u32);
+                    let a = pick(&mut rng, k);
+                    let b = pick(&mut rng, k + 50);
+                    TxnOp::Role(r, a, b, present)
+                }
+            }).collect();
+            (ops, rng.chance(0.75))
+        }).collect();
+
+        // Interleave ops, then finish each writer; track the model state
+        // after every successful commit (the WAL-visible prefix states).
+        let mut txns: Vec<Option<Txn<'_>>> = (0..writers).map(|_| Some(srv.begin())).collect();
+        let mut cursor = vec![0usize; writers];
+        let mut model_voc = voc;
+        let mut model_abox = abox;
+        let mut states = vec![(model_voc.clone(), model_abox.clone())];
+        let total: usize = scripts.iter().map(|(ops, _)| ops.len() + 1).sum();
+        for _ in 0..total {
+            let alive: Vec<usize> = (0..writers)
+                .filter(|&w| cursor[w] <= scripts[w].0.len())
+                .collect();
+            let w = alive[rng.below(alive.len())];
+            if cursor[w] < scripts[w].0.len() {
+                apply_txn_op(txns[w].as_mut().unwrap(), &scripts[w].0[cursor[w]]);
+            } else {
+                let txn = txns[w].take().unwrap();
+                if scripts[w].1 {
+                    let base = txn.snapshot().vocabulary().num_individuals();
+                    let ws = txn.working_set().clone();
+                    if txn.commit().is_ok() {
+                        // Replay the commit on the model: intern the new
+                        // names in allocation order, remap provisional
+                        // ids, apply the flattened delta.
+                        let finals: Vec<obda::dllite::IndividualId> = ws
+                            .new_individuals()
+                            .iter()
+                            .map(|n| model_voc.individual(n))
+                            .collect();
+                        let delta = ws.delta_with(|id| {
+                            if (id.0 as usize) >= base {
+                                finals[id.0 as usize - base]
+                            } else {
+                                id
+                            }
+                        });
+                        model_abox.apply(&delta);
+                        states.push((model_voc.clone(), model_abox.clone()));
+                    }
+                } else {
+                    txn.rollback();
+                }
+            }
+            cursor[w] += 1;
+        }
+        drop(txns);
+        drop(srv);
+
+        // Tear the WAL `chop` bytes short and recover.
+        let wal = dir.join("wal.bin");
+        let header = 20u64;
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let cut = len.saturating_sub(chop).max(header);
+        store::wal::truncate_to(&wal, cut).unwrap();
+        let (_, surviving, _) = store::wal::read_wal(&wal).unwrap();
+
+        let kb = recover(&dir).unwrap();
+        prop_assert!(surviving.len() < states.len(),
+            "surviving transactions cannot exceed commits");
+        let (want_voc, want_abox) = &states[surviving.len()];
+        prop_assert_eq!(kb.generation, surviving.len() as u64);
+        prop_assert_eq!(&kb.voc, want_voc, "seed {}: vocabulary", seed);
+        prop_assert_eq!(&kb.abox, want_abox, "seed {}: abox", seed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

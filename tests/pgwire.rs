@@ -397,3 +397,245 @@ fn client_rejects_hostile_frame_lengths_from_server() {
         hostile.join().unwrap();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire transactions: BEGIN / INSERT / DELETE / COMMIT / ROLLBACK.
+// ---------------------------------------------------------------------------
+
+/// Pick a concept name and two individual names from the fixture for
+/// fact statements.
+fn sample_names(fx: &Fixture) -> (String, String, String) {
+    let snap = fx.server.snapshot();
+    let voc = snap.vocabulary();
+    let concept = voc.concept_name(obda::dllite::ConceptId(0)).to_string();
+    let a = voc.individual_name(IndividualId(0)).to_string();
+    let b = voc.individual_name(IndividualId(1)).to_string();
+    (concept, a, b)
+}
+
+fn expect_sqlstate(result: Result<Vec<obda::rdbms::pgwire::QueryResult>, ClientError>, want: &str) {
+    match result {
+        Err(ClientError::Server { sqlstate, message }) => {
+            assert_eq!(sqlstate, want, "wrong SQLSTATE: {message}")
+        }
+        Ok(r) => panic!("expected SQLSTATE {want}, got success: {r:?}"),
+        Err(other) => panic!("expected SQLSTATE {want}, got {other:?}"),
+    }
+}
+
+#[test]
+fn wire_transaction_commit_publishes_and_isolation_holds() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, _, _) = sample_names(&fx);
+
+    let mut writer = WireClient::connect(&addr, &[]).expect("writer connects");
+    let mut reader = WireClient::connect(&addr, &[]).expect("reader connects");
+
+    let r = writer.simple_query("BEGIN").expect("BEGIN");
+    assert_eq!(r[0].tag, "BEGIN");
+    // Insert a fact about a brand-new individual.
+    let r = writer
+        .simple_query(&format!("INSERT {concept}(wire_newcomer)"))
+        .expect("in-txn INSERT");
+    assert_eq!(r[0].tag, "INSERT 0 1");
+
+    // Read-your-own-writes: the writer's SELECT sees the buffered fact,
+    // rendered under the provisional name.
+    let r = writer
+        .simple_query(&format!("SELECT ?x WHERE {concept}(?x)"))
+        .expect("in-txn SELECT");
+    assert!(
+        names(&r[0].rows).contains("wire_newcomer"),
+        "writer must see its own uncommitted insert"
+    );
+
+    // Snapshot isolation: the reader must not see it before commit —
+    // the name does not even resolve.
+    let err = reader.simple_query(&format!("SELECT ?x WHERE {concept}(wire_newcomer)"));
+    expect_sqlstate(err, "42601");
+
+    let r = writer.simple_query("COMMIT").expect("COMMIT");
+    assert_eq!(r[0].tag, "COMMIT");
+
+    // After commit the fact is globally visible.
+    let r = reader
+        .simple_query(&format!("ASK WHERE {concept}(wire_newcomer)"))
+        .expect("post-commit ASK");
+    assert_eq!(r[0].rows, vec![vec!["t".to_string()]]);
+
+    writer.terminate();
+    reader.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn wire_rollback_discards_buffered_writes() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, a, _) = sample_names(&fx);
+
+    let mut client = WireClient::connect(&addr, &[]).expect("connect");
+    let before = show_one(&mut client, "SHOW generation");
+
+    client.simple_query("BEGIN").expect("BEGIN");
+    let r = client
+        .simple_query(&format!("INSERT {concept}({a}); DELETE {concept}({a})"))
+        .expect("buffered writes");
+    assert_eq!(r[0].tag, "INSERT 0 1");
+    assert_eq!(r[1].tag, "DELETE 1");
+    let r = client.simple_query("ROLLBACK").expect("ROLLBACK");
+    assert_eq!(r[0].tag, "ROLLBACK");
+
+    // Nothing was published: the generation did not move.
+    assert_eq!(show_one(&mut client, "SHOW generation"), before);
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn commit_outside_transaction_is_a_typed_error() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("connect");
+
+    expect_sqlstate(client.simple_query("COMMIT"), "25P01");
+    expect_sqlstate(client.simple_query("ROLLBACK"), "25P01");
+    // The connection survives and keeps answering.
+    let r = client.simple_query("SHOW backend").expect("still alive");
+    assert_eq!(r[0].rows.len(), 1);
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn show_transaction_reports_session_state() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, _, _) = sample_names(&fx);
+    let mut client = WireClient::connect(&addr, &[]).expect("connect");
+
+    let r = client.simple_query("SHOW transaction").expect("idle SHOW");
+    assert_eq!(
+        r[0].columns,
+        vec![
+            "transaction_status",
+            "pending_ops",
+            "new_names",
+            "pinned_generation"
+        ]
+    );
+    assert_eq!(r[0].rows[0][0], "idle");
+
+    client.simple_query("BEGIN").expect("BEGIN");
+    client
+        .simple_query(&format!("INSERT {concept}(show_txn_newcomer)"))
+        .expect("INSERT");
+    let r = client.simple_query("SHOW transaction").expect("open SHOW");
+    assert_eq!(r[0].rows[0][0], "open");
+    assert_eq!(r[0].rows[0][1], "1", "one buffered fact write");
+    assert_eq!(r[0].rows[0][2], "1", "one transaction-local name");
+    assert_eq!(
+        r[0].rows[0][3],
+        fx.server.snapshot().generation().to_string(),
+        "pinned at the begin generation"
+    );
+    client.simple_query("ROLLBACK").expect("ROLLBACK");
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn error_inside_transaction_aborts_it_until_rollback() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, a, _) = sample_names(&fx);
+    let mut client = WireClient::connect(&addr, &[]).expect("connect");
+
+    client.simple_query("BEGIN").expect("BEGIN");
+    client
+        .simple_query(&format!("INSERT {concept}(aborted_newcomer)"))
+        .expect("INSERT");
+    // A syntax error aborts the transaction...
+    expect_sqlstate(client.simple_query("SELECT garbage"), "42601");
+    // ...after which ordinary statements are refused with 25P02...
+    expect_sqlstate(
+        client.simple_query(&format!("ASK WHERE {concept}({a})")),
+        "25P02",
+    );
+    let r = client.simple_query("SHOW transaction");
+    expect_sqlstate(r, "25P02");
+    // ...and COMMIT rolls back, reporting what really happened.
+    let r = client
+        .simple_query("COMMIT")
+        .expect("COMMIT of aborted txn");
+    assert_eq!(r[0].tag, "ROLLBACK");
+
+    // The buffered insert never published.
+    expect_sqlstate(
+        client.simple_query(&format!("ASK WHERE {concept}(aborted_newcomer)")),
+        "42601",
+    );
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn conflicting_wire_commits_get_serialization_failure() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, a, _) = sample_names(&fx);
+
+    let mut first = WireClient::connect(&addr, &[]).expect("first connects");
+    let mut second = WireClient::connect(&addr, &[]).expect("second connects");
+
+    first.simple_query("BEGIN").expect("first BEGIN");
+    second.simple_query("BEGIN").expect("second BEGIN");
+    first
+        .simple_query(&format!("INSERT {concept}({a})"))
+        .expect("first write");
+    second
+        .simple_query(&format!("DELETE {concept}({a})"))
+        .expect("second write");
+
+    let r = first.simple_query("COMMIT").expect("first commit wins");
+    assert_eq!(r[0].tag, "COMMIT");
+    // First-committer-wins: the overlapping key aborts the second.
+    expect_sqlstate(second.simple_query("COMMIT"), "40001");
+
+    // The loser's session is back to idle and can retry.
+    let r = second.simple_query("SHOW transaction").expect("idle again");
+    assert_eq!(r[0].rows[0][0], "idle");
+    first.terminate();
+    second.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn autocommit_mutations_publish_immediately() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let (concept, _, _) = sample_names(&fx);
+    let mut client = WireClient::connect(&addr, &[]).expect("connect");
+
+    let before: u64 = show_one(&mut client, "SHOW generation").parse().unwrap();
+    let r = client
+        .simple_query(&format!("INSERT {concept}(autocommit_newcomer)"))
+        .expect("autocommit INSERT");
+    assert_eq!(r[0].tag, "INSERT 0 1");
+    let after: u64 = show_one(&mut client, "SHOW generation").parse().unwrap();
+    assert_eq!(after, before + 1, "autocommit publishes one generation");
+    let r = client
+        .simple_query(&format!("ASK WHERE {concept}(autocommit_newcomer)"))
+        .expect("ASK");
+    assert_eq!(r[0].rows, vec![vec!["t".to_string()]]);
+
+    // DELETE of a fact about an unknown individual is a no-op, not an
+    // error, and reports zero applied facts.
+    let r = client
+        .simple_query(&format!("DELETE {concept}(never_existed)"))
+        .expect("no-op DELETE");
+    assert_eq!(r[0].tag, "DELETE 0");
+    client.terminate();
+    fx.listener.shutdown();
+}
