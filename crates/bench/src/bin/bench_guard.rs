@@ -11,6 +11,12 @@
 //! a `"qps"` section with `warm_qps` — a missing section means the run
 //! that should have produced it did not happen, which is itself a
 //! failure (exit 2).
+//!
+//! The gate also enforces the observability bargain: when the current
+//! run carries the `metrics_on_qps` / `metrics_off_qps` pair, enabling
+//! the metrics registry must cost < 5% warm QPS (override via
+//! `OBDA_METRICS_TOLERANCE`, a fraction). Absent keys skip the check —
+//! older baselines predate the pair.
 
 use std::path::Path;
 
@@ -53,6 +59,34 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // Observability overhead gate on the current run, when measured.
+    let on = benchjson::read_num(Path::new(current_path), "qps", "metrics_on_qps");
+    let off = benchjson::read_num(Path::new(current_path), "qps", "metrics_off_qps");
+    match (on, off) {
+        (Some(on), Some(off)) if on > 0.0 && off > 0.0 => {
+            let metrics_tolerance: f64 = std::env::var("OBDA_METRICS_TOLERANCE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.05);
+            let overhead = 1.0 - on / off;
+            println!(
+                "metrics overhead: on {on:.1} q/s vs off {off:.1} q/s ({:.1}%, tolerance {:.0}%)",
+                overhead * 100.0,
+                metrics_tolerance * 100.0
+            );
+            if overhead > metrics_tolerance {
+                eprintln!(
+                    "FAIL: metrics registry costs {:.1}% warm QPS (allowed: {:.0}%)",
+                    overhead * 100.0,
+                    metrics_tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => println!("metrics overhead: not measured in {current_path}, skipping"),
+    }
+
     println!(
         "CHECK PASSED: warm QPS within {:.0}% of the committed trajectory",
         tolerance * 100.0

@@ -175,6 +175,26 @@ fn main() {
     println!("warm  1 client      : {qps1:>10.1} q/s");
     println!("warm  4 clients     : {qps4:>10.1} q/s   ({scaling:.2}x scaling)");
 
+    // Observability overhead: the same warm replay with the metrics
+    // registry recording vs. gated off. The registry is lock-free
+    // (relaxed atomics), so the pair should be within noise; the CI
+    // bench guard enforces < 5%. Interleave two runs per mode and keep
+    // each mode's best, so a scheduler hiccup in one run cannot fake a
+    // regression.
+    let mut metrics_on_qps = 0.0f64;
+    let mut metrics_off_qps = 0.0f64;
+    for _ in 0..2 {
+        metrics_on_qps = metrics_on_qps.max(bench.replay_qps(&warm_srv, 1, rounds));
+        warm_srv.observe().set_enabled(false);
+        metrics_off_qps = metrics_off_qps.max(bench.replay_qps(&warm_srv, 1, rounds));
+        warm_srv.observe().set_enabled(true);
+    }
+    let overhead = 1.0 - metrics_on_qps / metrics_off_qps;
+    println!(
+        "warm  metrics on    : {metrics_on_qps:>10.1} q/s   ({:.1}% overhead vs off: {metrics_off_qps:.1} q/s)",
+        overhead * 100.0
+    );
+
     let stats = warm_srv.cache_stats();
     println!(
         "cache: {} hits / {} misses / {} entries",
@@ -195,7 +215,9 @@ fn main() {
         .num("vectorized_speedup", vectorized_speedup)
         .num("qps_1_client", qps1)
         .num("qps_4_clients", qps4)
-        .num("scaling_4_clients", scaling);
+        .num("scaling_4_clients", scaling)
+        .num("metrics_on_qps", metrics_on_qps)
+        .num("metrics_off_qps", metrics_off_qps);
     if let Err(e) = benchjson::merge_section(&path, "qps", &section) {
         eprintln!("cannot write {}: {e}", path.display());
     } else {

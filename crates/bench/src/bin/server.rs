@@ -5,7 +5,9 @@
 //! ```text
 //! server [--addr 127.0.0.1:5433] [--facts 20000 | --kb FILE]
 //!        [--layout simple|triple|dph] [--backend native|sql]
-//!        [--threads N] [--max-connections N] [--chaos] [--check]
+//!        [--threads N] [--max-connections N]
+//!        [--metrics-addr HOST:PORT] [--slow-query-ms N]
+//!        [--chaos] [--check]
 //! ```
 //!
 //! Data comes from either `--kb FILE` (the text KB format `KnowledgeBase
@@ -15,6 +17,10 @@
 //! socket with the bundled [`WireClient`], runs three queries under both
 //! backends, shuts down gracefully, and exits non-zero on any mismatch.
 //! CI's server-smoke job is exactly `server --check`.
+//!
+//! `--metrics-addr` binds a Prometheus text endpoint (`GET /metrics`)
+//! alongside the wire listener; `--slow-query-ms N` logs any statement
+//! slower than N ms to stderr as a structured `slow_query` line.
 
 use std::io::BufRead;
 use std::sync::Arc;
@@ -23,7 +29,7 @@ use obda_core::Strategy;
 use obda_dllite::KnowledgeBase;
 use obda_lubm::{generate, GenConfig, UnivOntology};
 use obda_rdbms::pgwire::{PgConfig, PgListener, WireClient};
-use obda_rdbms::{Backend, LayoutKind, Server, ServerConfig};
+use obda_rdbms::{Backend, LayoutKind, MetricsEndpoint, Server, ServerConfig};
 
 struct Args {
     addr: String,
@@ -33,6 +39,8 @@ struct Args {
     backend: Backend,
     threads: usize,
     max_connections: usize,
+    metrics_addr: Option<String>,
+    slow_query_ms: Option<u64>,
     chaos: bool,
     check: bool,
 }
@@ -41,7 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: server [--addr HOST:PORT] [--facts N | --kb FILE] \
          [--layout simple|triple|dph] [--backend native|sql] \
-         [--threads N] [--max-connections N] [--chaos] [--check]"
+         [--threads N] [--max-connections N] \
+         [--metrics-addr HOST:PORT] [--slow-query-ms N] [--chaos] [--check]"
     );
     std::process::exit(2);
 }
@@ -55,6 +64,8 @@ fn parse_args() -> Args {
         backend: Backend::Native,
         threads: 1,
         max_connections: 64,
+        metrics_addr: None,
+        slow_query_ms: None,
         chaos: false,
         check: false,
     };
@@ -94,6 +105,11 @@ fn parse_args() -> Args {
                 args.max_connections = value("--max-connections")
                     .parse()
                     .unwrap_or_else(|_| usage());
+            }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--slow-query-ms" => {
+                args.slow_query_ms =
+                    Some(value("--slow-query-ms").parse().unwrap_or_else(|_| usage()));
             }
             "--chaos" => args.chaos = true,
             "--check" => args.check = true,
@@ -150,6 +166,19 @@ fn build_server(args: &Args) -> Server {
 fn main() {
     let args = parse_args();
     let server = Arc::new(build_server(&args));
+    if let Some(ms) = args.slow_query_ms {
+        server
+            .observe()
+            .set_slow_log_threshold(Some(std::time::Duration::from_millis(ms)));
+    }
+    let mut metrics = args.metrics_addr.as_deref().map(|addr| {
+        let ep = MetricsEndpoint::bind(addr, server.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("metrics on http://{}/metrics", ep.local_addr());
+        ep
+    });
     let pg = PgConfig {
         max_connections: args.max_connections,
         default_backend: args.backend,
@@ -171,6 +200,9 @@ fn main() {
         let failed = self_smoke(&addr);
         println!("shutting down");
         listener.shutdown();
+        if let Some(ep) = metrics.as_mut() {
+            ep.shutdown();
+        }
         if failed {
             std::process::exit(1);
         }
@@ -189,6 +221,9 @@ fn main() {
     }
     println!("draining sessions…");
     listener.shutdown();
+    if let Some(ep) = metrics.as_mut() {
+        ep.shutdown();
+    }
     println!("bye");
 }
 

@@ -6,12 +6,21 @@
 //! replaying a mixed statement stream for a fixed duration, while a
 //! writer thread applies periodic reloads so sessions cross generation
 //! boundaries mid-soak. Reported: sustained QPS plus p50/p99 per-query
-//! latency, merged into `BENCH_qps.json` under the `"soak"` section.
+//! latency, merged into `BENCH_qps.json` under the `"soak"` section,
+//! plus an observability section (`"soak_observe"`) read back from the
+//! server's metrics registry after the run.
+//!
+//! The soak also embeds a live [`MetricsEndpoint`] on an ephemeral port
+//! and scrapes it over HTTP twice — mid-soak and after the load stops —
+//! so the Prometheus exposition path is exercised under real concurrent
+//! traffic, not just in unit tests.
 //!
 //! `--check` enforces only *correctness* bars (every query answered, no
-//! protocol errors, reloads visible); throughput bars would be
-//! meaningless on the single-CPU CI container — the thread-scaling rule
-//! from ROADMAP applies, so the only perf output is informational.
+//! protocol errors, reloads visible, every required metric family
+//! served, counters monotone between the two scrapes); throughput bars
+//! would be meaningless on the single-CPU CI container — the
+//! thread-scaling rule from ROADMAP applies, so the only perf output is
+//! informational.
 //!
 //! Environment: `OBDA_SOAK_FACTS` (default 8000), `OBDA_SOAK_SECONDS`
 //! (default 5), `OBDA_SOAK_SESSIONS` (default 4), `OBDA_SOAK_WRITER`
@@ -27,13 +36,64 @@ use obda_bench::{benchjson, ms, percentile};
 use obda_core::Strategy;
 use obda_lubm::{generate, GenConfig, UnivOntology};
 use obda_rdbms::pgwire::{PgConfig, PgListener, WireClient};
-use obda_rdbms::{Backend, Server, ServerConfig};
+use obda_rdbms::{Backend, MetricsEndpoint, Server, ServerConfig};
 
 fn env_usize(var: &str, default: usize) -> usize {
     std::env::var(var)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Metric families the exposition endpoint must serve (CI's smoke bar).
+const REQUIRED_FAMILIES: &[&str] = &[
+    "obda_queries_total",
+    "obda_query_latency_seconds_bucket",
+    "obda_stage_seconds_total",
+    "obda_plan_cache_hits_total",
+    "obda_txn_commits_total",
+    "obda_wal_appends_total",
+    "obda_connections_admitted_total",
+    "obda_cost_predicted_units_total",
+    "obda_generation",
+];
+
+/// One HTTP scrape of `GET /metrics`; returns the response body.
+fn scrape_metrics(addr: &std::net::SocketAddr) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "unexpected status line: {:?}",
+            response.lines().next().unwrap_or("")
+        ));
+    }
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err("no header/body separator in response".into()),
+    }
+}
+
+/// Sum every sample of `family` (all label sets) in an exposition body.
+fn family_sum(body: &str, family: &str) -> f64 {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            let bare = name.split('{').next().unwrap_or(name);
+            (bare == family).then(|| value.parse::<f64>().ok())?
+        })
+        .sum()
 }
 
 /// The statement mix one session replays, cycling. Cheap shapes only —
@@ -81,8 +141,12 @@ fn main() {
     )
     .expect("bind ephemeral port");
     let addr = listener.local_addr();
+    let mut metrics_endpoint =
+        MetricsEndpoint::bind("127.0.0.1:0", server.clone()).expect("bind metrics endpoint");
+    let metrics_addr = metrics_endpoint.local_addr();
     println!(
-        "soak: {} facts, {sessions} sessions x {seconds}s against {addr}",
+        "soak: {} facts, {sessions} sessions x {seconds}s against {addr} \
+         (metrics on http://{metrics_addr}/metrics)",
         report.facts
     );
 
@@ -187,7 +251,13 @@ fn main() {
     }
 
     let started = Instant::now();
-    std::thread::sleep(Duration::from_secs(seconds as u64));
+    // Scrape the live exposition endpoint mid-soak and again after load
+    // stops: the pair proves the endpoint serves under traffic and that
+    // the counters it reports are monotone.
+    let half = Duration::from_millis((seconds as u64 * 1000) / 2);
+    std::thread::sleep(half);
+    let scrape_mid = scrape_metrics(&metrics_addr);
+    std::thread::sleep(Duration::from_secs(seconds as u64).saturating_sub(half));
     stop.store(true, Ordering::SeqCst);
     let mut latencies: Vec<Duration> = Vec::new();
     for h in handles {
@@ -195,7 +265,9 @@ fn main() {
     }
     let elapsed = started.elapsed();
     let writes = writer.join().expect("writer thread joins");
+    let scrape_end = scrape_metrics(&metrics_addr);
     listener.shutdown();
+    metrics_endpoint.shutdown();
 
     let total = latencies.len() as f64;
     let qps = total / elapsed.as_secs_f64();
@@ -228,6 +300,33 @@ fn main() {
         println!("wrote {} [soak]", path.display());
     }
 
+    // Observability readback: what the server itself counted during the
+    // soak, straight from the registry (not the scrape text).
+    let observe = server.observe();
+    let txn = server.txn_stats();
+    println!(
+        "observe: txn_commits={} txn_conflicts={} admitted={} rejected={} \
+         panics_recovered={} wal_appends={}",
+        txn.committed,
+        txn.conflicts,
+        observe.connections_admitted_total(),
+        observe.connections_rejected_total(),
+        observe.panics_recovered_total(),
+        observe.wal_appends_total(),
+    );
+    let observe_section = benchjson::JsonObj::new()
+        .int("txn_commits", txn.committed)
+        .int("txn_conflicts", txn.conflicts)
+        .int("admission_admitted", observe.connections_admitted_total())
+        .int("admission_rejected", observe.connections_rejected_total())
+        .int("panics_recovered", observe.panics_recovered_total())
+        .int("wal_appends", observe.wal_appends_total());
+    if let Err(e) = benchjson::merge_section(&path, "soak_observe", &observe_section) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {} [soak_observe]", path.display());
+    }
+
     if check {
         let mut failed = false;
         if errs > 0 {
@@ -242,9 +341,47 @@ fn main() {
             eprintln!("FAIL: writer published no {write_label} — generation churn untested");
             failed = true;
         }
+        match (&scrape_mid, &scrape_end) {
+            (Ok(mid), Ok(end)) => {
+                for family in REQUIRED_FAMILIES {
+                    if !end.contains(&format!("# TYPE {family} "))
+                        && !end.contains(&format!("{family} "))
+                        && !end.contains(&format!("{family}{{"))
+                    {
+                        eprintln!("FAIL: metric family {family} missing from /metrics");
+                        failed = true;
+                    }
+                }
+                let (mid_q, end_q) = (
+                    family_sum(mid, "obda_queries_total"),
+                    family_sum(end, "obda_queries_total"),
+                );
+                if mid_q <= 0.0 {
+                    eprintln!("FAIL: mid-soak scrape shows no served queries");
+                    failed = true;
+                }
+                if end_q < mid_q {
+                    eprintln!("FAIL: obda_queries_total not monotone ({mid_q} -> {end_q})");
+                    failed = true;
+                }
+                println!("scrape: obda_queries_total {mid_q} mid-soak -> {end_q} final");
+            }
+            (mid, end) => {
+                if let Err(e) = mid {
+                    eprintln!("FAIL: mid-soak metrics scrape: {e}");
+                }
+                if let Err(e) = end {
+                    eprintln!("FAIL: final metrics scrape: {e}");
+                }
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
-        println!("CHECK PASSED: sustained load with {write_label} churn, zero errors");
+        println!(
+            "CHECK PASSED: sustained load with {write_label} churn, zero errors, \
+             metrics scraped live"
+        );
     }
 }

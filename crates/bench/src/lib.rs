@@ -220,17 +220,10 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
-/// The `p`-th percentile (0..=100) of an unsorted latency sample, by the
-/// nearest-rank method. Empty samples yield zero.
-pub fn percentile(samples: &[Duration], p: f64) -> Duration {
-    if samples.is_empty() {
-        return Duration::ZERO;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort();
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+/// The `p`-th percentile of an unsorted latency sample, by the
+/// nearest-rank method. Shared with the server's metrics registry so the
+/// bench tools and `SHOW metrics` agree on what "p99" means.
+pub use obda_rdbms::observe::percentile;
 
 /// Hand-rolled machine-readable benchmark output (the workspace has no
 /// JSON dependency, deliberately). `BENCH_qps.json` is a single

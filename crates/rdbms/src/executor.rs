@@ -273,12 +273,14 @@ pub fn execute_parallel(
             let offsets = plan_offsets(ucq.cqs().iter().map(|cq| usize::from(cq.num_atoms() > 0)));
             let profile = meter.profile();
             let results = fan_out(ucq.cqs(), threads, |i, cq| {
+                let arm_started = std::time::Instant::now();
                 let mut wm = Meter::new(profile);
                 let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let rows = eval_cq_set(storage, cq, &mut wm, &mut src);
                 wm.on_hash_build(rows.len() as u64);
                 let mut delta = wm.metrics;
                 delta.output = rows.len() as u64;
+                delta.wall = arm_started.elapsed();
                 (rows, delta)
             });
             let mut out = FxHashSet::default();
@@ -296,12 +298,14 @@ pub fn execute_parallel(
             );
             let profile = meter.profile();
             let results = fan_out(uscq.scqs(), threads, |i, scq| {
+                let arm_started = std::time::Instant::now();
                 let mut wm = Meter::new(profile);
                 let mut src = arm_source(prepared, &offsets, i, strategy, mode);
                 let rows = eval_scq_set(storage, scq, &mut wm, &mut src);
                 wm.on_hash_build(rows.len() as u64);
                 let mut delta = wm.metrics;
                 delta.output = rows.len() as u64;
+                delta.wall = arm_started.elapsed();
                 (rows, delta)
             });
             let mut out = FxHashSet::default();

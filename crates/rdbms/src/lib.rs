@@ -48,6 +48,10 @@
 //!   `obda_query::canonical_key`, and union-arm fan-out across worker
 //!   threads — amortizing the §6.4-dominant cost-estimation work across
 //!   repeated queries;
+//! * the **observability spine** (`observe`): staged query traces, a
+//!   lock-free server metrics registry with fixed-bucket latency
+//!   histograms, a slow-query ring, cost-model accuracy counters, and a
+//!   Prometheus text-exposition endpoint;
 //! * the **durable store** (`store`): versioned binary snapshots of
 //!   `Vocabulary` + TBox + ABox, an append-only checksummed WAL of
 //!   `AboxDelta` batches, crash recovery with torn-tail truncation, and
@@ -99,6 +103,7 @@ pub mod fxhash;
 pub mod layout;
 pub mod meter;
 pub mod metrics;
+pub mod observe;
 pub mod pgwire;
 pub mod planner;
 pub mod profile;
@@ -120,12 +125,15 @@ pub use executor::{
 pub use layout::{LayoutKind, Storage};
 pub use meter::Meter;
 pub use metrics::ExecMetrics;
+pub use observe::{
+    percentile, Histogram, MetricsEndpoint, MetricsRegistry, QueryTrace, StageSpans,
+};
 pub use pgwire::{PgConfig, PgListener, WireClient};
 pub use planner::{ConjunctionPlan, ExecMode, JoinStrategy, PhysicalOp, PlanStep};
 pub use profile::{EngineKind, EngineProfile};
 pub use server::{
-    CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerError, ServerOutcome,
-    TxnStats,
+    AnalyzedQuery, CacheStats, CompiledQuery, EngineSnapshot, Server, ServerConfig, ServerError,
+    ServerOutcome, TxnStats,
 };
 pub use sql::{SqlGenerator, SqlNames};
 pub use sqlexec::{Backend, SqlError};

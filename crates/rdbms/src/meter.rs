@@ -2,6 +2,8 @@
 //! how many times each table was scanned (feeding the profile's
 //! repeated-scan discount — DB2's buffer-locality behaviour, \[21\]).
 
+use std::time::Instant;
+
 use crate::fxhash::FxHashMap;
 use crate::metrics::ExecMetrics;
 use crate::profile::EngineProfile;
@@ -34,6 +36,9 @@ pub struct Meter<'p> {
     profile: &'p EngineProfile,
     scan_counts: FxHashMap<TableKey, u32>,
     arm_start: Option<ExecMetrics>,
+    /// Wall clock of the open arm scope. The statement-level `wall` is
+    /// only stamped after execution, so arm deltas must time themselves.
+    arm_started: Option<Instant>,
 }
 
 impl<'p> Meter<'p> {
@@ -44,6 +49,7 @@ impl<'p> Meter<'p> {
             profile,
             scan_counts: FxHashMap::default(),
             arm_start: None,
+            arm_started: None,
         }
     }
 
@@ -92,15 +98,21 @@ impl<'p> Meter<'p> {
     pub fn begin_arm(&mut self) {
         if self.arm_start.is_none() {
             self.arm_start = Some(self.metrics);
+            self.arm_started = Some(Instant::now());
         }
     }
 
     /// Close the current arm scope, recording its delta; `rows` is the
-    /// arm's own (pre-union-dedup) result size.
+    /// arm's own (pre-union-dedup) result size. The arm's `wall` is
+    /// measured here — the statement total is stamped after execution,
+    /// so a counter delta alone would always read zero.
     pub fn end_arm(&mut self, rows: u64) {
         if let Some(start) = self.arm_start.take() {
             let mut delta = self.metrics.delta_since(&start);
             delta.output = rows;
+            if let Some(started) = self.arm_started.take() {
+                delta.wall = started.elapsed();
+            }
             self.arm_metrics.push(delta);
         }
     }

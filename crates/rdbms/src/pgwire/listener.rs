@@ -155,12 +155,14 @@ fn accept_loop(
         let prev = active.fetch_add(1, Ordering::SeqCst);
         if prev >= config.max_connections {
             active.fetch_sub(1, Ordering::SeqCst);
+            server.observe().record_rejection();
             let stop2 = stop.clone();
             let _ = std::thread::Builder::new()
                 .name("pgwire-reject".into())
                 .spawn(move || reject_saturated(stream, &stop2));
             continue;
         }
+        server.observe().record_admission();
 
         let server2 = server.clone();
         let stop2 = stop.clone();
@@ -182,7 +184,11 @@ fn accept_loop(
                     }
                 }
                 let _slot = Slot(active2);
-                run_session(&server2, stream, &stop2, &cfg)
+                let end = run_session(&server2, stream, &stop2, &cfg);
+                if end == SessionEnd::Panicked {
+                    server2.observe().record_panic_recovered();
+                }
+                end
             });
         match spawn {
             Ok(handle) => {

@@ -4,16 +4,17 @@
 //! Grammar (case-insensitive keywords, whitespace-insensitive):
 //!
 //! ```text
-//! statement := select | ask | show | set | panic | txn | mutate
+//! statement := select | ask | explain | show | set | panic | txn | mutate
 //! select    := SELECT head WHERE body
 //! ask       := ASK WHERE body
+//! explain   := EXPLAIN ANALYZE ( select | ask )
 //! head      := ?var ( , ?var )*
 //! body      := atom ( , atom )*
 //! atom      := Name ( term )            -- concept atom
 //!            | Name ( term , term )     -- role atom
 //! term      := ?var | Individual        -- bare identifier = constant
 //! show      := SHOW ( generation | cache | backend | server_version
-//!                   | transaction )
+//!                   | transaction | metrics | slow_queries )
 //! set       := SET ...                  -- accepted and ignored
 //! panic     := PANIC                    -- chaos statement, gated
 //! txn       := BEGIN | COMMIT | ROLLBACK   -- optional TRANSACTION/WORK
@@ -41,6 +42,10 @@ pub enum WireStatement {
     /// `SELECT ?x, ?y WHERE ...` or `ASK WHERE ...` — the head names are
     /// the wire column labels (`?x` → `x`; ASK gets a single `answer`).
     Select { head_names: Vec<String>, cq: CQ },
+    /// `EXPLAIN ANALYZE SELECT ...` — run the query and return its
+    /// priced plan annotated with the measured execution, one text line
+    /// per `QUERY PLAN` row (the PostgreSQL convention).
+    ExplainAnalyze { cq: CQ },
     /// `SHOW <topic>` — answered from server state, no query execution.
     Show(ShowTopic),
     /// `SET ...` — accepted as a no-op so JDBC/psql session setup works.
@@ -79,6 +84,11 @@ pub enum ShowTopic {
     /// The session's transaction state: status, buffered write count,
     /// new-name count, pinned generation.
     Transaction,
+    /// The server metrics registry, one `name | value` row per counter.
+    Metrics,
+    /// The slow-query ring: the N slowest statement traces, slowest
+    /// first, with per-stage spans.
+    SlowQueries,
 }
 
 /// A statement that failed to parse or resolve; the message is shipped
@@ -174,6 +184,7 @@ pub fn parse_statement(text: &str, voc: &Vocabulary) -> Result<WireStatement, Pa
     match first.to_ascii_uppercase().as_str() {
         "SELECT" => parse_query(&trimmed[first.len()..], false, voc),
         "ASK" => parse_query(&trimmed[first.len()..], true, voc),
+        "EXPLAIN" => parse_explain(&trimmed[first.len()..], voc),
         "SHOW" => parse_show(&trimmed[first.len()..]),
         "SET" => Ok(WireStatement::Set),
         "PANIC" => Ok(WireStatement::Panic),
@@ -196,9 +207,31 @@ pub fn parse_statement(text: &str, voc: &Vocabulary) -> Result<WireStatement, Pa
         "INSERT" => parse_mutate(&trimmed[first.len()..], true, voc),
         "DELETE" => parse_mutate(&trimmed[first.len()..], false, voc),
         other => err(format!(
-            "unknown statement '{other}' (expected SELECT, ASK, INSERT, DELETE, \
-             BEGIN, COMMIT, ROLLBACK, SHOW, SET, or PANIC)"
+            "unknown statement '{other}' (expected SELECT, ASK, EXPLAIN, INSERT, \
+             DELETE, BEGIN, COMMIT, ROLLBACK, SHOW, SET, or PANIC)"
         )),
+    }
+}
+
+/// `EXPLAIN ANALYZE <select|ask>`: plain `EXPLAIN` (estimate without
+/// running) is deliberately not offered — the cost model's predictions
+/// are only interesting next to the measured run.
+fn parse_explain(rest: &str, voc: &Vocabulary) -> Result<WireStatement, ParseWireError> {
+    let rest = rest.trim();
+    let first = rest.split_whitespace().next().unwrap_or("");
+    if !first.eq_ignore_ascii_case("ANALYZE") {
+        return err("expected ANALYZE after EXPLAIN (only EXPLAIN ANALYZE is supported)");
+    }
+    let rest = rest[first.len()..].trim();
+    let verb = rest.split_whitespace().next().unwrap_or("");
+    let parsed = match verb.to_ascii_uppercase().as_str() {
+        "SELECT" => parse_query(&rest[verb.len()..], false, voc)?,
+        "ASK" => parse_query(&rest[verb.len()..], true, voc)?,
+        _ => return err("expected SELECT or ASK after EXPLAIN ANALYZE"),
+    };
+    match parsed {
+        WireStatement::Select { cq, .. } => Ok(WireStatement::ExplainAnalyze { cq }),
+        _ => err("expected SELECT or ASK after EXPLAIN ANALYZE"),
     }
 }
 
@@ -304,10 +337,12 @@ fn parse_show(rest: &str) -> Result<WireStatement, ParseWireError> {
         "backend" => ShowTopic::Backend,
         "server_version" => ShowTopic::ServerVersion,
         "transaction" => ShowTopic::Transaction,
+        "metrics" => ShowTopic::Metrics,
+        "slow_queries" => ShowTopic::SlowQueries,
         other => {
             return err(format!(
                 "unknown SHOW topic '{other}' (expected generation, cache, backend, \
-                 server_version, or transaction)"
+                 server_version, transaction, metrics, or slow_queries)"
             ))
         }
     };

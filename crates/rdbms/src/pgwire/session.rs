@@ -30,6 +30,7 @@ use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Instant;
 
 use obda_dllite::IndividualId;
 
@@ -42,7 +43,8 @@ use super::query::{
     parse_statement, split_statements, FactAtom, ParseWireError, ShowTopic, WireStatement,
 };
 use crate::engine::EngineError;
-use crate::server::{EngineSnapshot, Server, ServerError};
+use crate::observe::{truncate_query, QueryTrace, StageSpans};
+use crate::server::{AnalyzedQuery, EngineSnapshot, Server, ServerError};
 use crate::sqlexec::Backend;
 use crate::txn::Txn;
 
@@ -594,8 +596,11 @@ impl Session<'_> {
                 });
             }
         }
+        let statement_started = Instant::now();
         let snap = self.session_view();
+        let parse_started = Instant::now();
         let stmt = parse_statement(text, snap.vocabulary())?;
+        let parse_span = parse_started.elapsed();
         match stmt {
             WireStatement::Set => Ok(tag_only("SET")),
             WireStatement::Show(topic) => Ok(self.run_show(topic, &snap)),
@@ -636,9 +641,91 @@ impl Session<'_> {
                         }
                     }
                 };
-                Ok(render_select(&head_names, &outcome.outcome.rows, &snap))
+                let serialize_started = Instant::now();
+                let rendered = render_select(&head_names, &outcome.outcome.rows, &snap);
+                let mut spans = outcome.spans;
+                spans.parse = parse_span;
+                spans.serialize = serialize_started.elapsed();
+                self.record_statement_trace(
+                    text,
+                    backend,
+                    outcome.cache_hit,
+                    outcome.generation,
+                    outcome.outcome.rows.len() as u64,
+                    spans,
+                    statement_started,
+                );
+                Ok(rendered)
+            }
+            WireStatement::ExplainAnalyze { cq } => {
+                // In-transaction views share the pinned generation with
+                // other sessions' cache entries, so their compilations
+                // must stay out of the plan cache — and an EXPLAIN whose
+                // plan is *not* the cached one would be lying. Refuse.
+                if self.txn.is_some() {
+                    return Err(ExecError::Wire {
+                        sqlstate: msg::SQLSTATE_NOT_SUPPORTED,
+                        message: "EXPLAIN ANALYZE inside a transaction block is not supported"
+                            .into(),
+                    });
+                }
+                let backend = self.backend;
+                let server = self.server;
+                let snap_ref = &snap;
+                let result = catch_unwind(AssertUnwindSafe(move || {
+                    server.explain_analyze(snap_ref, &cq, backend)
+                }));
+                let analyzed = match result {
+                    Ok(r) => r.map_err(ExecError::from)?,
+                    Err(payload) => return Err(ExecError::Panicked(panic_detail(payload))),
+                };
+                let serialize_started = Instant::now();
+                let rendered = render_explain(&analyzed);
+                let mut spans = analyzed.spans;
+                spans.parse = parse_span;
+                spans.serialize = serialize_started.elapsed();
+                self.record_statement_trace(
+                    text,
+                    backend,
+                    analyzed.cache_hit,
+                    analyzed.generation,
+                    analyzed.outcome.rows.len() as u64,
+                    spans,
+                    statement_started,
+                );
+                Ok(rendered)
             }
         }
+    }
+
+    /// Complete one query statement's trace: stamp id and end-to-end
+    /// total and hand it to the registry (stage totals, slow-query ring,
+    /// stderr slow log).
+    #[allow(clippy::too_many_arguments)]
+    fn record_statement_trace(
+        &self,
+        text: &str,
+        backend: Backend,
+        cache_hit: bool,
+        generation: u64,
+        rows: u64,
+        spans: StageSpans,
+        statement_started: Instant,
+    ) {
+        let observe = self.server.observe();
+        if !observe.is_enabled() {
+            return;
+        }
+        observe.record_trace(QueryTrace {
+            id: observe.next_trace_id(),
+            query: truncate_query(text),
+            backend,
+            cache_hit,
+            generation,
+            rows,
+            spans,
+            total: statement_started.elapsed(),
+        });
     }
 
     fn run_begin(&mut self) -> Result<Rendered, ExecError> {
@@ -727,6 +814,12 @@ impl Session<'_> {
     }
 
     fn run_show(&self, topic: ShowTopic, snap: &EngineSnapshot) -> Rendered {
+        if topic == ShowTopic::Metrics {
+            return self.run_show_metrics(snap);
+        }
+        if topic == ShowTopic::SlowQueries {
+            return run_show_slow_queries(self.server);
+        }
         if topic == ShowTopic::Transaction {
             let (status, pending, new_names, generation) = match &self.txn {
                 Some(txn) => (
@@ -767,13 +860,205 @@ impl Session<'_> {
                     ),
                 )
             }
-            ShowTopic::Transaction => unreachable!("handled above"),
+            ShowTopic::Transaction | ShowTopic::Metrics | ShowTopic::SlowQueries => {
+                unreachable!("handled above")
+            }
         };
         Rendered {
             columns: vec![name.to_string()],
             rows: vec![vec![value]],
             tag: "SELECT 1".into(),
         }
+    }
+
+    /// `SHOW metrics`: the whole registry (plus the serving layer's
+    /// cache/txn counters) as `metric | value` rows — the wire-level
+    /// twin of the Prometheus endpoint.
+    fn run_show_metrics(&self, snap: &EngineSnapshot) -> Rendered {
+        let observe = self.server.observe();
+        let cache = self.server.cache_stats();
+        let txn = self.server.txn_stats();
+        let (predicted, measured) = observe.cost_totals();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut push = |name: &str, value: String| rows.push(vec![name.to_string(), value]);
+        for backend in [Backend::Native, Backend::Sql] {
+            push(
+                &format!("queries_total.{}", backend.name()),
+                observe.queries_total(backend).to_string(),
+            );
+            let hist = observe.latency(backend);
+            push(
+                &format!("query_latency_p50_us.{}", backend.name()),
+                hist.quantile(50.0).as_micros().to_string(),
+            );
+            push(
+                &format!("query_latency_p99_us.{}", backend.name()),
+                hist.quantile(99.0).as_micros().to_string(),
+            );
+        }
+        push(
+            "query_errors_total",
+            observe.query_errors_total().to_string(),
+        );
+        push(
+            "query_rows_total",
+            observe.rows_returned_total().to_string(),
+        );
+        push("plan_cache_hits", cache.hits.to_string());
+        push("plan_cache_misses", cache.misses.to_string());
+        push("plan_cache_entries", cache.entries.to_string());
+        push("plan_cache_invalidated", cache.invalidated.to_string());
+        push("txn_commits", txn.committed.to_string());
+        push("txn_conflicts", txn.conflicts.to_string());
+        push("txn_commit_groups", txn.commit_groups.to_string());
+        push("txn_active", txn.active.to_string());
+        push("wal_appends", observe.wal_appends_total().to_string());
+        push("wal_fsyncs", observe.wal_fsyncs_total().to_string());
+        push("wal_bytes", observe.wal_bytes_total().to_string());
+        push("checkpoints", observe.checkpoints_total().to_string());
+        push(
+            "checkpoint_micros",
+            observe.checkpoint_micros_total().to_string(),
+        );
+        push(
+            "connections_admitted",
+            observe.connections_admitted_total().to_string(),
+        );
+        push(
+            "connections_rejected",
+            observe.connections_rejected_total().to_string(),
+        );
+        push(
+            "panics_recovered",
+            observe.panics_recovered_total().to_string(),
+        );
+        push("cost_predicted_units", format!("{predicted:.1}"));
+        push("cost_measured_units", format!("{measured:.1}"));
+        if predicted > 0.0 {
+            push(
+                "cost_accuracy_ratio",
+                format!("{:.3}", measured / predicted),
+            );
+        }
+        push("generation", snap.generation().to_string());
+        let n = rows.len();
+        Rendered {
+            columns: vec!["metric".into(), "value".into()],
+            rows,
+            tag: format!("SELECT {n}"),
+        }
+    }
+}
+
+/// Column labels of a `SHOW slow_queries` result, in row order.
+const SLOW_QUERY_COLUMNS: [&str; 13] = [
+    "trace_id",
+    "total_us",
+    "parse_us",
+    "reformulate_us",
+    "plan_us",
+    "sqlgen_us",
+    "execute_us",
+    "serialize_us",
+    "backend",
+    "cache_hit",
+    "generation",
+    "rows",
+    "query",
+];
+
+/// `SHOW slow_queries`: the retained slowest traces, slowest first.
+fn run_show_slow_queries(server: &Server) -> Rendered {
+    let traces = server.observe().slow_queries();
+    let rows: Vec<Vec<String>> = traces
+        .iter()
+        .map(|t| {
+            vec![
+                t.id.to_string(),
+                t.total.as_micros().to_string(),
+                t.spans.parse.as_micros().to_string(),
+                t.spans.reformulate.as_micros().to_string(),
+                t.spans.plan.as_micros().to_string(),
+                t.spans.sqlgen.as_micros().to_string(),
+                t.spans.execute.as_micros().to_string(),
+                t.spans.serialize.as_micros().to_string(),
+                t.backend.name().to_string(),
+                if t.cache_hit { "t" } else { "f" }.to_string(),
+                t.generation.to_string(),
+                t.rows.to_string(),
+                t.query.clone(),
+            ]
+        })
+        .collect();
+    let n = rows.len();
+    Rendered {
+        columns: SLOW_QUERY_COLUMNS.iter().map(|c| c.to_string()).collect(),
+        rows,
+        tag: format!("SELECT {n}"),
+    }
+}
+
+/// Render an [`AnalyzedQuery`] as `QUERY PLAN` text lines: the plan's
+/// predicted per-step costs next to the executor's measured work — the
+/// cost-model accuracy loop, inspectable from any pg client.
+fn render_explain(analyzed: &AnalyzedQuery) -> Rendered {
+    let metrics = &analyzed.outcome.metrics;
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!(
+        "strategy={} backend={} cache_hit={} generation={}",
+        analyzed.explain.strategy.name(),
+        analyzed.backend.name(),
+        analyzed.cache_hit,
+        analyzed.generation,
+    ));
+    lines.push(format!(
+        "predicted: total_cost={:.1}",
+        analyzed.explain.total_cost
+    ));
+    lines.push(format!(
+        "measured: work_units={:.1} rows={} wall_us={}",
+        metrics.work_units(),
+        analyzed.outcome.rows.len(),
+        metrics.wall.as_micros(),
+    ));
+    if analyzed.explain.total_cost.is_finite() && analyzed.explain.total_cost > 0.0 {
+        lines.push(format!(
+            "accuracy: measured/predicted={:.3}",
+            metrics.work_units() / analyzed.explain.total_cost
+        ));
+    }
+    // Per-arm annotation only when the executor attributed arm deltas
+    // that line up with the plan's conjunctions (top-level unions; a
+    // plain CQ or a JUCQ reports statement totals only).
+    let arm_metrics = &analyzed.outcome.arm_metrics;
+    let annotate_arms = arm_metrics.len() == analyzed.explain.arms.len();
+    for (i, arm) in analyzed.explain.arms.iter().enumerate() {
+        lines.push(format!("{}:", arm.label));
+        for step in &arm.plan.steps {
+            lines.push(format!(
+                "  [slot{} {} cost={:.1} rows={:.1}]",
+                step.slot,
+                step.op.name(),
+                step.est_cost,
+                step.est_rows,
+            ));
+        }
+        lines.push(format!("  predicted: cost={:.1}", arm.plan.est_cost()));
+        if annotate_arms {
+            let m = &arm_metrics[i];
+            lines.push(format!(
+                "  measured: work_units={:.1} rows={} wall_us={}",
+                m.work_units(),
+                m.output,
+                m.wall.as_micros(),
+            ));
+        }
+    }
+    let n = lines.len();
+    Rendered {
+        columns: vec!["QUERY PLAN".into()],
+        rows: lines.into_iter().map(|l| vec![l]).collect(),
+        tag: format!("EXPLAIN {n}"),
     }
 }
 
@@ -842,18 +1127,27 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 fn describe_columns(stmt: &WireStatement) -> Option<Vec<String>> {
     match stmt {
         WireStatement::Select { head_names, .. } => Some(head_names.clone()),
+        WireStatement::ExplainAnalyze { .. } => Some(vec!["QUERY PLAN".to_string()]),
         WireStatement::Show(ShowTopic::Transaction) => Some(vec![
             "transaction_status".to_string(),
             "pending_ops".to_string(),
             "new_names".to_string(),
             "pinned_generation".to_string(),
         ]),
+        WireStatement::Show(ShowTopic::Metrics) => {
+            Some(vec!["metric".to_string(), "value".to_string()])
+        }
+        WireStatement::Show(ShowTopic::SlowQueries) => {
+            Some(SLOW_QUERY_COLUMNS.iter().map(|c| c.to_string()).collect())
+        }
         WireStatement::Show(topic) => Some(vec![match topic {
             ShowTopic::Generation => "generation",
             ShowTopic::Cache => "cache",
             ShowTopic::Backend => "backend",
             ShowTopic::ServerVersion => "server_version",
-            ShowTopic::Transaction => unreachable!("handled above"),
+            ShowTopic::Transaction | ShowTopic::Metrics | ShowTopic::SlowQueries => {
+                unreachable!("handled above")
+            }
         }
         .to_string()]),
         WireStatement::Set

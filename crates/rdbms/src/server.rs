@@ -58,6 +58,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
+use std::time::Instant;
 
 use obda_core::{choose_reformulation, Strategy};
 use obda_dllite::{
@@ -65,11 +66,12 @@ use obda_dllite::{
 };
 use obda_query::{canonical_key, CanonKey, FolQuery, CQ};
 
-use crate::engine::{Engine, EngineError, EvalOptions, QueryOutcome};
+use crate::engine::{Engine, EngineError, EvalOptions, ExplainPlan, QueryOutcome};
 use crate::estimators::ExplainEstimator;
 use crate::executor::PreparedPlans;
 use crate::fxhash::FxHashMap;
 use crate::layout::LayoutKind;
+use crate::observe::{MetricsRegistry, StageSpans};
 use crate::planner::{ExecMode, JoinStrategy};
 use crate::profile::EngineProfile;
 use crate::sqlexec::Backend;
@@ -247,6 +249,10 @@ pub struct CompiledQuery {
     /// The SQL translation, retained when the serving backend executes
     /// SQL (`None` under the native backend, which needs only the size).
     pub sql: Option<String>,
+    /// Wall-clock spans of the cold compilation stages (reformulate /
+    /// plan / sqlgen). A cache hit does not replay this work, so its
+    /// [`ServerOutcome::spans`] report these stages as zero.
+    pub spans: StageSpans,
 }
 
 /// The answer to one served query.
@@ -256,6 +262,27 @@ pub struct ServerOutcome {
     pub cache_hit: bool,
     /// The snapshot generation the query ran against.
     pub generation: u64,
+    /// Per-stage spans of this call: the compile stages (zero on a
+    /// cache hit — the work was skipped, which is the point of the
+    /// cache) and `execute` = the engine's measured wall clock.
+    pub spans: StageSpans,
+}
+
+/// One `EXPLAIN ANALYZE` result: the priced plan the compilation chose
+/// and the measured outcome of actually running it — predicted cost and
+/// observed work side by side, per union arm where the executor
+/// attributes them.
+pub struct AnalyzedQuery {
+    /// The operator-annotated plan with per-step cost/row estimates —
+    /// the same deterministic `plan_conjunction` the executor followed.
+    pub explain: ExplainPlan,
+    /// The measured execution: rows, work counters, per-arm deltas.
+    pub outcome: QueryOutcome,
+    pub cache_hit: bool,
+    pub generation: u64,
+    pub backend: Backend,
+    /// Per-stage spans of this call (see [`ServerOutcome::spans`]).
+    pub spans: StageSpans,
 }
 
 /// Point-in-time cache counters.
@@ -418,6 +445,9 @@ pub struct Server {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    /// The server-wide metrics registry every layer reports through;
+    /// `Arc` so the metrics endpoint and wire sessions can share it.
+    observe: Arc<MetricsRegistry>,
 }
 
 /// Compile-time thread-safety contract: snapshots cross worker threads
@@ -509,6 +539,7 @@ impl Server {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            observe: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -535,6 +566,13 @@ impl Server {
 
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The server-wide metrics registry (counters, latency histograms,
+    /// the slow-query ring). Shared: clone the `Arc` to hand it to a
+    /// metrics endpoint or a monitoring thread.
+    pub fn observe(&self) -> &Arc<MetricsRegistry> {
+        &self.observe
     }
 
     /// Read the published snapshot `Arc`, recovering a poisoned guard.
@@ -644,12 +682,48 @@ impl Server {
             backend: Some(backend),
             mode: None,
         };
-        let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
+        let outcome = match snap.engine.evaluate_opts(&compiled.fol, &opts) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.observe.record_query_error();
+                return Err(e);
+            }
+        };
+        let spans = self.record_served(&compiled, cache_hit, backend, &outcome);
         Ok(ServerOutcome {
             outcome,
             cache_hit,
             generation: snap.generation,
+            spans,
         })
+    }
+
+    /// Shared post-execution bookkeeping of every served query: assemble
+    /// the call's [`StageSpans`] (compile stages zero on a cache hit —
+    /// the work was skipped), feed the registry's per-backend counters
+    /// and latency histogram, and accumulate one predicted-vs-measured
+    /// cost-model accuracy sample when the plan carries estimates.
+    fn record_served(
+        &self,
+        compiled: &CompiledQuery,
+        cache_hit: bool,
+        backend: Backend,
+        outcome: &QueryOutcome,
+    ) -> StageSpans {
+        let mut spans = if cache_hit {
+            StageSpans::default()
+        } else {
+            compiled.spans
+        };
+        spans.execute = outcome.metrics.wall;
+        self.observe
+            .record_query(backend, spans.total(), outcome.rows.len() as u64);
+        if !compiled.plans.plans.is_empty() {
+            let predicted: f64 = compiled.plans.plans.iter().map(|p| p.est_cost()).sum();
+            self.observe
+                .record_cost_sample(predicted, outcome.metrics.work_units());
+        }
+        spans
     }
 
     /// Fetch or compute the compilation of `cq` for `snap`'s generation
@@ -698,6 +772,8 @@ impl Server {
     /// strategy (cost estimates answered by the snapshot engine's
     /// `explain`), then plan every conjunction and size the SQL.
     fn compile_cold(&self, snap: &EngineSnapshot, cq: &CQ, backend: Backend) -> CompiledQuery {
+        let mut spans = StageSpans::default();
+        let stage_started = Instant::now();
         let estimator = ExplainEstimator::new(&snap.engine);
         let chosen = choose_reformulation(
             cq,
@@ -706,6 +782,8 @@ impl Server {
             &estimator,
             &self.config.reform_strategy,
         );
+        spans.reformulate = stage_started.elapsed();
+        let stage_started = Instant::now();
         // Native plans are meaningless to the SQL backend (its
         // evaluate path never reads them); the SQL text is meaningless
         // to the native one — each backend caches only what it replays.
@@ -717,8 +795,11 @@ impl Server {
                 plans: Vec::new(),
             },
         };
+        spans.plan = stage_started.elapsed();
+        let stage_started = Instant::now();
         let sql = snap.engine.sql_for(&chosen.fol);
         let sql_bytes = sql.len();
+        spans.sqlgen = stage_started.elapsed();
         // Don't pin text that can never execute: a statement over the
         // profile's size limit is rejected from its *length* alone
         // (§6.3), so the cache keeps only `sql_bytes` for it.
@@ -733,6 +814,7 @@ impl Server {
             plans,
             sql_bytes,
             sql,
+            spans,
         }
     }
 
@@ -922,14 +1004,21 @@ impl Server {
             match store.as_mut() {
                 Some(store) if self.config.sync_commits => store.append_group_durable(&deltas),
                 Some(store) => store.append_group(&deltas),
-                None => Ok(()),
+                None => Ok(0),
             }
         };
-        if let Err(e) = logged {
-            self.fail_group(slots, &e);
-            return Ok(());
-        }
+        let wal_bytes = match logged {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.fail_group(slots, &e);
+                return Ok(());
+            }
+        };
         self.commit_groups.fetch_add(1, Ordering::Relaxed);
+        if wal_bytes > 0 {
+            self.observe
+                .record_wal_append(wal_bytes, self.config.sync_commits);
+        }
 
         // Apply phase: intern names (consuming their staged
         // predictions — in staging order, so every prediction lands on
@@ -1061,6 +1150,7 @@ impl Server {
     }
 
     fn checkpoint_locked(&self, _ckpt: MutexGuard<'_, ()>) -> Result<(), ServerError> {
+        let ckpt_started = Instant::now();
         // Phase 1: pin. The TBox is read *inside* the writer lock so a
         // concurrent reload cannot slip a new KB between the reads.
         let (voc, abox, tbox, generation) = {
@@ -1088,6 +1178,7 @@ impl Server {
                 .install_checkpoint(generation)
                 .map_err(ServerError::Store)?;
         }
+        self.observe.record_checkpoint(ckpt_started.elapsed());
         Ok(())
     }
 
@@ -1118,11 +1209,59 @@ impl Server {
             backend: Some(backend),
             mode: None,
         };
-        let outcome = snap.engine.evaluate_opts(&compiled.fol, &opts)?;
+        let outcome = match snap.engine.evaluate_opts(&compiled.fol, &opts) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.observe.record_query_error();
+                return Err(e);
+            }
+        };
+        let spans = self.record_served(&compiled, false, backend, &outcome);
         Ok(ServerOutcome {
             outcome,
             cache_hit: false,
             generation: snap.generation,
+            spans,
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: compile (through the plan cache — the plan
+    /// analyzed is the *exact* compilation a plain query would replay),
+    /// price it with the engine's structured explain, then execute it
+    /// and return prediction and measurement side by side. Counts as a
+    /// served query in the registry.
+    pub fn explain_analyze(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        cq: &CQ,
+        backend: Backend,
+    ) -> Result<AnalyzedQuery, EngineError> {
+        let (compiled, cache_hit) = self.compile(snap, cq, backend);
+        let explain = snap.engine.explain_plan(&compiled.fol);
+        let opts = EvalOptions {
+            strategy: None,
+            prepared: Some(&compiled.plans),
+            threads: self.config.threads,
+            sql_bytes: Some(compiled.sql_bytes),
+            sql_text: compiled.sql.as_deref(),
+            backend: Some(backend),
+            mode: None,
+        };
+        let outcome = match snap.engine.evaluate_opts(&compiled.fol, &opts) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.observe.record_query_error();
+                return Err(e);
+            }
+        };
+        let spans = self.record_served(&compiled, cache_hit, backend, &outcome);
+        Ok(AnalyzedQuery {
+            explain,
+            outcome,
+            cache_hit,
+            generation: snap.generation,
+            backend,
+            spans,
         })
     }
 

@@ -217,7 +217,7 @@ impl DurableStore {
     /// is poisoned by a failed compaction: the files no longer describe
     /// the state the delta applies to, so logging it would make recovery
     /// silently reconstruct wrong data.
-    pub fn append(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+    pub fn append(&mut self, delta: &AboxDelta) -> Result<u64, StoreError> {
         self.append_group(std::slice::from_ref(delta))
     }
 
@@ -225,19 +225,20 @@ impl DurableStore {
     /// transactions framed as a single WAL record, so the group-commit
     /// leader pays one record (and one [`DurableStore::sync`]) for the
     /// whole queue. Each delta still counts as its own generation;
-    /// recovery replays them in order. Empty groups are a no-op.
-    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+    /// recovery replays them in order. Empty groups are a no-op. Returns
+    /// the framed record size in bytes (0 for an empty group).
+    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<u64, StoreError> {
         if let Some(detail) = &self.poisoned {
             return Err(StoreError::Poisoned {
                 detail: detail.clone(),
             });
         }
         if deltas.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
-        self.wal.append_group(deltas)?;
+        let bytes = self.wal.append_group(deltas)?;
         self.wal_batches += deltas.len() as u64;
-        Ok(())
+        Ok(bytes)
     }
 
     /// [`DurableStore::append_group`] + `fsync`, with the stronger
@@ -245,18 +246,18 @@ impl DurableStore {
     /// group: a failed fsync rolls the record back out (or marks the
     /// writer broken if even that fails), so the commit path never
     /// reports "failed" for a group a later recovery would replay.
-    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<u64, StoreError> {
         if let Some(detail) = &self.poisoned {
             return Err(StoreError::Poisoned {
                 detail: detail.clone(),
             });
         }
         if deltas.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
-        self.wal.append_group_durable(deltas)?;
+        let bytes = self.wal.append_group_durable(deltas)?;
         self.wal_batches += deltas.len() as u64;
-        Ok(())
+        Ok(bytes)
     }
 
     /// Fold the WAL into a fresh snapshot of the current KB state: write

@@ -344,7 +344,7 @@ impl WalWriter {
 
     /// Append one single-transaction group record. See
     /// [`WalWriter::append_group`].
-    pub fn append_batch(&mut self, delta: &AboxDelta) -> Result<(), StoreError> {
+    pub fn append_batch(&mut self, delta: &AboxDelta) -> Result<u64, StoreError> {
         self.append_group(std::slice::from_ref(delta))
     }
 
@@ -353,7 +353,9 @@ impl WalWriter {
     /// torn tail (dropping the whole — unacknowledged — group); a
     /// *failure* mid-call rolls the file back to the last good boundary
     /// (see the type docs) so later appends never land after garbage.
-    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+    /// Returns the framed record size in bytes (feeds the WAL byte
+    /// counters of the metrics registry).
+    pub fn append_group(&mut self, deltas: &[AboxDelta]) -> Result<u64, StoreError> {
         if let Some(detail) = &self.broken {
             return Err(StoreError::Corrupt {
                 file: self.path.display().to_string(),
@@ -372,7 +374,7 @@ impl WalWriter {
         {
             Ok(()) => {
                 self.good_len += record.len() as u64;
-                Ok(())
+                Ok(record.len() as u64)
             }
             Err(e) => {
                 if let Err(trunc) = self.file.set_len(self.good_len) {
@@ -396,9 +398,9 @@ impl WalWriter {
     /// group: a failed fsync rolls the record back out (or marks the
     /// writer broken if even that fails), so the commit path never
     /// reports "failed" for a group a later recovery would replay.
-    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<(), StoreError> {
+    pub fn append_group_durable(&mut self, deltas: &[AboxDelta]) -> Result<u64, StoreError> {
         let before = self.good_len;
-        self.append_group(deltas)?;
+        let bytes = self.append_group(deltas)?;
         if let Err(e) = self.sync() {
             match self.file.set_len(before) {
                 Ok(()) => self.good_len = before,
@@ -408,7 +410,7 @@ impl WalWriter {
             }
             return Err(e);
         }
-        Ok(())
+        Ok(bytes)
     }
 }
 

@@ -76,8 +76,8 @@ pub mod prelude {
         certain_answers, eval_over_abox, Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ,
     };
     pub use obda_rdbms::{
-        Backend, DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind, Server,
-        ServerConfig, ServerError, StoreError, Txn,
+        Backend, DurableStore, Engine, EngineProfile, ExplainEstimator, LayoutKind,
+        MetricsEndpoint, MetricsRegistry, Server, ServerConfig, ServerError, StoreError, Txn,
     };
     pub use obda_reform::{
         cover_reformulation, fragment_query, perfect_ref, perfect_ref_pruned, FragmentSpec,

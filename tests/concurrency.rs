@@ -272,3 +272,108 @@ fn parallel_arm_metrics_match_sequential_on_lubm() {
     }
     assert!(multi_arm >= 5, "the workload must exercise real unions");
 }
+
+/// The metrics registry under contention: relaxed atomics may reorder,
+/// but counters must never *lose* increments. Hammer a bare registry
+/// from 8 threads, then replay the workload from 8 clients against one
+/// server, and check both against exact expected totals.
+#[test]
+fn metrics_registry_counts_exactly_under_contention() {
+    use obda::rdbms::MetricsRegistry;
+    use std::time::Duration;
+
+    // Bare registry: 8 threads × 10_000 record calls each.
+    let reg = MetricsRegistry::new();
+    let threads = 8usize;
+    let per_thread = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let reg = &reg;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let backend = if (t as u64 + i) % 2 == 0 {
+                        Backend::Native
+                    } else {
+                        Backend::Sql
+                    };
+                    reg.record_query(backend, Duration::from_micros(i % 500), 3);
+                    reg.record_wal_append(10, false);
+                    reg.record_admission();
+                }
+            });
+        }
+    });
+    let total = threads as u64 * per_thread;
+    assert_eq!(
+        reg.queries_total(Backend::Native) + reg.queries_total(Backend::Sql),
+        total
+    );
+    assert_eq!(reg.rows_returned_total(), total * 3);
+    assert_eq!(reg.wal_appends_total(), total);
+    assert_eq!(reg.wal_bytes_total(), total * 10);
+    assert_eq!(reg.connections_admitted_total(), total);
+    // The histograms saw every observation exactly once.
+    assert_eq!(
+        reg.latency(Backend::Native).count() + reg.latency(Backend::Sql).count(),
+        total
+    );
+
+    // Server replay: every query one thread issues lands in the served
+    // counters exactly once — no lost updates, no double counting.
+    let fx = fixture();
+    let srv = Server::new(
+        fx.onto.voc.clone(),
+        fx.onto.tbox.clone(),
+        &fx.abox,
+        server_config(true, 1),
+    );
+    let mut primed_rows = 0u64;
+    for (_, cq) in &fx.queries {
+        primed_rows += srv.query(cq).unwrap().outcome.rows.len() as u64;
+    }
+    let primed = srv.observe().queries_total(Backend::Native);
+    assert_eq!(
+        primed,
+        fx.queries.len() as u64,
+        "one served query per prime"
+    );
+    let clients = 8usize;
+    let rounds = 2usize;
+    let rows_served = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let srv = &srv;
+            let fx = &*fx;
+            let rows_served = &rows_served;
+            s.spawn(move || {
+                for r in 0..rounds {
+                    for k in 0..fx.queries.len() {
+                        let (_, cq) = &fx.queries[(k + c + r) % fx.queries.len()];
+                        let out = srv.query(cq).unwrap();
+                        rows_served.fetch_add(
+                            out.outcome.rows.len() as u64,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let replayed = (clients * rounds * fx.queries.len()) as u64;
+    let observe = srv.observe();
+    assert_eq!(
+        observe.queries_total(Backend::Native),
+        primed + replayed,
+        "served-query counter must match the exact number of calls"
+    );
+    assert_eq!(
+        observe.latency(Backend::Native).count(),
+        primed + replayed,
+        "latency histogram must see every served query"
+    );
+    assert_eq!(
+        observe.rows_returned_total(),
+        primed_rows + rows_served.load(std::sync::atomic::Ordering::Relaxed),
+        "row counter must equal the rows actually returned"
+    );
+}

@@ -125,3 +125,58 @@ fn reformulation_beats_plain_evaluation() {
         plain.len()
     );
 }
+
+/// Regression: per-arm [`ExecMetrics`] used to report `wall` as zero on
+/// every path (the arm scope computed it as a delta of a counter nobody
+/// advanced), so any consumer summing arm walls — EXPLAIN ANALYZE's
+/// per-arm annotations, the stage traces — saw silence. Arms must now
+/// carry real wall clock, on both the sequential and the parallel
+/// executor, cold and warm.
+#[test]
+fn union_arm_metrics_carry_wall_clock() {
+    use obda::core::Strategy;
+
+    let (onto, abox, _) = small_dataset();
+    for threads in [1usize, 2] {
+        let srv = Server::new(
+            onto.voc.clone(),
+            onto.tbox.clone(),
+            &abox,
+            ServerConfig {
+                reform_strategy: Strategy::Ucq,
+                threads,
+                ..ServerConfig::default()
+            },
+        );
+        let wl = workload(&onto);
+        let q5 = wl.iter().find(|q| q.name == "Q5").unwrap();
+        // Cold, then warm: the cache-hit replay must be as observable as
+        // the miss.
+        let cold = srv.query(&q5.cq).expect("cold Q5");
+        assert!(!cold.cache_hit);
+        let warm = srv.query(&q5.cq).expect("warm Q5");
+        assert!(warm.cache_hit);
+        for (label, out) in [("cold", &cold.outcome), ("warm", &warm.outcome)] {
+            assert!(
+                out.metrics.wall > std::time::Duration::ZERO,
+                "{label} (threads={threads}): total wall must be populated"
+            );
+            assert!(
+                out.arm_metrics.len() > 1,
+                "{label}: Q5's UCQ reformulation has multiple arms"
+            );
+            let arm_wall_sum: std::time::Duration = out.arm_metrics.iter().map(|m| m.wall).sum();
+            assert!(
+                arm_wall_sum > std::time::Duration::ZERO,
+                "{label} (threads={threads}): arm walls must not all be zero"
+            );
+        }
+        // The serving layer surfaced the execute span in the outcome.
+        assert!(warm.spans.execute > std::time::Duration::ZERO);
+        assert_eq!(
+            warm.spans.reformulate,
+            std::time::Duration::ZERO,
+            "a cache hit skips reformulation, and the trace says so"
+        );
+    }
+}

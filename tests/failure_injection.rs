@@ -359,3 +359,88 @@ mod pgwire_fuzz {
         l.shutdown();
     }
 }
+
+/// The Prometheus endpoint is a hand-rolled HTTP responder; feed it the
+/// traffic a port scanner or confused client produces and require that
+/// it (a) never panics and (b) keeps serving well-formed scrapes.
+#[test]
+fn metrics_endpoint_survives_malformed_http() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let kb = KnowledgeBase::parse("A <= B\nA(x)\nr(x, y)").unwrap();
+    let server = Arc::new(Server::new(
+        kb.voc().clone(),
+        kb.tbox().clone(),
+        kb.abox(),
+        ServerConfig::default(),
+    ));
+    let mut endpoint =
+        MetricsEndpoint::bind("127.0.0.1:0", server.clone()).expect("bind ephemeral port");
+    let addr = endpoint.local_addr();
+
+    let scrape = |label: &str| -> String {
+        let mut s = TcpStream::connect(addr).expect(label);
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect(label);
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "{label}: {:?}",
+            response.lines().next()
+        );
+        response
+    };
+    assert!(scrape("initial scrape").contains("obda_queries_total"));
+
+    let hostile: &[(&str, &[u8])] = &[
+        ("binary garbage", b"\x00\xff\x13\x37garbage\r\n\r\n"),
+        ("POST method", b"POST /metrics HTTP/1.1\r\n\r\n"),
+        ("wrong path", b"GET /nope HTTP/1.1\r\n\r\n"),
+        ("empty request", b"\r\n\r\n"),
+        ("bare newlines", b"\n\n"),
+        ("no terminator", b"GET /metrics HTTP/1.1"),
+    ];
+    for (label, bytes) in hostile {
+        let mut s = TcpStream::connect(addr).unwrap_or_else(|e| panic!("{label}: {e}"));
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.write_all(bytes);
+        // The endpoint may answer with an error status or just close;
+        // either way it must not hang past its own deadline or die.
+        let mut response = String::new();
+        let _ = s.read_to_string(&mut response);
+        if !response.is_empty() {
+            assert!(
+                !response.starts_with("HTTP/1.1 200") || *label == "no terminator",
+                "{label} must not be served metrics: {:?}",
+                response.lines().next()
+            );
+        }
+        drop(s);
+        // The next well-formed scrape still works.
+        scrape(label);
+    }
+
+    // A peer that connects and immediately disappears.
+    drop(TcpStream::connect(addr).unwrap());
+    // An oversized request (past the 4KB cap).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(&vec![b'A'; 64 * 1024]);
+        let mut response = String::new();
+        let _ = s.read_to_string(&mut response);
+    }
+    let final_scrape = scrape("final scrape");
+    assert!(final_scrape.contains("obda_panics_recovered_total 0"));
+    endpoint.shutdown();
+    // Shutdown is idempotent and closes the port.
+    endpoint.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "endpoint must stop accepting after shutdown"
+    );
+}

@@ -639,3 +639,231 @@ fn autocommit_mutations_publish_immediately() {
     client.terminate();
     fx.listener.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Observability: SHOW metrics / SHOW slow_queries / EXPLAIN ANALYZE.
+// ---------------------------------------------------------------------------
+
+/// Collect a `SHOW metrics` result into a name → value map.
+fn metrics_map(client: &mut WireClient) -> std::collections::BTreeMap<String, String> {
+    let r = client.simple_query("SHOW metrics").expect("SHOW metrics");
+    assert_eq!(r[0].columns, vec!["metric", "value"]);
+    r[0].rows
+        .iter()
+        .map(|row| (row[0].clone(), row[1].clone()))
+        .collect()
+}
+
+#[test]
+fn show_metrics_reports_served_counters() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+
+    // Serve Q1 under both backends so both per-backend counters move.
+    for backend in ["native", "sql"] {
+        let mut client = WireClient::connect(&addr, &[("backend", backend)]).expect("startup");
+        client.simple_query(Q1_WIRE).expect("Q1 answers");
+        client.terminate();
+    }
+
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+    let m = metrics_map(&mut client);
+    // The fixture itself ran Q1 once in-process, so native >= 2.
+    let native: u64 = m["queries_total.native"].parse().unwrap();
+    let sql: u64 = m["queries_total.sql"].parse().unwrap();
+    assert!(native >= 2, "native counter: {native}");
+    assert!(sql >= 1, "sql counter: {sql}");
+    assert!(m["query_rows_total"].parse::<u64>().unwrap() >= 1);
+    assert!(m["plan_cache_misses"].parse::<u64>().unwrap() >= 1);
+    // Latency histograms saw every served query.
+    assert!(m.contains_key("query_latency_p50_us.native"));
+    assert!(m.contains_key("query_latency_p99_us.sql"));
+    // Connection admission counted this suite's sessions.
+    assert!(m["connections_admitted"].parse::<u64>().unwrap() >= 3);
+    assert_eq!(
+        m["generation"],
+        fx.server.snapshot().generation().to_string()
+    );
+    // Cost-model accuracy counters moved on the native path.
+    assert!(m["cost_predicted_units"].parse::<f64>().unwrap() > 0.0);
+    assert!(m["cost_measured_units"].parse::<f64>().unwrap() > 0.0);
+
+    // SHOW statements themselves are not queries: a second SHOW must
+    // not move the query counters.
+    let m2 = metrics_map(&mut client);
+    assert_eq!(m2["queries_total.native"], m["queries_total.native"]);
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn show_slow_queries_ranks_statements_by_latency() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+
+    for _ in 0..3 {
+        client.simple_query(Q1_WIRE).expect("Q1 answers");
+    }
+    let r = client
+        .simple_query("SHOW slow_queries")
+        .expect("SHOW slow_queries");
+    assert_eq!(
+        r[0].columns,
+        vec![
+            "trace_id",
+            "total_us",
+            "parse_us",
+            "reformulate_us",
+            "plan_us",
+            "sqlgen_us",
+            "execute_us",
+            "serialize_us",
+            "backend",
+            "cache_hit",
+            "generation",
+            "rows",
+            "query"
+        ]
+    );
+    assert!(
+        r[0].rows.len() >= 3,
+        "the ring must hold the statements just served, got {}",
+        r[0].rows.len()
+    );
+    // Slowest-first ordering, nonzero totals, query text captured.
+    let totals: Vec<u64> = r[0]
+        .rows
+        .iter()
+        .map(|row| row[1].parse().expect("total_us is numeric"))
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "slow queries must be sorted slowest-first: {totals:?}"
+    );
+    assert!(totals[0] > 0, "a served statement takes measurable time");
+    for row in &r[0].rows {
+        assert!(
+            row[12].contains("SELECT"),
+            "query text captured: {:?}",
+            row[12]
+        );
+        assert!(
+            matches!(row[9].as_str(), "t" | "f"),
+            "cache_hit renders as t/f"
+        );
+    }
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+#[test]
+fn explain_analyze_prices_and_measures_under_both_backends() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+
+    for backend in ["native", "sql"] {
+        let mut client = WireClient::connect(&addr, &[("backend", backend)]).expect("startup");
+        let stmt = format!("EXPLAIN ANALYZE {Q1_WIRE}");
+        let r = client.simple_query(&stmt).expect("EXPLAIN ANALYZE answers");
+        assert_eq!(r[0].columns, vec!["QUERY PLAN"]);
+        assert!(r[0].tag.starts_with("EXPLAIN"), "tag: {}", r[0].tag);
+        let plan = r[0]
+            .rows
+            .iter()
+            .map(|row| row[0].clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(plan.contains(&format!("backend={backend}")), "{plan}");
+        assert!(plan.contains("predicted: total_cost="), "{plan}");
+        assert!(plan.contains("measured: work_units="), "{plan}");
+
+        // The second run replays the *cached* compilation — the plan a
+        // plain query would run — and says so.
+        let r = client.simple_query(&stmt).expect("cached EXPLAIN ANALYZE");
+        let plan = r[0]
+            .rows
+            .iter()
+            .map(|row| row[0].clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(plan.contains("cache_hit=true"), "{plan}");
+        client.terminate();
+    }
+    fx.listener.shutdown();
+}
+
+#[test]
+fn explain_analyze_handles_ask_and_refuses_transactions() {
+    let mut fx = fixture(PgConfig::default());
+    let addr = fx.listener.local_addr();
+    let mut client = WireClient::connect(&addr, &[]).expect("startup");
+
+    // ASK bodies price and measure like SELECT.
+    let r = client
+        .simple_query("EXPLAIN ANALYZE ASK WHERE Student(?x)")
+        .expect("EXPLAIN ANALYZE ASK");
+    assert_eq!(r[0].columns, vec!["QUERY PLAN"]);
+
+    // Inside a transaction block the overlay engine would poison the
+    // shared plan cache: refused with a typed feature error.
+    client.simple_query("BEGIN").expect("BEGIN");
+    expect_sqlstate(
+        client.simple_query(&format!("EXPLAIN ANALYZE {Q1_WIRE}")),
+        "0A000",
+    );
+    client.simple_query("ROLLBACK").expect("ROLLBACK");
+    // Back out of the block it answers again.
+    assert!(client
+        .simple_query(&format!("EXPLAIN ANALYZE {Q1_WIRE}"))
+        .is_ok());
+    client.terminate();
+    fx.listener.shutdown();
+}
+
+/// The acceptance sweep: EXPLAIN ANALYZE answers on every layout × both
+/// backends, always reporting a priced plan and measured work.
+#[test]
+fn explain_analyze_covers_all_layouts_and_backends() {
+    let mut onto = obda::lubm::UnivOntology::build();
+    let (abox, _) = generate(
+        &mut onto,
+        &GenConfig {
+            target_facts: 400,
+            ..Default::default()
+        },
+    );
+    for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+        let server = Arc::new(Server::new(
+            onto.voc.clone(),
+            onto.tbox.clone(),
+            &abox,
+            ServerConfig {
+                layout,
+                reform_strategy: Strategy::CrootJucq,
+                ..ServerConfig::default()
+            },
+        ));
+        let mut listener = PgListener::bind("127.0.0.1:0", server, PgConfig::default())
+            .expect("bind ephemeral port");
+        let addr = listener.local_addr();
+        for backend in ["native", "sql"] {
+            let mut client = WireClient::connect(&addr, &[("backend", backend)]).expect("startup");
+            let r = client
+                .simple_query("EXPLAIN ANALYZE SELECT ?x WHERE Student(?x), takesCourse(?x, ?y)")
+                .unwrap_or_else(|e| panic!("EXPLAIN ANALYZE on {layout:?}/{backend}: {e}"));
+            let plan = r[0]
+                .rows
+                .iter()
+                .map(|row| row[0].clone())
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert!(
+                plan.contains("predicted: total_cost=") && plan.contains("measured: work_units="),
+                "{layout:?}/{backend}: {plan}"
+            );
+            client.terminate();
+        }
+        listener.shutdown();
+    }
+}
