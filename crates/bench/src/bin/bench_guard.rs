@@ -17,6 +17,12 @@
 //! the metrics registry must cost < 5% warm QPS (override via
 //! `OBDA_METRICS_TOLERANCE`, a fraction). Absent keys skip the check —
 //! older baselines predate the pair.
+//!
+//! And the §6.3 rescue: when the current run carries the
+//! `constraint_prune` section, `q13_dph_answerable` must be 1 — the
+//! pruned Q13 root-cover statement fits the DB2-like limit on the DPH
+//! layout and returns the reference rows. Absent section skips the
+//! check (runs that didn't execute the constraint_prune bench).
 
 use std::path::Path;
 
@@ -85,6 +91,39 @@ fn main() {
             }
         }
         _ => println!("metrics overhead: not measured in {current_path}, skipping"),
+    }
+
+    // Constraint-pruning answerability gate on the current run, when
+    // the constraint_prune bench ran.
+    match benchjson::read_num(
+        Path::new(current_path),
+        "constraint_prune",
+        "q13_dph_answerable",
+    ) {
+        Some(v) => {
+            let off = benchjson::read_num(
+                Path::new(current_path),
+                "constraint_prune",
+                "q13_dph_sql_bytes_off",
+            )
+            .unwrap_or(0.0);
+            let on = benchjson::read_num(
+                Path::new(current_path),
+                "constraint_prune",
+                "q13_dph_sql_bytes_on",
+            )
+            .unwrap_or(0.0);
+            println!(
+                "constraint pruning: Q13 DPH statement {off:.0} -> {on:.0} bytes, answerable={v:.0}"
+            );
+            if v != 1.0 {
+                eprintln!(
+                    "FAIL: DPH Q13 is not answerable under the DB2 statement limit with pruning on"
+                );
+                std::process::exit(1);
+            }
+        }
+        None => println!("constraint pruning: not measured in {current_path}, skipping"),
     }
 
     println!(

@@ -3,9 +3,10 @@
 
 use std::time::Duration;
 
+use obda_dllite::constraints::ConstraintSet;
 use obda_dllite::{Dependencies, TBox};
 use obda_query::{minimize_ucq, FolQuery, CQ};
-use obda_reform::perfect_ref_pruned;
+use obda_reform::{perfect_ref_pruned, prune_fol, PruneStats};
 
 use crate::cost::CostEstimator;
 use crate::cover::Cover;
@@ -44,6 +45,9 @@ pub struct Chosen {
     pub est_cost: Option<f64>,
     /// Search statistics if a search ran.
     pub search: Option<SearchStats>,
+    /// Constraint-pruning statistics, when a [`ConstraintSet`] was
+    /// supplied (see [`choose_reformulation_constrained`]).
+    pub pruned: Option<PruneStats>,
 }
 
 /// Compact search statistics (mirrors [`SearchOutcome`]).
@@ -82,18 +86,53 @@ pub fn choose_reformulation(
     estimator: &dyn CostEstimator,
     strategy: &Strategy,
 ) -> Chosen {
+    choose_reformulation_constrained(q, tbox, deps, estimator, strategy, None)
+}
+
+/// [`choose_reformulation`] with an optional snapshot [`ConstraintSet`]:
+/// when supplied, provably-empty and data-subsumed union arms are pruned
+/// from UCQ/JUCQ shapes *after* strategy selection and *before* SQL
+/// generation — the Hovland-style statement-size rescue. The pruned plan
+/// is only valid for the generation the constraints were mined from;
+/// callers cache it under that generation.
+pub fn choose_reformulation_constrained(
+    q: &CQ,
+    tbox: &TBox,
+    deps: &Dependencies,
+    estimator: &dyn CostEstimator,
+    strategy: &Strategy,
+    constraints: Option<&ConstraintSet>,
+) -> Chosen {
+    let mut chosen = choose_unpruned(q, tbox, deps, estimator, strategy);
+    if let Some(cons) = constraints {
+        let (fol, stats) = prune_fol(&chosen.fol, cons);
+        chosen.fol = fol;
+        chosen.pruned = Some(stats);
+    }
+    chosen
+}
+
+fn choose_unpruned(
+    q: &CQ,
+    tbox: &TBox,
+    deps: &Dependencies,
+    estimator: &dyn CostEstimator,
+    strategy: &Strategy,
+) -> Chosen {
     match strategy {
         Strategy::Ucq => Chosen {
             fol: FolQuery::Ucq(minimize_ucq(&perfect_ref_pruned(q, tbox))),
             cover: None,
             est_cost: None,
             search: None,
+            pruned: None,
         },
         Strategy::RawUcq => Chosen {
             fol: FolQuery::Ucq(perfect_ref_pruned(q, tbox)),
             cover: None,
             est_cost: None,
             search: None,
+            pruned: None,
         },
         Strategy::Uscq => Chosen {
             fol: FolQuery::Uscq(obda_reform::factorize_ucq(&minimize_ucq(
@@ -102,6 +141,7 @@ pub fn choose_reformulation(
             cover: None,
             est_cost: None,
             search: None,
+            pruned: None,
         },
         Strategy::CrootJucq => {
             let analysis = QueryAnalysis::new(q, deps);
@@ -113,6 +153,7 @@ pub fn choose_reformulation(
                 cover: Some(croot),
                 est_cost: None,
                 search: None,
+                pruned: None,
             }
         }
         Strategy::Gdl { time_budget } => {
@@ -127,6 +168,7 @@ pub fn choose_reformulation(
                 cover: Some(out.cover.clone()),
                 est_cost: Some(out.cost),
                 search: Some(SearchStats::from(&out)),
+                pruned: None,
             }
         }
         Strategy::Edl { cap } => {
@@ -137,6 +179,7 @@ pub fn choose_reformulation(
                 cover: Some(out.cover.clone()),
                 est_cost: Some(out.cost),
                 search: Some(SearchStats::from(&out)),
+                pruned: None,
             }
         }
     }

@@ -24,6 +24,7 @@ pub mod axiom;
 pub mod bitset;
 pub mod chase;
 pub mod consistency;
+pub mod constraints;
 pub mod delta;
 pub mod deps;
 pub mod expr;
@@ -40,6 +41,7 @@ pub use axiom::{Axiom, ConceptInclusion, RoleInclusion};
 pub use bitset::BitSet;
 pub use chase::{chase, ChaseFact, ChaseInstance, ChaseTerm};
 pub use consistency::{check_consistency, is_consistent, Violation};
+pub use constraints::{ConstraintSet, Extents, MiningStats};
 pub use delta::AboxDelta;
 pub use deps::Dependencies;
 pub use expr::{BasicConcept, Role};

@@ -76,6 +76,23 @@ impl TBoxClosure {
         self.neg_role.contains(&(r1, r2))
     }
 
+    /// All entailed positive concept inclusions (the non-reflexive ones).
+    /// The constraint miner walks these: they are exactly the
+    /// specialization edges PerfectRef can introduce between union arms,
+    /// so data-level extent comparisons outside this set can never be
+    /// consulted by constraint-driven pruning.
+    pub fn positive_concept_inclusions(
+        &self,
+    ) -> impl Iterator<Item = (BasicConcept, BasicConcept)> + '_ {
+        self.pos_concept.iter().copied()
+    }
+
+    /// All entailed positive role inclusions (both orientations, as
+    /// stored).
+    pub fn positive_role_inclusions(&self) -> impl Iterator<Item = (Role, Role)> + '_ {
+        self.pos_role.iter().copied()
+    }
+
     /// All entailed negative concept inclusions (used by consistency
     /// checking via reformulation).
     pub fn negative_concept_inclusions(

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use obda_dllite::{ABox, AboxDelta, ConceptId, IndividualId, RoleId, Vocabulary};
+use obda_dllite::{ABox, AboxDelta, ConceptId, Extents, IndividualId, RoleId, Vocabulary};
 use obda_query::FolQuery;
 
 use std::collections::BTreeSet;
@@ -242,6 +242,35 @@ impl Engine {
     pub fn probe_role(&self, r: RoleId, a: IndividualId, b: IndividualId) -> bool {
         let mut m = Meter::new(&self.profile);
         self.storage.probe_role(r, a.0, b.0, &mut m)
+    }
+
+    /// Materialize the stored predicate extents for constraint mining
+    /// (`ConstraintSet::mine`). Zero-cardinality predicates get **no**
+    /// entry — their absence is exactly what mining reads as emptiness.
+    /// Metered against a scratch meter: mining is snapshot bookkeeping,
+    /// not part of any query's cost accounting.
+    pub fn extract_extents(&self, voc: &Vocabulary) -> Extents {
+        let mut m = Meter::new(&self.profile);
+        let mut ext = Extents::default();
+        for c in voc.concept_ids() {
+            if self.stats().concept_card(c.0) == 0 {
+                continue;
+            }
+            let set = ext.concepts.entry(c).or_default();
+            self.storage.for_each_concept(c, &mut m, &mut |a| {
+                set.insert(a);
+            });
+        }
+        for r in voc.role_ids() {
+            if self.stats().role_card(r.0) == 0 {
+                continue;
+            }
+            let set = ext.roles.entry(r).or_default();
+            self.storage.for_each_role(r, &mut m, &mut |a, b| {
+                set.insert((a, b));
+            });
+        }
+        ext
     }
 
     /// The SQL translation of a query under this engine's layout.

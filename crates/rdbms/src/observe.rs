@@ -255,6 +255,10 @@ pub struct MetricsRegistry {
     conns_admitted: AtomicU64,
     conns_rejected: AtomicU64,
     panics_recovered: AtomicU64,
+    /// Union arms dropped by constraint-driven pruning, split by reason
+    /// (provably empty vs data-subsumed).
+    pruned_arms_empty: AtomicU64,
+    pruned_arms_subsumed: AtomicU64,
     /// Admission bar for the ring: total µs of the ring's fastest entry
     /// once full (`0` while the ring has room).
     slow_threshold_micros: AtomicU64,
@@ -301,6 +305,8 @@ impl MetricsRegistry {
             conns_admitted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
             panics_recovered: AtomicU64::new(0),
+            pruned_arms_empty: AtomicU64::new(0),
+            pruned_arms_subsumed: AtomicU64::new(0),
             slow_threshold_micros: AtomicU64::new(0),
             slow: Mutex::new(Vec::new()),
             slow_log_micros: AtomicU64::new(u64::MAX),
@@ -348,6 +354,18 @@ impl MetricsRegistry {
         if self.is_enabled() {
             self.query_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record one cold compilation's constraint-pruning outcome: union
+    /// arms dropped as provably empty and as data-subsumed.
+    pub fn record_pruned_arms(&self, empty: usize, subsumed: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.pruned_arms_empty
+            .fetch_add(empty as u64, Ordering::Relaxed);
+        self.pruned_arms_subsumed
+            .fetch_add(subsumed as u64, Ordering::Relaxed);
     }
 
     /// Accumulate one cost-model accuracy sample: the plan's predicted
@@ -529,6 +547,15 @@ impl MetricsRegistry {
     pub fn panics_recovered_total(&self) -> u64 {
         self.panics_recovered.load(Ordering::Relaxed)
     }
+
+    /// Union arms dropped by constraint-driven pruning, as
+    /// `(provably_empty, data_subsumed)`.
+    pub fn pruned_arms_total(&self) -> (u64, u64) {
+        (
+            self.pruned_arms_empty.load(Ordering::Relaxed),
+            self.pruned_arms_subsumed.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// One structured stderr line per over-threshold statement; key=value so
@@ -664,6 +691,22 @@ pub fn render_prometheus(server: &Server) -> String {
     );
     let _ = writeln!(out, "# TYPE obda_plan_cache_entries gauge");
     let _ = writeln!(out, "obda_plan_cache_entries {}", cache.entries);
+
+    // Constraint-driven reformulation pruning, by reason.
+    let (pruned_empty, pruned_subsumed) = reg.pruned_arms_total();
+    let _ = writeln!(
+        out,
+        "# HELP obda_pruned_arms_total Union arms dropped by constraint-driven pruning."
+    );
+    let _ = writeln!(out, "# TYPE obda_pruned_arms_total counter");
+    let _ = writeln!(
+        out,
+        "obda_pruned_arms_total{{reason=\"empty\"}} {pruned_empty}"
+    );
+    let _ = writeln!(
+        out,
+        "obda_pruned_arms_total{{reason=\"subsumed\"}} {pruned_subsumed}"
+    );
 
     // Transactions.
     let txn = server.txn_stats();

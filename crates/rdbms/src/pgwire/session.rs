@@ -1011,6 +1011,15 @@ fn render_explain(analyzed: &AnalyzedQuery) -> Rendered {
         analyzed.cache_hit,
         analyzed.generation,
     ));
+    if let Some(p) = &analyzed.pruned {
+        lines.push(format!(
+            "constraints: arms_pruned={} (empty={} subsumed={}) kept={}",
+            p.total_pruned(),
+            p.empty_pruned,
+            p.subsumed_pruned,
+            p.kept,
+        ));
+    }
     lines.push(format!(
         "predicted: total_cost={:.1}",
         analyzed.explain.total_cost

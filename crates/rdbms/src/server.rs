@@ -57,12 +57,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock, TryLockError};
 use std::time::Instant;
 
-use obda_core::{choose_reformulation, Strategy};
+use obda_core::{choose_reformulation_constrained, PruneStats, Strategy};
 use obda_dllite::{
-    ABox, AboxDelta, ConceptId, Dependencies, IndividualId, RoleId, TBox, Vocabulary, WorkingSet,
+    ABox, AboxDelta, ConceptId, ConstraintSet, Dependencies, IndividualId, RoleId, TBox,
+    TBoxClosure, Vocabulary, WorkingSet,
 };
 use obda_query::{canonical_key, CanonKey, FolQuery, CQ};
 
@@ -184,6 +185,16 @@ pub struct ServerConfig {
     /// store's flush-on-append contract (the per-group fsync is the
     /// dominant commit cost on real disks).
     pub sync_commits: bool,
+    /// Constraint-driven reformulation pruning: mine ABox completeness
+    /// constraints per snapshot generation and drop provably-empty and
+    /// data-subsumed union arms before SQL generation (Hovland et al.,
+    /// arXiv 1605.04263). Answers are unchanged — the differential
+    /// harness runs both settings and compares — but oversized
+    /// statements (the §6.3 DPH failure mode) shrink to servable ones.
+    /// Constraints are cached on the [`EngineSnapshot`], so every write
+    /// path invalidates them with the same generation swap that
+    /// invalidates plans.
+    pub use_constraints: bool,
 }
 
 impl Default for ServerConfig {
@@ -199,6 +210,7 @@ impl Default for ServerConfig {
             cache_plans: true,
             compact_every: 256,
             sync_commits: false,
+            use_constraints: true,
         }
     }
 }
@@ -216,6 +228,16 @@ pub struct EngineSnapshot {
     /// queries and to render result rows as names.
     pub(crate) voc: Arc<Vocabulary>,
     pub(crate) generation: u64,
+    /// ABox completeness constraints mined lazily from *this*
+    /// generation's storage, used to prune reformulations. The cell
+    /// lives on the snapshot itself, so invalidation is structural:
+    /// every write path — bulk reload, `apply_batch`, committed
+    /// transactions — publishes a fresh snapshot with a fresh (empty)
+    /// cell, and a constraint mined from generation `g` can never be
+    /// consulted by a query compiled against generation `g+1`. This is
+    /// the same lifetime discipline as the plan cache, whose keys embed
+    /// the generation.
+    pub(crate) constraints: OnceLock<Arc<ConstraintSet>>,
 }
 
 impl EngineSnapshot {
@@ -235,6 +257,19 @@ impl EngineSnapshot {
     pub fn generation(&self) -> u64 {
         self.generation
     }
+
+    /// The completeness constraints of this generation's data, mined on
+    /// first use and shared by every subsequent compilation against the
+    /// generation (cheap `Arc` clone).
+    pub fn constraints(&self) -> Arc<ConstraintSet> {
+        self.constraints
+            .get_or_init(|| {
+                let closure = TBoxClosure::compute(&self.tbox);
+                let extents = self.engine.extract_extents(&self.voc);
+                Arc::new(ConstraintSet::mine(&closure, &extents))
+            })
+            .clone()
+    }
 }
 
 /// A cached compilation: the chosen FOL reformulation, its stored
@@ -253,6 +288,10 @@ pub struct CompiledQuery {
     /// plan / sqlgen). A cache hit does not replay this work, so its
     /// [`ServerOutcome::spans`] report these stages as zero.
     pub spans: StageSpans,
+    /// Constraint-pruning statistics, when the server compiled with
+    /// [`ServerConfig::use_constraints`] (None otherwise). Cached with
+    /// the plan: the pruned shape *is* the cached shape.
+    pub pruned: Option<PruneStats>,
 }
 
 /// The answer to one served query.
@@ -283,6 +322,9 @@ pub struct AnalyzedQuery {
     pub backend: Backend,
     /// Per-stage spans of this call (see [`ServerOutcome::spans`]).
     pub spans: StageSpans,
+    /// Constraint-pruning statistics of the compilation this analysis
+    /// replayed (None when pruning was disabled).
+    pub pruned: Option<PruneStats>,
 }
 
 /// Point-in-time cache counters.
@@ -561,6 +603,7 @@ impl Server {
             deps,
             voc: Arc::new(voc.clone()),
             generation,
+            constraints: OnceLock::new(),
         }
     }
 
@@ -775,13 +818,19 @@ impl Server {
         let mut spans = StageSpans::default();
         let stage_started = Instant::now();
         let estimator = ExplainEstimator::new(&snap.engine);
-        let chosen = choose_reformulation(
+        let constraints = self.config.use_constraints.then(|| snap.constraints());
+        let chosen = choose_reformulation_constrained(
             cq,
             &snap.tbox,
             &snap.deps,
             &estimator,
             &self.config.reform_strategy,
+            constraints.as_deref(),
         );
+        if let Some(stats) = &chosen.pruned {
+            self.observe
+                .record_pruned_arms(stats.empty_pruned, stats.subsumed_pruned);
+        }
         spans.reformulate = stage_started.elapsed();
         let stage_started = Instant::now();
         // Native plans are meaningless to the SQL backend (its
@@ -815,6 +864,7 @@ impl Server {
             sql_bytes,
             sql,
             spans,
+            pruned: chosen.pruned,
         }
     }
 
@@ -1053,6 +1103,10 @@ impl Server {
             deps: cur.deps.clone(),
             voc,
             generation,
+            // Fresh cell: constraints mined from the pre-delta data are
+            // unreachable from this generation (same discipline as the
+            // generation-keyed plan cache).
+            constraints: OnceLock::new(),
         });
         self.swap_snapshot(next, generation);
         // Prune the conflict registry below every open transaction's
@@ -1262,6 +1316,7 @@ impl Server {
             generation: snap.generation,
             backend,
             spans,
+            pruned: compiled.pruned,
         })
     }
 

@@ -21,8 +21,12 @@
 //! random query generators in `obda_query::testkit`) at the new code
 //! path.
 
-use obda_dllite::{ABox, AboxDelta, Vocabulary};
-use obda_query::{eval_over_abox, FolQuery};
+use obda_core::{
+    choose_reformulation, choose_reformulation_constrained, prune_ucq, Strategy,
+    StructuralEstimator,
+};
+use obda_dllite::{ABox, AboxDelta, ConstraintSet, Dependencies, TBox, Vocabulary};
+use obda_query::{eval_over_abox, FolQuery, CQ, UCQ};
 
 use crate::engine::{Engine, EvalOptions, QueryOutcome};
 use crate::executor::Row;
@@ -171,6 +175,172 @@ pub fn differential_check(voc: &Vocabulary, abox: &ABox, q: &FolQuery, context: 
     want
 }
 
+/// The reformulation strategies the constraints parity harness sweeps:
+/// the plain UCQ route and the fixed root-cover JUCQ route — the two
+/// shapes [`obda_core::prune_fol`] rewrites.
+pub const PARITY_STRATEGIES: [Strategy; 2] = [Strategy::Ucq, Strategy::CrootJucq];
+
+/// The **constraints parity phase** of the differential harness: prove
+/// that constraint-driven pruning is invisible in the answers.
+///
+/// Starting from a *conjunctive* query (pruning happens during
+/// reformulation, so the harness must own that step), for each of
+/// [`PARITY_STRATEGIES`]:
+///
+/// 1. reformulate **without** constraints and **with** constraints
+///    mined from `abox` (the same mining the serving layer runs per
+///    snapshot generation);
+/// 2. assert the two reformulations are reference-evaluator
+///    row-identical — pruning never changes the answer relation;
+/// 3. for the UCQ shape, re-derive the pruned arms and assert each
+///    **empty-pruned** arm really evaluates to zero rows and each
+///    **subsumed-pruned** arm's rows are already contained in the
+///    pruned union's rows — no arm is dropped on a false proof;
+/// 4. execute both reformulations under every storage layout on the
+///    native **and** SQL backends, asserting every execution returns
+///    the reference row set.
+///
+/// Returns the canonical sorted rows (identical across strategies).
+pub fn differential_constraints_check(
+    voc: &Vocabulary,
+    tbox: &TBox,
+    abox: &ABox,
+    cq: &CQ,
+    context: &str,
+) -> Vec<Row> {
+    let deps = Dependencies::compute(voc, tbox);
+    let cons = ConstraintSet::mine_from_abox(tbox, abox);
+    assert!(
+        cons.holds_on(abox),
+        "{context}: mined constraints must hold on the ABox they came from"
+    );
+    let mut canonical: Option<Vec<Row>> = None;
+    for strategy in &PARITY_STRATEGIES {
+        let off = choose_reformulation(cq, tbox, &deps, &StructuralEstimator, strategy);
+        let on = choose_reformulation_constrained(
+            cq,
+            tbox,
+            &deps,
+            &StructuralEstimator,
+            strategy,
+            Some(&cons),
+        );
+        let want = reference_rows(abox, &off.fol);
+        let got = reference_rows(abox, &on.fol);
+        assert_eq!(
+            got, want,
+            "{context}: pruning changed the answer relation under {strategy:?}"
+        );
+        let stats = on.pruned.expect("constrained reformulation reports stats");
+        assert!(
+            stats.kept >= 1 || stats.arms_in == 0,
+            "{context}: pruning must never empty a union ({stats:?})"
+        );
+
+        // Arm-level soundness, on the shape where arms are addressable.
+        if let FolQuery::Ucq(ucq) = &off.fol {
+            let pruned = prune_ucq(ucq, &cons);
+            assert_eq!(
+                pruned.stats(),
+                stats,
+                "{context}: prune_ucq and choose_reformulation_constrained disagree"
+            );
+            for arm in &pruned.empty_arms {
+                let rows = reference_rows(abox, &FolQuery::Ucq(UCQ::single(arm.clone())));
+                assert!(
+                    rows.is_empty(),
+                    "{context}: arm pruned as provably empty has {} rows: {arm:?}",
+                    rows.len()
+                );
+            }
+            for arm in &pruned.subsumed_arms {
+                for row in reference_rows(abox, &FolQuery::Ucq(UCQ::single(arm.clone()))) {
+                    assert!(
+                        want.contains(&row),
+                        "{context}: arm pruned as subsumed contributes unseen row {row:?}: {arm:?}"
+                    );
+                }
+            }
+        }
+
+        // Execution parity: every layout, native and SQL backends, both
+        // reformulations — all equal to the reference rows.
+        for layout in ALL_LAYOUTS {
+            let engine = Engine::load(abox, voc, layout, EngineProfile::pg_like());
+            let sql_engine = engine.clone().with_backend(Backend::Sql);
+            for (tag, fol) in [("off", &off.fol), ("on", &on.fol)] {
+                for (backend, eng) in [("native", &engine), ("sql", &sql_engine)] {
+                    let mut rows = eng
+                        .evaluate(fol)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{context}: constraints={tag} failed under \
+                                 {layout:?}/{backend}/{strategy:?}: {e}"
+                            )
+                        })
+                        .rows;
+                    rows.sort();
+                    assert_eq!(
+                        rows, want,
+                        "{context}: constraints={tag} row-set mismatch under \
+                         {layout:?}/{backend}/{strategy:?}"
+                    );
+                }
+            }
+        }
+        if let Some(prev) = &canonical {
+            assert_eq!(prev, &want, "{context}: strategies disagree on answers");
+        } else {
+            canonical = Some(want);
+        }
+    }
+    canonical.unwrap_or_default()
+}
+
+/// The **constraint invalidation phase**: prove that ABox mutation
+/// re-mines rather than reuses constraints.
+///
+/// Mines constraints from the pre-delta state, applies `delta`, and
+/// asserts (a) whenever the old constraints no longer hold on the
+/// mutated data the freshly-mined set differs from the stale one, and
+/// (b) pruning with the *fresh* set is answer-preserving on the mutated
+/// state across [`PARITY_STRATEGIES`], all layouts, and both backends —
+/// i.e. the serving layer's mine-per-generation discipline is the
+/// correct one. Returns the canonical sorted rows over the mutated
+/// state.
+pub fn differential_constraints_mutation_check(
+    voc: &Vocabulary,
+    tbox: &TBox,
+    abox: &ABox,
+    delta: &AboxDelta,
+    cq: &CQ,
+    context: &str,
+) -> Vec<Row> {
+    let stale = ConstraintSet::mine_from_abox(tbox, abox);
+    let mut voc2 = voc.clone();
+    for name in &delta.new_individuals {
+        voc2.individual(name);
+    }
+    let mut mutated = abox.clone();
+    mutated.apply(delta);
+    let fresh = ConstraintSet::mine_from_abox(tbox, &mutated);
+    assert!(
+        fresh.holds_on(&mutated),
+        "{context}: freshly mined constraints must hold on the mutated ABox"
+    );
+    // `holds_on` is the staleness oracle. A violated stale set can never
+    // equal the fresh one (`fresh` holds where `stale` does not), and —
+    // since the empty set vacuously holds everywhere — it necessarily
+    // carried real constraints the delta just broke.
+    if !stale.holds_on(&mutated) {
+        assert!(
+            !stale.is_empty(),
+            "{context}: an empty constraint set cannot be violated"
+        );
+    }
+    differential_constraints_check(&voc2, tbox, &mutated, cq, context)
+}
+
 /// The **mutation phase** of the differential harness: apply a delta
 /// batch *incrementally* to engines loaded from `abox`, and assert they
 /// are indistinguishable — on answers under every strategy, and on
@@ -302,7 +472,9 @@ pub fn assert_arm_metrics_sum(q: &FolQuery, out: &QueryOutcome, context: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obda_query::testkit::{random_abox, random_fol_query, random_tbox, KbShape, Rng};
+    use obda_query::testkit::{
+        random_abox, random_connected_cq, random_delta, random_fol_query, random_tbox, KbShape, Rng,
+    };
 
     /// The harness on randomized inputs — the in-crate version of the
     /// workspace `tests/differential.rs` suite.
@@ -317,6 +489,52 @@ mod tests {
                 let q = random_fol_query(&mut rng, &voc, 3);
                 differential_check(&voc, &abox, &q, &format!("seed {seed}.{k}"));
             }
+        }
+    }
+
+    /// The constraints parity harness on randomized KBs and CQs — the
+    /// in-crate version of the workspace proptest suite.
+    #[test]
+    fn randomized_constraints_parity_smoke() {
+        let shape = KbShape::default();
+        for seed in 0..10u64 {
+            let mut rng = Rng::new(1000 + seed);
+            let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+            let abox = random_abox(&mut rng, &mut voc, &shape);
+            for k in 0..2 {
+                let atoms = 1 + rng.below(3);
+                let cq = random_connected_cq(&mut rng, &voc, atoms, 2);
+                differential_constraints_check(
+                    &voc,
+                    &tbox,
+                    &abox,
+                    &cq,
+                    &format!("constraints seed {seed}.{k}"),
+                );
+            }
+        }
+    }
+
+    /// Constraint invalidation under random mutation: stale constraints
+    /// are detected by `holds_on` and fresh ones stay answer-preserving.
+    #[test]
+    fn randomized_constraints_mutation_smoke() {
+        let shape = KbShape::default();
+        for seed in 0..10u64 {
+            let mut rng = Rng::new(2000 + seed);
+            let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+            let abox = random_abox(&mut rng, &mut voc, &shape);
+            let delta = random_delta(&mut rng, &voc, &abox, 8, seed as usize);
+            let atoms = 1 + rng.below(3);
+            let cq = random_connected_cq(&mut rng, &voc, atoms, 2);
+            differential_constraints_mutation_check(
+                &voc,
+                &tbox,
+                &abox,
+                &delta,
+                &cq,
+                &format!("constraints mutation seed {seed}"),
+            );
         }
     }
 }

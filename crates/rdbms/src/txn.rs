@@ -244,6 +244,11 @@ impl<'s> Txn<'s> {
             deps: base.deps.clone(),
             voc: Arc::new(voc),
             generation: base.generation,
+            // Fresh cell, NOT the base snapshot's: this overlay contains
+            // the transaction's own uncommitted writes, so constraints
+            // mined from the base data could wrongly prune arms over
+            // predicates this transaction just populated.
+            constraints: std::sync::OnceLock::new(),
         });
         self.overlay = Some((self.ws.version(), Arc::clone(&snap)));
         snap

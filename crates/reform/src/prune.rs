@@ -1,0 +1,515 @@
+//! Constraint-driven pruning of reformulations (Hovland et al.,
+//! arXiv 1605.04263, adapted to the cover-based pipeline).
+//!
+//! A UCQ reformulation unions every TBox-entailed specialization of the
+//! input CQ, because the data may be incomplete. Given a
+//! [`ConstraintSet`] mined from the *actual* snapshot, two kinds of arms
+//! are provably redundant on that snapshot:
+//!
+//! * **provably empty** — an arm mentioning a predicate whose extent is
+//!   empty can return no rows;
+//! * **data-subsumed** — an arm whose answers are contained in a
+//!   retained arm's answers *on any database satisfying the
+//!   constraints*, witnessed by a constraint-relaxed homomorphism
+//!   ([`data_contained`]).
+//!
+//! Both checks are per-snapshot facts, so pruned plans are only valid
+//! for the generation whose constraints produced them — the serving
+//! layer guarantees this by caching plans and constraints under the
+//! same generation key.
+//!
+//! Soundness of [`data_contained`]`(sub, keeper, cons)`: it searches for
+//! a map `h` from `keeper`'s variables to `sub`'s terms such that heads
+//! agree positionally and every `keeper` atom `a` is *covered* by some
+//! `sub` atom `t` — satisfaction of `t` implies satisfaction of `h(a)`
+//! under the mined extent inclusions (with inverse-role position swaps,
+//! and concept↔role crossings through `∃R`/`∃R⁻` extents). For any row
+//! of `sub` with witness assignment `σ`, `σ∘h` (extended with the
+//! existential witnesses the `∃`-coverages provide for `keeper`'s
+//! unbound variables) then satisfies `keeper` with the same head row —
+//! so dropping `sub` loses nothing. With an empty constraint set the
+//! relation degenerates to the classic homomorphism containment used by
+//! UCQ minimization.
+
+use std::collections::HashMap;
+
+use obda_dllite::constraints::ConstraintSet;
+use obda_dllite::{BasicConcept, Role};
+use obda_query::{Atom, FolQuery, Term, VarId, CQ, JUCQ, UCQ};
+
+/// Counters from one pruning pass (surfaced by EXPLAIN, the metrics
+/// registry, and the benches).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Union arms examined.
+    pub arms_in: usize,
+    /// Arms dropped because a predicate's extent is empty.
+    pub empty_pruned: usize,
+    /// Arms dropped because a retained arm data-subsumes them.
+    pub subsumed_pruned: usize,
+    /// Arms kept.
+    pub kept: usize,
+}
+
+impl PruneStats {
+    pub fn total_pruned(&self) -> usize {
+        self.empty_pruned + self.subsumed_pruned
+    }
+
+    fn absorb(&mut self, other: &PruneStats) {
+        self.arms_in += other.arms_in;
+        self.empty_pruned += other.empty_pruned;
+        self.subsumed_pruned += other.subsumed_pruned;
+        self.kept += other.kept;
+    }
+}
+
+/// Result of pruning one UCQ: the survivors plus the dropped arms, kept
+/// so harnesses can check every drop against a reference evaluator.
+#[derive(Debug, Clone)]
+pub struct PrunedUcq {
+    pub ucq: UCQ,
+    /// Arms dropped by the emptiness check.
+    pub empty_arms: Vec<CQ>,
+    /// Arms dropped by data-subsumption.
+    pub subsumed_arms: Vec<CQ>,
+}
+
+impl PrunedUcq {
+    pub fn stats(&self) -> PruneStats {
+        PruneStats {
+            arms_in: self.ucq.len() + self.empty_arms.len() + self.subsumed_arms.len(),
+            empty_pruned: self.empty_arms.len(),
+            subsumed_pruned: self.subsumed_arms.len(),
+            kept: self.ucq.len(),
+        }
+    }
+}
+
+/// Does the arm mention a predicate with a provably empty extent?
+pub fn arm_provably_empty(cq: &CQ, cons: &ConstraintSet) -> bool {
+    cq.atoms().iter().any(|a| cons.pred_is_empty(a.pred()))
+}
+
+/// Prune a UCQ against mined constraints. The union is never emptied
+/// completely: if every arm is provably empty, the cheapest one is kept
+/// as a representative so downstream SQL generation still has a valid
+/// statement (it evaluates over empty extents at negligible cost).
+pub fn prune_ucq(ucq: &UCQ, cons: &ConstraintSet) -> PrunedUcq {
+    let mut live: Vec<CQ> = Vec::new();
+    let mut empty_arms: Vec<CQ> = Vec::new();
+    for cq in ucq.cqs() {
+        if arm_provably_empty(cq, cons) {
+            empty_arms.push(cq.clone());
+        } else {
+            live.push(cq.clone());
+        }
+    }
+    if live.is_empty() {
+        if let Some(pos) = (0..empty_arms.len()).min_by_key(|&i| empty_arms[i].num_atoms()) {
+            live.push(empty_arms.remove(pos));
+        }
+    }
+
+    // Pairwise data-subsumption, mirroring `minimize_ucq`: arm `j` is
+    // dropped when a still-kept arm `i` data-contains it; mutual
+    // containment keeps the earlier arm (deterministic given the input
+    // order, which the reformulation fixes).
+    let n = live.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep[j] || !keep[i] {
+                continue;
+            }
+            if data_contained(&live[j], &live[i], cons) {
+                if data_contained(&live[i], &live[j], cons) && j < i {
+                    keep[i] = false;
+                } else {
+                    keep[j] = false;
+                }
+            }
+        }
+    }
+    let mut kept_cqs: Vec<CQ> = Vec::new();
+    let mut subsumed_arms: Vec<CQ> = Vec::new();
+    for (cq, k) in live.into_iter().zip(&keep) {
+        if *k {
+            kept_cqs.push(cq);
+        } else {
+            subsumed_arms.push(cq);
+        }
+    }
+    PrunedUcq {
+        ucq: UCQ::from_cqs(ucq.head().to_vec(), kept_cqs),
+        empty_arms,
+        subsumed_arms,
+    }
+}
+
+/// Prune any reformulation shape. UCQs are pruned directly; JUCQs are
+/// pruned component-wise (sound: each component's answer relation is
+/// preserved, hence so is the join). CQ and the factorized SCQ shapes
+/// pass through unchanged.
+pub fn prune_fol(fol: &FolQuery, cons: &ConstraintSet) -> (FolQuery, PruneStats) {
+    match fol {
+        FolQuery::Ucq(u) => {
+            let p = prune_ucq(u, cons);
+            let stats = p.stats();
+            (FolQuery::Ucq(p.ucq), stats)
+        }
+        FolQuery::Jucq(j) => {
+            let mut stats = PruneStats::default();
+            let comps: Vec<UCQ> = j
+                .components()
+                .iter()
+                .map(|c| {
+                    let p = prune_ucq(c, cons);
+                    stats.absorb(&p.stats());
+                    p.ucq
+                })
+                .collect();
+            (FolQuery::Jucq(JUCQ::new(j.head().to_vec(), comps)), stats)
+        }
+        other => (other.clone(), PruneStats::default()),
+    }
+}
+
+/// Is `answers(sub) ⊆ answers(keeper)` on every database satisfying
+/// `cons`? Sufficient check via a constraint-relaxed homomorphism from
+/// `keeper` into `sub` (see the module docs for the soundness argument).
+/// Reflexive over the classic containment: with no mined constraints
+/// this is exactly `contained_in(sub, keeper)`.
+pub fn data_contained(sub: &CQ, keeper: &CQ, cons: &ConstraintSet) -> bool {
+    if keeper.head().len() != sub.head().len() {
+        return false;
+    }
+    let mut bindings: HashMap<VarId, Term> = HashMap::new();
+    // Seed the mapping from the heads: position i of keeper must land on
+    // position i of sub.
+    for (kt, st) in keeper.head().iter().zip(sub.head()) {
+        if !bind(&mut bindings, *kt, *st) {
+            return false;
+        }
+    }
+    let unbound: Vec<VarId> = keeper
+        .all_vars()
+        .into_iter()
+        .filter(|&v| keeper.is_unbound(v))
+        .collect();
+    let atoms = keeper.atoms();
+    search(atoms, 0, sub, &unbound, &mut bindings, cons)
+}
+
+/// Try to extend the mapping with `keeper-term ↦ sub-term`.
+fn bind(bindings: &mut HashMap<VarId, Term>, kt: Term, st: Term) -> bool {
+    match kt {
+        Term::Const(c) => st == Term::Const(c),
+        Term::Var(v) => match bindings.get(&v) {
+            Some(&prev) => prev == st,
+            None => {
+                bindings.insert(v, st);
+                true
+            }
+        },
+    }
+}
+
+/// One way a `sub` atom can cover a `keeper` atom: the list of
+/// positional `(keeper-term, sub-term)` pairs that must unify. Pairs
+/// omitted by `∃`-coverage correspond to unbound keeper variables whose
+/// witness the constraint supplies.
+fn coverage_modes(
+    a: &Atom,
+    t: &Atom,
+    unbound: &[VarId],
+    cons: &ConstraintSet,
+) -> Vec<Vec<(Term, Term)>> {
+    let is_unbound = |term: &Term| matches!(term, Term::Var(v) if unbound.contains(v));
+    let mut modes = Vec::new();
+    match *a {
+        Atom::Concept(c, tau) => {
+            let target = BasicConcept::Atomic(c);
+            match *t {
+                Atom::Concept(c2, s1) => {
+                    if cons.unary_included(BasicConcept::Atomic(c2), target) {
+                        modes.push(vec![(tau, s1)]);
+                    }
+                }
+                Atom::Role(r2, s1, s2) => {
+                    if cons.unary_included(BasicConcept::Exists(Role::direct(r2)), target) {
+                        modes.push(vec![(tau, s1)]);
+                    }
+                    if cons.unary_included(BasicConcept::Exists(Role::inv(r2)), target) {
+                        modes.push(vec![(tau, s2)]);
+                    }
+                }
+            }
+        }
+        Atom::Role(r, tau1, tau2) => {
+            let direct = Role::direct(r);
+            // Exact coverage: both positions map.
+            if let Atom::Role(r2, s1, s2) = *t {
+                if cons.role_included(Role::direct(r2), direct) {
+                    modes.push(vec![(tau1, s1), (tau2, s2)]);
+                }
+                if cons.role_included(Role::inv(r2), direct) {
+                    modes.push(vec![(tau1, s2), (tau2, s1)]);
+                }
+            }
+            // ∃-coverage: an unbound object variable only needs a
+            // witness, which membership in ext(∃r) provides.
+            if is_unbound(&tau2) {
+                let dom = BasicConcept::Exists(direct);
+                match *t {
+                    Atom::Concept(c2, s1) => {
+                        if cons.unary_included(BasicConcept::Atomic(c2), dom) {
+                            modes.push(vec![(tau1, s1)]);
+                        }
+                    }
+                    Atom::Role(r2, s1, s2) => {
+                        if cons.unary_included(BasicConcept::Exists(Role::direct(r2)), dom) {
+                            modes.push(vec![(tau1, s1)]);
+                        }
+                        if cons.unary_included(BasicConcept::Exists(Role::inv(r2)), dom) {
+                            modes.push(vec![(tau1, s2)]);
+                        }
+                    }
+                }
+            }
+            // Symmetric for an unbound subject variable via ext(∃r⁻).
+            if is_unbound(&tau1) {
+                let rng = BasicConcept::Exists(direct.inverted());
+                match *t {
+                    Atom::Concept(c2, s1) => {
+                        if cons.unary_included(BasicConcept::Atomic(c2), rng) {
+                            modes.push(vec![(tau2, s1)]);
+                        }
+                    }
+                    Atom::Role(r2, s1, s2) => {
+                        if cons.unary_included(BasicConcept::Exists(Role::direct(r2)), rng) {
+                            modes.push(vec![(tau2, s1)]);
+                        }
+                        if cons.unary_included(BasicConcept::Exists(Role::inv(r2)), rng) {
+                            modes.push(vec![(tau2, s2)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    modes
+}
+
+/// Backtracking search: cover keeper atom `idx` and onwards.
+fn search(
+    atoms: &[Atom],
+    idx: usize,
+    sub: &CQ,
+    unbound: &[VarId],
+    bindings: &mut HashMap<VarId, Term>,
+    cons: &ConstraintSet,
+) -> bool {
+    let Some(a) = atoms.get(idx) else {
+        return true;
+    };
+    for t in sub.atoms() {
+        for mode in coverage_modes(a, t, unbound, cons) {
+            let mut added: Vec<VarId> = Vec::new();
+            let mut ok = true;
+            for (kt, st) in mode {
+                let newly = matches!(kt, Term::Var(v) if !bindings.contains_key(&v));
+                if !bind(bindings, kt, st) {
+                    ok = false;
+                    break;
+                }
+                if newly {
+                    if let Term::Var(v) = kt {
+                        added.push(v);
+                    }
+                }
+            }
+            if ok && search(atoms, idx + 1, sub, unbound, bindings, cons) {
+                return true;
+            }
+            for v in added {
+                bindings.remove(&v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obda_dllite::{ABox, TBoxBuilder};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// PhDStudent ⊑ Student, data complete for the pair; advises domain
+    /// complete for Professor; Lecturer empty.
+    fn fixture() -> (obda_dllite::Vocabulary, ConstraintSet) {
+        let mut b = TBoxBuilder::new();
+        b.sub("PhDStudent", "Student")
+            .sub("Lecturer", "Student")
+            .sub("exists advises", "Professor")
+            .sub("Professor", "exists advises");
+        let (mut voc, tbox) = b.finish();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let student = voc.find_concept("Student").unwrap();
+        let prof = voc.find_concept("Professor").unwrap();
+        let advises = voc.find_role("advises").unwrap();
+        let a = voc.individual("a");
+        let b_ = voc.individual("b");
+        let mut abox = ABox::new();
+        abox.assert_concept(phd, a);
+        abox.assert_concept(student, a);
+        abox.assert_concept(student, b_);
+        abox.assert_role(advises, a, b_);
+        abox.assert_concept(prof, a);
+        let cons = ConstraintSet::mine_from_abox(&tbox, &abox);
+        (voc, cons)
+    }
+
+    #[test]
+    fn empty_arms_are_dropped() {
+        let (voc, cons) = fixture();
+        let student = voc.find_concept("Student").unwrap();
+        let lecturer = voc.find_concept("Lecturer").unwrap();
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(student, v(0))]),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(lecturer, v(0))]),
+            ],
+        );
+        let p = prune_ucq(&u, &cons);
+        assert_eq!(p.ucq.len(), 1);
+        assert_eq!(p.empty_arms.len(), 1);
+        assert_eq!(p.stats().empty_pruned, 1);
+    }
+
+    #[test]
+    fn complete_specialization_is_subsumed() {
+        let (voc, cons) = fixture();
+        let student = voc.find_concept("Student").unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(student, v(0))]),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(phd, v(0))]),
+            ],
+        );
+        let p = prune_ucq(&u, &cons);
+        assert_eq!(p.ucq.len(), 1, "PhD arm is covered by the Student arm");
+        assert_eq!(p.subsumed_arms.len(), 1);
+        assert!(matches!(
+            p.ucq.cqs()[0].atoms()[0],
+            Atom::Concept(c, _) if c == student
+        ));
+    }
+
+    #[test]
+    fn incomplete_specialization_is_kept() {
+        let (voc, cons) = fixture();
+        // Student does not data-include PhDStudent in the other
+        // direction, so a Student arm is NOT pruned by a PhD arm.
+        let student = voc.find_concept("Student").unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let u = UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(phd, v(0))]),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(student, v(0))]),
+            ],
+        );
+        // Keeper candidates: the PhD arm cannot absorb the Student arm.
+        let p = prune_ucq(&u, &cons);
+        assert_eq!(p.ucq.len(), 1, "but PhD is absorbed by Student");
+        // The kept arm must be the Student one.
+        assert!(matches!(
+            p.ucq.cqs()[0].atoms()[0],
+            Atom::Concept(c, _) if c == student
+        ));
+    }
+
+    #[test]
+    fn exists_coverage_handles_unbound_object() {
+        let (voc, cons) = fixture();
+        // keeper: q(x) <- advises(x, y) with y unbound; sub: q(x) <-
+        // Professor(x). ext(Professor) ⊆ ext(∃advises) was mined, so the
+        // Professor arm is data-contained in the advises arm.
+        let prof = voc.find_concept("Professor").unwrap();
+        let advises = voc.find_role("advises").unwrap();
+        let keeper = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(advises, v(0), v(1))]);
+        let sub = CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(prof, v(0))]);
+        assert!(data_contained(&sub, &keeper, &cons));
+        // A bound object variable must not use the ∃-coverage.
+        let keeper_bound = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![
+                Atom::Role(advises, v(0), v(1)),
+                Atom::Concept(voc.find_concept("Student").unwrap(), v(1)),
+            ],
+        );
+        assert!(!data_contained(&sub, &keeper_bound, &cons));
+    }
+
+    #[test]
+    fn plain_homomorphism_still_works_without_constraints() {
+        let cons = ConstraintSet::default();
+        let r = obda_dllite::RoleId(0);
+        let general = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(r, v(0), v(1))]);
+        let special = CQ::with_var_head(vec![VarId(0)], vec![Atom::Role(r, v(0), v(0))]);
+        assert!(data_contained(&special, &general, &cons));
+        assert!(!data_contained(&general, &special, &cons));
+    }
+
+    #[test]
+    fn all_empty_union_keeps_a_representative() {
+        let (voc, cons) = fixture();
+        let lecturer = voc.find_concept("Lecturer").unwrap();
+        let u = UCQ::single(CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(lecturer, v(0))],
+        ));
+        let p = prune_ucq(&u, &cons);
+        assert_eq!(p.ucq.len(), 1, "never emit an empty union");
+        assert!(p.empty_arms.is_empty());
+    }
+
+    #[test]
+    fn jucq_components_are_pruned_independently() {
+        let (voc, cons) = fixture();
+        let student = voc.find_concept("Student").unwrap();
+        let phd = voc.find_concept("PhDStudent").unwrap();
+        let advises = voc.find_role("advises").unwrap();
+        let c1 = UCQ::from_cqs(
+            vec![v(0)],
+            [
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(student, v(0))]),
+                CQ::with_var_head(vec![VarId(0)], vec![Atom::Concept(phd, v(0))]),
+            ],
+        );
+        let c2 = UCQ::single(CQ::with_var_head(
+            vec![VarId(0), VarId(1)],
+            vec![Atom::Role(advises, v(0), v(1))],
+        ));
+        let j = FolQuery::Jucq(JUCQ::new(vec![v(0), v(1)], vec![c1, c2]));
+        let (pruned, stats) = prune_fol(&j, &cons);
+        assert_eq!(stats.arms_in, 3);
+        assert_eq!(stats.subsumed_pruned, 1);
+        assert_eq!(stats.kept, 2);
+        match pruned {
+            FolQuery::Jucq(j2) => assert_eq!(j2.total_cqs(), 2),
+            other => panic!("shape preserved, got {other:?}"),
+        }
+    }
+}

@@ -64,12 +64,12 @@ pub use obda_reform as reform;
 /// The most commonly used items, for examples and downstream callers.
 pub mod prelude {
     pub use obda_core::{
-        choose_reformulation, edl, gdl, root_cover, CostEstimator, Cover, Fragment, GdlConfig,
-        QueryAnalysis, Strategy, StructuralEstimator,
+        choose_reformulation, choose_reformulation_constrained, edl, gdl, root_cover,
+        CostEstimator, Cover, Fragment, GdlConfig, QueryAnalysis, Strategy, StructuralEstimator,
     };
     pub use obda_dllite::{
-        is_consistent, ABox, AboxDelta, Axiom, BasicConcept, ConceptId, IndividualId,
-        KnowledgeBase, PredId, Role, RoleId, TBox, TBoxBuilder, Vocabulary,
+        is_consistent, ABox, AboxDelta, Axiom, BasicConcept, ConceptId, ConstraintSet,
+        IndividualId, KnowledgeBase, PredId, Role, RoleId, TBox, TBoxBuilder, Vocabulary,
     };
     pub use obda_lubm::{generate, star_query, workload, GenConfig, UnivOntology};
     pub use obda_query::{
@@ -86,7 +86,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    /// The ten root integration suites rely on cargo's `tests/`
+    /// The eleven root integration suites rely on cargo's `tests/`
     /// autodiscovery. Guard against someone disabling it or renaming a
     /// suite file: each must exist, and the manifest must not opt out.
     #[test]
@@ -103,6 +103,7 @@ mod tests {
             "sql_goldens",
             "pgwire",
             "transactions",
+            "constraints",
         ] {
             let path = root.join("tests").join(format!("{suite}.rs"));
             assert!(
@@ -118,7 +119,7 @@ mod tests {
             .any(|l| l.starts_with("autotests=false"));
         assert!(
             !disables_autotests,
-            "tests/ autodiscovery must stay enabled so all ten suites are test targets"
+            "tests/ autodiscovery must stay enabled so all eleven suites are test targets"
         );
     }
 }

@@ -22,7 +22,10 @@ use obda::prelude::*;
 use obda::query::testkit::{
     random_abox, random_delta, random_fol_query, random_tbox, random_ucq, KbShape, Rng,
 };
-use obda::rdbms::testkit::{differential_check, differential_mutation_check, ALL_STRATEGIES};
+use obda::rdbms::testkit::{
+    differential_check, differential_constraints_check, differential_constraints_mutation_check,
+    differential_mutation_check, ALL_STRATEGIES,
+};
 use obda::rdbms::{Backend, JoinStrategy};
 
 /// A deterministic random scenario: vocabulary, ABox, any-dialect query.
@@ -435,5 +438,54 @@ proptest! {
         let mut rows = hit.outcome.rows;
         rows.sort();
         prop_assert_eq!(&rows, &want, "seed {}: cached plan vs cold pipeline", seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// constraints parity: pruning is invisible in the answers
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Constraint-driven reformulation pruning is answer-invisible on
+    /// random KBs: for random connected CQs over random TBoxes, the
+    /// constraints mined from the ABox prune only union arms the
+    /// reference evaluator shows empty or subsumed, and the answers
+    /// stay row-identical — across both parity strategies, all three
+    /// layouts and both execution backends.
+    #[test]
+    fn constraint_pruning_is_answer_invisible(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        let atoms = 1 + rng.below(3);
+        let cq = obda::query::testkit::random_connected_cq(&mut rng, &voc, atoms, 2);
+        differential_constraints_check(&voc, &tbox, &abox, &cq, &format!("cons seed {seed}"));
+    }
+
+    /// After a random ABox mutation, stale constraints must never be
+    /// applied: the harness re-mines on the mutated state, asserts the
+    /// stale set is genuinely violated whenever it stops holding, and
+    /// re-runs the full constraints parity sweep against fresh
+    /// constraints only.
+    #[test]
+    fn stale_constraints_never_survive_mutation(seed in 0u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        let shape = KbShape::default();
+        let (mut voc, tbox) = random_tbox(&mut rng, &shape);
+        let abox = random_abox(&mut rng, &mut voc, &shape);
+        let atoms = 1 + rng.below(3);
+        let cq = obda::query::testkit::random_connected_cq(&mut rng, &voc, atoms, 2);
+        let delta = random_delta(&mut rng, &voc, &abox, 8, seed as usize);
+        differential_constraints_mutation_check(
+            &voc,
+            &tbox,
+            &abox,
+            &delta,
+            &cq,
+            &format!("cons mutation seed {seed}"),
+        );
     }
 }

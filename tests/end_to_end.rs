@@ -180,3 +180,48 @@ fn union_arm_metrics_carry_wall_clock() {
         );
     }
 }
+
+/// The constrained route — mined ABox completeness constraints pruning
+/// union arms before execution — agrees with the certain-answer oracle
+/// exactly like the unconstrained route, on every layout and both
+/// pruning-relevant strategies, and never prunes a union to emptiness.
+#[test]
+fn constrained_strategies_agree_with_oracle() {
+    let (onto, abox, deps) = small_dataset();
+    let cons = obda::dllite::ConstraintSet::mine_from_abox(&onto.tbox, &abox);
+    let wl = workload(&onto);
+    let subset = ["Q3", "Q12"];
+    for q in wl.iter().filter(|q| subset.contains(&q.name.as_str())) {
+        let truth: HashSet<Vec<u32>> = certain_answers(&onto.tbox, &abox, &q.cq)
+            .into_iter()
+            .map(|row| row.into_iter().map(|i| i.0).collect())
+            .collect();
+        for layout in [LayoutKind::Simple, LayoutKind::Triple, LayoutKind::Dph] {
+            let engine = Engine::load(&abox, &onto.voc, layout, EngineProfile::pg_like());
+            for strategy in [Strategy::Ucq, Strategy::CrootJucq] {
+                let est = engine.ext_cost_model();
+                let chosen = obda::core::choose_reformulation_constrained(
+                    &q.cq,
+                    &onto.tbox,
+                    &deps,
+                    &est,
+                    &strategy,
+                    Some(&cons),
+                );
+                let stats = chosen.pruned.expect("constrained route reports stats");
+                assert!(stats.kept >= 1, "pruning must never empty the union");
+                let got: HashSet<Vec<u32>> = engine
+                    .evaluate(&chosen.fol)
+                    .expect("pg-like profile has no statement limit")
+                    .rows
+                    .into_iter()
+                    .collect();
+                assert_eq!(
+                    got, truth,
+                    "{} constrained {strategy:?} on {layout:?}",
+                    q.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+SELECT DISTINCT t0.s AS h0 FROM r_headOf t0, r_subOrganizationOf t1, r_undergraduateDegreeFrom t2 WHERE t1.s = t0.o AND t2.s = t0.s AND t2.o = t1.o
+UNION
+SELECT DISTINCT t0.s AS h0 FROM r_headOf t0, r_subOrganizationOf t1, r_doctoralDegreeFrom t2 WHERE t1.s = t0.o AND t2.s = t0.s AND t2.o = t1.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.o AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_worksFor t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_affiliatedWith t1, c_Department t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.o AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_undergraduateDegreeFrom t4 WHERE t1.s = t0.o AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_memberOf t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.o AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_worksFor t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Professor t0, r_affiliatedWith t1, c_Department t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.x = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_affiliatedWith t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.o AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_FullProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssociateProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_AssistantProfessor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.x AS h0 FROM c_Chair t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.x AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.x AND t4.o = t3.o
+UNION
+SELECT DISTINCT t0.o AS h0 FROM r_advisor t0, r_worksFor t1, r_headOf t2, r_subOrganizationOf t3, r_doctoralDegreeFrom t4 WHERE t1.s = t0.o AND t2.o = t1.o AND t3.s = t1.o AND t4.s = t0.o AND t4.o = t3.o

@@ -478,3 +478,127 @@ proptest! {
         }
     }
 }
+
+/// Constraint staleness across the write paths: mined ABox completeness
+/// constraints are cached per snapshot generation, so every route that
+/// publishes a new generation — `apply_batch`, a committed transaction —
+/// and the in-transaction overlay itself must re-mine rather than reuse
+/// the pre-write constraint set. A stale set would keep pruning a union
+/// arm whose predicate the write just populated, silently dropping rows.
+mod stale_constraints {
+    use super::*;
+    // `proptest::prelude::Strategy` (a trait) shadows the enum upstream.
+    use obda::core::Strategy;
+
+    /// `Apprentice ⊑ Builder`, ABox `{Builder(b0)}`, `q(x) ← Builder(x)`.
+    /// PerfectRef yields `Builder(x) ∨ Apprentice(x)`; while `Apprentice`
+    /// is empty the constraint miner prunes the second arm, so the tests
+    /// below revolve around inserting the first `Apprentice` fact.
+    fn tiny() -> (
+        Vocabulary,
+        TBox,
+        ABox,
+        CQ,
+        ConceptId,
+        IndividualId,
+        IndividualId,
+    ) {
+        let mut b = TBoxBuilder::new();
+        b.sub("Apprentice", "Builder");
+        let (mut voc, tbox) = b.finish();
+        let appr = voc.find_concept("Apprentice").unwrap();
+        let builder = voc.find_concept("Builder").unwrap();
+        let b0 = voc.individual("b0");
+        // Pre-interned so post-construction writes can reference it.
+        let a0 = voc.individual("a0");
+        let mut abox = ABox::new();
+        abox.assert_concept(builder, b0);
+        let q = CQ::with_var_head(
+            vec![VarId(0)],
+            vec![Atom::Concept(builder, Term::Var(VarId(0)))],
+        );
+        (voc, tbox, abox, q, appr, a0, b0)
+    }
+
+    fn config() -> ServerConfig {
+        ServerConfig {
+            reform_strategy: Strategy::Ucq,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn apply_batch_refreshes_mined_constraints() {
+        let (voc, tbox, abox, q, appr, a0, b0) = tiny();
+        let server = Server::new(voc, tbox, &abox, config());
+
+        // Cold query: the Apprentice arm is pruned as provably empty.
+        assert_eq!(sorted_rows(server.query(&q).unwrap()), vec![vec![b0.0]]);
+        let (empty, subsumed) = server.observe().pruned_arms_total();
+        assert!(
+            empty + subsumed >= 1,
+            "the empty Apprentice arm must be pruned ({empty} empty, {subsumed} subsumed)"
+        );
+
+        // The pre-write constraint set is sound for the pre-write ABox
+        // and must be recognizably stale for the post-write one.
+        let stale = server.snapshot().constraints();
+        assert!(stale.holds_on(&abox));
+        let delta = AboxDelta::new().insert_concept(appr, a0);
+        let mut mutated = abox.clone();
+        mutated.apply(&delta);
+        assert!(
+            !stale.holds_on(&mutated),
+            "pre-write constraints must not hold once Apprentice is populated"
+        );
+
+        // After the batch the pruned arm is live again: a0 is a certain
+        // answer (Apprentice ⊑ Builder) and must come back.
+        let generation = server.apply_batch(&delta).unwrap();
+        assert_eq!(generation, 1);
+        assert!(server.snapshot().constraints().holds_on(&mutated));
+        assert_eq!(
+            sorted_rows(server.query(&q).unwrap()),
+            vec![vec![b0.0], vec![a0.0]],
+            "a stale constraint set would keep pruning the Apprentice arm"
+        );
+    }
+
+    #[test]
+    fn committed_transaction_refreshes_mined_constraints() {
+        let (voc, tbox, abox, q, appr, a0, b0) = tiny();
+        let server = Server::new(voc.clone(), tbox.clone(), &abox, config());
+        let mut off_config = config();
+        off_config.use_constraints = false;
+        let witness = Server::new(voc, tbox, &abox, off_config);
+
+        assert_eq!(sorted_rows(server.query(&q).unwrap()), vec![vec![b0.0]]);
+
+        let mut txn = server.begin();
+        txn.insert_concept(appr, a0);
+        // The overlay mines its own constraints over base + buffered
+        // writes; a leaked base-generation set would prune the arm and
+        // hide the transaction's own insert.
+        assert_eq!(
+            sorted_rows(txn.query(&q).unwrap()),
+            vec![vec![b0.0], vec![a0.0]],
+            "read-your-own-writes through the reformulated arm"
+        );
+        // Other sessions still see the pre-write pruned answer.
+        assert_eq!(sorted_rows(server.query(&q).unwrap()), vec![vec![b0.0]]);
+
+        txn.commit().unwrap();
+        let mut wtxn = witness.begin();
+        wtxn.insert_concept(appr, a0);
+        wtxn.commit().unwrap();
+        assert_eq!(
+            sorted_rows(server.query(&q).unwrap()),
+            sorted_rows(witness.query(&q).unwrap()),
+            "constraints-on answers must match the constraints-off witness after commit"
+        );
+        assert_eq!(
+            sorted_rows(server.query(&q).unwrap()),
+            vec![vec![b0.0], vec![a0.0]]
+        );
+    }
+}
